@@ -1,0 +1,67 @@
+"""B1 — substrate: tableau reasoner scaling and the absorption ablation.
+
+Satisfiability and subsumption time as the TBox grows (chain depth,
+branching-tree size), plus the DESIGN.md ablation: axioms absorbed into
+lazy unfolding versus the same axioms forced through global-GCI
+propagation.
+"""
+
+import pytest
+
+from repro.corpora.generators import branching_tbox, chain_tbox
+from repro.dl import Atomic, Not, Reasoner, Subsumption, TBox, Tableau
+from repro.dl.nnf import negate
+
+
+@pytest.mark.parametrize("depth", [8, 32, 128])
+def test_b1_chain_subsumption(benchmark, depth):
+    tbox = chain_tbox(depth)
+
+    def check():
+        reasoner = Reasoner(tbox)
+        return reasoner.subsumes(Atomic(f"C{depth}"), Atomic("C0"))
+
+    assert benchmark(check)
+
+
+@pytest.mark.parametrize("depth", [2, 4, 6])
+def test_b1_branching_tree_satisfiability(benchmark, depth):
+    tbox = branching_tbox(depth)
+    leaf = "N" + "0" * depth
+
+    def check():
+        reasoner = Reasoner(tbox)
+        return reasoner.is_satisfiable(Atomic(leaf))
+
+    assert benchmark(check)
+
+
+@pytest.mark.parametrize("mode", ["absorbed", "internalized"])
+def test_b1_absorption_ablation(benchmark, mode):
+    """Ablation: A ⊑ C axioms lazy-unfolded vs forced global.
+
+    Internalization is simulated by rewriting every axiom A ⊑ C into the
+    non-absorbable form (A ⊓ ⊤) ⊑ C... which the absorber cannot take,
+    so it lands in the global-GCI path applied to every node.
+    """
+    depth = 24
+    base = chain_tbox(depth)
+    if mode == "absorbed":
+        tbox = base
+    else:
+        # ¬¬A is not an Atomic lhs, so the absorber rejects it and every
+        # axiom becomes a global GCI added to every node
+        tbox = TBox(
+            [Subsumption(Not(Not(gci.lhs)), gci.rhs) for gci in base.gcis()]
+        )
+
+    from repro.dl import And
+
+    def check():
+        tableau = Tableau(tbox, max_nodes=5000)
+        # C0 ⊓ ¬C_depth must be unsatisfiable in both encodings
+        return not tableau.is_satisfiable(
+            And.of([Atomic("C0"), negate(Atomic(f"C{depth}"))])
+        )
+
+    assert benchmark(check)

@@ -1,0 +1,63 @@
+"""B3 — substrate: triple store throughput and the index ablation.
+
+Pattern-query throughput with the SPO/POS/OSP indexes on versus full
+scans (the DESIGN.md ablation), join evaluation, bulk loading, and the
+cost of DL-backed materialization.
+"""
+
+import pytest
+
+from repro.corpora.generators import random_triples
+from repro.corpora.vehicles import vehicle_tbox
+from repro.store import Pattern, Query, TripleStore, Var, materialize
+
+ROWS = random_triples(7, count=5000, n_subjects=400, n_predicates=12, n_objects=200)
+
+
+def loaded_store(use_indexes: bool) -> TripleStore:
+    store = TripleStore(use_indexes=use_indexes)
+    store.update(ROWS)
+    return store
+
+
+@pytest.mark.parametrize("use_indexes", [True, False], ids=["indexed", "scan"])
+def test_b3_point_lookups(benchmark, use_indexes):
+    store = loaded_store(use_indexes)
+    subjects = [f"s{i}" for i in range(0, 400, 7)]
+
+    def run():
+        return sum(store.count(subject=s) for s in subjects)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+@pytest.mark.parametrize("use_indexes", [True, False], ids=["indexed", "scan"])
+def test_b3_join_queries(benchmark, use_indexes):
+    store = loaded_store(use_indexes)
+    x, y = Var("x"), Var("y")
+    query = Query([Pattern(x, "p1", y), Pattern(y, "p2", "o3")], select=[x])
+
+    rows = benchmark(query.run, store)
+    assert isinstance(rows, list)
+
+
+def test_b3_bulk_load(benchmark):
+    def load():
+        store = TripleStore()
+        store.update(ROWS)
+        return store
+
+    store = benchmark(load)
+    assert len(store) == len({tuple(r) for r in ROWS})
+
+
+def test_b3_materialization_cost(benchmark):
+    store = TripleStore()
+    for i in range(12):
+        store.add(f"car{i}", "type", "car")
+        store.add(f"truck{i}", "type", "pickup")
+
+    result = benchmark(materialize, store, vehicle_tbox())
+    assert ("car0", "type", "motorvehicle") in result
+    assert len(result) > len(store)

@@ -1,0 +1,91 @@
+"""B4 — substrate: grammar recognition scaling.
+
+CYK on aⁿbⁿ as n grows (the O(n³) curve), CNF conversion cost, and the
+regular-language crossover: the DFA pipeline against CYK on (ab)*.
+"""
+
+import pytest
+
+from repro.grammar import (
+    Grammar,
+    Production,
+    compile_regular,
+    cyk_recognizes,
+    to_cnf,
+)
+
+
+def anbn() -> Grammar:
+    return Grammar(
+        {"S"},
+        {"a", "b"},
+        "S",
+        [Production(("S",), ("a", "S", "b")), Production(("S",), ())],
+    )
+
+
+def ab_star() -> Grammar:
+    return Grammar(
+        {"S", "B"},
+        {"a", "b"},
+        "S",
+        [
+            Production(("S",), ("a", "B")),
+            Production(("B",), ("b", "S")),
+            Production(("S",), ()),
+        ],
+    )
+
+
+@pytest.mark.parametrize("n", [8, 24, 48])
+def test_b4_cyk_scaling(benchmark, n):
+    cnf = to_cnf(anbn())
+    word = ["a"] * n + ["b"] * n
+    assert benchmark(cyk_recognizes, cnf, word)
+
+
+def test_b4_cnf_conversion(benchmark):
+    cnf = benchmark(to_cnf, anbn())
+    assert cyk_recognizes(cnf, ["a", "b"])
+
+
+@pytest.mark.parametrize("engine", ["dfa", "cyk"])
+def test_b4_regular_language_crossover(benchmark, engine):
+    grammar = ab_star()
+    word = ["a", "b"] * 30
+    if engine == "dfa":
+        dfa = compile_regular(grammar)
+        assert benchmark(dfa.accepts, word)
+    else:
+        cnf = to_cnf(grammar)
+        assert benchmark(cyk_recognizes, cnf, word)
+
+
+def test_b4_dfa_compilation(benchmark):
+    dfa = benchmark(compile_regular, ab_star())
+    assert dfa.accepts(["a", "b"])
+
+
+@pytest.mark.parametrize("n", [8, 24, 48])
+def test_b4_earley_scaling(benchmark, n):
+    from repro.grammar import earley_recognizes
+
+    grammar = anbn()
+    word = ["a"] * n + ["b"] * n
+    assert benchmark(earley_recognizes, grammar, word)
+
+
+@pytest.mark.parametrize("engine", ["earley", "cyk"])
+def test_b4_earley_vs_cyk_no_cnf(benchmark, engine):
+    """Earley needs no normal form; CYK pays the CNF conversion too."""
+    from repro.grammar import earley_recognizes
+
+    grammar = anbn()
+    word = ["a"] * 16 + ["b"] * 16
+    if engine == "earley":
+        assert benchmark(earley_recognizes, grammar, word)
+    else:
+        def convert_and_run():
+            return cyk_recognizes(to_cnf(grammar), word)
+
+        assert benchmark(convert_and_run)

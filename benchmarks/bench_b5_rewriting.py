@@ -1,0 +1,79 @@
+"""B5 — substrate: order-sorted rewriting to normal form.
+
+Peano addition over an order-sorted signature: normalization cost as the
+term grows, plus matching throughput — the workload under every BCM data
+domain with a non-trivial equational theory.
+"""
+
+import pytest
+
+from repro.order import Poset
+from repro.osa import (
+    Equation,
+    EquationalTheory,
+    OpDecl,
+    OrderSortedSignature,
+    OSApp,
+    OSVar,
+    RewriteSystem,
+    constant,
+    match,
+)
+
+
+def peano() -> RewriteSystem:
+    sig = OrderSortedSignature(
+        Poset(["Nat"], []),
+        [
+            OpDecl("zero", (), "Nat"),
+            OpDecl("s", ("Nat",), "Nat"),
+            OpDecl("plus", ("Nat", "Nat"), "Nat"),
+        ],
+    )
+    x, y = OSVar("x", "Nat"), OSVar("y", "Nat")
+    theory = EquationalTheory(
+        sig,
+        [
+            Equation(OSApp("plus", (constant("zero"), y)), y),
+            Equation(
+                OSApp("plus", (OSApp("s", (x,)), y)),
+                OSApp("s", (OSApp("plus", (x, y)),)),
+            ),
+        ],
+    )
+    return RewriteSystem(theory, max_steps=100_000)
+
+
+def numeral(n: int) -> OSApp:
+    term = constant("zero")
+    for _ in range(n):
+        term = OSApp("s", (term,))
+    return term
+
+
+@pytest.mark.parametrize("n", [4, 16, 48])
+def test_b5_addition_normalization(benchmark, n):
+    system = peano()
+    term = OSApp("plus", (numeral(n), numeral(n)))
+    result = benchmark(system.normalize, term)
+    assert result == numeral(2 * n)
+
+
+def test_b5_matching_throughput(benchmark):
+    system = peano()
+    sig = system.signature
+    x = OSVar("x", "Nat")
+    pattern = OSApp("s", (x,))
+    targets = [numeral(i) for i in range(1, 40)]
+
+    def run():
+        return sum(1 for t in targets if match(pattern, t, sig) is not None)
+
+    assert benchmark(run) == len(targets)
+
+
+def test_b5_ground_equality_decision(benchmark):
+    system = peano()
+    lhs = OSApp("plus", (numeral(6), numeral(7)))
+    rhs = OSApp("plus", (numeral(7), numeral(6)))
+    assert benchmark(system.equal, lhs, rhs)

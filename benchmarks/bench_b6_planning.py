@@ -1,0 +1,56 @@
+"""B6 — substrate: the two planning ablations added in the extension pass.
+
+(a) TBox classification with told-subsumer seeding vs full n² tableau
+    calls; (b) join-order selection by index-backed selectivity estimates
+    vs most-bound-first vs static order on a skewed dataset.
+"""
+
+import pytest
+
+from repro.corpora.generators import chain_tbox, random_tbox
+from repro.dl import classify
+from repro.store import Pattern, Query, TripleStore, Var
+
+
+@pytest.mark.parametrize(
+    "use_told", [True, False], ids=["told-seeded", "full-tableau"]
+)
+def test_b6_classification_ablation_chain(benchmark, use_told):
+    """Taxonomic TBox: every positive subsumption is told — seeding shines."""
+    tbox = chain_tbox(16)
+    hierarchy = benchmark(classify, tbox, use_told_subsumers=use_told)
+    assert (hierarchy.told_hits > 0) == use_told
+
+
+@pytest.mark.parametrize(
+    "use_told", [True, False], ids=["told-seeded", "full-tableau"]
+)
+def test_b6_classification_ablation_random(benchmark, use_told):
+    """Relational TBox: most pairs are non-subsumptions the tableau must
+    refute either way — seeding saves only the told fraction."""
+    tbox = random_tbox(11, n_defined=8, n_primitive=4, n_roles=3)
+    hierarchy = benchmark(classify, tbox, use_told_subsumers=use_told)
+    assert (hierarchy.told_hits > 0) == use_told
+
+
+def skewed_store() -> TripleStore:
+    store = TripleStore()
+    for i in range(2000):
+        store.add(f"s{i}", "common", f"o{i % 20}")
+    for i in range(5):
+        store.add(f"s{i}", "rare", "target")
+    return store
+
+
+@pytest.mark.parametrize("order", ["selectivity", "most-bound", "static"])
+def test_b6_join_order_ablation(benchmark, order):
+    store = skewed_store()
+    x, y = Var("x"), Var("y")
+    # written worst-order-first: the huge pattern leads the static plan
+    query = Query(
+        [Pattern(x, "common", y), Pattern(x, "rare", "target")],
+        select=[x],
+        order=order,
+    )
+    rows = benchmark(query.run, store)
+    assert len(rows) == 5

@@ -1,0 +1,64 @@
+"""Capstone — the full critique engine, end to end.
+
+Times `critique()` with every analysis enabled on the paper's own
+corpus: the vehicle ontonomy against the animal contrast, the age
+lexicalizations, the regress on *car*, and the campus rigidity profile.
+This is the workload a downstream user runs per ontology under review.
+"""
+
+from repro.core import Section, Severity, critique
+from repro.corpora import (
+    age_lexicalizations,
+    animal_tbox,
+    campus_rigidity,
+    vehicle_tbox,
+)
+from repro.dl import parse_axiom
+
+
+def test_capstone_full_critique(benchmark):
+    tbox = vehicle_tbox()
+    contrast = [("animals", animal_tbox())]
+    lexs = age_lexicalizations()
+    repairs = [[parse_axiom("car [= some emits.vroom")]]
+
+    def run():
+        return critique(
+            tbox,
+            label="vehicles",
+            contrast_tboxes=contrast,
+            lexicalizations=lexs,
+            regress_term="car",
+            regress_repairs=repairs,
+            rigidity=campus_rigidity(),
+        )
+
+    report = benchmark(run)
+    # every section populated, every headline finding present
+    assert report.section(Section.SYNTACTIC)
+    assert report.section(Section.SEMANTIC)
+    assert report.section(Section.PRAGMATIC)
+    codes = {f.code for f in report.findings}
+    assert "meaning-collision-cross" in codes
+    assert "confusable-sibling" in codes
+    assert "differentiation-regress" in codes
+    assert "guarino-circularity" in codes
+    assert "guarino-overbreadth" in codes
+    assert "imposition-loss" in codes
+    assert report.worst is Severity.DEFECT
+
+
+def test_capstone_renderings(benchmark):
+    report = critique(
+        vehicle_tbox(),
+        label="vehicles",
+        contrast_tboxes=[("animals", animal_tbox())],
+    )
+
+    def render_both():
+        return report.render(), report.render_markdown()
+
+    text, markdown = benchmark(render_both)
+    assert "Critique of vehicles" in text
+    assert markdown.startswith("# Critique of vehicles")
+    assert "❌" in markdown

@@ -1,0 +1,41 @@
+"""F2 — structure (4): the vehicle ontonomy, parsed and reasoned over.
+
+Regenerates the paper's display, checks coherence, and benchmarks the
+full parse→classify pipeline plus individual subsumption queries.
+"""
+
+from repro.corpora.vehicles import VEHICLE_TEXT, vehicle_tbox
+from repro.dl import Atomic, Reasoner, classify, parse_concept, parse_tbox
+
+
+def test_f2_structure_4_reproduced(benchmark):
+    tbox = benchmark(parse_tbox, VEHICLE_TEXT)
+    print("\nF2: structure (4) as parsed:")
+    print(tbox.pretty())
+    assert len(tbox) == 4
+    assert tbox.is_definitorial()
+
+
+def test_f2_coherence_and_told_subsumptions(benchmark):
+    tbox = vehicle_tbox()
+
+    def check():
+        reasoner = Reasoner(tbox)
+        assert reasoner.is_coherent()
+        return reasoner
+
+    reasoner = benchmark(check)
+    assert reasoner.subsumes(Atomic("motorvehicle"), Atomic("car"))
+    assert reasoner.subsumes(parse_concept("some uses.gasoline"), Atomic("car"))
+    assert reasoner.subsumes(parse_concept(">= 4 has.wheel"), Atomic("pickup"))
+    assert not reasoner.subsumes(Atomic("car"), Atomic("pickup"))
+
+
+def test_f2_classification(benchmark):
+    hierarchy = benchmark(classify, vehicle_tbox())
+    assert hierarchy.parents("car") == frozenset({"motorvehicle", "roadvehicle"})
+    assert not hierarchy.poset.subposet(
+        set(hierarchy.poset.elements) - {"⊥"}
+    ).is_tree()
+    print("\nF2: inferred hierarchy:")
+    print(hierarchy.pretty())

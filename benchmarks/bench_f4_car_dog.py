@@ -1,0 +1,35 @@
+"""F4 — the central reductio: structures (4) ≅ (8), hence CAR = DOG.
+
+Regenerates the paper's identification exactly (the node and role maps)
+and benchmarks the meaning-isomorphism search that produces it.
+"""
+
+from repro.corpora.animals import (
+    VEHICLE_TO_ANIMAL_NAMES,
+    VEHICLE_TO_ANIMAL_ROLES,
+    animal_tbox,
+)
+from repro.corpora.vehicles import vehicle_tbox
+from repro.dl import definition_graph, meaning_isomorphic, meanings_identical
+
+
+def test_f4_car_equals_dog(benchmark):
+    vehicles = definition_graph(vehicle_tbox())
+    animals = definition_graph(animal_tbox())
+
+    result = benchmark(meaning_isomorphic, vehicles, animals)
+    assert result is not None
+    node_map, role_map = result
+    assert node_map == VEHICLE_TO_ANIMAL_NAMES
+    assert role_map == VEHICLE_TO_ANIMAL_ROLES
+    print("\nF4: structures (4) and (8) are isomorphic:")
+    for source, target in sorted(node_map.items()):
+        print(f"  {source:<14} = {target}")
+
+
+def test_f4_term_level_identity(benchmark):
+    identical = benchmark(
+        meanings_identical, vehicle_tbox(), "car", animal_tbox(), "dog"
+    )
+    assert identical
+    assert meanings_identical(vehicle_tbox(), "pickup", animal_tbox(), "horse")

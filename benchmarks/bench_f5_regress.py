@@ -1,0 +1,55 @@
+"""F5 — structures (9)-(11) and the differentiation regress.
+
+Regenerates the repair (``quadruped ⊑ animal`` breaks the isomorphism
+with the vehicles) and the paper's "when can we stop?" answer: at every
+round, a confusable rival ontonomy exists.  Benchmarks one regress round
+and the sibling construction as the TBox grows.
+"""
+
+import pytest
+
+from repro.core import confusable_sibling, differentiation_regress
+from repro.corpora.animals import animal_tbox, repaired_animal_tbox
+from repro.corpora.generators import random_tbox
+from repro.corpora.vehicles import vehicle_tbox
+from repro.dl import definition_graph, meaning_isomorphic, meanings_identical, parse_axiom
+
+REPAIRS = [
+    [parse_axiom("quadruped [= animal")],
+    [parse_axiom("dog [= some emits.bark")],
+    [parse_axiom("horse [= some emits.neigh")],
+    [parse_axiom("dog [= some chases.cat")],
+]
+
+
+def test_f5_repair_breaks_the_vehicle_isomorphism(benchmark):
+    vehicles = definition_graph(vehicle_tbox())
+    repaired = definition_graph(repaired_animal_tbox())
+    result = benchmark(meaning_isomorphic, vehicles, repaired)
+    assert result is None
+    assert not meanings_identical(vehicle_tbox(), "car", repaired_animal_tbox(), "dog")
+    print("\nF5: after quadruped ⊑ animal, (4) ≇ repaired (8): CAR ≠ DOG again")
+
+
+def test_f5_the_regress_never_escapes(benchmark):
+    steps = benchmark(differentiation_regress, animal_tbox(), "dog", REPAIRS)
+    assert len(steps) == len(REPAIRS) + 1
+    assert all(step.rival_identical for step in steps)
+    sizes = [step.definition_size for step in steps]
+    assert sizes == sorted(sizes) and sizes[-1] > sizes[0]
+    print("\nF5: the regress —")
+    for step in steps:
+        print(f"  {step}")
+    print("  answer to 'when can we stop?': never")
+
+
+@pytest.mark.parametrize("n_defined", [4, 8, 12])
+def test_f5_sibling_construction_scales(benchmark, n_defined):
+    tbox = random_tbox(1234, n_defined=n_defined, n_primitive=4, n_roles=3)
+
+    def build_and_check():
+        sibling, name_map, _ = confusable_sibling(tbox)
+        probe = sorted(tbox.defined_names())[0]
+        return meanings_identical(tbox, probe, sibling, name_map[probe])
+
+    assert benchmark(build_and_check)

@@ -1,0 +1,54 @@
+"""Q1 — structural vs functional definitions (paper §2).
+
+Regenerates the decidability table: structural definitions (grammar,
+AI vocabulary, BCM ontonomy) classify every artifact; Gruber's functional
+definition answers 'undecidable' across the board, and its verdict flips
+with the declared use.  Benchmarks classification throughput.
+"""
+
+from repro.core import (
+    ALL_DEFINITIONS,
+    GRUBER_DEFINITION,
+    Verdict,
+    decidability_table,
+    use_dependence_demonstration,
+)
+from repro.grammar import Grammar, Production
+from repro.logic import Vocabulary
+
+ARTIFACTS = {
+    "aⁿ grammar": Grammar({"S"}, {"a"}, "S", [Production(("S",), ("a", "S")), Production(("S",), ())]),
+    "raw 4-tuple": ({"S"}, {"a"}, "S", [(("S",), ("a",))]),
+    "AI vocabulary": Vocabulary(constants=frozenset({"a"}), predicates={"above": 2}),
+    "grocery list (a string)": "milk, bread, olive oil",
+    "an integer": 42,
+}
+
+
+def test_q1_decidability_table(benchmark):
+    rows = benchmark(decidability_table, ARTIFACTS)
+    print("\nQ1: decidability of membership, per definition:")
+    for row in rows:
+        print(f"  {row['artifact']:<24}", {k: v for k, v in row.items() if k != 'artifact'})
+    # every structural column is decided for every artifact
+    for row in rows:
+        for definition in ALL_DEFINITIONS:
+            if definition.kind == "structural":
+                assert row[definition.name] in ("member", "non-member")
+            else:
+                assert row[definition.name] == "undecidable"
+
+
+def test_q1_gruber_verdict_flips_with_use(benchmark):
+    artifact = ARTIFACTS["aⁿ grammar"]
+    verdicts = benchmark(
+        use_dependence_demonstration,
+        GRUBER_DEFINITION,
+        artifact,
+        ["formalizing a conceptualization", "remembering what to buy"],
+    )
+    assert verdicts == [Verdict.MEMBER, Verdict.NON_MEMBER]
+    print(
+        "\nQ1: one artifact, two declared uses, two opposite verdicts — "
+        "the definition is teleological"
+    )

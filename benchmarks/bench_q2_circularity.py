@@ -1,0 +1,51 @@
+"""Q2 — the circularity of Guarino's construction (paper §2).
+
+Regenerates the definitional-dependency analysis: Guarino's arrangement
+contains the SCC {intensional_relation, possible_world,
+extensional_relation}; Kripke's control arrangement is acyclic.
+Benchmarks the SCC analysis, including on scaled synthetic dependency
+graphs.
+"""
+
+import pytest
+
+from repro.graphs import DiGraph, strongly_connected_components
+from repro.intensional import (
+    Dependency,
+    analyze,
+    guarino_circularity,
+    kripke_circularity,
+)
+
+
+def test_q2_guarino_cycle_found(benchmark):
+    report = benchmark(guarino_circularity)
+    assert report.is_circular
+    (component,) = report.components
+    assert component == frozenset(
+        {"intensional_relation", "possible_world", "extensional_relation"}
+    )
+    print("\nQ2:")
+    print(report.explain())
+
+
+def test_q2_kripke_control_acyclic(benchmark):
+    report = benchmark(kripke_circularity)
+    assert not report.is_circular
+    print("\nQ2 control: Kripke's arrangement —", report.explain())
+
+
+@pytest.mark.parametrize("n_notions", [10, 100, 1000])
+def test_q2_scc_scales(benchmark, n_notions):
+    """SCC on a ring of n notions plus chords (worst-case one big cycle)."""
+    dependencies = [
+        Dependency(f"n{i}", f"n{(i + 1) % n_notions}", "ring")
+        for i in range(n_notions)
+    ]
+    dependencies += [
+        Dependency(f"n{i}", f"n{(i + 7) % n_notions}", "chord")
+        for i in range(0, n_notions, 3)
+    ]
+    report = benchmark(analyze, dependencies)
+    assert report.is_circular
+    assert len(report.components[0]) == n_notions

@@ -1,0 +1,64 @@
+"""Q3 — over-breadth: 'any set of tautologies is an ontology' (paper §2).
+
+Regenerates the exhibit table (tautologies, grocery list, tax form,
+C program all qualify; only the contradiction is rejected) and sweeps the
+qualification rate of random axiom sets.  Benchmarks the finite-model
+search that decides qualification.
+"""
+
+import pytest
+
+from repro.intensional import (
+    contradiction,
+    grocery_list,
+    paper_exhibits,
+    qualification_rate,
+    qualifies,
+    tautology_set,
+)
+
+
+def test_q3_exhibit_table(benchmark):
+    def verdicts():
+        return {c.title: qualifies(c) for c in paper_exhibits()}
+
+    table = benchmark(verdicts)
+    assert table == {
+        "3 tautologies": True,
+        "grocery list": True,
+        "tax return form": True,
+        "C program": True,
+        "contradiction": False,
+    }
+    print("\nQ3: what passes Guarino's membership test:")
+    for title, verdict in table.items():
+        print(f"  {title:<18} {'ontonomy' if verdict else 'rejected'}")
+
+
+def test_q3_tautologies_scale(benchmark):
+    candidate = tautology_set(6)
+    assert benchmark(qualifies, candidate)
+
+
+def test_q3_grocery_list_model_search(benchmark):
+    assert benchmark(qualifies, grocery_list())
+
+
+def test_q3_contradiction_is_rejected(benchmark):
+    assert not benchmark(qualifies, contradiction())
+
+
+@pytest.mark.parametrize("n_literals", [2, 6, 12])
+def test_q3_random_qualification_sweep(benchmark, n_literals):
+    """The sweep the paper implies: the test excludes almost nothing.
+
+    Qualification falls only as random literal sets grow dense enough to
+    contradict themselves.
+    """
+    rate = benchmark(
+        qualification_rate, seed=42, samples=40, n_literals=n_literals
+    )
+    assert 0.0 <= rate <= 1.0
+    if n_literals <= 2:
+        assert rate > 0.75  # only self-contradicting draws are excluded
+    print(f"\nQ3: {n_literals} random literals → {rate:.0%} qualify as ontonomies")

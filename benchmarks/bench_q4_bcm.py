@@ -1,0 +1,95 @@
+"""Q4 — the BCM formalism: rigorous, decidable, and confined (paper §2).
+
+Regenerates both halves of the paper's verdict on Definition 1:
+(a) membership is decidable from structure alone — is_ontology_signature
+answers on arbitrary inputs; (b) the formalism is 'strongly oriented
+towards monocriterial taxonomies' — the expressiveness profile shows a
+single primitive inter-class relation (≤) with everything else demoted to
+attributes.  Benchmarks signature validation as the class count grows.
+"""
+
+import pytest
+
+from repro.order import Poset
+from repro.osa import (
+    DataDomain,
+    EquationalTheory,
+    FiniteAlgebra,
+    OntologySignature,
+    OpDecl,
+    OrderSortedSignature,
+    is_ontology_signature,
+)
+
+
+def size_domain() -> DataDomain:
+    sig = OrderSortedSignature(
+        Poset(["Size"], []),
+        [OpDecl("small", (), "Size"), OpDecl("big", (), "Size")],
+    )
+    return DataDomain(
+        EquationalTheory(sig, []),
+        FiniteAlgebra(
+            sig,
+            {"Size": ["small", "big"]},
+            {"small": {(): "small"}, "big": {(): "big"}},
+        ),
+    )
+
+
+def layered_hierarchy(n_classes: int) -> tuple[Poset, dict]:
+    """A layered class DAG with full attribute inheritance."""
+    names = [f"c{i}" for i in range(n_classes)]
+    pairs = [(names[i], names[i // 2]) for i in range(1, n_classes)]
+    hierarchy = Poset(names, pairs)
+    attributes = {}
+    # one attribute declared at the root, inherited by all (family condition)
+    for name in names:
+        attributes[(name, "Size")] = {"size"}
+    return hierarchy, attributes
+
+
+def test_q4_membership_is_decidable(benchmark):
+    domain = size_domain()
+    hierarchy, attributes = layered_hierarchy(8)
+
+    def decide_all():
+        return (
+            is_ontology_signature(domain, hierarchy, attributes),
+            is_ontology_signature("junk", hierarchy, attributes),
+            # family-condition violation: attribute not inherited
+            is_ontology_signature(
+                domain, hierarchy, {("c0", "Size"): {"size"}}
+            ),
+        )
+
+    good, junk, violation = benchmark(decide_all)
+    assert good is True
+    assert junk is False
+    assert violation is False
+    print("\nQ4: membership decided structurally on all three candidates")
+
+
+def test_q4_expressiveness_profile(benchmark):
+    domain = size_domain()
+    hierarchy, attributes = layered_hierarchy(8)
+    signature = OntologySignature(domain, hierarchy, attributes)
+    profile = benchmark(signature.expressiveness_profile)
+    # the only primitive inter-class relation is ≤; all else is attributes
+    assert profile["subclass_links"] > 0
+    assert profile["class_valued_attributes"] == 0
+    print(f"\nQ4: expressiveness profile: {profile}")
+    print(
+        "  every non-taxonomic relation must be encoded as a typed "
+        "attribute — the 'monocriterial taxonomy' confinement"
+    )
+
+
+@pytest.mark.parametrize("n_classes", [8, 32, 64])
+def test_q4_validation_scales(benchmark, n_classes):
+    domain = size_domain()
+    hierarchy, attributes = layered_hierarchy(n_classes)
+    result = benchmark(
+        is_ontology_signature, domain, hierarchy, attributes
+    )
+    assert result

@@ -1,0 +1,49 @@
+"""T1 — the doorknob/pomello schema (paper §3).
+
+Regenerates the overlap schema from the field data and measures the
+translation loss it forces; benchmarks the overlap-matrix and
+translation-report computations.
+"""
+
+from repro.corpora.lexical import english_door, italian_door
+from repro.semiotics import (
+    overlap_matrix,
+    partial_overlaps,
+    translation_report,
+)
+
+
+def test_t1_overlap_schema_reproduced(benchmark):
+    english, italian = english_door(), italian_door()
+    matrix = benchmark(overlap_matrix, english, italian)
+    # the drawing: pomelli ⊆ doorknobs; some doorknobs are maniglie
+    assert matrix[("doorknob", "pomello")] == 1
+    assert matrix[("doorknob", "maniglia")] == 1
+    assert matrix[("door handle", "pomello")] == 0
+    assert matrix[("door handle", "maniglia")] == 2
+    print("\nT1: overlap matrix (rows English, columns Italian):")
+    for (te, ti), count in sorted(matrix.items()):
+        print(f"  {te:<12} ∩ {ti:<9} = {count}")
+
+
+def test_t1_partial_overlap_refutes_atomism(benchmark):
+    overlaps = benchmark(partial_overlaps, english_door(), italian_door())
+    pairs = {(a, b) for a, b, _ in overlaps}
+    assert ("doorknob", "maniglia") in pairs
+    print(f"\nT1: proper overlaps: {sorted(pairs)}")
+
+
+def test_t1_translation_is_lossy_both_ways(benchmark):
+    def both_ways():
+        return (
+            translation_report(english_door(), italian_door()),
+            translation_report(italian_door(), english_door()),
+        )
+
+    to_italian, to_english = benchmark(both_ways)
+    assert not to_italian.lossless
+    assert not to_english.lossless
+    print(
+        f"\nT1: mean distortion EN→IT {to_italian.mean_distortion:.2f}, "
+        f"IT→EN {to_english.mean_distortion:.2f}"
+    )

@@ -1,0 +1,10 @@
+"""Shared configuration for the experiment benches.
+
+Every bench module regenerates one item of EXPERIMENTS.md: the F*/T*/Q*
+benches assert the paper's qualitative result (who is isomorphic to whom,
+what qualifies, what drifts) and time the computation that produces it;
+the B* benches measure substrate scaling and ablations.
+
+Run:  pytest benchmarks/ --benchmark-only
+Add ``-s`` to see the regenerated tables/figures printed by each bench.
+"""

@@ -1,0 +1,122 @@
+"""The one rigorous definition, end to end: Bench-Capon & Malcolm.
+
+Builds the paper's Definition 1 stack from the bottom: an order-sorted
+equational theory, its initial algebra as the data domain, a class
+hierarchy, an attribute family satisfying A_{c′,e} ⊆ A_{c,e′}, an
+ontonomy (Σ, A), and a finite model checked against the axioms — then
+shows the two things the paper says about all this: membership is
+decidable, and the formalism is a type system for monocriterial
+taxonomies.
+
+Run:  python examples/bcm_formalism.py
+"""
+
+from repro.order import Poset
+from repro.osa import (
+    AttributeValueAxiom,
+    CoverageAxiom,
+    DataDomain,
+    DisjointAxiom,
+    Equation,
+    EquationalTheory,
+    OntologySignature,
+    Ontonomy,
+    OpDecl,
+    OrderSortedSignature,
+    OSApp,
+    SignatureModel,
+    constant,
+    is_ontology_signature,
+    is_ontonomy,
+    term_algebra,
+)
+
+# ---------------------------------------------------------------------- #
+# 1. an order-sorted equational theory T and its initial algebra D
+# ---------------------------------------------------------------------- #
+
+sizes = OrderSortedSignature(
+    Poset(["Size"], []),
+    [
+        OpDecl("small", (), "Size"),
+        OpDecl("big", (), "Size"),
+        OpDecl("opposite", ("Size",), "Size"),
+    ],
+)
+theory = EquationalTheory(
+    sizes,
+    [
+        Equation(OSApp("opposite", (constant("small"),)), constant("big")),
+        Equation(OSApp("opposite", (constant("big"),)), constant("small")),
+    ],
+)
+algebra = term_algebra(theory)
+domain = DataDomain(theory, algebra)
+print("Data domain (T, D): carriers =", {s: sorted(map(str, c)) for s, c in algebra.carriers.items()})
+
+# ---------------------------------------------------------------------- #
+# 2. the class hierarchy C and attribute family A (Definition 1)
+# ---------------------------------------------------------------------- #
+
+classes = Poset(
+    ["car", "pickup", "motorvehicle", "roadvehicle"],
+    [
+        ("car", "motorvehicle"),
+        ("car", "roadvehicle"),
+        ("pickup", "motorvehicle"),
+        ("pickup", "roadvehicle"),
+    ],
+)
+attributes = {(c, "Size"): {"size"} for c in classes.elements}
+signature = OntologySignature(domain, classes, attributes)
+print("\nOntology signature (D, C, A) built; family condition verified.")
+print("Decidable membership:")
+print("  the real triple:", is_ontology_signature(domain, classes, attributes))
+print("  a grocery list: ", is_ontology_signature("milk, bread", classes, attributes))
+
+# ---------------------------------------------------------------------- #
+# 3. the ontonomy (Σ, A) and a model
+# ---------------------------------------------------------------------- #
+
+onto = Ontonomy(
+    signature,
+    [
+        DisjointAxiom("car", "pickup"),
+        CoverageAxiom("motorvehicle", ("car", "pickup")),
+        AttributeValueAxiom("car", "size", frozenset({constant("small")})),
+    ],
+)
+print("\nOntonomy:", is_ontonomy(onto), "| axioms:")
+for axiom in onto.axioms:
+    print("  ", axiom)
+
+small, big = constant("small"), constant("big")
+fleet = SignatureModel(
+    signature,
+    {
+        "car": ["herbie"],
+        "pickup": ["bigfoot"],
+        "motorvehicle": ["herbie", "bigfoot"],
+        "roadvehicle": ["herbie", "bigfoot"],
+    },
+    {
+        ("car", "size"): {"herbie": small},
+        ("pickup", "size"): {"bigfoot": big},
+        ("motorvehicle", "size"): {"herbie": small, "bigfoot": big},
+        ("roadvehicle", "size"): {"herbie": small, "bigfoot": big},
+    },
+)
+print("\nfleet is a model of the ontonomy:", onto.is_model(fleet))
+
+# ---------------------------------------------------------------------- #
+# 4. the paper's verdict, measured
+# ---------------------------------------------------------------------- #
+
+profile = signature.expressiveness_profile()
+print("\nExpressiveness profile:", profile)
+print(
+    "The only primitive inter-class relation is ≤ "
+    f"({profile['subclass_links']} links); everything else is "
+    f"{profile['attribute_declarations']} typed attributes — a rigorous "
+    "type system for monocriterial taxonomies, exactly as the paper says."
+)

@@ -1,0 +1,85 @@
+"""The paper's central reductio, step by step: CAR = DOG.
+
+Reproduces §3, structures (4)–(11): extract definition graphs, anonymize
+them (structure (7)), exhibit the isomorphism with the animal ontonomy
+(structure (8)), apply the repair (9)–(11), and run the regress — after
+every repair a confusable rival exists.
+
+Run:  python examples/car_dog_isomorphism.py
+"""
+
+from repro import meaning_isomorphic, structural_meaning
+from repro.core import confusable_sibling, differentiation_regress
+from repro.corpora import animal_tbox, repaired_animal_tbox, vehicle_tbox
+from repro.dl import definition_graph, parse_axiom
+
+vehicles = vehicle_tbox()
+animals = animal_tbox()
+
+print("Structure (4), the vehicle ontonomy:")
+print(vehicles.pretty())
+print("\nStructure (8), the animal ontonomy:")
+print(animals.pretty())
+
+# ---------------------------------------------------------------------- #
+# the definition graphs and structure (7)
+# ---------------------------------------------------------------------- #
+
+g_vehicles = definition_graph(vehicles)
+g_animals = definition_graph(animals)
+print(
+    f"\nDefinition graphs: {len(g_vehicles)} nodes / {g_vehicles.edge_count()} edges"
+    f"  vs  {len(g_animals)} nodes / {g_animals.edge_count()} edges"
+)
+
+meaning_of_car = structural_meaning(vehicles, "car").anonymized()
+print(
+    "\nStructure (7) — the anonymized meaning of 'car': "
+    f"{len(meaning_of_car)} dots, {meaning_of_car.edge_count()} arrows"
+)
+
+# ---------------------------------------------------------------------- #
+# the isomorphism: CAR = DOG
+# ---------------------------------------------------------------------- #
+
+result = meaning_isomorphic(g_vehicles, g_animals)
+assert result is not None, "the paper's isomorphism must exist"
+node_map, role_map = result
+print("\nThe graphs are isomorphic. Concept correspondence:")
+for source, target in sorted(node_map.items()):
+    print(f"  {source:<14} ↦ {target}")
+print("Role correspondence:")
+for source, target in sorted(role_map.items()):
+    print(f"  {source:<14} ↦ {target}")
+print(
+    "\nIf meaning is structure, then CAR is DOG — 'and I expect quite a few "
+    "people to object to this identification on ground of affection either "
+    "toward their poodle or toward their BMW'."
+)
+
+# ---------------------------------------------------------------------- #
+# the repair (9)-(11) and the regress
+# ---------------------------------------------------------------------- #
+
+repaired = repaired_animal_tbox()
+print("\nAfter the repair (quadruped ⊑ animal):")
+print(repaired.pretty())
+broken = meaning_isomorphic(definition_graph(vehicles), definition_graph(repaired))
+print("isomorphic with the vehicles now?", broken is not None)
+
+print("\n'The question is: when can we stop? The answer is that we can't:'")
+repairs = [
+    [parse_axiom("quadruped [= animal")],
+    [parse_axiom("dog [= some emits.bark")],
+    [parse_axiom("horse [= some emits.neigh")],
+    [parse_axiom("dog [= some chases.cat")],
+]
+for step in differentiation_regress(animals, "dog", repairs):
+    print(f"  {step}")
+
+sibling, names, _ = confusable_sibling(animals.extended([a for r in repairs for a in r]))
+print(
+    f"\nEven the fully repaired ontonomy has a structural twin "
+    f"(e.g. dog ≡ {names['dog']}); adding predicates moves the boundary, "
+    "it never closes it."
+)

@@ -1,0 +1,70 @@
+"""Guarino's framework, built and then critiqued.
+
+Reproduces §2: the intensional relation of eqs. (1)–(3) over a block
+world, the approximation metric hiding inside 'approximates', the
+circularity of the construction, and the over-breadth exhibits (the
+grocery list qualifies as an ontonomy).
+
+Run:  python examples/guarino_worlds.py
+"""
+
+from repro.intensional import (
+    IntensionalRelation,
+    OntologicalCommitment,
+    approximation_report,
+    blocks_world_space,
+    guarino_circularity,
+    kripke_circularity,
+    paper_exhibits,
+    paper_world,
+    qualifies,
+)
+from repro.logic import Atom, FNot, Forall, TVar, Vocabulary
+
+# ---------------------------------------------------------------------- #
+# F1: eqs. (1)-(3)
+# ---------------------------------------------------------------------- #
+
+w = paper_world()
+print("Eq. (1), the extensional relation in the paper's configuration:")
+print(f"  [above] = {sorted(w.relation('above'))}")
+
+space = blocks_world_space(("a", "b", "c"))
+print(f"\nEq. (2): a world space of {len(space)} legal configurations of 3 blocks")
+above = IntensionalRelation.from_predicate("above", 2, space)
+sample = space.names()[1]
+print(f"Eq. (3): in world {sample!r}, [above]({sample}) = {sorted(above.at(sample).tuples)}")
+print(f"[above] is rigid across worlds: {above.is_rigid()}")
+
+# ---------------------------------------------------------------------- #
+# the 'approximates' metric
+# ---------------------------------------------------------------------- #
+
+vocabulary = Vocabulary(constants=frozenset({"a", "b", "c"}), predicates={"above": 2})
+commitment = OntologicalCommitment(vocabulary, space, {"above": above})
+x = TVar("x")
+irreflexivity = Forall("x", FNot(Atom("above", (x, x))))
+report = approximation_report([irreflexivity], commitment)
+print(
+    f"\nAxiom ∀x.¬above(x,x) against the commitment: "
+    f"recall {report.recall:.0%}, precision {report.precision:.2%} "
+    f"({report.admitted} unintended models admitted)"
+)
+print("Guarino's test needs only ONE captured model — the bar is on the floor.")
+
+# ---------------------------------------------------------------------- #
+# Q2: the circularity
+# ---------------------------------------------------------------------- #
+
+print("\n" + guarino_circularity().explain())
+print("\nControl — Kripke's arrangement of the same notions:")
+print(kripke_circularity().explain())
+
+# ---------------------------------------------------------------------- #
+# Q3: the over-breadth exhibits
+# ---------------------------------------------------------------------- #
+
+print("\nWhat qualifies as an ontonomy under 'admits a model'?")
+for candidate in paper_exhibits():
+    verdict = "ontonomy" if qualifies(candidate) else "rejected"
+    print(f"  {candidate.title:<18} {verdict:<10} ({candidate.description})")

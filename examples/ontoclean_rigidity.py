@@ -1,0 +1,93 @@
+"""Rigidity analysis: what the intensional machinery CAN do.
+
+Once worlds are given extensionally (the paper's point is that Guarino's
+framework cannot conjure them from intensions), modal metaproperties
+become computable.  This example classifies properties of a small
+person/student/employee world space as rigid/anti-rigid and runs the
+OntoClean backbone check on two candidate taxonomies — catching the
+classic ``person ⊑ student`` modelling error mechanically.
+
+Run:  python examples/ontoclean_rigidity.py
+"""
+
+from repro.core import critique
+from repro.dl import parse_tbox
+from repro.intensional import (
+    IntensionalRelation,
+    World,
+    WorldSpace,
+    check_taxonomy,
+    rigidity_profile,
+)
+from repro.logic import Structure
+
+# ---------------------------------------------------------------------- #
+# 1. a world space: three years in the lives of alice, bob and carol
+# ---------------------------------------------------------------------- #
+
+PEOPLE = ["alice", "bob", "carol"]
+
+
+def year(name: str, students, employees) -> World:
+    return World(
+        name,
+        Structure(
+            PEOPLE,
+            relations={
+                "person": [(p,) for p in PEOPLE],
+                "student": [(s,) for s in students],
+                "employee": [(e,) for e in employees],
+            },
+        ),
+    )
+
+
+space = WorldSpace(
+    [
+        year("2004", students=["alice", "bob"], employees=["carol"]),
+        year("2005", students=["alice"], employees=["bob", "carol"]),
+        year("2006", students=[], employees=["alice", "bob", "carol"]),
+    ]
+)
+
+# ---------------------------------------------------------------------- #
+# 2. lift the predicates and classify their rigidity
+# ---------------------------------------------------------------------- #
+
+properties = [
+    IntensionalRelation.from_predicate(name, 1, space)
+    for name in ("person", "student", "employee")
+]
+profile = rigidity_profile(properties)
+print("Rigidity profile over the three-year space:")
+for name, rigidity in profile.items():
+    print(f"  {name:<10} {rigidity.value}")
+
+# ---------------------------------------------------------------------- #
+# 3. the backbone check on two candidate taxonomies
+# ---------------------------------------------------------------------- #
+
+good = [("student", "person"), ("employee", "person")]
+bad = [("person", "student")]
+
+print("\nTaxonomy A: student ⊑ person, employee ⊑ person")
+violations = check_taxonomy(profile, good)
+print("  violations:", violations or "none — rigid properties sit at the top")
+
+print("\nTaxonomy B: person ⊑ student (everyone is enrolled, surely?)")
+for violation in check_taxonomy(profile, bad):
+    print(f"  ✗ {violation}")
+
+# ---------------------------------------------------------------------- #
+# 4. the same check inside the critique engine
+# ---------------------------------------------------------------------- #
+
+tbox = parse_tbox("person [= student")
+report = critique(
+    tbox,
+    label="campus ontology (taxonomy B)",
+    rigidity=profile,
+    include_discipline_findings=False,
+)
+print()
+print(report.render())

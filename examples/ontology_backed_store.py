@@ -1,0 +1,85 @@
+"""An ontology-backed information system — and what it silently does.
+
+The database scenario the paper addresses (EDBT venue): instance data in
+an indexed triple store, terminology in a TBox, inference materialized
+back into the store.  The example then shows the paper's §4 worry in
+vivo: after materialization, the taxonomy's commitments are
+indistinguishable from told facts.
+
+Run:  python examples/ontology_backed_store.py
+"""
+
+from repro import Pattern, Query, TripleStore, Var, instances_of, materialize, parse_concept
+from repro.corpora import vehicle_tbox
+from repro.store import save_jsonl, load_jsonl
+import tempfile
+from pathlib import Path
+
+# ---------------------------------------------------------------------- #
+# 1. load instance data
+# ---------------------------------------------------------------------- #
+
+store = TripleStore()
+store.update(
+    [
+        ("herbie", "type", "car"),
+        ("herbie", "color", "pearl_white"),
+        ("bigfoot", "type", "pickup"),
+        ("delivery_van", "type", "motorvehicle"),
+        ("buggy", "type", "roadvehicle"),  # horse-drawn: roadvehicle only
+    ]
+)
+print(f"Loaded {len(store)} told triples.")
+
+# ---------------------------------------------------------------------- #
+# 2. plain queries see only told facts
+# ---------------------------------------------------------------------- #
+
+x = Var("x")
+q_motor = Query([Pattern(x, "type", "motorvehicle")])
+print("motorvehicles (told):", q_motor.run(store))
+
+# ---------------------------------------------------------------------- #
+# 3. materialize the vehicle TBox
+# ---------------------------------------------------------------------- #
+
+tbox = vehicle_tbox()
+inferred = materialize(store, tbox)
+print(f"\nAfter materialization: {len(inferred)} triples "
+      f"({len(inferred) - len(store)} inferred).")
+print("motorvehicles (entailed):", q_motor.run(inferred))
+
+print(
+    "\nComplex query — things that use gasoline:",
+    instances_of(store, tbox, parse_concept("some uses.gasoline")),
+)
+
+# ---------------------------------------------------------------------- #
+# 4. persistence round trip
+# ---------------------------------------------------------------------- #
+
+with tempfile.TemporaryDirectory() as tmp:
+    path = Path(tmp) / "fleet.jsonl"
+    save_jsonl(inferred, path)
+    reloaded = load_jsonl(path)
+    print(f"\nRound-tripped {len(reloaded)} triples through {path.name}.")
+
+# ---------------------------------------------------------------------- #
+# 5. the paper's §4 point, in the data
+# ---------------------------------------------------------------------- #
+
+told = {tuple(t) for t in store}
+for triple in sorted({tuple(t) for t in inferred} - told):
+    print(f"  inferred and returned by every query: {triple}")
+print(
+    "\nEvery taxonomy choice in the TBox is now a 'fact' every query returns —\n"
+    "'the terms and taxonomies that [computers] impose tend to become strong norms'."
+)
+
+# The library's mitigation: materialize() tags inferences, and provenance
+# can be asked for explicitly — though no plain pattern query ever shows it.
+s, p, o = "herbie", "type", "motorvehicle"
+print(
+    f"\nprovenance({s}, {p}, {o}) = {inferred.provenance(s, p, o)!r} "
+    f"(vs {inferred.provenance('herbie', 'type', 'car')!r} for the told fact)"
+)

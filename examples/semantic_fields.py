@@ -1,0 +1,81 @@
+"""Semantic fields: doorknobs, adjectives of old age, and Husserl.
+
+Reproduces the paper's two lexical schemas (§3) from data — the
+doorknob/pomello overlap and the Italian/Spanish/French old-age adjective
+table — and measures the translation losses that refute extent-atomism.
+
+Run:  python examples/semantic_fields.py
+"""
+
+from repro.corpora import (
+    age_lexicalizations,
+    english_door,
+    italian_door,
+)
+from repro.core import imposition_report
+from repro.semiotics import (
+    correspondence_table,
+    designation_confusion,
+    husserl_example,
+    overlap_matrix,
+    partial_overlaps,
+    render_table,
+    translation_report,
+)
+
+# ---------------------------------------------------------------------- #
+# T1: the doorknob schema
+# ---------------------------------------------------------------------- #
+
+english, italian = english_door(), italian_door()
+print("T1 — the doorknob/pomello overlap matrix (|shared field points|):")
+matrix = overlap_matrix(english, italian)
+terms_it = italian.terms
+print(f"{'':>14}" + "".join(f"{t:>12}" for t in terms_it))
+for te in english.terms:
+    row = "".join(f"{matrix[(te, ti)]:>12}" for ti in terms_it)
+    print(f"{te:>14}" + row)
+
+print("\nProper overlaps (the configurations atomism cannot explain):")
+for term_a, term_b, shared in partial_overlaps(english, italian):
+    print(f"  {term_a} / {term_b}: share {sorted(shared)}")
+
+report = translation_report(english, italian)
+print(f"\nTranslating English → Italian: mean distortion {report.mean_distortion:.2f}")
+for term, distortion in report.distortion:
+    print(f"  {term:<12} → distortion {distortion:.2f}")
+
+# ---------------------------------------------------------------------- #
+# T2: the old-age adjective table
+# ---------------------------------------------------------------------- #
+
+print("\nT2 — adjectives of old age, recomputed from the field data:")
+lexs = age_lexicalizations()
+rows = correspondence_table(lexs)
+print(render_table(rows, [lex.language for lex in lexs]))
+
+print("\nImposition losses (adopting row-language's carving as THE taxonomy):")
+for imposed, community, loss in imposition_report(lexs).losses:
+    print(f"  {imposed:>8} imposed on {community:<8}: {loss:.0%} of distinctions lost")
+
+# ---------------------------------------------------------------------- #
+# Husserl: designation is not signification
+# ---------------------------------------------------------------------- #
+
+winner, loser = husserl_example()
+print(f"\n{winner} and {loser}:")
+print(f"  same designatum:     {winner.designatum!r} == {loser.designatum!r}")
+print(f"  same signification:  False (different sense structures)")
+print(
+    "  counterexample to 'A means B iff A designates B':",
+    designation_confusion(winner, loser),
+)
+
+# ---------------------------------------------------------------------- #
+# the standalone field critique
+# ---------------------------------------------------------------------- #
+
+from repro.core import critique_fields
+
+print()
+print(critique_fields(lexs, label="adjectives of old age").render())

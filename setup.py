@@ -1,0 +1,4 @@
+"""Legacy shim so `setup.py develop` works in offline environments without wheel."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,144 @@
+"""summa — an executable reproduction of *Summa Contra Ontologiam*.
+
+Santini's EDBT 2006 position paper argues that computational "ontology"
+(1) lacks a structural definition, (2) presupposes an untenable theory of
+meaning, and (3) may harm the disciplines it is sold to.  This library
+operationalizes each argument: it implements the formal frameworks the
+paper analyzes — description logic (``repro.dl``), order-sorted algebras
+and the Bench-Capon & Malcolm formalism (``repro.osa``), Guarino's
+intensional semantics (``repro.intensional``), formal grammars
+(``repro.grammar``), structuralist semantic fields (``repro.semiotics``),
+a hermeneutic interpreter (``repro.hermeneutics``), and a triple-store
+database substrate (``repro.store``) — and a critique engine
+(``repro.core``) that mechanically reproduces the paper's demonstrations.
+
+Quickstart::
+
+    from repro import parse_tbox, critique
+    tbox = parse_tbox("car [= motorvehicle & some size.small")
+    print(critique(tbox, label="my ontonomy").render())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+per-experiment reproduction record.
+"""
+
+__version__ = "1.0.0"
+
+# the paper's contribution
+from .core import (
+    CritiqueReport,
+    Finding,
+    Section,
+    Severity,
+    Verdict,
+    confusable_sibling,
+    critique,
+    decidability_table,
+    differentiation_regress,
+    find_collisions,
+    find_cross_collisions,
+    imposition_loss,
+    pragmatic_profile,
+)
+
+# description logic
+from .dl import (
+    ABox,
+    Atomic,
+    BOTTOM,
+    Concept,
+    ConceptAssertion,
+    Equivalence,
+    Reasoner,
+    Role,
+    RoleAssertion,
+    Subsumption,
+    TBox,
+    TOP,
+    at_least,
+    at_most,
+    classify,
+    definition_graph,
+    meaning_isomorphic,
+    meanings_identical,
+    only,
+    parse_concept,
+    parse_tbox,
+    some,
+    structural_meaning,
+)
+
+# grammars
+from .grammar import Grammar, Production, chomsky_type, cyk_recognizes, is_formal_grammar
+
+# graphs
+from .graphs import DiGraph, are_isomorphic, find_isomorphism
+
+# Guarino's framework
+from .intensional import (
+    IntensionalRelation,
+    OntologicalCommitment,
+    WorldSpace,
+    approximation_report,
+    guarino_circularity,
+    is_ontonomy_per_guarino,
+)
+
+# order-sorted algebra / BCM
+from .osa import (
+    DataDomain,
+    OntologySignature,
+    Ontonomy,
+    OrderSortedSignature,
+    SignatureModel,
+    is_ontology_signature,
+    is_ontonomy,
+)
+
+# semiotics
+from .semiotics import (
+    Lexicalization,
+    SemanticField,
+    correspondence_table,
+    overlap_matrix,
+    translation_report,
+)
+
+# hermeneutics
+from .hermeneutics import Interpreter, Reader, Situation, Text, run_circle
+
+# store
+from .store import Pattern, Query, TripleStore, Var, instances_of, materialize
+
+__all__ = [
+    "__version__",
+    # core
+    "critique", "CritiqueReport", "Finding", "Section", "Severity", "Verdict",
+    "decidability_table", "find_collisions", "find_cross_collisions",
+    "confusable_sibling", "differentiation_regress", "pragmatic_profile",
+    "imposition_loss",
+    # dl
+    "Concept", "Atomic", "TOP", "BOTTOM", "Role", "some", "only",
+    "at_least", "at_most", "TBox", "Subsumption", "Equivalence",
+    "ABox", "ConceptAssertion", "RoleAssertion", "Reasoner", "classify",
+    "parse_concept", "parse_tbox", "definition_graph", "structural_meaning",
+    "meaning_isomorphic", "meanings_identical",
+    # grammar
+    "Grammar", "Production", "chomsky_type", "cyk_recognizes",
+    "is_formal_grammar",
+    # graphs
+    "DiGraph", "find_isomorphism", "are_isomorphic",
+    # intensional
+    "WorldSpace", "IntensionalRelation", "OntologicalCommitment",
+    "approximation_report", "is_ontonomy_per_guarino", "guarino_circularity",
+    # osa
+    "OrderSortedSignature", "DataDomain", "OntologySignature",
+    "SignatureModel", "Ontonomy", "is_ontology_signature", "is_ontonomy",
+    # semiotics
+    "SemanticField", "Lexicalization", "overlap_matrix",
+    "correspondence_table", "translation_report",
+    # hermeneutics
+    "Text", "Situation", "Reader", "Interpreter", "run_circle",
+    # store
+    "TripleStore", "Var", "Pattern", "Query", "materialize", "instances_of",
+]

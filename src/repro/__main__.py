@@ -1,0 +1,107 @@
+"""Command-line interface: critique a TBox file.
+
+Usage::
+
+    python -m repro critique ONTONOMY.tbox [--contrast OTHER.tbox] [--regress TERM]
+    python -m repro classify ONTONOMY.tbox
+    python -m repro check ONTONOMY.tbox
+
+``critique`` runs the full three-part analysis and prints the report;
+``classify`` prints the inferred hierarchy; ``check`` reports coherence
+and unsatisfiable names.  TBox files use the text syntax of
+:mod:`repro.dl.parser` (one axiom per line, ``#`` comments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import critique
+from .dl import Reasoner, classify, parse_tbox
+
+
+def _load(path: str):
+    text = Path(path).read_text(encoding="utf-8")
+    return parse_tbox(text)
+
+
+def _cmd_critique(args: argparse.Namespace) -> int:
+    tbox = _load(args.tbox)
+    contrasts = []
+    for contrast_path in args.contrast or []:
+        contrasts.append((Path(contrast_path).stem, _load(contrast_path)))
+    report = critique(
+        tbox,
+        label=Path(args.tbox).stem,
+        contrast_tboxes=contrasts,
+        regress_term=args.regress,
+        include_discipline_findings=not args.artifact_only,
+    )
+    print(report.render())
+    return 1 if report.defects() and args.strict else 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    hierarchy = classify(_load(args.tbox))
+    print(hierarchy.pretty())
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    tbox = _load(args.tbox)
+    reasoner = Reasoner(tbox)
+    bad = reasoner.unsatisfiable_names()
+    if bad:
+        print(f"INCOHERENT: unsatisfiable names: {', '.join(bad)}")
+        return 1
+    print(f"coherent: {len(tbox)} axioms, {len(tbox.atomic_names())} names")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="summa: critique, classify, or check a DL ontonomy",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_critique = sub.add_parser("critique", help="run the three-part critique")
+    p_critique.add_argument("tbox", help="path to a .tbox file")
+    p_critique.add_argument(
+        "--contrast",
+        action="append",
+        help="contrast TBox file for cross-collision search (repeatable)",
+    )
+    p_critique.add_argument(
+        "--regress", metavar="TERM", help="run the differentiation regress on TERM"
+    )
+    p_critique.add_argument(
+        "--artifact-only",
+        action="store_true",
+        help="omit the discipline-level §2 findings",
+    )
+    p_critique.add_argument(
+        "--strict", action="store_true", help="exit 1 when defects are found"
+    )
+    p_critique.set_defaults(func=_cmd_critique)
+
+    p_classify = sub.add_parser("classify", help="print the inferred hierarchy")
+    p_classify.add_argument("tbox")
+    p_classify.set_defaults(func=_cmd_classify)
+
+    p_check = sub.add_parser("check", help="coherence check")
+    p_check.add_argument("tbox")
+    p_check.set_defaults(func=_cmd_check)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""The paper's contribution as code: the three-part critique engine."""
+
+from .definitions import (
+    ALL_DEFINITIONS,
+    AI_VOCABULARY_DEFINITION,
+    BCM_ONTONOMY_DEFINITION,
+    Classification,
+    FunctionalDefinition,
+    GRAMMAR_DEFINITION,
+    GRUBER_DEFINITION,
+    StructuralDefinition,
+    Verdict,
+    decidability_table,
+    use_dependence_demonstration,
+)
+from .engine import critique, critique_fields
+from .pragmatic import (
+    ImpositionReport,
+    PragmaticProfile,
+    imposition_loss,
+    imposition_report,
+    pragmatic_profile,
+)
+from .report import CritiqueReport, Finding, Section, Severity
+from .semantic import (
+    MeaningCollision,
+    RegressStep,
+    confusable_sibling,
+    differentiation_regress,
+    find_collisions,
+    find_cross_collisions,
+    rename_concept,
+    rename_tbox,
+    tbox_definition_size,
+)
+from .syntactic import (
+    circularity_finding,
+    definition_findings,
+    discipline_findings,
+    functionalism_finding,
+    overbreadth_finding,
+)
+
+__all__ = [
+    "critique", "critique_fields",
+    "CritiqueReport", "Finding", "Section", "Severity",
+    "Verdict", "Classification", "StructuralDefinition", "FunctionalDefinition",
+    "GRAMMAR_DEFINITION", "BCM_ONTONOMY_DEFINITION", "AI_VOCABULARY_DEFINITION",
+    "GRUBER_DEFINITION", "ALL_DEFINITIONS", "decidability_table",
+    "use_dependence_demonstration",
+    "MeaningCollision", "RegressStep", "find_collisions",
+    "find_cross_collisions", "confusable_sibling", "differentiation_regress",
+    "rename_concept", "rename_tbox", "tbox_definition_size",
+    "PragmaticProfile", "pragmatic_profile", "imposition_loss",
+    "imposition_report", "ImpositionReport",
+    "definition_findings", "discipline_findings", "functionalism_finding",
+    "circularity_finding", "overbreadth_finding",
+]

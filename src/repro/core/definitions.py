@@ -1,0 +1,162 @@
+"""Structural versus functional definitions (paper §2, experiment Q1).
+
+"A functional definition describes the use of an artifact, but it doesn't
+specify its nature and structure … given an arbitrary string of symbols,
+a definition should allow one to determine whether the string is a formal
+grammar or not."
+
+A :class:`StructuralDefinition` wraps a decision procedure over
+artifacts; a :class:`FunctionalDefinition` can only answer when told what
+the artifact is *used for* — from the artifact alone its verdict is
+:data:`Verdict.UNDECIDABLE`.  The registry at the bottom holds the four
+definitions the paper discusses, so the Q1 experiment is one function
+call: :func:`decidability_table`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..grammar import is_formal_grammar
+from ..logic import Vocabulary
+from ..osa import is_ontonomy
+
+
+class Verdict(enum.Enum):
+    MEMBER = "member"
+    NON_MEMBER = "non-member"
+    UNDECIDABLE = "undecidable"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The outcome of asking a definition about one artifact."""
+
+    definition: str
+    verdict: Verdict
+    reason: str
+
+
+class StructuralDefinition:
+    """A definition with a decision procedure: artifact in, verdict out."""
+
+    kind = "structural"
+
+    def __init__(self, name: str, decide: Callable[[object], bool], source: str = "") -> None:
+        self.name = name
+        self.decide = decide
+        self.source = source
+
+    def classify(self, artifact: object, declared_use: Optional[str] = None) -> Classification:
+        """Decide membership from structure alone; ``declared_use`` is ignored —
+        that is the point."""
+        member = self.decide(artifact)
+        return Classification(
+            definition=self.name,
+            verdict=Verdict.MEMBER if member else Verdict.NON_MEMBER,
+            reason="decided by structural inspection of the artifact",
+        )
+
+
+class FunctionalDefinition:
+    """A definition by intended use: 'an X is something used to Y'.
+
+    Given only the artifact, membership cannot be decided; given a
+    declared use, the 'decision' merely echoes the declaration —
+    the definition contributes nothing.
+    """
+
+    kind = "functional"
+
+    def __init__(self, name: str, purpose: str, source: str = "") -> None:
+        self.name = name
+        self.purpose = purpose
+        self.source = source
+
+    def classify(self, artifact: object, declared_use: Optional[str] = None) -> Classification:
+        if declared_use is None:
+            return Classification(
+                definition=self.name,
+                verdict=Verdict.UNDECIDABLE,
+                reason=(
+                    f"the definition ('{self.purpose}') mentions only use; "
+                    "the artifact alone cannot settle membership"
+                ),
+            )
+        member = declared_use == self.purpose
+        return Classification(
+            definition=self.name,
+            verdict=Verdict.MEMBER if member else Verdict.NON_MEMBER,
+            reason=(
+                "decided by the DECLARED use, not by the artifact: "
+                "the verdict changes when the declaration changes"
+            ),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# the registry: the four definitions the paper examines
+# ---------------------------------------------------------------------- #
+
+GRAMMAR_DEFINITION = StructuralDefinition(
+    "formal grammar (4-tuple)",
+    is_formal_grammar,
+    source="the standard (N, T, S, P) definition, paper §2",
+)
+
+BCM_ONTONOMY_DEFINITION = StructuralDefinition(
+    "BCM ontonomy (Σ, A)",
+    is_ontonomy,
+    source="Bench-Capon & Malcolm 1999, paper Definition 1",
+)
+
+AI_VOCABULARY_DEFINITION = StructuralDefinition(
+    "AI ontonomy (symbol collection)",
+    lambda artifact: isinstance(artifact, Vocabulary),
+    source="Russell & Norvig, as cited in paper §2",
+)
+
+GRUBER_DEFINITION = FunctionalDefinition(
+    "Gruber ontology",
+    "formalizing a conceptualization",
+    source="Gruber 1993, paper §2",
+)
+
+ALL_DEFINITIONS = (
+    GRAMMAR_DEFINITION,
+    AI_VOCABULARY_DEFINITION,
+    BCM_ONTONOMY_DEFINITION,
+    GRUBER_DEFINITION,
+)
+
+
+def decidability_table(
+    artifacts: dict[str, object],
+    definitions: tuple = ALL_DEFINITIONS,
+) -> list[dict[str, str]]:
+    """The Q1 table: every artifact against every definition.
+
+    Structural definitions produce a MEMBER/NON-MEMBER column; Gruber's
+    produces a column of UNDECIDABLE — the paper's §2 in one table.
+    """
+    rows = []
+    for label, artifact in artifacts.items():
+        row = {"artifact": label}
+        for definition in definitions:
+            row[definition.name] = definition.classify(artifact).verdict.value
+        rows.append(row)
+    return rows
+
+
+def use_dependence_demonstration(
+    definition: FunctionalDefinition, artifact: object, uses: list[str]
+) -> list[Verdict]:
+    """Show that one artifact's membership flips with the declared use.
+
+    For a functional definition the SAME artifact is a member under one
+    declaration and a non-member under another — which no definition of a
+    class of mathematical objects may allow.
+    """
+    return [definition.classify(artifact, use).verdict for use in uses]

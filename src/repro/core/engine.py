@@ -1,0 +1,323 @@
+"""The critique engine: the paper's argument as a callable.
+
+``critique(tbox, ...)`` runs all three analyses on a DL ontonomy and
+returns a :class:`repro.core.report.CritiqueReport`:
+
+I.   Syntactic — which definitions of 'ontonomy' can even classify the
+     artifact, plus the discipline-level defects (Gruber's use-dependence,
+     Guarino's circularity and over-breadth).
+II.  Semantic — meaning collisions within the TBox and against contrast
+     TBoxes; the confusable-sibling construction; the differentiation
+     regress.
+III. Pragmatic — taxonomy-confinement profile, orthodoxy, and (when
+     lexical data is supplied) imposition losses across communities.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..dl import Atomic, TBox
+from ..intensional import Rigidity, check_taxonomy
+from ..semiotics import (
+    Lexicalization,
+    granularity,
+    interlingua,
+    partial_overlaps,
+    translation_report,
+    variation_of_information,
+)
+from .pragmatic import imposition_report, pragmatic_profile
+from .report import CritiqueReport, Finding, Section, Severity
+from .semantic import (
+    confusable_sibling,
+    differentiation_regress,
+    find_collisions,
+    find_cross_collisions,
+)
+from .syntactic import definition_findings, discipline_findings
+
+
+def critique(
+    tbox: TBox,
+    *,
+    label: str = "ontonomy",
+    contrast_tboxes: Sequence[tuple[str, TBox]] = (),
+    lexicalizations: Sequence[Lexicalization] = (),
+    include_discipline_findings: bool = True,
+    regress_term: str | None = None,
+    regress_repairs: Sequence[Iterable] = (),
+    rigidity: Mapping[str, Rigidity] | None = None,
+) -> CritiqueReport:
+    """Run the full three-part critique on ``tbox``.
+
+    ``contrast_tboxes`` are (label, TBox) pairs to search for CAR/DOG-style
+    cross collisions; ``lexicalizations`` enable the imposition-loss
+    analysis; ``regress_term`` (+ optional ``regress_repairs``) runs the
+    F5 regress on one defined name; ``rigidity`` (a name → Rigidity
+    profile from ``repro.intensional.rigidity_profile``) enables the
+    OntoClean backbone check on the TBox's told atomic subsumptions.
+    """
+    report = CritiqueReport(artifact=label)
+
+    # I. syntactic -------------------------------------------------------
+    report.extend(definition_findings(tbox, label))
+    if include_discipline_findings:
+        report.extend(discipline_findings(tbox))
+
+    # II. semantic --------------------------------------------------------
+    internal = find_collisions(tbox, label=label)
+    for collision in internal:
+        report.add(
+            Finding(
+                section=Section.SEMANTIC,
+                code="meaning-collision",
+                severity=Severity.DEFECT,
+                title=f"structural meaning cannot separate "
+                f"{collision.term_a} from {collision.term_b}",
+                details=str(collision),
+                paper_ref="§3, structures (4)-(8)",
+            )
+        )
+    for contrast_label, contrast in contrast_tboxes:
+        for collision in find_cross_collisions(
+            tbox, contrast, label_a=label, label_b=contrast_label
+        ):
+            report.add(
+                Finding(
+                    section=Section.SEMANTIC,
+                    code="meaning-collision-cross",
+                    severity=Severity.DEFECT,
+                    title=f"{collision.term_a} means the same as "
+                    f"{contrast_label}'s {collision.term_b}",
+                    details=str(collision),
+                    paper_ref="§3, CAR = DOG",
+                )
+            )
+
+    sibling, name_map, _ = confusable_sibling(tbox)
+    sample = sorted(tbox.defined_names())
+    report.add(
+        Finding(
+            section=Section.SEMANTIC,
+            code="confusable-sibling",
+            severity=Severity.DEFECT,
+            title="a structurally identical rival ontonomy always exists",
+            details=(
+                "systematic renaming yields a different-vocabulary TBox "
+                "whose every term is meaning-identical to this one "
+                f"(e.g. {sample[0]} ≡ {name_map[sample[0]]})"
+                if sample
+                else "the TBox defines no names; the sibling is trivial"
+            ),
+            paper_ref="§3 ('when can we stop? … we can't')",
+        )
+    )
+
+    if regress_term is not None:
+        steps = differentiation_regress(tbox, regress_term, list(regress_repairs))
+        escaped = any(not s.rival_identical for s in steps)
+        report.add(
+            Finding(
+                section=Section.SEMANTIC,
+                code="differentiation-regress",
+                severity=Severity.INFO if escaped else Severity.DEFECT,
+                title=(
+                    f"differentiation regress on {regress_term!r}: "
+                    f"{len(steps)} rounds, "
+                    + ("escaped" if escaped else "never escaped")
+                ),
+                details="\n".join(str(s) for s in steps),
+                paper_ref="§3, structures (9)-(11)",
+            )
+        )
+
+    # III. pragmatic -------------------------------------------------------
+    profile = pragmatic_profile(tbox)
+    report.add(
+        Finding(
+            section=Section.PRAGMATIC,
+            code="taxonomy-profile",
+            severity=Severity.INFO,
+            title=(
+                f"taxonomy fraction {profile.taxonomy_fraction:.0%}, "
+                f"hierarchy {'tree' if profile.hierarchy_is_tree else 'DAG'} "
+                f"(height {profile.hierarchy_height}, width {profile.hierarchy_width})"
+            ),
+            details=(
+                f"{profile.taxonomy_axioms} purely taxonomic axioms and "
+                f"{profile.relational_axioms} relational axioms out of "
+                f"{profile.axiom_count}"
+            ),
+            paper_ref="§4 (the debt to object-oriented taxonomies)",
+        )
+    )
+    if profile.orthodoxy >= 0.5 and profile.axiom_count > 0:
+        report.add(
+            Finding(
+                section=Section.PRAGMATIC,
+                code="orthodoxy",
+                severity=Severity.CAUTION,
+                title=f"{profile.orthodoxy:.0%} of terms have a single normative definition",
+                details=(
+                    "every such term admits exactly one construal; adopting "
+                    "this ontonomy closes the corresponding discourse"
+                ),
+                paper_ref="§4 (orthodoxy and the death of the reader)",
+            )
+        )
+
+    if rigidity is not None:
+        told = [
+            (gci.lhs.name, gci.rhs.name)
+            for gci in tbox.gcis()
+            if isinstance(gci.lhs, Atomic)
+            and isinstance(gci.rhs, Atomic)
+            and gci.lhs.name in rigidity
+            and gci.rhs.name in rigidity
+        ]
+        violations = check_taxonomy(rigidity, told)
+        if violations:
+            report.add(
+                Finding(
+                    section=Section.PRAGMATIC,
+                    code="rigidity-violation",
+                    severity=Severity.DEFECT,
+                    title=f"{len(violations)} OntoClean backbone violation(s)",
+                    details="\n".join(str(v) for v in violations),
+                    paper_ref="§2/§4 (Guarino's own later methodology, applied)",
+                )
+            )
+
+    if lexicalizations:
+        imposition = imposition_report(list(lexicalizations))
+        imposed, community, loss = imposition.worst()
+        report.add(
+            Finding(
+                section=Section.PRAGMATIC,
+                code="imposition-loss",
+                severity=Severity.CAUTION if loss > 0 else Severity.INFO,
+                title=(
+                    f"adopting {imposed}'s carving erases {loss:.0%} of "
+                    f"{community}'s distinctions (worst pair)"
+                ),
+                details="\n".join(
+                    f"{a} imposed on {b}: {value:.0%} of distinctions lost"
+                    for a, b, value in imposition.losses
+                ),
+                paper_ref="§4 (normative taxonomies on unsettled disciplines)",
+            )
+        )
+
+    return report
+
+
+def critique_fields(
+    lexicalizations: Sequence[Lexicalization],
+    *,
+    label: str = "lexical field study",
+) -> CritiqueReport:
+    """The semiotic arm of the critique, standalone (no TBox required).
+
+    Given two or more lexicalizations of one field, reports: the partial
+    overlaps that refute extent-atomism (§3), pairwise translation
+    distortions and their information-theoretic distances, the imposition
+    losses of §4, and the cost of the interlingua a shared ontology would
+    impose.
+    """
+    lexs = list(lexicalizations)
+    if len(lexs) < 2:
+        raise ValueError("field critique needs at least two lexicalizations")
+    report = CritiqueReport(artifact=label)
+
+    # II. semantic: atomism refutation and translation loss
+    overlap_lines = []
+    for i, a in enumerate(lexs):
+        for b in lexs[i + 1:]:
+            for term_a, term_b, shared in partial_overlaps(a, b):
+                overlap_lines.append(
+                    f"{a.language}:{term_a} / {b.language}:{term_b} "
+                    f"share {sorted(shared)} while neither contains the other"
+                )
+    if overlap_lines:
+        report.add(
+            Finding(
+                section=Section.SEMANTIC,
+                code="partial-overlap",
+                severity=Severity.DEFECT,
+                title=f"{len(overlap_lines)} cross-language partial overlap(s): "
+                "extent-atomism cannot state these meanings",
+                details="\n".join(overlap_lines),
+                paper_ref="§3 (doorknob/pomello)",
+            )
+        )
+
+    loss_lines = []
+    worst_distortion = 0.0
+    for a in lexs:
+        for b in lexs:
+            if a.language == b.language:
+                continue
+            result = translation_report(a, b)
+            worst_distortion = max(worst_distortion, result.mean_distortion)
+            vi = variation_of_information(a, b)
+            loss_lines.append(
+                f"{a.language} → {b.language}: mean distortion "
+                f"{result.mean_distortion:.2f}, VI {vi:.2f} bits"
+            )
+    report.add(
+        Finding(
+            section=Section.SEMANTIC,
+            code="translation-loss",
+            severity=Severity.DEFECT if worst_distortion > 0 else Severity.INFO,
+            title=(
+                f"translation is lossy (worst mean distortion {worst_distortion:.2f})"
+                if worst_distortion > 0
+                else "these lexicalizations are mutually lossless (aligned)"
+            ),
+            details="\n".join(loss_lines),
+            paper_ref="§3 (meaning as position in a system)",
+        )
+    )
+
+    # III. pragmatic: imposition and the interlingua's cost
+    imposition = imposition_report(lexs)
+    imposed, community, loss = imposition.worst()
+    report.add(
+        Finding(
+            section=Section.PRAGMATIC,
+            code="imposition-loss",
+            severity=Severity.CAUTION if loss > 0 else Severity.INFO,
+            title=(
+                f"adopting {imposed}'s carving erases {loss:.0%} of "
+                f"{community}'s distinctions (worst pair)"
+            ),
+            details="\n".join(
+                f"{a} imposed on {b}: {value:.0%} lost"
+                for a, b, value in imposition.losses
+            ),
+            paper_ref="§4 (normative taxonomies)",
+        )
+    )
+
+    shared = interlingua(lexs)
+    native_overlapping = [lex.language for lex in lexs if not lex.is_partition()]
+    report.add(
+        Finding(
+            section=Section.PRAGMATIC,
+            code="interlingua-cost",
+            severity=Severity.CAUTION if native_overlapping else Severity.INFO,
+            title=(
+                f"a neutral taxonomy needs {granularity(shared)} terms "
+                f"(vs {max(len(lex.terms) for lex in lexs)} in the richest language)"
+            ),
+            details=(
+                "the interlingua is a partition; the overlap-borne register "
+                "distinctions of "
+                + (", ".join(native_overlapping) or "(none)")
+                + " are legislated away"
+            ),
+            paper_ref="§4 (the semantic web's shared code)",
+        )
+    )
+    return report

@@ -1,0 +1,140 @@
+"""The pragmatic critique, mechanized (paper §4, experiment Q4/Q5 support).
+
+Measurements of what adopting an ontonomy *does*:
+
+* **taxonomy confinement** — how much of the artifact is pure taxonomy
+  (atomic names under atomic names) versus genuinely relational; shape
+  statistics of the inferred hierarchy.  "A lot of the ontological
+  vocabulary … shows a definite debt to [object-oriented programming]";
+* **orthodoxy** — the fraction of terms given exactly one normative
+  definition, leaving no room for competing construals ("the wide
+  adoption of a taxonomy … tends to … establish an orthodoxy which might
+  stifle alternative discourses");
+* **imposition loss** — when one community's lexicalization of a field is
+  adopted as THE taxonomy, the fraction of another community's
+  distinctions that become inexpressible.  The computational form of
+  "by forcing computerized data bases, normative semantics, and
+  taxonomies on a vital but not yet settled discipline we might take away
+  its vitality more than help it."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..dl import Atomic, ConceptHierarchy, TBox, classify
+from ..dl.syntax import And
+from ..semiotics import Lexicalization
+
+
+@dataclass(frozen=True)
+class PragmaticProfile:
+    """Shape measurements of one ontonomy."""
+
+    axiom_count: int
+    taxonomy_axioms: int          # atomic ⊑ (conjunction of) atomics
+    relational_axioms: int        # axioms mentioning roles
+    hierarchy_is_tree: bool
+    hierarchy_height: int
+    hierarchy_width: int
+    orthodoxy: float              # fraction of defined names with exactly 1 axiom
+
+    @property
+    def taxonomy_fraction(self) -> float:
+        if self.axiom_count == 0:
+            return 0.0
+        return self.taxonomy_axioms / self.axiom_count
+
+
+def pragmatic_profile(tbox: TBox, *, hierarchy: ConceptHierarchy | None = None) -> PragmaticProfile:
+    """Measure the taxonomy-confinement profile of ``tbox``."""
+    taxonomy = 0
+    relational = 0
+    gcis = tbox.gcis()
+    for gci in gcis:
+        roles = gci.lhs.role_names() | gci.rhs.role_names()
+        if roles:
+            relational += 1
+            continue
+        rhs_parts = gci.rhs.operands if isinstance(gci.rhs, And) else (gci.rhs,)
+        if isinstance(gci.lhs, Atomic) and all(isinstance(p, Atomic) for p in rhs_parts):
+            taxonomy += 1
+    hierarchy = hierarchy or classify(tbox)
+    defined = sorted(tbox.defined_names())
+    single = sum(1 for name in defined if len(tbox.definitions_of(name)) == 1)
+    # shape statistics exclude ⊥: every branching taxonomy gives ⊥ several
+    # covers, which would make is_tree vacuously false
+    from ..dl import BOTTOM_NAME
+
+    shape = hierarchy.poset.subposet(
+        set(hierarchy.poset.elements) - {BOTTOM_NAME}
+    )
+    return PragmaticProfile(
+        axiom_count=len(gcis),
+        taxonomy_axioms=taxonomy,
+        relational_axioms=relational,
+        hierarchy_is_tree=shape.is_tree(),
+        hierarchy_height=shape.height(),
+        hierarchy_width=shape.width(),
+        orthodoxy=single / len(defined) if defined else 0.0,
+    )
+
+
+def imposition_loss(imposed: Lexicalization, community: Lexicalization) -> float:
+    """Distinctions of ``community`` erased by adopting ``imposed``'s terms.
+
+    Over all point pairs the community's lexicon separates (the two
+    points bear different term sets), the fraction that the imposed
+    lexicon merges (same term set).  0.0 = nothing lost; 1.0 = every
+    native distinction erased.
+    """
+    if imposed.field != community.field:
+        raise ValueError("lexicalizations must share a field")
+    points = sorted(community.field.points)
+    separated = 0
+    erased = 0
+    for p, q in itertools.combinations(points, 2):
+        if community.terms_for(p) != community.terms_for(q):
+            separated += 1
+            if imposed.terms_for(p) == imposed.terms_for(q):
+                erased += 1
+    if separated == 0:
+        return 0.0
+    return erased / separated
+
+
+@dataclass(frozen=True)
+class ImpositionReport:
+    """Pairwise imposition losses among a set of communities."""
+
+    losses: tuple[tuple[str, str, float], ...]  # (imposed, community, loss)
+
+    def worst(self) -> tuple[str, str, float]:
+        return max(self.losses, key=lambda row: row[2])
+
+    def symmetric(self) -> bool:
+        """Is the loss the same in both directions for every pair?"""
+        table = {(a, b): loss for a, b, loss in self.losses}
+        return all(
+            abs(loss - table[(b, a)]) < 1e-12
+            for (a, b), loss in table.items()
+            if (b, a) in table
+        )
+
+
+def imposition_report(lexicalizations: list[Lexicalization]) -> ImpositionReport:
+    """All ordered pairs: what each language's taxonomy costs the others."""
+    rows = []
+    for imposed in lexicalizations:
+        for community in lexicalizations:
+            if imposed.language == community.language:
+                continue
+            rows.append(
+                (
+                    imposed.language,
+                    community.language,
+                    imposition_loss(imposed, community),
+                )
+            )
+    return ImpositionReport(losses=tuple(rows))

@@ -1,0 +1,124 @@
+"""Critique reports: the structured output of the engine.
+
+A report collects :class:`Finding` records across the paper's three
+sections — syntactic (definition), semantic (meaning), pragmatic
+(application) — and renders them as readable text.  Findings carry a
+severity so downstream code can gate on them, and every finding points
+back to the paper section it reproduces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class Section(enum.Enum):
+    SYNTACTIC = "syntactic"   # paper §2: the definition of ontology
+    SEMANTIC = "semantic"     # paper §3: ontology and semantics
+    PRAGMATIC = "pragmatic"   # paper §4: the pragmatics of ontology
+
+
+class Severity(enum.IntEnum):
+    INFO = 0        # a measurement, no judgment
+    CAUTION = 1     # a limitation the user should know about
+    DEFECT = 2      # the artifact exhibits one of the paper's problems
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One critique finding."""
+
+    section: Section
+    code: str                   # stable identifier, e.g. "meaning-collision"
+    severity: Severity
+    title: str
+    details: str
+    paper_ref: str = ""         # e.g. "§3, structures (4)-(8)"
+
+    def render(self) -> str:
+        badge = {Severity.INFO: "·", Severity.CAUTION: "!", Severity.DEFECT: "✗"}[
+            self.severity
+        ]
+        ref = f"  [{self.paper_ref}]" if self.paper_ref else ""
+        body = "\n".join(f"    {line}" for line in self.details.splitlines())
+        return f"  {badge} {self.title}{ref}\n{body}"
+
+
+@dataclass
+class CritiqueReport:
+    """The engine's verdict on one artifact."""
+
+    artifact: str
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def section(self, section: Section) -> list[Finding]:
+        return [f for f in self.findings if f.section == section]
+
+    def by_code(self, code: str) -> list[Finding]:
+        return [f for f in self.findings if f.code == code]
+
+    def defects(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == Severity.DEFECT]
+
+    @property
+    def worst(self) -> Severity:
+        return max((f.severity for f in self.findings), default=Severity.INFO)
+
+    def render(self) -> str:
+        """A readable, sectioned text report."""
+        lines = [f"Critique of {self.artifact}", "=" * (12 + len(self.artifact))]
+        titles = {
+            Section.SYNTACTIC: "I. Syntactic: what kind of definition is this?",
+            Section.SEMANTIC: "II. Semantic: does structure carry meaning?",
+            Section.PRAGMATIC: "III. Pragmatic: what does adopting it do?",
+        }
+        for section in Section:
+            findings = self.section(section)
+            if not findings:
+                continue
+            lines.append("")
+            lines.append(titles[section])
+            lines.append("-" * len(titles[section]))
+            for finding in findings:
+                lines.append(finding.render())
+        if not self.findings:
+            lines.append("")
+            lines.append("  (no findings)")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """A GitHub-flavored-markdown rendering (for docs and CI summaries)."""
+        badge = {
+            Severity.INFO: "ℹ️",
+            Severity.CAUTION: "⚠️",
+            Severity.DEFECT: "❌",
+        }
+        titles = {
+            Section.SYNTACTIC: "I. Syntactic — what kind of definition is this?",
+            Section.SEMANTIC: "II. Semantic — does structure carry meaning?",
+            Section.PRAGMATIC: "III. Pragmatic — what does adopting it do?",
+        }
+        lines = [f"# Critique of {self.artifact}", ""]
+        for section in Section:
+            findings = self.section(section)
+            if not findings:
+                continue
+            lines.append(f"## {titles[section]}")
+            lines.append("")
+            for finding in findings:
+                ref = f" *({finding.paper_ref})*" if finding.paper_ref else ""
+                lines.append(f"- {badge[finding.severity]} **{finding.title}**{ref}")
+                for detail_line in finding.details.splitlines():
+                    lines.append(f"  {detail_line}")
+            lines.append("")
+        if not self.findings:
+            lines.append("*(no findings)*")
+        return "\n".join(lines).rstrip() + "\n"

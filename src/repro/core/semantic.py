@@ -1,0 +1,230 @@
+"""The semantic critique, mechanized (paper §3, experiments F4/F5).
+
+Three instruments:
+
+* **collision detection** — pairs of defined terms whose structural
+  meanings (definition-graph neighborhoods) are isomorphic: within one
+  TBox, or across two (CAR vs DOG);
+* **confusable siblings** — for ANY definitorial TBox, a systematic
+  renaming produces a different-vocabulary ontonomy whose every term is
+  meaning-identical to the original.  This is the mechanized form of the
+  paper's regress conclusion: "if meaning is in the structure … then the
+  meaning of a sign is given by the trace on it of all the other signs of
+  the language, and no part of the system can self-sustain once detached
+  from the whole."  However many predicates are added, the sibling tracks
+  them;
+* **the regress driver** — apply a sequence of repairs (the paper's
+  (9)–(11) move and beyond) and record that after every round the rival
+  reappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..dl import (
+    And,
+    AtLeast,
+    AtMost,
+    Atomic,
+    Concept,
+    Equivalence,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Role,
+    Subsumption,
+    TBox,
+    meaning_isomorphic,
+    meanings_identical,
+    structural_meaning,
+)
+from ..dl.syntax import _Bottom, _Top
+
+
+# ---------------------------------------------------------------------- #
+# renaming machinery
+# ---------------------------------------------------------------------- #
+
+
+def rename_concept(
+    concept: Concept, name_map: dict[str, str], role_map: dict[str, str]
+) -> Concept:
+    """Rename atomic concepts and roles throughout a concept expression."""
+    if isinstance(concept, Atomic):
+        return Atomic(name_map.get(concept.name, concept.name))
+    if isinstance(concept, (_Top, _Bottom)):
+        return concept
+    if isinstance(concept, Not):
+        return Not(rename_concept(concept.operand, name_map, role_map))
+    if isinstance(concept, And):
+        return And.of(rename_concept(op, name_map, role_map) for op in concept.operands)
+    if isinstance(concept, Or):
+        return Or.of(rename_concept(op, name_map, role_map) for op in concept.operands)
+    if isinstance(concept, Exists):
+        return Exists(
+            Role(role_map.get(concept.role.name, concept.role.name)),
+            rename_concept(concept.filler, name_map, role_map),
+        )
+    if isinstance(concept, Forall):
+        return Forall(
+            Role(role_map.get(concept.role.name, concept.role.name)),
+            rename_concept(concept.filler, name_map, role_map),
+        )
+    if isinstance(concept, AtLeast):
+        return AtLeast(
+            concept.n,
+            Role(role_map.get(concept.role.name, concept.role.name)),
+            rename_concept(concept.filler, name_map, role_map),
+        )
+    if isinstance(concept, AtMost):
+        return AtMost(
+            concept.n,
+            Role(role_map.get(concept.role.name, concept.role.name)),
+            rename_concept(concept.filler, name_map, role_map),
+        )
+    raise TypeError(f"unknown concept node {concept!r}")
+
+
+def rename_tbox(
+    tbox: TBox, name_map: dict[str, str], role_map: dict[str, str]
+) -> TBox:
+    """Rename every axiom of a TBox."""
+    axioms = []
+    for axiom in tbox:
+        lhs = rename_concept(axiom.lhs, name_map, role_map)
+        rhs = rename_concept(axiom.rhs, name_map, role_map)
+        ctor = Subsumption if isinstance(axiom, Subsumption) else Equivalence
+        axioms.append(ctor(lhs, rhs))
+    return TBox(axioms)
+
+
+def confusable_sibling(
+    tbox: TBox, *, suffix: str = "ʹ"
+) -> tuple[TBox, dict[str, str], dict[str, str]]:
+    """A different-vocabulary ontonomy structurally identical to ``tbox``.
+
+    Returns ``(sibling, name_map, role_map)``.  By construction, for
+    every defined name ``A`` of the original,
+    ``meanings_identical(tbox, A, sibling, name_map[A])`` holds — the
+    sibling is the "dog ontology" to any "car ontology", manufactured on
+    demand.  Property-tested in ``tests/core``.
+    """
+    name_map = {name: f"{name}{suffix}" for name in sorted(tbox.atomic_names())}
+    role_map = {role: f"{role}{suffix}" for role in sorted(tbox.role_names())}
+    return rename_tbox(tbox, name_map, role_map), name_map, role_map
+
+
+# ---------------------------------------------------------------------- #
+# collisions
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class MeaningCollision:
+    """Two terms a structural theory of meaning cannot distinguish."""
+
+    term_a: str
+    source_a: str
+    term_b: str
+    source_b: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.term_a} ({self.source_a}) ≡ {self.term_b} ({self.source_b}) "
+            "under structural meaning"
+        )
+
+
+def find_collisions(
+    tbox: TBox, *, label: str = "tbox"
+) -> list[MeaningCollision]:
+    """Within-TBox collisions among defined names."""
+    names = sorted(tbox.defined_names())
+    out = []
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if meanings_identical(tbox, a, tbox, b):
+                out.append(MeaningCollision(a, label, b, label))
+    return out
+
+
+def find_cross_collisions(
+    tbox_a: TBox,
+    tbox_b: TBox,
+    *,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> list[MeaningCollision]:
+    """Cross-TBox collisions: the CAR/DOG configuration."""
+    out = []
+    for a in sorted(tbox_a.defined_names()):
+        for b in sorted(tbox_b.defined_names()):
+            if meanings_identical(tbox_a, a, tbox_b, b):
+                out.append(MeaningCollision(a, label_a, b, label_b))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# the regress
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RegressStep:
+    """One round of the differentiation regress."""
+
+    round: int
+    axiom_count: int
+    definition_size: int          # total constructor nodes across axioms
+    rival_term: str               # the sibling's name for the probed term
+    rival_identical: bool         # does the rival still collide? (always True)
+
+    def __str__(self) -> str:
+        status = "still confusable" if self.rival_identical else "distinguished"
+        return (
+            f"round {self.round}: {self.axiom_count} axioms "
+            f"(size {self.definition_size}) — {status} with {self.rival_term}"
+        )
+
+
+def tbox_definition_size(tbox: TBox) -> int:
+    """Total constructor nodes over all axioms (the regress's cost axis)."""
+    return sum(gci.lhs.size() + gci.rhs.size() for gci in tbox.gcis())
+
+
+def differentiation_regress(
+    tbox: TBox,
+    term: str,
+    repairs: Sequence[Iterable],
+) -> list[RegressStep]:
+    """Run the paper's "when can we stop?" experiment (F5).
+
+    Round 0 probes the original TBox; each subsequent round extends it
+    with one repair (a list of axioms — e.g. the paper's
+    ``quadruped ⊑ animal``) and re-probes.  At every round a confusable
+    sibling for the CURRENT TBox is manufactured and the collision
+    re-checked.  The answer to "when can we stop?" is read off the
+    ``rival_identical`` column: never.
+    """
+    steps = []
+    current = tbox
+    for round_index in range(len(repairs) + 1):
+        if round_index > 0:
+            current = current.extended(list(repairs[round_index - 1]))
+        if term not in current.defined_names():
+            raise ValueError(f"{term!r} is not defined in the TBox")
+        sibling, name_map, _ = confusable_sibling(current)
+        rival = name_map[term]
+        steps.append(
+            RegressStep(
+                round=round_index,
+                axiom_count=len(current),
+                definition_size=tbox_definition_size(current),
+                rival_term=rival,
+                rival_identical=meanings_identical(current, term, sibling, rival),
+            )
+        )
+    return steps

@@ -1,0 +1,127 @@
+"""The syntactic critique, mechanized (paper §2, experiments Q1–Q4).
+
+Given an artifact (a TBox, an OSA ontonomy, anything), ask each candidate
+definition of 'ontonomy' what it makes of it, and attach the
+discipline-level results: Gruber's functionalism (the verdict flips with
+the declared use), Guarino's circularity (the SCC witness) and
+over-breadth (the grocery list passes), and the BCM formalism's
+decidable-but-confined profile.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..intensional import guarino_circularity, paper_exhibits, qualifies
+from .definitions import (
+    ALL_DEFINITIONS,
+    GRUBER_DEFINITION,
+    FunctionalDefinition,
+    StructuralDefinition,
+    Verdict,
+)
+from .report import Finding, Section, Severity
+
+
+def definition_findings(artifact: object, artifact_label: str) -> list[Finding]:
+    """One finding per candidate definition, applied to the artifact."""
+    findings = []
+    for definition in ALL_DEFINITIONS:
+        classification = definition.classify(artifact)
+        if isinstance(definition, FunctionalDefinition):
+            severity = Severity.DEFECT
+            title = (
+                f"'{definition.name}' cannot classify this artifact: "
+                f"{classification.verdict.value}"
+            )
+        else:
+            severity = Severity.INFO
+            title = (
+                f"'{definition.name}': {classification.verdict.value} "
+                "(decided structurally)"
+            )
+        findings.append(
+            Finding(
+                section=Section.SYNTACTIC,
+                code=f"definition:{definition.kind}",
+                severity=severity,
+                title=title,
+                details=classification.reason,
+                paper_ref="§2",
+            )
+        )
+    return findings
+
+
+def functionalism_finding(artifact: object) -> Finding:
+    """Gruber's definition judged by its own behavior: the verdict is a
+    function of the declaration, not of the artifact."""
+    as_conceptualization = GRUBER_DEFINITION.classify(
+        artifact, "formalizing a conceptualization"
+    ).verdict
+    as_grocery_list = GRUBER_DEFINITION.classify(
+        artifact, "remembering what to buy"
+    ).verdict
+    flipped = as_conceptualization != as_grocery_list
+    return Finding(
+        section=Section.SYNTACTIC,
+        code="gruber-use-dependence",
+        severity=Severity.DEFECT if flipped else Severity.INFO,
+        title="membership under Gruber's definition flips with the declared use",
+        details=(
+            f"declared 'formalizing a conceptualization' → {as_conceptualization.value}; "
+            f"declared 'remembering what to buy' → {as_grocery_list.value}. "
+            "The same artifact cannot both be and not be an ontonomy; the "
+            "definition is teleological, not structural."
+        ),
+        paper_ref="§2 (the formal-grammar contrast)",
+    )
+
+
+def circularity_finding() -> Finding:
+    """Guarino's definitional circle, found by the SCC analyzer."""
+    report = guarino_circularity()
+    component = max(report.components, key=len) if report.components else frozenset()
+    return Finding(
+        section=Section.SYNTACTIC,
+        code="guarino-circularity",
+        severity=Severity.DEFECT if report.is_circular else Severity.INFO,
+        title="Guarino's intensional construction is definitionally circular",
+        details=(
+            "mutually presupposing notions: "
+            + ", ".join(sorted(component))
+            + "\n"
+            + report.explain()
+        ),
+        paper_ref="§2 (first objection to Guarino)",
+    )
+
+
+def overbreadth_finding() -> Finding:
+    """The grocery list (and friends) pass Guarino's membership test."""
+    exhibits = paper_exhibits()
+    verdicts = [(c.title, qualifies(c)) for c in exhibits]
+    passing = [title for title, ok in verdicts if ok]
+    failing = [title for title, ok in verdicts if not ok]
+    return Finding(
+        section=Section.SYNTACTIC,
+        code="guarino-overbreadth",
+        severity=Severity.DEFECT,
+        title="'admits a model' admits nearly everything",
+        details=(
+            f"qualify as ontonomies: {', '.join(passing)}. "
+            f"rejected: {', '.join(failing) or 'nothing'}. "
+            "Only outright contradiction is excluded; tautologies, a "
+            "grocery list, a tax form and a C program all pass."
+        ),
+        paper_ref="§2 (third objection: 'approximates')",
+    )
+
+
+def discipline_findings(artifact: object) -> list[Finding]:
+    """The §2 findings that hold regardless of the artifact."""
+    return [
+        functionalism_finding(artifact),
+        circularity_finding(),
+        overbreadth_finding(),
+    ]

@@ -1,0 +1,61 @@
+"""The paper's structure (8) and its repair (9)–(11): the animal ontonomy.
+
+Structure (8) — deliberately isomorphic to the vehicle structure (4):
+
+    dog ⊑ animal ⊓ quadruped ⊓ ∃size.small
+    horse ⊑ animal ⊓ quadruped ⊓ ∃size.big
+    animal ⊑ ∃ingests.food
+    quadruped ⊑ ∃₄has.leg
+
+The repair (9)–(11) adds ``quadruped ⊑ animal`` and simplifies the two
+definitions — "quadrupeds are animals, while road vehicles are not
+necessarily motor vehicles" — breaking the isomorphism with (4)... until
+a confusable sibling is found again, which is the regress.
+"""
+
+from __future__ import annotations
+
+from ..dl import TBox, parse_tbox
+
+ANIMAL_TEXT = """
+# paper structure (8)
+dog [= animal & quadruped & some size.small
+horse [= animal & quadruped & some size.big
+animal [= some ingests.food
+quadruped [= >= 4 has.leg
+"""
+
+REPAIRED_ANIMAL_TEXT = """
+# paper structures (9)-(11)
+dog [= quadruped & some size.small
+horse [= quadruped & some size.big
+quadruped [= animal
+animal [= some ingests.food
+quadruped [= >= 4 has.leg
+"""
+
+
+def animal_tbox() -> TBox:
+    """The animal ontonomy of structure (8) — isomorphic to the vehicles."""
+    return parse_tbox(ANIMAL_TEXT)
+
+
+def repaired_animal_tbox() -> TBox:
+    """The repaired ontonomy after (9)–(11): ``quadruped ⊑ animal``."""
+    return parse_tbox(REPAIRED_ANIMAL_TEXT)
+
+
+#: The name correspondence that exhibits (4) ≅ (8).
+VEHICLE_TO_ANIMAL_NAMES = {
+    "car": "dog",
+    "pickup": "horse",
+    "motorvehicle": "animal",
+    "roadvehicle": "quadruped",
+    "small": "small",
+    "big": "big",
+    "gasoline": "food",
+    "wheel": "leg",
+}
+
+#: The role correspondence that exhibits (4) ≅ (8).
+VEHICLE_TO_ANIMAL_ROLES = {"uses": "ingests", "has": "has", "size": "size"}

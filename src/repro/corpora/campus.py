@@ -1,0 +1,60 @@
+"""The campus scenario: a world space for the rigidity analysis.
+
+Three snapshot years of three people, with ``person`` rigid, ``student``
+and ``employee`` anti-rigid — the data behind the OntoClean-style
+demonstrations (example ``ontoclean_rigidity.py``, bench Q4 extensions,
+and the rigidity-aware critique tests).
+"""
+
+from __future__ import annotations
+
+from ..intensional import (
+    IntensionalRelation,
+    Rigidity,
+    World,
+    WorldSpace,
+    rigidity_profile,
+)
+from ..logic import Structure
+
+PEOPLE = ("alice", "bob", "carol")
+
+
+def _year(name: str, students: tuple[str, ...], employees: tuple[str, ...]) -> World:
+    return World(
+        name,
+        Structure(
+            list(PEOPLE),
+            relations={
+                "person": [(p,) for p in PEOPLE],
+                "student": [(s,) for s in students],
+                "employee": [(e,) for e in employees],
+            },
+        ),
+    )
+
+
+def campus_space() -> WorldSpace:
+    """Three years: everyone stays a person; roles come and go."""
+    return WorldSpace(
+        [
+            _year("2004", students=("alice", "bob"), employees=("carol",)),
+            _year("2005", students=("alice",), employees=("bob", "carol")),
+            # carol retires in 2006: no employee is essential either
+            _year("2006", students=(), employees=("alice", "bob")),
+        ]
+    )
+
+
+def campus_properties(space: WorldSpace | None = None) -> list[IntensionalRelation]:
+    """The three unary intensions of the scenario."""
+    space = space or campus_space()
+    return [
+        IntensionalRelation.from_predicate(name, 1, space)
+        for name in ("person", "student", "employee")
+    ]
+
+
+def campus_rigidity() -> dict[str, Rigidity]:
+    """The expected profile: person rigid, the roles anti-rigid."""
+    return rigidity_profile(campus_properties())

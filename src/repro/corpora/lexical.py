@@ -1,0 +1,127 @@
+"""The paper's lexical-field data: doorknobs and adjectives of old age.
+
+Two hand-drawn schemas in §3 become datasets here.
+
+**T1 — doorknob/door handle vs pomello/maniglia.**  "While pomelli are,
+in general, doorknobs, some of the things that English speakers call
+doorknobs would qualify, for the Italian, as maniglie."  The field's
+points are kinds of door-opening hardware, at the finest grain either
+language distinguishes.
+
+**T2 — adjectives of old age in Italian, Spanish and French** (after
+Geckeler, the paper's source).  Points are usage contexts; the extents
+encode exactly the paper's prose: ``añejo`` is an appreciative form for
+beverages; ``anziano`` covers both aged persons and seniority in a
+function ("il sergente anziano") where Spanish uses ``antiguo`` and
+French ``ancien``; ``mayor`` is the softer, more respectful Spanish form
+with no Italian/French counterpart; ``antico``/``antique`` apply to old
+artifacts, with Spanish ``antiguo`` covering that region too.
+"""
+
+from __future__ import annotations
+
+from ..semiotics import Lexicalization, SemanticField
+
+# ---------------------------------------------------------------------- #
+# T1: door hardware
+# ---------------------------------------------------------------------- #
+
+#: Finest-grain kinds of door-opening hardware either language separates:
+#: a spherical twist knob, a non-spherical twist grip (knob to the English
+#: eye, maniglia to the Italian), a lever handle, and a pull bar.
+DOOR_FIELD = SemanticField(
+    "door-hardware",
+    frozenset({"round_knob", "twist_grip", "lever_handle", "pull_bar"}),
+)
+
+
+def english_door() -> Lexicalization:
+    return Lexicalization(
+        "English",
+        DOOR_FIELD,
+        {
+            "doorknob": {"round_knob", "twist_grip"},
+            "door handle": {"lever_handle", "pull_bar"},
+        },
+    )
+
+
+def italian_door() -> Lexicalization:
+    return Lexicalization(
+        "Italian",
+        DOOR_FIELD,
+        {
+            "pomello": {"round_knob"},
+            "maniglia": {"twist_grip", "lever_handle", "pull_bar"},
+        },
+    )
+
+
+# ---------------------------------------------------------------------- #
+# T2: adjectives of old age (Italian / Spanish / French)
+# ---------------------------------------------------------------------- #
+
+#: Usage contexts for predicating old age.
+AGE_FIELD = SemanticField(
+    "old-age",
+    frozenset(
+        {
+            "old_thing",            # a worn-out chair, an old car
+            "old_person",           # plain predication of age on a person
+            "respected_elder",      # the softer, respectful form
+            "aged_beverage",        # appreciative: un ron añejo
+            "senior_in_function",   # il sergente anziano / el sargento antiguo
+            "antique_artifact",     # a Roman vase
+        }
+    ),
+)
+
+
+def italian_age() -> Lexicalization:
+    return Lexicalization(
+        "Italian",
+        AGE_FIELD,
+        {
+            # vecchio applies to things and persons, and Italian has no
+            # dedicated beverage form: vino vecchio
+            "vecchio": {"old_thing", "old_person", "aged_beverage"},
+            # anziano: persons (also the polite choice) and seniority
+            "anziano": {"old_person", "respected_elder", "senior_in_function"},
+            "antico": {"antique_artifact"},
+        },
+    )
+
+
+def spanish_age() -> Lexicalization:
+    return Lexicalization(
+        "Spanish",
+        AGE_FIELD,
+        {
+            "viejo": {"old_thing", "old_person"},
+            "añejo": {"aged_beverage"},
+            "anciano": {"old_person"},
+            "mayor": {"respected_elder"},
+            # antiguo covers seniority in a function AND old artifacts
+            "antiguo": {"senior_in_function", "antique_artifact"},
+        },
+    )
+
+
+def french_age() -> Lexicalization:
+    return Lexicalization(
+        "French",
+        AGE_FIELD,
+        {
+            # vieux: things, persons, and the plain beverage use (vin vieux)
+            "vieux": {"old_thing", "old_person", "aged_beverage"},
+            # âgé: persons, including the polite register (personne âgée)
+            "âgé": {"old_person", "respected_elder"},
+            "ancien": {"senior_in_function"},
+            "antique": {"antique_artifact"},
+        },
+    )
+
+
+def age_lexicalizations() -> list[Lexicalization]:
+    """The three languages of the paper's table, in its column order."""
+    return [italian_age(), spanish_age(), french_age()]

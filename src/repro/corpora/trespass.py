@@ -1,0 +1,234 @@
+"""The paper's "trespassers will be prosecuted" scenario (§3), encoded.
+
+The text, the situations (on a building door; on a shelf in a sign shop),
+the readers (a western adult with the property/authority/punishment
+background; a reader without the property discourse; the algorithmic
+reader), and the conventions the paper enumerates:
+
+* a durable, undated sign on a door is a threat, not news;
+* "trespasser" refers to the reader, conditionally on walking through;
+* prosecution implies likely punishment — which presupposes knowing what
+  punishment (pain) is;
+* the proprietor may exclude entry (but not, e.g., looking), with tacit
+  state backing;
+* the same sign on a shop shelf is merchandise: no threat at all.
+"""
+
+from __future__ import annotations
+
+from ..hermeneutics import (
+    Convention,
+    Discourse,
+    Interpreter,
+    Reader,
+    Situation,
+    Text,
+)
+
+TRESPASS_TEXT = Text(
+    content="trespassers will be prosecuted",
+    features=frozenset(
+        {
+            ("speech", "mentions_trespass"),
+            ("speech", "mentions_prosecution"),
+            ("medium", "durable"),   # plastic or wood
+            ("dated", "no"),
+            ("register", "impersonal_future"),
+        }
+    ),
+)
+
+# ---------------------------------------------------------------------- #
+# situations
+# ---------------------------------------------------------------------- #
+
+ON_BUILDING_DOOR = Situation(
+    "on a building door",
+    frozenset(
+        {
+            ("placement", "on_door"),
+            ("premises", "private_building"),
+            ("jurisdiction", "western"),
+        }
+    ),
+)
+
+IN_SIGN_SHOP = Situation(
+    "on a shelf in a sign shop",
+    frozenset(
+        {
+            ("placement", "on_shop_shelf"),
+            ("premises", "store"),
+            ("jurisdiction", "western"),
+        }
+    ),
+)
+
+AS_NEWSPAPER_HEADLINE = Situation(
+    "printed as a newspaper headline",
+    frozenset(
+        {
+            ("placement", "newspaper_front_page"),
+            ("jurisdiction", "western"),
+        }
+    ),
+)
+
+QUOTED_IN_A_NOVEL = Situation(
+    "quoted in a novel",
+    frozenset(
+        {
+            ("placement", "inside_fiction"),
+            ("jurisdiction", "western"),
+        }
+    ),
+)
+
+# ---------------------------------------------------------------------- #
+# readers
+# ---------------------------------------------------------------------- #
+
+WESTERN_ADULT = Reader(
+    "western adult",
+    frozenset(
+        {
+            "private_property_exists",
+            "proprietors_may_exclude_entry",
+            "authorities_enforce_property",
+            "prosecution_can_lead_to_punishment",
+            "punishment_involves_pain",
+            "signs_on_doors_speak_for_the_proprietor",
+            "newspapers_report_events",
+        }
+    ),
+)
+
+PROPERTYLESS_READER = Reader(
+    "reader without the property discourse",
+    frozenset(
+        {
+            "prosecution_can_lead_to_punishment",
+            "punishment_involves_pain",
+            "newspapers_report_events",
+        }
+    ),
+)
+
+# ---------------------------------------------------------------------- #
+# discourses
+# ---------------------------------------------------------------------- #
+
+PROPERTY_DISCOURSE = Discourse(
+    "private property",
+    (
+        Convention(
+            name="door sign speaks for the proprietor",
+            discourse="private property",
+            requires_text=frozenset({("medium", "durable"), ("dated", "no")}),
+            requires_situation=frozenset({("placement", "on_door")}),
+            requires_background=frozenset({"signs_on_doors_speak_for_the_proprietor"}),
+            yields=frozenset({"utterer_is_the_proprietor"}),
+        ),
+        Convention(
+            name="trespasser refers to the reader",
+            discourse="private property",
+            requires_text=frozenset({("speech", "mentions_trespass")}),
+            requires_situation=frozenset({("placement", "on_door")}),
+            requires_background=frozenset({"proprietors_may_exclude_entry"}),
+            requires_derived=frozenset({"utterer_is_the_proprietor"}),
+            yields=frozenset(
+                {
+                    "trespasser_means_the_reader_if_entering",
+                    "entry_through_THIS_door_is_what_counts",
+                }
+            ),
+        ),
+        Convention(
+            name="the sign is a threat",
+            discourse="private property",
+            requires_text=frozenset({("speech", "mentions_prosecution")}),
+            requires_situation=frozenset({("placement", "on_door")}),
+            requires_background=frozenset(
+                {"authorities_enforce_property", "prosecution_can_lead_to_punishment"}
+            ),
+            requires_derived=frozenset({"trespasser_means_the_reader_if_entering"}),
+            yields=frozenset({"entering_risks_punishment"}),
+            speech_act="threat",
+        ),
+        Convention(
+            name="punishment is understood through pain",
+            discourse="private property",
+            requires_text=frozenset(),
+            requires_background=frozenset({"punishment_involves_pain"}),
+            requires_derived=frozenset({"entering_risks_punishment"}),
+            yields=frozenset({"the_threat_is_felt"}),
+        ),
+    ),
+)
+
+COMMERCE_DISCOURSE = Discourse(
+    "commerce",
+    (
+        Convention(
+            name="shelved sign is merchandise",
+            discourse="commerce",
+            requires_text=frozenset({("medium", "durable")}),
+            requires_situation=frozenset({("placement", "on_shop_shelf")}),
+            yields=frozenset({"the_sign_is_for_sale", "no_one_is_threatened_here"}),
+            speech_act="display of goods",
+        ),
+    ),
+)
+
+FICTION_DISCOURSE = Discourse(
+    "fiction",
+    (
+        Convention(
+            name="quoted speech is part of the story",
+            discourse="fiction",
+            requires_text=frozenset({("speech", "mentions_trespass")}),
+            requires_situation=frozenset({("placement", "inside_fiction")}),
+            yields=frozenset(
+                {
+                    "a_character_is_addressed_not_the_reader",
+                    "no_actual_prosecution_is_threatened",
+                }
+            ),
+            speech_act="narrated utterance",
+        ),
+    ),
+)
+
+NEWS_DISCOURSE = Discourse(
+    "news reporting",
+    (
+        Convention(
+            name="headline reports events",
+            discourse="news reporting",
+            requires_text=frozenset({("speech", "mentions_prosecution")}),
+            requires_situation=frozenset({("placement", "newspaper_front_page")}),
+            requires_background=frozenset({"newspapers_report_events"}),
+            yields=frozenset({"some_trespassers_somewhere_face_prosecution"}),
+            speech_act="report",
+        ),
+    ),
+)
+
+
+def trespass_interpreter() -> Interpreter:
+    """The full interpreter for the scenario."""
+    return Interpreter(
+        [PROPERTY_DISCOURSE, COMMERCE_DISCOURSE, NEWS_DISCOURSE, FICTION_DISCOURSE]
+    )
+
+
+def all_scenarios() -> list[tuple[Situation, Reader]]:
+    """Every (situation, reader) pair used by the Q5 experiment."""
+    situations = [
+        ON_BUILDING_DOOR,
+        IN_SIGN_SHOP,
+        AS_NEWSPAPER_HEADLINE,
+        QUOTED_IN_A_NOVEL,
+    ]
+    readers = [WESTERN_ADULT, PROPERTYLESS_READER]
+    return [(s, r) for s in situations for r in readers]

@@ -1,0 +1,54 @@
+"""The paper's structure (4): the vehicle ontonomy.
+
+    car ⊑ motorvehicle ⊓ roadvehicle ⊓ ∃size.small
+    pickup ⊑ motorvehicle ⊓ roadvehicle ⊓ ∃size.big
+    motorvehicle ⊑ ∃uses.gasoline
+    roadvehicle ⊑ ∃₄has.wheels
+
+reproduced verbatim as a TBox (``∃₄has.wheels`` is ``≥4 has.wheel``).
+"""
+
+from __future__ import annotations
+
+from ..dl import TBox, parse_tbox
+
+VEHICLE_TEXT = """
+# paper structure (4)
+car [= motorvehicle & roadvehicle & some size.small
+pickup [= motorvehicle & roadvehicle & some size.big
+motorvehicle [= some uses.gasoline
+roadvehicle [= >= 4 has.wheel
+"""
+
+
+def vehicle_tbox() -> TBox:
+    """The vehicle ontonomy of structure (4)."""
+    return parse_tbox(VEHICLE_TEXT)
+
+
+#: The abstract renaming of structure (5): D, E, B, C, F, G, A, H.
+ABSTRACT_NAMES = {
+    "car": "D",
+    "pickup": "E",
+    "motorvehicle": "B",
+    "roadvehicle": "C",
+    "small": "F",
+    "big": "G",
+    "gasoline": "A",
+    "wheel": "H",
+}
+
+#: The abstract role renaming of structure (5): ρ1, ρ2, ρ3.
+ABSTRACT_ROLES = {"uses": "rho1", "has": "rho2", "size": "rho3"}
+
+
+def abstract_tbox() -> TBox:
+    """Structure (5): the vehicle ontonomy with names replaced by letters."""
+    return parse_tbox(
+        """
+        D [= B & C & some rho3.F
+        E [= B & C & some rho3.G
+        B [= some rho1.A
+        C [= >= 4 rho2.H
+        """
+    )

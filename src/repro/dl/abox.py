@@ -1,0 +1,87 @@
+"""ABoxes: assertional axioms about named individuals.
+
+An ABox pairs with a TBox to make a DL knowledge base; the ontology-backed
+triple store (``repro.store.materialize``) converts triples into ABox
+assertions and back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .syntax import Concept, DLSyntaxError, Role
+
+
+@dataclass(frozen=True)
+class ConceptAssertion:
+    """``individual : concept``."""
+
+    individual: str
+    concept: Concept
+
+    def __str__(self) -> str:
+        return f"{self.individual} : {self.concept}"
+
+
+@dataclass(frozen=True)
+class RoleAssertion:
+    """``(subject, object) : role``."""
+
+    subject: str
+    object: str
+    role: Role
+
+    def __str__(self) -> str:
+        return f"({self.subject}, {self.object}) : {self.role}"
+
+
+Assertion = ConceptAssertion | RoleAssertion
+
+
+class ABox:
+    """A finite set of assertions about named individuals."""
+
+    def __init__(self, assertions: Iterable[Assertion] = ()) -> None:
+        self.assertions: list[Assertion] = []
+        for assertion in assertions:
+            if not isinstance(assertion, (ConceptAssertion, RoleAssertion)):
+                raise DLSyntaxError(f"not an ABox assertion: {assertion!r}")
+            self.assertions.append(assertion)
+
+    def __len__(self) -> int:
+        return len(self.assertions)
+
+    def __iter__(self) -> Iterator[Assertion]:
+        return iter(self.assertions)
+
+    def individuals(self) -> frozenset[str]:
+        out: set[str] = set()
+        for a in self.assertions:
+            if isinstance(a, ConceptAssertion):
+                out.add(a.individual)
+            else:
+                out.add(a.subject)
+                out.add(a.object)
+        return frozenset(out)
+
+    def concept_assertions(self, individual: str | None = None) -> list[ConceptAssertion]:
+        return [
+            a
+            for a in self.assertions
+            if isinstance(a, ConceptAssertion)
+            and (individual is None or a.individual == individual)
+        ]
+
+    def role_assertions(self, role: str | None = None) -> list[RoleAssertion]:
+        return [
+            a
+            for a in self.assertions
+            if isinstance(a, RoleAssertion) and (role is None or a.role.name == role)
+        ]
+
+    def extended(self, assertions: Iterable[Assertion]) -> "ABox":
+        return ABox([*self.assertions, *assertions])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ABox({len(self.assertions)} assertions)"

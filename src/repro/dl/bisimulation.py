@@ -1,0 +1,111 @@
+"""Bisimulation between DL interpretations.
+
+The model-theoretic face of the paper's structural-meaning argument: two
+elements are *bisimilar* when no amount of ALC structure can tell them
+apart — same atomic concepts, and matching role moves in both directions
+of the zig-zag.  The classical invariance theorem (ALC concepts cannot
+distinguish bisimilar elements) is property-tested in ``tests/dl``;
+number restrictions break it, and the test suite shows the exact
+counterexample shape, which is *why* the paper's diagram (7) — pure
+arrows, no counting — identifies even more than CAR with DOG.
+
+Implementation: simultaneous partition refinement over the disjoint
+union of the two interpretations (the same engine as WL color
+refinement, specialized to model elements).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .interpretation import Interpretation
+from .syntax import (
+    And,
+    Atomic,
+    Concept,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    _Bottom,
+    _Top,
+)
+
+
+def bisimulation_classes(
+    m1: Interpretation, m2: Interpretation
+) -> dict[tuple[int, Hashable], int]:
+    """The coarsest bisimulation partition of the two models' elements.
+
+    Returns a map ``(side, element) → class id`` where side 1 tags
+    elements of ``m1`` and side 2 of ``m2``.  Equal ids mean bisimilar.
+    """
+    atomic_names = sorted(set(m1.concepts) | set(m2.concepts))
+    role_names = sorted(set(m1.roles) | set(m2.roles))
+    elements = [(1, e) for e in sorted(m1.domain, key=repr)] + [
+        (2, e) for e in sorted(m2.domain, key=repr)
+    ]
+
+    def model(side: int) -> Interpretation:
+        return m1 if side == 1 else m2
+
+    # initial colors: the atomic profile
+    colors: dict[tuple[int, Hashable], tuple] = {}
+    for side, element in elements:
+        m = model(side)
+        profile = tuple(
+            element in m.concepts.get(name, frozenset()) for name in atomic_names
+        )
+        colors[(side, element)] = profile
+
+    # refine: the multiset (as a set — image finiteness makes set enough
+    # for bisimulation, unlike counting bisimulation) of successor colors
+    # per role, forward only (DL roles are directed; ALC has no inverses)
+    for _ in range(len(elements)):
+        signatures: dict[tuple[int, Hashable], tuple] = {}
+        for side, element in elements:
+            m = model(side)
+            per_role = []
+            for role in role_names:
+                successor_colors = frozenset(
+                    colors[(side, s)] for s in m.successors(element, role)
+                )
+                per_role.append(successor_colors)
+            signatures[(side, element)] = (colors[(side, element)], tuple(per_role))
+        if len(set(signatures.values())) == len(set(colors.values())):
+            # refinement is monotone: an equal class count means no block
+            # split this round, so the partition is stable
+            colors = signatures
+            break
+        colors = signatures
+    # compress to small ids
+    palette = {color: i for i, color in enumerate(sorted(set(colors.values()), key=repr))}
+    return {key: palette[color] for key, color in colors.items()}
+
+
+def are_bisimilar(
+    m1: Interpretation,
+    e1: Hashable,
+    m2: Interpretation,
+    e2: Hashable,
+) -> bool:
+    """True iff ``e1`` (in ``m1``) and ``e2`` (in ``m2``) are bisimilar."""
+    classes = bisimulation_classes(m1, m2)
+    return classes[(1, e1)] == classes[(2, e2)]
+
+
+def is_alc_concept(concept: Concept) -> bool:
+    """True iff ``concept`` uses only ALC constructors (no counting).
+
+    Bisimulation invariance holds exactly for this fragment; ≥/≤ can
+    count what the zig-zag cannot.
+    """
+    if isinstance(concept, (Atomic, _Top, _Bottom)):
+        return True
+    if isinstance(concept, Not):
+        return is_alc_concept(concept.operand)
+    if isinstance(concept, (And, Or)):
+        return all(is_alc_concept(op) for op in concept.operands)
+    if isinstance(concept, (Exists, Forall)):
+        return is_alc_concept(concept.filler)
+    return False  # AtLeast / AtMost

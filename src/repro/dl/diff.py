@@ -1,0 +1,86 @@
+"""Semantic diffing of TBoxes.
+
+When an ontonomy is revised — the paper's repair (9)–(11), or any
+downstream edit — the interesting question is not which axiom lines
+changed but which *entailments* did.  ``tbox_diff`` classifies, for the
+shared atomic names, every subsumption pair as kept, gained, or lost,
+and reports vocabulary changes separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .reasoner import Reasoner
+from .syntax import Atomic
+from .tbox import TBox
+
+
+@dataclass(frozen=True)
+class TBoxDiff:
+    """The semantic delta between two TBoxes."""
+
+    names_added: frozenset[str]
+    names_removed: frozenset[str]
+    subsumptions_gained: frozenset[tuple[str, str]]  # (sub, sup) new in B
+    subsumptions_lost: frozenset[tuple[str, str]]    # (sub, sup) only in A
+    subsumptions_kept: frozenset[tuple[str, str]]
+
+    @property
+    def is_conservative(self) -> bool:
+        """True iff nothing entailed before was lost (names may be added)."""
+        return not self.subsumptions_lost and not self.names_removed
+
+    @property
+    def unchanged(self) -> bool:
+        return (
+            not self.names_added
+            and not self.names_removed
+            and not self.subsumptions_gained
+            and not self.subsumptions_lost
+        )
+
+    def summary(self) -> str:
+        parts = []
+        if self.names_added:
+            parts.append(f"+names: {', '.join(sorted(self.names_added))}")
+        if self.names_removed:
+            parts.append(f"-names: {', '.join(sorted(self.names_removed))}")
+        for label, pairs in (
+            ("+⊑", self.subsumptions_gained),
+            ("-⊑", self.subsumptions_lost),
+        ):
+            for sub, sup in sorted(pairs):
+                parts.append(f"{label} {sub} ⊑ {sup}")
+        return "; ".join(parts) if parts else "no semantic change"
+
+
+def tbox_diff(before: TBox, after: TBox) -> TBoxDiff:
+    """Compare the entailed atomic subsumptions of two TBoxes.
+
+    Subsumption pairs are compared over the *shared* names; vocabulary
+    growth/shrinkage is reported separately (a pair involving an added
+    name is not a "gained entailment" — it had no truth value before).
+    """
+    names_before = before.atomic_names()
+    names_after = after.atomic_names()
+    shared = sorted(names_before & names_after)
+
+    def entailed_pairs(tbox: TBox) -> frozenset[tuple[str, str]]:
+        reasoner = Reasoner(tbox)
+        return frozenset(
+            (sub, sup)
+            for sub in shared
+            for sup in shared
+            if sub != sup and reasoner.subsumes(Atomic(sup), Atomic(sub))
+        )
+
+    pairs_before = entailed_pairs(before)
+    pairs_after = entailed_pairs(after)
+    return TBoxDiff(
+        names_added=frozenset(names_after - names_before),
+        names_removed=frozenset(names_before - names_after),
+        subsumptions_gained=frozenset(pairs_after - pairs_before),
+        subsumptions_lost=frozenset(pairs_before - pairs_after),
+        subsumptions_kept=frozenset(pairs_before & pairs_after),
+    )

@@ -1,0 +1,187 @@
+"""TBox classification: the inferred concept hierarchy.
+
+Computes the subsumption partial order over the named concepts of a TBox
+(plus ⊤ and ⊥) and exposes it as a :class:`repro.order.Poset`.  Told
+subsumers from definitorial axioms seed the order; the remaining pairs go
+through the tableau.  Equivalent names are grouped before the poset is
+built, so antisymmetry holds by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..order import Poset
+from .reasoner import Reasoner
+from .syntax import Atomic, Concept
+from .tbox import TBox
+
+TOP_NAME = "⊤"
+BOTTOM_NAME = "⊥"
+
+
+class ConceptHierarchy:
+    """The classified hierarchy of a TBox.
+
+    ``poset`` orders equivalence-class representatives (sorted name of
+    each group); ``group_of`` maps every name to its representative.
+    """
+
+    def __init__(
+        self,
+        tbox: TBox,
+        *,
+        reasoner: Reasoner | None = None,
+        use_told_subsumers: bool = True,
+    ) -> None:
+        self.tbox = tbox
+        self.reasoner = reasoner or Reasoner(tbox)
+        names = sorted(tbox.atomic_names())
+        self._satisfiable = {
+            name: self.reasoner.is_satisfiable(Atomic(name)) for name in names
+        }
+
+        # told subsumers: syntactic A ⊑ ... ⊓ B ⊓ ... axioms give b ⊒ a
+        # without a tableau call (sound; the tableau fills in the rest)
+        told_up = _told_subsumers(tbox) if use_told_subsumers else {}
+        self.told_hits = 0
+
+        # subsumption matrix over satisfiable names (unsat names ≡ ⊥)
+        live = [n for n in names if self._satisfiable[n]]
+        subsumes: dict[tuple[str, str], bool] = {}
+        for a in live:
+            for b in live:
+                if a == b:
+                    continue
+                if a in told_up.get(b, ()):  # told: b ⊑ a
+                    subsumes[(a, b)] = True
+                    self.told_hits += 1
+                    continue
+                subsumes[(a, b)] = self.reasoner.subsumes(Atomic(a), Atomic(b))
+
+        # group equivalent names
+        groups: list[list[str]] = []
+        assigned: dict[str, int] = {}
+        for name in live:
+            placed = False
+            for i, group in enumerate(groups):
+                representative = group[0]
+                if subsumes.get((representative, name)) and subsumes.get((name, representative)):
+                    group.append(name)
+                    assigned[name] = i
+                    placed = True
+                    break
+            if not placed:
+                assigned[name] = len(groups)
+                groups.append([name])
+        self._groups = [sorted(g) for g in groups]
+        self.group_of: dict[str, str] = {}
+        for group in self._groups:
+            for name in group:
+                self.group_of[name] = group[0]
+        for name in names:
+            if not self._satisfiable[name]:
+                self.group_of[name] = BOTTOM_NAME
+        self.group_of[TOP_NAME] = TOP_NAME
+        self.group_of[BOTTOM_NAME] = BOTTOM_NAME
+
+        representatives = [g[0] for g in self._groups]
+        pairs = [
+            (a, b)
+            for a in representatives
+            for b in representatives
+            if a != b and subsumes[(b, a)]  # b subsumes a: a ≤ b
+        ]
+        # ⊤ above everything, ⊥ below everything
+        elements = [BOTTOM_NAME, *representatives, TOP_NAME]
+        pairs += [(BOTTOM_NAME, rep) for rep in representatives]
+        pairs += [(rep, TOP_NAME) for rep in representatives]
+        pairs.append((BOTTOM_NAME, TOP_NAME))
+        self.poset = Poset(elements, pairs)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def equivalents(self, name: str) -> frozenset[str]:
+        """All names equivalent to ``name`` (including itself)."""
+        rep = self.group_of.get(name)
+        if rep == BOTTOM_NAME:
+            return frozenset(
+                n for n, sat in self._satisfiable.items() if not sat
+            )
+        for group in self._groups:
+            if name in group:
+                return frozenset(group)
+        raise KeyError(f"unknown concept name {name!r}")
+
+    def parents(self, name: str) -> frozenset[str]:
+        """Direct (covering) subsumers of ``name``'s group."""
+        rep = self.group_of[name]
+        return frozenset(b for a, b in self.poset.covers() if a == rep)
+
+    def children(self, name: str) -> frozenset[str]:
+        """Direct (covered) subsumees of ``name``'s group."""
+        rep = self.group_of[name]
+        return frozenset(a for a, b in self.poset.covers() if b == rep)
+
+    def ancestors(self, name: str) -> frozenset[str]:
+        rep = self.group_of[name]
+        return self.poset.up_set(rep) - {rep}
+
+    def descendants(self, name: str) -> frozenset[str]:
+        rep = self.group_of[name]
+        return self.poset.down_set(rep) - {rep}
+
+    def is_subsumed_by(self, specific: str, general: str) -> bool:
+        return self.poset.leq(self.group_of[specific], self.group_of[general])
+
+    def pretty(self) -> str:
+        """An indented tree rendering (duplicating DAG nodes per parent)."""
+        lines: list[str] = []
+
+        def walk(rep: str, depth: int) -> None:
+            group = [g for g in self._groups if g[0] == rep]
+            shown = " ≡ ".join(group[0]) if group else rep
+            lines.append("  " * depth + shown)
+            for child in sorted(self.children(rep) - {BOTTOM_NAME}):
+                walk(child, depth + 1)
+
+        walk(TOP_NAME, 0)
+        return "\n".join(lines)
+
+
+def _told_subsumers(tbox: TBox) -> dict[str, frozenset[str]]:
+    """The reflexive–transitive closure of syntactic subsumers.
+
+    For every axiom ``A ⊑ C`` (or ``A ≡ C``) with atomic ``A``, each
+    atomic top-level conjunct ``B`` of ``C`` is a *told* subsumer of
+    ``A``.  Returns name → all told subsumers (including itself).
+    """
+    from .syntax import And
+
+    direct: dict[str, set[str]] = {n: set() for n in tbox.atomic_names()}
+    for gci in tbox.gcis():
+        if not isinstance(gci.lhs, Atomic):
+            continue
+        conjuncts = gci.rhs.operands if isinstance(gci.rhs, And) else (gci.rhs,)
+        for conjunct in conjuncts:
+            if isinstance(conjunct, Atomic):
+                direct[gci.lhs.name].add(conjunct.name)
+    closure: dict[str, frozenset[str]] = {}
+    for name in direct:
+        seen = {name}
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for parent in direct.get(current, ()):
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        closure[name] = frozenset(seen)
+    return closure
+
+
+def classify(tbox: TBox, *, use_told_subsumers: bool = True) -> ConceptHierarchy:
+    """Classify ``tbox`` and return its inferred hierarchy."""
+    return ConceptHierarchy(tbox, use_told_subsumers=use_told_subsumers)

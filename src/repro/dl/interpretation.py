@@ -1,0 +1,127 @@
+"""Finite DL interpretations and an independent model checker.
+
+An :class:`Interpretation` is a finite structure ``(Δ, ·ᴵ)``: a domain,
+atomic-concept extensions, and role extensions.  ``satisfies`` evaluates
+arbitrary concept expressions over it by direct recursion — independent
+of the tableau — so a model extracted from a completion graph can be
+*verified* rather than trusted.  The property tests in ``tests/dl`` lean
+on this: for satisfiable inputs, the tableau's witness model must check
+out against this evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from .syntax import (
+    And,
+    AtLeast,
+    AtMost,
+    Atomic,
+    Concept,
+    DLSyntaxError,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    _Bottom,
+    _Top,
+)
+from .tbox import TBox
+
+
+class Interpretation:
+    """A finite DL interpretation ``(Δ, ·ᴵ)``.
+
+    ``concepts`` maps atomic names to subsets of the domain; ``roles``
+    maps role names to sets of ordered pairs.  Unmentioned names denote
+    the empty set — the usual convention for finite witnesses.
+    """
+
+    def __init__(
+        self,
+        domain: Iterable[Hashable],
+        concepts: Mapping[str, Iterable[Hashable]] | None = None,
+        roles: Mapping[str, Iterable[tuple[Hashable, Hashable]]] | None = None,
+    ) -> None:
+        self.domain = frozenset(domain)
+        if not self.domain:
+            raise DLSyntaxError("a DL interpretation needs a non-empty domain")
+        self.concepts = {
+            name: frozenset(ext) for name, ext in (concepts or {}).items()
+        }
+        self.roles = {
+            name: frozenset(tuple(p) for p in pairs)
+            for name, pairs in (roles or {}).items()
+        }
+        for name, ext in self.concepts.items():
+            if not ext <= self.domain:
+                raise DLSyntaxError(f"extension of {name!r} leaves the domain")
+        for name, pairs in self.roles.items():
+            for a, b in pairs:
+                if a not in self.domain or b not in self.domain:
+                    raise DLSyntaxError(f"role {name!r} relates non-domain elements")
+
+    # ------------------------------------------------------------------ #
+
+    def successors(self, element: Hashable, role: str) -> frozenset:
+        return frozenset(b for a, b in self.roles.get(role, ()) if a == element)
+
+    def satisfies(self, element: Hashable, concept: Concept) -> bool:
+        """``element ∈ conceptᴵ``, by structural recursion."""
+        if element not in self.domain:
+            raise DLSyntaxError(f"{element!r} is not a domain element")
+        if isinstance(concept, Atomic):
+            return element in self.concepts.get(concept.name, frozenset())
+        if isinstance(concept, _Top):
+            return True
+        if isinstance(concept, _Bottom):
+            return False
+        if isinstance(concept, Not):
+            return not self.satisfies(element, concept.operand)
+        if isinstance(concept, And):
+            return all(self.satisfies(element, op) for op in concept.operands)
+        if isinstance(concept, Or):
+            return any(self.satisfies(element, op) for op in concept.operands)
+        if isinstance(concept, Exists):
+            return any(
+                self.satisfies(s, concept.filler)
+                for s in self.successors(element, concept.role.name)
+            )
+        if isinstance(concept, Forall):
+            return all(
+                self.satisfies(s, concept.filler)
+                for s in self.successors(element, concept.role.name)
+            )
+        if isinstance(concept, AtLeast):
+            hits = sum(
+                1
+                for s in self.successors(element, concept.role.name)
+                if self.satisfies(s, concept.filler)
+            )
+            return hits >= concept.n
+        if isinstance(concept, AtMost):
+            hits = sum(
+                1
+                for s in self.successors(element, concept.role.name)
+                if self.satisfies(s, concept.filler)
+            )
+            return hits <= concept.n
+        raise DLSyntaxError(f"unknown concept node {concept!r}")
+
+    def extension(self, concept: Concept) -> frozenset:
+        """``conceptᴵ`` as a set."""
+        return frozenset(e for e in self.domain if self.satisfies(e, concept))
+
+    def satisfies_tbox(self, tbox: TBox) -> bool:
+        """True iff every GCI's lhs-extension is within its rhs-extension."""
+        return all(
+            self.extension(gci.lhs) <= self.extension(gci.rhs)
+            for gci in tbox.gcis()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Interpretation(|Δ|={len(self.domain)}, "
+            f"concepts={sorted(self.concepts)}, roles={sorted(self.roles)})"
+        )

@@ -1,0 +1,85 @@
+"""Negation normal form for DL concepts.
+
+Pushes negation inward to atomic concepts using the standard dualities:
+¬(C ⊓ D) ↝ ¬C ⊔ ¬D, ¬∃r.C ↝ ∀r.¬C, ¬≥n r.C ↝ ≤(n−1) r.C (and ⊥ for n=0),
+¬≤n r.C ↝ ≥(n+1) r.C.  The tableau operates exclusively on NNF concepts.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    BOTTOM,
+    TOP,
+    And,
+    AtLeast,
+    AtMost,
+    Atomic,
+    Concept,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    _Bottom,
+    _Top,
+)
+
+
+def to_nnf(concept: Concept) -> Concept:
+    """The negation normal form of ``concept``."""
+    return _nnf(concept, positive=True)
+
+
+def negate(concept: Concept) -> Concept:
+    """The NNF of ¬``concept``."""
+    return _nnf(concept, positive=False)
+
+
+def _nnf(c: Concept, positive: bool) -> Concept:
+    if isinstance(c, Atomic):
+        return c if positive else Not(c)
+    if isinstance(c, _Top):
+        return TOP if positive else BOTTOM
+    if isinstance(c, _Bottom):
+        return BOTTOM if positive else TOP
+    if isinstance(c, Not):
+        return _nnf(c.operand, not positive)
+    if isinstance(c, And):
+        parts = [_nnf(op, positive) for op in c.operands]
+        return And.of(parts) if positive else Or.of(parts)
+    if isinstance(c, Or):
+        parts = [_nnf(op, positive) for op in c.operands]
+        return Or.of(parts) if positive else And.of(parts)
+    if isinstance(c, Exists):
+        if positive:
+            return Exists(c.role, _nnf(c.filler, True))
+        return Forall(c.role, _nnf(c.filler, False))
+    if isinstance(c, Forall):
+        if positive:
+            return Forall(c.role, _nnf(c.filler, True))
+        return Exists(c.role, _nnf(c.filler, False))
+    if isinstance(c, AtLeast):
+        if positive:
+            if c.n == 0:
+                return TOP
+            return AtLeast(c.n, c.role, _nnf(c.filler, True))
+        if c.n == 0:
+            return BOTTOM  # ¬(≥0 r.C) is unsatisfiable
+        return AtMost(c.n - 1, c.role, _nnf(c.filler, True))
+    if isinstance(c, AtMost):
+        if positive:
+            return AtMost(c.n, c.role, _nnf(c.filler, True))
+        return AtLeast(c.n + 1, c.role, _nnf(c.filler, True))
+    raise TypeError(f"unknown concept node {c!r}")
+
+
+def is_nnf(concept: Concept) -> bool:
+    """True iff negation occurs only directly on atomic concepts."""
+    if isinstance(concept, (Atomic, _Top, _Bottom)):
+        return True
+    if isinstance(concept, Not):
+        return isinstance(concept.operand, Atomic)
+    if isinstance(concept, (And, Or)):
+        return all(is_nnf(op) for op in concept.operands)
+    if isinstance(concept, (Exists, Forall, AtLeast, AtMost)):
+        return is_nnf(concept.filler)
+    raise TypeError(f"unknown concept node {concept!r}")

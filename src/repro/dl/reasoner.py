@@ -1,0 +1,117 @@
+"""High-level reasoning services on top of the tableau.
+
+Subsumption, satisfiability, equivalence, disjointness, ABox consistency,
+instance checking and retrieval — the standard DL service suite, reduced
+to tableau satisfiability in the usual way (``C ⊑ D`` iff ``C ⊓ ¬D`` is
+unsatisfiable w.r.t. the TBox).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .abox import ABox, ConceptAssertion
+from .nnf import negate
+from .syntax import And, Atomic, Concept, TOP
+from .tableau import ReasonerError, Tableau
+from .tbox import TBox
+
+
+class Reasoner:
+    """Reasoning services for a knowledge base ``(TBox, ABox)``.
+
+    >>> from repro.dl.syntax import Atomic
+    >>> from repro.dl.tbox import TBox, Subsumption
+    >>> car, mv = Atomic("car"), Atomic("motorvehicle")
+    >>> r = Reasoner(TBox([Subsumption(car, mv)]))
+    >>> r.subsumes(mv, car)
+    True
+    """
+
+    def __init__(self, tbox: TBox | None = None, *, max_nodes: int = 2000) -> None:
+        self.tbox = tbox or TBox()
+        self._tableau = Tableau(self.tbox, max_nodes=max_nodes)
+        self._sat_cache: dict[Concept, bool] = {}
+        self._subs_cache: dict[tuple[Concept, Concept], bool] = {}
+
+    # ------------------------------------------------------------------ #
+    # concept-level services
+    # ------------------------------------------------------------------ #
+
+    def is_satisfiable(self, concept: Concept) -> bool:
+        """True iff ``concept`` has a model consistent with the TBox."""
+        if concept not in self._sat_cache:
+            self._sat_cache[concept] = self._tableau.is_satisfiable(concept)
+        return self._sat_cache[concept]
+
+    def extract_model(self, concept: Concept):
+        """A finite witness interpretation for ``concept``, or ``None``.
+
+        The returned :class:`repro.dl.interpretation.Interpretation` can
+        be verified independently of the tableau — and the test suite
+        does exactly that.  Note the witness is a model of the *concept*;
+        blocked (cyclic) completion graphs are unraveled lazily, so for
+        TBoxes with cycles the witness may not satisfy every GCI at
+        every surrogate node.
+        """
+        from .tableau import extract_interpretation
+
+        state = self._tableau.find_model(concept)
+        if state is None:
+            return None
+        return extract_interpretation(state)
+
+    def subsumes(self, general: Concept, specific: Concept) -> bool:
+        """True iff ``specific ⊑ general`` w.r.t. the TBox."""
+        key = (general, specific)
+        if key not in self._subs_cache:
+            test = And.of([specific, negate(general)])
+            self._subs_cache[key] = not self._tableau.is_satisfiable(test)
+        return self._subs_cache[key]
+
+    def equivalent(self, c: Concept, d: Concept) -> bool:
+        """True iff ``c ≡ d`` w.r.t. the TBox."""
+        return self.subsumes(c, d) and self.subsumes(d, c)
+
+    def disjoint(self, c: Concept, d: Concept) -> bool:
+        """True iff ``c ⊓ d`` is unsatisfiable w.r.t. the TBox."""
+        return not self.is_satisfiable(And.of([c, d]))
+
+    def is_coherent(self) -> bool:
+        """True iff every named concept of the TBox is satisfiable."""
+        return not self.unsatisfiable_names()
+
+    def unsatisfiable_names(self) -> list[str]:
+        """Named concepts that the TBox forces to be empty."""
+        return [
+            name
+            for name in sorted(self.tbox.atomic_names())
+            if not self.is_satisfiable(Atomic(name))
+        ]
+
+    # ------------------------------------------------------------------ #
+    # ABox services
+    # ------------------------------------------------------------------ #
+
+    def is_consistent(self, abox: ABox) -> bool:
+        """True iff the knowledge base ``(TBox, abox)`` is consistent."""
+        return self._tableau.is_consistent(abox)
+
+    def is_instance(self, abox: ABox, individual: str, concept: Concept) -> bool:
+        """True iff the KB entails ``individual : concept``.
+
+        Standard reduction: entailed iff adding ``individual : ¬concept``
+        makes the ABox inconsistent.
+        """
+        if individual not in abox.individuals():
+            raise ReasonerError(f"unknown individual {individual!r}")
+        probe = abox.extended([ConceptAssertion(individual, negate(concept))])
+        return not self.is_consistent(probe)
+
+    def retrieve(self, abox: ABox, concept: Concept) -> list[str]:
+        """All named individuals the KB entails to be instances of ``concept``."""
+        return [
+            individual
+            for individual in sorted(abox.individuals())
+            if self.is_instance(abox, individual, concept)
+        ]

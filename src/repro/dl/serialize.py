@@ -1,0 +1,71 @@
+"""Serialization of concepts and TBoxes back to the ASCII text syntax.
+
+``to_text`` emits exactly the syntax :mod:`repro.dl.parser` reads, so
+``parse_concept(to_text(c)) == c`` — property-tested.  Useful for saving
+ontonomies the library built programmatically (confusable siblings,
+random TBoxes) into files the CLI can critique.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    And,
+    AtLeast,
+    AtMost,
+    Atomic,
+    Concept,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    _Bottom,
+    _Top,
+)
+from .tbox import Equivalence, Subsumption, TBox
+
+# precedence levels: | < & < unary
+_OR, _AND, _UNARY = 0, 1, 2
+
+
+def to_text(concept: Concept) -> str:
+    """Render ``concept`` in the parser's ASCII syntax."""
+    return _render(concept, _OR)
+
+
+def _render(c: Concept, context: int) -> str:
+    if isinstance(c, Atomic):
+        return c.name
+    if isinstance(c, _Top):
+        return "Top"
+    if isinstance(c, _Bottom):
+        return "Bottom"
+    if isinstance(c, Not):
+        return f"~{_render(c.operand, _UNARY)}"
+    if isinstance(c, And):
+        body = " & ".join(_render(op, _AND) for op in c.operands)
+        return f"({body})" if context > _AND else body
+    if isinstance(c, Or):
+        body = " | ".join(_render(op, _OR + 1) for op in c.operands)
+        return f"({body})" if context > _OR else body
+    if isinstance(c, Exists):
+        return f"some {c.role.name}.{_render(c.filler, _UNARY)}"
+    if isinstance(c, Forall):
+        return f"all {c.role.name}.{_render(c.filler, _UNARY)}"
+    if isinstance(c, AtLeast):
+        if isinstance(c.filler, _Top):
+            return f">= {c.n} {c.role.name}"
+        return f">= {c.n} {c.role.name}.{_render(c.filler, _UNARY)}"
+    if isinstance(c, AtMost):
+        if isinstance(c.filler, _Top):
+            return f"<= {c.n} {c.role.name}"
+        return f"<= {c.n} {c.role.name}.{_render(c.filler, _UNARY)}"
+    raise TypeError(f"unknown concept node {c!r}")
+
+
+def tbox_to_text(tbox: TBox) -> str:
+    """Render a TBox in the one-axiom-per-line file format."""
+    lines = []
+    for axiom in tbox:
+        connective = "[=" if isinstance(axiom, Subsumption) else "="
+        lines.append(f"{to_text(axiom.lhs)} {connective} {to_text(axiom.rhs)}")
+    return "\n".join(lines)

@@ -1,0 +1,346 @@
+"""Description-logic concept syntax (ALCQ⁻: ALCN plus qualified at-least).
+
+The paper's structures (4) and (8) are description-logic ontonomies:
+
+    car ⊑ motorvehicle ⊓ roadvehicle ⊓ ∃size.small
+    roadvehicle ⊑ ∃₄has.wheels
+
+This module provides the concept constructors needed to write them down
+exactly: atomic concepts, ⊤/⊥, ¬, ⊓, ⊔, ∃r.C, ∀r.C, and number
+restrictions ≥n r.C / ≤n r.C (the paper's ``∃₄has.wheels`` is ≥4 has.wheel).
+Concepts are immutable and hashable; ⊓/⊔ are flattened n-ary so that
+structurally equal concepts compare equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class DLSyntaxError(Exception):
+    """Raised on malformed concepts."""
+
+
+@dataclass(frozen=True)
+class Role:
+    """An atomic role (binary relation) name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DLSyntaxError("role name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Concept:
+    """Base class for concept expressions (immutable, hashable)."""
+
+    def __and__(self, other: "Concept") -> "Concept":
+        return And.of([self, other])
+
+    def __or__(self, other: "Concept") -> "Concept":
+        return Or.of([self, other])
+
+    def __invert__(self) -> "Concept":
+        return Not(self)
+
+    def atomic_names(self) -> frozenset[str]:
+        """All atomic concept names occurring in this expression."""
+        raise NotImplementedError
+
+    def role_names(self) -> frozenset[str]:
+        """All role names occurring in this expression."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Number of constructor nodes (a measure for the regress experiment)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Atomic(Concept):
+    """An atomic (named) concept."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DLSyntaxError("concept name must be non-empty")
+
+    def atomic_names(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def role_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class _Top(Concept):
+    def atomic_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def role_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class _Bottom(Concept):
+    def atomic_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def role_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "⊥"
+
+
+TOP = _Top()
+BOTTOM = _Bottom()
+
+
+@dataclass(frozen=True)
+class Not(Concept):
+    operand: Concept
+
+    def atomic_names(self) -> frozenset[str]:
+        return self.operand.atomic_names()
+
+    def role_names(self) -> frozenset[str]:
+        return self.operand.role_names()
+
+    def size(self) -> int:
+        return 1 + self.operand.size()
+
+    def __str__(self) -> str:
+        return f"¬{_wrap(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Concept):
+    """An n-ary conjunction; use :meth:`of` to build (flattens and dedupes)."""
+
+    operands: tuple[Concept, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise DLSyntaxError("conjunction needs at least two operands; use And.of")
+
+    @staticmethod
+    def of(operands: Iterable[Concept]) -> Concept:
+        flat: list[Concept] = []
+        for op in operands:
+            if isinstance(op, And):
+                for inner in op.operands:
+                    if inner not in flat:
+                        flat.append(inner)
+            elif op is TOP:
+                continue
+            elif op not in flat:
+                flat.append(op)
+        if not flat:
+            return TOP
+        if len(flat) == 1:
+            return flat[0]
+        return And(tuple(flat))
+
+    def atomic_names(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for op in self.operands:
+            out |= op.atomic_names()
+        return out
+
+    def role_names(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for op in self.operands:
+            out |= op.role_names()
+        return out
+
+    def size(self) -> int:
+        return 1 + sum(op.size() for op in self.operands)
+
+    def __str__(self) -> str:
+        return " ⊓ ".join(_wrap(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Concept):
+    """An n-ary disjunction; use :meth:`of` to build (flattens and dedupes)."""
+
+    operands: tuple[Concept, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise DLSyntaxError("disjunction needs at least two operands; use Or.of")
+
+    @staticmethod
+    def of(operands: Iterable[Concept]) -> Concept:
+        flat: list[Concept] = []
+        for op in operands:
+            if isinstance(op, Or):
+                for inner in op.operands:
+                    if inner not in flat:
+                        flat.append(inner)
+            elif op is BOTTOM:
+                continue
+            elif op not in flat:
+                flat.append(op)
+        if not flat:
+            return BOTTOM
+        if len(flat) == 1:
+            return flat[0]
+        return Or(tuple(flat))
+
+    def atomic_names(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for op in self.operands:
+            out |= op.atomic_names()
+        return out
+
+    def role_names(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for op in self.operands:
+            out |= op.role_names()
+        return out
+
+    def size(self) -> int:
+        return 1 + sum(op.size() for op in self.operands)
+
+    def __str__(self) -> str:
+        return " ⊔ ".join(_wrap(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Exists(Concept):
+    """Existential restriction ``∃role.filler``."""
+
+    role: Role
+    filler: Concept
+
+    def atomic_names(self) -> frozenset[str]:
+        return self.filler.atomic_names()
+
+    def role_names(self) -> frozenset[str]:
+        return frozenset({self.role.name}) | self.filler.role_names()
+
+    def size(self) -> int:
+        return 1 + self.filler.size()
+
+    def __str__(self) -> str:
+        return f"∃{self.role}.{_wrap(self.filler)}"
+
+
+@dataclass(frozen=True)
+class Forall(Concept):
+    """Value restriction ``∀role.filler``."""
+
+    role: Role
+    filler: Concept
+
+    def atomic_names(self) -> frozenset[str]:
+        return self.filler.atomic_names()
+
+    def role_names(self) -> frozenset[str]:
+        return frozenset({self.role.name}) | self.filler.role_names()
+
+    def size(self) -> int:
+        return 1 + self.filler.size()
+
+    def __str__(self) -> str:
+        return f"∀{self.role}.{_wrap(self.filler)}"
+
+
+@dataclass(frozen=True)
+class AtLeast(Concept):
+    """Qualified at-least restriction ``≥n role.filler``.
+
+    ``≥1 r.C`` is ∃r.C; the paper's ``∃₄has.wheels`` is ``AtLeast(4, has, wheel)``.
+    """
+
+    n: int
+    role: Role
+    filler: Concept
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise DLSyntaxError("at-least bound must be non-negative")
+
+    def atomic_names(self) -> frozenset[str]:
+        return self.filler.atomic_names()
+
+    def role_names(self) -> frozenset[str]:
+        return frozenset({self.role.name}) | self.filler.role_names()
+
+    def size(self) -> int:
+        return 1 + self.filler.size()
+
+    def __str__(self) -> str:
+        return f"≥{self.n} {self.role}.{_wrap(self.filler)}"
+
+
+@dataclass(frozen=True)
+class AtMost(Concept):
+    """At-most restriction ``≤n role.filler`` (reasoning supports filler = ⊤)."""
+
+    n: int
+    role: Role
+    filler: Concept
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise DLSyntaxError("at-most bound must be non-negative")
+
+    def atomic_names(self) -> frozenset[str]:
+        return self.filler.atomic_names()
+
+    def role_names(self) -> frozenset[str]:
+        return frozenset({self.role.name}) | self.filler.role_names()
+
+    def size(self) -> int:
+        return 1 + self.filler.size()
+
+    def __str__(self) -> str:
+        return f"≤{self.n} {self.role}.{_wrap(self.filler)}"
+
+
+def _wrap(c: Concept) -> str:
+    if isinstance(c, (Atomic, _Top, _Bottom, Not, Exists, Forall, AtLeast, AtMost)):
+        return str(c)
+    return f"({c})"
+
+
+def some(role: str, filler: Concept) -> Exists:
+    """Shorthand: ``some("size", small)`` is ∃size.small."""
+    return Exists(Role(role), filler)
+
+
+def only(role: str, filler: Concept) -> Forall:
+    """Shorthand: ``only("has", wheel)`` is ∀has.wheel."""
+    return Forall(Role(role), filler)
+
+
+def at_least(n: int, role: str, filler: Concept = TOP) -> AtLeast:
+    return AtLeast(n, Role(role), filler)
+
+
+def at_most(n: int, role: str, filler: Concept = TOP) -> AtMost:
+    return AtMost(n, Role(role), filler)

@@ -1,0 +1,23 @@
+"""Formal grammars: the paper's reference case of a structural definition.
+
+The 4-tuple definition, Chomsky-hierarchy classification, CNF, CYK
+recognition, derivation search and generation, and the regular-grammar →
+NFA → DFA pipeline.
+"""
+
+from .chomsky import ChomskyType, chomsky_type, is_right_linear
+from .cnf import is_cnf, to_cnf
+from .cyk import cyk_recognizes
+from .earley import earley_recognizes
+from .derivation import derivations, derives, generate, sample_sentences
+from .grammar import Grammar, GrammarError, Production, is_formal_grammar
+from .regular import DFA, NFA, compile_regular, grammar_to_nfa, minimize_dfa, nfa_to_dfa
+
+__all__ = [
+    "Grammar", "Production", "GrammarError", "is_formal_grammar",
+    "ChomskyType", "chomsky_type", "is_right_linear",
+    "to_cnf", "is_cnf", "cyk_recognizes", "earley_recognizes",
+    "derivations", "derives", "generate", "sample_sentences",
+    "NFA", "DFA", "grammar_to_nfa", "nfa_to_dfa", "compile_regular",
+    "minimize_dfa",
+]

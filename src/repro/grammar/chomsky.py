@@ -1,0 +1,61 @@
+"""Chomsky hierarchy classification of grammars.
+
+Given a validated :class:`repro.grammar.Grammar`, determine the most
+restrictive Chomsky type it satisfies — another purely structural
+judgment that a functional 'definition' could never deliver.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .grammar import Grammar, Production
+
+
+class ChomskyType(enum.IntEnum):
+    """Types 0–3; higher value = more restrictive class."""
+
+    UNRESTRICTED = 0
+    CONTEXT_SENSITIVE = 1
+    CONTEXT_FREE = 2
+    REGULAR = 3
+
+
+def is_right_linear(grammar: Grammar, production: Production) -> bool:
+    """rhs is ε, terminals, or terminals followed by one nonterminal."""
+    if len(production.lhs) != 1 or production.lhs[0] not in grammar.nonterminals:
+        return False
+    rhs = production.rhs
+    if not rhs:
+        return True
+    body, last = rhs[:-1], rhs[-1]
+    if any(s in grammar.nonterminals for s in body):
+        return False
+    return last in grammar.terminals or last in grammar.nonterminals
+
+
+def is_context_free_production(grammar: Grammar, production: Production) -> bool:
+    return len(production.lhs) == 1 and production.lhs[0] in grammar.nonterminals
+
+
+def is_noncontracting(grammar: Grammar, production: Production) -> bool:
+    """|lhs| ≤ |rhs|, with S → ε permitted when S never appears in a rhs."""
+    if len(production.rhs) >= len(production.lhs):
+        return True
+    if production.lhs == (grammar.start,) and not production.rhs:
+        start_in_rhs = any(
+            grammar.start in p.rhs for p in grammar.productions
+        )
+        return not start_in_rhs
+    return False
+
+
+def chomsky_type(grammar: Grammar) -> ChomskyType:
+    """The most restrictive type in the hierarchy ``grammar`` satisfies."""
+    if all(is_right_linear(grammar, p) for p in grammar.productions):
+        return ChomskyType.REGULAR
+    if all(is_context_free_production(grammar, p) for p in grammar.productions):
+        return ChomskyType.CONTEXT_FREE
+    if all(is_noncontracting(grammar, p) for p in grammar.productions):
+        return ChomskyType.CONTEXT_SENSITIVE
+    return ChomskyType.UNRESTRICTED

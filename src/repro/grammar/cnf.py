@@ -1,0 +1,195 @@
+"""Chomsky normal form transformation for context-free grammars.
+
+Standard pipeline: START wrapper → eliminate ε-productions → eliminate
+unit productions → isolate terminals → binarize long right-hand sides.
+The transformed grammar accepts the same language (modulo ε, which is
+preserved via the fresh start symbol) and feeds the CYK recognizer.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .grammar import Grammar, GrammarError, Production
+
+
+def to_cnf(grammar: Grammar) -> Grammar:
+    """An equivalent grammar in Chomsky normal form.
+
+    Every production is ``A → B C``, ``A → a``, or ``S₀ → ε`` (only for
+    the fresh start symbol, only when ε is in the language).
+    """
+    if not grammar.is_context_free():
+        raise GrammarError("CNF transformation requires a context-free grammar")
+
+    fresh = _name_factory(grammar.symbols())
+    start = fresh("S0")
+    nonterminals = set(grammar.nonterminals) | {start}
+    productions = [Production((start,), (grammar.start,))]
+    productions += [Production(p.lhs, p.rhs) for p in grammar.productions]
+
+    productions = _eliminate_epsilon(productions, start, nonterminals)
+    productions = _eliminate_units(productions, nonterminals)
+    productions, nonterminals = _isolate_terminals(
+        productions, nonterminals, grammar.terminals, fresh
+    )
+    productions, nonterminals = _binarize(productions, nonterminals, fresh)
+    productions = _drop_unreachable(productions, start)
+    used = {s for p in productions for s in (*p.lhs, *p.rhs)}
+    return Grammar(
+        nonterminals & (used | {start}),
+        grammar.terminals & used,
+        start,
+        productions,
+    )
+
+
+def is_cnf(grammar: Grammar) -> bool:
+    """True iff every production has CNF shape."""
+    for p in grammar.productions:
+        if len(p.lhs) != 1:
+            return False
+        (lhs,) = p.lhs
+        rhs = p.rhs
+        if not rhs:
+            if lhs != grammar.start:
+                return False
+        elif len(rhs) == 1:
+            if rhs[0] not in grammar.terminals:
+                return False
+        elif len(rhs) == 2:
+            if any(s not in grammar.nonterminals for s in rhs):
+                return False
+        else:
+            return False
+    return True
+
+
+def _name_factory(taken: frozenset[str]):
+    used = set(taken)
+
+    def fresh(base: str) -> str:
+        if base not in used:
+            used.add(base)
+            return base
+        for i in itertools.count():
+            name = f"{base}_{i}"
+            if name not in used:
+                used.add(name)
+                return name
+        raise AssertionError("unreachable")
+
+    return fresh
+
+
+def _eliminate_epsilon(
+    productions: list[Production], start: str, nonterminals: set[str]
+) -> list[Production]:
+    nullable: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for p in productions:
+            (lhs,) = p.lhs
+            if lhs in nullable:
+                continue
+            if all(s in nullable for s in p.rhs):
+                nullable.add(lhs)
+                changed = True
+    out: set[Production] = set()
+    for p in productions:
+        (lhs,) = p.lhs
+        null_positions = [i for i, s in enumerate(p.rhs) if s in nullable]
+        for r in range(len(null_positions) + 1):
+            for drop in itertools.combinations(null_positions, r):
+                rhs = tuple(s for i, s in enumerate(p.rhs) if i not in drop)
+                if rhs or lhs == start:
+                    out.add(Production((lhs,), rhs))
+    # remove ε from non-start symbols entirely
+    return sorted(
+        (p for p in out if p.rhs or p.lhs == (start,)),
+        key=str,
+    )
+
+
+def _eliminate_units(
+    productions: list[Production], nonterminals: set[str]
+) -> list[Production]:
+    unit_pairs: set[tuple[str, str]] = {(n, n) for n in nonterminals}
+    changed = True
+    while changed:
+        changed = False
+        for p in productions:
+            if len(p.rhs) == 1 and p.rhs[0] in nonterminals:
+                (a,), b = p.lhs, p.rhs[0]
+                for (c, d) in list(unit_pairs):
+                    if c == b and (a, d) not in unit_pairs:
+                        unit_pairs.add((a, d))
+                        changed = True
+    out: set[Production] = set()
+    for a, b in unit_pairs:
+        for p in productions:
+            if p.lhs == (b,) and not (len(p.rhs) == 1 and p.rhs[0] in nonterminals):
+                out.add(Production((a,), p.rhs))
+    return sorted(out, key=str)
+
+
+def _isolate_terminals(
+    productions: list[Production],
+    nonterminals: set[str],
+    terminals: frozenset[str],
+    fresh,
+) -> tuple[list[Production], set[str]]:
+    proxy: dict[str, str] = {}
+    out: list[Production] = []
+    for p in productions:
+        if len(p.rhs) >= 2:
+            rhs = []
+            for s in p.rhs:
+                if s in terminals:
+                    if s not in proxy:
+                        proxy[s] = fresh(f"T_{s}")
+                        nonterminals.add(proxy[s])
+                    rhs.append(proxy[s])
+                else:
+                    rhs.append(s)
+            out.append(Production(p.lhs, tuple(rhs)))
+        else:
+            out.append(p)
+    for terminal, name in sorted(proxy.items()):
+        out.append(Production((name,), (terminal,)))
+    return out, nonterminals
+
+
+def _binarize(
+    productions: list[Production], nonterminals: set[str], fresh
+) -> tuple[list[Production], set[str]]:
+    out: list[Production] = []
+    for p in productions:
+        rhs = p.rhs
+        if len(rhs) <= 2:
+            out.append(p)
+            continue
+        (lhs,) = p.lhs
+        current = lhs
+        for i in range(len(rhs) - 2):
+            helper = fresh(f"{lhs}_bin")
+            nonterminals.add(helper)
+            out.append(Production((current,), (rhs[i], helper)))
+            current = helper
+        out.append(Production((current,), rhs[-2:]))
+    return out, nonterminals
+
+
+def _drop_unreachable(productions: list[Production], start: str) -> list[Production]:
+    reachable = {start}
+    changed = True
+    while changed:
+        changed = False
+        for p in productions:
+            if p.lhs[0] in reachable:
+                for s in p.rhs:
+                    if s not in reachable:
+                        reachable.add(s)
+                        changed = True
+    return [p for p in productions if p.lhs[0] in reachable]

@@ -1,0 +1,58 @@
+"""CYK recognition for context-free languages.
+
+Cocke–Younger–Kasami over a CNF grammar: O(n³·|P|) membership.  The
+benchmark B4 measures this scaling and the crossover against the DFA
+pipeline of :mod:`repro.grammar.regular` on regular inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .cnf import is_cnf, to_cnf
+from .grammar import Grammar, GrammarError
+
+
+def cyk_recognizes(grammar: Grammar, sentence: Sequence[str]) -> bool:
+    """True iff ``sentence`` (a sequence of terminals) is in L(grammar).
+
+    The grammar is converted to CNF if necessary (convert once and reuse
+    via :func:`to_cnf` when recognizing many sentences).
+    """
+    cnf = grammar if is_cnf(grammar) else to_cnf(grammar)
+    for symbol in sentence:
+        if symbol not in cnf.terminals and symbol not in grammar.terminals:
+            raise GrammarError(f"sentence uses unknown terminal {symbol!r}")
+    n = len(sentence)
+    if n == 0:
+        return any(
+            p.lhs == (cnf.start,) and not p.rhs for p in cnf.productions
+        )
+
+    # table[i][l] = set of nonterminals deriving sentence[i : i + l]
+    by_terminal: dict[str, set[str]] = {}
+    binary: list[tuple[str, str, str]] = []
+    for p in cnf.productions:
+        (lhs,) = p.lhs
+        if len(p.rhs) == 1:
+            by_terminal.setdefault(p.rhs[0], set()).add(lhs)
+        elif len(p.rhs) == 2:
+            binary.append((lhs, p.rhs[0], p.rhs[1]))
+
+    table: list[list[set[str]]] = [
+        [set() for _ in range(n + 1)] for _ in range(n)
+    ]
+    for i, symbol in enumerate(sentence):
+        table[i][1] = set(by_terminal.get(symbol, ()))
+    for length in range(2, n + 1):
+        for i in range(n - length + 1):
+            cell = table[i][length]
+            for split in range(1, length):
+                left = table[i][split]
+                right = table[i + split][length - split]
+                if not left or not right:
+                    continue
+                for lhs, b, c in binary:
+                    if b in left and c in right:
+                        cell.add(lhs)
+    return cnf.start in table[0][n]

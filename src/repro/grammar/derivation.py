@@ -1,0 +1,111 @@
+"""Derivations and sentence generation for context-free grammars.
+
+Breadth-first derivation search (an independent oracle for the CYK
+recognizer in property tests) and seeded random generation of sentences
+for benchmark workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Sequence
+
+from .grammar import Grammar, GrammarError
+
+
+def derivations(
+    grammar: Grammar, *, max_steps: int = 10_000, max_length: int = 12
+) -> Iterator[tuple[str, ...]]:
+    """Enumerate sentences of L(grammar) by BFS over sentential forms.
+
+    Deterministic order; bounded by ``max_steps`` expansions and pruned at
+    ``max_length`` symbols, so it terminates on every grammar.
+    """
+    if not grammar.is_context_free():
+        raise GrammarError("derivation search requires a context-free grammar")
+    seen_sentences: set[tuple[str, ...]] = set()
+    seen_forms: set[tuple[str, ...]] = set()
+    frontier: list[tuple[str, ...]] = [(grammar.start,)]
+    steps = 0
+    while frontier and steps < max_steps:
+        form = frontier.pop(0)
+        steps += 1
+        index = next(
+            (i for i, s in enumerate(form) if s in grammar.nonterminals), None
+        )
+        if index is None:
+            if form not in seen_sentences:
+                seen_sentences.add(form)
+                yield form
+            continue
+        head, tail = form[:index], form[index + 1:]
+        for production in grammar.productions_for(form[index]):
+            new_form = head + production.rhs + tail
+            if len(new_form) > max_length or new_form in seen_forms:
+                continue
+            seen_forms.add(new_form)
+            frontier.append(new_form)
+
+
+def derives(
+    grammar: Grammar,
+    sentence: Sequence[str],
+    *,
+    max_steps: int = 50_000,
+) -> bool:
+    """True iff ``sentence`` is derivable (BFS oracle; exponential, small inputs).
+
+    The bound on sentential-form length is |sentence| (CFG productions
+    with non-empty rhs never shrink below useful forms once ε-free; to
+    stay exact we allow a small slack for ε-productions).
+    """
+    target = tuple(sentence)
+    limit = max(len(target) * 2 + 2, 4)
+    for found in derivations(grammar, max_steps=max_steps, max_length=limit):
+        if found == target:
+            return True
+    return False
+
+
+def generate(
+    grammar: Grammar,
+    *,
+    seed: int = 0,
+    max_expansions: int = 200,
+    attempts: int = 50,
+) -> Optional[tuple[str, ...]]:
+    """A random sentence of L(grammar), or ``None`` if generation keeps diverging.
+
+    Leftmost expansion with a seeded RNG; retries up to ``attempts`` times
+    when the expansion budget is exhausted.
+    """
+    if not grammar.is_context_free():
+        raise GrammarError("generation requires a context-free grammar")
+    rng = random.Random(seed)
+    for _ in range(attempts):
+        form: list[str] = [grammar.start]
+        for _ in range(max_expansions):
+            index = next(
+                (i for i, s in enumerate(form) if s in grammar.nonterminals), None
+            )
+            if index is None:
+                return tuple(form)
+            options = grammar.productions_for(form[index])
+            if not options:
+                break  # dead nonterminal
+            production = rng.choice(options)
+            form[index:index + 1] = list(production.rhs)
+        # expansion budget exhausted; retry with fresh randomness
+    return None
+
+
+def sample_sentences(
+    grammar: Grammar, count: int, *, seed: int = 0
+) -> list[tuple[str, ...]]:
+    """``count`` (possibly repeated) random sentences, deterministically seeded."""
+    out = []
+    for i in range(count):
+        sentence = generate(grammar, seed=seed + i)
+        if sentence is not None:
+            out.append(sentence)
+    return out

@@ -1,0 +1,132 @@
+"""Formal grammars as 4-tuples — the paper's gold standard of definition.
+
+"In the case of formal grammar, the definition is the well known one: a
+formal grammar is a 4-tuple (N, T, S, P), where N is a finite set (called
+the set of non-terminals), T is a finite set, disjoint from N (called the
+set of terminals), etc." (paper §2)
+
+The point the paper builds on this: "given an arbitrary string of
+symbols, a definition should allow one to determine whether the string is
+a formal grammar or not."  :func:`is_formal_grammar` is that decision
+procedure, used by ``repro.core.definitions`` as the reference case of a
+structural definition against which Gruber's and Guarino's functional
+'definitions' are compared (experiment Q1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+
+class GrammarError(Exception):
+    """Raised when the 4-tuple conditions are violated."""
+
+
+@dataclass(frozen=True)
+class Production:
+    """A rewrite rule ``lhs → rhs`` (both are symbol tuples; rhs may be ε)."""
+
+    lhs: tuple[str, ...]
+    rhs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.lhs:
+            raise GrammarError("production left-hand side must be non-empty")
+
+    def __str__(self) -> str:
+        lhs = " ".join(self.lhs)
+        rhs = " ".join(self.rhs) if self.rhs else "ε"
+        return f"{lhs} → {rhs}"
+
+
+class Grammar:
+    """A formal grammar ``(N, T, S, P)``, validated structurally.
+
+    >>> g = Grammar({"S"}, {"a", "b"}, "S",
+    ...             [Production(("S",), ("a", "S", "b")), Production(("S",), ())])
+    >>> g.start
+    'S'
+    """
+
+    def __init__(
+        self,
+        nonterminals: Iterable[str],
+        terminals: Iterable[str],
+        start: str,
+        productions: Iterable[Production],
+    ) -> None:
+        self.nonterminals = frozenset(nonterminals)
+        self.terminals = frozenset(terminals)
+        self.start = start
+        self.productions = list(productions)
+
+        if not self.nonterminals:
+            raise GrammarError("N must be non-empty")
+        overlap = self.nonterminals & self.terminals
+        if overlap:
+            raise GrammarError(f"N and T must be disjoint; shared: {sorted(overlap)}")
+        if start not in self.nonterminals:
+            raise GrammarError(f"start symbol {start!r} must belong to N")
+        alphabet = self.nonterminals | self.terminals
+        for production in self.productions:
+            if not isinstance(production, Production):
+                raise GrammarError(f"not a production: {production!r}")
+            for symbol in (*production.lhs, *production.rhs):
+                if symbol not in alphabet:
+                    raise GrammarError(
+                        f"production {production} uses unknown symbol {symbol!r}"
+                    )
+            if not any(s in self.nonterminals for s in production.lhs):
+                raise GrammarError(
+                    f"production {production} has no nonterminal on the left"
+                )
+
+    # ------------------------------------------------------------------ #
+
+    def productions_for(self, nonterminal: str) -> list[Production]:
+        """Productions whose lhs is exactly the single ``nonterminal``."""
+        return [p for p in self.productions if p.lhs == (nonterminal,)]
+
+    def is_context_free(self) -> bool:
+        """True iff every lhs is a single nonterminal."""
+        return all(
+            len(p.lhs) == 1 and p.lhs[0] in self.nonterminals
+            for p in self.productions
+        )
+
+    def symbols(self) -> frozenset[str]:
+        return self.nonterminals | self.terminals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Grammar(|N|={len(self.nonterminals)}, |T|={len(self.terminals)}, "
+            f"start={self.start!r}, |P|={len(self.productions)})"
+        )
+
+    def pretty(self) -> str:
+        return "\n".join(str(p) for p in self.productions)
+
+
+def is_formal_grammar(candidate: object) -> bool:
+    """Decide, structurally, whether ``candidate`` is a formal grammar.
+
+    Accepts either a :class:`Grammar` instance or a raw 4-tuple
+    ``(N, T, S, P)`` with ``P`` a sequence of ``(lhs, rhs)`` pairs.  The
+    decision looks only at structure — no appeal to what the artifact is
+    *for* — which is exactly the property the paper demands of a
+    computing-science definition.
+    """
+    if isinstance(candidate, Grammar):
+        return True
+    if not isinstance(candidate, Sequence) or len(candidate) != 4:
+        return False
+    raw_n, raw_t, start, raw_p = candidate
+    try:
+        productions = [
+            Production(tuple(lhs), tuple(rhs)) for lhs, rhs in raw_p
+        ]
+        Grammar(raw_n, raw_t, start, productions)
+    except (GrammarError, TypeError, ValueError):
+        return False
+    return True

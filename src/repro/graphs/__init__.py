@@ -1,0 +1,57 @@
+"""Graph substrate: labeled digraphs, traversals, invariants, isomorphism.
+
+Built from scratch so that every structural claim the library makes —
+"these two definition graphs are isomorphic", "this dependency graph has a
+cycle" — is checkable against code that is itself part of the artifact.
+"""
+
+from .digraph import DiGraph, GraphError
+from .invariants import (
+    degree_profile,
+    edge_label_profile,
+    wl_certificate,
+    wl_colors,
+    wl_distinguishes,
+)
+from .isomorphism import (
+    are_isomorphic,
+    count_automorphisms,
+    find_isomorphism,
+    is_isomorphism,
+)
+from .traversal import (
+    bfs_order,
+    condensation,
+    dfs_order,
+    find_cycle,
+    has_path,
+    is_acyclic,
+    reachable_from,
+    shortest_path,
+    strongly_connected_components,
+    topological_sort,
+)
+
+__all__ = [
+    "DiGraph",
+    "GraphError",
+    "bfs_order",
+    "dfs_order",
+    "reachable_from",
+    "shortest_path",
+    "topological_sort",
+    "is_acyclic",
+    "find_cycle",
+    "strongly_connected_components",
+    "condensation",
+    "has_path",
+    "degree_profile",
+    "edge_label_profile",
+    "wl_colors",
+    "wl_certificate",
+    "wl_distinguishes",
+    "find_isomorphism",
+    "are_isomorphic",
+    "is_isomorphism",
+    "count_automorphisms",
+]

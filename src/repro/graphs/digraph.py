@@ -1,0 +1,251 @@
+"""Labeled directed graphs.
+
+The graph substrate underlying the rest of the library: definition graphs
+extracted from description-logic TBoxes (``repro.dl.defgraph``), the
+definitional-dependency graphs used by the circularity analysis
+(``repro.intensional.circularity``), Hasse diagrams of posets
+(``repro.order.poset``), and the structural-meaning machinery of the
+critique engine all sit on :class:`DiGraph`.
+
+Nodes are arbitrary hashable objects and may carry a *node label*; edges
+are directed and may carry *edge labels*.  Between two nodes any number of
+distinctly-labeled edges may exist (a labeled multidigraph quotiented by
+label equality), which is exactly what a role-labeled definition graph
+needs: ``car --size--> small`` and ``car --uses--> small`` are different
+edges even though they connect the same nodes.
+
+The implementation is deliberately self-contained (no networkx): the paper
+argues that structural claims must be checkable from the artifact alone,
+and the same spirit applies to this library's foundations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Optional
+
+
+class GraphError(Exception):
+    """Raised on structurally invalid graph operations."""
+
+
+class DiGraph:
+    """A directed graph with hashable nodes, node labels and edge labels.
+
+    >>> g = DiGraph()
+    >>> g.add_edge("car", "motorvehicle", label="isa")
+    >>> g.add_edge("car", "small", label="size")
+    >>> sorted(g.successors("car"))
+    ['motorvehicle', 'small']
+    >>> g.edge_labels("car", "small")
+    frozenset({'size'})
+    """
+
+    def __init__(self) -> None:
+        self._node_labels: dict[Hashable, Any] = {}
+        # adjacency: u -> v -> frozen-able set of labels on u->v edges
+        self._succ: dict[Hashable, dict[Hashable, set[Any]]] = {}
+        self._pred: dict[Hashable, dict[Hashable, set[Any]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, node: Hashable, label: Any = None) -> None:
+        """Add ``node``; if it exists, update its label when one is given."""
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+            self._node_labels[node] = label
+        elif label is not None:
+            self._node_labels[node] = label
+
+    def add_edge(self, u: Hashable, v: Hashable, label: Any = None) -> None:
+        """Add a directed edge ``u -> v`` carrying ``label``.
+
+        Missing endpoints are created (with ``None`` node labels).  Adding
+        the same (u, v, label) triple twice is idempotent.
+        """
+        self.add_node(u)
+        self.add_node(v)
+        self._succ[u].setdefault(v, set()).add(label)
+        self._pred[v].setdefault(u, set()).add(label)
+
+    def remove_edge(self, u: Hashable, v: Hashable, label: Any = None) -> None:
+        """Remove the edge ``(u, v, label)``; raise :class:`GraphError` if absent."""
+        labels = self._succ.get(u, {}).get(v)
+        if not labels or label not in labels:
+            raise GraphError(f"no edge {u!r} -> {v!r} with label {label!r}")
+        labels.discard(label)
+        self._pred[v][u].discard(label)
+        if not labels:
+            del self._succ[u][v]
+            del self._pred[v][u]
+
+    def remove_node(self, node: Hashable) -> None:
+        """Remove ``node`` and all incident edges."""
+        if node not in self._succ:
+            raise GraphError(f"no node {node!r}")
+        for v in list(self._succ[node]):
+            del self._pred[v][node]
+        for u in list(self._pred[node]):
+            del self._succ[u][node]
+        del self._succ[node]
+        del self._pred[node]
+        del self._node_labels[node]
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._succ
+
+    def nodes(self) -> Iterator[Hashable]:
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[tuple[Hashable, Hashable, Any]]:
+        """Iterate ``(u, v, label)`` triples."""
+        for u, targets in self._succ.items():
+            for v, labels in targets.items():
+                for label in labels:
+                    yield (u, v, label)
+
+    def edge_count(self) -> int:
+        return sum(len(labels) for targets in self._succ.values() for labels in targets.values())
+
+    def node_label(self, node: Hashable) -> Any:
+        if node not in self._node_labels:
+            raise GraphError(f"no node {node!r}")
+        return self._node_labels[node]
+
+    def set_node_label(self, node: Hashable, label: Any) -> None:
+        if node not in self._node_labels:
+            raise GraphError(f"no node {node!r}")
+        self._node_labels[node] = label
+
+    def has_edge(self, u: Hashable, v: Hashable, label: Any = ...) -> bool:
+        """True if an edge ``u -> v`` exists (with ``label``, when given)."""
+        labels = self._succ.get(u, {}).get(v)
+        if labels is None:
+            return False
+        if label is ...:
+            return True
+        return label in labels
+
+    def edge_labels(self, u: Hashable, v: Hashable) -> frozenset:
+        """The set of labels on edges ``u -> v`` (empty if none)."""
+        return frozenset(self._succ.get(u, {}).get(v, ()))
+
+    def successors(self, node: Hashable) -> Iterator[Hashable]:
+        if node not in self._succ:
+            raise GraphError(f"no node {node!r}")
+        return iter(self._succ[node])
+
+    def predecessors(self, node: Hashable) -> Iterator[Hashable]:
+        if node not in self._pred:
+            raise GraphError(f"no node {node!r}")
+        return iter(self._pred[node])
+
+    def out_edges(self, node: Hashable) -> Iterator[tuple[Hashable, Any]]:
+        """Iterate ``(target, label)`` for edges leaving ``node``."""
+        for v, labels in self._succ.get(node, {}).items():
+            for label in labels:
+                yield (v, label)
+
+    def in_edges(self, node: Hashable) -> Iterator[tuple[Hashable, Any]]:
+        """Iterate ``(source, label)`` for edges entering ``node``."""
+        for u, labels in self._pred.get(node, {}).items():
+            for label in labels:
+                yield (u, label)
+
+    def out_degree(self, node: Hashable) -> int:
+        return sum(len(labels) for labels in self._succ.get(node, {}).values())
+
+    def in_degree(self, node: Hashable) -> int:
+        return sum(len(labels) for labels in self._pred.get(node, {}).values())
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "DiGraph":
+        g = DiGraph()
+        for node, label in self._node_labels.items():
+            g.add_node(node, label)
+        for u, v, label in self.edges():
+            g.add_edge(u, v, label)
+        return g
+
+    def subgraph(self, nodes: Iterable[Hashable]) -> "DiGraph":
+        """The induced subgraph on ``nodes`` (unknown nodes are ignored)."""
+        keep = {n for n in nodes if n in self._succ}
+        g = DiGraph()
+        for n in keep:
+            g.add_node(n, self._node_labels[n])
+        for u in keep:
+            for v, labels in self._succ[u].items():
+                if v in keep:
+                    for label in labels:
+                        g.add_edge(u, v, label)
+        return g
+
+    def reversed(self) -> "DiGraph":
+        """The graph with every edge direction flipped."""
+        g = DiGraph()
+        for node, label in self._node_labels.items():
+            g.add_node(node, label)
+        for u, v, label in self.edges():
+            g.add_edge(v, u, label)
+        return g
+
+    def relabel_nodes(self, mapping: Mapping[Hashable, Hashable]) -> "DiGraph":
+        """A copy with node identities renamed through ``mapping``.
+
+        Nodes absent from ``mapping`` keep their identity.  Raises
+        :class:`GraphError` if the mapping merges two nodes.
+        """
+        image = [mapping.get(n, n) for n in self._succ]
+        if len(set(image)) != len(image):
+            raise GraphError("relabeling would merge distinct nodes")
+        g = DiGraph()
+        for node, label in self._node_labels.items():
+            g.add_node(mapping.get(node, node), label)
+        for u, v, label in self.edges():
+            g.add_edge(mapping.get(u, u), mapping.get(v, v), label)
+        return g
+
+    def anonymized(self) -> "DiGraph":
+        """A copy with all node labels erased.
+
+        This is precisely the move the paper makes between its structures
+        (6) and (7): keeping the shape of a definition while discarding the
+        names — the diagram "of dots" whose isomorphism class is claimed to
+        *be* the structural meaning.
+        """
+        g = self.copy()
+        for node in g.nodes():
+            g.set_node_label(node, None)
+        return g
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+
+    def to_dot(self, name: str = "G") -> str:
+        """Render as Graphviz DOT (for documentation and debugging)."""
+        lines = [f"digraph {name} {{"]
+        for node in self._succ:
+            label = self._node_labels[node]
+            text = str(node) if label is None else f"{node}\\n[{label}]"
+            lines.append(f'  "{node}" [label="{text}"];')
+        for u, v, label in self.edges():
+            attr = "" if label is None else f' [label="{label}"]'
+            lines.append(f'  "{u}" -> "{v}"{attr};')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(nodes={len(self)}, edges={self.edge_count()})"

@@ -1,0 +1,134 @@
+"""Graph invariants and Weisfeiler–Leman color refinement.
+
+Isomorphism-invariant signatures used both as fast *non*-isomorphism
+certificates (a prefilter in front of the exact VF2 search) and as the
+canonical "shape" of a definition graph — the paper's structure (7), the
+diagram of anonymous dots whose isomorphism class is what a structural
+theory of meaning would have to identify with the concept itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from .digraph import DiGraph
+
+
+def degree_profile(graph: DiGraph) -> tuple:
+    """The sorted multiset of (in-degree, out-degree, node label) triples.
+
+    Equal profiles are necessary (not sufficient) for isomorphism.
+    """
+    profile = sorted(
+        (graph.in_degree(n), graph.out_degree(n), _label_key(graph.node_label(n)))
+        for n in graph.nodes()
+    )
+    return tuple(profile)
+
+
+def edge_label_profile(graph: DiGraph) -> tuple:
+    """The sorted multiset of edge labels (isomorphism invariant)."""
+    return tuple(sorted(_label_key(label) for _, _, label in graph.edges()))
+
+
+def _label_key(label: Any) -> str:
+    """A total-order key for arbitrary labels (None sorts first)."""
+    return "" if label is None else f"{type(label).__name__}:{label!r}"
+
+
+def wl_colors(graph: DiGraph, rounds: int | None = None) -> dict[Hashable, int]:
+    """1-dimensional Weisfeiler–Leman (color refinement) for labeled digraphs.
+
+    Starts from node labels and repeatedly refines each node's color with
+    the multiset of (edge label, neighbor color) pairs over *both* outgoing
+    and incoming edges, until stable or ``rounds`` iterations.
+
+    Returns the final node → color-id mapping.  Color ids are consistent
+    across graphs refined in the same call to :func:`wl_certificate`, and
+    within a single call colors are assigned deterministically, so equal
+    certificates really mean "WL cannot distinguish these graphs".
+    """
+    colors = {n: _label_key(graph.node_label(n)) for n in graph.nodes()}
+    return _refine({id(graph): graph}, {id(graph): colors}, rounds)[id(graph)]
+
+
+def _refine(
+    graphs: dict[int, DiGraph],
+    colorings: dict[int, dict[Hashable, str]],
+    rounds: int | None,
+) -> dict[int, dict[Hashable, int]]:
+    """Refine several graphs under a *shared* color alphabet."""
+    total_nodes = sum(len(g) for g in graphs.values())
+    max_rounds = rounds if rounds is not None else max(total_nodes, 1)
+    current = colorings
+    for _ in range(max_rounds):
+        signatures: dict[int, dict[Hashable, str]] = {}
+        for key, graph in graphs.items():
+            colors = current[key]
+            sigs: dict[Hashable, str] = {}
+            for node in graph.nodes():
+                out_part = sorted(
+                    f"O|{_label_key(label)}|{colors[v]}" for v, label in graph.out_edges(node)
+                )
+                in_part = sorted(
+                    f"I|{_label_key(label)}|{colors[u]}" for u, label in graph.in_edges(node)
+                )
+                sigs[node] = colors[node] + "#" + ";".join(out_part) + "#" + ";".join(in_part)
+            signatures[key] = sigs
+        # compress signatures to short color names, shared across graphs
+        alphabet = sorted({s for sigs in signatures.values() for s in sigs.values()})
+        rename = {sig: f"c{i}" for i, sig in enumerate(alphabet)}
+        refined = {
+            key: {node: rename[sig] for node, sig in sigs.items()}
+            for key, sigs in signatures.items()
+        }
+        if all(
+            _partition(refined[key]) == _partition(current[key]) for key in graphs
+        ):
+            current = refined
+            break
+        current = refined
+    # final pass: map the (string) colors onto integers
+    final_alphabet = sorted({c for colors in current.values() for c in colors.values()})
+    as_int = {c: i for i, c in enumerate(final_alphabet)}
+    return {
+        key: {node: as_int[c] for node, c in colors.items()} for key, colors in current.items()
+    }
+
+
+def _partition(colors: dict[Hashable, str]) -> frozenset:
+    """The partition of nodes induced by a coloring (for stability checks)."""
+    groups: dict[str, set] = {}
+    for node, color in colors.items():
+        groups.setdefault(color, set()).add(node)
+    return frozenset(frozenset(g) for g in groups.values())
+
+
+def wl_certificate(graph: DiGraph, rounds: int | None = None) -> tuple:
+    """An isomorphism-invariant certificate: the sorted multiset of WL colors.
+
+    Two isomorphic graphs always get equal certificates; unequal
+    certificates therefore *prove* non-isomorphism.  Equal certificates do
+    not prove isomorphism (WL-1 is blind to some regular structures), so
+    exact checks must fall through to :func:`repro.graphs.isomorphism.find_isomorphism`.
+    """
+    colors = wl_colors(graph, rounds)
+    return tuple(sorted(colors.values()))
+
+
+def wl_distinguishes(g1: DiGraph, g2: DiGraph, rounds: int | None = None) -> bool:
+    """True iff WL refinement proves ``g1`` and ``g2`` non-isomorphic.
+
+    The two graphs are refined under a shared color alphabet so their
+    certificates are directly comparable.
+    """
+    if len(g1) != len(g2) or g1.edge_count() != g2.edge_count():
+        return True
+    init = {
+        1: {n: _label_key(g1.node_label(n)) for n in g1.nodes()},
+        2: {n: _label_key(g2.node_label(n)) for n in g2.nodes()},
+    }
+    refined = _refine({1: g1, 2: g2}, init, rounds)
+    hist1 = tuple(sorted(refined[1].values()))
+    hist2 = tuple(sorted(refined[2].values()))
+    return hist1 != hist2

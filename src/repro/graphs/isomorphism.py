@@ -1,0 +1,181 @@
+"""Exact labeled-digraph isomorphism (VF2-style backtracking search).
+
+This is the engine behind the paper's central semantic argument (§3): if
+the meaning of a concept is the *structure* of its definition — the
+paper's diagram (7) — then meaning identity is graph isomorphism of
+definition graphs, and the vehicle ontonomy (4) and the animal ontonomy
+(8) denote the *same* meaning: CAR = DOG.  ``find_isomorphism`` is what
+makes that reductio mechanical.
+
+The matcher respects node labels and edge labels: a candidate pair
+(n, m) is feasible only when labels agree and the partial mapping remains
+edge-consistent in both directions.  A Weisfeiler–Leman prefilter
+(:func:`repro.graphs.invariants.wl_distinguishes`) cheaply rejects most
+non-isomorphic pairs before the exponential search runs; benchmark B2
+ablates exactly this choice.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+from .digraph import DiGraph
+from .invariants import wl_colors, wl_distinguishes
+
+
+def find_isomorphism(
+    g1: DiGraph,
+    g2: DiGraph,
+    *,
+    respect_node_labels: bool = True,
+    use_wl_prefilter: bool = True,
+) -> Optional[dict[Hashable, Hashable]]:
+    """A label-preserving isomorphism ``g1 -> g2``, or ``None``.
+
+    With ``respect_node_labels=False`` node labels are ignored (only the
+    shape and the edge labels must match) — this is the *anonymized*
+    comparison of the paper's diagram (7), where "car" and "dog" become
+    indistinguishable dots.  Edge labels are always respected; pre-erase
+    them on copies if pure shape is wanted.
+    """
+    if len(g1) != len(g2) or g1.edge_count() != g2.edge_count():
+        return None
+    if respect_node_labels and use_wl_prefilter and wl_distinguishes(g1, g2):
+        return None
+
+    matcher = _VF2Matcher(g1, g2, respect_node_labels)
+    return matcher.search()
+
+
+def are_isomorphic(g1: DiGraph, g2: DiGraph, *, respect_node_labels: bool = True) -> bool:
+    """True iff a label-preserving isomorphism exists (see :func:`find_isomorphism`)."""
+    return find_isomorphism(g1, g2, respect_node_labels=respect_node_labels) is not None
+
+
+def is_isomorphism(g1: DiGraph, g2: DiGraph, mapping: dict) -> bool:
+    """Verify that ``mapping`` is a (node-label- and edge-label-preserving)
+    isomorphism from ``g1`` onto ``g2``.
+
+    Useful as an independent check of the matcher's output and in
+    property-based tests.
+    """
+    nodes1 = set(g1.nodes())
+    if set(mapping.keys()) != nodes1:
+        return False
+    image = set(mapping.values())
+    if image != set(g2.nodes()) or len(image) != len(nodes1):
+        return False
+    for n in nodes1:
+        if g1.node_label(n) != g2.node_label(mapping[n]):
+            return False
+    count = 0
+    for u, v, label in g1.edges():
+        if not g2.has_edge(mapping[u], mapping[v], label):
+            return False
+        count += 1
+    return count == g2.edge_count()
+
+
+class _VF2Matcher:
+    """Backtracking state for the VF2-style search."""
+
+    def __init__(self, g1: DiGraph, g2: DiGraph, respect_node_labels: bool) -> None:
+        self.g1 = g1
+        self.g2 = g2
+        self.respect_node_labels = respect_node_labels
+        self.core1: dict[Hashable, Hashable] = {}  # g1 node -> g2 node
+        self.core2: dict[Hashable, Hashable] = {}  # g2 node -> g1 node
+        # candidate ordering: rarest (WL color) first, then high degree —
+        # fails fast on hard instances
+        colors1 = wl_colors(g1)
+        frequency: dict[int, int] = {}
+        for color in colors1.values():
+            frequency[color] = frequency.get(color, 0) + 1
+        self.order1 = sorted(
+            g1.nodes(),
+            key=lambda n: (
+                frequency[colors1[n]],
+                -(g1.in_degree(n) + g1.out_degree(n)),
+                repr(n),
+            ),
+        )
+        self.nodes2 = list(g2.nodes())
+
+    def search(self) -> Optional[dict[Hashable, Hashable]]:
+        if self._match(0):
+            return dict(self.core1)
+        return None
+
+    def _match(self, depth: int) -> bool:
+        if depth == len(self.order1):
+            return True
+        n = self.order1[depth]
+        for m in self.nodes2:
+            if m in self.core2:
+                continue
+            if self._feasible(n, m):
+                self.core1[n] = m
+                self.core2[m] = n
+                if self._match(depth + 1):
+                    return True
+                del self.core1[n]
+                del self.core2[m]
+        return False
+
+    def _feasible(self, n: Hashable, m: Hashable) -> bool:
+        g1, g2 = self.g1, self.g2
+        if self.respect_node_labels and g1.node_label(n) != g2.node_label(m):
+            return False
+        if g1.in_degree(n) != g2.in_degree(m) or g1.out_degree(n) != g2.out_degree(m):
+            return False
+        # self-loops: n maps to m, so their loop labels must agree (n is not
+        # in the core yet when it is its own neighbor, so check explicitly)
+        if g1.edge_labels(n, n) != g2.edge_labels(m, m):
+            return False
+        # consistency with the partial mapping, outgoing edges
+        for v in g1.successors(n):
+            if v in self.core1 and g1.edge_labels(n, v) != g2.edge_labels(m, self.core1[v]):
+                return False
+        for v in g2.successors(m):
+            if v in self.core2 and g2.edge_labels(m, v) != g1.edge_labels(n, self.core2[v]):
+                return False
+        # incoming edges
+        for u in g1.predecessors(n):
+            if u in self.core1 and g1.edge_labels(u, n) != g2.edge_labels(self.core1[u], m):
+                return False
+        for u in g2.predecessors(m):
+            if u in self.core2 and g2.edge_labels(u, m) != g1.edge_labels(self.core2[u], n):
+                return False
+        return True
+
+
+def count_automorphisms(graph: DiGraph, *, respect_node_labels: bool = True, limit: int = 10_000) -> int:
+    """The number of label-preserving automorphisms (up to ``limit``).
+
+    An anonymized definition graph with many automorphisms carries little
+    differential structure — one quantitative face of the paper's regress
+    argument: symmetric "meanings" cannot tell their own parts apart.
+    """
+    matcher = _VF2Matcher(graph, graph, respect_node_labels)
+    count = 0
+
+    def backtrack(depth: int) -> None:
+        nonlocal count
+        if count >= limit:
+            return
+        if depth == len(matcher.order1):
+            count += 1
+            return
+        n = matcher.order1[depth]
+        for m in matcher.nodes2:
+            if m in matcher.core2:
+                continue
+            if matcher._feasible(n, m):
+                matcher.core1[n] = m
+                matcher.core2[m] = n
+                backtrack(depth + 1)
+                del matcher.core1[n]
+                del matcher.core2[m]
+
+    backtrack(0)
+    return count

@@ -1,0 +1,229 @@
+"""Graph traversals and structure analysis.
+
+Depth/breadth-first search, reachability, topological sorting, cycle
+detection and Tarjan's strongly-connected-components algorithm.  The SCC
+machinery is what the critique engine uses to exhibit the circularity of
+Guarino's intensional-relation construction (paper §2): the definitional
+dependencies *intensional relation → possible world → extensional relation
+→ intensional relation* form a strongly connected component of size > 1.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Optional
+
+from .digraph import DiGraph, GraphError
+
+
+def bfs_order(graph: DiGraph, start: Hashable) -> list[Hashable]:
+    """Nodes reachable from ``start`` in breadth-first order."""
+    if start not in graph:
+        raise GraphError(f"no node {start!r}")
+    seen = {start}
+    order = [start]
+    frontier = [start]
+    while frontier:
+        nxt: list[Hashable] = []
+        for node in frontier:
+            for succ in graph.successors(node):
+                if succ not in seen:
+                    seen.add(succ)
+                    order.append(succ)
+                    nxt.append(succ)
+        frontier = nxt
+    return order
+
+
+def dfs_order(graph: DiGraph, start: Hashable) -> list[Hashable]:
+    """Nodes reachable from ``start`` in (preorder) depth-first order."""
+    if start not in graph:
+        raise GraphError(f"no node {start!r}")
+    seen: set[Hashable] = set()
+    order: list[Hashable] = []
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        # push in reverse so iteration order is stable w.r.t. successors()
+        stack.extend(reversed(list(graph.successors(node))))
+    return order
+
+
+def reachable_from(graph: DiGraph, start: Hashable) -> frozenset:
+    """The set of nodes reachable from ``start`` (including itself)."""
+    return frozenset(bfs_order(graph, start))
+
+
+def shortest_path(graph: DiGraph, start: Hashable, goal: Hashable) -> Optional[list[Hashable]]:
+    """A shortest (fewest edges) path from ``start`` to ``goal``, or None."""
+    if start not in graph or goal not in graph:
+        raise GraphError("endpoints must be graph nodes")
+    if start == goal:
+        return [start]
+    parent: dict[Hashable, Hashable] = {start: start}
+    frontier = [start]
+    while frontier:
+        nxt: list[Hashable] = []
+        for node in frontier:
+            for succ in graph.successors(node):
+                if succ in parent:
+                    continue
+                parent[succ] = node
+                if succ == goal:
+                    path = [goal]
+                    while path[-1] != start:
+                        path.append(parent[path[-1]])
+                    return list(reversed(path))
+                nxt.append(succ)
+        frontier = nxt
+    return None
+
+
+def topological_sort(graph: DiGraph) -> list[Hashable]:
+    """A topological order of ``graph``; raises :class:`GraphError` on cycles."""
+    in_deg = {node: 0 for node in graph.nodes()}
+    for _, v, _ in graph.edges():
+        in_deg[v] += 1
+    ready = [node for node, d in in_deg.items() if d == 0]
+    order: list[Hashable] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for succ in set(graph.successors(node)):
+            # a labeled multi-edge counts once per label
+            in_deg[succ] -= len(graph.edge_labels(node, succ))
+            if in_deg[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(graph):
+        raise GraphError("graph has a cycle; no topological order exists")
+    return order
+
+
+def is_acyclic(graph: DiGraph) -> bool:
+    """True iff ``graph`` contains no directed cycle."""
+    try:
+        topological_sort(graph)
+    except GraphError:
+        return False
+    return True
+
+
+def find_cycle(graph: DiGraph) -> Optional[list[Hashable]]:
+    """Some directed cycle as a node list ``[v0, v1, ..., v0]``, or None.
+
+    Self-loops yield ``[v, v]``.  Used by the circularity analysis to
+    produce a human-readable witness of a definitional cycle.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph.nodes()}
+
+    for root in list(graph.nodes()):
+        if color[root] != WHITE:
+            continue
+        # iterative DFS carrying the gray path explicitly
+        path: list[Hashable] = []
+        work: list[tuple[Hashable, Iterator]] = []
+        color[root] = GRAY
+        path.append(root)
+        work.append((root, iter(list(graph.successors(root)))))
+        while work:
+            node, succs = work[-1]
+            advanced = False
+            for succ in succs:
+                if color[succ] == GRAY:
+                    i = path.index(succ)
+                    return path[i:] + [succ]
+                if color[succ] == WHITE:
+                    color[succ] = GRAY
+                    path.append(succ)
+                    work.append((succ, iter(list(graph.successors(succ)))))
+                    advanced = True
+                    break
+            if not advanced:
+                work.pop()
+                path.pop()
+                color[node] = BLACK
+    return None
+
+
+def strongly_connected_components(graph: DiGraph) -> list[frozenset]:
+    """Tarjan's algorithm; components in reverse topological order.
+
+    Iterative formulation (no recursion limit issues on deep graphs).
+    """
+    index_of: dict[Hashable, int] = {}
+    lowlink: dict[Hashable, int] = {}
+    on_stack: set[Hashable] = set()
+    stack: list[Hashable] = []
+    components: list[frozenset] = []
+    counter = 0
+
+    for root in list(graph.nodes()):
+        if root in index_of:
+            continue
+        # each work item: (node, iterator over successors)
+        work = [(root, iter(list(graph.successors(root))))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succs = work[-1]
+            advanced = False
+            for succ in succs:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(list(graph.successors(succ)))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+    return components
+
+
+def condensation(graph: DiGraph) -> tuple[DiGraph, dict[Hashable, frozenset]]:
+    """The DAG of strongly connected components.
+
+    Returns ``(dag, membership)`` where ``dag`` has one node per SCC
+    (the frozenset itself) and ``membership`` maps each original node to
+    its component.
+    """
+    comps = strongly_connected_components(graph)
+    member: dict[Hashable, frozenset] = {}
+    for comp in comps:
+        for node in comp:
+            member[node] = comp
+    dag = DiGraph()
+    for comp in comps:
+        dag.add_node(comp)
+    for u, v, label in graph.edges():
+        cu, cv = member[u], member[v]
+        if cu != cv:
+            dag.add_edge(cu, cv, label)
+    return dag, member
+
+
+def has_path(graph: DiGraph, start: Hashable, goal: Hashable) -> bool:
+    """True iff ``goal`` is reachable from ``start``."""
+    return shortest_path(graph, start, goal) is not None

@@ -1,0 +1,26 @@
+"""Hermeneutics: situated interpretation, the circle, re-coding drift."""
+
+from .circle import CircleResult, CircleStatus, cut_circle, run_circle
+from .context import (
+    Convention,
+    Discourse,
+    Feature,
+    HermeneuticError,
+    Situation,
+    Text,
+)
+from .reader import (
+    ALGORITHMIC_READER,
+    Interpretation,
+    Interpreter,
+    Reader,
+)
+from .recoding import DriftReport, formalization, interpretation_drift
+
+__all__ = [
+    "Text", "Situation", "Convention", "Discourse", "Feature",
+    "HermeneuticError",
+    "Reader", "ALGORITHMIC_READER", "Interpreter", "Interpretation",
+    "CircleStatus", "CircleResult", "run_circle", "cut_circle",
+    "DriftReport", "interpretation_drift", "formalization",
+]

@@ -1,0 +1,118 @@
+"""The hermeneutic circle as constraint propagation.
+
+"The parts of the text can be understood in terms of the whole context,
+and the context becomes intelligible by means of the parts." (paper §3,
+citing Gadamer)
+
+Model: each *part* of a text has candidate senses; there is a set of
+candidate *whole* construals; a compatibility relation says which sense a
+part can bear under which whole.  Reading iterates both directions —
+prune senses no surviving whole supports, prune wholes no surviving
+sense-assignment realizes — to a fixpoint.  The circle is virtuous when
+the fixpoint is determinate, ambiguous when several readings survive,
+and broken when nothing does.
+
+Ontology's move, on the paper's analysis, is to cut the circle by fixing
+the senses once and for all; :func:`cut_circle` does exactly that, so
+tests can show what the cut costs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+
+class CircleStatus(enum.Enum):
+    DETERMINATE = "determinate"
+    AMBIGUOUS = "ambiguous"
+    INCOHERENT = "incoherent"
+
+
+@dataclass(frozen=True)
+class CircleResult:
+    """The fixpoint of the part↔whole propagation."""
+
+    status: CircleStatus
+    senses: Mapping[str, frozenset[str]]
+    wholes: frozenset[str]
+    iterations: int
+
+    def sense_of(self, part: str) -> str | None:
+        """The settled sense of ``part``, if unique."""
+        candidates = self.senses[part]
+        if len(candidates) == 1:
+            (sense,) = candidates
+            return sense
+        return None
+
+
+Compatibility = Callable[[str, str, str], bool]  # (whole, part, sense) -> bool
+
+
+def run_circle(
+    parts: Mapping[str, frozenset[str] | set[str]],
+    wholes: frozenset[str] | set[str],
+    compatible: Compatibility,
+    *,
+    max_iterations: int = 100,
+) -> CircleResult:
+    """Iterate part↔whole pruning to a fixpoint.
+
+    * a sense survives if SOME surviving whole supports it;
+    * a whole survives if EVERY part retains SOME sense it supports.
+    """
+    senses: dict[str, frozenset[str]] = {
+        p: frozenset(s) for p, s in parts.items()
+    }
+    live_wholes = frozenset(wholes)
+    iterations = 0
+    for _ in range(max_iterations):
+        iterations += 1
+        new_senses = {
+            p: frozenset(
+                s for s in candidates if any(compatible(w, p, s) for w in live_wholes)
+            )
+            for p, candidates in senses.items()
+        }
+        new_wholes = frozenset(
+            w
+            for w in live_wholes
+            if all(
+                any(compatible(w, p, s) for s in new_senses[p])
+                for p in new_senses
+            )
+        )
+        if new_senses == senses and new_wholes == live_wholes:
+            break
+        senses, live_wholes = new_senses, new_wholes
+
+    if not live_wholes or any(not s for s in senses.values()):
+        status = CircleStatus.INCOHERENT
+    elif len(live_wholes) == 1 and all(len(s) == 1 for s in senses.values()):
+        status = CircleStatus.DETERMINATE
+    else:
+        status = CircleStatus.AMBIGUOUS
+    return CircleResult(
+        status=status, senses=senses, wholes=live_wholes, iterations=iterations
+    )
+
+
+def cut_circle(
+    parts: Mapping[str, frozenset[str] | set[str]],
+    wholes: frozenset[str] | set[str],
+    compatible: Compatibility,
+    fixed_senses: Mapping[str, str],
+) -> CircleResult:
+    """Ontology's normative move: fix each part's sense in advance.
+
+    The senses in ``fixed_senses`` replace the candidate sets (one sense
+    per part, decided before any reading), and only the whole-pruning
+    direction runs.  When the codified senses are the right ones for the
+    situation, this agrees with :func:`run_circle`; when they are not,
+    the reading comes out incoherent or lands on a different whole —
+    the cost of the "death of the reader".
+    """
+    frozen = {p: frozenset({fixed_senses[p]}) for p in parts}
+    return run_circle(frozen, wholes, compatible)

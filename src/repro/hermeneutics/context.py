@@ -1,0 +1,130 @@
+"""Texts, situations, conventions: the raw material of interpretation.
+
+Paper §3, the "trespassers will be prosecuted" analysis: "None of these
+elements, necessary for understanding, is in the text: they must be
+supplied by a specific situation … and … by other texts that are not
+present" — the discourses of private property, custom, authority.
+
+The model: a :class:`Text` carries only what is materially in/on it
+(words, medium, dating); a :class:`Situation` carries placement and
+circumstance; a :class:`Convention` is a fragment of a discourse — a rule
+that, given text features, situation features, the reader's background
+and previously derived propositions, contributes propositions (and
+possibly a speech-act classification) to the reading.  Interpretation is
+the fixpoint of applying conventions (:mod:`repro.hermeneutics.reader`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+Feature = tuple[str, str]
+
+
+class HermeneuticError(Exception):
+    """Raised on ill-formed texts, situations, or conventions."""
+
+
+@dataclass(frozen=True)
+class Text:
+    """A text as a material object: content plus its *in-text* features.
+
+    Features are (attribute, value) pairs that inspection of the artifact
+    alone supports — "the sign is made of plastic … and the writing is
+    not dated" — never facts about its placement or its reader.
+    """
+
+    content: str
+    features: frozenset[Feature]
+
+    def has(self, attribute: str, value: str) -> bool:
+        return (attribute, value) in self.features
+
+    def __str__(self) -> str:
+        return f'Text("{self.content}")'
+
+
+@dataclass(frozen=True)
+class Situation:
+    """Where and how the text is encountered."""
+
+    name: str
+    features: frozenset[Feature]
+
+    def has(self, attribute: str, value: str) -> bool:
+        return (attribute, value) in self.features
+
+
+@dataclass(frozen=True)
+class Convention:
+    """One interpretive rule, belonging to a discourse.
+
+    Fires when all four requirement sets are met: text features,
+    situation features, reader background propositions, and propositions
+    already derived during this reading (allowing conventions to chain).
+    On firing it contributes ``yields`` and, optionally, a speech-act
+    classification.
+    """
+
+    name: str
+    discourse: str
+    requires_text: frozenset[Feature] = frozenset()
+    requires_situation: frozenset[Feature] = frozenset()
+    requires_background: frozenset[str] = frozenset()
+    requires_derived: frozenset[str] = frozenset()
+    yields: frozenset[str] = frozenset()
+    speech_act: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.yields and self.speech_act is None:
+            raise HermeneuticError(
+                f"convention {self.name!r} contributes nothing"
+            )
+
+    def applicable(
+        self,
+        text: Text,
+        situation: Situation | None,
+        background: frozenset[str],
+        derived: frozenset[str],
+    ) -> bool:
+        """Can this convention fire on the given reading state?
+
+        A missing situation (reading the text "in a vacuum") blocks every
+        convention with situational requirements — which is precisely how
+        the text-only reading comes out impoverished.
+        """
+        if not self.requires_text <= text.features:
+            return False
+        if self.requires_situation:
+            if situation is None or not self.requires_situation <= situation.features:
+                return False
+        if not self.requires_background <= background:
+            return False
+        if not self.requires_derived <= derived:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class Discourse:
+    """A named bundle of conventions (e.g. the discourse of private property)."""
+
+    name: str
+    conventions: tuple[Convention, ...]
+
+    def __post_init__(self) -> None:
+        for convention in self.conventions:
+            if convention.discourse != self.name:
+                raise HermeneuticError(
+                    f"convention {convention.name!r} claims discourse "
+                    f"{convention.discourse!r}, not {self.name!r}"
+                )
+
+    def __iter__(self):
+        return iter(self.conventions)
+
+    def __len__(self) -> int:
+        return len(self.conventions)

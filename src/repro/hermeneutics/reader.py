@@ -1,0 +1,139 @@
+"""Readers and the interpretation fixpoint.
+
+"It is reading — historically and conceptually situated — that
+constructs meaning connecting the cues that the text gives with the
+complex network of conventions, discourses, and situatedness in which it
+occurs." (paper §3)
+
+An :class:`Interpreter` holds the available discourses; a reading is the
+fixpoint of firing their conventions against (text, situation, reader).
+The result records what was derived, which conventions fired, and —
+crucially for the paper's argument — which conventions *would* have
+fired were the reader's background or the situation richer: the
+measurable gap between a situated reading and the "death of the reader"
+reading ontology proposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .context import Convention, Discourse, HermeneuticError, Situation, Text
+
+
+@dataclass(frozen=True)
+class Reader:
+    """A historically situated reader: background propositions they bring."""
+
+    name: str
+    background: frozenset[str]
+
+    def knows(self, proposition: str) -> bool:
+        return proposition in self.background
+
+
+#: The limiting case the paper attributes to ontology: "the reader can be
+#: replaced by an algorithm" — no background at all.
+ALGORITHMIC_READER = Reader("algorithm", frozenset())
+
+
+@dataclass(frozen=True)
+class Interpretation:
+    """The outcome of one reading."""
+
+    propositions: frozenset[str]
+    speech_acts: frozenset[str]
+    fired: tuple[str, ...]          # convention names, in firing order
+    blocked: tuple[str, ...]        # applicable-but-for-background/situation
+
+    @property
+    def determinate(self) -> bool:
+        """Exactly one speech-act classification emerged."""
+        return len(self.speech_acts) == 1
+
+    @property
+    def speech_act(self) -> str | None:
+        if self.determinate:
+            (act,) = self.speech_acts
+            return act
+        return None
+
+    def agrees_with(self, other: "Interpretation") -> bool:
+        """Same propositional content and same speech-act classification."""
+        return (
+            self.propositions == other.propositions
+            and self.speech_acts == other.speech_acts
+        )
+
+
+class Interpreter:
+    """Runs readings against a fixed library of discourses."""
+
+    def __init__(self, discourses: list[Discourse]) -> None:
+        self.discourses = list(discourses)
+        names = [c.name for d in self.discourses for c in d]
+        if len(set(names)) != len(names):
+            raise HermeneuticError("convention names must be globally unique")
+
+    def conventions(self) -> list[Convention]:
+        return [c for d in self.discourses for c in d]
+
+    def interpret(
+        self,
+        text: Text,
+        situation: Situation | None,
+        reader: Reader,
+    ) -> Interpretation:
+        """The fixpoint reading of ``text`` in ``situation`` by ``reader``.
+
+        Conventions fire (once each) whenever their requirements are met,
+        possibly enabled by previously derived propositions; iteration
+        continues until nothing new fires.  Pass ``situation=None`` for
+        the decontextualized reading.
+        """
+        derived: set[str] = set()
+        speech_acts: set[str] = set()
+        fired: list[str] = []
+        remaining = self.conventions()
+        progress = True
+        while progress:
+            progress = False
+            still: list[Convention] = []
+            for convention in remaining:
+                if convention.applicable(
+                    text, situation, reader.background, frozenset(derived)
+                ):
+                    derived |= convention.yields
+                    if convention.speech_act is not None:
+                        speech_acts.add(convention.speech_act)
+                    fired.append(convention.name)
+                    progress = True
+                else:
+                    still.append(convention)
+            remaining = still
+
+        blocked = tuple(
+            c.name
+            for c in remaining
+            # would fire with a richer reading state: text cues alone match
+            if c.requires_text <= text.features
+        )
+        return Interpretation(
+            propositions=frozenset(derived),
+            speech_acts=frozenset(speech_acts),
+            fired=tuple(fired),
+            blocked=blocked,
+        )
+
+    def situated_gap(
+        self, text: Text, situation: Situation, reader: Reader
+    ) -> frozenset[str]:
+        """What the situation + reader add over the text alone.
+
+        The paper's claim, quantified: the propositions present in the
+        situated reading but absent from the algorithmic, situation-free
+        one.
+        """
+        situated = self.interpret(text, situation, reader)
+        bare = self.interpret(text, None, ALGORITHMIC_READER)
+        return situated.propositions - bare.propositions

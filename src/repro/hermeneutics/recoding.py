@@ -1,0 +1,80 @@
+"""Re-coding a text and measuring the interpretive drift.
+
+"…it falls into the trap of believing that a text is just an author's
+intended meaning, and that therefore it is possible to re-code the text
+leaving the meaning unaltered.  But if the meaning arises through an
+historically situated interaction of the reader with the text … changing
+the code will change the meaning." (paper §3)
+
+A re-coding maps a text to another text (same "author's intention", by
+stipulation).  Drift is the fraction of (situation, reader) scenarios on
+which the situated interpretations of original and re-coded text come
+apart.  Zero drift across *all* scenarios is what the
+meaning-as-commodity picture predicts; the trespass corpus shows it is
+not what happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from .context import Situation, Text
+from .reader import Interpretation, Interpreter, Reader
+
+Recoding = Callable[[Text], Text]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Where and how much a re-coding changed the readings."""
+
+    total_scenarios: int
+    divergent: tuple[tuple[str, str], ...]  # (situation name, reader name)
+
+    @property
+    def drift(self) -> float:
+        if self.total_scenarios == 0:
+            return 0.0
+        return len(self.divergent) / self.total_scenarios
+
+    @property
+    def meaning_preserved(self) -> bool:
+        return not self.divergent
+
+
+def interpretation_drift(
+    interpreter: Interpreter,
+    original: Text,
+    recoded: Text,
+    scenarios: Sequence[tuple[Situation, Reader]],
+) -> DriftReport:
+    """Compare readings of ``original`` vs ``recoded`` across scenarios."""
+    divergent: list[tuple[str, str]] = []
+    for situation, reader in scenarios:
+        before = interpreter.interpret(original, situation, reader)
+        after = interpreter.interpret(recoded, situation, reader)
+        if not before.agrees_with(after):
+            divergent.append((situation.name, reader.name))
+    return DriftReport(
+        total_scenarios=len(scenarios), divergent=tuple(divergent)
+    )
+
+
+def formalization(new_content: str, kept: Iterable[str] = ()) -> Recoding:
+    """A re-coding that replaces the wording and keeps only ``kept`` features.
+
+    The typical ontological re-coding: normalize the prose into a
+    controlled vocabulary, discarding 'irrelevant' material features
+    (medium, dating, register) — exactly the features situated conventions
+    key on.
+    """
+    kept = frozenset(kept)
+
+    def recode(text: Text) -> Text:
+        return Text(
+            content=new_content,
+            features=frozenset(f for f in text.features if f[0] in kept),
+        )
+
+    return recode

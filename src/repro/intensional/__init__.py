@@ -1,0 +1,65 @@
+"""Guarino's intensional framework, implemented so it can be critiqued.
+
+Worlds, extensional/intensional relations, ontological commitments and
+intended models (paper §2), together with the two mechanized critiques:
+definitional circularity (``circularity``) and over-breadth
+(``overbreadth``).
+"""
+
+from .circularity import (
+    GUARINO_DEPENDENCIES,
+    KRIPKE_DEPENDENCIES,
+    CircularityReport,
+    Dependency,
+    analyze,
+    dependency_graph,
+    guarino_circularity,
+    kripke_circularity,
+)
+from .commitment import (
+    ApproximationReport,
+    CommitmentError,
+    OntologicalCommitment,
+    approximation_report,
+    is_ontonomy_per_guarino,
+)
+from .overbreadth import (
+    CandidateOntonomy,
+    c_program,
+    contradiction,
+    grocery_list,
+    paper_exhibits,
+    qualification_rate,
+    qualifies,
+    random_literal_set,
+    tautology_set,
+    tax_return_form,
+    witness_model,
+)
+from .relations import ExtensionalRelation, IntensionalRelation
+from .rigidity import (
+    Rigidity,
+    RigidityViolation,
+    check_taxonomy,
+    classify_rigidity,
+    essential_instances,
+    instances_somewhere,
+    rigidity_profile,
+)
+from .worlds import World, WorldError, WorldSpace, blocks_world_space, paper_world
+
+__all__ = [
+    "World", "WorldSpace", "WorldError", "blocks_world_space", "paper_world",
+    "ExtensionalRelation", "IntensionalRelation",
+    "OntologicalCommitment", "CommitmentError", "ApproximationReport",
+    "approximation_report", "is_ontonomy_per_guarino",
+    "Dependency", "CircularityReport", "analyze", "dependency_graph",
+    "guarino_circularity", "kripke_circularity",
+    "GUARINO_DEPENDENCIES", "KRIPKE_DEPENDENCIES",
+    "Rigidity", "RigidityViolation", "classify_rigidity",
+    "rigidity_profile", "check_taxonomy", "instances_somewhere",
+    "essential_instances",
+    "CandidateOntonomy", "qualifies", "witness_model", "tautology_set",
+    "grocery_list", "tax_return_form", "c_program", "contradiction",
+    "paper_exhibits", "random_literal_set", "qualification_rate",
+]

@@ -1,0 +1,165 @@
+"""The circularity analysis of Guarino's framework (paper §2, critique 1).
+
+"…the worlds, that one needs in order to define the intensional relation,
+can only have structure by virtue of the extensional relations that the
+intensional ones are supposed to define.  We are stuck in the middle of a
+circular argument."
+
+This module represents definitional dependency as a labeled digraph —
+an edge ``X → Y`` meaning "the definition of X presupposes Y" — and finds
+circular definitions as non-trivial strongly connected components.  The
+dependency structure of Guarino's own construction is shipped as data
+(:data:`GUARINO_DEPENDENCIES`) so the paper's diagnosis is reproduced by
+running the analyzer, not by asserting the conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..graphs import DiGraph, find_cycle, strongly_connected_components
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """One definitional dependency: ``definiendum`` presupposes ``definiens``."""
+
+    definiendum: str
+    definiens: str
+    justification: str
+
+    def __str__(self) -> str:
+        return f"{self.definiendum} → {self.definiens}: {self.justification}"
+
+
+#: The paper's reconstruction of Guarino's definitions as dependencies.
+GUARINO_DEPENDENCIES: tuple[Dependency, ...] = (
+    Dependency(
+        "intensional_relation",
+        "possible_world",
+        "an intensional relation is a function r : W → 2^{Dⁿ}; "
+        "it cannot be stated without the set W of worlds",
+    ),
+    Dependency(
+        "possible_world",
+        "extensional_relation",
+        "a world is a *legal configuration* of the elements of D; "
+        "configurations are individuated by which extensional relations "
+        "hold in them — a structureless world is no configuration at all",
+    ),
+    Dependency(
+        "extensional_relation",
+        "intensional_relation",
+        "in the framework the extensional relation at w is r(w): to know "
+        "whether (a, b) ∈ [above] one checks (a, b) ∈ [above](w)",
+    ),
+    Dependency(
+        "ontological_commitment",
+        "intensional_relation",
+        "a commitment is an intensional interpretation of the vocabulary",
+    ),
+    Dependency(
+        "intended_model",
+        "ontological_commitment",
+        "the intended models of L are those the commitment induces per world",
+    ),
+    Dependency(
+        "ontonomy",
+        "intended_model",
+        "an ontonomy is an axiom set whose models approximate the intended models",
+    ),
+)
+
+#: The same notions as Kripke arranges them — worlds carry primitive
+#: extensional structure, and intensions are *derived*: no cycle.
+KRIPKE_DEPENDENCIES: tuple[Dependency, ...] = (
+    Dependency(
+        "possible_world",
+        "extensional_relation",
+        "a Kripke world IS a model: extensional relations are its primitive structure",
+    ),
+    Dependency(
+        "intensional_relation",
+        "possible_world",
+        "an intension is read off the family of models, world by world",
+    ),
+    Dependency(
+        "modal_truth",
+        "intensional_relation",
+        "truth of a modal predicate at w is evaluated through accessible worlds",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class CircularityReport:
+    """The output of the analysis: cyclic groups of notions plus a witness."""
+
+    components: tuple[frozenset, ...]
+    witness_cycle: tuple[str, ...] | None
+    dependencies: tuple[Dependency, ...]
+
+    @property
+    def is_circular(self) -> bool:
+        return self.witness_cycle is not None
+
+    def explain(self) -> str:
+        """A human-readable account, following the paper's prose."""
+        if not self.is_circular:
+            return "No definitional circularity: the dependency graph is a DAG."
+        steps = []
+        cycle = list(self.witness_cycle)
+        for definiendum, definiens in zip(cycle, cycle[1:]):
+            dep = next(
+                d
+                for d in self.dependencies
+                if d.definiendum == definiendum and d.definiens == definiens
+            )
+            steps.append(f"  {definiendum} needs {definiens}\n    ({dep.justification})")
+        return (
+            "Definitional circularity detected:\n"
+            + "\n".join(steps)
+            + "\nEach notion in the cycle is defined in terms of the next; "
+            "none can be logically prior."
+        )
+
+
+def dependency_graph(dependencies: Iterable[Dependency]) -> DiGraph:
+    """The definitional-dependency digraph of a set of dependencies."""
+    graph = DiGraph()
+    for dep in dependencies:
+        graph.add_edge(dep.definiendum, dep.definiens, label=dep.justification)
+    return graph
+
+
+def analyze(dependencies: Sequence[Dependency]) -> CircularityReport:
+    """Find circular definitions among ``dependencies``.
+
+    Returns every non-trivial strongly connected component (a mutual-
+    presupposition group) and a concrete witness cycle, or a clean bill
+    of health when the graph is a DAG.
+    """
+    graph = dependency_graph(dependencies)
+    cyclic = tuple(
+        component
+        for component in strongly_connected_components(graph)
+        if len(component) > 1
+        or any(graph.has_edge(n, n) for n in component)
+    )
+    cycle = find_cycle(graph)
+    return CircularityReport(
+        components=cyclic,
+        witness_cycle=tuple(cycle) if cycle else None,
+        dependencies=tuple(dependencies),
+    )
+
+
+def guarino_circularity() -> CircularityReport:
+    """Run the analysis on Guarino's own definitional structure (Q2)."""
+    return analyze(GUARINO_DEPENDENCIES)
+
+
+def kripke_circularity() -> CircularityReport:
+    """The control: Kripke's arrangement of the same notions is acyclic."""
+    return analyze(KRIPKE_DEPENDENCIES)

@@ -1,0 +1,215 @@
+"""Ontological commitments and Guarino's definition of an ontonomy.
+
+Paper §2: "Given a logical language L(V) built on a vocabulary V, an
+extensional model for L(V) is a pair (D, R) ... Guarino defines an
+intensional model for a language by replacing R with a set of intensional
+relations.  An intensional model ... can be seen then as a function that
+maps any possible world w to an extensional model relative to that world.
+This intensional interpretation of a language is also called an
+ontological commitment."
+
+And the definition under critique: "Given a language L, with ontological
+commitment K, an [ontonomy] for L is a set of axioms designed in a way
+such that the set of its models approximates as best as possible the set
+of intended models of L according to K."
+
+This module implements the commitment, the induced intended models, and
+— crucially — the word "approximates" as an explicit, tunable metric, so
+the over-breadth critique (Q3) can be run as an experiment instead of
+stated as an opinion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..logic import FolFormula, Structure, Vocabulary, all_structures
+from .relations import IntensionalRelation
+from .worlds import World, WorldError, WorldSpace
+
+
+class CommitmentError(Exception):
+    """Raised on ill-formed ontological commitments."""
+
+
+class OntologicalCommitment:
+    """An intensional interpretation ``K`` of a vocabulary.
+
+    Maps every predicate of ``vocabulary`` to an intensional relation
+    over a world space.  Constants are interpreted rigidly by the world
+    space itself.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        space: WorldSpace,
+        interpretation: Mapping[str, IntensionalRelation],
+    ) -> None:
+        if vocabulary.functions:
+            raise CommitmentError("commitments over function symbols are not supported")
+        self.vocabulary = vocabulary
+        self.space = space
+        self.interpretation = dict(interpretation)
+        for predicate, arity in vocabulary.predicates.items():
+            relation = self.interpretation.get(predicate)
+            if relation is None:
+                raise CommitmentError(f"predicate {predicate!r} has no intension")
+            if relation.arity != arity:
+                raise CommitmentError(
+                    f"predicate {predicate!r} has arity {arity}, "
+                    f"but its intension has arity {relation.arity}"
+                )
+            if relation.space is not space:
+                raise CommitmentError(
+                    f"intension of {predicate!r} is defined over a different world space"
+                )
+        for name in vocabulary.constants:
+            if name not in self.space.worlds[0].structure.constants:
+                raise CommitmentError(f"constant {name!r} not interpreted by the worlds")
+
+    def extensional_model(self, world: World | str) -> Structure:
+        """The extensional model ``(D, R)`` this commitment induces at ``world``."""
+        world_obj = world if isinstance(world, World) else self.space.world(world)
+        relations = {
+            predicate: relation.at(world_obj).tuples
+            for predicate, relation in self.interpretation.items()
+        }
+        return Structure(
+            self.space.domain,
+            constants={
+                name: world_obj.structure.constants[name]
+                for name in self.vocabulary.constants
+            },
+            relations=relations,
+        )
+
+    def intended_models(self) -> list[Structure]:
+        """The set of intended models of L according to K: one per world."""
+        return [self.extensional_model(w) for w in self.space]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OntologicalCommitment(predicates={sorted(self.interpretation)}, "
+            f"worlds={len(self.space)})"
+        )
+
+
+@dataclass(frozen=True)
+class ApproximationReport:
+    """How well an axiom set's models approximate the intended models.
+
+    * ``intended``: number of intended models (worlds);
+    * ``captured``: intended models that satisfy the axioms (recall numerator);
+    * ``admitted``: axiom models over the same domain that are NOT intended
+      (the slack the word "approximates" leaves open);
+    * ``precision`` / ``recall`` / ``jaccard``: the usual set metrics over
+      the model sets.
+    """
+
+    intended: int
+    captured: int
+    admitted: int
+
+    @property
+    def recall(self) -> float:
+        return self.captured / self.intended if self.intended else 0.0
+
+    @property
+    def precision(self) -> float:
+        total = self.captured + self.admitted
+        return self.captured / total if total else 0.0
+
+    @property
+    def jaccard(self) -> float:
+        union = self.intended + self.admitted
+        return self.captured / union if union else 0.0
+
+
+def _structure_key(structure: Structure) -> tuple:
+    """A hashable identity for finite structures (domain + constants + relations)."""
+    return (
+        frozenset(structure.domain),
+        tuple(sorted(structure.constants.items(), key=repr)),
+        tuple(
+            sorted(
+                (name, tuple(sorted(rows)))
+                for name, rows in structure.relations.items()
+            )
+        ),
+    )
+
+
+def approximation_report(
+    axioms: Sequence[FolFormula],
+    commitment: OntologicalCommitment,
+) -> ApproximationReport:
+    """Measure how the models of ``axioms`` approximate the intended models.
+
+    Model enumeration is over the commitment's own domain with the
+    commitment's (rigid) constants — the space in which "intended" is
+    even comparable with "admitted".
+    """
+    for axiom in axioms:
+        commitment.vocabulary.validate(axiom)
+    intended = {_structure_key(m): m for m in commitment.intended_models()}
+    domain = sorted(commitment.space.domain, key=repr)
+    constants = commitment.space.worlds[0].structure.constants
+    fixed_constants = {
+        name: constants[name] for name in commitment.vocabulary.constants
+    }
+
+    captured = 0
+    admitted = 0
+    seen_intended: set[tuple] = set()
+    import itertools
+
+    pred_items = sorted(commitment.vocabulary.predicates.items())
+    rel_spaces = []
+    for name, arity in pred_items:
+        rows = list(itertools.product(domain, repeat=arity))
+        rel_spaces.append([frozenset(s) for s in _powerset(rows)])
+    for rel_choice in itertools.product(*rel_spaces):
+        relations = {name: rows for (name, _), rows in zip(pred_items, rel_choice)}
+        candidate = Structure(domain, constants=fixed_constants, relations=relations)
+        if not all(candidate.satisfies(a) for a in axioms):
+            continue
+        key = _structure_key(candidate)
+        if key in intended:
+            if key not in seen_intended:
+                captured += 1
+                seen_intended.add(key)
+        else:
+            admitted += 1
+    return ApproximationReport(
+        intended=len(intended), captured=captured, admitted=admitted
+    )
+
+
+def _powerset(items):
+    import itertools
+
+    for r in range(len(items) + 1):
+        yield from itertools.combinations(items, r)
+
+
+def is_ontonomy_per_guarino(
+    axioms: Sequence[FolFormula],
+    commitment: OntologicalCommitment,
+    *,
+    min_jaccard: float = 0.0,
+) -> bool:
+    """Guarino's definition, with "approximates" made explicit.
+
+    The paper's reading: "With this addendum, any system of statements
+    that admits at least one model that is also a model for a language L
+    is an ontonomy for L."  That is the ``min_jaccard = 0.0`` case —
+    captured ≥ 1 suffices.  Raising the threshold shows how much
+    normative force the definition gains only by *adding* something the
+    definition does not contain.
+    """
+    report = approximation_report(axioms, commitment)
+    if report.captured == 0:
+        return False
+    return report.jaccard >= min_jaccard

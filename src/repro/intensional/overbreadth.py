@@ -1,0 +1,225 @@
+"""The over-breadth experiment (paper §2, critique of "approximates").
+
+"If we abstract from the language, then any set of statements that
+admits at least a model is an ontonomy.  In particular, any set of
+tautologies is an ontology. … many things, from a C program to a very
+well structured grocery list, to a tax return form would qualify."
+
+This module encodes exactly those artifacts — tautology sets, a grocery
+list, a tax-return form, a small C program — as axiom sets over explicit
+vocabularies, and provides the decision procedure ``qualifies`` (does the
+set admit a finite model?).  Benchmark Q3 runs them all and reports that
+every single one passes Guarino's membership test, plus a sweep measuring
+what fraction of *random* axiom sets qualifies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..logic import (
+    Atom,
+    FAnd,
+    FNot,
+    FolFormula,
+    FOr,
+    Structure,
+    TConst,
+    Vocabulary,
+    has_finite_model,
+)
+
+
+@dataclass(frozen=True)
+class CandidateOntonomy:
+    """An artifact submitted to Guarino's membership test."""
+
+    title: str
+    description: str
+    vocabulary: Vocabulary
+    axioms: tuple[FolFormula, ...]
+
+
+def qualifies(candidate: CandidateOntonomy, *, max_domain_size: int = 2) -> bool:
+    """Guarino's test, abstracted from the language: admits a model?"""
+    return (
+        has_finite_model(candidate.axioms, candidate.vocabulary, max_domain_size)
+        is not None
+    )
+
+
+def witness_model(candidate: CandidateOntonomy, *, max_domain_size: int = 2) -> Structure | None:
+    """A concrete model witnessing qualification, if any."""
+    return has_finite_model(candidate.axioms, candidate.vocabulary, max_domain_size)
+
+
+# ---------------------------------------------------------------------- #
+# the paper's exhibits
+# ---------------------------------------------------------------------- #
+
+
+def tautology_set(n: int = 3) -> CandidateOntonomy:
+    """``n`` excluded-middle tautologies: the paper's "any set of tautologies"."""
+    predicates = {f"P{i}": 1 for i in range(n)}
+    vocabulary = Vocabulary(constants=frozenset({"it"}), predicates=predicates)
+    it = TConst("it")
+    axioms = tuple(
+        FOr(Atom(f"P{i}", (it,)), FNot(Atom(f"P{i}", (it,)))) for i in range(n)
+    )
+    return CandidateOntonomy(
+        title=f"{n} tautologies",
+        description="excluded-middle instances; true in every structure",
+        vocabulary=vocabulary,
+        axioms=axioms,
+    )
+
+
+GROCERY_ITEMS = ("milk", "bread", "olive_oil", "wine", "parmigiano")
+
+
+def grocery_list(items: Sequence[str] = GROCERY_ITEMS) -> CandidateOntonomy:
+    """A very well structured grocery list, as an axiom set."""
+    vocabulary = Vocabulary(
+        constants=frozenset(items),
+        predicates={"on_list": 1, "dairy": 1},
+    )
+    axioms: list[FolFormula] = [Atom("on_list", (TConst(i),)) for i in items]
+    axioms.append(Atom("dairy", (TConst("milk"),)))
+    if "parmigiano" in items:
+        axioms.append(Atom("dairy", (TConst("parmigiano"),)))
+    return CandidateOntonomy(
+        title="grocery list",
+        description="each item asserted on the list; dairy items flagged",
+        vocabulary=vocabulary,
+        axioms=tuple(axioms),
+    )
+
+
+def tax_return_form() -> CandidateOntonomy:
+    """A tax return form: declared fields, filled fields, one deduction."""
+    vocabulary = Vocabulary(
+        constants=frozenset({"line_income", "line_deduction", "line_total"}),
+        predicates={"field": 1, "filled": 1, "deduction": 1},
+    )
+    fields = ("line_income", "line_deduction", "line_total")
+    axioms: list[FolFormula] = [Atom("field", (TConst(f),)) for f in fields]
+    axioms += [Atom("filled", (TConst(f),)) for f in ("line_income", "line_total")]
+    axioms.append(Atom("deduction", (TConst("line_deduction"),)))
+    return CandidateOntonomy(
+        title="tax return form",
+        description="form lines as constants, their statuses as predicates",
+        vocabulary=vocabulary,
+        axioms=tuple(axioms),
+    )
+
+
+def c_program() -> CandidateOntonomy:
+    """A tiny C program, re-coded as facts about its statements.
+
+    ``int x = 0; x = x + 1; return x;`` — assignment and control-flow
+    facts, exactly the kind of re-coding that makes anything an "ontonomy".
+    """
+    vocabulary = Vocabulary(
+        constants=frozenset({"s1", "s2", "s3", "x"}),
+        predicates={"statement": 1, "assigns": 2, "follows": 2, "returns": 2},
+    )
+    s1, s2, s3, x = (TConst(n) for n in ("s1", "s2", "s3", "x"))
+    axioms: tuple[FolFormula, ...] = (
+        Atom("statement", (s1,)),
+        Atom("statement", (s2,)),
+        Atom("statement", (s3,)),
+        Atom("assigns", (s1, x)),
+        Atom("assigns", (s2, x)),
+        Atom("returns", (s3, x)),
+        Atom("follows", (s2, s1)),
+        Atom("follows", (s3, s2)),
+    )
+    return CandidateOntonomy(
+        title="C program",
+        description="a three-statement program as assignment/flow facts",
+        vocabulary=vocabulary,
+        axioms=axioms,
+    )
+
+
+def contradiction() -> CandidateOntonomy:
+    """The control case: the only thing the test actually excludes."""
+    vocabulary = Vocabulary(constants=frozenset({"a"}), predicates={"P": 1})
+    a = TConst("a")
+    return CandidateOntonomy(
+        title="contradiction",
+        description="P(a) ∧ ¬P(a): no model, hence not an ontonomy",
+        vocabulary=vocabulary,
+        axioms=(FAnd(Atom("P", (a,)), FNot(Atom("P", (a,)))),),
+    )
+
+
+def paper_exhibits() -> list[CandidateOntonomy]:
+    """All the paper's exhibits, plus the contradiction control."""
+    return [
+        tautology_set(),
+        grocery_list(),
+        tax_return_form(),
+        c_program(),
+        contradiction(),
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# the random sweep
+# ---------------------------------------------------------------------- #
+
+
+def random_literal_set(
+    rng: random.Random,
+    *,
+    n_constants: int = 2,
+    n_predicates: int = 2,
+    n_literals: int = 4,
+) -> CandidateOntonomy:
+    """A random conjunction of ground literals over a small vocabulary."""
+    constants = [f"c{i}" for i in range(n_constants)]
+    predicates = {f"P{i}": 1 for i in range(n_predicates)}
+    vocabulary = Vocabulary(constants=frozenset(constants), predicates=predicates)
+    axioms: list[FolFormula] = []
+    for _ in range(n_literals):
+        predicate = f"P{rng.randrange(n_predicates)}"
+        constant = TConst(constants[rng.randrange(n_constants)])
+        atom = Atom(predicate, (constant,))
+        axioms.append(FNot(atom) if rng.random() < 0.5 else atom)
+    return CandidateOntonomy(
+        title="random literal set",
+        description="random ground literals",
+        vocabulary=vocabulary,
+        axioms=tuple(axioms),
+    )
+
+
+def qualification_rate(
+    *,
+    seed: int = 0,
+    samples: int = 100,
+    n_literals: int = 4,
+    n_constants: int = 2,
+    n_predicates: int = 2,
+) -> float:
+    """The fraction of random axiom sets that Guarino's test admits.
+
+    The paper predicts this is large (the only excluded sets are the
+    contradictory ones); the benchmark for Q3 reports the sweep over
+    ``n_literals``.
+    """
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(samples):
+        candidate = random_literal_set(
+            rng,
+            n_constants=n_constants,
+            n_predicates=n_predicates,
+            n_literals=n_literals,
+        )
+        if qualifies(candidate):
+            hits += 1
+    return hits / samples

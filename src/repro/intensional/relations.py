@@ -1,0 +1,149 @@
+"""Extensional and intensional relations (paper §2, eqs. (1)–(3)).
+
+An *extensional* n-ary relation on D is a subset of Dⁿ — eq. (1)'s
+``[above] = {(a,b), (a,d), (b,d)}``.  An *intensional* relation is a
+function ``r : W → 2^{Dⁿ}`` assigning an extensional relation to every
+possible world — eq. (2) — so that ``[above](w) = {(a,b)}`` in a world
+where only a sits on b — eq. (3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from .worlds import World, WorldError, WorldSpace
+
+
+@dataclass(frozen=True)
+class ExtensionalRelation:
+    """A named subset of Dⁿ: the paper's eq. (1)."""
+
+    name: str
+    arity: int
+    tuples: frozenset[tuple]
+
+    def __post_init__(self) -> None:
+        for row in self.tuples:
+            if len(row) != self.arity:
+                raise WorldError(
+                    f"tuple {row!r} has length {len(row)}, expected arity {self.arity}"
+                )
+
+    def __contains__(self, row: tuple) -> bool:
+        return tuple(row) in self.tuples
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __str__(self) -> str:
+        rows = ", ".join(str(t) for t in sorted(self.tuples))
+        return f"[{self.name}] = {{{rows}}}"
+
+
+class IntensionalRelation:
+    """A function ``r : W → 2^{Dⁿ}``: the paper's eq. (2).
+
+    Stored as an explicit per-world table, so the function-hood of the
+    definition is literal: every world of the space must be mapped.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        space: WorldSpace,
+        mapping: Mapping[str, Iterable[tuple]],
+    ) -> None:
+        self.name = name
+        self.arity = arity
+        self.space = space
+        self._table: dict[str, frozenset[tuple]] = {}
+        for world in space:
+            if world.name not in mapping:
+                raise WorldError(
+                    f"intensional relation {name!r} is not total: "
+                    f"world {world.name!r} unmapped"
+                )
+            rows = frozenset(tuple(r) for r in mapping[world.name])
+            for row in rows:
+                if len(row) != arity:
+                    raise WorldError(f"tuple {row!r} does not match arity {arity}")
+                if any(x not in space.domain for x in row):
+                    raise WorldError(f"tuple {row!r} uses elements outside D")
+            self._table[world.name] = rows
+        extra = set(mapping) - set(self._table)
+        if extra:
+            raise WorldError(f"mapping mentions unknown worlds: {sorted(extra)}")
+
+    @classmethod
+    def from_predicate(
+        cls,
+        name: str,
+        arity: int,
+        space: WorldSpace,
+        predicate: str | None = None,
+    ) -> "IntensionalRelation":
+        """Lift a predicate's per-world extension into an intensional relation.
+
+        This is the only way Guarino's framework can actually *obtain* an
+        intensional relation: read the extensional relation off each world.
+        The circularity analysis (``repro.intensional.circularity``) makes
+        the resulting dependency explicit.
+        """
+        predicate = predicate or name
+        return cls(
+            name,
+            arity,
+            space,
+            {w.name: w.relation(predicate) for w in space},
+        )
+
+    @classmethod
+    def from_rule(
+        cls,
+        name: str,
+        arity: int,
+        space: WorldSpace,
+        rule: Callable[[World], Iterable[tuple]],
+    ) -> "IntensionalRelation":
+        """Build an intensional relation from an arbitrary world-indexed rule."""
+        return cls(name, arity, space, {w.name: frozenset(rule(w)) for w in space})
+
+    def at(self, world: World | str) -> ExtensionalRelation:
+        """The extensional relation this intension assigns to ``world`` (eq. 3)."""
+        name = world.name if isinstance(world, World) else world
+        if name not in self._table:
+            raise WorldError(f"no world named {name!r} in this relation's space")
+        return ExtensionalRelation(self.name, self.arity, self._table[name])
+
+    def is_rigid(self) -> bool:
+        """True iff the extension is the same in every world.
+
+        Rigid intensions are exactly the ones that carry no modal
+        information — an extensional relation in disguise.
+        """
+        extents = {self._table[w.name] for w in self.space}
+        return len(extents) == 1
+
+    def worlds_where(self, row: tuple) -> frozenset[str]:
+        """The names of the worlds in which ``row`` holds."""
+        row = tuple(row)
+        return frozenset(
+            name for name, rows in self._table.items() if row in rows
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntensionalRelation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.arity == other.arity
+            and self._table == other._table
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.arity, tuple(sorted(self._table.items()))))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IntensionalRelation({self.name!r}, arity={self.arity}, worlds={len(self.space)})"

@@ -1,0 +1,124 @@
+"""Rigidity analysis of intensional properties (OntoClean-style).
+
+Once intensional relations exist (paper §2), modal metaproperties become
+computable.  A unary property P over a world space is
+
+* **rigid** — every instance is an instance in every world
+  (∃w d∈P(w) implies ∀w d∈P(w));
+* **anti-rigid** — every instance fails to be an instance in some world;
+* **semi-rigid** — some instances are essential, others are not.
+
+Guarino's own later methodology (OntoClean) uses exactly these notions to
+constrain taxonomies: an anti-rigid property cannot subsume a rigid one
+(every Person is permanently a Person, so Person ⊑ Student is a modelling
+error).  Implementing the checker here serves the reproduction two ways:
+it shows the intensional machinery *can* do real work once worlds are
+given extensionally — and that all of that work happens exactly on the
+extensional side the paper shows the framework cannot define into
+existence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .relations import IntensionalRelation
+from .worlds import WorldError
+
+
+class Rigidity(enum.Enum):
+    RIGID = "rigid"           # +R: all instances essential
+    ANTI_RIGID = "anti-rigid" # ~R: no instance essential
+    SEMI_RIGID = "semi-rigid" # -R: mixed
+    EMPTY = "empty"           # no instance in any world
+
+
+def instances_somewhere(relation: IntensionalRelation) -> frozenset:
+    """Elements that are instances in at least one world."""
+    _require_unary(relation)
+    out: set = set()
+    for world in relation.space:
+        out |= {row[0] for row in relation.at(world).tuples}
+    return frozenset(out)
+
+
+def essential_instances(relation: IntensionalRelation) -> frozenset:
+    """Elements that are instances in *every* world."""
+    _require_unary(relation)
+    worlds = list(relation.space)
+    common = {row[0] for row in relation.at(worlds[0]).tuples}
+    for world in worlds[1:]:
+        common &= {row[0] for row in relation.at(world).tuples}
+    return frozenset(common)
+
+
+def classify_rigidity(relation: IntensionalRelation) -> Rigidity:
+    """The OntoClean rigidity metaproperty of a unary intension."""
+    some = instances_somewhere(relation)
+    if not some:
+        return Rigidity.EMPTY
+    always = essential_instances(relation)
+    if always == some:
+        return Rigidity.RIGID
+    if not always:
+        return Rigidity.ANTI_RIGID
+    return Rigidity.SEMI_RIGID
+
+
+def _require_unary(relation: IntensionalRelation) -> None:
+    if relation.arity != 1:
+        raise WorldError(
+            f"rigidity is defined for unary properties; {relation.name!r} "
+            f"has arity {relation.arity}"
+        )
+
+
+def rigidity_profile(
+    relations: Iterable[IntensionalRelation],
+) -> dict[str, Rigidity]:
+    """Classify a family of unary intensions by name."""
+    return {r.name: classify_rigidity(r) for r in relations}
+
+
+@dataclass(frozen=True)
+class RigidityViolation:
+    """An OntoClean constraint violation in a proposed taxonomy."""
+
+    sub: str
+    sup: str
+    sub_rigidity: Rigidity
+    sup_rigidity: Rigidity
+
+    def __str__(self) -> str:
+        return (
+            f"{self.sub} ({self.sub_rigidity.value}) ⊑ "
+            f"{self.sup} ({self.sup_rigidity.value}): an anti-rigid property "
+            "cannot subsume a rigid one"
+        )
+
+
+def check_taxonomy(
+    profile: Mapping[str, Rigidity],
+    subsumptions: Iterable[tuple[str, str]],
+) -> list[RigidityViolation]:
+    """The OntoClean backbone check: +R under ~R is an error.
+
+    ``subsumptions`` are (sub, sup) pairs of property names; any pair
+    where the sub is rigid and the sup anti-rigid is reported.
+    """
+    violations = []
+    for sub, sup in subsumptions:
+        if sub not in profile:
+            raise WorldError(f"no rigidity known for {sub!r}")
+        if sup not in profile:
+            raise WorldError(f"no rigidity known for {sup!r}")
+        if (
+            profile[sub] is Rigidity.RIGID
+            and profile[sup] is Rigidity.ANTI_RIGID
+        ):
+            violations.append(
+                RigidityViolation(sub, sup, profile[sub], profile[sup])
+            )
+    return violations

@@ -1,0 +1,144 @@
+"""Possible worlds and world spaces.
+
+Guarino's construction (paper §2) begins with "a set W of worlds, that
+is, grosso modo, a set of legal configurations of the elements of D".
+Here a world is named and carries a finite first-order structure over a
+shared domain — the extensional state of affairs in that configuration.
+``blocks_world_space`` builds the paper's running example: blocks a, b,
+c, d and the ``above`` relation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from ..logic import Structure
+
+
+class WorldError(Exception):
+    """Raised on inconsistent world spaces."""
+
+
+@dataclass(frozen=True)
+class World:
+    """A named possible world: one legal configuration of the domain."""
+
+    name: str
+    structure: Structure
+
+    def relation(self, predicate: str) -> frozenset[tuple]:
+        """The extension of ``predicate`` in this world."""
+        return self.structure.relations.get(predicate, frozenset())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"World({self.name!r})"
+
+
+class WorldSpace:
+    """A finite set of worlds over one shared domain.
+
+    All structures must agree on the domain and on constant
+    interpretations (the elements of D are rigid designators across
+    worlds; what varies between worlds is which relations hold).
+    """
+
+    def __init__(self, worlds: Iterable[World]) -> None:
+        self.worlds: list[World] = list(worlds)
+        if not self.worlds:
+            raise WorldError("a world space needs at least one world")
+        names = [w.name for w in self.worlds]
+        if len(set(names)) != len(names):
+            raise WorldError("world names must be unique")
+        first = self.worlds[0].structure
+        for world in self.worlds[1:]:
+            if world.structure.domain != first.domain:
+                raise WorldError(
+                    f"world {world.name!r} has a different domain; "
+                    "all worlds must share D"
+                )
+            if world.structure.constants != first.constants:
+                raise WorldError(
+                    f"world {world.name!r} reinterprets constants; "
+                    "designators must be rigid across worlds"
+                )
+        self._by_name = {w.name: w for w in self.worlds}
+
+    @property
+    def domain(self) -> frozenset:
+        return self.worlds[0].structure.domain
+
+    def __len__(self) -> int:
+        return len(self.worlds)
+
+    def __iter__(self) -> Iterator[World]:
+        return iter(self.worlds)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def world(self, name: str) -> World:
+        if name not in self._by_name:
+            raise WorldError(f"no world named {name!r}")
+        return self._by_name[name]
+
+    def names(self) -> list[str]:
+        return [w.name for w in self.worlds]
+
+
+def blocks_world_space(
+    blocks: Sequence[Hashable] = ("a", "b", "c", "d"),
+    *,
+    max_worlds: int | None = None,
+) -> WorldSpace:
+    """The paper's block world: every acyclic configuration of ``above``.
+
+    "Legal configurations" are taken to be the strict partial orders on
+    the blocks (no block is above itself, directly or transitively) —
+    gravity-compatible stackings.  With 4 blocks that is 219 worlds, so
+    ``max_worlds`` allows truncation for benchmarks.
+    """
+    blocks = list(blocks)
+    pairs = [(x, y) for x in blocks for y in blocks if x != y]
+    worlds: list[World] = []
+    counter = 0
+    for bits in itertools.product([False, True], repeat=len(pairs)):
+        chosen = frozenset(p for p, bit in zip(pairs, bits) if bit)
+        if not _is_strict_partial_order(chosen, blocks):
+            continue
+        structure = Structure(
+            blocks,
+            constants={str(b): b for b in blocks},
+            relations={"above": chosen},
+        )
+        worlds.append(World(f"w{counter}", structure))
+        counter += 1
+        if max_worlds is not None and counter >= max_worlds:
+            break
+    return WorldSpace(worlds)
+
+
+def _is_strict_partial_order(pairs: frozenset[tuple], elements: list) -> bool:
+    """Irreflexive + transitive (hence acyclic) check for ``above``."""
+    if any(x == y for x, y in pairs):
+        return False
+    by_source: dict = {}
+    for x, y in pairs:
+        by_source.setdefault(x, set()).add(y)
+    for x, y in pairs:
+        for z in by_source.get(y, ()):
+            if (x, z) not in pairs:
+                return False
+    return True
+
+
+def paper_world(blocks: Sequence[str] = ("a", "b", "c", "d")) -> World:
+    """The specific configuration of the paper's eq. (1):
+    a above b, a above d, b above d."""
+    structure = Structure(
+        list(blocks),
+        constants={b: b for b in blocks},
+        relations={"above": [("a", "b"), ("a", "d"), ("b", "d")]},
+    )
+    return World("paper", structure)

@@ -1,0 +1,446 @@
+"""First-order logic over finite structures.
+
+Guarino's framework (paper §2) is stated in first-order terms: a language
+L(V) built on a vocabulary V, extensional models (D, R), and intensional
+models assigning an extensional model to every possible world.  This
+module supplies exactly the machinery those definitions presuppose —
+terms, formulas, vocabularies, finite structures, and satisfaction by
+enumeration — so that ``repro.intensional`` can state and *check*
+Guarino's definitions rather than merely quote them.
+
+Everything is finite and decidable by design: satisfaction is evaluated
+by quantifier expansion over the (finite) domain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Sequence
+
+
+class FolError(Exception):
+    """Raised on ill-formed formulas or vocabulary mismatches."""
+
+
+# ---------------------------------------------------------------------- #
+# terms
+# ---------------------------------------------------------------------- #
+
+
+class Term:
+    """Base class for first-order terms (immutable, hashable)."""
+
+    def free_variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TVar(Term):
+    """An individual variable."""
+
+    name: str
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TConst(Term):
+    """An individual constant symbol."""
+
+    name: str
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TApp(Term):
+    """A function application ``f(t1, ..., tn)``."""
+
+    function: str
+    args: tuple[Term, ...]
+
+    def free_variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for arg in self.args:
+            out |= arg.free_variables()
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.function}({', '.join(map(str, self.args))})"
+
+
+# ---------------------------------------------------------------------- #
+# formulas
+# ---------------------------------------------------------------------- #
+
+
+class FolFormula:
+    """Base class for first-order formulas (immutable, hashable)."""
+
+    def free_variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Atom(FolFormula):
+    """An atomic formula ``P(t1, ..., tn)``."""
+
+    predicate: str
+    args: tuple[Term, ...]
+
+    def free_variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for arg in self.args:
+            out |= arg.free_variables()
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class Eq(FolFormula):
+    """Equality ``t1 = t2``."""
+
+    left: Term
+    right: Term
+
+    def free_variables(self) -> frozenset[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} = {self.right})"
+
+
+@dataclass(frozen=True)
+class FNot(FolFormula):
+    operand: FolFormula
+
+    def free_variables(self) -> frozenset[str]:
+        return self.operand.free_variables()
+
+    def __str__(self) -> str:
+        return f"¬{self.operand}"
+
+
+@dataclass(frozen=True)
+class FAnd(FolFormula):
+    left: FolFormula
+    right: FolFormula
+
+    def free_variables(self) -> frozenset[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class FOr(FolFormula):
+    left: FolFormula
+    right: FolFormula
+
+    def free_variables(self) -> frozenset[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class FImplies(FolFormula):
+    antecedent: FolFormula
+    consequent: FolFormula
+
+    def free_variables(self) -> frozenset[str]:
+        return self.antecedent.free_variables() | self.consequent.free_variables()
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} → {self.consequent})"
+
+
+@dataclass(frozen=True)
+class Forall(FolFormula):
+    variable: str
+    body: FolFormula
+
+    def free_variables(self) -> frozenset[str]:
+        return self.body.free_variables() - {self.variable}
+
+    def __str__(self) -> str:
+        return f"∀{self.variable}.{self.body}"
+
+
+@dataclass(frozen=True)
+class Exists(FolFormula):
+    variable: str
+    body: FolFormula
+
+    def free_variables(self) -> frozenset[str]:
+        return self.body.free_variables() - {self.variable}
+
+    def __str__(self) -> str:
+        return f"∃{self.variable}.{self.body}"
+
+
+def fol_and(formulas: Iterable[FolFormula]) -> FolFormula:
+    """The conjunction of ``formulas`` (must be non-empty)."""
+    items = list(formulas)
+    if not items:
+        raise FolError("empty conjunction; supply at least one formula")
+    result = items[0]
+    for f in items[1:]:
+        result = FAnd(result, f)
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# vocabularies — the AI textbook's "ontology" (paper §2)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """A logical vocabulary: constants, functions, predicates with arities.
+
+    The paper notes (§2) that artificial intelligence *does* possess a
+    structural definition of ontonomy: "the collection of all symbols used
+    in a logic system, with the indication of which names are functions,
+    which are predicates, and which are constants" (Russell & Norvig).
+    This class is that definition, made checkable: membership of an
+    artifact in the class "AI ontonomy" is decided by ``validate``.
+    """
+
+    constants: frozenset[str]
+    functions: Mapping[str, int] = field(default_factory=dict)
+    predicates: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "functions", dict(self.functions))
+        object.__setattr__(self, "predicates", dict(self.predicates))
+        overlap = (
+            (self.constants & set(self.functions))
+            | (self.constants & set(self.predicates))
+            | (set(self.functions) & set(self.predicates))
+        )
+        if overlap:
+            raise FolError(f"symbols with multiple roles: {sorted(overlap)}")
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.constants,
+                tuple(sorted(self.functions.items())),
+                tuple(sorted(self.predicates.items())),
+            )
+        )
+
+    def validate(self, formula: FolFormula) -> None:
+        """Raise :class:`FolError` unless ``formula`` uses only this vocabulary."""
+        for atom in _atoms(formula):
+            if isinstance(atom, Atom):
+                arity = self.predicates.get(atom.predicate)
+                if arity is None:
+                    raise FolError(f"unknown predicate {atom.predicate!r}")
+                if arity != len(atom.args):
+                    raise FolError(
+                        f"predicate {atom.predicate!r} has arity {arity}, got {len(atom.args)}"
+                    )
+                for term in atom.args:
+                    self._validate_term(term)
+            elif isinstance(atom, Eq):
+                self._validate_term(atom.left)
+                self._validate_term(atom.right)
+
+    def _validate_term(self, term: Term) -> None:
+        if isinstance(term, TConst):
+            if term.name not in self.constants:
+                raise FolError(f"unknown constant {term.name!r}")
+        elif isinstance(term, TApp):
+            arity = self.functions.get(term.function)
+            if arity is None:
+                raise FolError(f"unknown function {term.function!r}")
+            if arity != len(term.args):
+                raise FolError(
+                    f"function {term.function!r} has arity {arity}, got {len(term.args)}"
+                )
+            for arg in term.args:
+                self._validate_term(arg)
+        elif not isinstance(term, TVar):
+            raise FolError(f"unknown term node {term!r}")
+
+
+def _atoms(formula: FolFormula) -> Iterator[FolFormula]:
+    """Iterate the atomic subformulas (Atom and Eq nodes)."""
+    if isinstance(formula, (Atom, Eq)):
+        yield formula
+    elif isinstance(formula, FNot):
+        yield from _atoms(formula.operand)
+    elif isinstance(formula, (FAnd, FOr)):
+        yield from _atoms(formula.left)
+        yield from _atoms(formula.right)
+    elif isinstance(formula, FImplies):
+        yield from _atoms(formula.antecedent)
+        yield from _atoms(formula.consequent)
+    elif isinstance(formula, (Forall, Exists)):
+        yield from _atoms(formula.body)
+    else:
+        raise FolError(f"unknown formula node {formula!r}")
+
+
+# ---------------------------------------------------------------------- #
+# finite structures and satisfaction
+# ---------------------------------------------------------------------- #
+
+
+class Structure:
+    """A finite first-order structure (an *extensional model* ``(D, R)``).
+
+    ``domain`` is a finite set; constants map to domain elements,
+    functions to total maps ``Dⁿ → D``, predicates to relations ⊆ Dⁿ.
+    """
+
+    def __init__(
+        self,
+        domain: Iterable[Hashable],
+        *,
+        constants: Mapping[str, Hashable] | None = None,
+        functions: Mapping[str, Mapping[tuple, Hashable]] | None = None,
+        relations: Mapping[str, Iterable[tuple]] | None = None,
+    ) -> None:
+        self.domain = frozenset(domain)
+        if not self.domain:
+            raise FolError("the domain of a structure must be non-empty")
+        self.constants = dict(constants or {})
+        self.functions = {name: dict(table) for name, table in (functions or {}).items()}
+        self.relations = {name: frozenset(map(tuple, rows)) for name, rows in (relations or {}).items()}
+        for name, value in self.constants.items():
+            if value not in self.domain:
+                raise FolError(f"constant {name!r} maps outside the domain")
+        for name, rows in self.relations.items():
+            for row in rows:
+                if any(x not in self.domain for x in row):
+                    raise FolError(f"relation {name!r} contains non-domain elements")
+
+    def interpret_term(self, term: Term, env: Mapping[str, Hashable]) -> Hashable:
+        if isinstance(term, TVar):
+            if term.name not in env:
+                raise FolError(f"unbound variable {term.name!r}")
+            return env[term.name]
+        if isinstance(term, TConst):
+            if term.name not in self.constants:
+                raise FolError(f"uninterpreted constant {term.name!r}")
+            return self.constants[term.name]
+        if isinstance(term, TApp):
+            table = self.functions.get(term.function)
+            if table is None:
+                raise FolError(f"uninterpreted function {term.function!r}")
+            args = tuple(self.interpret_term(a, env) for a in term.args)
+            if args not in table:
+                raise FolError(f"function {term.function!r} undefined on {args!r}")
+            return table[args]
+        raise FolError(f"unknown term node {term!r}")
+
+    def satisfies(self, formula: FolFormula, env: Mapping[str, Hashable] | None = None) -> bool:
+        """Tarskian satisfaction, by enumeration over the finite domain."""
+        env = dict(env or {})
+        return self._sat(formula, env)
+
+    def _sat(self, f: FolFormula, env: dict[str, Hashable]) -> bool:
+        if isinstance(f, Atom):
+            rel = self.relations.get(f.predicate, frozenset())
+            row = tuple(self.interpret_term(a, env) for a in f.args)
+            return row in rel
+        if isinstance(f, Eq):
+            return self.interpret_term(f.left, env) == self.interpret_term(f.right, env)
+        if isinstance(f, FNot):
+            return not self._sat(f.operand, env)
+        if isinstance(f, FAnd):
+            return self._sat(f.left, env) and self._sat(f.right, env)
+        if isinstance(f, FOr):
+            return self._sat(f.left, env) or self._sat(f.right, env)
+        if isinstance(f, FImplies):
+            return (not self._sat(f.antecedent, env)) or self._sat(f.consequent, env)
+        if isinstance(f, Forall):
+            return all(self._sat(f.body, {**env, f.variable: d}) for d in sorted(self.domain, key=repr))
+        if isinstance(f, Exists):
+            return any(self._sat(f.body, {**env, f.variable: d}) for d in sorted(self.domain, key=repr))
+        raise FolError(f"unknown formula node {f!r}")
+
+    def satisfies_all(self, formulas: Iterable[FolFormula]) -> bool:
+        return all(self.satisfies(f) for f in formulas)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Structure(|D|={len(self.domain)}, relations={sorted(self.relations)})"
+
+
+def all_structures(
+    domain: Sequence[Hashable],
+    vocabulary: Vocabulary,
+    *,
+    max_count: int | None = None,
+) -> Iterator[Structure]:
+    """Enumerate every structure for ``vocabulary`` over a fixed ``domain``.
+
+    Exhaustive model enumeration is how the over-breadth experiment (Q3)
+    measures how many axiom sets "have a model": constant interpretations
+    × relation subsets.  Only practical for tiny vocabularies — which is
+    the point: Guarino's condition is *checked*, not assumed.  Functions
+    are not enumerated (the experiments do not need them).
+    """
+    if vocabulary.functions:
+        raise FolError("structure enumeration does not support function symbols")
+    domain = list(domain)
+    const_names = sorted(vocabulary.constants)
+    pred_items = sorted(vocabulary.predicates.items())
+    count = 0
+
+    const_choices = itertools.product(domain, repeat=len(const_names))
+    for const_values in const_choices:
+        constants = dict(zip(const_names, const_values))
+        rel_spaces = []
+        for name, arity in pred_items:
+            rows = list(itertools.product(domain, repeat=arity))
+            rel_spaces.append([frozenset(s) for s in _powerset(rows)])
+        for rel_choice in itertools.product(*rel_spaces):
+            relations = {name: rows for (name, _), rows in zip(pred_items, rel_choice)}
+            yield Structure(domain, constants=constants, relations=relations)
+            count += 1
+            if max_count is not None and count >= max_count:
+                return
+
+
+def _powerset(items: Sequence) -> Iterator[tuple]:
+    for r in range(len(items) + 1):
+        yield from itertools.combinations(items, r)
+
+
+def has_finite_model(
+    formulas: Iterable[FolFormula],
+    vocabulary: Vocabulary,
+    max_domain_size: int = 3,
+) -> Structure | None:
+    """Search for a model of ``formulas`` over domains of size 1..max.
+
+    Returns the first model found (deterministic order) or ``None``.
+    This is the decision procedure behind "admits at least one model" in
+    Guarino's definition as the paper reads it.
+    """
+    formulas = list(formulas)
+    for f in formulas:
+        vocabulary.validate(f)
+    for size in range(1, max_domain_size + 1):
+        domain = [f"d{i}" for i in range(size)]
+        for structure in all_structures(domain, vocabulary):
+            if structure.satisfies_all(formulas):
+                return structure
+    return None

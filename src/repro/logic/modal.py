@@ -1,0 +1,224 @@
+"""Propositional modal logic over Kripke frames.
+
+Paper §2 contrasts Guarino's possible worlds with Kripke's: "In Kripke,
+possible worlds are formal models indexed by a variable that corresponds
+to a degree of modality … Extensional relations are what determine the
+essence of the world".  This module implements that picture so the
+contrast is executable: frames with primitive accessibility and
+valuations, forcing (⊨), validity, and the classical correspondences
+(T ↔ reflexive, 4 ↔ transitive, B ↔ symmetric, D ↔ serial) —
+all checkable on finite frames, no circularity anywhere.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+
+class ModalError(Exception):
+    """Raised on malformed frames or formulas."""
+
+
+class MFormula:
+    """Base class for modal formulas (immutable, hashable)."""
+
+    def __and__(self, other: "MFormula") -> "MFormula":
+        return MAnd(self, other)
+
+    def __or__(self, other: "MFormula") -> "MFormula":
+        return MOr(self, other)
+
+    def __invert__(self) -> "MFormula":
+        return MNot(self)
+
+    def __rshift__(self, other: "MFormula") -> "MFormula":
+        return MImplies(self, other)
+
+
+@dataclass(frozen=True)
+class MVar(MFormula):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class MNot(MFormula):
+    operand: MFormula
+
+    def __str__(self) -> str:
+        return f"¬{self.operand}"
+
+
+@dataclass(frozen=True)
+class MAnd(MFormula):
+    left: MFormula
+    right: MFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class MOr(MFormula):
+    left: MFormula
+    right: MFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class MImplies(MFormula):
+    antecedent: MFormula
+    consequent: MFormula
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} → {self.consequent})"
+
+
+@dataclass(frozen=True)
+class Box(MFormula):
+    """□φ: φ holds in every accessible world."""
+
+    operand: MFormula
+
+    def __str__(self) -> str:
+        return f"□{self.operand}"
+
+
+@dataclass(frozen=True)
+class Diamond(MFormula):
+    """◇φ: φ holds in some accessible world."""
+
+    operand: MFormula
+
+    def __str__(self) -> str:
+        return f"◇{self.operand}"
+
+
+class KripkeFrame:
+    """A finite Kripke model: worlds, accessibility, valuation.
+
+    The valuation maps each world to the set of variable names true
+    there — worlds carry primitive extensional structure, exactly the
+    arrangement the paper contrasts with Guarino's.
+    """
+
+    def __init__(
+        self,
+        worlds: Iterable[Hashable],
+        accessibility: Iterable[tuple[Hashable, Hashable]],
+        valuation: Mapping[Hashable, Iterable[str]] | None = None,
+    ) -> None:
+        self.worlds = frozenset(worlds)
+        if not self.worlds:
+            raise ModalError("a frame needs at least one world")
+        self.accessibility = frozenset(tuple(p) for p in accessibility)
+        for a, b in self.accessibility:
+            if a not in self.worlds or b not in self.worlds:
+                raise ModalError(f"accessibility pair ({a!r}, {b!r}) leaves the frame")
+        self.valuation = {
+            w: frozenset((valuation or {}).get(w, ())) for w in self.worlds
+        }
+
+    def successors(self, world: Hashable) -> frozenset:
+        return frozenset(b for a, b in self.accessibility if a == world)
+
+    # ------------------------------------------------------------------ #
+    # forcing and validity
+    # ------------------------------------------------------------------ #
+
+    def forces(self, world: Hashable, formula: MFormula) -> bool:
+        """``frame, world ⊨ formula``."""
+        if world not in self.worlds:
+            raise ModalError(f"{world!r} is not a world of this frame")
+        if isinstance(formula, MVar):
+            return formula.name in self.valuation[world]
+        if isinstance(formula, MNot):
+            return not self.forces(world, formula.operand)
+        if isinstance(formula, MAnd):
+            return self.forces(world, formula.left) and self.forces(world, formula.right)
+        if isinstance(formula, MOr):
+            return self.forces(world, formula.left) or self.forces(world, formula.right)
+        if isinstance(formula, MImplies):
+            return (not self.forces(world, formula.antecedent)) or self.forces(
+                world, formula.consequent
+            )
+        if isinstance(formula, Box):
+            return all(self.forces(s, formula.operand) for s in self.successors(world))
+        if isinstance(formula, Diamond):
+            return any(self.forces(s, formula.operand) for s in self.successors(world))
+        raise ModalError(f"unknown formula node {formula!r}")
+
+    def valid(self, formula: MFormula) -> bool:
+        """True iff ``formula`` holds at every world (under this valuation)."""
+        return all(self.forces(w, formula) for w in self.worlds)
+
+    # ------------------------------------------------------------------ #
+    # frame properties (correspondence theory)
+    # ------------------------------------------------------------------ #
+
+    def is_reflexive(self) -> bool:
+        return all((w, w) in self.accessibility for w in self.worlds)
+
+    def is_transitive(self) -> bool:
+        return all(
+            (a, c) in self.accessibility
+            for a, b in self.accessibility
+            for b2, c in self.accessibility
+            if b == b2
+        )
+
+    def is_symmetric(self) -> bool:
+        return all((b, a) in self.accessibility for a, b in self.accessibility)
+
+    def is_serial(self) -> bool:
+        return all(self.successors(w) for w in self.worlds)
+
+    def is_euclidean(self) -> bool:
+        return all(
+            (b, c) in self.accessibility
+            for a, b in self.accessibility
+            for a2, c in self.accessibility
+            if a == a2
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KripkeFrame(|W|={len(self.worlds)}, |R|={len(self.accessibility)})"
+
+
+def valid_on_frame(
+    frame: KripkeFrame, formula: MFormula, variables: Iterable[str]
+) -> bool:
+    """Frame validity: true under EVERY valuation of ``variables``.
+
+    This is the notion the correspondence results are about: the axiom T
+    (□p → p) is frame-valid iff the accessibility is reflexive, and so on.
+    Exponential in |W|·|variables| — fine for the finite frames used here.
+    """
+    names = sorted(set(variables))
+    worlds = sorted(frame.worlds, key=repr)
+    cells = [(w, v) for w in worlds for v in names]
+    for bits in itertools.product([False, True], repeat=len(cells)):
+        valuation: dict[Hashable, set[str]] = {w: set() for w in worlds}
+        for (world, name), bit in zip(cells, bits):
+            if bit:
+                valuation[world].add(name)
+        candidate = KripkeFrame(frame.worlds, frame.accessibility, valuation)
+        if not candidate.valid(formula):
+            return False
+    return True
+
+
+# the classical axiom schemes, instantiated on p
+P = MVar("p")
+AXIOM_K = Box(MImplies(P, P))  # trivially valid; kept for completeness
+AXIOM_T = MImplies(Box(P), P)
+AXIOM_4 = MImplies(Box(P), Box(Box(P)))
+AXIOM_B = MImplies(P, Box(Diamond(P)))
+AXIOM_D = MImplies(Box(P), Diamond(P))
+AXIOM_5 = MImplies(Diamond(P), Box(Diamond(P)))

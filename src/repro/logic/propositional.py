@@ -1,0 +1,365 @@
+"""Propositional logic: formulas, normal forms, truth tables, DPLL SAT.
+
+The over-breadth arm of the paper's syntactic critique (§2) rests on a
+propositional observation: Guarino's definition admits *any* consistent
+set of statements as an ontonomy, so "any set of tautologies is an
+ontology", and a grocery list — encoded as a conjunction of atomic
+assertions — qualifies just as well.  ``repro.intensional.overbreadth``
+uses the machinery here (tautology checking, satisfiability) to make that
+argument mechanical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+
+class Formula:
+    """Base class for propositional formulas (immutable, hashable)."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        """``p >> q`` builds the implication p → q."""
+        return Implies(self, other)
+
+    # subclasses set these
+    def variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(Formula):
+    """A propositional variable."""
+
+    name: str
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        if self.name not in assignment:
+            raise KeyError(f"no value for variable {self.name!r}")
+        return bool(assignment[self.name])
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Formula):
+    """A propositional constant (⊤ or ⊥)."""
+
+    value: bool
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def __str__(self) -> str:
+        return "⊤" if self.value else "⊥"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return f"¬{_wrap(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) and self.right.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) or self.right.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    antecedent: Formula
+    consequent: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.antecedent.variables() | self.consequent.variables()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return (not self.antecedent.evaluate(assignment)) or self.consequent.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} → {self.consequent})"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    left: Formula
+    right: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) == self.right.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return f"({self.left} ↔ {self.right})"
+
+
+def _wrap(f: Formula) -> str:
+    return str(f) if isinstance(f, (Var, Const, Not)) else f"({f})"
+
+
+def conj(formulas: Iterable[Formula]) -> Formula:
+    """The conjunction of ``formulas`` (⊤ if empty)."""
+    result: Formula | None = None
+    for f in formulas:
+        result = f if result is None else And(result, f)
+    return TRUE if result is None else result
+
+
+def disj(formulas: Iterable[Formula]) -> Formula:
+    """The disjunction of ``formulas`` (⊥ if empty)."""
+    result: Formula | None = None
+    for f in formulas:
+        result = f if result is None else Or(result, f)
+    return FALSE if result is None else result
+
+
+# ---------------------------------------------------------------------- #
+# normal forms
+# ---------------------------------------------------------------------- #
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negation only on variables; →/↔ eliminated."""
+    return _nnf(formula, positive=True)
+
+
+def _nnf(f: Formula, positive: bool) -> Formula:
+    if isinstance(f, Var):
+        return f if positive else Not(f)
+    if isinstance(f, Const):
+        return Const(f.value == positive)
+    if isinstance(f, Not):
+        return _nnf(f.operand, not positive)
+    if isinstance(f, And):
+        ctor = And if positive else Or
+        return ctor(_nnf(f.left, positive), _nnf(f.right, positive))
+    if isinstance(f, Or):
+        ctor = Or if positive else And
+        return ctor(_nnf(f.left, positive), _nnf(f.right, positive))
+    if isinstance(f, Implies):
+        return _nnf(Or(Not(f.antecedent), f.consequent), positive)
+    if isinstance(f, Iff):
+        expanded = And(
+            Or(Not(f.left), f.right),
+            Or(Not(f.right), f.left),
+        )
+        return _nnf(expanded, positive)
+    raise TypeError(f"unknown formula node {f!r}")
+
+
+Clause = frozenset  # of (name, polarity) pairs
+CNF = frozenset  # of Clause
+
+
+def to_cnf(formula: Formula) -> frozenset[frozenset[tuple[str, bool]]]:
+    """Clausal CNF by NNF + distribution (exact, may be exponential).
+
+    Each clause is a frozenset of ``(variable, polarity)`` literals.
+    An empty clause set means ⊤; a set containing the empty clause means ⊥.
+    """
+    nnf = to_nnf(formula)
+    clauses = _cnf_clauses(nnf)
+    # drop tautological clauses (contain p and ¬p)
+    useful = frozenset(
+        clause
+        for clause in clauses
+        if not any((name, not pol) in clause for name, pol in clause)
+    )
+    return useful
+
+
+def _cnf_clauses(f: Formula) -> frozenset[frozenset[tuple[str, bool]]]:
+    if isinstance(f, Var):
+        return frozenset({frozenset({(f.name, True)})})
+    if isinstance(f, Not):
+        assert isinstance(f.operand, Var), "input must be in NNF"
+        return frozenset({frozenset({(f.operand.name, False)})})
+    if isinstance(f, Const):
+        return frozenset() if f.value else frozenset({frozenset()})
+    if isinstance(f, And):
+        return _cnf_clauses(f.left) | _cnf_clauses(f.right)
+    if isinstance(f, Or):
+        left = _cnf_clauses(f.left)
+        right = _cnf_clauses(f.right)
+        if not left or not right:  # ⊤ ∨ x ≡ ⊤
+            return frozenset()
+        return frozenset(lc | rc for lc in left for rc in right)
+    raise TypeError(f"formula not in NNF: {f!r}")
+
+
+# ---------------------------------------------------------------------- #
+# semantics
+# ---------------------------------------------------------------------- #
+
+
+def assignments(variables: Iterable[str]) -> Iterator[dict[str, bool]]:
+    """All truth assignments over ``variables`` in a deterministic order."""
+    names = sorted(set(variables))
+    for values in itertools.product([False, True], repeat=len(names)):
+        yield dict(zip(names, values))
+
+
+def truth_table(formula: Formula) -> list[tuple[dict[str, bool], bool]]:
+    """The full truth table, one row per assignment."""
+    return [(a, formula.evaluate(a)) for a in assignments(formula.variables())]
+
+
+def models(formula: Formula) -> list[dict[str, bool]]:
+    """All satisfying assignments (by truth-table enumeration)."""
+    return [a for a, value in truth_table(formula) if value]
+
+
+def is_tautology(formula: Formula) -> bool:
+    """True iff ``formula`` holds under every assignment.
+
+    Decided by DPLL on the negation, so it scales beyond truth tables.
+    """
+    return not is_satisfiable(Not(formula))
+
+
+def is_satisfiable(formula: Formula) -> bool:
+    """DPLL satisfiability on the clausal CNF of ``formula``."""
+    return dpll(to_cnf(formula)) is not None
+
+
+def equivalent(f: Formula, g: Formula) -> bool:
+    """Logical equivalence: ``f ↔ g`` is a tautology."""
+    return is_tautology(Iff(f, g))
+
+
+def entails(premises: Iterable[Formula], conclusion: Formula) -> bool:
+    """True iff the conjunction of ``premises`` entails ``conclusion``."""
+    return not is_satisfiable(And(conj(premises), Not(conclusion)))
+
+
+def dpll(clauses: frozenset[frozenset[tuple[str, bool]]]) -> dict[str, bool] | None:
+    """The DPLL procedure: a satisfying assignment or ``None``.
+
+    Unit propagation + pure-literal elimination + branching on the most
+    frequent variable.  Variables not mentioned by any clause are left out
+    of the returned assignment (they are don't-cares).
+    """
+    assignment: dict[str, bool] = {}
+    work = {frozenset(c) for c in clauses}
+
+    def simplify(cls: set[frozenset], name: str, value: bool) -> set[frozenset] | None:
+        out: set[frozenset] = set()
+        for clause in cls:
+            if (name, value) in clause:
+                continue  # satisfied
+            reduced = clause - {(name, not value)}
+            if not reduced:
+                return None  # empty clause: conflict
+            out.add(frozenset(reduced))
+        return out
+
+    def solve(cls: set[frozenset], partial: dict[str, bool]) -> dict[str, bool] | None:
+        cls = set(cls)
+        partial = dict(partial)
+        if frozenset() in cls:
+            return None
+        changed = True
+        while changed:
+            changed = False
+            # unit propagation
+            unit = next((c for c in cls if len(c) == 1), None)
+            if unit is not None:
+                (name, value), = unit
+                partial[name] = value
+                nxt = simplify(cls, name, value)
+                if nxt is None:
+                    return None
+                cls = nxt
+                changed = True
+                continue
+            # pure literal elimination
+            polarity: dict[str, set[bool]] = {}
+            for clause in cls:
+                for name, value in clause:
+                    polarity.setdefault(name, set()).add(value)
+            pure = next((n for n, pols in polarity.items() if len(pols) == 1), None)
+            if pure is not None:
+                value = next(iter(polarity[pure]))
+                partial[pure] = value
+                nxt = simplify(cls, pure, value)
+                if nxt is None:
+                    return None
+                cls = nxt
+                changed = True
+        if not cls:
+            return partial
+        # branch on the most frequent variable
+        counts: dict[str, int] = {}
+        for clause in cls:
+            for name, _ in clause:
+                counts[name] = counts.get(name, 0) + 1
+        name = max(sorted(counts), key=lambda n: counts[n])
+        for value in (True, False):
+            nxt = simplify(cls, name, value)
+            if nxt is None:
+                continue
+            found = solve(nxt, {**partial, name: value})
+            if found is not None:
+                return found
+        return None
+
+    return solve(work, assignment)

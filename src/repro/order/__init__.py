@@ -1,0 +1,19 @@
+"""Order theory substrate: finite posets, lattice queries, monotone maps."""
+
+from .poset import (
+    OrderError,
+    Poset,
+    chain,
+    discrete,
+    from_cover_graph,
+    is_monotone,
+)
+
+__all__ = [
+    "Poset",
+    "OrderError",
+    "is_monotone",
+    "discrete",
+    "chain",
+    "from_cover_graph",
+]

@@ -1,0 +1,73 @@
+"""Order-sorted algebra and the Bench-Capon & Malcolm ontology formalism.
+
+Implements Goguen–Meseguer order-sorted signatures, terms, equational
+theories, rewriting and finite models, then builds the paper's
+Definition 1 on top: ontology signatures (D, C, A) and ontonomies (Σ, A)
+with decidable membership and model checking.
+"""
+
+from .algebra import AlgebraError, DataDomain, FiniteAlgebra
+from .initial import ClosureError, term_algebra
+from .unification import (
+    UnificationError,
+    apply_substitution,
+    critical_pairs,
+    is_locally_confluent,
+    replace_at,
+    subterm_at,
+    subterm_positions,
+    unify,
+)
+from .equations import (
+    Equation,
+    EquationError,
+    EquationalTheory,
+    RewriteSystem,
+    critical_pair_joinable,
+)
+from .ontology_signature import (
+    AttributeSymbol,
+    OntologySignature,
+    OntologySignatureError,
+    is_ontology_signature,
+)
+from .ontonomy import (
+    AttributeValueAxiom,
+    Axiom,
+    CoverageAxiom,
+    DisjointAxiom,
+    Ontonomy,
+    OntonomyError,
+    SignatureModel,
+    SubclassAxiom,
+    is_ontonomy,
+)
+from .signature import OpDecl, OrderSortedSignature, SignatureError
+from .terms import (
+    OSApp,
+    OSTerm,
+    OSVar,
+    TermError,
+    constant,
+    ground_terms,
+    is_well_sorted,
+    least_sort,
+    match,
+    substitute,
+)
+
+__all__ = [
+    "OpDecl", "OrderSortedSignature", "SignatureError",
+    "OSTerm", "OSVar", "OSApp", "constant", "least_sort", "is_well_sorted",
+    "substitute", "match", "ground_terms", "TermError",
+    "Equation", "EquationalTheory", "RewriteSystem", "EquationError",
+    "critical_pair_joinable",
+    "FiniteAlgebra", "DataDomain", "AlgebraError",
+    "term_algebra", "ClosureError",
+    "unify", "apply_substitution", "critical_pairs", "is_locally_confluent",
+    "subterm_positions", "subterm_at", "replace_at", "UnificationError",
+    "OntologySignature", "AttributeSymbol", "OntologySignatureError",
+    "is_ontology_signature",
+    "Ontonomy", "SignatureModel", "Axiom", "SubclassAxiom", "DisjointAxiom",
+    "CoverageAxiom", "AttributeValueAxiom", "OntonomyError", "is_ontonomy",
+]

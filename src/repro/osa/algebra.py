@@ -1,0 +1,152 @@
+"""Finite order-sorted algebras: models of equational theories.
+
+An order-sorted algebra ``(Ω, (A_α | α ∈ S))`` (paper §2) assigns to each
+sort a carrier set — with ``s ≤ s′`` forcing ``A_s ⊆ A_s′`` — and to each
+operation rank a function between the carriers.  ``FiniteAlgebra`` checks
+those conditions at construction and decides satisfaction of equations by
+exhaustive assignment enumeration, so ``is_model_of`` is a genuine
+decision procedure on finite carriers.
+
+Together with :mod:`repro.osa.ontology_signature` this realizes the
+paper's Definition 1 pipeline: a *data domain* is a pair (T, D) of an
+order-sorted equational theory and a model of it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Hashable, Iterable, Mapping
+
+from .equations import Equation, EquationalTheory
+from .signature import OrderSortedSignature
+from .terms import OSApp, OSTerm, OSVar
+
+
+class AlgebraError(Exception):
+    """Raised when carriers or interpretations violate algebra axioms."""
+
+
+class FiniteAlgebra:
+    """A finite model of an order-sorted signature.
+
+    ``carriers`` maps each sort to a finite set; ``operations`` maps each
+    operation name to a dict from argument tuples to values (constants use
+    the empty tuple ``()``).  Overloaded symbols share one graph — the
+    standard coherence requirement that overloaded ranks agree on common
+    arguments is then automatic.
+    """
+
+    def __init__(
+        self,
+        signature: OrderSortedSignature,
+        carriers: Mapping[str, Iterable[Hashable]],
+        operations: Mapping[str, Mapping[tuple, Hashable]],
+    ) -> None:
+        self.signature = signature
+        self.carriers: dict[str, frozenset] = {
+            sort: frozenset(values) for sort, values in carriers.items()
+        }
+        self.operations: dict[str, dict[tuple, Hashable]] = {
+            name: dict(table) for name, table in operations.items()
+        }
+        self._validate()
+
+    def _validate(self) -> None:
+        sorts = self.signature.sorts
+        for sort in sorts.elements:
+            if sort not in self.carriers:
+                raise AlgebraError(f"no carrier for sort {sort!r}")
+        # subsort inclusion: s ≤ s' ⟹ A_s ⊆ A_s'
+        for s1 in sorts.elements:
+            for s2 in sorts.elements:
+                if sorts.leq(s1, s2) and not self.carriers[s1] <= self.carriers[s2]:
+                    raise AlgebraError(
+                        f"carrier of {s1!r} not included in carrier of {s2!r} "
+                        f"despite {s1!r} ≤ {s2!r}"
+                    )
+        # operations: every rank totally interpreted, values in carriers
+        for decl in self.signature.declarations():
+            table = self.operations.get(decl.name)
+            if table is None:
+                raise AlgebraError(f"no interpretation for operation {decl.name!r}")
+            domains = [sorted(self.carriers[s], key=repr) for s in decl.arg_sorts]
+            for args in itertools.product(*domains):
+                if args not in table:
+                    raise AlgebraError(
+                        f"operation {decl.name!r} undefined on {args!r} "
+                        f"(rank {decl})"
+                    )
+                if table[args] not in self.carriers[decl.result]:
+                    raise AlgebraError(
+                        f"operation {decl.name!r} maps {args!r} to "
+                        f"{table[args]!r}, outside carrier of {decl.result!r}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # evaluation and satisfaction
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, term: OSTerm, env: Mapping[OSVar, Hashable] | None = None) -> Hashable:
+        """The value of ``term`` under a variable assignment ``env``."""
+        env = env or {}
+        if isinstance(term, OSVar):
+            if term not in env:
+                raise AlgebraError(f"unbound variable {term}")
+            return env[term]
+        if isinstance(term, OSApp):
+            table = self.operations.get(term.op)
+            if table is None:
+                raise AlgebraError(f"uninterpreted operation {term.op!r}")
+            args = tuple(self.evaluate(arg, env) for arg in term.args)
+            if args not in table:
+                raise AlgebraError(f"operation {term.op!r} undefined on {args!r}")
+            return table[args]
+        raise AlgebraError(f"unknown term node {term!r}")
+
+    def assignments(self, variables: Iterable[OSVar]) -> Iterable[dict[OSVar, Hashable]]:
+        """All assignments of carrier values to ``variables`` (by sort)."""
+        variables = sorted(set(variables), key=lambda v: (v.name, v.sort))
+        pools = [sorted(self.carriers[v.sort], key=repr) for v in variables]
+        for values in itertools.product(*pools):
+            yield dict(zip(variables, values))
+
+    def satisfies(self, equation: Equation) -> bool:
+        """True iff the equation holds under every assignment."""
+        for env in self.assignments(equation.variables()):
+            if self.evaluate(equation.lhs, env) != self.evaluate(equation.rhs, env):
+                return False
+        return True
+
+    def is_model_of(self, theory: EquationalTheory) -> bool:
+        """True iff this algebra satisfies every equation of ``theory``."""
+        if theory.signature is not self.signature:
+            # allow structurally identical signatures; cheap identity check
+            # first, then fall through to satisfaction
+            pass
+        return all(self.satisfies(eq) for eq in theory.equations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = {s: len(c) for s, c in self.carriers.items()}
+        return f"FiniteAlgebra(carriers={sizes})"
+
+
+class DataDomain:
+    """A *data domain* ``(T, D)``: a theory and a model of it (paper Def. 1).
+
+    Construction verifies that ``model`` really is a model of ``theory`` —
+    the membership check the paper praises structural definitions for
+    making possible.
+    """
+
+    def __init__(self, theory: EquationalTheory, model: FiniteAlgebra) -> None:
+        if not model.is_model_of(theory):
+            raise AlgebraError("the given algebra is not a model of the theory")
+        self.theory = theory
+        self.model = model
+
+    @property
+    def sorts(self):
+        return self.theory.signature.sorts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataDomain(equations={len(self.theory)}, {self.model!r})"

@@ -1,0 +1,143 @@
+"""Order-sorted equational theories and rewriting.
+
+An order-sorted equational theory ``T = (S, Σ, E)`` (paper §2): a sort
+poset and signature from :mod:`repro.osa.signature` plus a set ``E`` of
+equations between well-sorted terms.  A rewrite engine orients the
+equations left-to-right and normalizes terms, giving a decision procedure
+for ground equality whenever the oriented system is terminating and
+confluent (which the small theories ontonomies need in practice are).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .signature import OrderSortedSignature
+from .terms import OSApp, OSTerm, OSVar, TermError, least_sort, match, substitute
+
+
+class EquationError(Exception):
+    """Raised on ill-formed equations or rewriting failures."""
+
+
+@dataclass(frozen=True)
+class Equation:
+    """An equation ``lhs = rhs`` (implicitly universally quantified)."""
+
+    lhs: OSTerm
+    rhs: OSTerm
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = {self.rhs}"
+
+    def variables(self) -> frozenset[OSVar]:
+        return self.lhs.variables() | self.rhs.variables()
+
+
+class EquationalTheory:
+    """``T = (S, Σ, E)``: a validated signature plus equations.
+
+    Construction checks every equation for well-sortedness and for the
+    standard rewriting side conditions needed to orient it left-to-right:
+    the left-hand side must not be a bare variable, and every right-hand
+    variable must occur on the left.
+    """
+
+    def __init__(
+        self,
+        signature: OrderSortedSignature,
+        equations: Iterable[Equation] = (),
+        *,
+        check_orientation: bool = True,
+    ) -> None:
+        self.signature = signature
+        self.equations = list(equations)
+        for eq in self.equations:
+            lsort = least_sort(eq.lhs, signature)  # raises if ill-sorted
+            rsort = least_sort(eq.rhs, signature)
+            if not (
+                signature.subsort(lsort, rsort)
+                or signature.subsort(rsort, lsort)
+            ):
+                raise EquationError(
+                    f"equation {eq} relates incomparable sorts {lsort!r} and {rsort!r}"
+                )
+            if check_orientation:
+                if isinstance(eq.lhs, OSVar):
+                    raise EquationError(f"cannot orient {eq}: variable left-hand side")
+                extra = eq.rhs.variables() - eq.lhs.variables()
+                if extra:
+                    raise EquationError(
+                        f"cannot orient {eq}: right-hand variables {sorted(v.name for v in extra)} "
+                        "not bound on the left"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.equations)
+
+
+class RewriteSystem:
+    """The rewrite system obtained by orienting a theory's equations l → r."""
+
+    def __init__(self, theory: EquationalTheory, *, max_steps: int = 10_000) -> None:
+        self.theory = theory
+        self.signature = theory.signature
+        self.max_steps = max_steps
+
+    def rewrite_once(self, term: OSTerm) -> Optional[OSTerm]:
+        """One innermost-leftmost rewrite step, or ``None`` if normal."""
+        if isinstance(term, OSApp):
+            for i, arg in enumerate(term.args):
+                stepped = self.rewrite_once(arg)
+                if stepped is not None:
+                    new_args = term.args[:i] + (stepped,) + term.args[i + 1:]
+                    return OSApp(term.op, new_args)
+            for eq in self.theory.equations:
+                bindings = match(eq.lhs, term, self.signature)
+                if bindings is not None:
+                    try:
+                        return substitute(eq.rhs, bindings, self.signature)
+                    except TermError:
+                        continue  # sort-incompatible instance; try next rule
+        return None
+
+    def normalize(self, term: OSTerm) -> OSTerm:
+        """Rewrite to normal form; raise :class:`EquationError` past ``max_steps``.
+
+        The step bound turns potential divergence into a detectable
+        outcome rather than a hang — non-terminating "ontonomies" are a
+        thing this library must be able to report, not crash on.
+        """
+        current = term
+        for _ in range(self.max_steps):
+            stepped = self.rewrite_once(current)
+            if stepped is None:
+                return current
+            current = stepped
+        raise EquationError(
+            f"no normal form within {self.max_steps} steps (starting from {term})"
+        )
+
+    def is_normal_form(self, term: OSTerm) -> bool:
+        return self.rewrite_once(term) is None
+
+    def equal(self, t1: OSTerm, t2: OSTerm) -> bool:
+        """Ground equality by normal-form comparison.
+
+        Sound and complete when the oriented system is confluent and
+        terminating; otherwise sound-only (equal normal forms still imply
+        provable equality).
+        """
+        return self.normalize(t1) == self.normalize(t2)
+
+
+def critical_pair_joinable(
+    system: RewriteSystem, t1: OSTerm, t2: OSTerm
+) -> bool:
+    """Check joinability of two terms (their normal forms coincide).
+
+    A lightweight stand-in for a full Knuth–Bendix confluence check,
+    sufficient for the finite theories used in tests and corpora.
+    """
+    return system.normalize(t1) == system.normalize(t2)

@@ -1,0 +1,76 @@
+"""Initial (term) algebras of order-sorted equational theories.
+
+The canonical model Goguen–Meseguer theories come with: carriers are
+ground-term normal forms, operations act by "apply, then normalize".
+When the normal forms are finite (as in the boolean and enumeration
+theories BCM data domains use), the construction yields a
+:class:`repro.osa.algebra.FiniteAlgebra` that is a model of the theory by
+construction — and `DataDomain(theory, term_algebra(theory))` gives every
+theory a ready-made data domain without hand-writing carriers.
+"""
+
+from __future__ import annotations
+
+from .algebra import AlgebraError, FiniteAlgebra
+from .equations import EquationalTheory, RewriteSystem
+from .terms import OSApp, ground_terms, least_sort
+
+
+class ClosureError(AlgebraError):
+    """Raised when the normal forms do not close at the explored depth."""
+
+
+def term_algebra(
+    theory: EquationalTheory,
+    *,
+    max_depth: int = 4,
+    max_steps: int = 10_000,
+) -> FiniteAlgebra:
+    """The initial algebra on ground-term normal forms.
+
+    Enumerates ground terms to ``max_depth``, normalizes them, and checks
+    *closure*: applying any operation to normal forms must again yield one
+    of the collected normal forms.  Theories with infinitely many normal
+    forms (Peano numerals) fail closure and raise :class:`ClosureError` —
+    by design, since a :class:`FiniteAlgebra` cannot carry them.
+    """
+    signature = theory.signature
+    system = RewriteSystem(theory, max_steps=max_steps)
+
+    normal_forms: list[OSApp] = []
+    for term in ground_terms(signature, max_depth):
+        nf = system.normalize(term)
+        if nf not in normal_forms:
+            normal_forms.append(nf)
+    if not normal_forms:
+        raise ClosureError("the signature has no ground terms; add constants")
+
+    # carrier of sort s: normal forms whose least sort is ≤ s — this makes
+    # the subsort-inclusion condition of FiniteAlgebra hold by construction
+    carriers: dict[str, set] = {s: set() for s in signature.sorts.elements}
+    for nf in normal_forms:
+        sort = least_sort(nf, signature)
+        for s in signature.sorts.elements:
+            if signature.sorts.leq(sort, s):
+                carriers[s].add(nf)
+
+    operations: dict[str, dict[tuple, OSApp]] = {}
+    available = set(normal_forms)
+    for decl in signature.declarations():
+        table = operations.setdefault(decl.name, {})
+        pools = [sorted(carriers[s], key=str) for s in decl.arg_sorts]
+        import itertools
+
+        for args in itertools.product(*pools):
+            if args in table:
+                continue
+            result = system.normalize(OSApp(decl.name, tuple(args)))
+            if result not in available:
+                raise ClosureError(
+                    f"normal form {result} of {decl.name}{args} not reached "
+                    f"at depth {max_depth}; the theory's normal forms may be "
+                    "infinite, or max_depth is too small"
+                )
+            table[args] = result
+
+    return FiniteAlgebra(signature, carriers, operations)

@@ -1,0 +1,196 @@
+"""Bench-Capon & Malcolm ontology signatures (the paper's Definition 1).
+
+    An ontology signature is a triple (D, C, A), where D = (T, D) is a
+    data domain, C = (C, ≤) is a partial order, called a class hierarchy,
+    and A is a family of sets A_{c,e} of attribute symbols for c ∈ C and
+    e ∈ C + S, where S is the set of sorts in T.  The family is such that
+    A_{c′,e} ⊆ A_{c,e′} whenever c ≤ c′ and e ≤ e′.
+
+This module implements that definition *verbatim*, including the
+attribute-family monotonicity condition (attributes declared on a
+superclass with some value type are inherited by subclasses, where they
+may also appear at wider value types).  The paper's verdict — rigorous
+but "too limited ... strongly oriented towards monocriterial taxonomies"
+— is made measurable by :meth:`OntologySignature.expressiveness_profile`:
+the only primitive inter-class relation is ≤; everything else must be
+encoded as attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from ..order import Poset
+from .algebra import DataDomain
+
+
+class OntologySignatureError(Exception):
+    """Raised when the triple (D, C, A) violates Definition 1."""
+
+
+@dataclass(frozen=True)
+class AttributeSymbol:
+    """An attribute symbol ``a : c → e`` (class ``c``, value type ``e``).
+
+    ``value_type`` names either a class of ``C`` or a sort of ``T``; which
+    one is determined by the signature that owns the symbol.
+    """
+
+    name: str
+    owner: str
+    value_type: str
+
+    def __str__(self) -> str:
+        return f"{self.name} : {self.owner} -> {self.value_type}"
+
+
+class OntologySignature:
+    """The triple ``(D, C, A)`` of Definition 1, validated at construction.
+
+    ``attributes`` maps ``(c, e)`` pairs to sets of attribute names.  The
+    *value order* on ``C + S`` is the disjoint union of the class order
+    and the sort order (a class is never comparable with a sort), which is
+    the natural reading of the definition's ``e ≤ e′``.
+    """
+
+    def __init__(
+        self,
+        data_domain: DataDomain,
+        class_hierarchy: Poset,
+        attributes: Mapping[tuple[str, str], Iterable[str]],
+    ) -> None:
+        self.data_domain = data_domain
+        self.classes = class_hierarchy
+        self.sorts = data_domain.sorts
+
+        overlap = set(class_hierarchy.elements) & set(self.sorts.elements)
+        if overlap:
+            raise OntologySignatureError(
+                f"class names and sort names must be disjoint; shared: {sorted(overlap)}"
+            )
+
+        self.attributes: dict[tuple[str, str], frozenset[str]] = {}
+        for (c, e), names in attributes.items():
+            if c not in class_hierarchy:
+                raise OntologySignatureError(f"attribute owner {c!r} is not a class")
+            if e not in class_hierarchy and e not in self.sorts:
+                raise OntologySignatureError(
+                    f"attribute value type {e!r} is neither a class nor a sort"
+                )
+            self.attributes[(c, e)] = frozenset(names)
+
+        self._check_family_condition()
+
+    # ------------------------------------------------------------------ #
+    # Definition 1's side condition
+    # ------------------------------------------------------------------ #
+
+    def value_leq(self, e1: str, e2: str) -> bool:
+        """The order on ``C + S``: class order ∪ sort order, never across."""
+        if e1 in self.classes and e2 in self.classes:
+            return self.classes.leq(e1, e2)
+        if e1 in self.sorts and e2 in self.sorts:
+            return self.sorts.leq(e1, e2)
+        return False
+
+    def attribute_set(self, c: str, e: str) -> frozenset[str]:
+        """``A_{c,e}`` (empty when undeclared)."""
+        return self.attributes.get((c, e), frozenset())
+
+    def _check_family_condition(self) -> None:
+        """Enforce ``A_{c′,e} ⊆ A_{c,e′}`` whenever ``c ≤ c′`` and ``e ≤ e′``."""
+        value_types = list(self.classes.elements) + list(self.sorts.elements)
+        for c in self.classes.elements:
+            for c_prime in self.classes.elements:
+                if not self.classes.leq(c, c_prime):
+                    continue
+                for e in value_types:
+                    for e_prime in value_types:
+                        if not self.value_leq(e, e_prime):
+                            continue
+                        upper = self.attribute_set(c_prime, e)
+                        lower = self.attribute_set(c, e_prime)
+                        if not upper <= lower:
+                            missing = sorted(upper - lower)
+                            raise OntologySignatureError(
+                                f"family condition violated: A[{c_prime!r},{e!r}] ⊄ "
+                                f"A[{c!r},{e_prime!r}] (missing {missing}); "
+                                f"{c!r} ≤ {c_prime!r} and {e!r} ≤ {e_prime!r}"
+                            )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def all_attributes_of(self, c: str) -> frozenset[AttributeSymbol]:
+        """Every attribute visible on class ``c`` (declared or inherited).
+
+        By the family condition, anything in ``A_{c′,e}`` for ``c ≤ c′``
+        already appears in ``A_{c,e}``; this method simply collects the
+        ``A_{c,·}`` row into symbols.
+        """
+        out = set()
+        for (owner, value_type), names in self.attributes.items():
+            if owner == c:
+                for name in names:
+                    out.add(AttributeSymbol(name, owner, value_type))
+        return frozenset(out)
+
+    def is_subclass(self, c1: str, c2: str) -> bool:
+        return self.classes.leq(c1, c2)
+
+    def expressiveness_profile(self) -> dict[str, int]:
+        """Quantify the paper's 'monocriterial taxonomy' verdict.
+
+        Returns counts of the two kinds of relational structure the
+        formalism can express: subclass links (the only primitive
+        inter-class relation) versus attribute declarations (everything
+        else, demoted to typed features).  Experiment Q4 reports this
+        profile to show where the expressive burden falls.
+        """
+        subclass_links = sum(
+            1
+            for c1 in self.classes.elements
+            for c2 in self.classes.elements
+            if c1 != c2 and self.classes.leq(c1, c2)
+        )
+        attribute_declarations = sum(len(v) for v in self.attributes.values())
+        class_valued = sum(
+            len(v) for (c, e), v in self.attributes.items() if e in self.classes
+        )
+        return {
+            "classes": len(self.classes),
+            "sorts": len(self.sorts),
+            "subclass_links": subclass_links,
+            "attribute_declarations": attribute_declarations,
+            "class_valued_attributes": class_valued,
+            "sort_valued_attributes": attribute_declarations - class_valued,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OntologySignature(classes={len(self.classes)}, "
+            f"sorts={len(self.sorts)}, attribute_cells={len(self.attributes)})"
+        )
+
+
+def is_ontology_signature(
+    data_domain: object, class_hierarchy: object, attributes: object
+) -> bool:
+    """Decide membership in the class of BCM ontology signatures.
+
+    This is the methodological payload of the paper's §2: with a
+    *structural* definition, an arbitrary candidate triple either is or
+    is not an ontology signature, decidably, with no reference to its
+    intended use.  Compare :func:`repro.core.definitions.classify`.
+    """
+    if not isinstance(data_domain, DataDomain) or not isinstance(class_hierarchy, Poset):
+        return False
+    if not isinstance(attributes, Mapping):
+        return False
+    try:
+        OntologySignature(data_domain, class_hierarchy, dict(attributes))
+    except (OntologySignatureError, TypeError, ValueError):
+        return False
+    return True

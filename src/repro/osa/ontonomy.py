@@ -1,0 +1,233 @@
+"""BCM ontonomies: ``(Σ, A)`` pairs and their models.
+
+"An ontonomy is then simply a pair (Σ, A), where Σ is an ontology
+signature and A a set of axioms.  A model of such an ontonomy is a model
+of Σ that satisfies the axioms of A." (paper §2, after Definition 1)
+
+A model of an ontology signature assigns a finite extent to every class —
+monotone along ≤, so subclass extents are included in superclass extents —
+and a total interpretation to every attribute symbol, mapping each member
+of the owning class into the value type's extent or carrier.  Axioms are
+then checked against that interpretation.
+
+The axiom language is deliberately small but non-trivial: subset-,
+disjointness-, coverage- and attribute-range constraints — enough to
+state the vehicle corpus and to exercise model checking, while remaining
+decidable on finite extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from .ontology_signature import OntologySignature, OntologySignatureError
+
+
+class OntonomyError(Exception):
+    """Raised on ill-formed ontonomies or interpretations."""
+
+
+# ---------------------------------------------------------------------- #
+# axioms
+# ---------------------------------------------------------------------- #
+
+
+class Axiom:
+    """Base class for ontonomy axioms (immutable, hashable)."""
+
+    def holds_in(self, model: "SignatureModel") -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SubclassAxiom(Axiom):
+    """Extent inclusion: ``sub ⊑ sup`` beyond what the hierarchy forces."""
+
+    sub: str
+    sup: str
+
+    def holds_in(self, model: "SignatureModel") -> bool:
+        return model.extent(self.sub) <= model.extent(self.sup)
+
+    def __str__(self) -> str:
+        return f"{self.sub} ⊑ {self.sup}"
+
+
+@dataclass(frozen=True)
+class DisjointAxiom(Axiom):
+    """Extent disjointness of two classes."""
+
+    left: str
+    right: str
+
+    def holds_in(self, model: "SignatureModel") -> bool:
+        return not (model.extent(self.left) & model.extent(self.right))
+
+    def __str__(self) -> str:
+        return f"{self.left} ⊓ {self.right} = ∅"
+
+
+@dataclass(frozen=True)
+class CoverageAxiom(Axiom):
+    """The parts jointly exhaust the whole: ``whole ⊆ ∪ parts``."""
+
+    whole: str
+    parts: tuple[str, ...]
+
+    def holds_in(self, model: "SignatureModel") -> bool:
+        union: set = set()
+        for part in self.parts:
+            union |= model.extent(part)
+        return model.extent(self.whole) <= union
+
+    def __str__(self) -> str:
+        return f"{self.whole} ⊑ {' ⊔ '.join(self.parts)}"
+
+
+@dataclass(frozen=True)
+class AttributeValueAxiom(Axiom):
+    """Every member of ``owner`` has attribute ``attribute`` valued in ``allowed``."""
+
+    owner: str
+    attribute: str
+    allowed: frozenset
+
+    def holds_in(self, model: "SignatureModel") -> bool:
+        table = model.attribute_table(self.owner, self.attribute)
+        return all(value in self.allowed for value in table.values())
+
+    def __str__(self) -> str:
+        return f"∀x∈{self.owner}. {self.attribute}(x) ∈ {set(self.allowed)!r}"
+
+
+# ---------------------------------------------------------------------- #
+# models of an ontology signature
+# ---------------------------------------------------------------------- #
+
+
+class SignatureModel:
+    """A finite interpretation of an :class:`OntologySignature`.
+
+    ``extents`` maps classes to finite sets of individuals; ``attributes``
+    maps ``(class, attribute-name)`` to a table individual → value.
+    Construction enforces:
+
+    * extent monotonicity: ``c ≤ c′`` implies ``extent(c) ⊆ extent(c′)``;
+    * attribute totality: every declared attribute of ``c`` is defined on
+      every member of ``c``'s extent;
+    * attribute typing: values land in the value type's extent (class) or
+      carrier (sort).
+    """
+
+    def __init__(
+        self,
+        signature: OntologySignature,
+        extents: Mapping[str, Iterable[Hashable]],
+        attributes: Mapping[tuple[str, str], Mapping[Hashable, Hashable]] | None = None,
+    ) -> None:
+        self.signature = signature
+        self._extents: dict[str, frozenset] = {
+            c: frozenset(extents.get(c, ())) for c in signature.classes.elements
+        }
+        self._attributes: dict[tuple[str, str], dict[Hashable, Hashable]] = {
+            key: dict(table) for key, table in (attributes or {}).items()
+        }
+        self._validate()
+
+    def _validate(self) -> None:
+        sig = self.signature
+        for c1 in sig.classes.elements:
+            for c2 in sig.classes.elements:
+                if sig.classes.leq(c1, c2) and not self._extents[c1] <= self._extents[c2]:
+                    raise OntonomyError(
+                        f"extent of {c1!r} not included in extent of {c2!r} "
+                        f"despite {c1!r} ≤ {c2!r}"
+                    )
+        for (owner, value_type), names in sig.attributes.items():
+            for name in names:
+                table = self._attributes.get((owner, name))
+                if table is None:
+                    raise OntonomyError(
+                        f"attribute {name!r} of class {owner!r} has no interpretation"
+                    )
+                for individual in self._extents[owner]:
+                    if individual not in table:
+                        raise OntonomyError(
+                            f"attribute {name!r} undefined on {individual!r} ∈ {owner!r}"
+                        )
+                    value = table[individual]
+                    if value_type in sig.classes:
+                        if value not in self._extents[value_type]:
+                            raise OntonomyError(
+                                f"attribute {name!r} maps {individual!r} to {value!r}, "
+                                f"outside the extent of class {value_type!r}"
+                            )
+                    else:
+                        carrier = sig.data_domain.model.carriers.get(value_type, frozenset())
+                        if value not in carrier:
+                            raise OntonomyError(
+                                f"attribute {name!r} maps {individual!r} to {value!r}, "
+                                f"outside the carrier of sort {value_type!r}"
+                            )
+
+    def extent(self, class_name: str) -> frozenset:
+        if class_name not in self._extents:
+            raise OntonomyError(f"unknown class {class_name!r}")
+        return self._extents[class_name]
+
+    def attribute_table(self, owner: str, attribute: str) -> dict[Hashable, Hashable]:
+        table = self._attributes.get((owner, attribute))
+        if table is None:
+            raise OntonomyError(f"no interpretation for {attribute!r} on {owner!r}")
+        return dict(table)
+
+    def individuals(self) -> frozenset:
+        out: set = set()
+        for extent in self._extents.values():
+            out |= extent
+        return frozenset(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SignatureModel(individuals={len(self.individuals())})"
+
+
+class Ontonomy:
+    """The pair ``(Σ, A)``: an ontology signature plus axioms.
+
+    This is the artifact the paper says the BCM theory — alone among the
+    definitions it surveys — actually *defines*.  Membership is decidable
+    (:func:`is_ontonomy`), and model-hood of a candidate interpretation is
+    decidable (:meth:`is_model`).
+    """
+
+    def __init__(self, signature: OntologySignature, axioms: Iterable[Axiom] = ()) -> None:
+        self.signature = signature
+        self.axioms = list(axioms)
+        for axiom in self.axioms:
+            if not isinstance(axiom, Axiom):
+                raise OntonomyError(f"not an axiom: {axiom!r}")
+
+    def is_model(self, model: SignatureModel) -> bool:
+        """True iff ``model`` interprets this signature and satisfies all axioms."""
+        if model.signature is not self.signature:
+            raise OntonomyError("model was built for a different signature")
+        return all(axiom.holds_in(model) for axiom in self.axioms)
+
+    def failing_axioms(self, model: SignatureModel) -> list[Axiom]:
+        """The axioms ``model`` violates (empty iff :meth:`is_model`)."""
+        return [axiom for axiom in self.axioms if not axiom.holds_in(model)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ontonomy({self.signature!r}, axioms={len(self.axioms)})"
+
+
+def is_ontonomy(candidate: object) -> bool:
+    """Decidable membership in the class of BCM ontonomies.
+
+    The structural-definition property the paper demands: given an
+    arbitrary Python object, return True/False by inspecting structure
+    alone.  Contrast :func:`repro.core.definitions.classify`, where the
+    Gruber and Guarino 'definitions' can only answer *Undecidable*.
+    """
+    return isinstance(candidate, Ontonomy)

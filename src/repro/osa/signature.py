@@ -1,0 +1,169 @@
+"""Order-sorted signatures (Goguen & Meseguer).
+
+The paper (§2) credits Bench-Capon & Malcolm with "a formally correct,
+structural definition of ontonomy", whose theoretical presupposition is
+Goguen and Meseguer's *order-sorted algebra*: a multi-sorted algebra
+whose set of sorts carries a partial order (the sub-sort relation).
+This module implements the signatures: a poset of sorts plus operation
+symbols with (possibly overloaded) ranks, and the two classical
+well-formedness conditions — *monotonicity* and *regularity* — that make
+least sorts of terms exist.
+
+The point the critique engine extracts from all this (experiment Q4) is
+decidability: given an arbitrary object, ``OrderSortedSignature`` either
+constructs or raises — membership in the class of signatures is decided
+by structure alone, with no appeal to intended use.  That is exactly the
+property Gruber's and Guarino's definitions lack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..order import Poset
+
+
+class SignatureError(Exception):
+    """Raised when a signature violates order-sorted well-formedness."""
+
+
+@dataclass(frozen=True)
+class OpDecl:
+    """An operation declaration (one *rank* of a possibly overloaded symbol).
+
+    ``arg_sorts`` is empty for constants.
+    """
+
+    name: str
+    arg_sorts: tuple[str, ...]
+    result: str
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_sorts)
+
+    def __str__(self) -> str:
+        if not self.arg_sorts:
+            return f"{self.name} : -> {self.result}"
+        return f"{self.name} : {' '.join(self.arg_sorts)} -> {self.result}"
+
+
+class OrderSortedSignature:
+    """A signature ``(S, ≤, Σ)``: sorts with a subsort order, plus operations.
+
+    >>> sorts = Poset(["Nat", "Int"], [("Nat", "Int")])
+    >>> sig = OrderSortedSignature(sorts, [
+    ...     OpDecl("zero", (), "Nat"),
+    ...     OpDecl("neg", ("Int",), "Int"),
+    ... ])
+    >>> sig.is_monotone()
+    True
+    """
+
+    def __init__(self, sorts: Poset, operations: Iterable[OpDecl]) -> None:
+        self.sorts = sorts
+        self._ops: dict[str, list[OpDecl]] = {}
+        for decl in operations:
+            for sort in (*decl.arg_sorts, decl.result):
+                if sort not in sorts:
+                    raise SignatureError(f"operation {decl} uses unknown sort {sort!r}")
+            ranks = self._ops.setdefault(decl.name, [])
+            if decl not in ranks:
+                ranks.append(decl)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def operation_names(self) -> list[str]:
+        return sorted(self._ops)
+
+    def ranks(self, name: str) -> list[OpDecl]:
+        """All declared ranks of the symbol ``name``."""
+        if name not in self._ops:
+            raise SignatureError(f"unknown operation {name!r}")
+        return list(self._ops[name])
+
+    def declarations(self) -> Iterator[OpDecl]:
+        for ranks in self._ops.values():
+            yield from ranks
+
+    def constants(self) -> list[OpDecl]:
+        return [d for d in self.declarations() if d.arity == 0]
+
+    def has_operation(self, name: str) -> bool:
+        return name in self._ops
+
+    def subsort(self, a: str, b: str) -> bool:
+        """True iff sort ``a ≤ b``."""
+        return self.sorts.leq(a, b)
+
+    def args_leq(self, w1: tuple[str, ...], w2: tuple[str, ...]) -> bool:
+        """Pointwise sort comparison of two argument-sort strings."""
+        return len(w1) == len(w2) and all(self.sorts.leq(a, b) for a, b in zip(w1, w2))
+
+    # ------------------------------------------------------------------ #
+    # well-formedness (Goguen–Meseguer conditions)
+    # ------------------------------------------------------------------ #
+
+    def is_monotone(self) -> bool:
+        """Monotonicity: ``w1 ≤ w2`` implies ``s1 ≤ s2`` for ranks of one symbol.
+
+        Overloading must be order-compatible: making arguments more
+        specific can only make the result more specific.
+        """
+        for ranks in self._ops.values():
+            for d1, d2 in itertools.permutations(ranks, 2):
+                if self.args_leq(d1.arg_sorts, d2.arg_sorts) and not self.sorts.leq(
+                    d1.result, d2.result
+                ):
+                    return False
+        return True
+
+    def applicable_ranks(self, name: str, arg_sorts: tuple[str, ...]) -> list[OpDecl]:
+        """Ranks of ``name`` whose argument sorts dominate ``arg_sorts``."""
+        return [d for d in self.ranks(name) if self.args_leq(arg_sorts, d.arg_sorts)]
+
+    def least_rank(self, name: str, arg_sorts: tuple[str, ...]) -> Optional[OpDecl]:
+        """The least applicable rank for the given argument sorts, if any.
+
+        Regular signatures guarantee it exists whenever any rank applies.
+        """
+        candidates = self.applicable_ranks(name, arg_sorts)
+        least = [
+            d
+            for d in candidates
+            if all(self.args_leq(d.arg_sorts, other.arg_sorts) for other in candidates)
+        ]
+        return least[0] if least else None
+
+    def is_regular(self) -> bool:
+        """Regularity: every applicable argument tuple has a least rank.
+
+        Checked exhaustively over all sort tuples dominated by some rank —
+        exponential in arity, fine for the small signatures ontonomies use.
+        """
+        for name, ranks in self._ops.items():
+            arities = {d.arity for d in ranks}
+            for arity in arities:
+                same = [d for d in ranks if d.arity == arity]
+                space = itertools.product(self.sorts.elements, repeat=arity)
+                for w0 in space:
+                    if any(self.args_leq(w0, d.arg_sorts) for d in same):
+                        if self.least_rank(name, w0) is None:
+                            return False
+        return True
+
+    def validate(self) -> None:
+        """Raise :class:`SignatureError` unless monotone and regular."""
+        if not self.is_monotone():
+            raise SignatureError("signature is not monotone")
+        if not self.is_regular():
+            raise SignatureError("signature is not regular")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n_ranks = sum(len(r) for r in self._ops.values())
+        return f"OrderSortedSignature(sorts={len(self.sorts)}, ops={len(self._ops)}, ranks={n_ranks})"

@@ -1,0 +1,226 @@
+"""Well-sorted terms over an order-sorted signature.
+
+Terms, least-sort computation, substitution and matching — the syntactic
+layer of the Goguen–Meseguer framework on which equational theories
+(``repro.osa.equations``) and the Bench-Capon & Malcolm ontology
+signatures (``repro.osa.ontology_signature``) are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+from .signature import OrderSortedSignature, SignatureError
+
+
+class TermError(Exception):
+    """Raised on ill-sorted terms or invalid substitutions."""
+
+
+class OSTerm:
+    """Base class for order-sorted terms (immutable, hashable)."""
+
+    def variables(self) -> frozenset["OSVar"]:
+        raise NotImplementedError
+
+    def subterms(self) -> Iterator["OSTerm"]:
+        raise NotImplementedError
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class OSVar(OSTerm):
+    """A sorted variable ``x : s``."""
+
+    name: str
+    sort: str
+
+    def variables(self) -> frozenset["OSVar"]:
+        return frozenset({self})
+
+    def subterms(self) -> Iterator[OSTerm]:
+        yield self
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.sort}"
+
+
+@dataclass(frozen=True)
+class OSApp(OSTerm):
+    """An operation application ``f(t1, ..., tn)`` (constants have no args)."""
+
+    op: str
+    args: tuple[OSTerm, ...] = ()
+
+    def variables(self) -> frozenset[OSVar]:
+        out: frozenset[OSVar] = frozenset()
+        for arg in self.args:
+            out |= arg.variables()
+        return out
+
+    def subterms(self) -> Iterator[OSTerm]:
+        yield self
+        for arg in self.args:
+            yield from arg.subterms()
+
+    def size(self) -> int:
+        return 1 + sum(arg.size() for arg in self.args)
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.op
+        return f"{self.op}({', '.join(map(str, self.args))})"
+
+
+def constant(name: str) -> OSApp:
+    """Shorthand for a constant application."""
+    return OSApp(name, ())
+
+
+def least_sort(term: OSTerm, signature: OrderSortedSignature) -> str:
+    """The least sort of ``term`` under ``signature``.
+
+    Raises :class:`TermError` if the term is ill-sorted or if the
+    signature's overloading gives it no least applicable rank (i.e. the
+    signature is not regular at this term).
+    """
+    if isinstance(term, OSVar):
+        if term.sort not in signature.sorts:
+            raise TermError(f"variable {term} has unknown sort {term.sort!r}")
+        return term.sort
+    if isinstance(term, OSApp):
+        if not signature.has_operation(term.op):
+            raise TermError(f"unknown operation {term.op!r}")
+        arg_sorts = tuple(least_sort(arg, signature) for arg in term.args)
+        rank = signature.least_rank(term.op, arg_sorts)
+        if rank is None:
+            raise TermError(
+                f"no applicable rank for {term.op!r} at argument sorts {arg_sorts!r}"
+            )
+        return rank.result
+    raise TermError(f"unknown term node {term!r}")
+
+
+def is_well_sorted(term: OSTerm, signature: OrderSortedSignature) -> bool:
+    """True iff ``term`` has a least sort under ``signature``."""
+    try:
+        least_sort(term, signature)
+    except TermError:
+        return False
+    return True
+
+
+Substitution = Mapping[OSVar, OSTerm]
+
+
+def substitute(term: OSTerm, subst: Substitution, signature: OrderSortedSignature) -> OSTerm:
+    """Apply ``subst`` to ``term``, checking sort-compatibility.
+
+    Each variable may only be replaced by a term whose least sort is ≤
+    the variable's sort — the order-sorted analogue of type safety.
+    """
+    for var, replacement in subst.items():
+        rsort = least_sort(replacement, signature)
+        if not signature.subsort(rsort, var.sort):
+            raise TermError(
+                f"cannot substitute {replacement} (sort {rsort}) for {var} "
+                f"(sort {var.sort}): {rsort} ≰ {var.sort}"
+            )
+    return _apply(term, subst)
+
+
+def _apply(term: OSTerm, subst: Substitution) -> OSTerm:
+    if isinstance(term, OSVar):
+        return subst.get(term, term)
+    if isinstance(term, OSApp):
+        return OSApp(term.op, tuple(_apply(arg, subst) for arg in term.args))
+    raise TermError(f"unknown term node {term!r}")
+
+
+def match(
+    pattern: OSTerm, target: OSTerm, signature: OrderSortedSignature
+) -> Optional[dict[OSVar, OSTerm]]:
+    """Order-sorted matching: a substitution σ with ``σ(pattern) = target``.
+
+    Sort-aware: a pattern variable of sort ``s`` only matches targets whose
+    least sort is ≤ ``s``.  Returns ``None`` when no match exists.
+    """
+    bindings: dict[OSVar, OSTerm] = {}
+    if _match_into(pattern, target, bindings, signature):
+        return bindings
+    return None
+
+
+def _match_into(
+    pattern: OSTerm,
+    target: OSTerm,
+    bindings: dict[OSVar, OSTerm],
+    signature: OrderSortedSignature,
+) -> bool:
+    if isinstance(pattern, OSVar):
+        target_sort = least_sort(target, signature)
+        if not signature.subsort(target_sort, pattern.sort):
+            return False
+        if pattern in bindings:
+            return bindings[pattern] == target
+        bindings[pattern] = target
+        return True
+    if isinstance(pattern, OSApp):
+        if not isinstance(target, OSApp) or pattern.op != target.op:
+            return False
+        if len(pattern.args) != len(target.args):
+            return False
+        return all(
+            _match_into(p, t, bindings, signature)
+            for p, t in zip(pattern.args, target.args)
+        )
+    raise TermError(f"unknown pattern node {pattern!r}")
+
+
+def ground_terms(
+    signature: OrderSortedSignature, max_depth: int
+) -> Iterator[OSApp]:
+    """Enumerate well-sorted ground terms up to ``max_depth`` (deterministic).
+
+    Depth 1 yields the constants; depth ``k`` additionally closes under one
+    application of every operation.  Used by the finite-algebra layer and
+    the corpus generators.
+    """
+    by_depth: list[list[OSApp]] = [[]]
+    current: list[OSApp] = []
+    for decl in sorted(signature.declarations(), key=str):
+        if decl.arity == 0:
+            term = OSApp(decl.name, ())
+            if term not in current:
+                current.append(term)
+    yield from current
+    by_depth.append(current)
+    known = list(current)
+    for _ in range(1, max_depth):
+        fresh: list[OSApp] = []
+        for decl in sorted(signature.declarations(), key=str):
+            if decl.arity == 0:
+                continue
+            candidates = _tuples(known, decl.arity)
+            for args in candidates:
+                term = OSApp(decl.name, args)
+                if term in known or term in fresh:
+                    continue
+                if is_well_sorted(term, signature):
+                    fresh.append(term)
+        if not fresh:
+            return
+        yield from fresh
+        known.extend(fresh)
+
+
+def _tuples(pool: list[OSApp], arity: int) -> Iterator[tuple[OSApp, ...]]:
+    import itertools
+
+    yield from itertools.product(pool, repeat=arity)

@@ -1,0 +1,64 @@
+"""Structuralist semantics: fields, signs, translation, opposition."""
+
+from .fields import (
+    FieldError,
+    Lexicalization,
+    SemanticField,
+    aligned,
+    correspondence_table,
+    overlap_matrix,
+    render_table,
+)
+from .information import (
+    joint_entropy,
+    mutual_information,
+    term_entropy,
+    variation_of_information,
+)
+from .refinement import (
+    common_refinement,
+    distinctions,
+    granularity,
+    interlingua,
+    refines,
+)
+from .opposition import (
+    Opposition,
+    Value,
+    oppositions,
+    partial_overlaps,
+    requires_differential_explanation,
+    same_value,
+    value_of,
+)
+from .signs import (
+    Expression,
+    Sign,
+    designation_confusion,
+    husserl_example,
+    same_designation,
+    same_signification,
+)
+from .translation import (
+    TranslationReport,
+    jaccard_distance,
+    lossless_iff_aligned,
+    translate_point,
+    translate_term,
+    translation_report,
+)
+
+__all__ = [
+    "SemanticField", "Lexicalization", "FieldError", "overlap_matrix",
+    "aligned", "correspondence_table", "render_table",
+    "Sign", "Expression", "same_designation", "same_signification",
+    "husserl_example", "designation_confusion",
+    "translate_term", "translate_point", "translation_report",
+    "TranslationReport", "jaccard_distance", "lossless_iff_aligned",
+    "Opposition", "Value", "oppositions", "value_of", "same_value",
+    "distinctions", "granularity", "refines", "common_refinement",
+    "term_entropy", "joint_entropy", "mutual_information",
+    "variation_of_information",
+    "interlingua",
+    "partial_overlaps", "requires_differential_explanation",
+]

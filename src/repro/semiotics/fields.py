@@ -1,0 +1,202 @@
+"""Semantic fields and their lexicalization by languages.
+
+Paper §3: "Different languages break the semantic field in different
+ways, and concepts arise at the fissures of these divisions."  The
+doorknob/pomello schema and the old-age-adjective table are both
+instances of one structure: a *conceptual space* of discriminable
+situations (the field) and, per language, a *lexicalization* mapping
+terms to regions of that space.
+
+A lexicalization may be a partition (each situation named by exactly one
+term) or a mere covering (soft and plain forms overlap, as Spanish
+``mayor``/``anciano`` do).  All the paper's phenomena — partial overlap
+across languages, terms with no counterpart, boundary shifts — become
+set-algebra facts here, and the critique engine measures them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+
+class FieldError(Exception):
+    """Raised on ill-formed fields or lexicalizations."""
+
+
+@dataclass(frozen=True)
+class SemanticField:
+    """A named conceptual space: a finite set of discriminable situations.
+
+    Points are pre-linguistic only in the model's bookkeeping sense: they
+    are the finest distinctions *any of the compared languages* draws, so
+    every language's terms are unions of them.
+    """
+
+    name: str
+    points: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise FieldError("a semantic field needs at least one point")
+
+    def __contains__(self, point: str) -> bool:
+        return point in self.points
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class Lexicalization:
+    """One language's carving of a semantic field.
+
+    ``extents`` maps each term of the language to the region (set of
+    points) it covers.  Every term must cover something, and every point
+    must be covered by at least one term (a language without a word for a
+    situation in its own field simply has a smaller field).
+    """
+
+    def __init__(
+        self,
+        language: str,
+        field: SemanticField,
+        extents: Mapping[str, Iterable[str]],
+    ) -> None:
+        self.language = language
+        self.field = field
+        self.extents: dict[str, frozenset[str]] = {
+            term: frozenset(points) for term, points in extents.items()
+        }
+        if not self.extents:
+            raise FieldError(f"{language!r} lexicalizes nothing")
+        for term, region in self.extents.items():
+            if not region:
+                raise FieldError(f"term {term!r} of {language!r} covers no points")
+            stray = region - field.points
+            if stray:
+                raise FieldError(
+                    f"term {term!r} of {language!r} covers unknown points {sorted(stray)}"
+                )
+        uncovered = field.points - self.covered()
+        if uncovered:
+            raise FieldError(
+                f"{language!r} leaves points uncovered: {sorted(uncovered)}"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def terms(self) -> list[str]:
+        return sorted(self.extents)
+
+    def extent(self, term: str) -> frozenset[str]:
+        if term not in self.extents:
+            raise FieldError(f"{self.language!r} has no term {term!r}")
+        return self.extents[term]
+
+    def covered(self) -> frozenset[str]:
+        out: set[str] = set()
+        for region in self.extents.values():
+            out |= region
+        return frozenset(out)
+
+    def terms_for(self, point: str) -> frozenset[str]:
+        """All terms of this language applicable to ``point``."""
+        if point not in self.field:
+            raise FieldError(f"unknown point {point!r}")
+        return frozenset(
+            term for term, region in self.extents.items() if point in region
+        )
+
+    def is_partition(self) -> bool:
+        """True iff every point is covered by exactly one term."""
+        return all(len(self.terms_for(p)) == 1 for p in self.field.points)
+
+    def primary_term_for(self, point: str) -> str:
+        """The most specific applicable term (smallest extent; ties by name).
+
+        The choice a competent speaker makes: pomello over maniglia for a
+        round knob, añejo over viejo for an appreciated rum.
+        """
+        candidates = self.terms_for(point)
+        if not candidates:
+            raise FieldError(f"{self.language!r} cannot name {point!r}")
+        return min(candidates, key=lambda t: (len(self.extents[t]), t))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Lexicalization({self.language!r}, terms={len(self.extents)})"
+
+
+def overlap_matrix(
+    a: Lexicalization, b: Lexicalization
+) -> dict[tuple[str, str], int]:
+    """``|extent_a(t) ∩ extent_b(u)|`` for every term pair.
+
+    The computed form of the paper's doorknob/pomello schema: nonzero
+    off-diagonal structure is exactly the boundary mismatch the drawing
+    depicts.
+    """
+    if a.field != b.field:
+        raise FieldError("lexicalizations must share a field to be compared")
+    return {
+        (t, u): len(a.extents[t] & b.extents[u])
+        for t in a.terms
+        for u in b.terms
+    }
+
+
+def aligned(a: Lexicalization, b: Lexicalization) -> bool:
+    """True iff the two languages induce the same set of regions.
+
+    This is the (rare) case in which translation is lossless and the
+    atomist story never gets tested.
+    """
+    if a.field != b.field:
+        raise FieldError("lexicalizations must share a field to be compared")
+    return frozenset(a.extents.values()) == frozenset(b.extents.values())
+
+
+def correspondence_table(
+    lexicalizations: Iterable[Lexicalization],
+) -> list[dict[str, object]]:
+    """The paper's T2-style table, recomputed from the data.
+
+    One row per field point: the point plus, per language, the applicable
+    terms (sorted; the primary term first).
+    """
+    lexs = list(lexicalizations)
+    if not lexs:
+        raise FieldError("need at least one lexicalization")
+    field = lexs[0].field
+    for lex in lexs[1:]:
+        if lex.field != field:
+            raise FieldError("all lexicalizations must share the field")
+    rows = []
+    for point in sorted(field.points):
+        row: dict[str, object] = {"point": point}
+        for lex in lexs:
+            terms = sorted(lex.terms_for(point))
+            primary = lex.primary_term_for(point)
+            ordered = [primary] + [t for t in terms if t != primary]
+            row[lex.language] = tuple(ordered)
+        rows.append(row)
+    return rows
+
+
+def render_table(rows: list[dict[str, object]], languages: list[str]) -> str:
+    """Plain-text rendering of a correspondence table (for the benches)."""
+    headers = ["point", *languages]
+    cells = [
+        [str(row["point"])] + ["/".join(row[lang]) for lang in languages]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in cells))
+        for i in range(len(headers))
+    ]
+    def fmt(line: list[str]) -> str:
+        return " | ".join(s.ljust(w) for s, w in zip(line, widths))
+
+    out = [fmt(headers), "-+-".join("-" * w for w in widths)]
+    out += [fmt(line) for line in cells]
+    return "\n".join(out)

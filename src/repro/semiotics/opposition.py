@@ -1,0 +1,132 @@
+"""Differential (oppositional) meaning, and the case against atomism.
+
+Paper §3: "Doorknob is not a positive term, but serves to establish a
+distinction, an opposition in the semantic field of a language."  A
+term's *value* (Saussure) is not its extent taken alone but the pattern
+of oppositions it enters within its own language.  Two terms of
+different languages with different extents can still have the same value
+(occupy the same slot in their respective systems), and terms with
+overlapping extents can have different values — which is why extent-
+matching translation leaks.
+
+``requires_differential_explanation`` operationalizes the anti-atomist
+argument: whenever two languages' terms *partially* overlap (neither
+identical nor disjoint extents), no story that assigns meaning to each
+term one-by-one, without reference to its rivals, can state what either
+term means — the boundary IS the meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fields import FieldError, Lexicalization
+
+
+@dataclass(frozen=True)
+class Opposition:
+    """How two terms of ONE language divide the field between them."""
+
+    term: str
+    rival: str
+    shared: frozenset[str]
+    only_term: frozenset[str]
+    only_rival: frozenset[str]
+
+    @property
+    def kind(self) -> str:
+        if not self.shared:
+            return "exclusive"
+        if not self.only_term and not self.only_rival:
+            return "synonymous"
+        if not self.only_term:
+            return "hyponym"  # term's extent inside rival's
+        if not self.only_rival:
+            return "hypernym"
+        return "overlapping"
+
+
+@dataclass(frozen=True)
+class Value:
+    """A term's Saussurean value: its position in its own system.
+
+    Encoded position-abstractly: the extent size, and the multiset of
+    opposition kinds it enters — no point names, no term names — so that
+    values are comparable ACROSS languages.
+    """
+
+    extent_size: int
+    opposition_profile: tuple[tuple[str, int], ...]
+
+
+def oppositions(lex: Lexicalization, term: str) -> list[Opposition]:
+    """All oppositions ``term`` enters within its own language."""
+    region = lex.extent(term)
+    out = []
+    for rival in lex.terms:
+        if rival == term:
+            continue
+        other = lex.extents[rival]
+        out.append(
+            Opposition(
+                term=term,
+                rival=rival,
+                shared=region & other,
+                only_term=region - other,
+                only_rival=other - region,
+            )
+        )
+    return out
+
+
+def value_of(lex: Lexicalization, term: str) -> Value:
+    """The term's value: extent size plus its opposition-kind profile."""
+    profile: dict[str, int] = {}
+    for opposition in oppositions(lex, term):
+        profile[opposition.kind] = profile.get(opposition.kind, 0) + 1
+    return Value(
+        extent_size=len(lex.extent(term)),
+        opposition_profile=tuple(sorted(profile.items())),
+    )
+
+
+def same_value(
+    lex_a: Lexicalization, term_a: str, lex_b: Lexicalization, term_b: str
+) -> bool:
+    """Do two terms occupy the same position in their respective systems?"""
+    return value_of(lex_a, term_a) == value_of(lex_b, term_b)
+
+
+def partial_overlaps(
+    a: Lexicalization, b: Lexicalization
+) -> list[tuple[str, str, frozenset[str]]]:
+    """Cross-language term pairs whose extents properly overlap.
+
+    Each entry ``(term_a, term_b, shared)`` has ``shared`` non-empty while
+    neither extent contains the other — the doorknob/maniglia
+    configuration.
+    """
+    if a.field != b.field:
+        raise FieldError("comparison requires a shared field")
+    out = []
+    for term_a in a.terms:
+        ra = a.extents[term_a]
+        for term_b in b.terms:
+            rb = b.extents[term_b]
+            shared = ra & rb
+            if shared and (ra - rb) and (rb - ra):
+                out.append((term_a, term_b, shared))
+    return out
+
+
+def requires_differential_explanation(a: Lexicalization, b: Lexicalization) -> bool:
+    """True iff the pair of languages refutes extent-atomism.
+
+    When some term pair partially overlaps, knowing what each term is
+    "locked to" (its extent, atom by atom) cannot explain why the two
+    minds 'resonate' differently: the difference lives in the boundary,
+    i.e. in each term's relations to its rivals.  (Paper §3, the
+    doorknob/pomello argument against Fodor-style informational
+    semantics as imported by ontologists.)
+    """
+    return bool(partial_overlaps(a, b))

@@ -1,0 +1,89 @@
+"""Distinction partitions and common refinements of lexicalizations.
+
+Each language induces a partition of the field: two points fall together
+exactly when the same set of terms applies to both (their *signatures*
+agree).  The common refinement of several languages is the meet of these
+partitions — the finest grid of distinctions any of them draws.  This is
+what a shared "neutral" taxonomy would have to resolve, and
+:func:`interlingua` builds exactly that artifact so its cost can be
+inspected: it necessarily multiplies terms (one per refinement block) and
+erases every language's own overlap structure (the soft/plain register
+distinctions live in the overlaps, not in the partition).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .fields import FieldError, Lexicalization, SemanticField
+
+
+def distinctions(lex: Lexicalization) -> frozenset[frozenset[str]]:
+    """The partition of the field induced by term signatures."""
+    blocks: dict[frozenset[str], set[str]] = {}
+    for point in lex.field.points:
+        blocks.setdefault(lex.terms_for(point), set()).add(point)
+    return frozenset(frozenset(b) for b in blocks.values())
+
+
+def granularity(lex: Lexicalization) -> int:
+    """How many distinctions the language draws (blocks of its partition)."""
+    return len(distinctions(lex))
+
+
+def refines(fine: Lexicalization, coarse: Lexicalization) -> bool:
+    """True iff every distinction of ``coarse`` is drawn by ``fine`` too.
+
+    Formally: each block of ``fine``'s partition lies inside some block of
+    ``coarse``'s.  When this holds, imposing ``fine``'s taxonomy on
+    ``coarse``'s community loses nothing
+    (cf. :func:`repro.core.pragmatic.imposition_loss`).
+    """
+    if fine.field != coarse.field:
+        raise FieldError("lexicalizations must share a field")
+    coarse_blocks = distinctions(coarse)
+    return all(
+        any(block <= other for other in coarse_blocks)
+        for block in distinctions(fine)
+    )
+
+
+def common_refinement(
+    lexicalizations: Iterable[Lexicalization],
+) -> frozenset[frozenset[str]]:
+    """The meet of the distinction partitions: the finest common grid."""
+    lexs = list(lexicalizations)
+    if not lexs:
+        raise FieldError("need at least one lexicalization")
+    field = lexs[0].field
+    for lex in lexs[1:]:
+        if lex.field != field:
+            raise FieldError("all lexicalizations must share the field")
+    blocks: dict[tuple, set[str]] = {}
+    for point in field.points:
+        signature = tuple(lex.terms_for(point) for lex in lexs)
+        blocks.setdefault(signature, set()).add(point)
+    return frozenset(frozenset(b) for b in blocks.values())
+
+
+def interlingua(
+    lexicalizations: Iterable[Lexicalization],
+    *,
+    language: str = "interlingua",
+) -> Lexicalization:
+    """A synthetic 'neutral taxonomy' resolving every language's distinctions.
+
+    One fresh term per common-refinement block, named after its points.
+    By construction it refines every input — and by construction it is a
+    *partition*, so every overlap-borne nuance of the inputs (Spanish
+    mayor vs anciano on the same person, Italian anziano's double life)
+    has been legislated away.  The artifact the semantic web would need;
+    the paper's §4 explains what adopting it does.
+    """
+    blocks = common_refinement(lexicalizations)
+    lexs = list(lexicalizations)
+    field = lexs[0].field
+    extents = {
+        "t_" + "_".join(sorted(block)): set(block) for block in blocks
+    }
+    return Lexicalization(language, field, extents)

@@ -1,0 +1,86 @@
+"""Signs: designation versus signification (paper §3).
+
+"At the origin of these problems there is … a certain confusion that
+computational ontologists have been known to make between signification
+and designation: the general idea in ontology seems to be that A means B
+if and only if A designates B. … Consider a famous example from Husserl:
+the winner at Jena / the loser at Waterloo.  The meaning of these two
+phrases is different, although their designatum is the same: Napoleon."
+
+A :class:`Sign` is the Saussurean pair (signifier, signified); an
+:class:`Expression` additionally carries a designatum (an extra-linguistic
+object) and a *sense* — the structured description through which it
+presents its designatum.  ``same_designation`` and ``same_signification``
+come apart exactly on Husserl's example, which is test and demonstration
+at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class Sign:
+    """A Saussurean sign: signifier (the sound/letter pattern) and
+    signified (the concept, not the thing)."""
+
+    signifier: str
+    signified: str
+
+    def __str__(self) -> str:
+        return f'"{self.signifier}" ↦ {self.signified.upper()}'
+
+
+@dataclass(frozen=True)
+class Expression:
+    """A linguistic expression with both a sense and a designatum.
+
+    ``sense`` is a frozenset of (relation, value) pairs — the descriptive
+    route the phrase takes; ``designatum`` is the extra-linguistic object
+    the route happens to land on.
+    """
+
+    text: str
+    sense: frozenset[tuple[str, str]]
+    designatum: Hashable
+
+    def __str__(self) -> str:
+        return f'"{self.text}"'
+
+
+def same_designation(a: Expression, b: Expression) -> bool:
+    """Designation is extra-linguistic: compare the designated objects."""
+    return a.designatum == b.designatum
+
+
+def same_signification(a: Expression, b: Expression) -> bool:
+    """Signification is intra-linguistic: compare the sense structures."""
+    return a.sense == b.sense
+
+
+def husserl_example() -> tuple[Expression, Expression]:
+    """Husserl's pair: same designatum (Napoleon), different significations."""
+    winner = Expression(
+        text="the winner at Jena",
+        sense=frozenset({("role", "winner"), ("battle", "Jena")}),
+        designatum="Napoleon",
+    )
+    loser = Expression(
+        text="the loser at Waterloo",
+        sense=frozenset({("role", "loser"), ("battle", "Waterloo")}),
+        designatum="Napoleon",
+    )
+    return winner, loser
+
+
+def designation_confusion(a: Expression, b: Expression) -> bool:
+    """True iff treating designation as signification misjudges this pair.
+
+    The ontologist's rule "A means B iff A designates B" declares two
+    expressions synonymous whenever they co-designate; this returns True
+    exactly when that rule and the structural comparison disagree —
+    i.e. when the pair is a counterexample to the conflation.
+    """
+    return same_designation(a, b) != same_signification(a, b)

@@ -1,0 +1,113 @@
+"""Ontology-backed inference materialization over a triple store.
+
+The join between the database substrate and the DL reasoner: instance
+data lives as triples (``(herbie, type, car)`` plus role triples like
+``(herbie, uses, fuel1)``), the terminology lives in a TBox, and
+materialization writes every entailed ``type`` triple back into a copy of
+the store, so that plain pattern queries afterwards see the inferred
+facts.
+
+This is also where the paper's pragmatic warning (§4) becomes concrete:
+whatever the TBox's taxonomy got wrong is now *in the data*, returned by
+every query, with no trace of having been an inference.
+"""
+
+from __future__ import annotations
+
+from ..dl import (
+    ABox,
+    Atomic,
+    Concept,
+    ConceptAssertion,
+    Reasoner,
+    Role,
+    RoleAssertion,
+    TBox,
+)
+from .triples import TripleStore
+
+
+class MaterializeError(Exception):
+    """Raised when the store cannot be read as an ABox."""
+
+
+def store_to_abox(
+    store: TripleStore,
+    tbox: TBox,
+    *,
+    type_predicate: str = "type",
+) -> ABox:
+    """Read a triple store as a DL ABox.
+
+    ``(s, type, C)`` becomes a concept assertion when ``C`` names an
+    atomic concept of the TBox; every other predicate that the TBox
+    mentions as a role becomes a role assertion; the rest of the triples
+    are ignored (they are plain data, not terminology-relevant).
+    """
+    concept_names = tbox.atomic_names()
+    role_names = tbox.role_names()
+    assertions: list = []
+    for triple in store:
+        s, p, o = triple
+        if p == type_predicate:
+            if not isinstance(o, str):
+                raise MaterializeError(f"type object {o!r} is not a concept name")
+            if o in concept_names:
+                assertions.append(ConceptAssertion(str(s), Atomic(o)))
+        elif isinstance(p, str) and p in role_names:
+            assertions.append(RoleAssertion(str(s), str(o), Role(p)))
+    return ABox(assertions)
+
+
+def materialize(
+    store: TripleStore,
+    tbox: TBox,
+    *,
+    type_predicate: str = "type",
+    reasoner: Reasoner | None = None,
+) -> TripleStore:
+    """A copy of ``store`` with all entailed ``type`` triples added.
+
+    For every named individual and every satisfiable atomic concept of
+    the TBox, the reasoner decides instance-hood; positive answers are
+    written back as ``(individual, type, concept)`` triples.
+    """
+    reasoner = reasoner or Reasoner(tbox)
+    abox = store_to_abox(store, tbox, type_predicate=type_predicate)
+    out = store.copy()
+    if not abox.individuals():
+        return out
+    if not reasoner.is_consistent(abox):
+        raise MaterializeError(
+            "the store is inconsistent with the TBox; refusing to materialize"
+        )
+    names = sorted(tbox.atomic_names())
+    for individual in sorted(abox.individuals()):
+        for name in names:
+            if reasoner.is_instance(abox, individual, Atomic(name)):
+                if (individual, type_predicate, name) in out:
+                    continue  # told fact keeps its own (lack of) provenance
+                out.add(individual, type_predicate, name, provenance="inferred")
+    return out
+
+
+def instances_of(
+    store: TripleStore,
+    tbox: TBox,
+    concept: Concept,
+    *,
+    type_predicate: str = "type",
+    reasoner: Reasoner | None = None,
+) -> list[str]:
+    """Certain answers: individuals entailed to be instances of ``concept``.
+
+    Unlike :func:`materialize` this answers one (possibly complex)
+    concept query directly, without writing anything back.
+    """
+    reasoner = reasoner or Reasoner(tbox)
+    abox = store_to_abox(store, tbox, type_predicate=type_predicate)
+    if not abox.individuals():
+        return []
+    if not reasoner.is_consistent(abox):
+        raise MaterializeError("the store is inconsistent with the TBox")
+    return reasoner.retrieve(abox, concept)

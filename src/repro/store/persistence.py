@@ -1,0 +1,51 @@
+"""JSON-lines persistence for triple stores.
+
+One JSON array ``[s, p, o]`` per line; values restricted to JSON scalars
+(str, int, float, bool, None).  Round-trip safe for everything the rest
+of the library stores.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .triples import StoreError, TripleStore
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def save_jsonl(store: TripleStore, path: Union[str, Path]) -> int:
+    """Write ``store`` to ``path``; returns the number of triples written."""
+    path = Path(path)
+    count = 0
+    lines = []
+    for triple in sorted(store, key=repr):
+        for value in triple:
+            if not isinstance(value, _SCALARS):
+                raise StoreError(
+                    f"value {value!r} of type {type(value).__name__} is not JSON-scalar"
+                )
+        lines.append(json.dumps([triple.subject, triple.predicate, triple.object]))
+        count += 1
+    path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    return count
+
+
+def load_jsonl(path: Union[str, Path], *, use_indexes: bool = True) -> TripleStore:
+    """Read a store previously written by :func:`save_jsonl`."""
+    path = Path(path)
+    store = TripleStore(use_indexes=use_indexes)
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+        if not isinstance(row, list) or len(row) != 3:
+            raise StoreError(f"{path}:{lineno}: expected a 3-element array")
+        store.add(*row)
+    return store

@@ -1,0 +1,318 @@
+"""An indexed triple store.
+
+The information-system substrate the paper's ontonomies are supposed to
+serve (the venue is EDBT): facts as (subject, predicate, object) triples,
+with the three classic permutation indexes — SPO, POS, OSP — so that any
+pattern with at least one bound position is answered without a scan.
+Benchmark B3 ablates the indexes (``use_indexes=False`` falls back to
+full scans over one set).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Optional
+
+
+class StoreError(Exception):
+    """Raised on malformed triples or store misuse."""
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A fact ``(subject, predicate, object)``."""
+
+    subject: Hashable
+    predicate: Hashable
+    object: Hashable
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))
+
+    def __str__(self) -> str:
+        return f"({self.subject}, {self.predicate}, {self.object})"
+
+
+class TripleStore:
+    """A set of triples with SPO/POS/OSP permutation indexes.
+
+    >>> store = TripleStore()
+    >>> store.add("herbie", "type", "car")
+    >>> store.add("herbie", "size", "small")
+    >>> sorted(o for _, _, o in store.triples(subject="herbie"))
+    ['car', 'small']
+    """
+
+    def __init__(self, *, use_indexes: bool = True) -> None:
+        self.use_indexes = use_indexes
+        self._all: set[Triple] = set()
+        self._spo: dict[Hashable, dict[Hashable, set[Hashable]]] = {}
+        self._pos: dict[Hashable, dict[Hashable, set[Hashable]]] = {}
+        self._osp: dict[Hashable, dict[Hashable, set[Hashable]]] = {}
+        self._provenance: dict[Triple, str] = {}
+        self._txn_log: Optional[list] = None
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def add(
+        self,
+        subject: Hashable,
+        predicate: Hashable,
+        object: Hashable,
+        *,
+        provenance: Optional[str] = None,
+    ) -> None:
+        """Insert a triple (idempotent).
+
+        ``provenance`` optionally tags the fact's origin ("told",
+        "inferred", a source name, ...).  By default facts carry no tag —
+        which is exactly the paper's §4 situation: once materialized, an
+        inference is indistinguishable from data.  Re-adding an existing
+        triple with a provenance updates the tag.
+        """
+        triple = Triple(subject, predicate, object)
+        if triple in self._all:
+            if provenance is not None:
+                if self._txn_log is not None:
+                    self._txn_log.append(
+                        ("retag", triple, self._provenance.get(triple))
+                    )
+                self._provenance[triple] = provenance
+            return
+        if self._txn_log is not None:
+            self._txn_log.append(("added", triple, None))
+        if provenance is not None:
+            self._provenance[triple] = provenance
+        self._all.add(triple)
+        self._spo.setdefault(subject, {}).setdefault(predicate, set()).add(object)
+        self._pos.setdefault(predicate, {}).setdefault(object, set()).add(subject)
+        self._osp.setdefault(object, {}).setdefault(subject, set()).add(predicate)
+
+    def add_triple(self, triple: Triple) -> None:
+        self.add(triple.subject, triple.predicate, triple.object)
+
+    def remove(self, subject: Hashable, predicate: Hashable, object: Hashable) -> None:
+        """Delete a triple; raise :class:`StoreError` if absent."""
+        triple = Triple(subject, predicate, object)
+        if triple not in self._all:
+            raise StoreError(f"no triple {triple}")
+        if self._txn_log is not None:
+            self._txn_log.append(
+                ("removed", triple, self._provenance.get(triple))
+            )
+        self._all.discard(triple)
+        self._provenance.pop(triple, None)
+        self._spo[subject][predicate].discard(object)
+        if not self._spo[subject][predicate]:
+            del self._spo[subject][predicate]
+            if not self._spo[subject]:
+                del self._spo[subject]
+        self._pos[predicate][object].discard(subject)
+        if not self._pos[predicate][object]:
+            del self._pos[predicate][object]
+            if not self._pos[predicate]:
+                del self._pos[predicate]
+        self._osp[object][subject].discard(predicate)
+        if not self._osp[object][subject]:
+            del self._osp[object][subject]
+            if not self._osp[object]:
+                del self._osp[object]
+
+    def update(self, triples: Iterable[tuple]) -> None:
+        """Bulk insert of (s, p, o) tuples."""
+        for s, p, o in triples:
+            self.add(s, p, o)
+
+    def delete_matching(
+        self,
+        subject: Optional[Hashable] = None,
+        predicate: Optional[Hashable] = None,
+        object: Optional[Hashable] = None,
+    ) -> int:
+        """Remove every triple matching the pattern; returns the count.
+
+        Transaction-aware: inside :meth:`transaction` the deletions roll
+        back with everything else.
+        """
+        victims = list(self.triples(subject, predicate, object))
+        for triple in victims:
+            self.remove(triple.subject, triple.predicate, triple.object)
+        return len(victims)
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __contains__(self, triple: tuple) -> bool:
+        s, p, o = triple
+        return Triple(s, p, o) in self._all
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._all)
+
+    def triples(
+        self,
+        subject: Optional[Hashable] = None,
+        predicate: Optional[Hashable] = None,
+        object: Optional[Hashable] = None,
+    ) -> Iterator[Triple]:
+        """All triples matching the pattern (``None`` = wildcard).
+
+        Uses the index whose leading positions are bound; with
+        ``use_indexes=False`` every pattern is a full scan (the ablation
+        baseline of benchmark B3).
+        """
+        if not self.use_indexes:
+            yield from self._scan(subject, predicate, object)
+            return
+
+        s, p, o = subject, predicate, object
+        if s is not None:
+            by_pred = self._spo.get(s, {})
+            preds = [p] if p is not None else list(by_pred)
+            for pred in preds:
+                for obj in by_pred.get(pred, ()):
+                    if o is None or obj == o:
+                        yield Triple(s, pred, obj)
+        elif p is not None:
+            by_obj = self._pos.get(p, {})
+            objs = [o] if o is not None else list(by_obj)
+            for obj in objs:
+                for subj in by_obj.get(obj, ()):
+                    yield Triple(subj, p, obj)
+        elif o is not None:
+            by_subj = self._osp.get(o, {})
+            for subj, preds in by_subj.items():
+                for pred in preds:
+                    yield Triple(subj, pred, o)
+        else:
+            yield from self._all
+
+    def _scan(self, s, p, o) -> Iterator[Triple]:
+        for triple in self._all:
+            if s is not None and triple.subject != s:
+                continue
+            if p is not None and triple.predicate != p:
+                continue
+            if o is not None and triple.object != o:
+                continue
+            yield triple
+
+    def count(self, subject=None, predicate=None, object=None) -> int:
+        return sum(1 for _ in self.triples(subject, predicate, object))
+
+    def estimate(
+        self,
+        subject: Optional[Hashable] = None,
+        predicate: Optional[Hashable] = None,
+        object: Optional[Hashable] = None,
+    ) -> int:
+        """A cheap upper bound on the result size of a pattern.
+
+        The classic min-of-bound-position-cardinalities estimate, read off
+        the index tops in O(1)-ish time (no triples are enumerated).  The
+        query engine orders join patterns by it; benchmark B3 ablates the
+        choice against naive most-bound-first ordering.
+        """
+        bounds = []
+        if subject is not None:
+            by_pred = self._spo.get(subject)
+            if by_pred is None:
+                return 0
+            if predicate is not None:
+                objs = by_pred.get(predicate)
+                if objs is None:
+                    return 0
+                bounds.append(len(objs))
+            else:
+                bounds.append(sum(len(o) for o in by_pred.values()))
+        if predicate is not None and subject is None:
+            by_obj = self._pos.get(predicate)
+            if by_obj is None:
+                return 0
+            if object is not None:
+                subjects = by_obj.get(object)
+                if subjects is None:
+                    return 0
+                bounds.append(len(subjects))
+            else:
+                bounds.append(sum(len(s) for s in by_obj.values()))
+        if object is not None and predicate is None:
+            by_subj = self._osp.get(object)
+            if by_subj is None:
+                return 0
+            bounds.append(sum(len(p) for p in by_subj.values()))
+        if not bounds:
+            return len(self._all)
+        return min(bounds)
+
+    def subjects(self) -> frozenset:
+        return frozenset(t.subject for t in self._all)
+
+    def predicates(self) -> frozenset:
+        return frozenset(t.predicate for t in self._all)
+
+    def objects(self) -> frozenset:
+        return frozenset(t.object for t in self._all)
+
+    @contextmanager
+    def transaction(self):
+        """All-or-nothing mutation: roll back on any exception.
+
+        >>> store = TripleStore()
+        >>> try:
+        ...     with store.transaction():
+        ...         store.add("a", "p", "b")
+        ...         raise RuntimeError("abort")
+        ... except RuntimeError:
+        ...     pass
+        >>> len(store)
+        0
+
+        Nesting is rejected: a transaction is a top-level unit of work.
+        """
+        if self._txn_log is not None:
+            raise StoreError("transactions do not nest")
+        self._txn_log = []
+        try:
+            yield self
+        except BaseException:
+            log, self._txn_log = self._txn_log, None
+            for action, triple, old_provenance in reversed(log):
+                if action == "added":
+                    self.remove(triple.subject, triple.predicate, triple.object)
+                elif action == "removed":
+                    self.add(
+                        triple.subject,
+                        triple.predicate,
+                        triple.object,
+                        provenance=old_provenance,
+                    )
+                elif action == "retag":
+                    if old_provenance is None:
+                        self._provenance.pop(triple, None)
+                    else:
+                        self._provenance[triple] = old_provenance
+            raise
+        else:
+            self._txn_log = None
+
+    def provenance(self, subject: Hashable, predicate: Hashable, object: Hashable) -> Optional[str]:
+        """The provenance tag of a triple (None when untagged or absent)."""
+        return self._provenance.get(Triple(subject, predicate, object))
+
+    def copy(self) -> "TripleStore":
+        out = TripleStore(use_indexes=self.use_indexes)
+        for triple in self._all:
+            out.add_triple(triple)
+        out._provenance = dict(self._provenance)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TripleStore({len(self._all)} triples, indexes={'on' if self.use_indexes else 'off'})"

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.corpora.animals import ANIMAL_TEXT
+from repro.corpora.vehicles import VEHICLE_TEXT
+
+
+@pytest.fixture
+def vehicle_file(tmp_path):
+    path = tmp_path / "vehicles.tbox"
+    path.write_text(VEHICLE_TEXT, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def animal_file(tmp_path):
+    path = tmp_path / "animals.tbox"
+    path.write_text(ANIMAL_TEXT, encoding="utf-8")
+    return str(path)
+
+
+class TestCritiqueCommand:
+    def test_basic_run(self, vehicle_file, capsys):
+        code = main(["critique", vehicle_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Critique of vehicles" in out
+        assert "I. Syntactic" in out
+
+    def test_contrast_finds_car_dog(self, vehicle_file, animal_file, capsys):
+        main(["critique", vehicle_file, "--contrast", animal_file])
+        out = capsys.readouterr().out
+        assert "dog" in out
+
+    def test_regress(self, vehicle_file, capsys):
+        main(["critique", vehicle_file, "--regress", "car"])
+        out = capsys.readouterr().out
+        assert "differentiation regress" in out or "never escaped" in out
+
+    def test_strict_exit_code(self, vehicle_file):
+        assert main(["critique", vehicle_file, "--strict"]) == 1
+
+    def test_artifact_only_drops_discipline_findings(self, vehicle_file, capsys):
+        main(["critique", vehicle_file, "--artifact-only"])
+        out = capsys.readouterr().out
+        assert "Guarino" not in out
+
+
+class TestClassifyCommand:
+    def test_hierarchy_printed(self, vehicle_file, capsys):
+        assert main(["classify", vehicle_file]) == 0
+        out = capsys.readouterr().out
+        assert "motorvehicle" in out
+        assert out.startswith("⊤")
+
+
+class TestCheckCommand:
+    def test_coherent(self, vehicle_file, capsys):
+        assert main(["check", vehicle_file]) == 0
+        assert "coherent" in capsys.readouterr().out
+
+    def test_incoherent(self, tmp_path, capsys):
+        path = tmp_path / "bad.tbox"
+        path.write_text("A [= B\nA [= ~B\n", encoding="utf-8")
+        assert main(["check", str(path)]) == 1
+        assert "INCOHERENT" in capsys.readouterr().out

@@ -1,0 +1,44 @@
+"""Failure-injection tests for the CLI."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.dl import ParseError
+
+
+class TestCLIFailures:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["check", str(tmp_path / "nope.tbox")])
+
+    def test_parse_error_reports_line(self, tmp_path):
+        path = tmp_path / "broken.tbox"
+        path.write_text("A [= B\nC [= &&&\n", encoding="utf-8")
+        with pytest.raises(ParseError, match="line 2"):
+            main(["critique", str(path)])
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["dance"])
+
+    def test_contrast_file_missing(self, tmp_path):
+        good = tmp_path / "ok.tbox"
+        good.write_text("A [= B\n", encoding="utf-8")
+        with pytest.raises(FileNotFoundError):
+            main(["critique", str(good), "--contrast", str(tmp_path / "gone.tbox")])
+
+    def test_regress_on_undefined_term(self, tmp_path):
+        good = tmp_path / "ok.tbox"
+        good.write_text("A [= B\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            main(["critique", str(good), "--regress", "unicorn"])
+
+    def test_empty_tbox_file_is_fine(self, tmp_path, capsys):
+        path = tmp_path / "empty.tbox"
+        path.write_text("# nothing here\n", encoding="utf-8")
+        assert main(["check", str(path)]) == 0
+        assert "coherent" in capsys.readouterr().out

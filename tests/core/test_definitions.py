@@ -1,0 +1,82 @@
+"""Unit tests for the structural/functional definition framework (Q1)."""
+
+from repro.core import (
+    ALL_DEFINITIONS,
+    AI_VOCABULARY_DEFINITION,
+    BCM_ONTONOMY_DEFINITION,
+    GRAMMAR_DEFINITION,
+    GRUBER_DEFINITION,
+    Verdict,
+    decidability_table,
+    use_dependence_demonstration,
+)
+from repro.grammar import Grammar, Production
+from repro.logic import Vocabulary
+
+
+def sample_grammar() -> Grammar:
+    return Grammar({"S"}, {"a"}, "S", [Production(("S",), ("a",))])
+
+
+class TestStructuralDefinitions:
+    def test_grammar_definition_decides_both_ways(self):
+        assert GRAMMAR_DEFINITION.classify(sample_grammar()).verdict is Verdict.MEMBER
+        assert GRAMMAR_DEFINITION.classify("a grocery list").verdict is Verdict.NON_MEMBER
+
+    def test_ai_vocabulary_definition(self):
+        vocab = Vocabulary(constants=frozenset({"a"}), predicates={"P": 1})
+        assert AI_VOCABULARY_DEFINITION.classify(vocab).verdict is Verdict.MEMBER
+        assert AI_VOCABULARY_DEFINITION.classify(42).verdict is Verdict.NON_MEMBER
+
+    def test_bcm_definition(self):
+        assert BCM_ONTONOMY_DEFINITION.classify("nope").verdict is Verdict.NON_MEMBER
+
+    def test_declared_use_is_ignored_by_structural(self):
+        with_use = GRAMMAR_DEFINITION.classify(sample_grammar(), "anything at all")
+        without = GRAMMAR_DEFINITION.classify(sample_grammar())
+        assert with_use.verdict == without.verdict
+
+
+class TestFunctionalDefinition:
+    def test_undecidable_from_artifact_alone(self):
+        result = GRUBER_DEFINITION.classify(sample_grammar())
+        assert result.verdict is Verdict.UNDECIDABLE
+        assert "use" in result.reason
+
+    def test_verdict_echoes_declaration(self):
+        member = GRUBER_DEFINITION.classify(
+            sample_grammar(), "formalizing a conceptualization"
+        )
+        non_member = GRUBER_DEFINITION.classify(sample_grammar(), "making coffee")
+        assert member.verdict is Verdict.MEMBER
+        assert non_member.verdict is Verdict.NON_MEMBER
+
+    def test_use_dependence_demonstration(self):
+        verdicts = use_dependence_demonstration(
+            GRUBER_DEFINITION,
+            sample_grammar(),
+            ["formalizing a conceptualization", "remembering what to buy"],
+        )
+        assert verdicts == [Verdict.MEMBER, Verdict.NON_MEMBER]
+
+
+class TestDecidabilityTable:
+    def test_q1_table_shape(self):
+        vocab = Vocabulary(constants=frozenset({"a"}), predicates={"P": 1})
+        rows = decidability_table(
+            {"a grammar": sample_grammar(), "a vocabulary": vocab, "a string": "hi"}
+        )
+        assert len(rows) == 3
+        by_artifact = {row["artifact"]: row for row in rows}
+        grammar_row = by_artifact["a grammar"]
+        # structural definitions always answer
+        assert grammar_row["formal grammar (4-tuple)"] == "member"
+        assert grammar_row["BCM ontonomy (Σ, A)"] == "non-member"
+        # Gruber's column is uniformly undecidable
+        for row in rows:
+            assert row["Gruber ontology"] == "undecidable"
+
+    def test_every_definition_present_in_columns(self):
+        rows = decidability_table({"x": 1})
+        for definition in ALL_DEFINITIONS:
+            assert definition.name in rows[0]

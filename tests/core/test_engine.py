@@ -1,0 +1,218 @@
+"""Unit tests for the pragmatic analysis and the full critique engine."""
+
+import pytest
+
+from repro.core import (
+    CritiqueReport,
+    Finding,
+    Section,
+    Severity,
+    critique,
+    imposition_loss,
+    imposition_report,
+    pragmatic_profile,
+)
+from repro.corpora import (
+    age_lexicalizations,
+    animal_tbox,
+    english_door,
+    italian_door,
+    vehicle_tbox,
+)
+from repro.dl import parse_axiom, parse_tbox
+
+
+class TestPragmaticProfile:
+    def test_vehicle_profile(self):
+        profile = pragmatic_profile(vehicle_tbox())
+        assert profile.axiom_count == 4
+        # every vehicle axiom mentions a role (size/uses/has)
+        assert profile.relational_axioms == 4
+        assert profile.taxonomy_axioms == 0
+        assert not profile.hierarchy_is_tree  # car under two parents
+
+    def test_pure_taxonomy_profile(self):
+        tbox = parse_tbox("A [= B\nB [= C\nD [= C")
+        profile = pragmatic_profile(tbox)
+        assert profile.taxonomy_axioms == 3
+        assert profile.taxonomy_fraction == 1.0
+        assert profile.hierarchy_is_tree
+
+    def test_orthodoxy(self):
+        single = parse_tbox("A [= B")
+        multi = parse_tbox("A [= B\nA [= C")
+        assert pragmatic_profile(single).orthodoxy == 1.0
+        assert pragmatic_profile(multi).orthodoxy == 0.0
+
+    def test_empty_tbox(self):
+        profile = pragmatic_profile(parse_tbox(""))
+        assert profile.axiom_count == 0
+        assert profile.taxonomy_fraction == 0.0
+
+
+class TestImposition:
+    def test_loss_is_zero_on_self(self):
+        assert imposition_loss(english_door(), english_door()) == 0.0
+
+    def test_english_erases_italian_distinction(self):
+        # Italian separates round_knob (pomello) from twist_grip (maniglia);
+        # English merges them under doorknob
+        loss = imposition_loss(english_door(), italian_door())
+        assert loss > 0.0
+
+    def test_loss_is_directional(self):
+        report = imposition_report([english_door(), italian_door()])
+        table = {(a, b): l for a, b, l in report.losses}
+        # both directions lose something here, but symmetry is not guaranteed
+        assert table[("English", "Italian")] >= 0
+        assert table[("Italian", "English")] >= 0
+
+    def test_age_imposition_worst_pair(self):
+        report = imposition_report(age_lexicalizations())
+        imposed, community, loss = report.worst()
+        assert loss > 0.0
+        # Spanish draws the most distinctions (5 terms): imposing a
+        # 3-term system on it must lose the most
+        assert community == "Spanish"
+
+    def test_mismatched_fields_rejected(self):
+        with pytest.raises(ValueError):
+            imposition_loss(english_door(), age_lexicalizations()[0])
+
+
+class TestEngine:
+    def test_full_critique_sections_populated(self):
+        report = critique(
+            vehicle_tbox(),
+            label="vehicles",
+            contrast_tboxes=[("animals", animal_tbox())],
+            lexicalizations=age_lexicalizations(),
+            regress_term="car",
+        )
+        assert report.section(Section.SYNTACTIC)
+        assert report.section(Section.SEMANTIC)
+        assert report.section(Section.PRAGMATIC)
+        assert report.worst is Severity.DEFECT
+
+    def test_car_dog_finding_present(self):
+        report = critique(
+            vehicle_tbox(),
+            contrast_tboxes=[("animals", animal_tbox())],
+        )
+        cross = report.by_code("meaning-collision-cross")
+        assert any("dog" in f.title for f in cross)
+
+    def test_sibling_finding_always_present(self):
+        report = critique(parse_tbox("A [= B"))
+        assert report.by_code("confusable-sibling")
+
+    def test_regress_finding(self):
+        report = critique(
+            animal_tbox(),
+            regress_term="dog",
+            regress_repairs=[[parse_axiom("quadruped [= animal")]],
+        )
+        (finding,) = report.by_code("differentiation-regress")
+        assert "never escaped" in finding.title
+        assert finding.severity is Severity.DEFECT
+
+    def test_discipline_findings_optional(self):
+        with_ = critique(vehicle_tbox())
+        without = critique(vehicle_tbox(), include_discipline_findings=False)
+        assert len(without.findings) < len(with_.findings)
+        assert not without.by_code("guarino-circularity")
+
+    def test_render_is_sectioned_text(self):
+        text = critique(vehicle_tbox(), label="vehicles").render()
+        assert text.startswith("Critique of vehicles")
+        assert "I. Syntactic" in text
+        assert "II. Semantic" in text
+        assert "III. Pragmatic" in text
+
+    def test_report_accessors(self):
+        report = CritiqueReport("x")
+        finding = Finding(Section.SEMANTIC, "c", Severity.CAUTION, "t", "d")
+        report.add(finding)
+        assert report.by_code("c") == [finding]
+        assert report.defects() == []
+        assert report.worst is Severity.CAUTION
+        assert "(no findings)" in CritiqueReport("empty").render()
+
+
+class TestRigidityIntegration:
+    def test_backbone_violation_reported(self):
+        from repro.dl import parse_tbox
+        from repro.intensional import Rigidity
+
+        tbox = parse_tbox("person [= student")  # the classic error
+        profile = {"person": Rigidity.RIGID, "student": Rigidity.ANTI_RIGID}
+        report = critique(tbox, rigidity=profile, include_discipline_findings=False)
+        (finding,) = report.by_code("rigidity-violation")
+        assert finding.severity is Severity.DEFECT
+        assert "cannot subsume" in finding.details
+
+    def test_clean_taxonomy_has_no_rigidity_finding(self):
+        from repro.dl import parse_tbox
+        from repro.intensional import Rigidity
+
+        tbox = parse_tbox("student [= person")
+        profile = {"person": Rigidity.RIGID, "student": Rigidity.ANTI_RIGID}
+        report = critique(tbox, rigidity=profile, include_discipline_findings=False)
+        assert report.by_code("rigidity-violation") == []
+
+    def test_names_outside_profile_ignored(self):
+        from repro.dl import parse_tbox
+        from repro.intensional import Rigidity
+
+        tbox = parse_tbox("person [= mystery")
+        profile = {"person": Rigidity.RIGID}
+        report = critique(tbox, rigidity=profile, include_discipline_findings=False)
+        assert report.by_code("rigidity-violation") == []
+
+
+class TestCritiqueFields:
+    def test_door_languages(self):
+        from repro.core import critique_fields
+        from repro.corpora import english_door, italian_door
+
+        report = critique_fields([english_door(), italian_door()], label="doors")
+        assert report.by_code("partial-overlap")
+        (loss,) = report.by_code("translation-loss")
+        assert loss.severity is Severity.DEFECT
+        assert report.by_code("imposition-loss")
+        assert report.by_code("interlingua-cost")
+        assert "doors" in report.render()
+
+    def test_aligned_languages_clean(self):
+        from repro.core import critique_fields
+        from repro.corpora import english_door
+
+        clone = english_door()
+        other = english_door()
+        # same carving under a different banner: no defects
+        from repro.semiotics import Lexicalization
+
+        renamed = Lexicalization(
+            "Mirror", clone.field,
+            {f"m_{t}": clone.extents[t] for t in clone.terms},
+        )
+        report = critique_fields([clone, renamed])
+        assert not report.by_code("partial-overlap")
+        (loss,) = report.by_code("translation-loss")
+        assert loss.severity is Severity.INFO
+
+    def test_age_languages_full_report(self):
+        from repro.core import critique_fields
+        from repro.corpora import age_lexicalizations
+
+        report = critique_fields(age_lexicalizations(), label="old age")
+        (cost,) = report.by_code("interlingua-cost")
+        assert cost.severity is Severity.CAUTION  # overlapping registers erased
+        assert report.worst is Severity.DEFECT
+
+    def test_needs_two_languages(self):
+        from repro.core import critique_fields
+        from repro.corpora import english_door
+
+        with pytest.raises(ValueError):
+            critique_fields([english_door()])

@@ -1,0 +1,73 @@
+"""Unit tests for report rendering (text and markdown)."""
+
+from repro.core import CritiqueReport, Finding, Section, Severity, critique
+from repro.corpora import vehicle_tbox
+
+
+def small_report() -> CritiqueReport:
+    report = CritiqueReport("widget ontology")
+    report.add(
+        Finding(
+            Section.SYNTACTIC,
+            "demo-info",
+            Severity.INFO,
+            "an informational note",
+            "details line one\ndetails line two",
+            paper_ref="§2",
+        )
+    )
+    report.add(
+        Finding(
+            Section.PRAGMATIC,
+            "demo-defect",
+            Severity.DEFECT,
+            "a defect",
+            "something broke",
+        )
+    )
+    return report
+
+
+class TestTextRendering:
+    def test_sections_ordered(self):
+        text = small_report().render()
+        assert text.index("I. Syntactic") < text.index("III. Pragmatic")
+        assert "II. Semantic" not in text  # empty sections are omitted
+
+    def test_severity_badges(self):
+        text = small_report().render()
+        assert "· an informational note" in text
+        assert "✗ a defect" in text
+
+    def test_multiline_details_indented(self):
+        text = small_report().render()
+        assert "    details line one" in text
+        assert "    details line two" in text
+
+    def test_paper_ref_shown(self):
+        assert "[§2]" in small_report().render()
+
+
+class TestMarkdownRendering:
+    def test_structure(self):
+        md = small_report().render_markdown()
+        assert md.startswith("# Critique of widget ontology")
+        assert "## I. Syntactic" in md
+        assert "## III. Pragmatic" in md
+        assert "## II. Semantic" not in md
+
+    def test_badges_and_refs(self):
+        md = small_report().render_markdown()
+        assert "ℹ️ **an informational note** *(§2)*" in md
+        assert "❌ **a defect**" in md
+
+    def test_empty_report(self):
+        md = CritiqueReport("empty").render_markdown()
+        assert "*(no findings)*" in md
+
+    def test_full_engine_markdown(self):
+        md = critique(vehicle_tbox(), label="vehicles").render_markdown()
+        assert "# Critique of vehicles" in md
+        assert md.endswith("\n")
+        # the markdown mentions the same defects as the text rendering
+        assert "Gruber" in md

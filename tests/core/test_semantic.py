@@ -1,0 +1,164 @@
+"""Unit and property tests for collisions, siblings, and the regress (F4/F5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    confusable_sibling,
+    differentiation_regress,
+    find_collisions,
+    find_cross_collisions,
+    rename_concept,
+    rename_tbox,
+    tbox_definition_size,
+)
+from repro.corpora import (
+    animal_tbox,
+    random_tbox,
+    repaired_animal_tbox,
+    vehicle_tbox,
+)
+from repro.dl import Atomic, Not, meanings_identical, parse_axiom, parse_concept, parse_tbox
+
+
+class TestRenaming:
+    def test_rename_concept_names_and_roles(self):
+        c = parse_concept("motorvehicle & some size.small")
+        renamed = rename_concept(c, {"motorvehicle": "animal", "small": "tiny"}, {"size": "bulk"})
+        assert renamed == parse_concept("animal & some bulk.tiny")
+
+    def test_rename_preserves_cardinality(self):
+        c = parse_concept(">= 4 has.wheel")
+        renamed = rename_concept(c, {"wheel": "leg"}, {"has": "has"})
+        assert renamed == parse_concept(">= 4 has.leg")
+
+    def test_rename_through_negation_and_disjunction(self):
+        c = parse_concept("~A | all r.B")
+        renamed = rename_concept(c, {"A": "X", "B": "Y"}, {"r": "s"})
+        assert renamed == parse_concept("~X | all s.Y")
+
+    def test_rename_tbox_preserves_axiom_kinds(self):
+        tbox = parse_tbox("A [= B\nC = B")
+        renamed = rename_tbox(tbox, {"A": "A2", "B": "B2", "C": "C2"}, {})
+        assert renamed.pretty() == "A2 ⊑ B2\nC2 ≡ B2"
+
+
+class TestCollisions:
+    def test_within_tbox_collision_car_pickup(self):
+        collisions = find_collisions(vehicle_tbox(), label="vehicles")
+        pairs = {(c.term_a, c.term_b) for c in collisions}
+        assert ("car", "pickup") in pairs
+
+    def test_cross_collisions_reproduce_the_paper(self):
+        collisions = find_cross_collisions(
+            vehicle_tbox(), animal_tbox(), label_a="vehicles", label_b="animals"
+        )
+        pairs = {(c.term_a, c.term_b) for c in collisions}
+        assert ("car", "dog") in pairs
+        assert ("pickup", "horse") in pairs
+        assert ("motorvehicle", "animal") in pairs
+        assert ("roadvehicle", "quadruped") in pairs
+
+    def test_repair_separates_dog_from_car(self):
+        collisions = find_cross_collisions(vehicle_tbox(), repaired_animal_tbox())
+        pairs = {(c.term_a, c.term_b) for c in collisions}
+        # the repair breaks the headline identification...
+        assert ("car", "dog") not in pairs
+        assert ("pickup", "horse") not in pairs
+        # ...but the shallow leaf definitions still collide: motorvehicle's
+        # one-edge web is indistinguishable from animal's — the repair only
+        # pushed the problem down a level, as the regress predicts
+        assert ("motorvehicle", "animal") in pairs
+
+    def test_collision_str(self):
+        (collision, *_) = find_collisions(vehicle_tbox(), label="v")
+        assert "≡" in str(collision)
+
+
+class TestConfusableSibling:
+    def test_sibling_has_disjoint_vocabulary(self):
+        tbox = vehicle_tbox()
+        sibling, name_map, role_map = confusable_sibling(tbox)
+        assert not (tbox.atomic_names() & sibling.atomic_names())
+        assert not (tbox.role_names() & sibling.role_names())
+        assert name_map["car"] == "carʹ"
+
+    def test_sibling_collides_on_every_defined_name(self):
+        tbox = vehicle_tbox()
+        sibling, name_map, _ = confusable_sibling(tbox)
+        for name in tbox.defined_names():
+            assert meanings_identical(tbox, name, sibling, name_map[name])
+
+    def test_sibling_of_repaired_tbox_still_collides(self):
+        """The punchline: the repair that broke CAR=DOG spawns a new rival."""
+        tbox = repaired_animal_tbox()
+        sibling, name_map, _ = confusable_sibling(tbox)
+        assert meanings_identical(tbox, "dog", sibling, name_map["dog"])
+
+
+class TestRegress:
+    def test_paper_repair_sequence(self):
+        # start from the animal ontonomy, apply the paper's (9)-(11) repair
+        repair = [
+            parse_axiom("quadruped [= animal"),
+        ]
+        steps = differentiation_regress(animal_tbox(), "dog", [repair])
+        assert len(steps) == 2
+        assert steps[0].round == 0
+        assert steps[1].axiom_count == steps[0].axiom_count + 1
+        # the regress never escapes: every round has a confusable rival
+        assert all(s.rival_identical for s in steps)
+
+    def test_definition_size_grows_monotonically(self):
+        repairs = [
+            [parse_axiom("quadruped [= animal")],
+            [parse_axiom("dog [= some emits.bark")],
+            [parse_axiom("horse [= some emits.neigh")],
+        ]
+        steps = differentiation_regress(animal_tbox(), "dog", repairs)
+        sizes = [s.definition_size for s in steps]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_unknown_term_rejected(self):
+        with pytest.raises(ValueError):
+            differentiation_regress(animal_tbox(), "unicorn", [])
+
+    def test_step_str(self):
+        (step,) = differentiation_regress(animal_tbox(), "dog", [])
+        assert "still confusable" in str(step)
+
+    def test_tbox_definition_size(self):
+        assert tbox_definition_size(parse_tbox("A [= B")) == 2
+        assert tbox_definition_size(parse_tbox("A [= B & C")) == 4
+
+
+# ---------------------------------------------------------------------- #
+# property-based: for EVERY definitorial TBox the sibling collides —
+# the mechanized form of "we can't stop"
+# ---------------------------------------------------------------------- #
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_confusable_sibling_exists_for_random_tboxes(seed):
+    tbox = random_tbox(seed, n_defined=4, n_primitive=3, n_roles=2)
+    sibling, name_map, _ = confusable_sibling(tbox)
+    for name in sorted(tbox.defined_names()):
+        assert meanings_identical(tbox, name, sibling, name_map[name])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_rename_tbox_round_trip(seed):
+    tbox = random_tbox(seed, n_defined=3, n_primitive=3, n_roles=2)
+    name_map = {n: f"{n}X" for n in tbox.atomic_names()}
+    role_map = {r: f"{r}X" for r in tbox.role_names()}
+    there = rename_tbox(tbox, name_map, role_map)
+    back = rename_tbox(
+        there,
+        {v: k for k, v in name_map.items()},
+        {v: k for k, v in role_map.items()},
+    )
+    assert back.pretty() == tbox.pretty()

@@ -1,0 +1,144 @@
+"""Unit and property tests for bisimulation and ALC invariance."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    And,
+    Atomic,
+    Interpretation,
+    Not,
+    Or,
+    are_bisimilar,
+    at_least,
+    bisimulation_classes,
+    is_alc_concept,
+    only,
+    some,
+)
+
+A, B = Atomic("A"), Atomic("B")
+
+
+def two_chains() -> tuple[Interpretation, Interpretation]:
+    """x→y with A at y, versus a longer chain with the same one-step view."""
+    m1 = Interpretation(["x", "y"], {"A": ["y"]}, {"r": [("x", "y")]})
+    m2 = Interpretation(
+        ["u", "v", "w"], {"A": ["v", "w"]}, {"r": [("u", "v"), ("v", "w")]}
+    )
+    return m1, m2
+
+
+class TestBisimulation:
+    def test_identical_elements_bisimilar(self):
+        m1, _ = two_chains()
+        assert are_bisimilar(m1, "x", m1, "x")
+        assert are_bisimilar(m1, "y", m1, "y")
+
+    def test_atomic_difference_separates(self):
+        m1, _ = two_chains()
+        assert not are_bisimilar(m1, "x", m1, "y")
+
+    def test_successor_structure_separates(self):
+        m1, m2 = two_chains()
+        # y has no successors; v has an r-successor: not bisimilar
+        assert not are_bisimilar(m1, "y", m2, "v")
+        # but y and w (both A, both terminal) are bisimilar
+        assert are_bisimilar(m1, "y", m2, "w")
+
+    def test_unfolding_is_bisimilar(self):
+        # a self-loop and its two-element unfolding
+        loop = Interpretation(["a"], {"P": ["a"]}, {"r": [("a", "a")]})
+        cycle = Interpretation(
+            ["b", "c"], {"P": ["b", "c"]}, {"r": [("b", "c"), ("c", "b")]}
+        )
+        assert are_bisimilar(loop, "a", cycle, "b")
+        assert are_bisimilar(loop, "a", cycle, "c")
+
+    def test_counting_difference_is_invisible(self):
+        # one A-successor vs two: bisimilar (sets, not multisets)
+        one = Interpretation(["x", "y"], {"A": ["y"]}, {"r": [("x", "y")]})
+        two = Interpretation(
+            ["u", "v1", "v2"], {"A": ["v1", "v2"]},
+            {"r": [("u", "v1"), ("u", "v2")]},
+        )
+        assert are_bisimilar(one, "x", two, "u")
+        # ...and exactly here number restrictions SEE the difference:
+        assert not one.satisfies("x", at_least(2, "r", A))
+        assert two.satisfies("u", at_least(2, "r", A))
+
+    def test_classes_cover_all_elements(self):
+        m1, m2 = two_chains()
+        classes = bisimulation_classes(m1, m2)
+        assert set(classes) == {(1, "x"), (1, "y"), (2, "u"), (2, "v"), (2, "w")}
+
+
+class TestALCFragment:
+    def test_alc_membership(self):
+        assert is_alc_concept(A & Not(B))
+        assert is_alc_concept(some("r", only("s", A | B)))
+        assert not is_alc_concept(at_least(2, "r", A))
+        assert not is_alc_concept(some("r", at_least(1, "s", A)))
+
+
+# ---------------------------------------------------------------------- #
+# the invariance theorem, property-tested
+# ---------------------------------------------------------------------- #
+
+_atoms = st.sampled_from([A, B])
+
+
+@st.composite
+def alc_concepts(draw, depth=3):
+    if depth == 0:
+        return draw(_atoms)
+    kind = draw(st.integers(min_value=0, max_value=5))
+    if kind == 0:
+        return draw(_atoms)
+    if kind == 1:
+        return Not(draw(alc_concepts(depth=depth - 1)))
+    if kind == 2:
+        return And.of([draw(alc_concepts(depth=depth - 1)),
+                       draw(alc_concepts(depth=depth - 1))])
+    if kind == 3:
+        return Or.of([draw(alc_concepts(depth=depth - 1)),
+                      draw(alc_concepts(depth=depth - 1))])
+    if kind == 4:
+        return some(draw(st.sampled_from(["r", "s"])), draw(alc_concepts(depth=depth - 1)))
+    return only(draw(st.sampled_from(["r", "s"])), draw(alc_concepts(depth=depth - 1)))
+
+
+@st.composite
+def interpretations(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    domain = list(range(n))
+    concepts = {
+        name: draw(st.lists(st.sampled_from(domain), max_size=n))
+        for name in ("A", "B")
+    }
+    roles = {
+        role: draw(
+            st.lists(st.tuples(st.sampled_from(domain), st.sampled_from(domain)), max_size=6)
+        )
+        for role in ("r", "s")
+    }
+    return Interpretation(domain, concepts, roles)
+
+
+@settings(max_examples=60, deadline=None)
+@given(interpretations(), interpretations(), alc_concepts())
+def test_alc_invariance_under_bisimulation(m1, m2, concept):
+    """Bisimilar elements satisfy the same ALC concepts."""
+    classes = bisimulation_classes(m1, m2)
+    for e1 in m1.domain:
+        for e2 in m2.domain:
+            if classes[(1, e1)] == classes[(2, e2)]:
+                assert m1.satisfies(e1, concept) == m2.satisfies(e2, concept)
+
+
+@settings(max_examples=60, deadline=None)
+@given(interpretations(), alc_concepts())
+def test_bisimulation_reflexive_within_model(m, concept):
+    classes = bisimulation_classes(m, m)
+    for e in m.domain:
+        assert classes[(1, e)] == classes[(2, e)]

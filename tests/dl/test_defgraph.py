@@ -1,0 +1,180 @@
+"""Tests for definition graphs and structural meaning — the paper's §3.
+
+These tests ARE the reproduction of the paper's central semantic
+argument: the vehicle ontonomy (4) and the animal ontonomy (8) have
+isomorphic definition structures, so a purely structural theory of
+meaning identifies CAR with DOG; the repair (9)–(11) breaks the
+isomorphism.
+"""
+
+import pytest
+
+from repro.corpora.animals import (
+    VEHICLE_TO_ANIMAL_NAMES,
+    VEHICLE_TO_ANIMAL_ROLES,
+    animal_tbox,
+    repaired_animal_tbox,
+)
+from repro.corpora.vehicles import abstract_tbox, vehicle_tbox
+from repro.dl import (
+    DefGraphError,
+    anonymized_meaning,
+    definition_graph,
+    graph_roles,
+    meaning_isomorphic,
+    meanings_identical,
+    parse_tbox,
+    rename_roles,
+    structural_meaning,
+)
+from repro.graphs import are_isomorphic
+
+
+class TestExtraction:
+    def test_isa_edges(self):
+        g = definition_graph(vehicle_tbox())
+        assert g.has_edge("car", "motorvehicle", label=("isa",))
+        assert g.has_edge("car", "roadvehicle", label=("isa",))
+
+    def test_exists_edges_carry_role(self):
+        g = definition_graph(vehicle_tbox())
+        assert g.has_edge("car", "small", label=("some", "size"))
+        assert g.has_edge("motorvehicle", "gasoline", label=("some", "uses"))
+
+    def test_atleast_edge_carries_cardinality(self):
+        g = definition_graph(vehicle_tbox())
+        assert g.has_edge("roadvehicle", "wheel", label=("atleast", "has", 4))
+
+    def test_all_names_are_nodes(self):
+        g = definition_graph(vehicle_tbox())
+        for name in ("car", "pickup", "motorvehicle", "roadvehicle",
+                     "small", "big", "gasoline", "wheel"):
+            assert name in g
+
+    def test_non_atomic_lhs_rejected(self):
+        tbox = parse_tbox("A & B [= C")
+        with pytest.raises(DefGraphError):
+            definition_graph(tbox)
+
+    def test_complex_filler_rejected(self):
+        tbox = parse_tbox("A [= some r.(B & C)")
+        with pytest.raises(DefGraphError):
+            definition_graph(tbox)
+
+    def test_negated_conjunct_rejected(self):
+        tbox = parse_tbox("A [= ~B")
+        with pytest.raises(DefGraphError):
+            definition_graph(tbox)
+
+    def test_forall_edges(self):
+        g = definition_graph(parse_tbox("A [= all r.B"))
+        assert g.has_edge("A", "B", label=("all", "r"))
+
+    def test_unqualified_atleast_targets_top(self):
+        g = definition_graph(parse_tbox("A [= >= 2 r"))
+        assert g.has_edge("A", "⊤", label=("atleast", "r", 2))
+
+
+class TestStructuralMeaning:
+    def test_meaning_of_car_reaches_the_whole_web(self):
+        g = structural_meaning(vehicle_tbox(), "car")
+        # pickup is NOT reachable from car: it shares parents but car's
+        # definition never mentions it
+        assert "pickup" not in g
+        for name in ("car", "motorvehicle", "roadvehicle", "small",
+                     "gasoline", "wheel"):
+            assert name in g
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DefGraphError):
+            structural_meaning(vehicle_tbox(), "banana")
+
+    def test_anonymized_meaning_has_no_labels(self):
+        g = anonymized_meaning(vehicle_tbox(), "car")
+        assert all(g.node_label(n) is None for n in g.nodes())
+
+    def test_structure_5_is_exact_rename_of_structure_4(self):
+        """The paper's move from (4) to (5): pure renaming, same graph."""
+        concrete = definition_graph(vehicle_tbox())
+        abstract = definition_graph(abstract_tbox())
+        result = meaning_isomorphic(concrete, abstract)
+        assert result is not None
+        node_map, role_map = result
+        assert node_map["car"] == "D"
+        assert node_map["motorvehicle"] == "B"
+        assert role_map == {"uses": "rho1", "has": "rho2", "size": "rho3"}
+
+
+class TestTheReductio:
+    """The paper's central result: CAR = DOG under structural meaning."""
+
+    def test_car_dog_graphs_isomorphic(self):
+        vehicles = definition_graph(vehicle_tbox())
+        animals = definition_graph(animal_tbox())
+        result = meaning_isomorphic(vehicles, animals)
+        assert result is not None
+        node_map, role_map = result
+        assert node_map == VEHICLE_TO_ANIMAL_NAMES
+        assert role_map == VEHICLE_TO_ANIMAL_ROLES
+
+    def test_meanings_identical_car_dog(self):
+        assert meanings_identical(vehicle_tbox(), "car", animal_tbox(), "dog")
+
+    def test_meanings_identical_pickup_horse(self):
+        assert meanings_identical(vehicle_tbox(), "pickup", animal_tbox(), "horse")
+
+    def test_car_is_even_horse(self):
+        # sharper than the paper states it: the meaning subgraph of car
+        # cannot even tell small from big, so structurally CAR = HORSE too
+        assert meanings_identical(vehicle_tbox(), "car", animal_tbox(), "horse")
+
+    def test_whole_graph_identification_maps_car_to_dog(self):
+        # on the FULL ontonomies the pickup/horse halves pin the mapping:
+        # car goes to dog, not to horse
+        result = meaning_isomorphic(
+            definition_graph(vehicle_tbox()), definition_graph(animal_tbox())
+        )
+        assert result is not None
+        assert result[0]["car"] == "dog"
+
+    def test_repair_breaks_the_isomorphism(self):
+        """Structures (9)-(11): adding quadruped ⊑ animal de-identifies."""
+        vehicles = definition_graph(vehicle_tbox())
+        repaired = definition_graph(repaired_animal_tbox())
+        assert meaning_isomorphic(vehicles, repaired) is None
+        assert not meanings_identical(
+            vehicle_tbox(), "car", repaired_animal_tbox(), "dog"
+        )
+
+    def test_within_tbox_car_differs_from_pickup(self):
+        # even inside one ontonomy, car and pickup have isomorphic-shaped
+        # definitions but are distinguished by their shared neighborhood:
+        # the meaning subgraphs ARE isomorphic (small↔big swap)
+        assert meanings_identical(vehicle_tbox(), "car", vehicle_tbox(), "pickup")
+
+
+class TestRoleRenaming:
+    def test_rename_roles(self):
+        g = definition_graph(vehicle_tbox())
+        renamed = rename_roles(g, {"uses": "ingests", "has": "has"})
+        assert renamed.has_edge("motorvehicle", "gasoline", label=("some", "ingests"))
+        assert renamed.has_edge("roadvehicle", "wheel", label=("atleast", "has", 4))
+
+    def test_graph_roles(self):
+        g = definition_graph(vehicle_tbox())
+        assert graph_roles(g) == frozenset({"size", "uses", "has"})
+
+    def test_role_count_mismatch_fails_fast(self):
+        g1 = definition_graph(parse_tbox("A [= some r.B"))
+        g2 = definition_graph(parse_tbox("A [= B"))
+        assert meaning_isomorphic(g1, g2) is None
+
+    def test_isomorphism_requires_matching_cardinalities(self):
+        g1 = definition_graph(parse_tbox("A [= >= 4 r.B"))
+        g2 = definition_graph(parse_tbox("A [= >= 3 r.B"))
+        assert meaning_isomorphic(g1, g2) is None
+
+    def test_isa_edges_never_map_to_role_edges(self):
+        g1 = definition_graph(parse_tbox("A [= B"))
+        g2 = definition_graph(parse_tbox("A [= some r.B"))
+        assert meaning_isomorphic(g1, g2) is None

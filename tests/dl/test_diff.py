@@ -1,0 +1,52 @@
+"""Unit tests for semantic TBox diffing."""
+
+from repro.corpora import animal_tbox, repaired_animal_tbox
+from repro.dl import parse_tbox, tbox_diff
+
+
+class TestTBoxDiff:
+    def test_no_change(self):
+        tbox = parse_tbox("A [= B")
+        diff = tbox_diff(tbox, parse_tbox("A [= B"))
+        assert diff.unchanged
+        assert diff.summary() == "no semantic change"
+        assert ("A", "B") in diff.subsumptions_kept
+
+    def test_syntactic_change_no_semantic_change(self):
+        # same entailments, different axiom shapes
+        before = parse_tbox("A [= B & C")
+        after = parse_tbox("A [= B\nA [= C")
+        assert tbox_diff(before, after).unchanged
+
+    def test_gained_subsumption(self):
+        before = parse_tbox("A [= B\nC [= B")
+        after = parse_tbox("A [= B\nC [= A")
+        diff = tbox_diff(before, after)
+        assert ("C", "A") in diff.subsumptions_gained
+        assert diff.subsumptions_lost == frozenset()
+        assert diff.is_conservative
+
+    def test_lost_subsumption(self):
+        before = parse_tbox("A [= B\nB [= C")
+        # drop B ⊑ C while keeping C in the vocabulary
+        after = parse_tbox("A [= B\nC [= C")
+        diff = tbox_diff(before, after)
+        assert ("B", "C") in diff.subsumptions_lost
+        assert ("A", "C") in diff.subsumptions_lost
+        assert not diff.is_conservative
+
+    def test_vocabulary_changes_reported_separately(self):
+        before = parse_tbox("A [= B")
+        after = parse_tbox("A [= B\nNew [= A")
+        diff = tbox_diff(before, after)
+        assert diff.names_added == frozenset({"New"})
+        assert diff.subsumptions_gained == frozenset()
+        assert diff.is_conservative
+
+    def test_paper_repair_is_a_gain(self):
+        """The (9)-(11) repair adds quadruped ⊑ animal without losing anything."""
+        diff = tbox_diff(animal_tbox(), repaired_animal_tbox())
+        assert ("quadruped", "animal") in diff.subsumptions_gained
+        assert diff.subsumptions_lost == frozenset()
+        assert diff.is_conservative
+        assert "+⊑ quadruped ⊑ animal" in diff.summary()

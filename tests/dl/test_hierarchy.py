@@ -1,0 +1,100 @@
+"""Unit tests for TBox classification."""
+
+from repro.corpora.vehicles import vehicle_tbox
+from repro.dl import (
+    BOTTOM_NAME,
+    TOP_NAME,
+    Atomic,
+    Equivalence,
+    Not,
+    Subsumption,
+    TBox,
+    classify,
+    parse_tbox,
+)
+
+A, B, C = Atomic("A"), Atomic("B"), Atomic("C")
+
+
+class TestClassification:
+    def test_chain(self):
+        h = classify(TBox([Subsumption(A, B), Subsumption(B, C)]))
+        assert h.is_subsumed_by("A", "C")
+        assert not h.is_subsumed_by("C", "A")
+        assert h.poset.leq("A", "B")
+
+    def test_top_and_bottom_present(self):
+        h = classify(TBox([Subsumption(A, B)]))
+        assert h.poset.top() == TOP_NAME
+        assert h.poset.bottom() == BOTTOM_NAME
+
+    def test_parents_children(self):
+        h = classify(TBox([Subsumption(A, B), Subsumption(B, C)]))
+        assert h.parents("A") == frozenset({"B"})
+        assert h.children("C") == frozenset({"B"})
+        assert h.parents("C") == frozenset({TOP_NAME})
+
+    def test_ancestors_descendants(self):
+        h = classify(TBox([Subsumption(A, B), Subsumption(B, C)]))
+        assert h.ancestors("A") == frozenset({"B", "C", TOP_NAME})
+        assert h.descendants("C") == frozenset({"A", "B", BOTTOM_NAME})
+
+    def test_equivalent_names_grouped(self):
+        h = classify(TBox([Equivalence(A, B)]))
+        assert h.group_of["A"] == h.group_of["B"]
+        assert h.equivalents("A") == frozenset({"A", "B"})
+
+    def test_unsatisfiable_name_maps_to_bottom(self):
+        h = classify(TBox([Subsumption(A, B), Subsumption(A, Not(B))]))
+        assert h.group_of["A"] == BOTTOM_NAME
+
+    def test_vehicle_hierarchy(self):
+        h = classify(vehicle_tbox())
+        assert h.is_subsumed_by("car", "motorvehicle")
+        assert h.is_subsumed_by("car", "roadvehicle")
+        assert h.is_subsumed_by("pickup", "motorvehicle")
+        assert not h.is_subsumed_by("car", "pickup")
+        # car sits under BOTH superclasses: a DAG, not a tree (paper §2)
+        assert not h.poset.is_tree()
+        assert h.parents("car") == frozenset({"motorvehicle", "roadvehicle"})
+
+    def test_inferred_subsumption_not_told(self):
+        tbox = parse_tbox(
+            """
+            A = B & C
+            D [= B & C
+            """
+        )
+        h = classify(tbox)
+        # D ⊑ B ⊓ C ≡ A, so D is classified under A without being told
+        assert h.is_subsumed_by("D", "A")
+
+    def test_pretty_renders_all_names(self):
+        h = classify(vehicle_tbox())
+        text = h.pretty()
+        for name in ("car", "pickup", "motorvehicle", "roadvehicle"):
+            assert name in text
+        assert text.splitlines()[0] == TOP_NAME
+
+
+class TestToldSubsumers:
+    def test_told_seeding_matches_full_reasoning(self):
+        from repro.corpora import random_tbox
+
+        for seed in (3, 17, 42):
+            tbox = random_tbox(seed, n_defined=5, n_primitive=3, n_roles=2)
+            with_told = classify(tbox, use_told_subsumers=True)
+            without = classify(tbox, use_told_subsumers=False)
+            assert with_told.poset == without.poset
+
+    def test_told_hits_counted(self):
+        h = classify(vehicle_tbox(), use_told_subsumers=True)
+        assert h.told_hits > 0
+        h0 = classify(vehicle_tbox(), use_told_subsumers=False)
+        assert h0.told_hits == 0
+
+    def test_transitive_told_subsumers(self):
+        tbox = parse_tbox("A [= B\nB [= C")
+        h = classify(tbox)
+        # A ⊑ C is told only transitively; still seeded, still correct
+        assert h.is_subsumed_by("A", "C")

@@ -1,0 +1,131 @@
+"""Unit tests for DL concept syntax and negation normal form."""
+
+import pytest
+
+from repro.dl import (
+    BOTTOM,
+    TOP,
+    And,
+    AtLeast,
+    AtMost,
+    Atomic,
+    DLSyntaxError,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Role,
+    at_least,
+    at_most,
+    is_nnf,
+    negate,
+    only,
+    some,
+    to_nnf,
+)
+
+A, B, C = Atomic("A"), Atomic("B"), Atomic("C")
+
+
+class TestConstruction:
+    def test_and_flattens_and_dedupes(self):
+        c = And.of([A, And.of([B, C]), A])
+        assert isinstance(c, And)
+        assert c.operands == (A, B, C)
+
+    def test_and_absorbs_top(self):
+        assert And.of([A, TOP]) == A
+        assert And.of([TOP, TOP]) is TOP
+
+    def test_or_absorbs_bottom(self):
+        assert Or.of([A, BOTTOM]) == A
+        assert Or.of([BOTTOM]) is BOTTOM
+
+    def test_singleton_collapse(self):
+        assert And.of([A]) == A
+        assert Or.of([B]) == B
+
+    def test_direct_binary_construction_requires_two(self):
+        with pytest.raises(DLSyntaxError):
+            And((A,))
+        with pytest.raises(DLSyntaxError):
+            Or((A,))
+
+    def test_operator_sugar(self):
+        assert (A & B) == And.of([A, B])
+        assert (A | B) == Or.of([A, B])
+        assert ~A == Not(A)
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(DLSyntaxError):
+            Atomic("")
+        with pytest.raises(DLSyntaxError):
+            Role("")
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(DLSyntaxError):
+            at_least(-1, "r")
+        with pytest.raises(DLSyntaxError):
+            at_most(-2, "r")
+
+    def test_names_and_roles_collected(self):
+        c = And.of([A, some("r", B), at_least(4, "s", C)])
+        assert c.atomic_names() == frozenset({"A", "B", "C"})
+        assert c.role_names() == frozenset({"r", "s"})
+
+    def test_size(self):
+        assert A.size() == 1
+        assert (A & B).size() == 3
+        assert some("r", A).size() == 2
+
+    def test_str_renderings(self):
+        assert str(A & B) == "A ⊓ B"
+        assert str(some("size", Atomic("small"))) == "∃size.small"
+        assert str(at_least(4, "has", Atomic("wheel"))) == "≥4 has.wheel"
+        assert str(~A) == "¬A"
+        assert str(only("r", A | B)) == "∀r.(A ⊔ B)"
+
+
+class TestNNF:
+    def test_atomic_unchanged(self):
+        assert to_nnf(A) == A
+        assert to_nnf(Not(A)) == Not(A)
+
+    def test_double_negation(self):
+        assert to_nnf(Not(Not(A))) == A
+
+    def test_de_morgan(self):
+        assert to_nnf(Not(A & B)) == Or.of([Not(A), Not(B)])
+        assert to_nnf(Not(A | B)) == And.of([Not(A), Not(B)])
+
+    def test_quantifier_duality(self):
+        assert to_nnf(Not(some("r", A))) == only("r", Not(A))
+        assert to_nnf(Not(only("r", A))) == some("r", Not(A))
+
+    def test_top_bottom_duality(self):
+        assert to_nnf(Not(TOP)) is BOTTOM
+        assert to_nnf(Not(BOTTOM)) is TOP
+
+    def test_number_restriction_duality(self):
+        assert to_nnf(Not(at_least(3, "r"))) == at_most(2, "r")
+        assert to_nnf(Not(at_most(3, "r"))) == at_least(4, "r")
+
+    def test_atleast_zero(self):
+        assert to_nnf(at_least(0, "r")) is TOP
+        assert to_nnf(Not(at_least(0, "r"))) is BOTTOM
+
+    def test_nested_push(self):
+        c = Not(And.of([A, some("r", Or.of([B, C]))]))
+        nnf = to_nnf(c)
+        assert is_nnf(nnf)
+        assert nnf == Or.of([Not(A), only("r", And.of([Not(B), Not(C)]))])
+
+    def test_negate_shorthand(self):
+        assert negate(A) == Not(A)
+        assert negate(Not(A)) == A
+
+    def test_is_nnf(self):
+        assert is_nnf(A & Not(B))
+        assert not is_nnf(Not(A & B))
+        assert is_nnf(some("r", Not(A)))
+        assert not is_nnf(only("r", Not(some("s", A))))

@@ -1,0 +1,106 @@
+"""Unit and property tests for the Earley recognizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar import (
+    Grammar,
+    GrammarError,
+    Production,
+    cyk_recognizes,
+    derives,
+    earley_recognizes,
+    to_cnf,
+)
+
+
+def anbn() -> Grammar:
+    return Grammar(
+        {"S"},
+        {"a", "b"},
+        "S",
+        [Production(("S",), ("a", "S", "b")), Production(("S",), ())],
+    )
+
+
+def nullable_heavy() -> Grammar:
+    """S → A A; A → ε | a — the classic Earley ε-production stress test."""
+    return Grammar(
+        {"S", "A"},
+        {"a"},
+        "S",
+        [
+            Production(("S",), ("A", "A")),
+            Production(("A",), ()),
+            Production(("A",), ("a",)),
+        ],
+    )
+
+
+def unit_chain() -> Grammar:
+    return Grammar(
+        {"S", "A", "B"},
+        {"x"},
+        "S",
+        [
+            Production(("S",), ("A",)),
+            Production(("A",), ("B",)),
+            Production(("B",), ("x",)),
+        ],
+    )
+
+
+class TestEarley:
+    def test_anbn(self):
+        g = anbn()
+        assert earley_recognizes(g, [])
+        assert earley_recognizes(g, ["a", "b"])
+        assert earley_recognizes(g, ["a", "a", "b", "b"])
+        assert not earley_recognizes(g, ["a", "b", "b"])
+        assert not earley_recognizes(g, ["b"])
+
+    def test_nullable_productions(self):
+        g = nullable_heavy()
+        assert earley_recognizes(g, [])        # A A with both empty
+        assert earley_recognizes(g, ["a"])     # one empty
+        assert earley_recognizes(g, ["a", "a"])
+        assert not earley_recognizes(g, ["a", "a", "a"])
+
+    def test_unit_chains(self):
+        g = unit_chain()
+        assert earley_recognizes(g, ["x"])
+        assert not earley_recognizes(g, [])
+        assert not earley_recognizes(g, ["x", "x"])
+
+    def test_non_cfg_rejected(self):
+        g = Grammar(
+            {"S"}, {"a"}, "S",
+            [Production(("S", "S"), ("a",)), Production(("S",), ("a",))],
+        )
+        with pytest.raises(GrammarError):
+            earley_recognizes(g, ["a"])
+
+    def test_unknown_terminal_rejected(self):
+        with pytest.raises(GrammarError):
+            earley_recognizes(anbn(), ["z"])
+
+    def test_no_cnf_conversion_needed(self):
+        # Earley runs directly on grammars CYK must first transform
+        g = unit_chain()
+        assert earley_recognizes(g, ["x"]) == cyk_recognizes(g, ["x"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b"]), max_size=8))
+def test_earley_matches_cyk(word):
+    g = anbn()
+    cnf = to_cnf(g)
+    assert earley_recognizes(g, word) == cyk_recognizes(cnf, word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["a"]), max_size=5))
+def test_earley_matches_derivation_oracle_on_nullables(word):
+    g = nullable_heavy()
+    assert earley_recognizes(g, word) == derives(g, word)

@@ -1,0 +1,161 @@
+"""Unit tests for grammars, classification, and the structural decider."""
+
+import pytest
+
+from repro.grammar import (
+    ChomskyType,
+    Grammar,
+    GrammarError,
+    Production,
+    chomsky_type,
+    is_formal_grammar,
+)
+
+
+def anbn() -> Grammar:
+    """The classic aⁿbⁿ grammar (context-free, not regular)."""
+    return Grammar(
+        {"S"},
+        {"a", "b"},
+        "S",
+        [Production(("S",), ("a", "S", "b")), Production(("S",), ())],
+    )
+
+
+def astar() -> Grammar:
+    """a* as a right-linear grammar."""
+    return Grammar(
+        {"S"},
+        {"a"},
+        "S",
+        [Production(("S",), ("a", "S")), Production(("S",), ())],
+    )
+
+
+class TestGrammar:
+    def test_valid_grammar_builds(self):
+        g = anbn()
+        assert g.start == "S"
+        assert len(g.productions) == 2
+
+    def test_empty_nonterminals_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar([], {"a"}, "S", [])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar({"S"}, {"S"}, "S", [])
+
+    def test_start_not_in_n_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar({"S"}, {"a"}, "X", [])
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar({"S"}, {"a"}, "S", [Production(("S",), ("z",))])
+
+    def test_terminal_only_lhs_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar({"S"}, {"a"}, "S", [Production(("a",), ("a",))])
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(GrammarError):
+            Production((), ("a",))
+
+    def test_productions_for(self):
+        g = anbn()
+        assert len(g.productions_for("S")) == 2
+
+    def test_pretty(self):
+        text = anbn().pretty()
+        assert "S → a S b" in text
+        assert "S → ε" in text
+
+
+class TestChomskyType:
+    def test_regular(self):
+        assert chomsky_type(astar()) == ChomskyType.REGULAR
+
+    def test_context_free(self):
+        assert chomsky_type(anbn()) == ChomskyType.CONTEXT_FREE
+
+    def test_context_sensitive(self):
+        # a S b -> a a b (noncontracting, multi-symbol lhs)
+        g = Grammar(
+            {"S"},
+            {"a", "b"},
+            "S",
+            [
+                Production(("S",), ("a", "S", "b")),
+                Production(("a", "S", "b"), ("a", "a", "b", "b")),
+            ],
+        )
+        assert chomsky_type(g) == ChomskyType.CONTEXT_SENSITIVE
+
+    def test_unrestricted(self):
+        g = Grammar(
+            {"S", "A"},
+            {"a"},
+            "S",
+            [Production(("S", "A"), ("a",)), Production(("S",), ("S", "A"))],
+        )
+        assert chomsky_type(g) == ChomskyType.UNRESTRICTED
+
+    def test_start_epsilon_allowed_in_cs(self):
+        g = Grammar(
+            {"S", "A"},
+            {"a"},
+            "S",
+            [
+                Production(("S",), ()),
+                Production(("S",), ("A", "A")),
+                Production(("A", "A"), ("a", "a")),
+            ],
+        )
+        # S -> ε is fine because S never occurs on a rhs
+        assert chomsky_type(g) == ChomskyType.CONTEXT_SENSITIVE
+
+    def test_left_linear_is_not_right_linear_here(self):
+        g = Grammar(
+            {"S"},
+            {"a"},
+            "S",
+            [Production(("S",), ("S", "a")), Production(("S",), ("a",))],
+        )
+        assert chomsky_type(g) == ChomskyType.CONTEXT_FREE
+
+
+class TestStructuralDecider:
+    """Q1's reference case: grammar membership is decidable from structure."""
+
+    def test_grammar_instance_accepted(self):
+        assert is_formal_grammar(anbn())
+
+    def test_raw_tuple_accepted(self):
+        raw = (
+            {"S"},
+            {"a", "b"},
+            "S",
+            [(("S",), ("a", "S", "b")), (("S",), ())],
+        )
+        assert is_formal_grammar(raw)
+
+    def test_wrong_shape_rejected(self):
+        assert not is_formal_grammar("a string")
+        assert not is_formal_grammar(({"S"}, {"a"}, "S"))  # 3-tuple
+        assert not is_formal_grammar(42)
+
+    def test_structurally_invalid_tuple_rejected(self):
+        raw = ({"S"}, {"S"}, "S", [])  # N and T overlap
+        assert not is_formal_grammar(raw)
+        raw = ({"S"}, {"a"}, "X", [])  # start outside N
+        assert not is_formal_grammar(raw)
+
+    def test_decision_is_use_independent(self):
+        """The same artifact is (or is not) a grammar regardless of its use —
+        unlike Gruber's 'formalization of a conceptualization'."""
+        raw = ({"S"}, {"a"}, "S", [(("S",), ("a",))])
+        # decide twice in different "contexts of use": same verdict
+        as_language_spec = is_formal_grammar(raw)
+        as_grocery_list_encoding = is_formal_grammar(raw)
+        assert as_language_spec == as_grocery_list_encoding == True  # noqa: E712

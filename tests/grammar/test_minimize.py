@@ -1,0 +1,76 @@
+"""Unit and property tests for DFA minimization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar import (
+    Grammar,
+    Production,
+    compile_regular,
+    minimize_dfa,
+)
+
+
+def ab_star() -> Grammar:
+    return Grammar(
+        {"S", "B"},
+        {"a", "b"},
+        "S",
+        [
+            Production(("S",), ("a", "B")),
+            Production(("B",), ("b", "S")),
+            Production(("S",), ()),
+        ],
+    )
+
+
+def redundant_grammar() -> Grammar:
+    """a* written with gratuitous duplicated nonterminals."""
+    return Grammar(
+        {"S", "T", "U"},
+        {"a"},
+        "S",
+        [
+            Production(("S",), ("a", "T")),
+            Production(("T",), ("a", "U")),
+            Production(("U",), ("a", "S")),
+            Production(("S",), ()),
+            Production(("T",), ()),
+            Production(("U",), ()),
+        ],
+    )
+
+
+class TestMinimize:
+    def test_language_preserved(self):
+        dfa = compile_regular(ab_star())
+        minimal = minimize_dfa(dfa)
+        for word in ([], ["a"], ["a", "b"], ["b"], ["a", "b", "a"],
+                     ["a", "b", "a", "b"], ["b", "a"]):
+            assert minimal.accepts(word) == dfa.accepts(word)
+
+    def test_redundant_states_collapse(self):
+        dfa = compile_regular(redundant_grammar())
+        minimal = minimize_dfa(dfa)
+        # the language is a*: one state suffices
+        assert len(minimal.states) < len(dfa.states)
+        assert len(minimal.states) == 1
+        for n in range(6):
+            assert minimal.accepts(["a"] * n)
+
+    def test_idempotent(self):
+        minimal = minimize_dfa(compile_regular(ab_star()))
+        again = minimize_dfa(minimal)
+        assert len(again.states) == len(minimal.states)
+
+    def test_minimal_size_for_ab_star(self):
+        # (ab)* needs exactly 2 live states (even/odd position)
+        minimal = minimize_dfa(compile_regular(ab_star()))
+        assert len(minimal.states) == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b"]), max_size=10))
+def test_minimized_agrees_on_random_words(word):
+    dfa = compile_regular(ab_star())
+    assert minimize_dfa(dfa).accepts(word) == dfa.accepts(word)

@@ -1,0 +1,206 @@
+"""Unit and property tests for CNF, CYK, derivations, and the DFA pipeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar import (
+    Grammar,
+    GrammarError,
+    Production,
+    compile_regular,
+    cyk_recognizes,
+    derivations,
+    derives,
+    generate,
+    grammar_to_nfa,
+    is_cnf,
+    nfa_to_dfa,
+    sample_sentences,
+    to_cnf,
+)
+
+
+def anbn() -> Grammar:
+    return Grammar(
+        {"S"},
+        {"a", "b"},
+        "S",
+        [Production(("S",), ("a", "S", "b")), Production(("S",), ())],
+    )
+
+
+def balanced_parens() -> Grammar:
+    return Grammar(
+        {"S"},
+        {"(", ")"},
+        "S",
+        [
+            Production(("S",), ("(", "S", ")")),
+            Production(("S",), ("S", "S")),
+            Production(("S",), ()),
+        ],
+    )
+
+
+def ab_star() -> Grammar:
+    """(ab)* as a right-linear grammar."""
+    return Grammar(
+        {"S", "B"},
+        {"a", "b"},
+        "S",
+        [
+            Production(("S",), ("a", "B")),
+            Production(("B",), ("b", "S")),
+            Production(("S",), ()),
+        ],
+    )
+
+
+class TestCNF:
+    def test_cnf_shape(self):
+        cnf = to_cnf(anbn())
+        assert is_cnf(cnf)
+
+    def test_cnf_preserves_epsilon(self):
+        cnf = to_cnf(anbn())
+        assert cyk_recognizes(cnf, [])
+
+    def test_cnf_requires_cfg(self):
+        g = Grammar(
+            {"S"}, {"a"}, "S", [Production(("S", "S"), ("a",)), Production(("S",), ("a",))]
+        )
+        with pytest.raises(GrammarError):
+            to_cnf(g)
+
+    def test_unit_chains_eliminated(self):
+        g = Grammar(
+            {"S", "A", "B"},
+            {"a"},
+            "S",
+            [
+                Production(("S",), ("A",)),
+                Production(("A",), ("B",)),
+                Production(("B",), ("a",)),
+            ],
+        )
+        cnf = to_cnf(g)
+        assert is_cnf(cnf)
+        assert cyk_recognizes(cnf, ["a"])
+
+    def test_long_rhs_binarized(self):
+        g = Grammar(
+            {"S"},
+            {"a", "b", "c", "d"},
+            "S",
+            [Production(("S",), ("a", "b", "c", "d"))],
+        )
+        cnf = to_cnf(g)
+        assert is_cnf(cnf)
+        assert cyk_recognizes(cnf, ["a", "b", "c", "d"])
+        assert not cyk_recognizes(cnf, ["a", "b", "c"])
+
+
+class TestCYK:
+    def test_anbn_membership(self):
+        g = anbn()
+        assert cyk_recognizes(g, [])
+        assert cyk_recognizes(g, ["a", "b"])
+        assert cyk_recognizes(g, ["a", "a", "b", "b"])
+        assert not cyk_recognizes(g, ["a", "b", "b"])
+        assert not cyk_recognizes(g, ["b", "a"])
+        assert not cyk_recognizes(g, ["a", "a", "b"])
+
+    def test_balanced_parens(self):
+        g = balanced_parens()
+        assert cyk_recognizes(g, list("()()"))
+        assert cyk_recognizes(g, list("(())"))
+        assert not cyk_recognizes(g, list("(()"))
+        assert not cyk_recognizes(g, list(")("))
+
+    def test_unknown_terminal_rejected(self):
+        with pytest.raises(GrammarError):
+            cyk_recognizes(anbn(), ["z"])
+
+
+class TestDerivations:
+    def test_enumeration_finds_small_sentences(self):
+        found = set()
+        for sentence in derivations(anbn(), max_length=6):
+            found.add(sentence)
+        assert () in found
+        assert ("a", "b") in found
+        assert ("a", "a", "b", "b") in found
+
+    def test_derives_oracle(self):
+        assert derives(anbn(), ["a", "b"])
+        assert not derives(anbn(), ["b", "a"])
+
+    def test_generate_produces_members(self):
+        g = balanced_parens()
+        sentence = generate(g, seed=3)
+        assert sentence is not None
+        assert cyk_recognizes(g, list(sentence))
+
+    def test_sample_sentences_deterministic(self):
+        s1 = sample_sentences(anbn(), 5, seed=1)
+        s2 = sample_sentences(anbn(), 5, seed=1)
+        assert s1 == s2
+
+
+class TestRegularPipeline:
+    def test_nfa_accepts(self):
+        nfa = grammar_to_nfa(ab_star())
+        assert nfa.accepts([])
+        assert nfa.accepts(["a", "b"])
+        assert nfa.accepts(["a", "b", "a", "b"])
+        assert not nfa.accepts(["a"])
+        assert not nfa.accepts(["b", "a"])
+
+    def test_dfa_agrees_with_nfa(self):
+        nfa = grammar_to_nfa(ab_star())
+        dfa = nfa_to_dfa(nfa)
+        for word in ([], ["a"], ["a", "b"], ["b"], ["a", "b", "a"], ["a", "b", "a", "b"]):
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    def test_compile_regular_rejects_cfg(self):
+        with pytest.raises(GrammarError):
+            compile_regular(anbn())
+
+    def test_multi_terminal_body(self):
+        g = Grammar(
+            {"S"},
+            {"a", "b", "c"},
+            "S",
+            [Production(("S",), ("a", "b", "c")), Production(("S",), ("a", "S"))],
+        )
+        dfa = compile_regular(g)
+        assert dfa.accepts(["a", "b", "c"])
+        assert dfa.accepts(["a", "a", "b", "c"])
+        assert not dfa.accepts(["a", "b"])
+
+
+# ---------------------------------------------------------------------- #
+# property-based: CYK agrees with the BFS derivation oracle, and the DFA
+# pipeline agrees with CYK on regular grammars
+# ---------------------------------------------------------------------- #
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4))
+def test_cyk_matches_anbn_ground_truth(n_a, n_b):
+    word = ["a"] * n_a + ["b"] * n_b
+    assert cyk_recognizes(anbn(), word) == (n_a == n_b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b"]), max_size=6))
+def test_cyk_matches_derivation_oracle(word):
+    assert cyk_recognizes(anbn(), word) == derives(anbn(), word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b"]), max_size=8))
+def test_dfa_matches_cyk_on_regular(word):
+    g = ab_star()
+    assert compile_regular(g).accepts(word) == cyk_recognizes(g, word)

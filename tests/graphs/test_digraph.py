@@ -1,0 +1,162 @@
+"""Unit tests for the labeled digraph."""
+
+import pytest
+
+from repro.graphs import DiGraph, GraphError
+
+
+def build_sample() -> DiGraph:
+    g = DiGraph()
+    g.add_node("car", label="concept")
+    g.add_edge("car", "motorvehicle", label="isa")
+    g.add_edge("car", "roadvehicle", label="isa")
+    g.add_edge("car", "small", label="size")
+    g.add_edge("motorvehicle", "gasoline", label="uses")
+    return g
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DiGraph()
+        assert len(g) == 0
+        assert g.edge_count() == 0
+        assert list(g.nodes()) == []
+
+    def test_add_node_with_label(self):
+        g = DiGraph()
+        g.add_node("a", label="x")
+        assert g.node_label("a") == "x"
+
+    def test_add_node_idempotent_keeps_label(self):
+        g = DiGraph()
+        g.add_node("a", label="x")
+        g.add_node("a")
+        assert g.node_label("a") == "x"
+
+    def test_add_node_updates_label(self):
+        g = DiGraph()
+        g.add_node("a", label="x")
+        g.add_node("a", label="y")
+        assert g.node_label("a") == "y"
+
+    def test_add_edge_creates_endpoints(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert "a" in g and "b" in g
+
+    def test_add_edge_idempotent(self):
+        g = DiGraph()
+        g.add_edge("a", "b", label="r")
+        g.add_edge("a", "b", label="r")
+        assert g.edge_count() == 1
+
+    def test_parallel_edges_different_labels(self):
+        g = DiGraph()
+        g.add_edge("a", "b", label="r")
+        g.add_edge("a", "b", label="s")
+        assert g.edge_count() == 2
+        assert g.edge_labels("a", "b") == frozenset({"r", "s"})
+
+
+class TestQueries:
+    def test_successors_and_predecessors(self):
+        g = build_sample()
+        assert set(g.successors("car")) == {"motorvehicle", "roadvehicle", "small"}
+        assert set(g.predecessors("gasoline")) == {"motorvehicle"}
+
+    def test_degrees(self):
+        g = build_sample()
+        assert g.out_degree("car") == 3
+        assert g.in_degree("motorvehicle") == 1
+        assert g.in_degree("car") == 0
+
+    def test_has_edge_with_and_without_label(self):
+        g = build_sample()
+        assert g.has_edge("car", "small")
+        assert g.has_edge("car", "small", label="size")
+        assert not g.has_edge("car", "small", label="isa")
+        assert not g.has_edge("small", "car")
+
+    def test_out_edges_in_edges(self):
+        g = build_sample()
+        assert ("gasoline", "uses") in set(g.out_edges("motorvehicle"))
+        assert ("car", "isa") in set(g.in_edges("motorvehicle"))
+
+    def test_unknown_node_raises(self):
+        g = build_sample()
+        with pytest.raises(GraphError):
+            list(g.successors("ghost"))
+        with pytest.raises(GraphError):
+            g.node_label("ghost")
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = build_sample()
+        g.remove_edge("car", "small", label="size")
+        assert not g.has_edge("car", "small")
+
+    def test_remove_missing_edge_raises(self):
+        g = build_sample()
+        with pytest.raises(GraphError):
+            g.remove_edge("car", "small", label="nope")
+
+    def test_remove_node_drops_incident_edges(self):
+        g = build_sample()
+        g.remove_node("motorvehicle")
+        assert "motorvehicle" not in g
+        assert not g.has_edge("car", "motorvehicle")
+        assert g.in_degree("gasoline") == 0
+
+    def test_remove_missing_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(GraphError):
+            g.remove_node("ghost")
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = build_sample()
+        h = g.copy()
+        h.add_edge("car", "new", label="x")
+        assert not g.has_edge("car", "new")
+        assert len(h) == len(g) + 1
+
+    def test_subgraph_induced(self):
+        g = build_sample()
+        sub = g.subgraph(["car", "motorvehicle", "gasoline"])
+        assert len(sub) == 3
+        assert sub.has_edge("car", "motorvehicle", label="isa")
+        assert sub.has_edge("motorvehicle", "gasoline", label="uses")
+        assert not sub.has_edge("car", "small")
+
+    def test_reversed_flips_edges(self):
+        g = build_sample()
+        r = g.reversed()
+        assert r.has_edge("motorvehicle", "car", label="isa")
+        assert not r.has_edge("car", "motorvehicle")
+        assert r.edge_count() == g.edge_count()
+
+    def test_relabel_nodes(self):
+        g = build_sample()
+        h = g.relabel_nodes({"car": "dog"})
+        assert "dog" in h and "car" not in h
+        assert h.has_edge("dog", "small", label="size")
+        assert h.node_label("dog") == "concept"
+
+    def test_relabel_merge_rejected(self):
+        g = build_sample()
+        with pytest.raises(GraphError):
+            g.relabel_nodes({"car": "small"})
+
+    def test_anonymized_erases_node_labels(self):
+        g = build_sample()
+        a = g.anonymized()
+        assert all(a.node_label(n) is None for n in a.nodes())
+        assert a.edge_count() == g.edge_count()
+
+    def test_to_dot_mentions_every_edge(self):
+        g = build_sample()
+        dot = g.to_dot()
+        assert '"car" -> "motorvehicle"' in dot
+        assert dot.startswith("digraph G {")

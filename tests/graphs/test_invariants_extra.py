@@ -1,0 +1,72 @@
+"""Additional edge-case tests for graph invariants and exports."""
+
+from repro.graphs import (
+    DiGraph,
+    edge_label_profile,
+    wl_certificate,
+    wl_colors,
+)
+
+
+def labeled_triangle() -> DiGraph:
+    g = DiGraph()
+    g.add_edge("a", "b", label="x")
+    g.add_edge("b", "c", label="y")
+    g.add_edge("c", "a", label="x")
+    return g
+
+
+class TestEdgeLabelProfile:
+    def test_multiset_of_labels(self):
+        profile = edge_label_profile(labeled_triangle())
+        assert len(profile) == 3
+        # two x's, one y — invariant under renaming
+        renamed = labeled_triangle().relabel_nodes({"a": "z"})
+        assert edge_label_profile(renamed) == profile
+
+    def test_none_labels_sort_first(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3, label="r")
+        profile = edge_label_profile(g)
+        assert profile[0] == ""  # None encodes as the empty key
+
+
+class TestWLColors:
+    def test_cycle_is_monochrome_modulo_labels(self):
+        g = DiGraph()
+        for u, v in [("a", "b"), ("b", "c"), ("c", "a")]:
+            g.add_edge(u, v, label="r")
+        colors = wl_colors(g)
+        assert len(set(colors.values())) == 1  # perfectly symmetric
+
+    def test_degree_asymmetry_splits_colors(self):
+        g = DiGraph()
+        g.add_edge("hub", "leaf1", label="r")
+        g.add_edge("hub", "leaf2", label="r")
+        colors = wl_colors(g)
+        assert colors["leaf1"] == colors["leaf2"]
+        assert colors["hub"] != colors["leaf1"]
+
+    def test_bounded_rounds(self):
+        g = labeled_triangle()
+        # one round is already stable here; certificate must not change
+        assert wl_certificate(g, rounds=1) == wl_certificate(g)
+
+    def test_empty_graph_certificate(self):
+        assert wl_certificate(DiGraph()) == ()
+
+
+class TestDotExport:
+    def test_node_labels_in_dot(self):
+        g = DiGraph()
+        g.add_node("x", label="concept")
+        dot = g.to_dot(name="Meaning")
+        assert "digraph Meaning" in dot
+        assert "[concept]" in dot
+
+    def test_edge_labels_in_dot(self):
+        g = labeled_triangle()
+        dot = g.to_dot()
+        assert '[label="x"]' in dot
+        assert '[label="y"]' in dot

@@ -1,0 +1,212 @@
+"""Unit and property tests for WL invariants and VF2 isomorphism."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    DiGraph,
+    are_isomorphic,
+    count_automorphisms,
+    degree_profile,
+    find_isomorphism,
+    is_isomorphism,
+    wl_certificate,
+    wl_distinguishes,
+)
+
+
+def path(labels=("r", "r")) -> DiGraph:
+    g = DiGraph()
+    g.add_edge(0, 1, label=labels[0])
+    g.add_edge(1, 2, label=labels[1])
+    return g
+
+
+def vehicle_shape(names) -> DiGraph:
+    """The paper's diagram (6)/(7) shape with parameterized node names."""
+    a, b, c, d, e, f, g_, h = names
+    g = DiGraph()
+    g.add_edge(d, b, label="isa")
+    g.add_edge(d, c, label="isa")
+    g.add_edge(e, b, label="isa")
+    g.add_edge(e, c, label="isa")
+    g.add_edge(d, f, label="size")
+    g.add_edge(e, g_, label="size")
+    g.add_edge(b, a, label="r1")
+    g.add_edge(c, h, label="r2")
+    return g
+
+
+class TestInvariants:
+    def test_degree_profile_invariant_under_renaming(self):
+        g1 = vehicle_shape(list("ABCDEFGH"))
+        g2 = vehicle_shape(list("STUVWXYZ"))
+        assert degree_profile(g1) == degree_profile(g2)
+
+    def test_degree_profile_differs_on_different_shape(self):
+        g1 = path()
+        g2 = DiGraph()
+        g2.add_edge(0, 1, label="r")
+        g2.add_edge(0, 2, label="r")
+        assert degree_profile(g1) != degree_profile(g2)
+
+    def test_wl_certificate_isomorphic_graphs_equal(self):
+        g1 = vehicle_shape(list("ABCDEFGH"))
+        g2 = vehicle_shape(list("STUVWXYZ"))
+        assert wl_certificate(g1) == wl_certificate(g2)
+
+    def test_wl_distinguishes_shape_difference(self):
+        g1 = path(("r", "r"))
+        g2 = path(("r", "s"))
+        assert wl_distinguishes(g1, g2)
+
+    def test_wl_does_not_distinguish_isomorphic(self):
+        g1 = vehicle_shape(list("ABCDEFGH"))
+        g2 = vehicle_shape(list("HGFEDCBA"))
+        assert not wl_distinguishes(g1, g2)
+
+    def test_wl_distinguishes_size_mismatch(self):
+        g1 = path()
+        g2 = DiGraph()
+        g2.add_edge(0, 1, label="r")
+        assert wl_distinguishes(g1, g2)
+
+
+class TestVF2:
+    def test_identity_isomorphism(self):
+        g = vehicle_shape(list("ABCDEFGH"))
+        mapping = find_isomorphism(g, g)
+        assert mapping is not None
+        assert is_isomorphism(g, g, mapping)
+
+    def test_renamed_graphs_isomorphic_when_labels_ignored(self):
+        g1 = vehicle_shape(list("ABCDEFGH"))
+        g2 = vehicle_shape(list("STUVWXYZ"))
+        mapping = find_isomorphism(g1, g2, respect_node_labels=False)
+        assert mapping is not None
+        assert is_isomorphism(g1, g2, mapping)  # labels are all None here
+
+    def test_node_labels_respected(self):
+        g1 = DiGraph()
+        g1.add_node("x", label="car")
+        g2 = DiGraph()
+        g2.add_node("y", label="dog")
+        assert find_isomorphism(g1, g2) is None
+        assert find_isomorphism(g1, g2, respect_node_labels=False) is not None
+
+    def test_edge_labels_respected(self):
+        g1 = path(("r", "r"))
+        g2 = path(("r", "s"))
+        assert not are_isomorphic(g1, g2)
+
+    def test_different_sizes_not_isomorphic(self):
+        g1 = path()
+        g2 = DiGraph()
+        g2.add_edge(0, 1, label="r")
+        assert not are_isomorphic(g1, g2)
+
+    def test_direction_matters(self):
+        g1 = DiGraph()
+        g1.add_edge("a", "b")
+        g1.add_edge("a", "c")
+        g2 = DiGraph()
+        g2.add_edge("b", "a")
+        g2.add_edge("c", "a")
+        assert not are_isomorphic(g1, g2, respect_node_labels=False)
+
+    def test_wl_prefilter_agrees_with_exact(self):
+        g1 = vehicle_shape(list("ABCDEFGH"))
+        g2 = vehicle_shape(list("STUVWXYZ"))
+        with_wl = find_isomorphism(g1, g2, respect_node_labels=False, use_wl_prefilter=True)
+        without = find_isomorphism(g1, g2, respect_node_labels=False, use_wl_prefilter=False)
+        assert (with_wl is None) == (without is None)
+
+    def test_is_isomorphism_rejects_bad_mapping(self):
+        g1 = path()
+        g2 = path()
+        assert not is_isomorphism(g1, g2, {0: 2, 1: 1, 2: 0})
+        assert not is_isomorphism(g1, g2, {0: 0, 1: 1})  # incomplete
+
+
+class TestAutomorphisms:
+    def test_asymmetric_graph_has_one_automorphism(self):
+        assert count_automorphisms(path()) == 1
+
+    def test_star_automorphisms(self):
+        g = DiGraph()
+        for leaf in ("x", "y", "z"):
+            g.add_edge("hub", leaf, label="r")
+        # leaves are interchangeable when labels are ignored: 3! = 6
+        assert count_automorphisms(g, respect_node_labels=False) == 6
+
+    def test_limit_respected(self):
+        g = DiGraph()
+        for leaf in range(6):
+            g.add_edge("hub", leaf, label="r")
+        assert count_automorphisms(g, respect_node_labels=False, limit=10) == 10
+
+
+# ---------------------------------------------------------------------- #
+# property-based: VF2 agrees with brute force on small graphs
+# ---------------------------------------------------------------------- #
+
+
+@st.composite
+def small_digraph(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    nodes = list(range(n))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(nodes),
+                st.sampled_from(nodes),
+                st.sampled_from(["r", "s"]),
+            ),
+            max_size=8,
+        )
+    )
+    g = DiGraph()
+    for node in nodes:
+        g.add_node(node)
+    for u, v, label in edges:
+        g.add_edge(u, v, label)
+    return g
+
+
+def brute_force_isomorphic(g1: DiGraph, g2: DiGraph) -> bool:
+    n1, n2 = list(g1.nodes()), list(g2.nodes())
+    if len(n1) != len(n2) or g1.edge_count() != g2.edge_count():
+        return False
+    for perm in itertools.permutations(n2):
+        mapping = dict(zip(n1, perm))
+        if all(
+            g2.has_edge(mapping[u], mapping[v], label) for u, v, label in g1.edges()
+        ):
+            return True
+    return False
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_digraph(), small_digraph())
+def test_vf2_matches_brute_force(g1, g2):
+    assert are_isomorphic(g1, g2, respect_node_labels=False) == brute_force_isomorphic(g1, g2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_digraph(), st.permutations(list(range(5))))
+def test_vf2_finds_isomorphism_after_renaming(g, perm):
+    mapping = {i: f"n{p}" for i, p in enumerate(perm)}
+    h = g.relabel_nodes(mapping)
+    found = find_isomorphism(g, h)
+    assert found is not None
+    assert is_isomorphism(g, h, found)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_digraph(), st.permutations(list(range(5))))
+def test_wl_never_separates_isomorphic_graphs(g, perm):
+    mapping = {i: f"n{p}" for i, p in enumerate(perm)}
+    h = g.relabel_nodes(mapping)
+    assert not wl_distinguishes(g, h)

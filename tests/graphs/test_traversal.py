@@ -1,0 +1,146 @@
+"""Unit tests for traversals, cycles, SCCs."""
+
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    GraphError,
+    bfs_order,
+    condensation,
+    dfs_order,
+    find_cycle,
+    has_path,
+    is_acyclic,
+    reachable_from,
+    shortest_path,
+    strongly_connected_components,
+    topological_sort,
+)
+
+
+def dag() -> DiGraph:
+    g = DiGraph()
+    for u, v in [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"), ("d", "e")]:
+        g.add_edge(u, v)
+    return g
+
+
+def cyclic() -> DiGraph:
+    # the paper's circularity shape: intensional -> world -> extensional -> intensional
+    g = DiGraph()
+    g.add_edge("intensional", "world")
+    g.add_edge("world", "extensional")
+    g.add_edge("extensional", "intensional")
+    g.add_edge("commitment", "intensional")
+    return g
+
+
+class TestSearch:
+    def test_bfs_order_starts_at_root(self):
+        order = bfs_order(dag(), "a")
+        assert order[0] == "a"
+        assert set(order) == {"a", "b", "c", "d", "e"}
+        assert order.index("d") > order.index("b")
+
+    def test_dfs_reaches_everything(self):
+        assert set(dfs_order(dag(), "a")) == {"a", "b", "c", "d", "e"}
+
+    def test_search_from_unknown_raises(self):
+        with pytest.raises(GraphError):
+            bfs_order(dag(), "zz")
+        with pytest.raises(GraphError):
+            dfs_order(dag(), "zz")
+
+    def test_reachable_from(self):
+        assert reachable_from(dag(), "b") == frozenset({"b", "d", "e"})
+
+    def test_shortest_path(self):
+        assert shortest_path(dag(), "a", "e") in (
+            ["a", "b", "d", "e"],
+            ["a", "c", "d", "e"],
+        )
+
+    def test_shortest_path_to_self(self):
+        assert shortest_path(dag(), "a", "a") == ["a"]
+
+    def test_shortest_path_absent(self):
+        assert shortest_path(dag(), "e", "a") is None
+
+    def test_has_path(self):
+        g = dag()
+        assert has_path(g, "a", "e")
+        assert not has_path(g, "e", "a")
+
+
+class TestTopologyAndCycles:
+    def test_topological_sort_respects_edges(self):
+        g = dag()
+        order = topological_sort(g)
+        pos = {n: i for i, n in enumerate(order)}
+        for u, v, _ in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_topological_sort_rejects_cycle(self):
+        with pytest.raises(GraphError):
+            topological_sort(cyclic())
+
+    def test_is_acyclic(self):
+        assert is_acyclic(dag())
+        assert not is_acyclic(cyclic())
+
+    def test_find_cycle_returns_closed_walk(self):
+        cycle = find_cycle(cyclic())
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        g = cyclic()
+        for u, v in zip(cycle, cycle[1:]):
+            assert g.has_edge(u, v)
+
+    def test_find_cycle_none_on_dag(self):
+        assert find_cycle(dag()) is None
+
+    def test_self_loop_cycle(self):
+        g = DiGraph()
+        g.add_edge("x", "x")
+        assert find_cycle(g) == ["x", "x"]
+        assert not is_acyclic(g)
+
+
+class TestSCC:
+    def test_scc_finds_the_circularity(self):
+        comps = strongly_connected_components(cyclic())
+        big = [c for c in comps if len(c) > 1]
+        assert big == [frozenset({"intensional", "world", "extensional"})]
+
+    def test_scc_on_dag_is_singletons(self):
+        comps = strongly_connected_components(dag())
+        assert all(len(c) == 1 for c in comps)
+        assert len(comps) == 5
+
+    def test_scc_reverse_topological(self):
+        comps = strongly_connected_components(dag())
+        pos = {next(iter(c)): i for i, c in enumerate(comps)}
+        # edges go from later components to earlier ones in the list
+        for u, v, _ in dag().edges():
+            assert pos[u] > pos[v]
+
+    def test_condensation_is_dag(self):
+        dag_graph, member = condensation(cyclic())
+        assert is_acyclic(dag_graph)
+        assert member["world"] == member["intensional"]
+        assert member["commitment"] != member["world"]
+        assert dag_graph.has_edge(member["commitment"], member["intensional"])
+
+    def test_scc_two_cycles(self):
+        g = DiGraph()
+        for u, v in [("a", "b"), ("b", "a"), ("c", "d"), ("d", "c"), ("b", "c")]:
+            g.add_edge(u, v)
+        comps = {frozenset(c) for c in strongly_connected_components(g)}
+        assert comps == {frozenset({"a", "b"}), frozenset({"c", "d"})}
+
+    def test_scc_deep_chain_no_recursion_error(self):
+        g = DiGraph()
+        for i in range(5000):
+            g.add_edge(i, i + 1)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 5001

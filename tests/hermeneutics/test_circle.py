@@ -1,0 +1,99 @@
+"""Unit tests for the hermeneutic circle as constraint propagation."""
+
+from repro.hermeneutics import CircleStatus, cut_circle, run_circle
+
+
+def bank_example():
+    """'I sat by the bank' — the whole construal settles the part sense."""
+    parts = {
+        "bank": frozenset({"river_bank", "money_bank"}),
+        "sat": frozenset({"rest_outdoors", "wait_indoors"}),
+    }
+    wholes = frozenset({"a_day_fishing", "a_loan_errand"})
+
+    def compatible(whole, part, sense):
+        table = {
+            ("a_day_fishing", "bank", "river_bank"): True,
+            ("a_day_fishing", "sat", "rest_outdoors"): True,
+            ("a_loan_errand", "bank", "money_bank"): True,
+            ("a_loan_errand", "sat", "wait_indoors"): True,
+        }
+        return table.get((whole, part, sense), False)
+
+    return parts, wholes, compatible
+
+
+class TestRunCircle:
+    def test_ambiguous_without_context(self):
+        parts, wholes, compatible = bank_example()
+        result = run_circle(parts, wholes, compatible)
+        assert result.status is CircleStatus.AMBIGUOUS
+        assert result.wholes == wholes
+
+    def test_context_makes_determinate(self):
+        parts, wholes, compatible = bank_example()
+        # the situation rules out the errand (we are outdoors, rods in hand)
+        result = run_circle(parts, frozenset({"a_day_fishing"}), compatible)
+        assert result.status is CircleStatus.DETERMINATE
+        assert result.sense_of("bank") == "river_bank"
+        assert result.sense_of("sat") == "rest_outdoors"
+
+    def test_part_constrains_whole(self):
+        parts, wholes, compatible = bank_example()
+        # the reader already settled 'bank' as money_bank (say, from a
+        # previous sentence): the whole follows
+        narrowed = dict(parts, bank=frozenset({"money_bank"}))
+        result = run_circle(narrowed, wholes, compatible)
+        assert result.status is CircleStatus.DETERMINATE
+        assert result.wholes == frozenset({"a_loan_errand"})
+
+    def test_incoherent_reading(self):
+        parts, wholes, compatible = bank_example()
+        narrowed = dict(parts, bank=frozenset({"money_bank"}))
+        result = run_circle(narrowed, frozenset({"a_day_fishing"}), compatible)
+        assert result.status is CircleStatus.INCOHERENT
+
+    def test_fixpoint_reached_quickly(self):
+        parts, wholes, compatible = bank_example()
+        result = run_circle(parts, wholes, compatible)
+        assert result.iterations <= 3
+
+    def test_sense_of_none_when_open(self):
+        parts, wholes, compatible = bank_example()
+        result = run_circle(parts, wholes, compatible)
+        assert result.sense_of("bank") is None
+
+
+class TestCutCircle:
+    def test_right_codification_matches_situated_reading(self):
+        parts, wholes, compatible = bank_example()
+        result = cut_circle(
+            parts,
+            frozenset({"a_day_fishing"}),
+            compatible,
+            {"bank": "river_bank", "sat": "rest_outdoors"},
+        )
+        assert result.status is CircleStatus.DETERMINATE
+
+    def test_wrong_codification_breaks_the_reading(self):
+        """Ontology's cut: senses fixed in advance, situation disagrees."""
+        parts, wholes, compatible = bank_example()
+        result = cut_circle(
+            parts,
+            frozenset({"a_day_fishing"}),
+            compatible,
+            {"bank": "money_bank", "sat": "wait_indoors"},
+        )
+        assert result.status is CircleStatus.INCOHERENT
+
+    def test_cut_loses_ambiguity_information(self):
+        # with both wholes live, the honest status is AMBIGUOUS; the cut
+        # forces determinacy the text does not license
+        parts, wholes, compatible = bank_example()
+        open_reading = run_circle(parts, wholes, compatible)
+        cut_reading = cut_circle(
+            parts, wholes, compatible, {"bank": "river_bank", "sat": "rest_outdoors"}
+        )
+        assert open_reading.status is CircleStatus.AMBIGUOUS
+        assert cut_reading.status is CircleStatus.DETERMINATE
+        assert cut_reading.wholes < open_reading.wholes

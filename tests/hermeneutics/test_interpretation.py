@@ -1,0 +1,169 @@
+"""Unit tests for situated interpretation — the trespass scenario (Q5)."""
+
+import pytest
+
+from repro.corpora.trespass import (
+    AS_NEWSPAPER_HEADLINE,
+    IN_SIGN_SHOP,
+    ON_BUILDING_DOOR,
+    PROPERTYLESS_READER,
+    TRESPASS_TEXT,
+    WESTERN_ADULT,
+    all_scenarios,
+    trespass_interpreter,
+)
+from repro.hermeneutics import (
+    ALGORITHMIC_READER,
+    Convention,
+    Discourse,
+    HermeneuticError,
+    Interpreter,
+    Reader,
+    Situation,
+    Text,
+    formalization,
+    interpretation_drift,
+)
+
+
+class TestScenario:
+    def test_on_door_western_adult_reads_a_threat(self):
+        interpreter = trespass_interpreter()
+        reading = interpreter.interpret(TRESPASS_TEXT, ON_BUILDING_DOOR, WESTERN_ADULT)
+        assert reading.speech_act == "threat"
+        assert "trespasser_means_the_reader_if_entering" in reading.propositions
+        assert "the_threat_is_felt" in reading.propositions
+
+    def test_conventions_chain_in_order(self):
+        interpreter = trespass_interpreter()
+        reading = interpreter.interpret(TRESPASS_TEXT, ON_BUILDING_DOOR, WESTERN_ADULT)
+        fired = list(reading.fired)
+        assert fired.index("door sign speaks for the proprietor") < fired.index(
+            "trespasser refers to the reader"
+        )
+        assert fired.index("trespasser refers to the reader") < fired.index(
+            "the sign is a threat"
+        )
+
+    def test_same_text_in_shop_is_merchandise(self):
+        interpreter = trespass_interpreter()
+        reading = interpreter.interpret(TRESPASS_TEXT, IN_SIGN_SHOP, WESTERN_ADULT)
+        assert reading.speech_act == "display of goods"
+        assert "no_one_is_threatened_here" in reading.propositions
+        assert "entering_risks_punishment" not in reading.propositions
+
+    def test_same_text_as_headline_is_a_report(self):
+        interpreter = trespass_interpreter()
+        reading = interpreter.interpret(TRESPASS_TEXT, AS_NEWSPAPER_HEADLINE, WESTERN_ADULT)
+        assert reading.speech_act == "report"
+
+    def test_reader_without_property_discourse_misses_the_threat(self):
+        interpreter = trespass_interpreter()
+        reading = interpreter.interpret(
+            TRESPASS_TEXT, ON_BUILDING_DOOR, PROPERTYLESS_READER
+        )
+        assert reading.speech_act is None
+        assert "trespasser_means_the_reader_if_entering" not in reading.propositions
+
+    def test_algorithmic_reader_without_situation_gets_nothing(self):
+        interpreter = trespass_interpreter()
+        reading = interpreter.interpret(TRESPASS_TEXT, None, ALGORITHMIC_READER)
+        assert reading.propositions == frozenset()
+        assert reading.speech_acts == frozenset()
+        # but the text cues alone matched several conventions: all blocked
+        assert len(reading.blocked) > 0
+
+    def test_situated_gap_is_the_papers_point(self):
+        interpreter = trespass_interpreter()
+        gap = interpreter.situated_gap(TRESPASS_TEXT, ON_BUILDING_DOOR, WESTERN_ADULT)
+        assert "entering_risks_punishment" in gap
+        assert len(gap) >= 4  # none of the understanding was "in the text"
+
+    def test_interpretations_differ_across_situations(self):
+        interpreter = trespass_interpreter()
+        door = interpreter.interpret(TRESPASS_TEXT, ON_BUILDING_DOOR, WESTERN_ADULT)
+        shop = interpreter.interpret(TRESPASS_TEXT, IN_SIGN_SHOP, WESTERN_ADULT)
+        assert not door.agrees_with(shop)
+
+
+class TestRecoding:
+    def test_ontological_recoding_drifts(self):
+        interpreter = trespass_interpreter()
+        # normalize the sign into a controlled vocabulary, dropping the
+        # material features (medium, dating) as 'irrelevant'
+        recode = formalization(
+            "forall x. trespasses(x) -> prosecuted(x)",
+            kept=["speech"],
+        )
+        report = interpretation_drift(
+            interpreter, TRESPASS_TEXT, recode(TRESPASS_TEXT), all_scenarios()
+        )
+        assert not report.meaning_preserved
+        assert report.drift > 0
+        # the drift happens exactly where the dropped features mattered
+        assert ("on a building door", "western adult") in report.divergent
+
+    def test_identity_recoding_preserves_meaning(self):
+        interpreter = trespass_interpreter()
+        report = interpretation_drift(
+            interpreter, TRESPASS_TEXT, TRESPASS_TEXT, all_scenarios()
+        )
+        assert report.meaning_preserved
+        assert report.drift == 0.0
+
+
+class TestMachinery:
+    def test_duplicate_convention_names_rejected(self):
+        c = Convention(
+            name="dup",
+            discourse="d",
+            yields=frozenset({"p"}),
+        )
+        d1 = Discourse("d", (c,))
+        with pytest.raises(HermeneuticError):
+            Interpreter([d1, d1])
+
+    def test_vacuous_convention_rejected(self):
+        with pytest.raises(HermeneuticError):
+            Convention(name="empty", discourse="d")
+
+    def test_discourse_name_mismatch_rejected(self):
+        c = Convention(name="c", discourse="other", yields=frozenset({"p"}))
+        with pytest.raises(HermeneuticError):
+            Discourse("d", (c,))
+
+    def test_text_and_situation_feature_access(self):
+        assert TRESPASS_TEXT.has("medium", "durable")
+        assert not TRESPASS_TEXT.has("medium", "paper")
+        assert ON_BUILDING_DOOR.has("placement", "on_door")
+
+    def test_reader_knows(self):
+        assert WESTERN_ADULT.knows("private_property_exists")
+        assert not PROPERTYLESS_READER.knows("private_property_exists")
+
+    def test_all_scenarios_cartesian(self):
+        # 4 situations × 2 readers
+        assert len(all_scenarios()) == 8
+
+
+class TestFictionScenario:
+    def test_same_text_in_a_novel_is_narration(self):
+        from repro.corpora import QUOTED_IN_A_NOVEL
+
+        interpreter = trespass_interpreter()
+        reading = interpreter.interpret(TRESPASS_TEXT, QUOTED_IN_A_NOVEL, WESTERN_ADULT)
+        assert reading.speech_act == "narrated utterance"
+        assert "no_actual_prosecution_is_threatened" in reading.propositions
+        assert "entering_risks_punishment" not in reading.propositions
+
+    def test_fiction_needs_no_special_background(self):
+        from repro.corpora import QUOTED_IN_A_NOVEL
+        from repro.hermeneutics import ALGORITHMIC_READER
+
+        interpreter = trespass_interpreter()
+        # even the algorithmic reader, given the genre situation, gets the
+        # narration reading: the convention requires no background here
+        reading = interpreter.interpret(
+            TRESPASS_TEXT, QUOTED_IN_A_NOVEL, ALGORITHMIC_READER
+        )
+        assert reading.speech_act == "narrated utterance"

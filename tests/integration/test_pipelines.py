@@ -1,0 +1,285 @@
+"""Integration tests: pipelines spanning several subpackages.
+
+Each test exercises a realistic end-to-end flow — the library as a
+downstream user would compose it — rather than one module's contract.
+"""
+
+import pytest
+
+from repro import (
+    Atomic,
+    Pattern,
+    Query,
+    Reasoner,
+    TripleStore,
+    Var,
+    classify,
+    critique,
+    instances_of,
+    materialize,
+    parse_concept,
+    parse_tbox,
+)
+from repro.core import Section, Severity
+from repro.corpora import (
+    age_lexicalizations,
+    animal_tbox,
+    vehicle_tbox,
+)
+from repro.order import Poset
+from repro.osa import (
+    AttributeValueAxiom,
+    DataDomain,
+    DisjointAxiom,
+    Equation,
+    EquationalTheory,
+    OntologySignature,
+    Ontonomy,
+    OpDecl,
+    OrderSortedSignature,
+    OSApp,
+    OSVar,
+    SignatureModel,
+    constant,
+    term_algebra,
+)
+
+
+class TestInformationSystemPipeline:
+    """store → materialize → query → critique: the EDBT scenario."""
+
+    def build_fleet(self) -> TripleStore:
+        store = TripleStore()
+        store.update(
+            [
+                ("herbie", "type", "car"),
+                ("bigfoot", "type", "pickup"),
+                ("van", "type", "motorvehicle"),
+            ]
+        )
+        return store
+
+    def test_materialized_store_answers_taxonomic_queries(self):
+        tbox = vehicle_tbox()
+        inferred = materialize(self.build_fleet(), tbox)
+        x = Var("x")
+        motor = Query([Pattern(x, "type", "motorvehicle")]).run(inferred)
+        assert motor == [("bigfoot",), ("herbie",), ("van",)]
+        road = Query([Pattern(x, "type", "roadvehicle")]).run(inferred)
+        assert road == [("bigfoot",), ("herbie",)]
+
+    def test_complex_concept_queries_without_materializing(self):
+        tbox = vehicle_tbox()
+        rows = instances_of(
+            self.build_fleet(), tbox, parse_concept("some uses.gasoline")
+        )
+        assert rows == ["bigfoot", "herbie", "van"]
+
+    def test_critique_of_the_deployed_ontology(self):
+        tbox = vehicle_tbox()
+        report = critique(
+            tbox,
+            label="fleet ontology",
+            contrast_tboxes=[("animals", animal_tbox())],
+            lexicalizations=age_lexicalizations(),
+            regress_term="car",
+        )
+        # the deployed ontology has the full §2+§3 defect set
+        codes = {f.code for f in report.defects()}
+        assert "meaning-collision-cross" in codes
+        assert "confusable-sibling" in codes
+        assert "guarino-overbreadth" in codes
+        # and the render names the artifact
+        assert "fleet ontology" in report.render()
+
+
+class TestDLtoBCMBridge:
+    """Rebuild the vehicle taxonomy in the BCM formalism and cross-check
+    the inferred DL hierarchy against the declared class hierarchy."""
+
+    def size_domain(self) -> DataDomain:
+        sig = OrderSortedSignature(
+            Poset(["Size"], []),
+            [OpDecl("small", (), "Size"), OpDecl("big", (), "Size")],
+        )
+        theory = EquationalTheory(sig, [])
+        return DataDomain(theory, term_algebra(theory))
+
+    def test_hierarchies_agree(self):
+        hierarchy = classify(vehicle_tbox())
+        classes = ["car", "pickup", "motorvehicle", "roadvehicle"]
+        pairs = [
+            (a, b)
+            for a in classes
+            for b in classes
+            if a != b and hierarchy.is_subsumed_by(a, b)
+        ]
+        bcm_classes = Poset(classes, pairs)
+        signature = OntologySignature(
+            self.size_domain(),
+            bcm_classes,
+            {(c, "Size"): {"size"} for c in classes},
+        )
+        # the DL-inferred order IS the BCM class hierarchy
+        assert signature.classes.leq("car", "motorvehicle")
+        assert signature.classes.leq("pickup", "roadvehicle")
+        assert not signature.classes.leq("motorvehicle", "car")
+
+    def test_bcm_model_checks_the_same_facts(self):
+        hierarchy = classify(vehicle_tbox())
+        classes = ["car", "pickup", "motorvehicle", "roadvehicle"]
+        pairs = [
+            (a, b)
+            for a in classes
+            for b in classes
+            if a != b and hierarchy.is_subsumed_by(a, b)
+        ]
+        signature = OntologySignature(
+            self.size_domain(),
+            Poset(classes, pairs),
+            {(c, "Size"): {"size"} for c in classes},
+        )
+        onto = Ontonomy(
+            signature,
+            [
+                DisjointAxiom("car", "pickup"),
+                AttributeValueAxiom("car", "size", frozenset({constant("small")})),
+            ],
+        )
+        small, big = constant("small"), constant("big")
+        model = SignatureModel(
+            signature,
+            {
+                "car": ["herbie"],
+                "pickup": ["bigfoot"],
+                "motorvehicle": ["herbie", "bigfoot"],
+                "roadvehicle": ["herbie", "bigfoot"],
+            },
+            {
+                ("car", "size"): {"herbie": small},
+                ("pickup", "size"): {"bigfoot": big},
+                ("motorvehicle", "size"): {"herbie": small, "bigfoot": big},
+                ("roadvehicle", "size"): {"herbie": small, "bigfoot": big},
+            },
+        )
+        assert onto.is_model(model)
+
+
+class TestOSAFullStack:
+    """theory → initial algebra → data domain → signature → ontonomy."""
+
+    def test_end_to_end(self):
+        sig = OrderSortedSignature(
+            Poset(["Flag"], []),
+            [
+                OpDecl("yes", (), "Flag"),
+                OpDecl("no", (), "Flag"),
+                OpDecl("neg", ("Flag",), "Flag"),
+            ],
+        )
+        theory = EquationalTheory(
+            sig,
+            [
+                Equation(OSApp("neg", (constant("yes"),)), constant("no")),
+                Equation(OSApp("neg", (constant("no"),)), constant("yes")),
+            ],
+        )
+        domain = DataDomain(theory, term_algebra(theory))
+        classes = Poset(["thing", "gadget"], [("gadget", "thing")])
+        signature = OntologySignature(
+            domain,
+            classes,
+            {("thing", "Flag"): {"powered"}, ("gadget", "Flag"): {"powered"}},
+        )
+        onto = Ontonomy(
+            signature,
+            [AttributeValueAxiom("gadget", "powered", frozenset({constant("yes")}))],
+        )
+        model = SignatureModel(
+            signature,
+            {"thing": ["rock", "phone"], "gadget": ["phone"]},
+            {
+                ("thing", "powered"): {"rock": constant("no"), "phone": constant("yes")},
+                ("gadget", "powered"): {"phone": constant("yes")},
+            },
+        )
+        assert onto.is_model(model)
+        # flipping the phone's flag breaks the axiom
+        broken = SignatureModel(
+            signature,
+            {"thing": ["rock", "phone"], "gadget": ["phone"]},
+            {
+                ("thing", "powered"): {"rock": constant("no"), "phone": constant("no")},
+                ("gadget", "powered"): {"phone": constant("no")},
+            },
+        )
+        assert not onto.is_model(broken)
+
+
+class TestCritiqueAgainstItsOwnSubstrates:
+    """The engine run over artifacts the other substrates produced."""
+
+    def test_random_information_system_roundtrip(self, tmp_path):
+        from repro.corpora import random_tbox
+        from repro.store import load_jsonl, save_jsonl
+
+        tbox = random_tbox(99, n_defined=4, n_primitive=3, n_roles=2)
+        defined = sorted(tbox.defined_names())
+        store = TripleStore()
+        for i, name in enumerate(defined):
+            store.add(f"item{i}", "type", name)
+        inferred = materialize(store, tbox)
+        path = tmp_path / "system.jsonl"
+        save_jsonl(inferred, path)
+        reloaded = load_jsonl(path)
+        assert {tuple(t) for t in reloaded} == {tuple(t) for t in inferred}
+
+        report = critique(tbox, label="generated ontology")
+        assert report.by_code("confusable-sibling")
+        assert report.section(Section.PRAGMATIC)
+
+    def test_reasoner_and_engine_agree_on_collisions(self):
+        # if the engine says car ≡ pickup structurally, the REASONER must
+        # still distinguish them (they are not logically equivalent) —
+        # the whole point: structure identifies what logic separates
+        tbox = vehicle_tbox()
+        report = critique(tbox, label="v")
+        internal = [
+            f for f in report.by_code("meaning-collision") if "car" in f.title
+        ]
+        assert internal  # structural identity found
+        r = Reasoner(tbox)
+        assert not r.equivalent(Atomic("car"), Atomic("pickup"))
+
+
+class TestFullCircleSerialization:
+    """Build a sibling programmatically, serialize it, critique via CLI."""
+
+    def test_sibling_round_trip_through_cli(self, tmp_path, capsys):
+        from repro.__main__ import main
+        from repro.core import confusable_sibling
+        from repro.dl import tbox_to_text
+
+        tbox = vehicle_tbox()
+        sibling, name_map, _ = confusable_sibling(tbox, suffix="_x")
+
+        original_path = tmp_path / "vehicles.tbox"
+        sibling_path = tmp_path / "sibling.tbox"
+        original_path.write_text(tbox_to_text(tbox), encoding="utf-8")
+        sibling_path.write_text(tbox_to_text(sibling), encoding="utf-8")
+
+        code = main(
+            ["critique", str(original_path), "--contrast", str(sibling_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # the CLI finds the cross-collision with the manufactured rival
+        assert f"car means the same as sibling's {name_map['car']}" in out
+
+    def test_serialized_tbox_reasoner_equivalent(self, tmp_path):
+        from repro.dl import Atomic, classify, parse_tbox, tbox_to_text
+
+        tbox = vehicle_tbox()
+        reparsed = parse_tbox(tbox_to_text(tbox))
+        h1, h2 = classify(tbox), classify(reparsed)
+        assert h1.poset == h2.poset

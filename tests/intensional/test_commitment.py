@@ -1,0 +1,159 @@
+"""Unit tests for ontological commitments and the approximation metric."""
+
+import pytest
+
+from repro.intensional import (
+    CommitmentError,
+    IntensionalRelation,
+    OntologicalCommitment,
+    World,
+    WorldSpace,
+    approximation_report,
+    is_ontonomy_per_guarino,
+)
+from repro.logic import Atom, FNot, Structure, TConst, TVar, Forall, FImplies, Vocabulary
+
+
+def space_two_blocks() -> WorldSpace:
+    def make(name, above):
+        return World(
+            name,
+            Structure(
+                ["a", "b"],
+                constants={"a": "a", "b": "b"},
+                relations={"above": above},
+            ),
+        )
+
+    return WorldSpace(
+        [
+            make("none", []),
+            make("ab", [("a", "b")]),
+            make("ba", [("b", "a")]),
+        ]
+    )
+
+
+def commitment() -> OntologicalCommitment:
+    space = space_two_blocks()
+    vocabulary = Vocabulary(constants=frozenset({"a", "b"}), predicates={"above": 2})
+    rel = IntensionalRelation.from_predicate("above", 2, space)
+    return OntologicalCommitment(vocabulary, space, {"above": rel})
+
+
+class TestCommitment:
+    def test_extensional_model_per_world(self):
+        k = commitment()
+        m = k.extensional_model("ab")
+        assert m.relations["above"] == frozenset({("a", "b")})
+        assert m.constants == {"a": "a", "b": "b"}
+
+    def test_intended_models_one_per_world(self):
+        k = commitment()
+        assert len(k.intended_models()) == 3
+
+    def test_missing_predicate_rejected(self):
+        space = space_two_blocks()
+        vocabulary = Vocabulary(constants=frozenset(), predicates={"above": 2})
+        with pytest.raises(CommitmentError):
+            OntologicalCommitment(vocabulary, space, {})
+
+    def test_arity_mismatch_rejected(self):
+        space = space_two_blocks()
+        vocabulary = Vocabulary(constants=frozenset(), predicates={"above": 1})
+        rel = IntensionalRelation.from_predicate("above", 2, space)
+        with pytest.raises(CommitmentError):
+            OntologicalCommitment(vocabulary, space, {"above": rel})
+
+    def test_unknown_constant_rejected(self):
+        space = space_two_blocks()
+        vocabulary = Vocabulary(constants=frozenset({"zz"}), predicates={"above": 2})
+        rel = IntensionalRelation.from_predicate("above", 2, space)
+        with pytest.raises(CommitmentError):
+            OntologicalCommitment(vocabulary, space, {"above": rel})
+
+    def test_function_symbols_rejected(self):
+        space = space_two_blocks()
+        vocabulary = Vocabulary(
+            constants=frozenset(), functions={"f": 1}, predicates={"above": 2}
+        )
+        rel = IntensionalRelation.from_predicate("above", 2, space)
+        with pytest.raises(CommitmentError):
+            OntologicalCommitment(vocabulary, space, {"above": rel})
+
+
+class TestApproximation:
+    def test_irreflexivity_axiom_captures_all_intended(self):
+        k = commitment()
+        x = TVar("x")
+        irreflexive = Forall("x", FNot(Atom("above", (x, x))))
+        report = approximation_report([irreflexive], k)
+        assert report.intended == 3
+        assert report.captured == 3  # all intended worlds are irreflexive
+        assert report.admitted > 0  # but plenty of junk is admitted too
+        assert report.recall == 1.0
+        assert report.precision < 1.0
+
+    def test_tight_axioms_raise_precision(self):
+        k = commitment()
+        a, b = TConst("a"), TConst("b")
+        x, y = TVar("x"), TVar("y")
+        axioms = [
+            Forall("x", FNot(Atom("above", (x, x)))),
+            # antisymmetry
+            Forall(
+                "x",
+                Forall(
+                    "y",
+                    FImplies(Atom("above", (x, y)), FNot(Atom("above", (y, x)))),
+                ),
+            ),
+        ]
+        loose = approximation_report([axioms[0]], k)
+        tight = approximation_report(axioms, k)
+        assert tight.admitted < loose.admitted
+        assert tight.precision > loose.precision
+
+    def test_contradiction_captures_nothing(self):
+        k = commitment()
+        a = TConst("a")
+        contradiction = Atom("above", (a, a))
+        x = TVar("x")
+        axioms = [contradiction, Forall("x", FNot(Atom("above", (x, x))))]
+        report = approximation_report(axioms, k)
+        assert report.captured == 0
+        assert report.recall == 0.0
+
+    def test_empty_axiom_set_captures_everything(self):
+        k = commitment()
+        report = approximation_report([], k)
+        assert report.captured == report.intended == 3
+        # every structure over D qualifies: 2^4 relations minus 3 intended
+        assert report.admitted == 16 - 3
+
+    def test_is_ontonomy_per_guarino_overbreadth(self):
+        """The critique: with 'approximates' read literally, almost anything passes."""
+        k = commitment()
+        # the empty theory is an ontonomy for the blocks commitment
+        assert is_ontonomy_per_guarino([], k)
+        # a contradiction is the only reject
+        a = TConst("a")
+        x = TVar("x")
+        axioms = [Atom("above", (a, a)), Forall("x", FNot(Atom("above", (x, x))))]
+        assert not is_ontonomy_per_guarino(axioms, k)
+
+    def test_threshold_restores_discrimination(self):
+        k = commitment()
+        x, y = TVar("x"), TVar("y")
+        good = [
+            Forall("x", FNot(Atom("above", (x, x)))),
+            Forall(
+                "y",
+                Forall(
+                    "x",
+                    FImplies(Atom("above", (x, y)), FNot(Atom("above", (y, x)))),
+                ),
+            ),
+        ]
+        assert is_ontonomy_per_guarino(good, k, min_jaccard=0.3)
+        assert not is_ontonomy_per_guarino([], k, min_jaccard=0.3)

@@ -1,0 +1,117 @@
+"""Unit tests for the circularity analysis and the over-breadth exhibits."""
+
+from repro.intensional import (
+    GUARINO_DEPENDENCIES,
+    Dependency,
+    analyze,
+    c_program,
+    contradiction,
+    dependency_graph,
+    grocery_list,
+    guarino_circularity,
+    kripke_circularity,
+    paper_exhibits,
+    qualification_rate,
+    qualifies,
+    random_literal_set,
+    tautology_set,
+    tax_return_form,
+    witness_model,
+)
+
+
+class TestCircularity:
+    def test_guarino_is_circular(self):
+        report = guarino_circularity()
+        assert report.is_circular
+        (component,) = report.components
+        assert component == frozenset(
+            {"intensional_relation", "possible_world", "extensional_relation"}
+        )
+
+    def test_witness_cycle_is_a_real_cycle(self):
+        report = guarino_circularity()
+        cycle = report.witness_cycle
+        assert cycle[0] == cycle[-1]
+        graph = dependency_graph(GUARINO_DEPENDENCIES)
+        for u, v in zip(cycle, cycle[1:]):
+            assert graph.has_edge(u, v)
+
+    def test_kripke_control_is_acyclic(self):
+        report = kripke_circularity()
+        assert not report.is_circular
+        assert report.components == ()
+
+    def test_explain_mentions_every_step(self):
+        text = guarino_circularity().explain()
+        assert "circularity detected" in text
+        assert "intensional_relation" in text
+        assert "possible_world" in text
+
+    def test_explain_clean_bill(self):
+        assert "No definitional circularity" in kripke_circularity().explain()
+
+    def test_analyze_custom_dependencies(self):
+        report = analyze(
+            [
+                Dependency("a", "b", "a needs b"),
+                Dependency("b", "a", "b needs a"),
+                Dependency("c", "a", "c needs a"),
+            ]
+        )
+        assert report.is_circular
+        assert frozenset({"a", "b"}) in report.components
+
+    def test_self_dependency_is_circular(self):
+        report = analyze([Dependency("a", "a", "a presupposes itself")])
+        assert report.is_circular
+
+
+class TestOverbreadth:
+    def test_tautologies_qualify(self):
+        assert qualifies(tautology_set())
+
+    def test_grocery_list_qualifies(self):
+        assert qualifies(grocery_list())
+
+    def test_tax_return_qualifies(self):
+        assert qualifies(tax_return_form())
+
+    def test_c_program_qualifies(self):
+        assert qualifies(c_program())
+
+    def test_contradiction_is_the_only_reject(self):
+        exhibits = paper_exhibits()
+        verdicts = {c.title: qualifies(c) for c in exhibits}
+        assert verdicts == {
+            "3 tautologies": True,
+            "grocery list": True,
+            "tax return form": True,
+            "C program": True,
+            "contradiction": False,
+        }
+
+    def test_witness_model_satisfies_axioms(self):
+        candidate = grocery_list()
+        model = witness_model(candidate)
+        assert model is not None
+        assert model.satisfies_all(candidate.axioms)
+
+    def test_witness_model_none_for_contradiction(self):
+        assert witness_model(contradiction()) is None
+
+    def test_random_literal_sets_mostly_qualify(self):
+        rate = qualification_rate(seed=7, samples=60, n_literals=3)
+        assert rate > 0.5  # the paper's point: the test excludes almost nothing
+
+    def test_qualification_rate_decreases_with_literals(self):
+        few = qualification_rate(seed=1, samples=60, n_literals=2)
+        many = qualification_rate(seed=1, samples=60, n_literals=10)
+        assert many <= few
+
+    def test_random_literal_set_deterministic_given_seed(self):
+        import random
+
+        c1 = random_literal_set(random.Random(5))
+        c2 = random_literal_set(random.Random(5))
+        assert c1.axioms == c2.axioms

@@ -1,0 +1,111 @@
+"""Unit tests for the OntoClean-style rigidity analysis."""
+
+import pytest
+
+from repro.intensional import (
+    IntensionalRelation,
+    Rigidity,
+    World,
+    WorldError,
+    WorldSpace,
+    check_taxonomy,
+    classify_rigidity,
+    essential_instances,
+    instances_somewhere,
+    rigidity_profile,
+)
+from repro.logic import Structure
+
+
+def person_student_space() -> WorldSpace:
+    """Three snapshots of two people: alice is always a person; her being
+    a student comes and goes; bob is never either."""
+
+    def make(name, students):
+        return World(
+            name,
+            Structure(
+                ["alice", "bob"],
+                constants={},
+                relations={
+                    "person": [("alice",)],
+                    "student": [(s,) for s in students],
+                    "likes": [("alice", "bob")],
+                },
+            ),
+        )
+
+    return WorldSpace([make("w0", []), make("w1", ["alice"]), make("w2", [])])
+
+
+def lift(space: WorldSpace, predicate: str) -> IntensionalRelation:
+    return IntensionalRelation.from_predicate(predicate, 1, space)
+
+
+class TestClassification:
+    def test_rigid_property(self):
+        space = person_student_space()
+        assert classify_rigidity(lift(space, "person")) is Rigidity.RIGID
+
+    def test_anti_rigid_property(self):
+        space = person_student_space()
+        assert classify_rigidity(lift(space, "student")) is Rigidity.ANTI_RIGID
+
+    def test_empty_property(self):
+        space = person_student_space()
+        assert classify_rigidity(lift(space, "unicorn")) is Rigidity.EMPTY
+
+    def test_semi_rigid_property(self):
+        def make(name, extension):
+            return World(
+                name,
+                Structure(
+                    ["a", "b"],
+                    relations={"P": [(x,) for x in extension]},
+                ),
+            )
+
+        space = WorldSpace([make("w0", ["a", "b"]), make("w1", ["a"])])
+        relation = IntensionalRelation.from_predicate("P", 1, space)
+        # a is essential, b is not: semi-rigid
+        assert classify_rigidity(relation) is Rigidity.SEMI_RIGID
+
+    def test_instance_sets(self):
+        space = person_student_space()
+        student = lift(space, "student")
+        assert instances_somewhere(student) == frozenset({"alice"})
+        assert essential_instances(student) == frozenset()
+
+    def test_arity_guard(self):
+        space = person_student_space()
+        binary = IntensionalRelation.from_predicate("likes", 2, space)
+        with pytest.raises(WorldError):
+            classify_rigidity(binary)
+
+
+class TestTaxonomyCheck:
+    def profile(self):
+        space = person_student_space()
+        return rigidity_profile([lift(space, "person"), lift(space, "student")])
+
+    def test_profile(self):
+        profile = self.profile()
+        assert profile == {
+            "person": Rigidity.RIGID,
+            "student": Rigidity.ANTI_RIGID,
+        }
+
+    def test_backbone_violation_detected(self):
+        # the classic OntoClean error: person ⊑ student
+        violations = check_taxonomy(self.profile(), [("person", "student")])
+        assert len(violations) == 1
+        assert "cannot subsume" in str(violations[0])
+
+    def test_correct_direction_passes(self):
+        assert check_taxonomy(self.profile(), [("student", "person")]) == []
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorldError):
+            check_taxonomy(self.profile(), [("ghost", "person")])
+        with pytest.raises(WorldError):
+            check_taxonomy(self.profile(), [("person", "ghost")])

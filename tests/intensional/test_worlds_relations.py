@@ -1,0 +1,160 @@
+"""Unit tests for worlds, world spaces, and intensional relations."""
+
+import pytest
+
+from repro.intensional import (
+    ExtensionalRelation,
+    IntensionalRelation,
+    World,
+    WorldError,
+    WorldSpace,
+    blocks_world_space,
+    paper_world,
+)
+from repro.logic import Structure
+
+
+def two_worlds() -> WorldSpace:
+    w1 = World(
+        "w1",
+        Structure(
+            ["a", "b"],
+            constants={"a": "a", "b": "b"},
+            relations={"above": [("a", "b")]},
+        ),
+    )
+    w2 = World(
+        "w2",
+        Structure(
+            ["a", "b"],
+            constants={"a": "a", "b": "b"},
+            relations={"above": [("b", "a")]},
+        ),
+    )
+    return WorldSpace([w1, w2])
+
+
+class TestWorlds:
+    def test_paper_world_matches_eq_1(self):
+        w = paper_world()
+        assert w.relation("above") == frozenset({("a", "b"), ("a", "d"), ("b", "d")})
+
+    def test_world_space_basics(self):
+        space = two_worlds()
+        assert len(space) == 2
+        assert "w1" in space
+        assert space.world("w2").relation("above") == frozenset({("b", "a")})
+        assert space.domain == frozenset({"a", "b"})
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(WorldError):
+            WorldSpace([])
+
+    def test_duplicate_names_rejected(self):
+        w = paper_world()
+        with pytest.raises(WorldError):
+            WorldSpace([w, w])
+
+    def test_mismatched_domains_rejected(self):
+        w1 = World("w1", Structure(["a"], constants={}, relations={}))
+        w2 = World("w2", Structure(["a", "b"], constants={}, relations={}))
+        with pytest.raises(WorldError):
+            WorldSpace([w1, w2])
+
+    def test_non_rigid_constants_rejected(self):
+        w1 = World("w1", Structure(["a", "b"], constants={"c": "a"}, relations={}))
+        w2 = World("w2", Structure(["a", "b"], constants={"c": "b"}, relations={}))
+        with pytest.raises(WorldError):
+            WorldSpace([w1, w2])
+
+    def test_unknown_world_lookup(self):
+        with pytest.raises(WorldError):
+            two_worlds().world("nope")
+
+    def test_blocks_world_space_all_legal(self):
+        space = blocks_world_space(("a", "b", "c"))
+        # strict partial orders on 3 elements: 19
+        assert len(space) == 19
+        for world in space:
+            above = world.relation("above")
+            assert all(x != y for x, y in above)  # irreflexive
+
+    def test_blocks_world_truncation(self):
+        space = blocks_world_space(("a", "b", "c", "d"), max_worlds=10)
+        assert len(space) == 10
+
+
+class TestExtensionalRelation:
+    def test_membership_and_len(self):
+        rel = ExtensionalRelation("above", 2, frozenset({("a", "b")}))
+        assert ("a", "b") in rel
+        assert ("b", "a") not in rel
+        assert len(rel) == 1
+
+    def test_arity_checked(self):
+        with pytest.raises(WorldError):
+            ExtensionalRelation("above", 2, frozenset({("a",)}))
+
+    def test_str_matches_paper_eq_1(self):
+        rel = ExtensionalRelation(
+            "above", 2, frozenset({("a", "b"), ("a", "d"), ("b", "d")})
+        )
+        assert str(rel) == "[above] = {('a', 'b'), ('a', 'd'), ('b', 'd')}"
+
+
+class TestIntensionalRelation:
+    def test_at_world_gives_eq_3(self):
+        space = two_worlds()
+        rel = IntensionalRelation.from_predicate("above", 2, space)
+        assert rel.at("w1").tuples == frozenset({("a", "b")})
+        assert rel.at("w2").tuples == frozenset({("b", "a")})
+
+    def test_totality_enforced(self):
+        space = two_worlds()
+        with pytest.raises(WorldError):
+            IntensionalRelation("above", 2, space, {"w1": [("a", "b")]})
+
+    def test_unknown_world_in_mapping_rejected(self):
+        space = two_worlds()
+        with pytest.raises(WorldError):
+            IntensionalRelation(
+                "above", 2, space, {"w1": [], "w2": [], "ghost": []}
+            )
+
+    def test_arity_and_domain_checked(self):
+        space = two_worlds()
+        with pytest.raises(WorldError):
+            IntensionalRelation("above", 2, space, {"w1": [("a",)], "w2": []})
+        with pytest.raises(WorldError):
+            IntensionalRelation("above", 2, space, {"w1": [("a", "zz")], "w2": []})
+
+    def test_rigidity(self):
+        space = two_worlds()
+        varying = IntensionalRelation.from_predicate("above", 2, space)
+        assert not varying.is_rigid()
+        rigid = IntensionalRelation(
+            "above", 2, space, {"w1": [("a", "b")], "w2": [("a", "b")]}
+        )
+        assert rigid.is_rigid()
+
+    def test_worlds_where(self):
+        space = two_worlds()
+        rel = IntensionalRelation.from_predicate("above", 2, space)
+        assert rel.worlds_where(("a", "b")) == frozenset({"w1"})
+
+    def test_from_rule(self):
+        space = two_worlds()
+        inverted = IntensionalRelation.from_rule(
+            "below",
+            2,
+            space,
+            lambda w: {(y, x) for x, y in w.relation("above")},
+        )
+        assert inverted.at("w1").tuples == frozenset({("b", "a")})
+
+    def test_equality_and_hash(self):
+        space = two_worlds()
+        r1 = IntensionalRelation.from_predicate("above", 2, space)
+        r2 = IntensionalRelation.from_predicate("above", 2, space)
+        assert r1 == r2
+        assert hash(r1) == hash(r2)

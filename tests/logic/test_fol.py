@@ -1,0 +1,194 @@
+"""Unit tests for finite-model first-order logic."""
+
+import pytest
+
+from repro.logic import (
+    Atom,
+    Eq,
+    Exists,
+    FAnd,
+    FImplies,
+    FNot,
+    FolError,
+    FOr,
+    Forall,
+    Structure,
+    TApp,
+    TConst,
+    TVar,
+    Vocabulary,
+    all_structures,
+    fol_and,
+    has_finite_model,
+)
+
+x, y = TVar("x"), TVar("y")
+a, b = TConst("a"), TConst("b")
+
+
+def blocks_world() -> Structure:
+    """The paper's block-world from eqs. (1)-(3): a above b and d, b above d."""
+    return Structure(
+        ["a", "b", "c", "d"],
+        constants={"a": "a", "b": "b", "c": "c", "d": "d"},
+        relations={"above": [("a", "b"), ("a", "d"), ("b", "d")]},
+    )
+
+
+class TestTermsAndFormulas:
+    def test_free_variables_atom(self):
+        f = Atom("above", (x, a))
+        assert f.free_variables() == frozenset({"x"})
+
+    def test_free_variables_quantified(self):
+        f = Forall("x", Atom("above", (x, y)))
+        assert f.free_variables() == frozenset({"y"})
+
+    def test_str_round_trip_readable(self):
+        f = Exists("x", FAnd(Atom("P", (x,)), FNot(Atom("Q", (x,)))))
+        assert str(f) == "∃x.(P(x) ∧ ¬Q(x))"
+
+    def test_fol_and_requires_nonempty(self):
+        with pytest.raises(FolError):
+            fol_and([])
+
+    def test_function_term_free_variables(self):
+        t = TApp("f", (x, a))
+        assert t.free_variables() == frozenset({"x"})
+
+
+class TestVocabulary:
+    def test_role_overlap_rejected(self):
+        with pytest.raises(FolError):
+            Vocabulary(constants=frozenset({"a"}), predicates={"a": 1})
+
+    def test_validate_accepts_wellformed(self):
+        v = Vocabulary(constants=frozenset({"a"}), predicates={"above": 2})
+        v.validate(Atom("above", (x, a)))  # no raise
+
+    def test_validate_rejects_unknown_predicate(self):
+        v = Vocabulary(constants=frozenset({"a"}), predicates={})
+        with pytest.raises(FolError):
+            v.validate(Atom("above", (x, a)))
+
+    def test_validate_rejects_bad_arity(self):
+        v = Vocabulary(constants=frozenset(), predicates={"P": 1})
+        with pytest.raises(FolError):
+            v.validate(Atom("P", (x, y)))
+
+    def test_validate_rejects_unknown_constant(self):
+        v = Vocabulary(constants=frozenset(), predicates={"P": 1})
+        with pytest.raises(FolError):
+            v.validate(Atom("P", (a,)))
+
+    def test_validate_function_arity(self):
+        v = Vocabulary(constants=frozenset({"a"}), functions={"f": 2}, predicates={"P": 1})
+        with pytest.raises(FolError):
+            v.validate(Atom("P", (TApp("f", (a,)),)))
+
+
+class TestSatisfaction:
+    def test_atomic_ground(self):
+        m = blocks_world()
+        assert m.satisfies(Atom("above", (a, b)))
+        assert not m.satisfies(Atom("above", (b, a)))
+
+    def test_negation_and_connectives(self):
+        m = blocks_world()
+        assert m.satisfies(FNot(Atom("above", (b, a))))
+        assert m.satisfies(FAnd(Atom("above", (a, b)), Atom("above", (b, TConst("d")))))
+        assert m.satisfies(FOr(Atom("above", (b, a)), Atom("above", (a, b))))
+        assert m.satisfies(FImplies(Atom("above", (b, a)), Atom("above", (TConst("c"), a))))
+
+    def test_equality(self):
+        m = blocks_world()
+        assert m.satisfies(Eq(a, a))
+        assert not m.satisfies(Eq(a, b))
+
+    def test_existential(self):
+        m = blocks_world()
+        assert m.satisfies(Exists("x", Atom("above", (x, b))))
+        assert not m.satisfies(Exists("x", Atom("above", (x, a))))
+
+    def test_universal(self):
+        m = blocks_world()
+        # everything a is above, is above-able: ∀x. above(a,x) → ¬above(x,a)
+        f = Forall("x", FImplies(Atom("above", (a, x)), FNot(Atom("above", (x, a)))))
+        assert m.satisfies(f)
+
+    def test_nested_quantifiers_transitivity_fails(self):
+        m = blocks_world()
+        trans = Forall(
+            "x",
+            Forall(
+                "y",
+                Forall(
+                    "z",
+                    FImplies(
+                        FAnd(Atom("above", (TVar("x"), TVar("y"))), Atom("above", (TVar("y"), TVar("z")))),
+                        Atom("above", (TVar("x"), TVar("z"))),
+                    ),
+                ),
+            ),
+        )
+        assert m.satisfies(trans)  # a>b, b>d, a>d present: holds
+
+    def test_unbound_variable_raises(self):
+        m = blocks_world()
+        with pytest.raises(FolError):
+            m.satisfies(Atom("above", (x, b)))
+
+    def test_function_interpretation(self):
+        m = Structure(
+            [0, 1],
+            constants={"a": 0},
+            functions={"s": {(0,): 1, (1,): 0}},
+            relations={"Z": [(0,)]},
+        )
+        assert m.satisfies(Atom("Z", (TConst("a"),)))
+        assert not m.satisfies(Atom("Z", (TApp("s", (TConst("a"),)),)))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(FolError):
+            Structure([])
+
+    def test_relation_outside_domain_rejected(self):
+        with pytest.raises(FolError):
+            Structure([1], relations={"P": [(2,)]})
+
+
+class TestModelSearch:
+    def test_enumeration_counts(self):
+        v = Vocabulary(constants=frozenset(), predicates={"P": 1})
+        structures = list(all_structures(["d0"], v))
+        # one domain element, unary predicate: 2 subsets
+        assert len(structures) == 2
+
+    def test_enumeration_with_constants(self):
+        v = Vocabulary(constants=frozenset({"a"}), predicates={"P": 1})
+        structures = list(all_structures(["d0", "d1"], v))
+        # 2 constant choices x 4 subsets
+        assert len(structures) == 8
+
+    def test_has_finite_model_satisfiable(self):
+        v = Vocabulary(constants=frozenset({"a"}), predicates={"P": 1})
+        m = has_finite_model([Atom("P", (a,))], v)
+        assert m is not None
+        assert m.satisfies(Atom("P", (a,)))
+
+    def test_has_finite_model_contradiction(self):
+        v = Vocabulary(constants=frozenset({"a"}), predicates={"P": 1})
+        f = FAnd(Atom("P", (a,)), FNot(Atom("P", (a,))))
+        assert has_finite_model([f], v) is None
+
+    def test_has_finite_model_needs_two_elements(self):
+        v = Vocabulary(constants=frozenset({"a", "b"}), predicates={"P": 1})
+        fs = [FNot(Eq(a, b))]
+        m = has_finite_model(fs, v, max_domain_size=2)
+        assert m is not None
+        assert len(m.domain) == 2
+
+    def test_functions_not_enumerable(self):
+        v = Vocabulary(constants=frozenset(), functions={"f": 1}, predicates={})
+        with pytest.raises(FolError):
+            list(all_structures(["d0"], v))

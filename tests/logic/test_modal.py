@@ -1,0 +1,177 @@
+"""Unit and property tests for modal logic and correspondence theory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import (
+    AXIOM_4,
+    AXIOM_5,
+    AXIOM_B,
+    AXIOM_D,
+    AXIOM_T,
+    Box,
+    Diamond,
+    KripkeFrame,
+    MImplies,
+    MNot,
+    MVar,
+    ModalError,
+    valid_on_frame,
+)
+
+p, q = MVar("p"), MVar("q")
+
+
+def chain_frame() -> KripkeFrame:
+    """w0 → w1 → w2, p true only at w1."""
+    return KripkeFrame(
+        ["w0", "w1", "w2"],
+        [("w0", "w1"), ("w1", "w2")],
+        {"w1": {"p"}},
+    )
+
+
+class TestForcing:
+    def test_variables(self):
+        f = chain_frame()
+        assert f.forces("w1", p)
+        assert not f.forces("w0", p)
+
+    def test_connectives(self):
+        f = chain_frame()
+        assert f.forces("w0", MNot(p))
+        assert f.forces("w1", p | q)
+        assert f.forces("w0", p >> q)  # antecedent false
+
+    def test_box_diamond(self):
+        f = chain_frame()
+        assert f.forces("w0", Box(p))       # all successors (w1) satisfy p
+        assert f.forces("w0", Diamond(p))
+        assert not f.forces("w1", Diamond(p))  # w2 has no p
+        assert f.forces("w2", Box(p))       # vacuously: no successors
+        assert not f.forces("w2", Diamond(p))
+
+    def test_nested_modalities(self):
+        f = chain_frame()
+        # at w0: □◇... w1's successors = {w2}, no p: ◇p false at w1
+        assert not f.forces("w0", Box(Diamond(p)))
+
+    def test_unknown_world_rejected(self):
+        with pytest.raises(ModalError):
+            chain_frame().forces("ghost", p)
+
+    def test_bad_frame_rejected(self):
+        with pytest.raises(ModalError):
+            KripkeFrame([], [])
+        with pytest.raises(ModalError):
+            KripkeFrame(["w"], [("w", "ghost")])
+
+
+class TestFrameProperties:
+    def test_reflexive(self):
+        f = KripkeFrame(["a", "b"], [("a", "a"), ("b", "b"), ("a", "b")])
+        assert f.is_reflexive()
+        assert not chain_frame().is_reflexive()
+
+    def test_transitive(self):
+        f = KripkeFrame(["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")])
+        assert f.is_transitive()
+        assert not chain_frame().is_transitive()
+
+    def test_symmetric(self):
+        f = KripkeFrame(["a", "b"], [("a", "b"), ("b", "a")])
+        assert f.is_symmetric()
+        assert not chain_frame().is_symmetric()
+
+    def test_serial(self):
+        f = KripkeFrame(["a", "b"], [("a", "b"), ("b", "a")])
+        assert f.is_serial()
+        assert not chain_frame().is_serial()
+
+    def test_euclidean(self):
+        f = KripkeFrame(["a", "b"], [("a", "b"), ("b", "b")])
+        assert f.is_euclidean()
+
+
+class TestCorrespondence:
+    """The classical results, verified on concrete finite frames."""
+
+    def test_t_valid_on_reflexive(self):
+        f = KripkeFrame(["a", "b"], [("a", "a"), ("b", "b"), ("a", "b")])
+        assert valid_on_frame(f, AXIOM_T, ["p"])
+
+    def test_t_fails_on_irreflexive(self):
+        assert not valid_on_frame(chain_frame(), AXIOM_T, ["p"])
+
+    def test_4_valid_on_transitive(self):
+        f = KripkeFrame(["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")])
+        assert valid_on_frame(f, AXIOM_4, ["p"])
+
+    def test_4_fails_on_nontransitive(self):
+        assert not valid_on_frame(chain_frame(), AXIOM_4, ["p"])
+
+    def test_b_valid_on_symmetric(self):
+        f = KripkeFrame(["a", "b"], [("a", "b"), ("b", "a")])
+        assert valid_on_frame(f, AXIOM_B, ["p"])
+
+    def test_d_valid_on_serial(self):
+        f = KripkeFrame(["a", "b"], [("a", "b"), ("b", "a")])
+        assert valid_on_frame(f, AXIOM_D, ["p"])
+
+    def test_d_fails_on_nonserial(self):
+        assert not valid_on_frame(chain_frame(), AXIOM_D, ["p"])
+
+    def test_5_valid_on_equivalence_frame(self):
+        f = KripkeFrame(
+            ["a", "b"],
+            [("a", "a"), ("b", "b"), ("a", "b"), ("b", "a")],
+        )
+        assert valid_on_frame(f, AXIOM_5, ["p"])
+
+
+# ---------------------------------------------------------------------- #
+# property-based: correspondence on random frames
+# ---------------------------------------------------------------------- #
+
+WORLDS = ["u", "v", "w"]
+
+
+@st.composite
+def frames(draw):
+    pairs = draw(
+        st.lists(
+            st.tuples(st.sampled_from(WORLDS), st.sampled_from(WORLDS)),
+            max_size=9,
+        )
+    )
+    return KripkeFrame(WORLDS, pairs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(frames())
+def test_reflexive_frames_validate_t(frame):
+    if frame.is_reflexive():
+        assert valid_on_frame(frame, AXIOM_T, ["p"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(frames())
+def test_transitive_frames_validate_4(frame):
+    if frame.is_transitive():
+        assert valid_on_frame(frame, AXIOM_4, ["p"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(frames())
+def test_serial_frames_validate_d(frame):
+    if frame.is_serial():
+        assert valid_on_frame(frame, AXIOM_D, ["p"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(frames())
+def test_box_distributes_over_implication_K(frame):
+    # K is valid on EVERY frame: □(p→q) → (□p → □q)
+    k = MImplies(Box(MImplies(p, q)), MImplies(Box(p), Box(q)))
+    assert valid_on_frame(frame, k, ["p", "q"])

@@ -1,0 +1,208 @@
+"""Unit and property tests for propositional logic and DPLL."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    conj,
+    disj,
+    dpll,
+    entails,
+    equivalent,
+    is_satisfiable,
+    is_tautology,
+    models,
+    to_cnf,
+    to_nnf,
+    truth_table,
+)
+
+p, q, r = Var("p"), Var("q"), Var("r")
+
+
+class TestEvaluation:
+    def test_var(self):
+        assert p.evaluate({"p": True})
+        assert not p.evaluate({"p": False})
+
+    def test_connectives(self):
+        a = {"p": True, "q": False}
+        assert not And(p, q).evaluate(a)
+        assert Or(p, q).evaluate(a)
+        assert Not(q).evaluate(a)
+        assert not Implies(p, q).evaluate(a)
+        assert Implies(q, p).evaluate(a)
+        assert not Iff(p, q).evaluate(a)
+
+    def test_constants(self):
+        assert TRUE.evaluate({})
+        assert not FALSE.evaluate({})
+
+    def test_operator_sugar(self):
+        a = {"p": True, "q": False}
+        assert (p & ~q).evaluate(a)
+        assert (p | q).evaluate(a)
+        assert (q >> p).evaluate(a)
+
+    def test_missing_variable_raises(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            p.evaluate({})
+
+    def test_variables(self):
+        assert Implies(And(p, q), r).variables() == frozenset({"p", "q", "r"})
+
+    def test_conj_disj_empty(self):
+        assert conj([]) is TRUE
+        assert disj([]) is FALSE
+
+    def test_conj_combines(self):
+        f = conj([p, q, r])
+        assert f.evaluate({"p": True, "q": True, "r": True})
+        assert not f.evaluate({"p": True, "q": False, "r": True})
+
+
+class TestSemantics:
+    def test_truth_table_size(self):
+        assert len(truth_table(And(p, q))) == 4
+
+    def test_models(self):
+        ms = models(And(p, Not(q)))
+        assert ms == [{"p": True, "q": False}]
+
+    def test_tautologies(self):
+        assert is_tautology(Or(p, Not(p)))
+        assert is_tautology(Implies(And(p, q), p))
+        assert is_tautology(Iff(p, p))
+        assert not is_tautology(p)
+        assert not is_tautology(Or(p, q))
+
+    def test_satisfiability(self):
+        assert is_satisfiable(p)
+        assert is_satisfiable(And(p, q))
+        assert not is_satisfiable(And(p, Not(p)))
+        assert not is_satisfiable(FALSE)
+        assert is_satisfiable(TRUE)
+
+    def test_entails(self):
+        assert entails([p, Implies(p, q)], q)  # modus ponens
+        assert not entails([Or(p, q)], p)
+        assert entails([And(p, q)], p)
+
+    def test_equivalent(self):
+        assert equivalent(Implies(p, q), Or(Not(p), q))
+        assert equivalent(Not(And(p, q)), Or(Not(p), Not(q)))  # De Morgan
+        assert not equivalent(p, q)
+
+
+class TestNormalForms:
+    def test_nnf_pushes_negation(self):
+        f = Not(And(p, Or(q, Not(r))))
+        nnf = to_nnf(f)
+        assert str(nnf) == "(¬p ∨ (¬q ∧ r))"
+
+    def test_nnf_eliminates_implication(self):
+        nnf = to_nnf(Implies(p, q))
+        assert "→" not in str(nnf)
+        assert equivalent(nnf, Implies(p, q))
+
+    def test_nnf_constants(self):
+        assert to_nnf(Not(TRUE)) == FALSE
+        assert to_nnf(Not(FALSE)) == TRUE
+
+    def test_cnf_clauses(self):
+        cnf = to_cnf(And(p, Or(q, r)))
+        assert frozenset({("p", True)}) in cnf
+        assert frozenset({("q", True), ("r", True)}) in cnf
+
+    def test_cnf_drops_tautological_clauses(self):
+        cnf = to_cnf(Or(p, Not(p)))
+        assert cnf == frozenset()
+
+    def test_cnf_of_contradiction_has_empty_clause_or_conflict(self):
+        assert dpll(to_cnf(And(p, Not(p)))) is None
+
+
+class TestDPLL:
+    def test_dpll_finds_model(self):
+        cnf = to_cnf(And(Or(p, q), Not(p)))
+        model = dpll(cnf)
+        assert model is not None
+        assert model["q"] is True and model["p"] is False
+
+    def test_dpll_unsat(self):
+        f = And(And(Or(p, q), Or(Not(p), q)), And(Or(p, Not(q)), Or(Not(p), Not(q))))
+        assert dpll(to_cnf(f)) is None
+
+    def test_dpll_empty_cnf_is_sat(self):
+        assert dpll(frozenset()) == {}
+
+
+# ---------------------------------------------------------------------- #
+# property-based
+# ---------------------------------------------------------------------- #
+
+names = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0:
+        return Var(draw(names))
+    kind = draw(st.integers(min_value=0, max_value=6))
+    if kind == 0:
+        return Var(draw(names))
+    if kind == 1:
+        return Not(draw(formulas(depth=depth - 1)))
+    sub1 = draw(formulas(depth=depth - 1))
+    sub2 = draw(formulas(depth=depth - 1))
+    ctor = [And, Or, Implies, Iff, And][kind - 2]
+    return ctor(sub1, sub2)
+
+
+@settings(max_examples=80, deadline=None)
+@given(formulas())
+def test_nnf_preserves_truth(f):
+    nnf = to_nnf(f)
+    for assignment, value in truth_table(f):
+        assert nnf.evaluate(assignment) == value
+
+
+@settings(max_examples=80, deadline=None)
+@given(formulas())
+def test_dpll_agrees_with_truth_table(f):
+    sat_by_table = len(models(f)) > 0
+    assert is_satisfiable(f) == sat_by_table
+
+
+@settings(max_examples=60, deadline=None)
+@given(formulas())
+def test_dpll_model_satisfies_formula(f):
+    model = dpll(to_cnf(f))
+    if model is not None:
+        # complete the partial assignment with arbitrary values
+        full = {name: model.get(name, False) for name in f.variables()}
+        # the CNF conversion is equivalence-preserving, so the completed
+        # model must satisfy the original formula
+        assert f.evaluate(full)
+
+
+@settings(max_examples=60, deadline=None)
+@given(formulas())
+def test_excluded_middle_is_tautology(f):
+    assert is_tautology(Or(f, Not(f)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(formulas(), formulas())
+def test_entailment_reflects_implication_tautology(f, g):
+    assert entails([f], g) == is_tautology(Implies(f, g))

@@ -1,0 +1,248 @@
+"""Unit tests for equational theories, rewriting, and finite algebras."""
+
+import pytest
+
+from repro.order import Poset
+from repro.osa import (
+    AlgebraError,
+    DataDomain,
+    Equation,
+    EquationError,
+    EquationalTheory,
+    FiniteAlgebra,
+    OpDecl,
+    OrderSortedSignature,
+    OSApp,
+    OSVar,
+    RewriteSystem,
+    constant,
+)
+
+
+def bool_signature() -> OrderSortedSignature:
+    return OrderSortedSignature(
+        Poset(["Bool"], []),
+        [
+            OpDecl("tt", (), "Bool"),
+            OpDecl("ff", (), "Bool"),
+            OpDecl("not", ("Bool",), "Bool"),
+            OpDecl("and", ("Bool", "Bool"), "Bool"),
+        ],
+    )
+
+
+def bool_theory() -> EquationalTheory:
+    sig = bool_signature()
+    b = OSVar("b", "Bool")
+    return EquationalTheory(
+        sig,
+        [
+            Equation(OSApp("not", (constant("tt"),)), constant("ff")),
+            Equation(OSApp("not", (constant("ff"),)), constant("tt")),
+            Equation(OSApp("and", (constant("tt"), b)), b),
+            Equation(OSApp("and", (constant("ff"), b)), constant("ff")),
+        ],
+    )
+
+
+def bool_algebra(sig: OrderSortedSignature) -> FiniteAlgebra:
+    return FiniteAlgebra(
+        sig,
+        {"Bool": [True, False]},
+        {
+            "tt": {(): True},
+            "ff": {(): False},
+            "not": {(True,): False, (False,): True},
+            "and": {
+                (True, True): True,
+                (True, False): False,
+                (False, True): False,
+                (False, False): False,
+            },
+        },
+    )
+
+
+class TestTheory:
+    def test_wellformed_theory_builds(self):
+        assert len(bool_theory()) == 4
+
+    def test_variable_lhs_rejected(self):
+        sig = bool_signature()
+        b = OSVar("b", "Bool")
+        with pytest.raises(EquationError):
+            EquationalTheory(sig, [Equation(b, constant("tt"))])
+
+    def test_unbound_rhs_variable_rejected(self):
+        sig = bool_signature()
+        b = OSVar("b", "Bool")
+        with pytest.raises(EquationError):
+            EquationalTheory(sig, [Equation(constant("tt"), b)])
+
+    def test_orientation_check_can_be_disabled(self):
+        sig = bool_signature()
+        b = OSVar("b", "Bool")
+        theory = EquationalTheory(sig, [Equation(b, constant("tt"))], check_orientation=False)
+        assert len(theory) == 1
+
+    def test_incomparable_sorts_rejected(self):
+        sorts = Poset(["A", "B"], [])
+        sig = OrderSortedSignature(
+            sorts, [OpDecl("a", (), "A"), OpDecl("b", (), "B")]
+        )
+        with pytest.raises(EquationError):
+            EquationalTheory(sig, [Equation(constant("a"), constant("b"))])
+
+
+class TestRewriting:
+    def test_normalize_negation(self):
+        rs = RewriteSystem(bool_theory())
+        term = OSApp("not", (OSApp("not", (constant("tt"),)),))
+        assert rs.normalize(term) == constant("tt")
+
+    def test_normalize_with_variables_in_rules(self):
+        rs = RewriteSystem(bool_theory())
+        term = OSApp("and", (constant("tt"), OSApp("not", (constant("tt"),))))
+        assert rs.normalize(term) == constant("ff")
+
+    def test_normal_form_detection(self):
+        rs = RewriteSystem(bool_theory())
+        assert rs.is_normal_form(constant("tt"))
+        assert not rs.is_normal_form(OSApp("not", (constant("tt"),)))
+
+    def test_equality_by_normal_forms(self):
+        rs = RewriteSystem(bool_theory())
+        t1 = OSApp("and", (constant("tt"), constant("ff")))
+        t2 = OSApp("not", (constant("tt"),))
+        assert rs.equal(t1, t2)
+
+    def test_divergence_detected(self):
+        sig = OrderSortedSignature(
+            Poset(["S"], []),
+            [OpDecl("a", (), "S"), OpDecl("f", ("S",), "S")],
+        )
+        # f(x) -> f(f(x)) grows forever
+        x = OSVar("x", "S")
+        theory = EquationalTheory(
+            sig, [Equation(OSApp("f", (x,)), OSApp("f", (OSApp("f", (x,)),)))]
+        )
+        rs = RewriteSystem(theory, max_steps=50)
+        with pytest.raises(EquationError):
+            rs.normalize(OSApp("f", (constant("a"),)))
+
+    def test_rewrite_once_none_on_normal(self):
+        rs = RewriteSystem(bool_theory())
+        assert rs.rewrite_once(constant("ff")) is None
+
+
+class TestAlgebra:
+    def test_valid_algebra(self):
+        algebra = bool_algebra(bool_signature())
+        assert algebra.evaluate(constant("tt")) is True
+
+    def test_missing_carrier_rejected(self):
+        sig = bool_signature()
+        with pytest.raises(AlgebraError):
+            FiniteAlgebra(sig, {}, {})
+
+    def test_missing_operation_rejected(self):
+        sig = bool_signature()
+        with pytest.raises(AlgebraError):
+            FiniteAlgebra(sig, {"Bool": [True, False]}, {"tt": {(): True}})
+
+    def test_partial_operation_rejected(self):
+        sig = bool_signature()
+        ops = {
+            "tt": {(): True},
+            "ff": {(): False},
+            "not": {(True,): False},  # missing (False,)
+            "and": {
+                (a, b): a and b for a in (True, False) for b in (True, False)
+            },
+        }
+        with pytest.raises(AlgebraError):
+            FiniteAlgebra(sig, {"Bool": [True, False]}, ops)
+
+    def test_value_outside_carrier_rejected(self):
+        sig = bool_signature()
+        ops = {
+            "tt": {(): "banana"},
+            "ff": {(): False},
+            "not": {(True,): False, (False,): True},
+            "and": {
+                (a, b): a and b for a in (True, False) for b in (True, False)
+            },
+        }
+        with pytest.raises(AlgebraError):
+            FiniteAlgebra(sig, {"Bool": [True, False]}, ops)
+
+    def test_subsort_carrier_inclusion_enforced(self):
+        sorts = Poset(["Nat", "Int"], [("Nat", "Int")])
+        sig = OrderSortedSignature(sorts, [OpDecl("zero", (), "Nat")])
+        with pytest.raises(AlgebraError):
+            FiniteAlgebra(sig, {"Nat": [0, 1], "Int": [0]}, {"zero": {(): 0}})
+
+    def test_evaluation_nested(self):
+        algebra = bool_algebra(bool_signature())
+        term = OSApp("and", (constant("tt"), OSApp("not", (constant("ff"),))))
+        assert algebra.evaluate(term) is True
+
+    def test_evaluation_with_env(self):
+        algebra = bool_algebra(bool_signature())
+        b = OSVar("b", "Bool")
+        assert algebra.evaluate(OSApp("not", (b,)), {b: True}) is False
+
+    def test_unbound_variable_raises(self):
+        algebra = bool_algebra(bool_signature())
+        with pytest.raises(AlgebraError):
+            algebra.evaluate(OSVar("b", "Bool"))
+
+    def test_satisfies_equations(self):
+        theory = bool_theory()
+        algebra = bool_algebra(theory.signature)
+        assert algebra.is_model_of(theory)
+
+    def test_detects_non_model(self):
+        sig = bool_signature()
+        broken = FiniteAlgebra(
+            sig,
+            {"Bool": [True, False]},
+            {
+                "tt": {(): True},
+                "ff": {(): False},
+                "not": {(True,): True, (False,): False},  # identity, not negation
+                "and": {
+                    (a, b): a and b for a in (True, False) for b in (True, False)
+                },
+            },
+        )
+        theory = bool_theory()
+        # note: theory built on its own signature instance; rebuild equations
+        theory2 = EquationalTheory(sig, theory.equations)
+        assert not broken.is_model_of(theory2)
+
+
+class TestDataDomain:
+    def test_data_domain_validates_modelhood(self):
+        theory = bool_theory()
+        algebra = bool_algebra(theory.signature)
+        domain = DataDomain(theory, algebra)
+        assert domain.sorts.elements == ["Bool"]
+
+    def test_data_domain_rejects_non_model(self):
+        theory = bool_theory()
+        sig = theory.signature
+        broken = FiniteAlgebra(
+            sig,
+            {"Bool": [True, False]},
+            {
+                "tt": {(): True},
+                "ff": {(): True},  # ff = tt breaks not(ff) = tt? no: not(tt)=ff eq fails
+                "not": {(True,): True, (False,): True},
+                "and": {
+                    (a, b): True for a in (True, False) for b in (True, False)
+                },
+            },
+        )
+        with pytest.raises(AlgebraError):
+            DataDomain(theory, broken)

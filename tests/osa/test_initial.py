@@ -1,0 +1,88 @@
+"""Unit tests for initial (term) algebras."""
+
+import pytest
+
+from repro.order import Poset
+from repro.osa import (
+    ClosureError,
+    DataDomain,
+    Equation,
+    EquationalTheory,
+    OpDecl,
+    OrderSortedSignature,
+    OSApp,
+    OSVar,
+    constant,
+    term_algebra,
+)
+
+
+def bool_theory() -> EquationalTheory:
+    sig = OrderSortedSignature(
+        Poset(["Bool"], []),
+        [
+            OpDecl("tt", (), "Bool"),
+            OpDecl("ff", (), "Bool"),
+            OpDecl("not", ("Bool",), "Bool"),
+            OpDecl("and", ("Bool", "Bool"), "Bool"),
+        ],
+    )
+    b = OSVar("b", "Bool")
+    return EquationalTheory(
+        sig,
+        [
+            Equation(OSApp("not", (constant("tt"),)), constant("ff")),
+            Equation(OSApp("not", (constant("ff"),)), constant("tt")),
+            Equation(OSApp("and", (constant("tt"), b)), b),
+            Equation(OSApp("and", (constant("ff"), b)), constant("ff")),
+        ],
+    )
+
+
+class TestTermAlgebra:
+    def test_boolean_normal_forms(self):
+        algebra = term_algebra(bool_theory())
+        assert algebra.carriers["Bool"] == frozenset({constant("tt"), constant("ff")})
+
+    def test_operations_act_by_normalization(self):
+        algebra = term_algebra(bool_theory())
+        assert algebra.evaluate(OSApp("not", (constant("tt"),))) == constant("ff")
+        nested = OSApp("and", (constant("tt"), OSApp("not", (constant("ff"),))))
+        assert algebra.evaluate(nested) == constant("tt")
+
+    def test_is_a_model_of_its_theory(self):
+        theory = bool_theory()
+        algebra = term_algebra(theory)
+        assert algebra.is_model_of(theory)
+        # and therefore forms a data domain directly
+        domain = DataDomain(theory, algebra)
+        assert domain.model is algebra
+
+    def test_subsort_carriers_included(self):
+        sorts = Poset(["Nat", "Int"], [("Nat", "Int")])
+        sig = OrderSortedSignature(
+            sorts,
+            [OpDecl("zero", (), "Nat"), OpDecl("minus_one", (), "Int")],
+        )
+        theory = EquationalTheory(sig, [])
+        algebra = term_algebra(theory)
+        assert algebra.carriers["Nat"] == frozenset({constant("zero")})
+        assert algebra.carriers["Int"] == frozenset(
+            {constant("zero"), constant("minus_one")}
+        )
+
+    def test_infinite_normal_forms_detected(self):
+        sig = OrderSortedSignature(
+            Poset(["Nat"], []),
+            [OpDecl("zero", (), "Nat"), OpDecl("s", ("Nat",), "Nat")],
+        )
+        theory = EquationalTheory(sig, [])  # free: numerals never close
+        with pytest.raises(ClosureError):
+            term_algebra(theory, max_depth=3)
+
+    def test_no_constants_rejected(self):
+        sig = OrderSortedSignature(
+            Poset(["S"], []), [OpDecl("f", ("S",), "S")]
+        )
+        with pytest.raises(ClosureError):
+            term_algebra(EquationalTheory(sig, []))

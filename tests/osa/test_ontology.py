@@ -1,0 +1,257 @@
+"""Unit tests for BCM ontology signatures and ontonomies (paper Def. 1)."""
+
+import pytest
+
+from repro.order import Poset
+from repro.osa import (
+    AttributeValueAxiom,
+    CoverageAxiom,
+    DataDomain,
+    DisjointAxiom,
+    EquationalTheory,
+    FiniteAlgebra,
+    OntologySignature,
+    OntologySignatureError,
+    Ontonomy,
+    OntonomyError,
+    OpDecl,
+    OrderSortedSignature,
+    SignatureModel,
+    SubclassAxiom,
+    is_ontology_signature,
+    is_ontonomy,
+)
+
+
+def size_domain() -> DataDomain:
+    """A data domain with one sort Size = {small, big}."""
+    sig = OrderSortedSignature(
+        Poset(["Size"], []),
+        [OpDecl("small", (), "Size"), OpDecl("big", (), "Size")],
+    )
+    theory = EquationalTheory(sig, [])
+    algebra = FiniteAlgebra(
+        sig,
+        {"Size": ["small", "big"]},
+        {"small": {(): "small"}, "big": {(): "big"}},
+    )
+    return DataDomain(theory, algebra)
+
+
+def vehicle_classes() -> Poset:
+    return Poset(
+        ["car", "pickup", "motorvehicle", "roadvehicle"],
+        [
+            ("car", "motorvehicle"),
+            ("car", "roadvehicle"),
+            ("pickup", "motorvehicle"),
+            ("pickup", "roadvehicle"),
+        ],
+    )
+
+
+def vehicle_signature() -> OntologySignature:
+    # size declared on both superclasses' subclasses consistently:
+    # A_{c',e} ⊆ A_{c,e'} for c ≤ c' means attributes of superclasses
+    # reappear on subclasses
+    return OntologySignature(
+        size_domain(),
+        vehicle_classes(),
+        {
+            ("motorvehicle", "Size"): {"size"},
+            ("roadvehicle", "Size"): set(),
+            ("car", "Size"): {"size"},
+            ("pickup", "Size"): {"size"},
+        },
+    )
+
+
+class TestOntologySignature:
+    def test_wellformed_builds(self):
+        sig = vehicle_signature()
+        assert sig.attribute_set("car", "Size") == frozenset({"size"})
+
+    def test_class_sort_name_clash_rejected(self):
+        with pytest.raises(OntologySignatureError):
+            OntologySignature(
+                size_domain(),
+                Poset(["Size"], []),  # class named like the sort
+                {},
+            )
+
+    def test_unknown_owner_rejected(self):
+        with pytest.raises(OntologySignatureError):
+            OntologySignature(size_domain(), vehicle_classes(), {("ghost", "Size"): {"a"}})
+
+    def test_unknown_value_type_rejected(self):
+        with pytest.raises(OntologySignatureError):
+            OntologySignature(size_domain(), vehicle_classes(), {("car", "Ghost"): {"a"}})
+
+    def test_family_condition_violation_detected(self):
+        # superclass declares an attribute the subclass does not inherit
+        with pytest.raises(OntologySignatureError):
+            OntologySignature(
+                size_domain(),
+                vehicle_classes(),
+                {("motorvehicle", "Size"): {"size"}},  # car/pickup missing it
+            )
+
+    def test_value_leq_never_crosses_classes_and_sorts(self):
+        sig = vehicle_signature()
+        assert sig.value_leq("car", "motorvehicle")
+        assert sig.value_leq("Size", "Size")
+        assert not sig.value_leq("car", "Size")
+
+    def test_all_attributes_of(self):
+        sig = vehicle_signature()
+        attrs = sig.all_attributes_of("car")
+        assert {a.name for a in attrs} == {"size"}
+        (attr,) = attrs
+        assert attr.value_type == "Size"
+        assert str(attr) == "size : car -> Size"
+
+    def test_expressiveness_profile(self):
+        profile = vehicle_signature().expressiveness_profile()
+        assert profile["classes"] == 4
+        assert profile["subclass_links"] == 4
+        assert profile["attribute_declarations"] == 3
+        assert profile["sort_valued_attributes"] == 3
+        assert profile["class_valued_attributes"] == 0
+
+    def test_is_ontology_signature_decider(self):
+        assert is_ontology_signature(
+            size_domain(), vehicle_classes(), {("car", "Size"): {"size"}}
+        )
+        assert not is_ontology_signature("not a domain", vehicle_classes(), {})
+        assert not is_ontology_signature(size_domain(), "not a poset", {})
+        # family-condition violation is also a rejection
+        assert not is_ontology_signature(
+            size_domain(), vehicle_classes(), {("motorvehicle", "Size"): {"size"}}
+        )
+
+
+def vehicle_model(sig: OntologySignature) -> SignatureModel:
+    size_of = {"c1": "small", "c2": "small", "p1": "big"}
+    return SignatureModel(
+        sig,
+        {
+            "car": ["c1", "c2"],
+            "pickup": ["p1"],
+            "motorvehicle": ["c1", "c2", "p1"],
+            "roadvehicle": ["c1", "c2", "p1"],
+        },
+        {
+            ("car", "size"): {"c1": "small", "c2": "small"},
+            ("pickup", "size"): {"p1": "big"},
+            ("motorvehicle", "size"): size_of,
+        },
+    )
+
+
+class TestSignatureModel:
+    def test_valid_model(self):
+        sig = vehicle_signature()
+        model = vehicle_model(sig)
+        assert model.extent("car") == frozenset({"c1", "c2"})
+        assert model.individuals() == frozenset({"c1", "c2", "p1"})
+
+    def test_extent_monotonicity_enforced(self):
+        sig = vehicle_signature()
+        with pytest.raises(OntonomyError):
+            SignatureModel(
+                sig,
+                {"car": ["c1"], "motorvehicle": [], "roadvehicle": ["c1"], "pickup": []},
+                {("car", "size"): {"c1": "small"},
+                 ("motorvehicle", "size"): {},
+                 ("pickup", "size"): {}},
+            )
+
+    def test_attribute_totality_enforced(self):
+        sig = vehicle_signature()
+        with pytest.raises(OntonomyError):
+            SignatureModel(
+                sig,
+                {
+                    "car": ["c1"],
+                    "motorvehicle": ["c1"],
+                    "roadvehicle": ["c1"],
+                    "pickup": [],
+                },
+                {
+                    ("car", "size"): {},  # c1 has no size
+                    ("motorvehicle", "size"): {"c1": "small"},
+                    ("pickup", "size"): {},
+                },
+            )
+
+    def test_attribute_typing_enforced(self):
+        sig = vehicle_signature()
+        with pytest.raises(OntonomyError):
+            SignatureModel(
+                sig,
+                {
+                    "car": ["c1"],
+                    "motorvehicle": ["c1"],
+                    "roadvehicle": ["c1"],
+                    "pickup": [],
+                },
+                {
+                    ("car", "size"): {"c1": "enormous"},  # not in Size carrier
+                    ("motorvehicle", "size"): {"c1": "enormous"},
+                    ("pickup", "size"): {},
+                },
+            )
+
+    def test_unknown_class_extent_query(self):
+        sig = vehicle_signature()
+        model = vehicle_model(sig)
+        with pytest.raises(OntonomyError):
+            model.extent("ghost")
+
+
+class TestOntonomy:
+    def test_axioms_checked(self):
+        sig = vehicle_signature()
+        onto = Ontonomy(
+            sig,
+            [
+                DisjointAxiom("car", "pickup"),
+                CoverageAxiom("motorvehicle", ("car", "pickup")),
+                SubclassAxiom("car", "roadvehicle"),
+                AttributeValueAxiom("car", "size", frozenset({"small"})),
+            ],
+        )
+        model = vehicle_model(sig)
+        assert onto.is_model(model)
+        assert onto.failing_axioms(model) == []
+
+    def test_failing_axiom_reported(self):
+        sig = vehicle_signature()
+        onto = Ontonomy(sig, [AttributeValueAxiom("car", "size", frozenset({"big"}))])
+        model = vehicle_model(sig)
+        assert not onto.is_model(model)
+        assert len(onto.failing_axioms(model)) == 1
+
+    def test_non_axiom_rejected(self):
+        sig = vehicle_signature()
+        with pytest.raises(OntonomyError):
+            Ontonomy(sig, ["not an axiom"])
+
+    def test_model_for_other_signature_rejected(self):
+        sig1 = vehicle_signature()
+        sig2 = vehicle_signature()
+        model = vehicle_model(sig2)
+        with pytest.raises(OntonomyError):
+            Ontonomy(sig1).is_model(model)
+
+    def test_is_ontonomy_decider(self):
+        sig = vehicle_signature()
+        assert is_ontonomy(Ontonomy(sig))
+        assert not is_ontonomy("a grocery list")
+        assert not is_ontonomy(42)
+
+    def test_axiom_str_forms(self):
+        assert str(SubclassAxiom("a", "b")) == "a ⊑ b"
+        assert "∅" in str(DisjointAxiom("a", "b"))
+        assert "⊔" in str(CoverageAxiom("a", ("b", "c")))
+        assert "size" in str(AttributeValueAxiom("car", "size", frozenset({"small"})))

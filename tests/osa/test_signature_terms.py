@@ -1,0 +1,214 @@
+"""Unit tests for order-sorted signatures and terms."""
+
+import pytest
+
+from repro.order import Poset
+from repro.osa import (
+    OpDecl,
+    OrderSortedSignature,
+    OSApp,
+    OSVar,
+    SignatureError,
+    TermError,
+    constant,
+    ground_terms,
+    is_well_sorted,
+    least_sort,
+    match,
+    substitute,
+)
+
+
+def number_sorts() -> Poset:
+    return Poset(["Nat", "Int", "Rat"], [("Nat", "Int"), ("Int", "Rat")])
+
+
+def arithmetic_signature() -> OrderSortedSignature:
+    return OrderSortedSignature(
+        number_sorts(),
+        [
+            OpDecl("zero", (), "Nat"),
+            OpDecl("one", (), "Nat"),
+            OpDecl("succ", ("Nat",), "Nat"),
+            OpDecl("neg", ("Int",), "Int"),
+            # overloaded, monotone: more specific args, more specific result
+            OpDecl("plus", ("Nat", "Nat"), "Nat"),
+            OpDecl("plus", ("Int", "Int"), "Int"),
+        ],
+    )
+
+
+class TestSignature:
+    def test_unknown_sort_rejected(self):
+        with pytest.raises(SignatureError):
+            OrderSortedSignature(number_sorts(), [OpDecl("f", ("Bogus",), "Nat")])
+
+    def test_ranks_and_names(self):
+        sig = arithmetic_signature()
+        assert sig.operation_names == ["neg", "one", "plus", "succ", "zero"]
+        assert len(sig.ranks("plus")) == 2
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(SignatureError):
+            arithmetic_signature().ranks("bogus")
+
+    def test_constants(self):
+        names = {d.name for d in arithmetic_signature().constants()}
+        assert names == {"zero", "one"}
+
+    def test_monotonicity_holds(self):
+        assert arithmetic_signature().is_monotone()
+
+    def test_monotonicity_violated(self):
+        sig = OrderSortedSignature(
+            number_sorts(),
+            [
+                OpDecl("f", ("Nat",), "Rat"),  # specific args, general result
+                OpDecl("f", ("Int",), "Nat"),  # general args, specific result
+            ],
+        )
+        assert not sig.is_monotone()
+        with pytest.raises(SignatureError):
+            sig.validate()
+
+    def test_regularity_holds(self):
+        assert arithmetic_signature().is_regular()
+
+    def test_regularity_violated(self):
+        # two incomparable sorts under a common subsort, f declared on both
+        sorts = Poset(["A", "B", "C"], [("C", "A"), ("C", "B")])
+        sig = OrderSortedSignature(
+            sorts,
+            [OpDecl("f", ("A",), "A"), OpDecl("f", ("B",), "B"), OpDecl("c", (), "C")],
+        )
+        # argument of sort C fits both ranks, neither is least
+        assert not sig.is_regular()
+
+    def test_least_rank(self):
+        sig = arithmetic_signature()
+        rank = sig.least_rank("plus", ("Nat", "Nat"))
+        assert rank is not None and rank.result == "Nat"
+        rank = sig.least_rank("plus", ("Nat", "Int"))
+        assert rank is not None and rank.result == "Int"
+
+    def test_least_rank_absent(self):
+        sig = arithmetic_signature()
+        assert sig.least_rank("succ", ("Rat",)) is None
+
+    def test_opdecl_str(self):
+        assert str(OpDecl("zero", (), "Nat")) == "zero : -> Nat"
+        assert str(OpDecl("plus", ("Nat", "Nat"), "Nat")) == "plus : Nat Nat -> Nat"
+
+
+class TestTerms:
+    def test_least_sort_constant(self):
+        assert least_sort(constant("zero"), arithmetic_signature()) == "Nat"
+
+    def test_least_sort_nested(self):
+        sig = arithmetic_signature()
+        term = OSApp("plus", (constant("zero"), OSApp("neg", (constant("one"),))))
+        assert least_sort(term, sig) == "Int"
+
+    def test_least_sort_uses_least_overload(self):
+        sig = arithmetic_signature()
+        term = OSApp("plus", (constant("zero"), constant("one")))
+        assert least_sort(term, sig) == "Nat"
+
+    def test_variable_sort(self):
+        sig = arithmetic_signature()
+        assert least_sort(OSVar("x", "Int"), sig) == "Int"
+
+    def test_unknown_variable_sort_raises(self):
+        with pytest.raises(TermError):
+            least_sort(OSVar("x", "Bogus"), arithmetic_signature())
+
+    def test_ill_sorted_application(self):
+        sig = arithmetic_signature()
+        bad = OSApp("succ", (OSApp("neg", (constant("one"),)),))  # succ of Int
+        assert not is_well_sorted(bad, sig)
+        with pytest.raises(TermError):
+            least_sort(bad, sig)
+
+    def test_unknown_operation(self):
+        with pytest.raises(TermError):
+            least_sort(constant("bogus"), arithmetic_signature())
+
+    def test_term_size_and_variables(self):
+        x = OSVar("x", "Nat")
+        term = OSApp("plus", (x, OSApp("succ", (x,))))
+        assert term.size() == 4
+        assert term.variables() == frozenset({x})
+
+    def test_subterms(self):
+        x = OSVar("x", "Nat")
+        term = OSApp("succ", (x,))
+        assert set(term.subterms()) == {term, x}
+
+
+class TestSubstitution:
+    def test_substitute_respects_sorts(self):
+        sig = arithmetic_signature()
+        x = OSVar("x", "Int")
+        result = substitute(OSApp("neg", (x,)), {x: constant("zero")}, sig)
+        assert result == OSApp("neg", (constant("zero"),))
+
+    def test_substitute_rejects_sort_widening(self):
+        sig = arithmetic_signature()
+        x = OSVar("x", "Nat")
+        widened = OSApp("neg", (constant("one"),))  # sort Int ≰ Nat
+        with pytest.raises(TermError):
+            substitute(OSApp("succ", (x,)), {x: widened}, sig)
+
+    def test_substitute_leaves_unbound_variables(self):
+        sig = arithmetic_signature()
+        x, y = OSVar("x", "Nat"), OSVar("y", "Nat")
+        result = substitute(OSApp("plus", (x, y)), {x: constant("zero")}, sig)
+        assert result == OSApp("plus", (constant("zero"), y))
+
+
+class TestMatching:
+    def test_match_binds_variables(self):
+        sig = arithmetic_signature()
+        x = OSVar("x", "Nat")
+        pattern = OSApp("succ", (x,))
+        target = OSApp("succ", (constant("zero"),))
+        assert match(pattern, target, sig) == {x: constant("zero")}
+
+    def test_match_respects_variable_sort(self):
+        sig = arithmetic_signature()
+        x = OSVar("x", "Nat")
+        target = OSApp("neg", (constant("one"),))  # Int
+        assert match(x, target, sig) is None
+        y = OSVar("y", "Rat")
+        assert match(y, target, sig) == {y: target}
+
+    def test_match_nonlinear_pattern(self):
+        sig = arithmetic_signature()
+        x = OSVar("x", "Nat")
+        pattern = OSApp("plus", (x, x))
+        good = OSApp("plus", (constant("zero"), constant("zero")))
+        bad = OSApp("plus", (constant("zero"), constant("one")))
+        assert match(pattern, good, sig) is not None
+        assert match(pattern, bad, sig) is None
+
+    def test_match_wrong_operator(self):
+        sig = arithmetic_signature()
+        assert match(constant("zero"), constant("one"), sig) is None
+
+
+class TestGroundTerms:
+    def test_depth_one_is_constants(self):
+        sig = arithmetic_signature()
+        terms = list(ground_terms(sig, 1))
+        assert set(terms) == {constant("zero"), constant("one")}
+
+    def test_depth_two_closes_under_operations(self):
+        sig = arithmetic_signature()
+        terms = set(ground_terms(sig, 2))
+        assert OSApp("succ", (constant("zero"),)) in terms
+        assert OSApp("plus", (constant("zero"), constant("one"))) in terms
+
+    def test_all_enumerated_terms_well_sorted(self):
+        sig = arithmetic_signature()
+        for term in ground_terms(sig, 3):
+            assert is_well_sorted(term, sig)

@@ -1,0 +1,205 @@
+"""Unit tests for order-sorted unification and confluence checking."""
+
+import pytest
+
+from repro.order import Poset
+from repro.osa import (
+    Equation,
+    EquationalTheory,
+    OpDecl,
+    OrderSortedSignature,
+    OSApp,
+    OSVar,
+    RewriteSystem,
+    UnificationError,
+    apply_substitution,
+    constant,
+    critical_pairs,
+    is_locally_confluent,
+    replace_at,
+    subterm_at,
+    subterm_positions,
+    unify,
+)
+
+
+def signature() -> OrderSortedSignature:
+    sorts = Poset(
+        ["Nat", "Int", "Bool"],
+        [("Nat", "Int")],
+    )
+    return OrderSortedSignature(
+        sorts,
+        [
+            OpDecl("zero", (), "Nat"),
+            OpDecl("one", (), "Nat"),
+            OpDecl("s", ("Nat",), "Nat"),
+            OpDecl("neg", ("Int",), "Int"),
+            OpDecl("plus", ("Int", "Int"), "Int"),
+            OpDecl("tt", (), "Bool"),
+        ],
+    )
+
+
+class TestUnify:
+    def test_identical_terms(self):
+        sig = signature()
+        assert unify(constant("zero"), constant("zero"), sig) == {}
+
+    def test_var_binds_to_term(self):
+        sig = signature()
+        x = OSVar("x", "Nat")
+        unifier = unify(x, OSApp("s", (constant("zero"),)), sig)
+        assert unifier == {x: OSApp("s", (constant("zero"),))}
+
+    def test_sort_constraint_blocks_binding(self):
+        sig = signature()
+        x = OSVar("x", "Nat")
+        # neg(one) has sort Int ≰ Nat
+        assert unify(x, OSApp("neg", (constant("one"),)), sig) is None
+
+    def test_var_var_binds_toward_subsort(self):
+        sig = signature()
+        n, i = OSVar("n", "Nat"), OSVar("i", "Int")
+        unifier = unify(n, i, sig)
+        assert unifier == {i: n}
+
+    def test_var_var_incomparable_without_meet_fails(self):
+        sig = signature()
+        n, b = OSVar("n", "Nat"), OSVar("b", "Bool")
+        assert unify(n, b, sig) is None
+
+    def test_var_var_meet(self):
+        sorts = Poset(["A", "B", "C"], [("C", "A"), ("C", "B")])
+        sig = OrderSortedSignature(sorts, [OpDecl("c", (), "C")])
+        a, b = OSVar("a", "A"), OSVar("b", "B")
+        unifier = unify(a, b, sig)
+        assert unifier is not None
+        assert unifier[a] == unifier[b]
+        assert unifier[a].sort == "C"
+
+    def test_occurs_check(self):
+        sig = signature()
+        x = OSVar("x", "Nat")
+        assert unify(x, OSApp("s", (x,)), sig) is None
+
+    def test_structural_decomposition(self):
+        sig = signature()
+        x, y = OSVar("x", "Int"), OSVar("y", "Int")
+        t1 = OSApp("plus", (x, constant("one")))
+        t2 = OSApp("plus", (constant("zero"), y))
+        unifier = unify(t1, t2, sig)
+        assert unifier == {x: constant("zero"), y: constant("one")}
+        assert apply_substitution(t1, unifier) == apply_substitution(t2, unifier)
+
+    def test_clash(self):
+        sig = signature()
+        assert unify(constant("zero"), constant("one"), sig) is None
+
+    def test_shared_variable_through_both_terms(self):
+        sig = signature()
+        x, y = OSVar("x", "Nat"), OSVar("y", "Nat")
+        t1 = OSApp("plus", (x, x))
+        t2 = OSApp("plus", (y, constant("zero")))
+        unifier = unify(t1, t2, sig)
+        assert unifier is not None
+        assert apply_substitution(t1, unifier) == apply_substitution(t2, unifier)
+
+
+class TestPositions:
+    def test_positions_and_subterms(self):
+        term = OSApp("plus", (OSApp("s", (constant("zero"),)), constant("one")))
+        positions = subterm_positions(term)
+        assert () in positions and (0,) in positions and (0, 0) in positions
+        assert subterm_at(term, (0, 0)) == constant("zero")
+
+    def test_variables_not_positions(self):
+        x = OSVar("x", "Nat")
+        term = OSApp("s", (x,))
+        assert subterm_positions(term) == [()]
+
+    def test_replace_at(self):
+        term = OSApp("s", (constant("zero"),))
+        replaced = replace_at(term, (0,), constant("one"))
+        assert replaced == OSApp("s", (constant("one"),))
+        assert replace_at(term, (), constant("one")) == constant("one")
+
+    def test_bad_position_rejected(self):
+        with pytest.raises(UnificationError):
+            subterm_at(constant("zero"), (3,))
+
+
+def peano_theory() -> EquationalTheory:
+    sig = OrderSortedSignature(
+        Poset(["Nat"], []),
+        [
+            OpDecl("zero", (), "Nat"),
+            OpDecl("s", ("Nat",), "Nat"),
+            OpDecl("plus", ("Nat", "Nat"), "Nat"),
+        ],
+    )
+    x, y = OSVar("x", "Nat"), OSVar("y", "Nat")
+    return EquationalTheory(
+        sig,
+        [
+            Equation(OSApp("plus", (constant("zero"), y)), y),
+            Equation(
+                OSApp("plus", (OSApp("s", (x,)), y)),
+                OSApp("s", (OSApp("plus", (x, y)),)),
+            ),
+        ],
+    )
+
+
+class TestConfluence:
+    def test_peano_is_locally_confluent(self):
+        system = RewriteSystem(peano_theory())
+        assert is_locally_confluent(system)
+
+    def test_peano_critical_pairs_trivial(self):
+        # the two plus rules have disjoint head shapes: no proper overlap
+        assert critical_pairs(peano_theory()) == []
+
+    def test_nonconfluent_system_detected(self):
+        sig = OrderSortedSignature(
+            Poset(["S"], []),
+            [
+                OpDecl("a", (), "S"),
+                OpDecl("b", (), "S"),
+                OpDecl("c", (), "S"),
+                OpDecl("f", ("S",), "S"),
+            ],
+        )
+        x = OSVar("x", "S")
+        # f(x) → b  and  f(a) → c: the overlap at f(a) rewrites to b or c
+        theory = EquationalTheory(
+            sig,
+            [
+                Equation(OSApp("f", (x,)), constant("b")),
+                Equation(OSApp("f", (constant("a"),)), constant("c")),
+            ],
+        )
+        system = RewriteSystem(theory)
+        pairs = critical_pairs(theory)
+        assert pairs  # a genuine overlap exists
+        assert not is_locally_confluent(system)
+
+    def test_confluent_overlapping_system(self):
+        sig = OrderSortedSignature(
+            Poset(["S"], []),
+            [
+                OpDecl("a", (), "S"),
+                OpDecl("b", (), "S"),
+                OpDecl("f", ("S",), "S"),
+            ],
+        )
+        x = OSVar("x", "S")
+        # f(x) → b and f(a) → b overlap but join trivially
+        theory = EquationalTheory(
+            sig,
+            [
+                Equation(OSApp("f", (x,)), constant("b")),
+                Equation(OSApp("f", (constant("a"),)), constant("b")),
+            ],
+        )
+        assert is_locally_confluent(RewriteSystem(theory))

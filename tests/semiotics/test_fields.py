@@ -1,0 +1,152 @@
+"""Unit tests for semantic fields and lexicalizations."""
+
+import pytest
+
+from repro.corpora.lexical import (
+    AGE_FIELD,
+    DOOR_FIELD,
+    age_lexicalizations,
+    english_door,
+    french_age,
+    italian_age,
+    italian_door,
+    spanish_age,
+)
+from repro.semiotics import (
+    FieldError,
+    Lexicalization,
+    SemanticField,
+    aligned,
+    correspondence_table,
+    overlap_matrix,
+    render_table,
+)
+
+
+class TestField:
+    def test_membership(self):
+        assert "round_knob" in DOOR_FIELD
+        assert "piano" not in DOOR_FIELD
+        assert len(DOOR_FIELD) == 4
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(FieldError):
+            SemanticField("void", frozenset())
+
+
+class TestLexicalization:
+    def test_extents_and_terms(self):
+        english = english_door()
+        assert english.terms == ["door handle", "doorknob"]
+        assert english.extent("doorknob") == frozenset({"round_knob", "twist_grip"})
+
+    def test_terms_for_point(self):
+        italian = italian_door()
+        assert italian.terms_for("round_knob") == frozenset({"pomello"})
+        assert italian.terms_for("twist_grip") == frozenset({"maniglia"})
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(FieldError):
+            english_door().terms_for("piano")
+
+    def test_unknown_term_rejected(self):
+        with pytest.raises(FieldError):
+            english_door().extent("maniglia")
+
+    def test_uncovered_point_rejected(self):
+        with pytest.raises(FieldError):
+            Lexicalization("bad", DOOR_FIELD, {"knob": {"round_knob"}})
+
+    def test_empty_extent_rejected(self):
+        with pytest.raises(FieldError):
+            Lexicalization(
+                "bad",
+                DOOR_FIELD,
+                {"knob": set(), "handle": DOOR_FIELD.points},
+            )
+
+    def test_stray_point_rejected(self):
+        with pytest.raises(FieldError):
+            Lexicalization(
+                "bad",
+                DOOR_FIELD,
+                {"knob": {"piano"}, "handle": DOOR_FIELD.points},
+            )
+
+    def test_partition_check(self):
+        assert english_door().is_partition()
+        assert italian_door().is_partition()
+        # Italian age terms overlap on old_person: a covering, not a partition
+        assert not italian_age().is_partition()
+
+    def test_primary_term_prefers_specific(self):
+        spanish = spanish_age()
+        # anciano (1 point) beats viejo (2 points) on old_person
+        assert spanish.primary_term_for("old_person") == "anciano"
+        assert spanish.primary_term_for("old_thing") == "viejo"
+
+
+class TestOverlapSchema:
+    """T1: the doorknob/pomello schema, recomputed."""
+
+    def test_matrix_reproduces_the_paper_schema(self):
+        matrix = overlap_matrix(english_door(), italian_door())
+        # pomelli are, in general, doorknobs:
+        assert matrix[("doorknob", "pomello")] == 1
+        # ...but some doorknobs are, for the Italian, maniglie:
+        assert matrix[("doorknob", "maniglia")] == 1
+        # and no pomello is a door handle:
+        assert matrix[("door handle", "pomello")] == 0
+        assert matrix[("door handle", "maniglia")] == 2
+
+    def test_mismatched_fields_rejected(self):
+        with pytest.raises(FieldError):
+            overlap_matrix(english_door(), italian_age())
+
+    def test_alignment(self):
+        assert not aligned(english_door(), italian_door())
+        assert aligned(english_door(), english_door())
+
+
+class TestCorrespondenceTable:
+    """T2: the age-adjective table, recomputed."""
+
+    def test_paper_rows(self):
+        rows = correspondence_table(age_lexicalizations())
+        by_point = {row["point"]: row for row in rows}
+        # vecchio / viejo / vieux on things
+        assert by_point["old_thing"]["Italian"] == ("vecchio",)
+        assert by_point["old_thing"]["Spanish"] == ("viejo",)
+        assert by_point["old_thing"]["French"] == ("vieux",)
+        # añejo is Spanish-only for beverages
+        assert by_point["aged_beverage"]["Spanish"] == ("añejo",)
+        assert by_point["aged_beverage"]["Italian"] == ("vecchio",)
+        # seniority: anziano / antiguo / ancien
+        assert by_point["senior_in_function"]["Italian"] == ("anziano",)
+        assert by_point["senior_in_function"]["Spanish"] == ("antiguo",)
+        assert by_point["senior_in_function"]["French"] == ("ancien",)
+        # mayor is the Spanish softer form
+        assert by_point["respected_elder"]["Spanish"] == ("mayor",)
+        # antico / antiguo / antique
+        assert by_point["antique_artifact"]["Italian"] == ("antico",)
+        assert by_point["antique_artifact"]["Spanish"] == ("antiguo",)
+        assert by_point["antique_artifact"]["French"] == ("antique",)
+
+    def test_anziano_broader_than_anciano(self):
+        # "anziano has a broader meaning than the other two adjectives"
+        assert len(italian_age().extent("anziano")) > len(spanish_age().extent("anciano"))
+        assert len(italian_age().extent("anziano")) > len(french_age().extent("âgé"))
+
+    def test_render_table_contains_all_terms(self):
+        rows = correspondence_table(age_lexicalizations())
+        text = render_table(rows, ["Italian", "Spanish", "French"])
+        for term in ("vecchio", "añejo", "mayor", "ancien", "antique"):
+            assert term in text
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(FieldError):
+            correspondence_table([])
+
+    def test_mixed_fields_rejected(self):
+        with pytest.raises(FieldError):
+            correspondence_table([english_door(), italian_age()])

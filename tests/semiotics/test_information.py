@@ -1,0 +1,130 @@
+"""Unit and property tests for the information-theoretic field metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpora import (
+    age_lexicalizations,
+    english_door,
+    italian_door,
+    random_field,
+    random_lexicalization,
+)
+from repro.semiotics import (
+    FieldError,
+    Lexicalization,
+    SemanticField,
+    joint_entropy,
+    mutual_information,
+    term_entropy,
+    variation_of_information,
+)
+
+
+def trivial_lex() -> Lexicalization:
+    field = SemanticField("f", frozenset({"p0", "p1", "p2", "p3"}))
+    return Lexicalization("blob", field, {"thing": field.points})
+
+
+def maximal_lex() -> Lexicalization:
+    field = SemanticField("f", frozenset({"p0", "p1", "p2", "p3"}))
+    return Lexicalization(
+        "precise", field, {f"t{p}": {p} for p in field.points}
+    )
+
+
+class TestEntropy:
+    def test_no_distinctions_zero_entropy(self):
+        assert term_entropy(trivial_lex()) == 0.0
+
+    def test_full_distinctions_max_entropy(self):
+        assert term_entropy(maximal_lex()) == pytest.approx(2.0)  # log2(4)
+
+    def test_english_door_one_bit(self):
+        # two equal blocks over four points: exactly 1 bit
+        assert term_entropy(english_door()) == pytest.approx(1.0)
+
+    def test_italian_door_less_balanced(self):
+        # blocks of size 1 and 3: H = -(1/4)log(1/4) - (3/4)log(3/4)
+        expected = -(0.25 * math.log2(0.25) + 0.75 * math.log2(0.75))
+        assert term_entropy(italian_door()) == pytest.approx(expected)
+
+
+class TestMutualInformation:
+    def test_self_information_is_entropy(self):
+        english = english_door()
+        assert mutual_information(english, english) == pytest.approx(
+            term_entropy(english)
+        )
+
+    def test_door_languages_share_information(self):
+        mi = mutual_information(english_door(), italian_door())
+        assert 0 < mi < term_entropy(english_door()) + 1e-9 or mi > 0
+
+    def test_mismatched_fields_rejected(self):
+        with pytest.raises(FieldError):
+            joint_entropy(english_door(), age_lexicalizations()[0])
+
+
+class TestVariationOfInformation:
+    def test_zero_on_self(self):
+        assert variation_of_information(english_door(), english_door()) == 0.0
+
+    def test_positive_on_misaligned(self):
+        assert variation_of_information(english_door(), italian_door()) > 0
+
+    def test_symmetry(self):
+        a, b = english_door(), italian_door()
+        assert variation_of_information(a, b) == pytest.approx(
+            variation_of_information(b, a)
+        )
+
+    def test_age_languages_pairwise(self):
+        lexs = age_lexicalizations()
+        for x in lexs:
+            for y in lexs:
+                vi = variation_of_information(x, y)
+                assert vi >= 0
+                if x is y:
+                    assert vi == 0
+
+
+# ---------------------------------------------------------------------- #
+# property-based: metric axioms on random lexicalizations
+# ---------------------------------------------------------------------- #
+
+FIELD = random_field(5, n_points=5)
+
+
+@st.composite
+def lex(draw, language):
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    return random_lexicalization(seed, FIELD, language=language, n_terms=3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(lex("A"), lex("B"))
+def test_vi_nonnegative_and_symmetric(a, b):
+    vi = variation_of_information(a, b)
+    assert vi >= 0
+    assert vi == pytest.approx(variation_of_information(b, a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(lex("A"), lex("B"), lex("C"))
+def test_vi_triangle_inequality(a, b, c):
+    ab = variation_of_information(a, b)
+    bc = variation_of_information(b, c)
+    ac = variation_of_information(a, c)
+    assert ac <= ab + bc + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(lex("A"), lex("B"))
+def test_mi_bounded_by_entropies(a, b):
+    mi = mutual_information(a, b)
+    assert mi <= term_entropy(a) + 1e-9
+    assert mi <= term_entropy(b) + 1e-9

@@ -1,0 +1,138 @@
+"""Unit and property tests for distinction partitions and the interlingua."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import imposition_loss
+from repro.corpora import (
+    age_lexicalizations,
+    english_door,
+    french_age,
+    italian_age,
+    italian_door,
+    random_field,
+    random_lexicalization,
+)
+from repro.semiotics import (
+    FieldError,
+    Lexicalization,
+    common_refinement,
+    distinctions,
+    granularity,
+    interlingua,
+    refines,
+)
+
+
+class TestDistinctions:
+    def test_partition_covers_field(self):
+        blocks = distinctions(english_door())
+        union = {p for block in blocks for p in block}
+        assert union == set(english_door().field.points)
+
+    def test_english_door_draws_two_distinctions(self):
+        assert granularity(english_door()) == 2
+
+    def test_italian_door_draws_two_distinctions(self):
+        # pomello vs maniglia also yields two blocks, but different ones
+        assert granularity(italian_door()) == 2
+        assert distinctions(italian_door()) != distinctions(english_door())
+
+    def test_overlapping_terms_create_finer_blocks(self):
+        # Italian age: anziano/vecchio overlap on old_person, so the
+        # signature of old_person differs from old_thing's
+        blocks = distinctions(italian_age())
+        assert frozenset({"old_person"}) in blocks
+
+
+class TestRefines:
+    def test_reflexive(self):
+        assert refines(english_door(), english_door())
+
+    def test_neither_door_language_refines_the_other(self):
+        assert not refines(english_door(), italian_door())
+        assert not refines(italian_door(), english_door())
+
+    def test_french_refines_italian_age(self):
+        # matches the imposition table: French-on-Italian loss is 0
+        assert refines(french_age(), italian_age())
+        assert imposition_loss(french_age(), italian_age()) == 0.0
+
+    def test_refinement_iff_zero_imposition_loss(self):
+        lexs = age_lexicalizations()
+        for imposed in lexs:
+            for community in lexs:
+                zero_loss = imposition_loss(imposed, community) == 0.0
+                assert refines(imposed, community) == zero_loss
+
+    def test_mismatched_fields_rejected(self):
+        with pytest.raises(FieldError):
+            refines(english_door(), italian_age())
+
+
+class TestInterlingua:
+    def test_common_refinement_is_finer_than_each(self):
+        lexs = age_lexicalizations()
+        shared = interlingua(lexs)
+        for lex in lexs:
+            assert refines(shared, lex)
+
+    def test_interlingua_is_a_partition(self):
+        shared = interlingua(age_lexicalizations())
+        assert shared.is_partition()
+
+    def test_interlingua_erases_overlap_structure(self):
+        # Spanish distinguishes mayor from anciano by REGISTER on
+        # overlapping extents; the interlingua has no overlaps at all —
+        # the nuance is legislated away
+        shared = interlingua(age_lexicalizations())
+        spanish = age_lexicalizations()[1]
+        assert not spanish.is_partition()
+        assert shared.is_partition()
+
+    def test_block_count_bounded_by_field(self):
+        blocks = common_refinement(age_lexicalizations())
+        assert len(blocks) <= len(age_lexicalizations()[0].field)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(FieldError):
+            common_refinement([])
+
+    def test_mixed_fields_rejected(self):
+        with pytest.raises(FieldError):
+            common_refinement([english_door(), italian_age()])
+
+
+# ---------------------------------------------------------------------- #
+# property-based
+# ---------------------------------------------------------------------- #
+
+FIELD = random_field(0, n_points=5)
+
+
+@st.composite
+def lex(draw, language):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_lexicalization(seed, FIELD, language=language, n_terms=3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(lex("A"), lex("B"))
+def test_interlingua_refines_both(a, b):
+    shared = interlingua([a, b])
+    assert refines(shared, a)
+    assert refines(shared, b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(lex("A"), lex("B"))
+def test_refinement_implies_zero_loss(a, b):
+    if refines(a, b):
+        assert imposition_loss(a, b) == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(lex("A"))
+def test_granularity_bounds(a):
+    assert 1 <= granularity(a) <= len(FIELD)

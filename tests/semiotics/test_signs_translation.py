@@ -1,0 +1,178 @@
+"""Unit tests for signs (designation vs signification), translation loss,
+and differential meaning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpora.lexical import (
+    AGE_FIELD,
+    english_door,
+    french_age,
+    italian_age,
+    italian_door,
+    spanish_age,
+)
+from repro.semiotics import (
+    Expression,
+    FieldError,
+    Lexicalization,
+    SemanticField,
+    designation_confusion,
+    husserl_example,
+    jaccard_distance,
+    lossless_iff_aligned,
+    oppositions,
+    partial_overlaps,
+    requires_differential_explanation,
+    same_designation,
+    same_signification,
+    same_value,
+    translate_point,
+    translate_term,
+    translation_report,
+    value_of,
+)
+
+
+class TestSigns:
+    def test_husserl_same_designation_different_signification(self):
+        winner, loser = husserl_example()
+        assert same_designation(winner, loser)
+        assert not same_signification(winner, loser)
+        assert designation_confusion(winner, loser)
+
+    def test_identical_expressions_no_confusion(self):
+        winner, _ = husserl_example()
+        assert not designation_confusion(winner, winner)
+
+    def test_different_designata(self):
+        a = Expression("the capital of France", frozenset({("capital", "France")}), "Paris")
+        b = Expression("the capital of Spain", frozenset({("capital", "Spain")}), "Madrid")
+        assert not same_designation(a, b)
+        assert not same_signification(a, b)
+        assert not designation_confusion(a, b)
+
+
+class TestTranslation:
+    def test_translate_term_doorknob(self):
+        # doorknob's best Italian fit overlaps on one point each way;
+        # the tie is broken toward the more specific term
+        english, italian = english_door(), italian_door()
+        assert translate_term(english, italian, "doorknob") == "pomello"
+        assert translate_term(english, italian, "door handle") == "maniglia"
+
+    def test_translate_back_is_lossy(self):
+        english, italian = english_door(), italian_door()
+        # maniglia covers 3 points; best English fit is door handle (2 shared)
+        assert translate_term(italian, english, "maniglia") == "door handle"
+        # so twist_grip's Italian word round-trips to the WRONG English term
+        report = translation_report(english, italian)
+        assert not report.lossless
+        assert report.mean_distortion > 0
+
+    def test_translate_point(self):
+        assert translate_point(italian_door(), "round_knob") == "pomello"
+        assert translate_point(spanish_age(), "respected_elder") == "mayor"
+
+    def test_identity_translation_lossless(self):
+        report = translation_report(english_door(), english_door())
+        assert report.lossless
+        assert report.round_trip_failures == ()
+
+    def test_age_translation_italian_spanish(self):
+        report = translation_report(italian_age(), spanish_age())
+        mapping = dict(report.term_map)
+        assert mapping["vecchio"] == "viejo"
+        assert mapping["antico"] == "antiguo"
+        # anziano has no exact Spanish counterpart: distortion is nonzero
+        distortion = dict(report.distortion)
+        assert distortion["anziano"] > 0
+
+    def test_mismatched_fields_rejected(self):
+        with pytest.raises(FieldError):
+            translate_term(english_door(), italian_age(), "doorknob")
+
+    def test_jaccard_distance(self):
+        a = frozenset({1, 2})
+        b = frozenset({2, 3})
+        assert jaccard_distance(a, a) == 0.0
+        assert jaccard_distance(a, frozenset()) == 1.0
+        assert abs(jaccard_distance(a, b) - (1 - 1 / 3)) < 1e-12
+
+    def test_lossless_iff_aligned_on_paper_data(self):
+        assert lossless_iff_aligned(english_door(), italian_door())
+        assert lossless_iff_aligned(italian_age(), spanish_age())
+        assert lossless_iff_aligned(english_door(), english_door())
+
+
+class TestOpposition:
+    def test_oppositions_kinds(self):
+        spanish = spanish_age()
+        kinds = {o.rival: o.kind for o in oppositions(spanish, "viejo")}
+        assert kinds["añejo"] == "exclusive"
+        assert kinds["anciano"] == "hypernym"  # anciano inside viejo
+
+    def test_value_is_system_relative(self):
+        # doorknob and door handle occupy symmetric slots within English
+        assert same_value(english_door(), "doorknob", english_door(), "door handle")
+        # but antico ≠ antique: Italian carves age with 3 terms, French
+        # with 4, so the "same" word sits in a different web of oppositions
+        # — value is relative to the whole system, as Saussure has it
+        assert not same_value(italian_age(), "antico", french_age(), "antique")
+
+    def test_doorknob_and_pomello_differ_in_value(self):
+        # same field, overlapping extents, different positions
+        assert not same_value(english_door(), "doorknob", italian_door(), "pomello")
+
+    def test_partial_overlaps_doorknob_maniglia(self):
+        overlaps = partial_overlaps(english_door(), italian_door())
+        pairs = {(a, b) for a, b, _ in overlaps}
+        assert ("doorknob", "maniglia") in pairs
+
+    def test_requires_differential_explanation(self):
+        assert requires_differential_explanation(english_door(), italian_door())
+        assert requires_differential_explanation(italian_age(), spanish_age())
+        # a language compared with itself never partially overlaps
+        assert not requires_differential_explanation(english_door(), english_door())
+
+    def test_value_of_profile_shape(self):
+        value = value_of(english_door(), "doorknob")
+        assert value.extent_size == 2
+        assert value.opposition_profile == (("exclusive", 1),)
+
+
+# ---------------------------------------------------------------------- #
+# property-based: translation loss is zero iff lexicalizations align
+# ---------------------------------------------------------------------- #
+
+POINTS = ["p0", "p1", "p2", "p3"]
+FIELD = SemanticField("random", frozenset(POINTS))
+
+
+@st.composite
+def random_lexicalization(draw, language: str):
+    n_terms = draw(st.integers(min_value=1, max_value=3))
+    extents = {}
+    # guarantee coverage: partition the points among terms, then optionally
+    # grow extents
+    assignment = draw(st.lists(st.integers(0, n_terms - 1), min_size=4, max_size=4))
+    for i in range(n_terms):
+        extents[f"{language}_t{i}"] = {p for p, a in zip(POINTS, assignment) if a == i}
+    extras = draw(st.lists(st.tuples(st.integers(0, n_terms - 1), st.sampled_from(POINTS)), max_size=4))
+    for term_index, point in extras:
+        extents[f"{language}_t{term_index}"].add(point)
+    extents = {t: e for t, e in extents.items() if e}
+    return Lexicalization(language, FIELD, extents)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_lexicalization("A"), random_lexicalization("B"))
+def test_lossless_iff_aligned_property(a, b):
+    assert lossless_iff_aligned(a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_lexicalization("A"))
+def test_self_translation_always_lossless(a):
+    assert translation_report(a, a).lossless

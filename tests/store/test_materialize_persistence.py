@@ -1,0 +1,142 @@
+"""Unit tests for DL-backed materialization and JSONL persistence."""
+
+import pytest
+
+from repro.corpora.vehicles import vehicle_tbox
+from repro.dl import Atomic, parse_concept
+from repro.store import (
+    MaterializeError,
+    StoreError,
+    TripleStore,
+    instances_of,
+    load_jsonl,
+    materialize,
+    save_jsonl,
+    store_to_abox,
+)
+
+
+def instance_store() -> TripleStore:
+    store = TripleStore()
+    store.update(
+        [
+            ("herbie", "type", "car"),
+            ("bigfoot", "type", "pickup"),
+            ("herbie", "color", "white"),  # not terminology-relevant
+            ("herbie", "uses", "premium_gasoline"),
+        ]
+    )
+    return store
+
+
+class TestStoreToABox:
+    def test_concept_and_role_assertions_extracted(self):
+        abox = store_to_abox(instance_store(), vehicle_tbox())
+        assert len(abox.concept_assertions()) == 2
+        assert len(abox.role_assertions()) == 1  # uses is a TBox role
+        assert abox.individuals() >= {"herbie", "bigfoot"}
+
+    def test_unknown_concepts_ignored(self):
+        store = TripleStore()
+        store.add("x", "type", "spaceship")
+        abox = store_to_abox(store, vehicle_tbox())
+        assert len(abox) == 0
+
+    def test_non_string_type_object_rejected(self):
+        store = TripleStore()
+        store.add("x", "type", 42)
+        with pytest.raises(MaterializeError):
+            store_to_abox(store, vehicle_tbox())
+
+
+class TestMaterialize:
+    def test_inferred_types_written_back(self):
+        result = materialize(instance_store(), vehicle_tbox())
+        # car ⊑ motorvehicle ⊓ roadvehicle: both inferred
+        assert ("herbie", "type", "motorvehicle") in result
+        assert ("herbie", "type", "roadvehicle") in result
+        assert ("bigfoot", "type", "motorvehicle") in result
+        # told facts and plain data survive
+        assert ("herbie", "type", "car") in result
+        assert ("herbie", "color", "white") in result
+
+    def test_original_store_untouched(self):
+        store = instance_store()
+        materialize(store, vehicle_tbox())
+        assert ("herbie", "type", "motorvehicle") not in store
+
+    def test_no_cross_contamination(self):
+        result = materialize(instance_store(), vehicle_tbox())
+        assert ("herbie", "type", "pickup") not in result
+        assert ("bigfoot", "type", "car") not in result
+
+    def test_empty_store(self):
+        result = materialize(TripleStore(), vehicle_tbox())
+        assert len(result) == 0
+
+    def test_queries_after_materialization(self):
+        from repro.store import Pattern, Query, Var
+
+        result = materialize(instance_store(), vehicle_tbox())
+        x = Var("x")
+        rows = Query([Pattern(x, "type", "motorvehicle")]).run(result)
+        assert rows == [("bigfoot",), ("herbie",)]
+
+
+class TestInstancesOf:
+    def test_atomic_query(self):
+        rows = instances_of(instance_store(), vehicle_tbox(), Atomic("motorvehicle"))
+        assert rows == ["bigfoot", "herbie"]
+
+    def test_complex_concept_query(self):
+        concept = parse_concept("some uses.gasoline")
+        rows = instances_of(instance_store(), vehicle_tbox(), concept)
+        assert "herbie" in rows and "bigfoot" in rows
+
+    def test_empty_store_no_answers(self):
+        assert instances_of(TripleStore(), vehicle_tbox(), Atomic("car")) == []
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        store = instance_store()
+        path = tmp_path / "facts.jsonl"
+        written = save_jsonl(store, path)
+        assert written == len(store)
+        loaded = load_jsonl(path)
+        assert {tuple(t) for t in loaded} == {tuple(t) for t in store}
+
+    def test_empty_round_trip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_jsonl(TripleStore(), path)
+        assert len(load_jsonl(path)) == 0
+
+    def test_numbers_and_none_survive(self, tmp_path):
+        store = TripleStore()
+        store.add("x", "count", 4)
+        store.add("x", "ratio", 0.5)
+        store.add("x", "note", None)
+        path = tmp_path / "mixed.jsonl"
+        save_jsonl(store, path)
+        loaded = load_jsonl(path)
+        assert ("x", "count", 4) in loaded
+        assert ("x", "ratio", 0.5) in loaded
+        assert ("x", "note", None) in loaded
+
+    def test_non_scalar_rejected(self, tmp_path):
+        store = TripleStore()
+        store.add("x", "p", ("tu", "ple"))
+        with pytest.raises(StoreError):
+            save_jsonl(store, tmp_path / "bad.jsonl")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('["a", "b", "c"]\nnot json\n', encoding="utf-8")
+        with pytest.raises(StoreError):
+            load_jsonl(path)
+
+    def test_wrong_arity_rejected(self, tmp_path):
+        path = tmp_path / "short.jsonl"
+        path.write_text('["a", "b"]\n', encoding="utf-8")
+        with pytest.raises(StoreError):
+            load_jsonl(path)

@@ -1,0 +1,149 @@
+"""Tests for cardinality estimation and join ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import Pattern, Query, StoreError, TripleStore, Var, match
+
+
+def skewed_store() -> TripleStore:
+    """One huge predicate, one tiny: join order matters here."""
+    store = TripleStore()
+    for i in range(300):
+        store.add(f"s{i}", "common", f"o{i % 10}")
+    store.add("s5", "rare", "target")
+    store.add("s6", "rare", "other")
+    return store
+
+
+class TestEstimate:
+    def test_unbound_is_store_size(self):
+        store = skewed_store()
+        assert store.estimate() == len(store)
+
+    def test_bound_subject(self):
+        store = skewed_store()
+        assert store.estimate(subject="s5") == 2  # one common + one rare triple
+        assert store.estimate(subject="ghost") == 0
+
+    def test_bound_predicate(self):
+        store = skewed_store()
+        assert store.estimate(predicate="rare") == 2
+        assert store.estimate(predicate="common") == 300
+        assert store.estimate(predicate="ghost") == 0
+
+    def test_bound_subject_predicate(self):
+        store = skewed_store()
+        assert store.estimate(subject="s5", predicate="rare") == 1
+        assert store.estimate(subject="s5", predicate="ghost") == 0
+
+    def test_bound_predicate_object(self):
+        store = skewed_store()
+        assert store.estimate(predicate="rare", object="target") == 1
+
+    def test_bound_object_only(self):
+        store = skewed_store()
+        assert store.estimate(object="target") == 1
+        assert store.estimate(object="ghost") == 0
+
+    def test_estimate_is_upper_bound(self):
+        store = skewed_store()
+        patterns = [
+            {}, {"subject": "s5"}, {"predicate": "rare"},
+            {"object": "o1"}, {"subject": "s5", "predicate": "common"},
+        ]
+        for kw in patterns:
+            assert store.count(**kw) <= store.estimate(**kw)
+
+
+class TestJoinOrdering:
+    def query(self, order):
+        x, y = Var("x"), Var("y")
+        return Query(
+            [Pattern(x, "common", y), Pattern(x, "rare", "target")],
+            select=[x],
+            order=order,
+        )
+
+    def test_all_orders_same_answers(self):
+        store = skewed_store()
+        results = {
+            order: self.query(order).run(store)
+            for order in ("selectivity", "most-bound", "static")
+        }
+        assert results["selectivity"] == results["most-bound"] == results["static"]
+        assert results["selectivity"] == [("s5",)]
+
+    def test_unknown_order_rejected(self):
+        store = skewed_store()
+        x = Var("x")
+        with pytest.raises(StoreError):
+            list(match(store, [Pattern(x, "rare", "target")], order="chaotic"))
+
+    def test_selectivity_explores_less(self):
+        """Count store accesses: selectivity order must touch fewer triples."""
+
+        class CountingStore(TripleStore):
+            def __init__(self):
+                super().__init__()
+                self.scanned = 0
+
+            def triples(self, subject=None, predicate=None, object=None):
+                for t in super().triples(subject, predicate, object):
+                    self.scanned += 1
+                    yield t
+
+        def run(order):
+            store = CountingStore()
+            for i in range(300):
+                store.add(f"s{i}", "common", f"o{i % 10}")
+            store.add("s5", "rare", "target")
+            x, y = Var("x"), Var("y")
+            list(
+                match(
+                    store,
+                    [Pattern(x, "common", y), Pattern(x, "rare", "target")],
+                    order=order,
+                )
+            )
+            return store.scanned
+
+        assert run("selectivity") < run("static")
+
+
+# ---------------------------------------------------------------------- #
+# property-based: all join orders agree
+# ---------------------------------------------------------------------- #
+
+values = st.sampled_from(["a", "b", "c"])
+triples_strategy = st.lists(st.tuples(values, values, values), max_size=15)
+
+
+@settings(max_examples=50, deadline=None)
+@given(triples_strategy)
+def test_orders_agree_on_random_data(rows):
+    store = TripleStore()
+    store.update(rows)
+    x, y = Var("x"), Var("y")
+    patterns = [Pattern(x, "a", y), Pattern(y, "b", x)]
+    expected = None
+    for order in ("selectivity", "most-bound", "static"):
+        got = sorted(
+            tuple(sorted((v.name, val) for v, val in b.items()))
+            for b in match(store, patterns, order=order)
+        )
+        if expected is None:
+            expected = got
+        assert got == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(triples_strategy)
+def test_estimate_never_undercounts(rows):
+    store = TripleStore()
+    store.update(rows)
+    for s in (None, "a"):
+        for p in (None, "b"):
+            for o in (None, "c"):
+                assert store.count(s, p, o) <= store.estimate(s, p, o)

@@ -1,0 +1,342 @@
+"""Unit and property tests for the triple store and query engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import Pattern, Query, StoreError, Triple, TripleStore, Var, match
+
+
+def sample_store(use_indexes: bool = True) -> TripleStore:
+    store = TripleStore(use_indexes=use_indexes)
+    store.update(
+        [
+            ("herbie", "type", "car"),
+            ("herbie", "size", "small"),
+            ("herbie", "uses", "gasoline"),
+            ("bigfoot", "type", "pickup"),
+            ("bigfoot", "size", "big"),
+            ("rex", "type", "dog"),
+            ("rex", "size", "small"),
+        ]
+    )
+    return store
+
+
+class TestTripleStore:
+    def test_add_and_len(self):
+        assert len(sample_store()) == 7
+
+    def test_add_idempotent(self):
+        store = sample_store()
+        store.add("herbie", "type", "car")
+        assert len(store) == 7
+
+    def test_contains(self):
+        store = sample_store()
+        assert ("herbie", "type", "car") in store
+        assert ("herbie", "type", "dog") not in store
+
+    def test_remove(self):
+        store = sample_store()
+        store.remove("rex", "type", "dog")
+        assert ("rex", "type", "dog") not in store
+        assert len(store) == 6
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(StoreError):
+            sample_store().remove("ghost", "type", "car")
+
+    def test_pattern_queries_every_shape(self):
+        store = sample_store()
+        assert store.count(subject="herbie") == 3
+        assert store.count(predicate="type") == 3
+        assert store.count(object="small") == 2
+        assert store.count(subject="herbie", predicate="size") == 1
+        assert store.count(predicate="type", object="car") == 1
+        assert store.count(subject="herbie", object="small") == 1
+        assert store.count() == 7
+        assert store.count(subject="ghost") == 0
+
+    def test_fully_bound_pattern(self):
+        store = sample_store()
+        assert store.count(subject="herbie", predicate="type", object="car") == 1
+        assert store.count(subject="herbie", predicate="type", object="dog") == 0
+
+    def test_vocabulary_views(self):
+        store = sample_store()
+        assert "herbie" in store.subjects()
+        assert store.predicates() == frozenset({"type", "size", "uses"})
+        assert "gasoline" in store.objects()
+
+    def test_copy_independent(self):
+        store = sample_store()
+        clone = store.copy()
+        clone.add("new", "type", "car")
+        assert len(store) == 7
+        assert len(clone) == 8
+
+    def test_scan_mode_matches_indexed_mode(self):
+        indexed = sample_store(use_indexes=True)
+        scanning = sample_store(use_indexes=False)
+        for pattern in [
+            {}, {"subject": "herbie"}, {"predicate": "type"},
+            {"object": "small"}, {"subject": "herbie", "predicate": "size"},
+        ]:
+            a = sorted(map(str, indexed.triples(**pattern)))
+            b = sorted(map(str, scanning.triples(**pattern)))
+            assert a == b
+
+    def test_remove_cleans_indexes(self):
+        store = TripleStore()
+        store.add("a", "p", "b")
+        store.remove("a", "p", "b")
+        assert store.count(subject="a") == 0
+        assert store.count(predicate="p") == 0
+        assert store.count(object="b") == 0
+
+
+class TestQuery:
+    def test_single_pattern(self):
+        x = Var("x")
+        rows = Query([Pattern(x, "type", "car")]).run(sample_store())
+        assert rows == [("herbie",)]
+
+    def test_join_two_patterns(self):
+        x = Var("x")
+        rows = Query(
+            [Pattern(x, "type", "car"), Pattern(x, "size", "small")]
+        ).run(sample_store())
+        assert rows == [("herbie",)]
+
+    def test_join_is_selective(self):
+        x = Var("x")
+        # small things that are dogs
+        rows = Query(
+            [Pattern(x, "size", "small"), Pattern(x, "type", "dog")]
+        ).run(sample_store())
+        assert rows == [("rex",)]
+
+    def test_multi_variable(self):
+        x, y = Var("x"), Var("y")
+        rows = Query(
+            [Pattern(x, "type", y)], select=[x, y]
+        ).run(sample_store())
+        assert ("herbie", "car") in rows
+        assert ("rex", "dog") in rows
+        assert len(rows) == 3
+
+    def test_variable_in_predicate_position(self):
+        p = Var("p")
+        rows = Query([Pattern("herbie", p, "small")]).run(sample_store())
+        assert rows == [("small",)] if False else rows == [("size",)]
+
+    def test_shared_variable_consistency(self):
+        x = Var("x")
+        # x must be the same in both: size(x) = type-object(x) never holds
+        rows = Query(
+            [Pattern(x, "size", x)]
+        ).run(sample_store())
+        assert rows == []
+
+    def test_filters(self):
+        x, s = Var("x"), Var("s")
+        rows = Query(
+            [Pattern(x, "size", s)],
+            select=[x],
+            filters=[lambda b: b[s] == "big"],
+        ).run(sample_store())
+        assert rows == [("bigfoot",)]
+
+    def test_projection_unknown_variable_rejected(self):
+        x = Var("x")
+        with pytest.raises(StoreError):
+            Query([Pattern(x, "type", "car")], select=[Var("nope")])
+
+    def test_default_projection_sorted_by_name(self):
+        x, y = Var("b"), Var("a")
+        query = Query([Pattern(x, "type", y)])
+        assert [v.name for v in query.select] == ["a", "b"]
+
+    def test_match_generator_bindings(self):
+        x = Var("x")
+        bindings = list(match(sample_store(), [Pattern(x, "type", "car")]))
+        assert bindings == [{x: "herbie"}]
+
+    def test_empty_patterns_yield_one_empty_binding(self):
+        assert list(match(sample_store(), [])) == [{}]
+
+
+# ---------------------------------------------------------------------- #
+# property-based: index coherence — all access paths agree
+# ---------------------------------------------------------------------- #
+
+values = st.sampled_from(["a", "b", "c", "d"])
+triples_strategy = st.lists(st.tuples(values, values, values), max_size=20)
+
+
+@settings(max_examples=60, deadline=None)
+@given(triples_strategy)
+def test_indexed_and_scan_agree(rows):
+    indexed = TripleStore(use_indexes=True)
+    scanning = TripleStore(use_indexes=False)
+    indexed.update(rows)
+    scanning.update(rows)
+    assert len(indexed) == len(scanning) == len(set(rows))
+    for s in (None, "a", "b"):
+        for p in (None, "a", "c"):
+            for o in (None, "b", "d"):
+                a = sorted(map(str, indexed.triples(s, p, o)))
+                b = sorted(map(str, scanning.triples(s, p, o)))
+                assert a == b
+
+
+@settings(max_examples=60, deadline=None)
+@given(triples_strategy, triples_strategy)
+def test_add_remove_roundtrip(keep, drop):
+    store = TripleStore()
+    store.update(keep)
+    store.update(drop)
+    for s, p, o in set(drop):
+        store.remove(s, p, o)
+        # removing must never disturb other triples
+    survivors = {tuple(t) for t in store}
+    assert survivors == set(map(tuple, keep)) - set(map(tuple, drop))
+
+
+class TestProvenance:
+    def test_untagged_by_default(self):
+        store = sample_store()
+        assert store.provenance("herbie", "type", "car") is None
+
+    def test_tag_on_add(self):
+        store = TripleStore()
+        store.add("a", "type", "car", provenance="told")
+        assert store.provenance("a", "type", "car") == "told"
+
+    def test_retag_existing(self):
+        store = TripleStore()
+        store.add("a", "type", "car")
+        store.add("a", "type", "car", provenance="imported")
+        assert store.provenance("a", "type", "car") == "imported"
+        assert len(store) == 1
+
+    def test_remove_clears_tag(self):
+        store = TripleStore()
+        store.add("a", "type", "car", provenance="told")
+        store.remove("a", "type", "car")
+        store.add("a", "type", "car")
+        assert store.provenance("a", "type", "car") is None
+
+    def test_copy_preserves_tags(self):
+        store = TripleStore()
+        store.add("a", "type", "car", provenance="told")
+        clone = store.copy()
+        assert clone.provenance("a", "type", "car") == "told"
+
+    def test_materialize_marks_inferences(self):
+        from repro.corpora import vehicle_tbox
+        from repro.store import materialize
+
+        store = TripleStore()
+        store.add("herbie", "type", "car")
+        inferred = materialize(store, vehicle_tbox())
+        # the told fact stays untagged; the entailed ones are marked
+        assert inferred.provenance("herbie", "type", "car") is None
+        assert inferred.provenance("herbie", "type", "motorvehicle") == "inferred"
+        assert inferred.provenance("herbie", "type", "roadvehicle") == "inferred"
+
+
+class TestTransactions:
+    def test_commit_on_success(self):
+        store = TripleStore()
+        with store.transaction():
+            store.add("a", "p", "b")
+            store.add("c", "p", "d")
+        assert len(store) == 2
+
+    def test_rollback_on_exception(self):
+        store = TripleStore()
+        store.add("keep", "p", "v")
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.add("a", "p", "b")
+                store.remove("keep", "p", "v")
+                raise RuntimeError("abort")
+        assert ("keep", "p", "v") in store
+        assert ("a", "p", "b") not in store
+        assert len(store) == 1
+
+    def test_rollback_restores_provenance(self):
+        store = TripleStore()
+        store.add("a", "p", "b", provenance="told")
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.remove("a", "p", "b")
+                store.add("a", "p", "b", provenance="inferred")
+                raise RuntimeError("abort")
+        assert store.provenance("a", "p", "b") == "told"
+
+    def test_rollback_restores_retag(self):
+        store = TripleStore()
+        store.add("a", "p", "b")
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.add("a", "p", "b", provenance="sneaky")
+                raise RuntimeError("abort")
+        assert store.provenance("a", "p", "b") is None
+
+    def test_nested_transactions_rejected(self):
+        store = TripleStore()
+        with pytest.raises(StoreError):
+            with store.transaction():
+                with store.transaction():
+                    pass
+
+    def test_store_usable_after_rollback(self):
+        store = TripleStore()
+        with pytest.raises(ValueError):
+            with store.transaction():
+                store.add("a", "p", "b")
+                raise ValueError
+        with store.transaction():
+            store.add("x", "p", "y")
+        assert ("x", "p", "y") in store
+        assert ("a", "p", "b") not in store
+
+    def test_indexes_consistent_after_rollback(self):
+        store = TripleStore()
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.add("a", "p", "b")
+                raise RuntimeError
+        assert store.count(subject="a") == 0
+        assert store.count(predicate="p") == 0
+        assert store.estimate(subject="a") == 0
+
+
+class TestDeleteMatching:
+    def test_delete_by_predicate(self):
+        store = sample_store()
+        removed = store.delete_matching(predicate="size")
+        assert removed == 3
+        assert store.count(predicate="size") == 0
+        assert store.count(predicate="type") == 3
+
+    def test_delete_fully_bound(self):
+        store = sample_store()
+        assert store.delete_matching("herbie", "type", "car") == 1
+        assert store.delete_matching("herbie", "type", "car") == 0
+
+    def test_delete_everything(self):
+        store = sample_store()
+        assert store.delete_matching() == 7
+        assert len(store) == 0
+
+    def test_delete_inside_transaction_rolls_back(self):
+        store = sample_store()
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.delete_matching(predicate="type")
+                raise RuntimeError("abort")
+        assert store.count(predicate="type") == 3
