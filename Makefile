@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test bench-smoke bench-json
+
+check: test bench-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-disable -q
+
+bench-json:
+	$(PYTHON) -m repro bench --out .

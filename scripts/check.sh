@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 tests plus a bench smoke pass (same as `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== bench smoke (assertions only, timing disabled) =="
+python -m pytest benchmarks/ --benchmark-disable -q

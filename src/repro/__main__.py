@@ -2,13 +2,17 @@
 
 Usage::
 
-    python -m repro critique ONTONOMY.tbox [--contrast OTHER.tbox] [--regress TERM]
-    python -m repro classify ONTONOMY.tbox
+    python -m repro critique ONTONOMY.tbox [--contrast OTHER.tbox] [--regress TERM] [--stats]
+    python -m repro classify ONTONOMY.tbox [--stats]
     python -m repro check ONTONOMY.tbox
+    python -m repro bench [--out DIR] [--only B1 ...]
 
 ``critique`` runs the full three-part analysis and prints the report;
 ``classify`` prints the inferred hierarchy; ``check`` reports coherence
-and unsatisfiable names.  TBox files use the text syntax of
+and unsatisfiable names; ``bench`` runs the instrumented B1–B5 substrate
+benches and writes one ``BENCH_<id>.json`` snapshot each.  ``--stats``
+prints the observability counter snapshot (see :mod:`repro.obs`) after
+the command's normal output.  TBox files use the text syntax of
 :mod:`repro.dl.parser` (one axiom per line, ``#`` comments).
 """
 
@@ -16,10 +20,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from .core import critique
 from .dl import Reasoner, classify, parse_tbox
+from .obs import Recorder, use_recorder
 
 
 def _load(path: str):
@@ -27,25 +33,62 @@ def _load(path: str):
     return parse_tbox(text)
 
 
+def _recording(args: argparse.Namespace):
+    """A (context manager, recorder) pair honoring ``--stats``."""
+    if getattr(args, "stats", False):
+        recorder = Recorder()
+        return use_recorder(recorder), recorder
+    return nullcontext(), None
+
+
+def _print_stats(recorder: Recorder | None) -> None:
+    if recorder is not None:
+        print()
+        print("observability snapshot:")
+        print(recorder.to_json())
+
+
 def _cmd_critique(args: argparse.Namespace) -> int:
     tbox = _load(args.tbox)
     contrasts = []
     for contrast_path in args.contrast or []:
         contrasts.append((Path(contrast_path).stem, _load(contrast_path)))
-    report = critique(
-        tbox,
-        label=Path(args.tbox).stem,
-        contrast_tboxes=contrasts,
-        regress_term=args.regress,
-        include_discipline_findings=not args.artifact_only,
-    )
+    context, recorder = _recording(args)
+    with context:
+        report = critique(
+            tbox,
+            label=Path(args.tbox).stem,
+            contrast_tboxes=contrasts,
+            regress_term=args.regress,
+            include_discipline_findings=not args.artifact_only,
+        )
     print(report.render())
+    _print_stats(recorder)
     return 1 if report.defects() and args.strict else 0
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
-    hierarchy = classify(_load(args.tbox))
+    tbox = _load(args.tbox)
+    context, recorder = _recording(args)
+    with context:
+        hierarchy = classify(tbox)
     print(hierarchy.pretty())
+    _print_stats(recorder)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import BENCHES, run_bench, write_record
+
+    ids = args.only or sorted(BENCHES)
+    for bench_id in ids:
+        record = run_bench(bench_id)
+        path = write_record(record, args.out)
+        nonzero = sum(1 for v in record["counters"].values() if v)
+        print(
+            f"{bench_id}: wrote {path} "
+            f"(wall {record['wall_time_s']:.3f}s, {nonzero} non-zero counters)"
+        )
     return 0
 
 
@@ -85,15 +128,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_critique.add_argument(
         "--strict", action="store_true", help="exit 1 when defects are found"
     )
+    p_critique.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the obs counter snapshot after the report",
+    )
     p_critique.set_defaults(func=_cmd_critique)
 
     p_classify = sub.add_parser("classify", help="print the inferred hierarchy")
     p_classify.add_argument("tbox")
+    p_classify.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the obs counter snapshot after the hierarchy",
+    )
     p_classify.set_defaults(func=_cmd_classify)
 
     p_check = sub.add_parser("check", help="coherence check")
     p_check.add_argument("tbox")
     p_check.set_defaults(func=_cmd_check)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the B1-B5 benches and write BENCH_*.json snapshots"
+    )
+    p_bench.add_argument(
+        "--out", default=".", help="directory for BENCH_*.json files (default: .)"
+    )
+    p_bench.add_argument(
+        "--only",
+        action="append",
+        metavar="ID",
+        choices=["B1", "B2", "B3", "B4", "B5"],
+        help="run only this bench (repeatable)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

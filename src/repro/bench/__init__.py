@@ -1,0 +1,25 @@
+"""The JSON bench harness: the perf trajectory every later PR is judged by.
+
+``python -m repro bench`` runs the B1–B5 substrate workloads under an
+:class:`repro.obs.Recorder` and writes one ``BENCH_<id>.json`` per bench
+(wall time + the full counter/timer snapshot).  See
+:mod:`repro.bench.harness`.
+"""
+
+from .harness import (
+    BENCHES,
+    SCHEMA_VERSION,
+    run_bench,
+    run_suite,
+    validate_record,
+    write_record,
+)
+
+__all__ = [
+    "BENCHES",
+    "SCHEMA_VERSION",
+    "run_bench",
+    "run_suite",
+    "validate_record",
+    "write_record",
+]

@@ -1,0 +1,359 @@
+"""Instrumented B1–B5 substrate benches with a JSON snapshot per bench.
+
+Each bench runs a fixed, seeded workload under a fresh
+:class:`repro.obs.Recorder` and produces one record::
+
+    {
+      "schema_version": 1,
+      "bench": "B1",
+      "description": "...",
+      "params": {...},            # the workload's knobs, for reproduction
+      "wall_time_s": 0.41,
+      "counters": {...},          # repro.obs counter snapshot
+      "timers": {...},            # {name: {count, total, min, max, mean}}
+      "histograms": {...}
+    }
+
+``run_suite`` writes ``BENCH_B1.json`` … ``BENCH_B5.json`` — the perf
+trajectory later PRs are compared against.  Counters are deterministic
+for the seeded inputs (two runs differ only in ``wall_time_s`` and timer
+values); the test suite asserts exactly that, so any nondeterminism
+introduced into a hot path is caught here.
+
+The pytest benches under ``benchmarks/`` still measure *time* with
+pytest-benchmark statistics; this harness complements them with *work*
+counts (expansions, cache hits, index hits) that are comparable across
+machines.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional
+
+from ..obs import Recorder, use_recorder
+
+SCHEMA_VERSION = 1
+
+#: keys every BENCH_*.json record must carry, with their types
+RECORD_SCHEMA: dict[str, type] = {
+    "schema_version": int,
+    "bench": str,
+    "description": str,
+    "params": dict,
+    "wall_time_s": float,
+    "counters": dict,
+    "timers": dict,
+    "histograms": dict,
+}
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One bench: an id, a description, and a workload returning its params."""
+
+    bench_id: str
+    description: str
+    workload: Callable[[], dict[str, Any]]
+
+
+# ---------------------------------------------------------------------- #
+# workloads
+# ---------------------------------------------------------------------- #
+
+
+def _b1_tableau() -> dict[str, Any]:
+    """Tableau reasoning + classification (hierarchy/reasoner/tableau counters)."""
+    from ..corpora.generators import branching_tbox, chain_tbox, random_tbox
+    from ..dl import Atomic, Reasoner, classify
+
+    chain_depth, branch_depth, classify_depth = 32, 4, 12
+    reasoner = Reasoner(chain_tbox(chain_depth))
+    assert reasoner.subsumes(Atomic(f"C{chain_depth}"), Atomic("C0"))
+    assert not reasoner.subsumes(Atomic("C0"), Atomic(f"C{chain_depth}"))
+    # a second identical query exercises the subsumption cache
+    assert reasoner.subsumes(Atomic(f"C{chain_depth}"), Atomic("C0"))
+
+    tree = Reasoner(branching_tbox(branch_depth))
+    assert tree.is_satisfiable(Atomic("N" + "0" * branch_depth))
+
+    classify(chain_tbox(classify_depth))
+    classify(random_tbox(11, n_defined=6, n_primitive=4, n_roles=3))
+    return {
+        "chain_depth": chain_depth,
+        "branching_depth": branch_depth,
+        "classify_chain_depth": classify_depth,
+        "classify_random_seed": 11,
+    }
+
+
+def _b2_isomorphism() -> dict[str, Any]:
+    """VF2 with the WL prefilter on isomorphic and non-isomorphic pairs."""
+    from ..core import confusable_sibling
+    from ..corpora.generators import random_tbox
+    from ..dl import definition_graph, rename_roles
+    from ..graphs import find_isomorphism
+
+    seeds = [0, 1, 2]
+    for seed in seeds:
+        tbox = random_tbox(seed, n_defined=6, n_primitive=4, n_roles=2)
+        g1 = definition_graph(tbox).anonymized()
+        sibling, _, role_map = confusable_sibling(tbox)
+        g2 = definition_graph(sibling).anonymized()
+        g2 = rename_roles(g2, {v: k for k, v in role_map.items()})
+        assert find_isomorphism(g1, g2, respect_node_labels=False) is not None
+        other = random_tbox(seed + 100, n_defined=6, n_primitive=4, n_roles=2)
+        g3 = definition_graph(other).anonymized()
+        find_isomorphism(g1, g3, respect_node_labels=False)
+        # labeled comparison exercises the WL prefilter path
+        find_isomorphism(definition_graph(tbox), definition_graph(other))
+    return {"seeds": seeds, "n_defined": 6, "n_primitive": 4, "n_roles": 2}
+
+
+def _b3_store() -> dict[str, Any]:
+    """Index lookups, join evaluation, and DL-backed materialization."""
+    from ..corpora.generators import random_triples
+    from ..corpora.vehicles import vehicle_tbox
+    from ..store import Pattern, Query, TripleStore, Var, materialize
+
+    rows = random_triples(
+        7, count=3000, n_subjects=300, n_predicates=12, n_objects=150
+    )
+    indexed = TripleStore()
+    indexed.update(rows)
+    scan = TripleStore(use_indexes=False)
+    scan.update(rows)
+
+    subjects = [f"s{i}" for i in range(0, 300, 7)]
+    hits_indexed = sum(indexed.count(subject=s) for s in subjects)
+    hits_scan = sum(scan.count(subject=s) for s in subjects)
+    assert hits_indexed == hits_scan
+
+    x, y = Var("x"), Var("y")
+    for order in ("selectivity", "most-bound"):
+        query = Query(
+            [Pattern(x, "p1", y), Pattern(y, "p2", "o3")], select=[x], order=order
+        )
+        query.run(indexed)
+
+    typed = TripleStore()
+    for i in range(8):
+        typed.add(f"car{i}", "type", "car")
+        typed.add(f"truck{i}", "type", "pickup")
+    materialized = materialize(typed, vehicle_tbox())
+    assert ("car0", "type", "motorvehicle") in materialized
+    return {
+        "rows": len(rows),
+        "seed": 7,
+        "point_lookup_subjects": len(subjects),
+        "join_orders": ["selectivity", "most-bound"],
+        "materialized_individuals": 16,
+    }
+
+
+def _b4_grammar() -> dict[str, Any]:
+    """CYK and Earley scaling plus the regular-language DFA crossover."""
+    from ..grammar import (
+        Grammar,
+        Production,
+        compile_regular,
+        cyk_recognizes,
+        earley_recognizes,
+        to_cnf,
+    )
+
+    n = 24
+    anbn = Grammar(
+        {"S"},
+        {"a", "b"},
+        "S",
+        [Production(("S",), ("a", "S", "b")), Production(("S",), ())],
+    )
+    word = ["a"] * n + ["b"] * n
+    cnf = to_cnf(anbn)
+    assert cyk_recognizes(cnf, word)
+    assert earley_recognizes(anbn, word)
+
+    ab_star = Grammar(
+        {"S", "B"},
+        {"a", "b"},
+        "S",
+        [
+            Production(("S",), ("a", "B")),
+            Production(("B",), ("b", "S")),
+            Production(("S",), ()),
+        ],
+    )
+    dfa = compile_regular(ab_star)
+    assert dfa.accepts(["a", "b"] * 30)
+    assert cyk_recognizes(to_cnf(ab_star), ["a", "b"] * 30)
+    return {"anbn_n": n, "ab_star_repeats": 30}
+
+
+def _b5_rewriting() -> dict[str, Any]:
+    """Peano normalization and matching over an order-sorted signature."""
+    from ..order import Poset
+    from ..osa import (
+        Equation,
+        EquationalTheory,
+        OpDecl,
+        OrderSortedSignature,
+        OSApp,
+        OSVar,
+        RewriteSystem,
+        constant,
+        match,
+    )
+
+    sig = OrderSortedSignature(
+        Poset(["Nat"], []),
+        [
+            OpDecl("zero", (), "Nat"),
+            OpDecl("s", ("Nat",), "Nat"),
+            OpDecl("plus", ("Nat", "Nat"), "Nat"),
+        ],
+    )
+    x, y = OSVar("x", "Nat"), OSVar("y", "Nat")
+    system = RewriteSystem(
+        EquationalTheory(
+            sig,
+            [
+                Equation(OSApp("plus", (constant("zero"), y)), y),
+                Equation(
+                    OSApp("plus", (OSApp("s", (x,)), y)),
+                    OSApp("s", (OSApp("plus", (x, y)),)),
+                ),
+            ],
+        ),
+        max_steps=100_000,
+    )
+
+    def numeral(k: int) -> OSApp:
+        term = constant("zero")
+        for _ in range(k):
+            term = OSApp("s", (term,))
+        return term
+
+    n = 24
+    assert system.normalize(OSApp("plus", (numeral(n), numeral(n)))) == numeral(2 * n)
+    pattern = OSApp("s", (x,))
+    matched = sum(
+        1 for k in range(1, 40) if match(pattern, numeral(k), sig) is not None
+    )
+    assert matched == 39
+    return {"addition_n": n, "match_targets": 39}
+
+
+BENCHES: dict[str, BenchSpec] = {
+    "B1": BenchSpec(
+        "B1", "tableau reasoning + TBox classification (chain, tree, random)", _b1_tableau
+    ),
+    "B2": BenchSpec(
+        "B2", "VF2 isomorphism with WL prefilter on definition graphs", _b2_isomorphism
+    ),
+    "B3": BenchSpec(
+        "B3", "triple store lookups, joins, and DL materialization", _b3_store
+    ),
+    "B4": BenchSpec("B4", "CYK/Earley recognition and the DFA crossover", _b4_grammar),
+    "B5": BenchSpec("B5", "order-sorted rewriting to normal form", _b5_rewriting),
+}
+
+
+# ---------------------------------------------------------------------- #
+# running and writing
+# ---------------------------------------------------------------------- #
+
+
+def run_bench(bench_id: str) -> dict[str, Any]:
+    """Run one bench under a fresh recorder; return its JSON-ready record."""
+    spec = BENCHES.get(bench_id)
+    if spec is None:
+        raise KeyError(
+            f"unknown bench {bench_id!r}; expected one of {sorted(BENCHES)}"
+        )
+    recorder = Recorder()
+    t0 = time.perf_counter()
+    with use_recorder(recorder):
+        params = spec.workload()
+    wall = time.perf_counter() - t0
+    snapshot = recorder.snapshot()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": spec.bench_id,
+        "description": spec.description,
+        "params": params,
+        "wall_time_s": wall,
+        "counters": snapshot["counters"],
+        "timers": snapshot["timers"],
+        "histograms": snapshot["histograms"],
+    }
+
+
+def write_record(record: dict[str, Any], out_dir: str | Path) -> Path:
+    """Write one record as ``BENCH_<id>.json`` under ``out_dir``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{record['bench']}.json"
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def run_suite(
+    out_dir: str | Path, *, only: Optional[Iterable[str]] = None
+) -> list[Path]:
+    """Run benches (all by default) and write one JSON file each."""
+    ids = list(only) if only else sorted(BENCHES)
+    paths = []
+    for bench_id in ids:
+        record = run_bench(bench_id)
+        paths.append(write_record(record, out_dir))
+    return paths
+
+
+def validate_record(record: Any) -> list[str]:
+    """Schema check for one bench record; returns a list of problems.
+
+    Empty list = valid.  Used by the test suite and by consumers that
+    read the ``BENCH_*.json`` trajectory across PRs.
+    """
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, not an object"]
+    for key, expected in RECORD_SCHEMA.items():
+        if key not in record:
+            problems.append(f"missing key {key!r}")
+        elif expected is float:
+            if not isinstance(record[key], (int, float)) or isinstance(
+                record[key], bool
+            ):
+                problems.append(f"{key!r} is not a number")
+        elif not isinstance(record[key], expected):
+            problems.append(f"{key!r} is not a {expected.__name__}")
+    if not problems:
+        if record["schema_version"] != SCHEMA_VERSION:
+            problems.append(
+                f"schema_version {record['schema_version']} != {SCHEMA_VERSION}"
+            )
+        if record["bench"] not in BENCHES:
+            problems.append(f"unknown bench id {record['bench']!r}")
+        if record["wall_time_s"] < 0:
+            problems.append("wall_time_s is negative")
+        for name, value in record["counters"].items():
+            if not isinstance(name, str) or not isinstance(value, int):
+                problems.append(f"counter {name!r} is not str -> int")
+        for section in ("timers", "histograms"):
+            for name, cell in record[section].items():
+                if not isinstance(cell, dict) or not {
+                    "count",
+                    "total",
+                    "min",
+                    "max",
+                    "mean",
+                } <= set(cell):
+                    problems.append(f"{section} entry {name!r} malformed")
+    return problems

@@ -15,9 +15,11 @@ III. Pragmatic — taxonomy-confinement profile, orthodoxy, and (when
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Mapping, Sequence
 
 from ..dl import Atomic, TBox
+from ..obs import recorder as _obs
 from ..intensional import Rigidity, check_taxonomy
 from ..semiotics import (
     Lexicalization,
@@ -36,6 +38,30 @@ from .semantic import (
     find_cross_collisions,
 )
 from .syntactic import definition_findings, discipline_findings
+
+
+class _PhaseTimer:
+    """Sequential phase stopwatch feeding both the report and the recorder."""
+
+    def __init__(self, report: CritiqueReport) -> None:
+        self.report = report
+        self.name: str | None = None
+        self.t0 = 0.0
+
+    def start(self, name: str) -> None:
+        self.stop()
+        self.name = name
+        self.t0 = time.perf_counter()
+
+    def stop(self) -> None:
+        if self.name is None:
+            return
+        elapsed = time.perf_counter() - self.t0
+        self.report.timings[self.name] = (
+            self.report.timings.get(self.name, 0.0) + elapsed
+        )
+        _obs.record_timing(f"critique.{self.name}", elapsed)
+        self.name = None
 
 
 def critique(
@@ -59,13 +85,16 @@ def critique(
     OntoClean backbone check on the TBox's told atomic subsumptions.
     """
     report = CritiqueReport(artifact=label)
+    phases = _PhaseTimer(report)
 
     # I. syntactic -------------------------------------------------------
+    phases.start("syntactic")
     report.extend(definition_findings(tbox, label))
     if include_discipline_findings:
         report.extend(discipline_findings(tbox))
 
     # II. semantic --------------------------------------------------------
+    phases.start("semantic")
     internal = find_collisions(tbox, label=label)
     for collision in internal:
         report.add(
@@ -133,6 +162,7 @@ def critique(
         )
 
     # III. pragmatic -------------------------------------------------------
+    phases.start("pragmatic")
     profile = pragmatic_profile(tbox)
     report.add(
         Finding(
@@ -209,6 +239,7 @@ def critique(
             )
         )
 
+    phases.stop()
     return report
 
 

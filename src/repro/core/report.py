@@ -48,10 +48,16 @@ class Finding:
 
 @dataclass
 class CritiqueReport:
-    """The engine's verdict on one artifact."""
+    """The engine's verdict on one artifact.
+
+    ``timings`` holds per-phase wall times in seconds, keyed by phase
+    name ("syntactic", "semantic", "pragmatic"); the engine fills it so
+    perf regressions in any one arm of the critique are attributable.
+    """
 
     artifact: str
     findings: list[Finding] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
 
     def add(self, finding: Finding) -> None:
         self.findings.append(finding)
@@ -92,6 +98,12 @@ class CritiqueReport:
         if not self.findings:
             lines.append("")
             lines.append("  (no findings)")
+        if self.timings:
+            lines.append("")
+            lines.append("phase timings: " + ", ".join(
+                f"{name} {seconds * 1000:.1f} ms"
+                for name, seconds in self.timings.items()
+            ))
         return "\n".join(lines)
 
     def render_markdown(self) -> str:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..obs import recorder as _obs
 from ..order import Poset
 from .reasoner import Reasoner
 from .syntax import Atomic, Concept
@@ -37,6 +38,8 @@ class ConceptHierarchy:
         self.tbox = tbox
         self.reasoner = reasoner or Reasoner(tbox)
         names = sorted(tbox.atomic_names())
+        _obs.incr("hierarchy.classifications")
+        _obs.incr("hierarchy.sat_checks", len(names))
         self._satisfiable = {
             name: self.reasoner.is_satisfiable(Atomic(name)) for name in names
         }
@@ -56,7 +59,9 @@ class ConceptHierarchy:
                 if a in told_up.get(b, ()):  # told: b ⊑ a
                     subsumes[(a, b)] = True
                     self.told_hits += 1
+                    _obs.incr("hierarchy.told_hits")
                     continue
+                _obs.incr("hierarchy.tableau_subsumptions")
                 subsumes[(a, b)] = self.reasoner.subsumes(Atomic(a), Atomic(b))
 
         # group equivalent names

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..obs import recorder as _obs
 from .abox import ABox, ConceptAssertion
 from .nnf import negate
 from .syntax import And, Atomic, Concept, TOP
@@ -29,10 +30,37 @@ class Reasoner:
     """
 
     def __init__(self, tbox: TBox | None = None, *, max_nodes: int = 2000) -> None:
-        self.tbox = tbox or TBox()
+        # `tbox or TBox()` would discard a caller's *empty* TBox (falsy),
+        # breaking the revision guard for TBoxes populated after the fact
+        self.tbox = tbox if tbox is not None else TBox()
+        self._max_nodes = max_nodes
         self._tableau = Tableau(self.tbox, max_nodes=max_nodes)
         self._sat_cache: dict[Concept, bool] = {}
         self._subs_cache: dict[tuple[Concept, Concept], bool] = {}
+        self._tbox_revision = self.tbox.revision
+
+    # ------------------------------------------------------------------ #
+    # cache lifecycle
+    # ------------------------------------------------------------------ #
+
+    def invalidate(self) -> None:
+        """Drop all cached answers and rebuild the tableau.
+
+        Required after mutating the TBox in place; :meth:`_check_revision`
+        calls it automatically when :attr:`TBox.revision` has moved, so
+        mutations through :meth:`TBox.add` are picked up without manual
+        intervention.  Mutations the revision counter cannot see (e.g.
+        editing an axiom object in place) still need an explicit call.
+        """
+        _obs.incr("reasoner.invalidations")
+        self._sat_cache.clear()
+        self._subs_cache.clear()
+        self._tableau = Tableau(self.tbox, max_nodes=self._max_nodes)
+        self._tbox_revision = self.tbox.revision
+
+    def _check_revision(self) -> None:
+        if self.tbox.revision != self._tbox_revision:
+            self.invalidate()
 
     # ------------------------------------------------------------------ #
     # concept-level services
@@ -40,8 +68,12 @@ class Reasoner:
 
     def is_satisfiable(self, concept: Concept) -> bool:
         """True iff ``concept`` has a model consistent with the TBox."""
+        self._check_revision()
         if concept not in self._sat_cache:
+            _obs.incr("reasoner.sat_cache_misses")
             self._sat_cache[concept] = self._tableau.is_satisfiable(concept)
+        else:
+            _obs.incr("reasoner.sat_cache_hits")
         return self._sat_cache[concept]
 
     def extract_model(self, concept: Concept):
@@ -56,6 +88,7 @@ class Reasoner:
         """
         from .tableau import extract_interpretation
 
+        self._check_revision()
         state = self._tableau.find_model(concept)
         if state is None:
             return None
@@ -63,10 +96,14 @@ class Reasoner:
 
     def subsumes(self, general: Concept, specific: Concept) -> bool:
         """True iff ``specific ⊑ general`` w.r.t. the TBox."""
+        self._check_revision()
         key = (general, specific)
         if key not in self._subs_cache:
+            _obs.incr("reasoner.subs_cache_misses")
             test = And.of([specific, negate(general)])
             self._subs_cache[key] = not self._tableau.is_satisfiable(test)
+        else:
+            _obs.incr("reasoner.subs_cache_hits")
         return self._subs_cache[key]
 
     def equivalent(self, c: Concept, d: Concept) -> bool:
@@ -95,6 +132,7 @@ class Reasoner:
 
     def is_consistent(self, abox: ABox) -> bool:
         """True iff the knowledge base ``(TBox, abox)`` is consistent."""
+        self._check_revision()
         return self._tableau.is_consistent(abox)
 
     def is_instance(self, abox: ABox, individual: str, concept: Concept) -> bool:

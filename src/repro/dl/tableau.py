@@ -24,6 +24,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Optional
 
+from ..obs import recorder as _obs
 from .abox import ABox, ConceptAssertion, RoleAssertion
 from .nnf import negate, to_nnf
 from .syntax import (
@@ -64,6 +65,7 @@ class _State:
         self.applied: set[tuple[int, Concept]] = set()
 
     def new_node(self, parent: Optional[int], named: bool = False) -> int:
+        _obs.incr("tableau.expansions")
         node = self.counter
         self.counter += 1
         self.labels[node] = set()
@@ -80,6 +82,7 @@ class _State:
         return self.edges[node].get(role, set())
 
     def copy(self) -> "_State":
+        _obs.incr("tableau.branch_copies")
         s = _State()
         s.labels = {n: set(l) for n, l in self.labels.items()}
         s.edges = {n: {r: set(vs) for r, vs in by_role.items()} for n, by_role in self.edges.items()}
@@ -134,7 +137,7 @@ class Tableau:
     """Satisfiability engine for concepts/ABoxes w.r.t. a TBox."""
 
     def __init__(self, tbox: TBox | None = None, *, max_nodes: int = 2000) -> None:
-        self.tbox = tbox or TBox()
+        self.tbox = tbox if tbox is not None else TBox()
         self.max_nodes = max_nodes
         # absorption split
         self._lazy: dict[str, list[Concept]] = {}
@@ -159,13 +162,16 @@ class Tableau:
         Use :func:`extract_interpretation` to turn the graph into a
         checkable :class:`repro.dl.interpretation.Interpretation`.
         """
+        _obs.incr("tableau.solve_calls")
         state = _State()
         root = state.new_node(None, named=True)
         state.labels[root].add(to_nnf(concept))
-        return self._solve(state)
+        with _obs.trace("tableau.solve"):
+            return self._solve(state)
 
     def is_consistent(self, abox: ABox) -> bool:
         """True iff ``abox`` is consistent w.r.t. the TBox."""
+        _obs.incr("tableau.solve_calls")
         state = _State()
         node_of: dict[str, int] = {}
         for name in sorted(abox.individuals()):
@@ -193,6 +199,7 @@ class Tableau:
                 )
             changed = self._deterministic_round(state)
             if self._has_clash(state):
+                _obs.incr("tableau.clashes")
                 return None
             if changed:
                 continue
@@ -200,6 +207,7 @@ class Tableau:
             branch = self._find_disjunction(state)
             if branch is not None:
                 node, disjunction = branch
+                _obs.incr("tableau.disjunction_branches")
                 for disjunct in disjunction.operands:
                     attempt = state.copy()
                     attempt.applied.add((node, disjunction))
@@ -212,6 +220,7 @@ class Tableau:
             choose = self._find_choose(state)
             if choose is not None:
                 succ, filler = choose
+                _obs.incr("tableau.choose_applications")
                 for variant in (filler, negate(filler)):
                     attempt = state.copy()
                     attempt.labels[succ].add(variant)
@@ -233,6 +242,7 @@ class Tableau:
                 if not mergeable:
                     return None  # ≤-clash: too many provably distinct successors
                 for u, v in mergeable:
+                    _obs.incr("tableau.merges")
                     attempt = state.copy()
                     # merge the generated node into the other
                     if u in attempt.named:
@@ -246,6 +256,7 @@ class Tableau:
 
             generated = self._generating_round(state)
             if self._has_clash(state):
+                _obs.incr("tableau.clashes")
                 return None
             if not generated:
                 return state  # complete and clash-free
@@ -366,7 +377,10 @@ class Tableau:
     def _generating_round(self, state: _State) -> bool:
         generated = False
         for node in sorted(state.labels):
-            if node not in state.labels or state.is_blocked(node):
+            if node not in state.labels:
+                continue
+            if state.is_blocked(node):
+                _obs.incr("tableau.blocking_hits")
                 continue
             for concept in sorted(state.labels[node], key=str):
                 if isinstance(concept, Exists):

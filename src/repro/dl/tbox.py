@@ -56,10 +56,37 @@ class TBox:
 
     def __init__(self, axioms: Iterable[Axiom] = ()) -> None:
         self.axioms: list[Axiom] = []
+        self._mutations: int = 0
         for axiom in axioms:
             if not isinstance(axiom, (Subsumption, Equivalence)):
                 raise DLSyntaxError(f"not a TBox axiom: {axiom!r}")
             self.axioms.append(axiom)
+
+    @property
+    def revision(self) -> tuple[int, int]:
+        """A cheap change marker consumers can poll to detect mutation.
+
+        Moves on every :meth:`add`/:meth:`remove` *and* whenever the
+        axiom count changes (so direct ``tbox.axioms.append`` is caught
+        too).  In-place edits of axiom objects are invisible to it — use
+        :meth:`repro.dl.reasoner.Reasoner.invalidate` explicitly then.
+        """
+        return (self._mutations, len(self.axioms))
+
+    def add(self, axiom: Axiom) -> None:
+        """Append one axiom in place, bumping :attr:`revision`."""
+        if not isinstance(axiom, (Subsumption, Equivalence)):
+            raise DLSyntaxError(f"not a TBox axiom: {axiom!r}")
+        self.axioms.append(axiom)
+        self._mutations += 1
+
+    def remove(self, axiom: Axiom) -> None:
+        """Remove one axiom in place, bumping :attr:`revision`.
+
+        Raises :class:`ValueError` when the axiom is absent.
+        """
+        self.axioms.remove(axiom)
+        self._mutations += 1
 
     def __len__(self) -> int:
         return len(self.axioms)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..obs import recorder as _obs
 from .cnf import is_cnf, to_cnf
 from .grammar import Grammar, GrammarError
 
@@ -55,4 +56,9 @@ def cyk_recognizes(grammar: Grammar, sentence: Sequence[str]) -> bool:
                 for lhs, b, c in binary:
                     if b in left and c in right:
                         cell.add(lhs)
+    _obs.incr("grammar.cyk_runs")
+    _obs.incr(
+        "grammar.cyk_cell_entries",
+        sum(len(table[i][l]) for i in range(n) for l in range(1, n + 1)),
+    )
     return cnf.start in table[0][n]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Optional
 
+from ..obs import recorder as _obs
 from .digraph import DiGraph
 from .invariants import wl_colors, wl_distinguishes
 
@@ -39,10 +40,13 @@ def find_isomorphism(
     them on copies if pure shape is wanted.
     """
     if len(g1) != len(g2) or g1.edge_count() != g2.edge_count():
+        _obs.incr("graphs.size_rejects")
         return None
     if respect_node_labels and use_wl_prefilter and wl_distinguishes(g1, g2):
+        _obs.incr("graphs.wl_prefilter_rejects")
         return None
 
+    _obs.incr("graphs.vf2_searches")
     matcher = _VF2Matcher(g1, g2, respect_node_labels)
     return matcher.search()
 
@@ -107,6 +111,7 @@ class _VF2Matcher:
         return None
 
     def _match(self, depth: int) -> bool:
+        _obs.incr("graphs.vf2_match_calls")
         if depth == len(self.order1):
             return True
         n = self.order1[depth]

@@ -1,0 +1,46 @@
+"""Observability: lightweight metrics and tracing for the hot paths.
+
+The reproduction's ROADMAP promises perf PRs (sharding, batching,
+caching); none of them can *prove* a win unless the hot paths are
+measurable.  This package provides the counters, timers, and trace spans
+that `python -m repro bench` snapshots into the ``BENCH_*.json``
+trajectory files.
+
+Usage::
+
+    from repro.obs import Recorder, use_recorder
+
+    rec = Recorder()
+    with use_recorder(rec):
+        classify(tbox)          # instrumented hot paths record into rec
+    print(rec.to_json())
+
+With no recorder installed the instrumentation is a null default whose
+cost is one global load and an identity check per call site.
+"""
+
+from .recorder import (
+    NULL,
+    NullRecorder,
+    Recorder,
+    get_recorder,
+    incr,
+    observe,
+    record_timing,
+    set_recorder,
+    trace,
+    use_recorder,
+)
+
+__all__ = [
+    "NULL",
+    "NullRecorder",
+    "Recorder",
+    "get_recorder",
+    "incr",
+    "observe",
+    "record_timing",
+    "set_recorder",
+    "trace",
+    "use_recorder",
+]

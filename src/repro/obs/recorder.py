@@ -1,0 +1,244 @@
+"""Metrics recording: counters, timers, histograms, and trace spans.
+
+The module keeps one *current* recorder.  The default is a
+:class:`NullRecorder` whose hot-path cost is a single global load and an
+identity check — instrumented code pays (almost) nothing unless a caller
+opts in with :func:`use_recorder`.  Hot paths call the module-level
+helpers (:func:`incr`, :func:`observe`, :func:`trace`) rather than
+holding a recorder, so one ``with use_recorder(...)`` block captures
+everything that happens inside it, across every subsystem.
+
+Counter names are dotted paths grouped by subsystem
+(``tableau.expansions``, ``reasoner.sat_cache_hits``,
+``store.index_lookups``, ...); see README "Observability" for the full
+catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "incr",
+    "observe",
+    "record_timing",
+    "trace",
+]
+
+
+class Recorder:
+    """Accumulates counters, timers, and histograms.
+
+    >>> rec = Recorder()
+    >>> rec.incr("tableau.expansions")
+    >>> rec.incr("tableau.expansions", 2)
+    >>> rec.snapshot()["counters"]["tableau.expansions"]
+    3
+    """
+
+    __slots__ = ("counters", "_timers", "_histograms")
+
+    #: class-level flag read by the hot-path helpers; NullRecorder flips it
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        # name -> [count, total_seconds, min, max]
+        self._timers: dict[str, list[float]] = {}
+        # name -> [count, total, min, max]
+        self._histograms: dict[str, list[float]] = {}
+
+    # -- recording ------------------------------------------------------ #
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        cell = self._histograms.get(name)
+        if cell is None:
+            self._histograms[name] = [1, value, value, value]
+        else:
+            cell[0] += 1
+            cell[1] += value
+            if value < cell[2]:
+                cell[2] = value
+            if value > cell[3]:
+                cell[3] = value
+
+    def record_timing(self, name: str, seconds: float) -> None:
+        """Record one elapsed span into the timer ``name``."""
+        cell = self._timers.get(name)
+        if cell is None:
+            self._timers[name] = [1, seconds, seconds, seconds]
+        else:
+            cell[0] += 1
+            cell[1] += seconds
+            if seconds < cell[2]:
+                cell[2] = seconds
+            if seconds > cell[3]:
+                cell[3] = seconds
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Context manager recording its own wall time under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_timing(name, time.perf_counter() - t0)
+
+    # -- reading -------------------------------------------------------- #
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-ready copy of everything recorded so far.
+
+        Timer/histogram entries are summarized as
+        ``{count, total, min, max, mean}`` — timers in seconds.
+        """
+
+        def summarize(cells: dict[str, list[float]]) -> dict[str, dict[str, float]]:
+            return {
+                name: {
+                    "count": int(count),
+                    "total": total,
+                    "min": lo,
+                    "max": hi,
+                    "mean": total / count if count else 0.0,
+                }
+                for name, (count, total, lo, hi) in sorted(cells.items())
+            }
+
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers": summarize(self._timers),
+            "histograms": summarize(self._histograms),
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self._timers.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Recorder({len(self.counters)} counters, "
+            f"{len(self._timers)} timers, {len(self._histograms)} histograms)"
+        )
+
+
+class NullRecorder(Recorder):
+    """The zero-overhead default: every recording method is a no-op.
+
+    The hot-path helpers below skip even the method call when the current
+    recorder is the shared :data:`NULL` instance, so disabled
+    instrumentation costs one global load and one identity test.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def incr(self, name: str, n: int = 1) -> None:  # pragma: no cover - no-op
+        pass
+
+    def observe(self, name: str, value: float) -> None:  # pragma: no cover
+        pass
+
+    def record_timing(self, name: str, seconds: float) -> None:  # pragma: no cover
+        pass
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        yield
+
+
+#: the shared disabled recorder; identity-compared on every hot-path call
+NULL = NullRecorder()
+
+_current: Recorder = NULL
+
+
+def get_recorder() -> Recorder:
+    """The recorder currently receiving observations (NULL when disabled)."""
+    return _current
+
+
+def set_recorder(recorder: Optional[Recorder]) -> Recorder:
+    """Install ``recorder`` as current (``None`` restores the null default)."""
+    global _current
+    _current = recorder if recorder is not None else NULL
+    return _current
+
+
+@contextmanager
+def use_recorder(recorder: Recorder) -> Iterator[Recorder]:
+    """Route all observations inside the block to ``recorder``.
+
+    >>> from repro.obs import Recorder, use_recorder, incr
+    >>> rec = Recorder()
+    >>> with use_recorder(rec):
+    ...     incr("demo.events")
+    >>> rec.counters["demo.events"]
+    1
+    """
+    global _current
+    previous = _current
+    _current = recorder
+    try:
+        yield recorder
+    finally:
+        _current = previous
+
+
+# ---------------------------------------------------------------------- #
+# hot-path helpers: what instrumented modules actually call
+# ---------------------------------------------------------------------- #
+
+
+def incr(name: str, n: int = 1) -> None:
+    """Increment a counter on the current recorder (no-op when disabled)."""
+    rec = _current
+    if rec is not NULL:
+        rec.incr(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the current recorder."""
+    rec = _current
+    if rec is not NULL:
+        rec.observe(name, value)
+
+
+def record_timing(name: str, seconds: float) -> None:
+    """Record an externally-measured span on the current recorder."""
+    rec = _current
+    if rec is not NULL:
+        rec.record_timing(name, seconds)
+
+
+@contextmanager
+def trace(name: str) -> Iterator[None]:
+    """A timed span recorded under ``name`` (free when disabled)."""
+    rec = _current
+    if rec is NULL:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        rec.record_timing(name, time.perf_counter() - t0)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from ..obs import recorder as _obs
 from .signature import OrderSortedSignature
 from .terms import OSApp, OSTerm, OSVar, TermError, least_sort, match, substitute
 
@@ -109,10 +110,12 @@ class RewriteSystem:
         outcome rather than a hang — non-terminating "ontonomies" are a
         thing this library must be able to report, not crash on.
         """
+        _obs.incr("osa.normalize_calls")
         current = term
-        for _ in range(self.max_steps):
+        for steps in range(self.max_steps):
             stepped = self.rewrite_once(current)
             if stepped is None:
+                _obs.incr("osa.rewrite_steps", steps)
                 return current
             current = stepped
         raise EquationError(

@@ -14,6 +14,7 @@ every query, with no trace of having been an inference.
 
 from __future__ import annotations
 
+from ..obs import recorder as _obs
 from ..dl import (
     ABox,
     Atomic,
@@ -81,13 +82,17 @@ def materialize(
         raise MaterializeError(
             "the store is inconsistent with the TBox; refusing to materialize"
         )
+    _obs.incr("materialize.runs")
     names = sorted(tbox.atomic_names())
-    for individual in sorted(abox.individuals()):
-        for name in names:
-            if reasoner.is_instance(abox, individual, Atomic(name)):
-                if (individual, type_predicate, name) in out:
-                    continue  # told fact keeps its own (lack of) provenance
-                out.add(individual, type_predicate, name, provenance="inferred")
+    with _obs.trace("materialize.run"):
+        for individual in sorted(abox.individuals()):
+            for name in names:
+                _obs.incr("materialize.instance_checks")
+                if reasoner.is_instance(abox, individual, Atomic(name)):
+                    if (individual, type_predicate, name) in out:
+                        continue  # told fact keeps its own (lack of) provenance
+                    _obs.incr("materialize.facts_added")
+                    out.add(individual, type_predicate, name, provenance="inferred")
     return out
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
 
+from ..obs import recorder as _obs
 from .triples import StoreError, TripleStore
 
 
@@ -76,6 +77,8 @@ def match(
     filters = list(filters)
     if order not in ("selectivity", "most-bound", "static"):
         raise StoreError(f"unknown join order {order!r}")
+    _obs.incr("store.query.joins")
+    _obs.incr(f"store.query.order.{order}")
 
     def resolve(term: Term, bindings: Bindings):
         if isinstance(term, Var):
@@ -99,9 +102,11 @@ def match(
     def backtrack(remaining: list[Pattern], bindings: Bindings) -> Iterator[Bindings]:
         if not remaining:
             if all(f(bindings) for f in filters):
+                _obs.incr("store.query.solutions")
                 yield dict(bindings)
             return
         remaining = rank(remaining, bindings)
+        _obs.incr("store.query.patterns_ranked")
         pattern, rest = remaining[0], remaining[1:]
         s = resolve(pattern.subject, bindings)
         p = resolve(pattern.predicate, bindings)
@@ -120,6 +125,7 @@ def match(
                         break
                     new_bindings[term] = value
             if consistent:
+                _obs.incr("store.query.intermediate_bindings")
                 yield from backtrack(rest, new_bindings)
 
     yield from backtrack(list(patterns), {})

@@ -14,6 +14,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Optional
 
+from ..obs import recorder as _obs
+
 
 class StoreError(Exception):
     """Raised on malformed triples or store misuse."""
@@ -169,10 +171,15 @@ class TripleStore:
         baseline of benchmark B3).
         """
         if not self.use_indexes:
+            _obs.incr("store.scan_lookups")
             yield from self._scan(subject, predicate, object)
             return
 
         s, p, o = subject, predicate, object
+        if s is None and p is None and o is None:
+            _obs.incr("store.full_enumerations")
+        else:
+            _obs.incr("store.index_lookups")
         if s is not None:
             by_pred = self._spo.get(s, {})
             preds = [p] if p is not None else list(by_pred)
@@ -220,6 +227,7 @@ class TripleStore:
         query engine orders join patterns by it; benchmark B3 ablates the
         choice against naive most-bound-first ordering.
         """
+        _obs.incr("store.estimates")
         bounds = []
         if subject is not None:
             by_pred = self._spo.get(subject)

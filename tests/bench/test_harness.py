@@ -1,0 +1,140 @@
+"""Tests for the JSON bench harness: schema, determinism, coverage.
+
+These encode the PR's acceptance criteria: ``python -m repro bench``
+writes valid ``BENCH_B1.json`` … ``BENCH_B5.json`` whose counters are
+non-zero for at least the tableau, hierarchy, and store subsystems, and
+two runs over the seeded inputs produce identical counter values.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCHES,
+    SCHEMA_VERSION,
+    run_bench,
+    run_suite,
+    validate_record,
+)
+
+ALL_IDS = sorted(BENCHES)
+
+
+@pytest.fixture(scope="module")
+def suite_records(tmp_path_factory):
+    """Run the full suite once; return {bench_id: parsed record}."""
+    out = tmp_path_factory.mktemp("bench")
+    paths = run_suite(out)
+    return {
+        path.name.removeprefix("BENCH_").removesuffix(".json"): json.loads(
+            path.read_text(encoding="utf-8")
+        )
+        for path in paths
+    }
+
+
+class TestSchema:
+    def test_all_five_benches_written(self, suite_records):
+        assert sorted(suite_records) == ALL_IDS
+
+    def test_every_record_validates(self, suite_records):
+        for bench_id, record in suite_records.items():
+            assert validate_record(record) == [], bench_id
+
+    def test_schema_fields(self, suite_records):
+        for record in suite_records.values():
+            assert record["schema_version"] == SCHEMA_VERSION
+            assert record["bench"] in BENCHES
+            assert record["wall_time_s"] > 0
+            assert isinstance(record["params"], dict) and record["params"]
+            assert all(
+                isinstance(v, int) and v >= 0 for v in record["counters"].values()
+            )
+
+    def test_validate_record_rejects_garbage(self):
+        assert validate_record(None)
+        assert validate_record({}) == [
+            f"missing key {key!r}"
+            for key in (
+                "schema_version",
+                "bench",
+                "description",
+                "params",
+                "wall_time_s",
+                "counters",
+                "timers",
+                "histograms",
+            )
+        ]
+        good = run_bench("B4")
+        assert validate_record(good) == []
+        bad = dict(good, schema_version=99)
+        assert validate_record(bad)
+        bad = dict(good, wall_time_s="fast")
+        assert validate_record(bad)
+
+    def test_run_bench_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_bench("B99")
+
+
+class TestCounterCoverage:
+    """Acceptance: non-zero counters from tableau, hierarchy, and store."""
+
+    def test_b1_has_tableau_and_hierarchy_counters(self, suite_records):
+        counters = suite_records["B1"]["counters"]
+        assert counters["tableau.expansions"] > 0
+        assert counters["tableau.solve_calls"] > 0
+        assert counters["hierarchy.classifications"] > 0
+        assert counters["hierarchy.told_hits"] > 0
+        assert counters["reasoner.subs_cache_misses"] > 0
+
+    def test_b3_has_store_counters(self, suite_records):
+        counters = suite_records["B3"]["counters"]
+        assert counters["store.index_lookups"] > 0
+        assert counters["store.scan_lookups"] > 0
+        assert counters["store.query.joins"] > 0
+        assert counters["materialize.facts_added"] > 0
+        # materialization reaches down into the tableau too
+        assert counters["tableau.solve_calls"] > 0
+
+    def test_every_bench_records_some_work(self, suite_records):
+        for bench_id, record in suite_records.items():
+            assert any(v > 0 for v in record["counters"].values()), bench_id
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("bench_id", ALL_IDS)
+    def test_two_runs_identical_counters(self, bench_id):
+        first = run_bench(bench_id)
+        second = run_bench(bench_id)
+        assert first["counters"] == second["counters"]
+        assert first["params"] == second["params"]
+        # timer *counts* are deterministic even though durations are not
+        first_timer_counts = {k: v["count"] for k, v in first["timers"].items()}
+        second_timer_counts = {k: v["count"] for k, v in second["timers"].items()}
+        assert first_timer_counts == second_timer_counts
+
+
+class TestSuiteWriter:
+    def test_only_subset(self, tmp_path):
+        paths = run_suite(tmp_path, only=["B2", "B5"])
+        assert [p.name for p in paths] == ["BENCH_B2.json", "BENCH_B5.json"]
+
+    def test_files_end_with_newline(self, tmp_path):
+        (path,) = run_suite(tmp_path, only=["B4"])
+        assert path.read_text(encoding="utf-8").endswith("\n")
+
+    def test_benchmarks_harness_wrapper_reexports(self):
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_wrapper",
+            pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "harness.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.BENCHES is BENCHES
+        assert callable(module.main)

@@ -56,6 +56,71 @@ class TestClassifyCommand:
         assert out.startswith("⊤")
 
 
+class TestStatsFlag:
+    def test_critique_stats_prints_snapshot(self, vehicle_file, capsys):
+        main(["critique", vehicle_file, "--stats"])
+        out = capsys.readouterr().out
+        assert "observability snapshot:" in out
+        assert '"tableau.expansions"' in out
+        assert "phase timings:" in out
+
+    def test_classify_stats_prints_snapshot(self, vehicle_file, capsys):
+        assert main(["classify", vehicle_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("⊤")
+        assert "observability snapshot:" in out
+        assert '"hierarchy.told_hits"' in out
+
+    def test_stats_snapshot_is_valid_json(self, vehicle_file, capsys):
+        import json
+
+        main(["classify", vehicle_file, "--stats"])
+        out = capsys.readouterr().out
+        payload = out.split("observability snapshot:", 1)[1]
+        snapshot = json.loads(payload)
+        assert snapshot["counters"]["hierarchy.classifications"] == 1
+
+    def test_without_stats_no_snapshot(self, vehicle_file, capsys):
+        main(["classify", vehicle_file])
+        assert "observability snapshot:" not in capsys.readouterr().out
+
+    def test_stats_does_not_leak_recorder(self, vehicle_file, capsys):
+        from repro.obs import NULL, get_recorder
+
+        main(["critique", vehicle_file, "--stats"])
+        capsys.readouterr()
+        assert get_recorder() is NULL
+
+
+class TestBenchCommand:
+    def test_bench_writes_all_files(self, tmp_path, capsys):
+        assert main(["bench", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        written = sorted(p.name for p in tmp_path.glob("BENCH_*.json"))
+        assert written == [f"BENCH_B{i}.json" for i in range(1, 6)]
+        assert "non-zero counters" in out
+
+    def test_bench_only_subset(self, tmp_path, capsys):
+        assert main(["bench", "--out", str(tmp_path), "--only", "B4"]) == 0
+        assert [p.name for p in tmp_path.glob("BENCH_*.json")] == ["BENCH_B4.json"]
+        assert "B4: wrote" in capsys.readouterr().out
+
+    def test_bench_output_validates(self, tmp_path, capsys):
+        import json
+
+        from repro.bench import validate_record
+
+        main(["bench", "--out", str(tmp_path), "--only", "B1"])
+        capsys.readouterr()
+        record = json.loads((tmp_path / "BENCH_B1.json").read_text(encoding="utf-8"))
+        assert validate_record(record) == []
+        assert record["counters"]["tableau.expansions"] > 0
+
+    def test_bench_rejects_unknown_id(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "--out", str(tmp_path), "--only", "B99"])
+
+
 class TestCheckCommand:
     def test_coherent(self, vehicle_file, capsys):
         assert main(["check", vehicle_file]) == 0

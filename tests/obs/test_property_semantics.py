@@ -1,0 +1,58 @@
+"""Property: instrumentation never changes reasoning semantics.
+
+Over seeded random TBoxes, a Reasoner queried under an active Recorder
+must return exactly the answers of a fresh, uninstrumented Reasoner —
+counters observe the computation, they never participate in it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpora.generators import random_tbox
+from repro.dl import Atomic, Reasoner
+from repro.obs import Recorder, use_recorder
+
+
+def service_answers(reasoner: Reasoner, names: list[str]) -> dict:
+    """A canonical answer sheet for the standard service suite."""
+    sat = {n: reasoner.is_satisfiable(Atomic(n)) for n in names}
+    subs = {
+        (a, b): reasoner.subsumes(Atomic(a), Atomic(b))
+        for a in names
+        for b in names
+        if a != b
+    }
+    return {"sat": sat, "subs": subs, "coherent": reasoner.is_coherent()}
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_instrumented_reasoner_matches_uninstrumented(seed):
+    tbox = random_tbox(seed, n_defined=4, n_primitive=3, n_roles=2)
+    names = sorted(tbox.atomic_names())[:6]
+
+    plain = service_answers(Reasoner(tbox), names)
+
+    recorder = Recorder()
+    with use_recorder(recorder):
+        instrumented = service_answers(Reasoner(tbox), names)
+
+    assert instrumented == plain
+    # and the recorder really was live while the answers were computed
+    assert recorder.counters.get("tableau.solve_calls", 0) > 0
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_recording_twice_gives_identical_counters(seed):
+    """Counter values themselves are deterministic for a fixed TBox."""
+    tbox = random_tbox(seed, n_defined=4, n_primitive=3, n_roles=2)
+    names = sorted(tbox.atomic_names())[:6]
+
+    snapshots = []
+    for _ in range(2):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            service_answers(Reasoner(tbox), names)
+        snapshots.append(recorder.snapshot()["counters"])
+    assert snapshots[0] == snapshots[1]

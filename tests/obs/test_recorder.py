@@ -1,0 +1,208 @@
+"""Unit tests for the repro.obs recorder layer."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL, NullRecorder, Recorder, use_recorder
+
+
+class TestRecorder:
+    def test_counters_accumulate(self):
+        rec = Recorder()
+        rec.incr("a.b")
+        rec.incr("a.b", 4)
+        rec.incr("c")
+        assert rec.counters == {"a.b": 5, "c": 1}
+
+    def test_observe_summarizes(self):
+        rec = Recorder()
+        for value in (3.0, 1.0, 2.0):
+            rec.observe("h", value)
+        cell = rec.snapshot()["histograms"]["h"]
+        assert cell["count"] == 3
+        assert cell["min"] == 1.0
+        assert cell["max"] == 3.0
+        assert cell["total"] == 6.0
+        assert cell["mean"] == pytest.approx(2.0)
+
+    def test_time_context_records(self):
+        rec = Recorder()
+        with rec.time("span"):
+            pass
+        cell = rec.snapshot()["timers"]["span"]
+        assert cell["count"] == 1
+        assert cell["total"] >= 0
+
+    def test_snapshot_is_a_copy(self):
+        rec = Recorder()
+        rec.incr("a")
+        snap = rec.snapshot()
+        snap["counters"]["a"] = 99
+        assert rec.counters["a"] == 1
+
+    def test_to_json_round_trips(self):
+        rec = Recorder()
+        rec.incr("a", 2)
+        rec.observe("h", 1.5)
+        rec.record_timing("t", 0.25)
+        data = json.loads(rec.to_json())
+        assert data["counters"]["a"] == 2
+        assert data["histograms"]["h"]["count"] == 1
+        assert data["timers"]["t"]["total"] == 0.25
+
+    def test_reset(self):
+        rec = Recorder()
+        rec.incr("a")
+        rec.observe("h", 1.0)
+        rec.reset()
+        snap = rec.snapshot()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+
+
+class TestCurrentRecorder:
+    def test_default_is_null(self):
+        assert obs.get_recorder() is NULL
+        # module helpers are no-ops without an active recorder
+        obs.incr("ignored")
+        obs.observe("ignored", 1.0)
+        with obs.trace("ignored"):
+            pass
+        assert NULL.counters == {}
+
+    def test_use_recorder_scopes_and_restores(self):
+        rec = Recorder()
+        with use_recorder(rec):
+            obs.incr("scoped")
+            assert obs.get_recorder() is rec
+        assert obs.get_recorder() is NULL
+        assert rec.counters == {"scoped": 1}
+
+    def test_use_recorder_restores_on_error(self):
+        rec = Recorder()
+        with pytest.raises(RuntimeError):
+            with use_recorder(rec):
+                raise RuntimeError("boom")
+        assert obs.get_recorder() is NULL
+
+    def test_nested_recorders(self):
+        outer, inner = Recorder(), Recorder()
+        with use_recorder(outer):
+            obs.incr("x")
+            with use_recorder(inner):
+                obs.incr("x")
+            obs.incr("x")
+        assert outer.counters == {"x": 2}
+        assert inner.counters == {"x": 1}
+
+    def test_set_recorder_none_restores_null(self):
+        rec = Recorder()
+        obs.set_recorder(rec)
+        try:
+            assert obs.get_recorder() is rec
+        finally:
+            obs.set_recorder(None)
+        assert obs.get_recorder() is NULL
+
+    def test_trace_records_span(self):
+        rec = Recorder()
+        with use_recorder(rec):
+            with obs.trace("outer"):
+                pass
+        assert rec.snapshot()["timers"]["outer"]["count"] == 1
+
+    def test_null_recorder_methods_do_nothing(self):
+        null = NullRecorder()
+        null.incr("a")
+        null.observe("h", 1.0)
+        null.record_timing("t", 1.0)
+        with null.time("t"):
+            pass
+        assert null.snapshot() == {"counters": {}, "timers": {}, "histograms": {}}
+
+
+class TestInstrumentationCoverage:
+    """The hot paths named in the ISSUE actually tick their counters."""
+
+    def test_tableau_and_reasoner_counters(self):
+        from repro.corpora.generators import chain_tbox
+        from repro.dl import Atomic, Reasoner
+
+        rec = Recorder()
+        with use_recorder(rec):
+            reasoner = Reasoner(chain_tbox(6))
+            reasoner.subsumes(Atomic("C6"), Atomic("C0"))
+            reasoner.subsumes(Atomic("C6"), Atomic("C0"))
+        assert rec.counters["tableau.expansions"] > 0
+        assert rec.counters["reasoner.subs_cache_misses"] == 1
+        assert rec.counters["reasoner.subs_cache_hits"] == 1
+
+    def test_hierarchy_counters(self):
+        from repro.corpora.vehicles import vehicle_tbox
+        from repro.dl import classify
+
+        rec = Recorder()
+        with use_recorder(rec):
+            classify(vehicle_tbox())
+        assert rec.counters["hierarchy.classifications"] == 1
+        assert rec.counters["hierarchy.told_hits"] > 0
+        assert rec.counters["hierarchy.tableau_subsumptions"] > 0
+
+    def test_store_counters_index_vs_scan(self):
+        from repro.store import TripleStore
+
+        rec = Recorder()
+        with use_recorder(rec):
+            indexed = TripleStore()
+            indexed.add("s", "p", "o")
+            indexed.count(subject="s")
+            scan = TripleStore(use_indexes=False)
+            scan.add("s", "p", "o")
+            scan.count(subject="s")
+        assert rec.counters["store.index_lookups"] == 1
+        assert rec.counters["store.scan_lookups"] == 1
+
+    def test_query_counters(self):
+        from repro.store import Pattern, Query, TripleStore, Var
+
+        rec = Recorder()
+        with use_recorder(rec):
+            store = TripleStore()
+            store.add("a", "p", "b")
+            store.add("b", "q", "c")
+            x, y = Var("x"), Var("y")
+            rows = Query([Pattern(x, "p", y), Pattern(y, "q", "c")]).run(store)
+        assert rows
+        assert rec.counters["store.query.joins"] == 1
+        assert rec.counters["store.query.order.selectivity"] == 1
+        assert rec.counters["store.query.solutions"] == 1
+        assert rec.counters["store.query.intermediate_bindings"] >= 2
+
+    def test_materialize_counters(self):
+        from repro.corpora.vehicles import vehicle_tbox
+        from repro.store import TripleStore, materialize
+
+        rec = Recorder()
+        with use_recorder(rec):
+            store = TripleStore()
+            store.add("herbie", "type", "car")
+            materialize(store, vehicle_tbox())
+        assert rec.counters["materialize.runs"] == 1
+        assert rec.counters["materialize.instance_checks"] > 0
+        assert rec.counters["materialize.facts_added"] > 0
+
+    def test_critique_phase_timings(self):
+        from repro.core import critique
+        from repro.corpora.vehicles import vehicle_tbox
+
+        rec = Recorder()
+        with use_recorder(rec):
+            report = critique(vehicle_tbox())
+        assert set(report.timings) == {"syntactic", "semantic", "pragmatic"}
+        assert all(t >= 0 for t in report.timings.values())
+        timers = rec.snapshot()["timers"]
+        assert "critique.semantic" in timers
+        # the rendered report surfaces the phase timings
+        assert "phase timings:" in report.render()
