@@ -71,7 +71,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     tbox = _load(args.tbox)
     context, recorder = _recording(args)
     with context:
-        hierarchy = classify(tbox)
+        hierarchy = classify(tbox, algorithm=args.algorithm)
     print(hierarchy.pretty())
     _print_stats(recorder)
     return 0
@@ -137,6 +137,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_classify = sub.add_parser("classify", help="print the inferred hierarchy")
     p_classify.add_argument("tbox")
+    p_classify.add_argument(
+        "--algorithm",
+        choices=["enhanced", "brute"],
+        default="enhanced",
+        help="classification algorithm: enhanced-traversal insertion "
+        "(default) or the brute-force subsumption matrix",
+    )
     p_classify.add_argument(
         "--stats",
         action="store_true",

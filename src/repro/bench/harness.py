@@ -82,11 +82,18 @@ def _b1_tableau() -> dict[str, Any]:
 
     classify(chain_tbox(classify_depth))
     classify(random_tbox(11, n_defined=6, n_primitive=4, n_roles=3))
+    # the large told-structured TBox where enhanced-traversal classification
+    # shows its asymptotic win over the brute-force matrix (30 named
+    # concepts; see EXPERIMENTS.md for the brute-force counter deltas)
+    big = random_tbox(0, n_defined=22, n_primitive=8, n_roles=3)
+    hierarchy = classify(big)
+    assert hierarchy.pruned_tests > 0
     return {
         "chain_depth": chain_depth,
         "branching_depth": branch_depth,
         "classify_chain_depth": classify_depth,
         "classify_random_seed": 11,
+        "big_classify": {"seed": 0, "n_defined": 22, "n_primitive": 8, "n_roles": 3},
     }
 
 
@@ -115,6 +122,7 @@ def _b2_isomorphism() -> dict[str, Any]:
 
 def _b3_store() -> dict[str, Any]:
     """Index lookups, join evaluation, and DL-backed materialization."""
+    from ..corpora.generators import random_tbox as random_tbox_gen
     from ..corpora.generators import random_triples
     from ..corpora.vehicles import vehicle_tbox
     from ..store import Pattern, Query, TripleStore, Var, materialize
@@ -145,12 +153,28 @@ def _b3_store() -> dict[str, Any]:
         typed.add(f"truck{i}", "type", "pickup")
     materialized = materialize(typed, vehicle_tbox())
     assert ("car0", "type", "motorvehicle") in materialized
+
+    # hierarchy-propagated materialization over a larger told-structured
+    # TBox: told types close upward for free, negative answers prune
+    # whole subtrees (materialize.pruned_checks)
+    big_tbox = random_tbox_gen(5, n_defined=12, n_primitive=6, n_roles=2)
+    big_typed = TripleStore()
+    for i in range(24):
+        big_typed.add(f"x{i}", "type", f"C{i % 12}")
+    big_materialized = materialize(big_typed, big_tbox)
+    assert len(big_materialized) >= len(big_typed)
     return {
         "rows": len(rows),
         "seed": 7,
         "point_lookup_subjects": len(subjects),
         "join_orders": ["selectivity", "most-bound"],
         "materialized_individuals": 16,
+        "big_materialize": {
+            "seed": 5,
+            "n_defined": 12,
+            "n_primitive": 6,
+            "individuals": 24,
+        },
     }
 
 

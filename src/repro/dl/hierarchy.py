@@ -1,24 +1,41 @@
 """TBox classification: the inferred concept hierarchy.
 
 Computes the subsumption partial order over the named concepts of a TBox
-(plus ⊤ and ⊥) and exposes it as a :class:`repro.order.Poset`.  Told
-subsumers from definitorial axioms seed the order; the remaining pairs go
-through the tableau.  Equivalent names are grouped before the poset is
-built, so antisymmetry holds by construction.
+(plus ⊤ and ⊥) and exposes it as a :class:`repro.order.Poset`.
+
+Two algorithms are available:
+
+``algorithm="enhanced"`` (the default) is insertion-based
+*enhanced-traversal* classification in the tradition of Baader,
+Hollunder, Nebel & Profitlich: concepts are inserted one at a time, a
+*top search* from ⊤ finds the most specific subsumers and a *bottom
+search* from ⊥ finds the most general subsumees.  Told subsumers seed
+both searches, and transitivity of the partial order propagates both
+positive and negative answers, so most candidate pairs never reach the
+tableau — every avoided test shows up in the ``hierarchy.pruned_tests``
+counter (told-seeded answers keep their own ``hierarchy.told_hits``).
+
+``algorithm="brute"`` is the original O(n²) pairwise subsumption matrix,
+kept as a correctness oracle; a Hypothesis property test asserts the two
+algorithms produce identical hierarchies over random TBoxes.
+
+Equivalent names are grouped before the poset is built, so antisymmetry
+holds by construction; a named concept equivalent to ⊤ joins ⊤'s group,
+unsatisfiable names join ⊥'s.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
-
 from ..obs import recorder as _obs
 from ..order import Poset
 from .reasoner import Reasoner
-from .syntax import Atomic, Concept
+from .syntax import Atomic, Concept, TOP
 from .tbox import TBox
 
 TOP_NAME = "⊤"
 BOTTOM_NAME = "⊥"
+
+_ALGORITHMS = ("enhanced", "brute")
 
 
 class ConceptHierarchy:
@@ -26,6 +43,10 @@ class ConceptHierarchy:
 
     ``poset`` orders equivalence-class representatives (sorted name of
     each group); ``group_of`` maps every name to its representative.
+    Satisfied counters: ``told_hits`` (answers seeded from told
+    subsumers), ``pruned_tests`` (answers derived from the partial order
+    already built, enhanced algorithm only), ``tableau_tests``
+    (subsumption questions that actually went to the reasoner).
     """
 
     def __init__(
@@ -34,22 +55,84 @@ class ConceptHierarchy:
         *,
         reasoner: Reasoner | None = None,
         use_told_subsumers: bool = True,
+        algorithm: str = "enhanced",
     ) -> None:
+        if algorithm not in _ALGORITHMS:
+            raise ValueError(
+                f"unknown classification algorithm {algorithm!r}; "
+                f"expected one of {_ALGORITHMS}"
+            )
         self.tbox = tbox
         self.reasoner = reasoner or Reasoner(tbox)
+        self.algorithm = algorithm
+        self.told_hits = 0
+        self.pruned_tests = 0
+        self.tableau_tests = 0
+        self._satisfiable: dict[str, bool] = {}
         names = sorted(tbox.atomic_names())
         _obs.incr("hierarchy.classifications")
-        _obs.incr("hierarchy.sat_checks", len(names))
-        self._satisfiable = {
-            name: self.reasoner.is_satisfiable(Atomic(name)) for name in names
-        }
-
-        # told subsumers: syntactic A ⊑ ... ⊓ B ⊓ ... axioms give b ⊒ a
-        # without a tableau call (sound; the tableau fills in the rest)
         told_up = _told_subsumers(tbox) if use_told_subsumers else {}
-        self.told_hits = 0
 
-        # subsumption matrix over satisfiable names (unsat names ≡ ⊥)
+        if algorithm == "brute":
+            groups, edges, top_members = self._classify_brute(names, told_up)
+        else:
+            groups, edges, top_members = self._classify_enhanced(names, told_up)
+
+        # shared finalization: lexicographic-minimum representatives,
+        # group_of for every name (⊤-equivalents to ⊤, unsatisfiable to ⊥),
+        # and the poset over representatives
+        relabel = {TOP_NAME: TOP_NAME, BOTTOM_NAME: BOTTOM_NAME}
+        for node, group in groups.items():
+            relabel[node] = min(group)
+        self._groups = sorted((sorted(g) for g in groups.values()), key=lambda g: g[0])
+        self._top_members = sorted(top_members)
+        self.group_of: dict[str, str] = {}
+        for group in self._groups:
+            for name in group:
+                self.group_of[name] = group[0]
+        for name in names:
+            if not self._satisfiable.get(name, True):
+                self.group_of[name] = BOTTOM_NAME
+        for name in self._top_members:
+            self.group_of[name] = TOP_NAME
+        self.group_of[TOP_NAME] = TOP_NAME
+        self.group_of[BOTTOM_NAME] = BOTTOM_NAME
+
+        representatives = [g[0] for g in self._groups]
+        elements = [BOTTOM_NAME, *representatives, TOP_NAME]
+        pairs = [(relabel[low], relabel[high]) for low, high in edges]
+        # ⊤ above everything, ⊥ below everything (redundant pairs are
+        # harmless: the poset closes transitively)
+        pairs += [(BOTTOM_NAME, rep) for rep in representatives]
+        pairs += [(rep, TOP_NAME) for rep in representatives]
+        pairs.append((BOTTOM_NAME, TOP_NAME))
+        self.poset = Poset(elements, pairs)
+
+    # ------------------------------------------------------------------ #
+    # classification algorithms
+    # ------------------------------------------------------------------ #
+
+    def _tableau_subsumes(self, general: Concept, specific: Concept) -> bool:
+        self.tableau_tests += 1
+        _obs.incr("hierarchy.tableau_subsumptions")
+        return self.reasoner.subsumes(general, specific)
+
+    def _told_hit(self) -> None:
+        self.told_hits += 1
+        _obs.incr("hierarchy.told_hits")
+
+    def _pruned(self) -> None:
+        self.pruned_tests += 1
+        _obs.incr("hierarchy.pruned_tests")
+
+    def _classify_brute(
+        self, names: list[str], told_up: dict[str, frozenset[str]]
+    ) -> tuple[dict[str, list[str]], list[tuple[str, str]], list[str]]:
+        """The original full pairwise subsumption matrix."""
+        for name in names:
+            _obs.incr("hierarchy.sat_checks")
+            self._satisfiable[name] = self.reasoner.is_satisfiable(Atomic(name))
+
         live = [n for n in names if self._satisfiable[n]]
         subsumes: dict[tuple[str, str], bool] = {}
         for a in live:
@@ -58,67 +141,279 @@ class ConceptHierarchy:
                     continue
                 if a in told_up.get(b, ()):  # told: b ⊑ a
                     subsumes[(a, b)] = True
-                    self.told_hits += 1
-                    _obs.incr("hierarchy.told_hits")
+                    self._told_hit()
                     continue
-                _obs.incr("hierarchy.tableau_subsumptions")
-                subsumes[(a, b)] = self.reasoner.subsumes(Atomic(a), Atomic(b))
+                subsumes[(a, b)] = self._tableau_subsumes(Atomic(a), Atomic(b))
 
         # group equivalent names
-        groups: list[list[str]] = []
-        assigned: dict[str, int] = {}
+        grouped: list[list[str]] = []
         for name in live:
-            placed = False
-            for i, group in enumerate(groups):
-                representative = group[0]
-                if subsumes.get((representative, name)) and subsumes.get((name, representative)):
+            for group in grouped:
+                rep = group[0]
+                if subsumes.get((rep, name)) and subsumes.get((name, rep)):
                     group.append(name)
-                    assigned[name] = i
-                    placed = True
                     break
-            if not placed:
-                assigned[name] = len(groups)
-                groups.append([name])
-        self._groups = [sorted(g) for g in groups]
-        self.group_of: dict[str, str] = {}
-        for group in self._groups:
-            for name in group:
-                self.group_of[name] = group[0]
-        for name in names:
-            if not self._satisfiable[name]:
-                self.group_of[name] = BOTTOM_NAME
-        self.group_of[TOP_NAME] = TOP_NAME
-        self.group_of[BOTTOM_NAME] = BOTTOM_NAME
-
-        representatives = [g[0] for g in self._groups]
-        pairs = [
+            else:
+                grouped.append([name])
+        groups = {group[0]: group for group in grouped}
+        representatives = list(groups)
+        edges = [
             (a, b)
             for a in representatives
             for b in representatives
             if a != b and subsumes[(b, a)]  # b subsumes a: a ≤ b
         ]
-        # ⊤ above everything, ⊥ below everything
-        elements = [BOTTOM_NAME, *representatives, TOP_NAME]
-        pairs += [(BOTTOM_NAME, rep) for rep in representatives]
-        pairs += [(rep, TOP_NAME) for rep in representatives]
-        pairs.append((BOTTOM_NAME, TOP_NAME))
-        self.poset = Poset(elements, pairs)
+
+        # a representative that subsumes every other one may be ⊤ itself;
+        # one extra tableau question settles it
+        top_members: list[str] = []
+        maxima = [
+            r
+            for r in representatives
+            if all(subsumes[(r, x)] for x in representatives if x != r)
+        ]
+        if maxima:
+            (candidate,) = maxima[:1]
+            if self._tableau_subsumes(Atomic(candidate), TOP):
+                top_members = groups.pop(candidate)
+                edges = [(a, b) for a, b in edges if candidate not in (a, b)]
+        return groups, edges, top_members
+
+    def _classify_enhanced(
+        self, names: list[str], told_up: dict[str, frozenset[str]]
+    ) -> tuple[dict[str, list[str]], list[tuple[str, str]], list[str]]:
+        """Insertion classification with top/bottom enhanced traversal."""
+        told_down: dict[str, set[str]] = {}
+        for name, ups in told_up.items():
+            for up in ups:
+                if up != name:
+                    told_down.setdefault(up, set()).add(name)
+
+        # the growing DAG over group nodes, ⊤ at the top, ⊥ at the bottom
+        parents: dict[str, set[str]] = {TOP_NAME: set(), BOTTOM_NAME: {TOP_NAME}}
+        children: dict[str, set[str]] = {TOP_NAME: {BOTTOM_NAME}, BOTTOM_NAME: set()}
+        groups: dict[str, list[str]] = {}
+        node_of: dict[str, str] = {}  # inserted name -> its group's node
+        top_members: list[str] = []
+
+        def up_closure(seeds: set[str]) -> set[str]:
+            out: set[str] = set()
+            stack = list(seeds)
+            while stack:
+                node = stack.pop()
+                if node not in out:
+                    out.add(node)
+                    stack.extend(parents[node])
+            return out
+
+        def down_closure(seeds: set[str]) -> set[str]:
+            out: set[str] = set()
+            stack = list(seeds)
+            while stack:
+                node = stack.pop()
+                if node not in out:
+                    out.add(node)
+                    stack.extend(children[node])
+            return out
+
+        for name in _insertion_order(names, told_up):
+            concept = Atomic(name)
+
+            if self.reasoner.known_satisfiability(concept) is False:
+                self._satisfiable[name] = False
+                node_of[name] = BOTTOM_NAME
+                continue
+            told_nodes = {
+                node_of[t]
+                for t in told_up.get(name, ())
+                if t != name and t in node_of
+            }
+            if BOTTOM_NAME in told_nodes:
+                # a told subsumer is unsatisfiable, so this name is too
+                self._satisfiable[name] = False
+                self._pruned()
+                node_of[name] = BOTTOM_NAME
+                continue
+            # positive information: told subsumers and, by transitivity,
+            # everything the DAG already places above them
+            known_pos = up_closure(told_nodes)
+
+            # --- top search: most specific subsumers ----------------- #
+            subsumer_memo: dict[str, bool] = {TOP_NAME: True}
+
+            def subsumer(node: str) -> bool:
+                """Does ``node`` subsume the concept being inserted?"""
+                cached = subsumer_memo.get(node)
+                if cached is not None:
+                    return cached
+                if node in known_pos:
+                    subsumer_memo[node] = True
+                    self._told_hit()
+                    return True
+                # a subsumer's ancestors all subsume too: one negative
+                # parent settles this node without a tableau call
+                for parent in sorted(parents[node]):
+                    if not subsumer(parent):
+                        subsumer_memo[node] = False
+                        self._pruned()
+                        return False
+                result = self._tableau_subsumes(Atomic(node), concept)
+                subsumer_memo[node] = result
+                return result
+
+            most_specific: set[str] = set()
+            visited: set[str] = set()
+
+            def descend(node: str) -> None:
+                visited.add(node)
+                positive = [
+                    child
+                    for child in sorted(children[node])
+                    if child != BOTTOM_NAME and subsumer(child)
+                ]
+                if not positive:
+                    most_specific.add(node)
+                    return
+                for child in positive:
+                    if child not in visited:
+                        descend(child)
+
+            descend(TOP_NAME)
+
+            # satisfiability after the top search: a failed subsumption
+            # test has already witnessed satisfiability, so this is
+            # usually a (cross-seeded) cache hit
+            _obs.incr("hierarchy.sat_checks")
+            if not self.reasoner.is_satisfiable(concept):
+                self._satisfiable[name] = False
+                node_of[name] = BOTTOM_NAME
+                continue
+            self._satisfiable[name] = True
+
+            # --- bottom search: most general subsumees --------------- #
+            known_sub = down_closure(
+                {
+                    node_of[d]
+                    for d in told_down.get(name, ())
+                    if d in node_of and node_of[d] != BOTTOM_NAME
+                }
+            )
+            # subsumees live below every subsumer of the new concept
+            allowed = (
+                None
+                if most_specific == {TOP_NAME}
+                else set.intersection(
+                    *(down_closure({p}) for p in sorted(most_specific))
+                )
+            )
+            subsumee_memo: dict[str, bool] = {BOTTOM_NAME: True}
+
+            def subsumee(node: str) -> bool:
+                """Is ``node`` subsumed by the concept being inserted?"""
+                cached = subsumee_memo.get(node)
+                if cached is not None:
+                    return cached
+                if allowed is not None and node not in allowed:
+                    subsumee_memo[node] = False
+                    self._pruned()
+                    return False
+                if node in known_sub:
+                    subsumee_memo[node] = True
+                    self._told_hit()
+                    return True
+                # a subsumee's descendants are all subsumed too: one
+                # negative child settles this node without a tableau call
+                for child in sorted(children[node]):
+                    if not subsumee(child):
+                        subsumee_memo[node] = False
+                        self._pruned()
+                        return False
+                node_concept = TOP if node == TOP_NAME else Atomic(node)
+                result = self._tableau_subsumes(concept, node_concept)
+                subsumee_memo[node] = result
+                return result
+
+            most_general: set[str] = set()
+            bottom_visited: set[str] = set()
+
+            def ascend(node: str) -> None:
+                bottom_visited.add(node)
+                positive = [
+                    parent for parent in sorted(parents[node]) if subsumee(parent)
+                ]
+                if not positive:
+                    most_general.add(node)
+                    return
+                for parent in positive:
+                    if parent not in bottom_visited:
+                        ascend(parent)
+
+            ascend(BOTTOM_NAME)
+
+            # --- insert ---------------------------------------------- #
+            equivalent = most_specific & most_general
+            if equivalent:
+                node = sorted(equivalent)[0]
+                if node == TOP_NAME:
+                    top_members.append(name)
+                else:
+                    groups[node].append(name)
+                node_of[name] = node
+                continue
+            for parent in most_specific:
+                for child in most_general:
+                    children[parent].discard(child)
+                    parents[child].discard(parent)
+            parents[name] = set(most_specific)
+            children[name] = set(most_general)
+            for parent in most_specific:
+                children[parent].add(name)
+            for child in most_general:
+                parents[child].add(name)
+            groups[name] = [name]
+            node_of[name] = name
+
+        edges = [
+            (node, parent)
+            for node in parents
+            if node != TOP_NAME
+            for parent in parents[node]
+        ]
+        return groups, edges, top_members
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
 
+    def groups(self) -> frozenset[frozenset[str]]:
+        """All equivalence classes of satisfiable, non-⊤ names."""
+        return frozenset(frozenset(g) for g in self._groups)
+
+    def top_equivalents(self) -> frozenset[str]:
+        """Named concepts the TBox forces to be equivalent to ⊤."""
+        return frozenset(self._top_members)
+
     def equivalents(self, name: str) -> frozenset[str]:
-        """All names equivalent to ``name`` (including itself)."""
+        """All names equivalent to ``name`` (including itself).
+
+        ``name`` may be a named concept, ``⊤``, or ``⊥``; the classes of
+        the synthetic top/bottom include their marker, so
+        ``equivalents("⊤")`` is ``{"⊤"}`` plus any ⊤-equivalent names and
+        ``equivalents("⊥")`` is ``{"⊥"}`` plus the unsatisfiable names.
+        """
         rep = self.group_of.get(name)
+        if rep is None:
+            raise KeyError(f"unknown concept name {name!r}")
+        if rep == TOP_NAME:
+            return frozenset({TOP_NAME, *self._top_members})
         if rep == BOTTOM_NAME:
             return frozenset(
-                n for n, sat in self._satisfiable.items() if not sat
+                {BOTTOM_NAME, *(n for n, sat in self._satisfiable.items() if not sat)}
             )
         for group in self._groups:
-            if name in group:
+            if group[0] == rep:
                 return frozenset(group)
-        raise KeyError(f"unknown concept name {name!r}")
+        raise KeyError(f"unknown concept name {name!r}")  # pragma: no cover
 
     def parents(self, name: str) -> frozenset[str]:
         """Direct (covering) subsumers of ``name``'s group."""
@@ -146,14 +441,42 @@ class ConceptHierarchy:
         lines: list[str] = []
 
         def walk(rep: str, depth: int) -> None:
-            group = [g for g in self._groups if g[0] == rep]
-            shown = " ≡ ".join(group[0]) if group else rep
+            if rep == TOP_NAME and self._top_members:
+                shown = " ≡ ".join([TOP_NAME, *self._top_members])
+            else:
+                group = [g for g in self._groups if g[0] == rep]
+                shown = " ≡ ".join(group[0]) if group else rep
             lines.append("  " * depth + shown)
             for child in sorted(self.children(rep) - {BOTTOM_NAME}):
                 walk(child, depth + 1)
 
         walk(TOP_NAME, 0)
         return "\n".join(lines)
+
+
+def _insertion_order(
+    names: list[str], told_up: dict[str, frozenset[str]]
+) -> list[str]:
+    """Names ordered so told subsumers come before their subsumees.
+
+    Inserting a concept after its told subsumers lets the top search
+    start from seeded positives.  Told cycles (mutual told subsumption)
+    are broken deterministically at the smallest remaining name.
+    """
+    remaining = set(names)
+    order: list[str] = []
+    while remaining:
+        ready = sorted(
+            name
+            for name in remaining
+            if not ((told_up.get(name, frozenset()) - {name}) & remaining)
+        )
+        if not ready:  # told cycle
+            ready = [min(remaining)]
+        for name in ready:
+            order.append(name)
+            remaining.discard(name)
+    return order
 
 
 def _told_subsumers(tbox: TBox) -> dict[str, frozenset[str]]:
@@ -187,6 +510,22 @@ def _told_subsumers(tbox: TBox) -> dict[str, frozenset[str]]:
     return closure
 
 
-def classify(tbox: TBox, *, use_told_subsumers: bool = True) -> ConceptHierarchy:
-    """Classify ``tbox`` and return its inferred hierarchy."""
-    return ConceptHierarchy(tbox, use_told_subsumers=use_told_subsumers)
+def classify(
+    tbox: TBox,
+    *,
+    use_told_subsumers: bool = True,
+    algorithm: str = "enhanced",
+    reasoner: Reasoner | None = None,
+) -> ConceptHierarchy:
+    """Classify ``tbox`` and return its inferred hierarchy.
+
+    ``algorithm="brute"`` selects the original pairwise subsumption
+    matrix; the default enhanced traversal computes the same hierarchy
+    with far fewer tableau calls.
+    """
+    return ConceptHierarchy(
+        tbox,
+        use_told_subsumers=use_told_subsumers,
+        algorithm=algorithm,
+        reasoner=reasoner,
+    )

@@ -8,7 +8,7 @@ unsatisfiable w.r.t. the TBox).
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..obs import recorder as _obs
 from .abox import ABox, ConceptAssertion
@@ -16,6 +16,9 @@ from .nnf import negate
 from .syntax import And, Atomic, Concept, TOP
 from .tableau import ReasonerError, Tableau
 from .tbox import TBox
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .hierarchy import ConceptHierarchy
 
 
 class Reasoner:
@@ -37,6 +40,7 @@ class Reasoner:
         self._tableau = Tableau(self.tbox, max_nodes=max_nodes)
         self._sat_cache: dict[Concept, bool] = {}
         self._subs_cache: dict[tuple[Concept, Concept], bool] = {}
+        self._hierarchy_cache: dict[tuple[str, bool], "ConceptHierarchy"] = {}
         self._tbox_revision = self.tbox.revision
 
     # ------------------------------------------------------------------ #
@@ -55,6 +59,7 @@ class Reasoner:
         _obs.incr("reasoner.invalidations")
         self._sat_cache.clear()
         self._subs_cache.clear()
+        self._hierarchy_cache.clear()
         self._tableau = Tableau(self.tbox, max_nodes=self._max_nodes)
         self._tbox_revision = self.tbox.revision
 
@@ -94,6 +99,16 @@ class Reasoner:
             return None
         return extract_interpretation(state)
 
+    def known_satisfiability(self, concept: Concept) -> Optional[bool]:
+        """The cached satisfiability of ``concept``, or ``None`` if unknown.
+
+        Never runs the tableau; useful for callers (classification,
+        materialization) that can exploit an answer when one is already
+        in the cache but should not pay for one otherwise.
+        """
+        self._check_revision()
+        return self._sat_cache.get(concept)
+
     def subsumes(self, general: Concept, specific: Concept) -> bool:
         """True iff ``specific ⊑ general`` w.r.t. the TBox."""
         self._check_revision()
@@ -101,7 +116,14 @@ class Reasoner:
         if key not in self._subs_cache:
             _obs.incr("reasoner.subs_cache_misses")
             test = And.of([specific, negate(general)])
-            self._subs_cache[key] = not self._tableau.is_satisfiable(test)
+            test_satisfiable = self._tableau.is_satisfiable(test)
+            self._subs_cache[key] = not test_satisfiable
+            if test_satisfiable and specific not in self._sat_cache:
+                # the model of ``specific ⊓ ¬general`` witnesses that
+                # ``specific`` itself is satisfiable: cross-seed the sat
+                # cache so a later is_satisfiable(specific) is a hit
+                self._sat_cache[specific] = True
+                _obs.incr("reasoner.sat_cross_seeds")
         else:
             _obs.incr("reasoner.subs_cache_hits")
         return self._subs_cache[key]
@@ -125,6 +147,36 @@ class Reasoner:
             for name in sorted(self.tbox.atomic_names())
             if not self.is_satisfiable(Atomic(name))
         ]
+
+    def classify(
+        self, *, algorithm: str = "enhanced", use_told_subsumers: bool = True
+    ) -> "ConceptHierarchy":
+        """The classified concept hierarchy of the TBox, cached.
+
+        The hierarchy is computed once per (algorithm, told-seeding)
+        configuration and reused until the TBox revision moves, at which
+        point :meth:`invalidate` drops it along with the sat/subs
+        caches.  Consumers that repeatedly need hierarchy answers
+        (e.g. :func:`repro.store.materialize`) should go through this
+        service rather than reclassifying.
+        """
+        from .hierarchy import ConceptHierarchy
+
+        self._check_revision()
+        key = (algorithm, use_told_subsumers)
+        hierarchy = self._hierarchy_cache.get(key)
+        if hierarchy is None:
+            _obs.incr("reasoner.classify_cache_misses")
+            hierarchy = ConceptHierarchy(
+                self.tbox,
+                reasoner=self,
+                algorithm=algorithm,
+                use_told_subsumers=use_told_subsumers,
+            )
+            self._hierarchy_cache[key] = hierarchy
+        else:
+            _obs.incr("reasoner.classify_cache_hits")
+        return hierarchy
 
     # ------------------------------------------------------------------ #
     # ABox services

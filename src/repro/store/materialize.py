@@ -7,6 +7,17 @@ materialization writes every entailed ``type`` triple back into a copy of
 the store, so that plain pattern queries afterwards see the inferred
 facts.
 
+By default materialization is *hierarchy-aware*: the TBox is classified
+once (via the reasoner's cached :meth:`repro.dl.Reasoner.classify`
+service) and each individual is tableau-checked only against candidate
+concepts in a children-first walk down the classified hierarchy.  Told
+types and their ancestors are derived by closing upward over
+:meth:`ConceptHierarchy.ancestors` with no tableau call at all, a
+negative answer prunes the candidate's whole subtree, and one check per
+equivalence *group* covers every name in it.  The avoided tableau work
+shows up as ``materialize.pruned_checks``; ``use_hierarchy=False`` keeps
+the original exhaustive (individual × concept) loop as an oracle.
+
 This is also where the paper's pragmatic warning (§4) becomes concrete:
 whatever the TBox's taxonomy got wrong is now *in the data*, returned by
 every query, with no trace of having been an inference.
@@ -18,12 +29,15 @@ from ..obs import recorder as _obs
 from ..dl import (
     ABox,
     Atomic,
+    BOTTOM_NAME,
     Concept,
     ConceptAssertion,
+    ConceptHierarchy,
     Reasoner,
     Role,
     RoleAssertion,
     TBox,
+    TOP_NAME,
 )
 from .triples import TripleStore
 
@@ -66,12 +80,16 @@ def materialize(
     *,
     type_predicate: str = "type",
     reasoner: Reasoner | None = None,
+    hierarchy: ConceptHierarchy | None = None,
+    use_hierarchy: bool = True,
 ) -> TripleStore:
     """A copy of ``store`` with all entailed ``type`` triples added.
 
-    For every named individual and every satisfiable atomic concept of
-    the TBox, the reasoner decides instance-hood; positive answers are
-    written back as ``(individual, type, concept)`` triples.
+    With ``use_hierarchy=True`` (the default) the classified hierarchy
+    prunes the instance checks; ``use_hierarchy=False`` runs one tableau
+    instance check per (individual × concept) pair.  Both strategies
+    produce the same store.  A pre-built ``hierarchy`` may be supplied to
+    skip classification entirely.
     """
     reasoner = reasoner or Reasoner(tbox)
     abox = store_to_abox(store, tbox, type_predicate=type_predicate)
@@ -83,17 +101,117 @@ def materialize(
             "the store is inconsistent with the TBox; refusing to materialize"
         )
     _obs.incr("materialize.runs")
-    names = sorted(tbox.atomic_names())
     with _obs.trace("materialize.run"):
-        for individual in sorted(abox.individuals()):
-            for name in names:
-                _obs.incr("materialize.instance_checks")
-                if reasoner.is_instance(abox, individual, Atomic(name)):
-                    if (individual, type_predicate, name) in out:
-                        continue  # told fact keeps its own (lack of) provenance
-                    _obs.incr("materialize.facts_added")
-                    out.add(individual, type_predicate, name, provenance="inferred")
+        if use_hierarchy:
+            if hierarchy is None:
+                hierarchy = reasoner.classify()
+            _materialize_with_hierarchy(
+                out, abox, hierarchy, reasoner, type_predicate
+            )
+        else:
+            _materialize_exhaustive(out, abox, tbox, reasoner, type_predicate)
     return out
+
+
+def _add_type(
+    out: TripleStore, individual: str, name: str, type_predicate: str
+) -> None:
+    if (individual, type_predicate, name) in out:
+        return  # told fact keeps its own (lack of) provenance
+    _obs.incr("materialize.facts_added")
+    out.add(individual, type_predicate, name, provenance="inferred")
+
+
+def _materialize_exhaustive(
+    out: TripleStore,
+    abox: ABox,
+    tbox: TBox,
+    reasoner: Reasoner,
+    type_predicate: str,
+) -> None:
+    """The original brute-force loop: every (individual, name) pair."""
+    names = sorted(tbox.atomic_names())
+    for individual in sorted(abox.individuals()):
+        for name in names:
+            _obs.incr("materialize.instance_checks")
+            if reasoner.is_instance(abox, individual, Atomic(name)):
+                _add_type(out, individual, name, type_predicate)
+
+
+def _materialize_with_hierarchy(
+    out: TripleStore,
+    abox: ABox,
+    hierarchy: ConceptHierarchy,
+    reasoner: Reasoner,
+    type_predicate: str,
+) -> None:
+    """Candidate-driven materialization over the classified hierarchy."""
+    # children map of the hierarchy's Hasse diagram, computed once
+    kids: dict[str, set[str]] = {}
+    for low, high in hierarchy.poset.covers():
+        kids.setdefault(high, set()).add(low)
+    live_reps = [
+        rep
+        for rep in hierarchy.poset.elements
+        if rep not in (TOP_NAME, BOTTOM_NAME)
+    ]
+    top_names = sorted(hierarchy.top_equivalents())
+
+    told_types: dict[str, set[str]] = {}
+    for assertion in abox.concept_assertions():
+        if isinstance(assertion.concept, Atomic):
+            told_types.setdefault(assertion.individual, set()).add(
+                assertion.concept.name
+            )
+
+    for individual in sorted(abox.individuals()):
+        # told types and their ancestors hold without any tableau call
+        decided: dict[str, bool] = {}
+        for name in told_types.get(individual, ()):
+            rep = hierarchy.group_of.get(name)
+            if rep is None or rep in (TOP_NAME, BOTTOM_NAME):
+                continue
+            decided[rep] = True
+            for ancestor in hierarchy.ancestors(rep):
+                if ancestor not in (TOP_NAME, BOTTOM_NAME):
+                    decided[ancestor] = True
+
+        checks = 0
+
+        def is_instance(rep: str) -> bool:
+            nonlocal checks
+            known = decided.get(rep)
+            if known is not None:
+                return known
+            checks += 1
+            _obs.incr("materialize.instance_checks")
+            decided[rep] = reasoner.is_instance(abox, individual, Atomic(rep))
+            return decided[rep]
+
+        # children-first walk: a negative answer prunes the whole subtree
+        visited: set[str] = set()
+
+        def walk(rep: str) -> None:
+            for child in sorted(kids.get(rep, ())):
+                if child == BOTTOM_NAME or child in visited:
+                    continue
+                visited.add(child)
+                if is_instance(child):
+                    walk(child)
+
+        walk(TOP_NAME)
+        _obs.incr("materialize.pruned_checks", len(live_reps) - checks)
+
+        entailed = sorted(
+            name
+            for rep, positive in decided.items()
+            if positive
+            for name in hierarchy.equivalents(rep)
+        )
+        for name in entailed:
+            _add_type(out, individual, name, type_predicate)
+        for name in top_names:  # ⊤-equivalent names hold of everyone
+            _add_type(out, individual, name, type_predicate)
 
 
 def instances_of(

@@ -1,8 +1,12 @@
 """Unit tests for TBox classification."""
 
+import pytest
+
+from repro.corpora import random_tbox
 from repro.corpora.vehicles import vehicle_tbox
 from repro.dl import (
     BOTTOM_NAME,
+    TOP,
     TOP_NAME,
     Atomic,
     Equivalence,
@@ -12,44 +16,64 @@ from repro.dl import (
     classify,
     parse_tbox,
 )
+from repro.obs import Recorder, use_recorder
 
 A, B, C = Atomic("A"), Atomic("B"), Atomic("C")
 
+ALGORITHMS = ["enhanced", "brute"]
 
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
 class TestClassification:
-    def test_chain(self):
-        h = classify(TBox([Subsumption(A, B), Subsumption(B, C)]))
+    def test_chain(self, algorithm):
+        h = classify(
+            TBox([Subsumption(A, B), Subsumption(B, C)]), algorithm=algorithm
+        )
         assert h.is_subsumed_by("A", "C")
         assert not h.is_subsumed_by("C", "A")
         assert h.poset.leq("A", "B")
 
-    def test_top_and_bottom_present(self):
-        h = classify(TBox([Subsumption(A, B)]))
+    def test_top_and_bottom_present(self, algorithm):
+        h = classify(TBox([Subsumption(A, B)]), algorithm=algorithm)
         assert h.poset.top() == TOP_NAME
         assert h.poset.bottom() == BOTTOM_NAME
 
-    def test_parents_children(self):
-        h = classify(TBox([Subsumption(A, B), Subsumption(B, C)]))
+    def test_parents_children(self, algorithm):
+        h = classify(
+            TBox([Subsumption(A, B), Subsumption(B, C)]), algorithm=algorithm
+        )
         assert h.parents("A") == frozenset({"B"})
         assert h.children("C") == frozenset({"B"})
         assert h.parents("C") == frozenset({TOP_NAME})
 
-    def test_ancestors_descendants(self):
-        h = classify(TBox([Subsumption(A, B), Subsumption(B, C)]))
+    def test_ancestors_descendants(self, algorithm):
+        h = classify(
+            TBox([Subsumption(A, B), Subsumption(B, C)]), algorithm=algorithm
+        )
         assert h.ancestors("A") == frozenset({"B", "C", TOP_NAME})
         assert h.descendants("C") == frozenset({"A", "B", BOTTOM_NAME})
 
-    def test_equivalent_names_grouped(self):
-        h = classify(TBox([Equivalence(A, B)]))
+    def test_equivalent_names_grouped(self, algorithm):
+        h = classify(TBox([Equivalence(A, B)]), algorithm=algorithm)
         assert h.group_of["A"] == h.group_of["B"]
         assert h.equivalents("A") == frozenset({"A", "B"})
 
-    def test_unsatisfiable_name_maps_to_bottom(self):
-        h = classify(TBox([Subsumption(A, B), Subsumption(A, Not(B))]))
+    def test_told_cycle_grouped(self, algorithm):
+        h = classify(
+            TBox([Subsumption(A, B), Subsumption(B, A)]), algorithm=algorithm
+        )
+        assert h.equivalents("A") == frozenset({"A", "B"})
+        assert h.group_of["A"] == h.group_of["B"]
+
+    def test_unsatisfiable_name_maps_to_bottom(self, algorithm):
+        h = classify(
+            TBox([Subsumption(A, B), Subsumption(A, Not(B))]),
+            algorithm=algorithm,
+        )
         assert h.group_of["A"] == BOTTOM_NAME
 
-    def test_vehicle_hierarchy(self):
-        h = classify(vehicle_tbox())
+    def test_vehicle_hierarchy(self, algorithm):
+        h = classify(vehicle_tbox(), algorithm=algorithm)
         assert h.is_subsumed_by("car", "motorvehicle")
         assert h.is_subsumed_by("car", "roadvehicle")
         assert h.is_subsumed_by("pickup", "motorvehicle")
@@ -58,29 +82,70 @@ class TestClassification:
         assert not h.poset.is_tree()
         assert h.parents("car") == frozenset({"motorvehicle", "roadvehicle"})
 
-    def test_inferred_subsumption_not_told(self):
+    def test_inferred_subsumption_not_told(self, algorithm):
         tbox = parse_tbox(
             """
             A = B & C
             D [= B & C
             """
         )
-        h = classify(tbox)
+        h = classify(tbox, algorithm=algorithm)
         # D ⊑ B ⊓ C ≡ A, so D is classified under A without being told
         assert h.is_subsumed_by("D", "A")
 
-    def test_pretty_renders_all_names(self):
-        h = classify(vehicle_tbox())
+    def test_pretty_renders_all_names(self, algorithm):
+        h = classify(vehicle_tbox(), algorithm=algorithm)
         text = h.pretty()
         for name in ("car", "pickup", "motorvehicle", "roadvehicle"):
             assert name in text
         assert text.splitlines()[0] == TOP_NAME
 
 
+class TestEquivalentsTopBottom:
+    """Regression: equivalents(⊤) / equivalents(⊥) used to raise KeyError."""
+
+    def test_top_equivalents_plain(self):
+        h = classify(TBox([Subsumption(A, B)]))
+        assert h.equivalents(TOP_NAME) == frozenset({TOP_NAME})
+        assert h.top_equivalents() == frozenset()
+
+    def test_bottom_equivalents_plain(self):
+        h = classify(TBox([Subsumption(A, B)]))
+        assert h.equivalents(BOTTOM_NAME) == frozenset({BOTTOM_NAME})
+
+    def test_bottom_collects_unsatisfiable_names(self):
+        h = classify(TBox([Subsumption(A, B), Subsumption(A, Not(B))]))
+        assert h.equivalents(BOTTOM_NAME) == frozenset({BOTTOM_NAME, "A"})
+        assert h.equivalents("A") == frozenset({BOTTOM_NAME, "A"})
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_named_concept_equivalent_to_top(self, algorithm):
+        # ⊤ ⊑ A forces A ≡ ⊤; with A ⊑ B, B is dragged up to ⊤ as well
+        tbox = TBox([Subsumption(TOP, A), Subsumption(A, B)])
+        h = classify(tbox, algorithm=algorithm)
+        assert h.top_equivalents() == frozenset({"A", "B"})
+        assert h.equivalents(TOP_NAME) == frozenset({TOP_NAME, "A", "B"})
+        assert h.equivalents("A") == frozenset({TOP_NAME, "A", "B"})
+        assert h.group_of["A"] == TOP_NAME
+        assert "≡" in h.pretty().splitlines()[0]
+
+    def test_unknown_name_raises(self):
+        h = classify(TBox([Subsumption(A, B)]))
+        with pytest.raises(KeyError):
+            h.equivalents("nonexistent")
+
+    def test_groups_partition_satisfiable_names(self):
+        tbox = vehicle_tbox()
+        h = classify(tbox)
+        flat = {name for group in h.groups() for name in group}
+        # groups() covers exactly the satisfiable, non-⊤ names; vehicles
+        # has no unsatisfiable or ⊤-equivalent names, so that's all of them
+        assert flat == set(tbox.atomic_names())
+        assert sum(len(g) for g in h.groups()) == len(flat)
+
+
 class TestToldSubsumers:
     def test_told_seeding_matches_full_reasoning(self):
-        from repro.corpora import random_tbox
-
         for seed in (3, 17, 42):
             tbox = random_tbox(seed, n_defined=5, n_primitive=3, n_roles=2)
             with_told = classify(tbox, use_told_subsumers=True)
@@ -98,3 +163,50 @@ class TestToldSubsumers:
         h = classify(tbox)
         # A ⊑ C is told only transitively; still seeded, still correct
         assert h.is_subsumed_by("A", "C")
+
+
+def _classify_counting(tbox, algorithm):
+    """Classify under a fresh recorder; return (hierarchy, tableau count)."""
+    recorder = Recorder()
+    with use_recorder(recorder):
+        h = classify(tbox, algorithm=algorithm)
+    return h, recorder.counters.get("hierarchy.tableau_subsumptions", 0)
+
+
+class TestEnhancedTraversal:
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            classify(TBox([Subsumption(A, B)]), algorithm="magic")
+
+    def test_pruned_tests_counted(self):
+        tbox = random_tbox(0, n_defined=22, n_primitive=8, n_roles=3)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            h = classify(tbox)
+        assert h.pruned_tests > 0
+        assert recorder.counters["hierarchy.pruned_tests"] == h.pruned_tests
+        assert recorder.counters["hierarchy.classifications"] == 1
+
+    def test_enhanced_cuts_tableau_tests_by_40_percent(self):
+        # ISSUE 2 acceptance: on the B1 random-TBox workload (n ≥ 30
+        # names) enhanced traversal must spend ≤ 60% of brute force's
+        # tableau subsumption tests while producing the identical
+        # hierarchy.
+        tbox = random_tbox(0, n_defined=22, n_primitive=8, n_roles=3)
+        assert len(tbox.atomic_names()) >= 30
+        he, enhanced_tests = _classify_counting(tbox, "enhanced")
+        hb, brute_tests = _classify_counting(tbox, "brute")
+        assert he.groups() == hb.groups()
+        assert he.poset == hb.poset
+        assert he.group_of == hb.group_of
+        assert enhanced_tests == he.tableau_tests
+        assert brute_tests == hb.tableau_tests
+        assert enhanced_tests <= 0.6 * brute_tests
+
+    def test_enhanced_matches_brute_on_vehicles(self):
+        tbox = vehicle_tbox()
+        he, enhanced_tests = _classify_counting(tbox, "enhanced")
+        hb, brute_tests = _classify_counting(tbox, "brute")
+        assert he.groups() == hb.groups()
+        assert he.poset == hb.poset
+        assert enhanced_tests < brute_tests

@@ -1,0 +1,97 @@
+"""Property tests: enhanced-traversal classification ≡ brute force.
+
+The enhanced-traversal algorithm prunes tableau subsumption tests via
+told subsumers, transitivity, and negative-result propagation; none of
+that may change the *answer*.  These properties generate TBoxes two ways
+— the seeded corpus generator used by the benches, and a Hypothesis
+strategy with negation so unsatisfiable and ⊤-equivalent names occur —
+and assert both algorithms yield the identical hierarchy: same
+equivalence classes, same poset, same group mapping.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpora import random_tbox
+from repro.dl import (
+    And,
+    Atomic,
+    Equivalence,
+    Not,
+    Or,
+    Subsumption,
+    TBox,
+    classify,
+    some,
+)
+
+_NAMES = ["A", "B", "C", "D", "E"]
+_ROLES = ["r", "s"]
+_atoms = st.sampled_from([Atomic(n) for n in _NAMES])
+
+
+@st.composite
+def _concepts(draw, depth=2):
+    if depth == 0:
+        return draw(_atoms)
+    kind = draw(st.integers(min_value=0, max_value=4))
+    if kind == 0:
+        return draw(_atoms)
+    if kind == 1:
+        return Not(draw(_concepts(depth=depth - 1)))
+    if kind == 2:
+        return And.of(
+            [draw(_concepts(depth=depth - 1)), draw(_concepts(depth=depth - 1))]
+        )
+    if kind == 3:
+        return Or.of(
+            [draw(_concepts(depth=depth - 1)), draw(_concepts(depth=depth - 1))]
+        )
+    return some(draw(st.sampled_from(_ROLES)), draw(_concepts(depth=depth - 1)))
+
+
+@st.composite
+def _axioms(draw):
+    left = draw(_atoms)
+    right = draw(_concepts())
+    if draw(st.booleans()):
+        return Subsumption(left, right)
+    return Equivalence(left, right)
+
+
+_tboxes = st.lists(_axioms(), min_size=1, max_size=5).map(TBox)
+
+
+def _assert_same_hierarchy(tbox: TBox) -> None:
+    enhanced = classify(tbox, algorithm="enhanced")
+    brute = classify(tbox, algorithm="brute")
+    assert enhanced.groups() == brute.groups()
+    assert enhanced.group_of == brute.group_of
+    assert enhanced.poset == brute.poset
+    assert enhanced.top_equivalents() == brute.top_equivalents()
+
+
+@settings(max_examples=30, deadline=None)
+@given(_tboxes)
+def test_enhanced_equals_brute_on_random_axioms(tbox):
+    _assert_same_hierarchy(tbox)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_defined=st.integers(min_value=2, max_value=10),
+    n_primitive=st.integers(min_value=1, max_value=5),
+)
+def test_enhanced_equals_brute_on_corpus_tboxes(seed, n_defined, n_primitive):
+    tbox = random_tbox(seed, n_defined=n_defined, n_primitive=n_primitive, n_roles=2)
+    _assert_same_hierarchy(tbox)
+
+
+@settings(max_examples=12, deadline=None)
+@given(_tboxes)
+def test_told_seeding_never_changes_enhanced_answer(tbox):
+    with_told = classify(tbox, algorithm="enhanced", use_told_subsumers=True)
+    without = classify(tbox, algorithm="enhanced", use_told_subsumers=False)
+    assert with_told.groups() == without.groups()
+    assert with_told.poset == without.poset

@@ -261,3 +261,45 @@ class TestABox:
     def test_empty_abox_consistent(self):
         r, _ = self.kb()
         assert r.is_consistent(ABox())
+
+
+class TestSatCacheCrossSeeding:
+    def test_failed_subsumption_seeds_sat_cache(self):
+        from repro.obs import Recorder, use_recorder
+
+        reasoner = Reasoner(TBox([Subsumption(A, B)]))
+        recorder = Recorder()
+        with use_recorder(recorder):
+            # B ⋢ A, so the test concept B ⊓ ¬A has a model — and that
+            # model witnesses sat(B), which cross-seeds the sat cache
+            assert not reasoner.subsumes(A, B)
+            assert recorder.counters["reasoner.sat_cross_seeds"] == 1
+            assert reasoner.known_satisfiability(B) is True
+            assert reasoner.is_satisfiable(B)
+        # the sat check above was answered from the seeded cache
+        assert recorder.counters["reasoner.sat_cache_hits"] == 1
+        assert "reasoner.sat_cache_misses" not in recorder.counters
+
+    def test_positive_subsumption_does_not_seed(self):
+        reasoner = Reasoner(TBox([Subsumption(A, B)]))
+        assert reasoner.subsumes(B, A)  # test concept unsatisfiable
+        assert reasoner.known_satisfiability(A) is None
+
+    def test_known_satisfiability_never_runs_tableau(self):
+        from repro.obs import Recorder, use_recorder
+
+        reasoner = Reasoner(TBox([Subsumption(A, B)]))
+        recorder = Recorder()
+        with use_recorder(recorder):
+            assert reasoner.known_satisfiability(A) is None
+        assert "tableau.solve_calls" not in recorder.counters
+
+    def test_classification_reuses_cross_seeded_answers(self):
+        from repro.obs import Recorder, use_recorder
+
+        reasoner = Reasoner(vehicle_tbox())
+        recorder = Recorder()
+        with use_recorder(recorder):
+            reasoner.classify()
+        assert recorder.counters.get("reasoner.sat_cross_seeds", 0) > 0
+        assert recorder.counters.get("reasoner.sat_cache_hits", 0) > 0

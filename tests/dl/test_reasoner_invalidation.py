@@ -104,3 +104,33 @@ class TestTBoxRevision:
         tbox = TBox()
         with pytest.raises(DLSyntaxError):
             tbox.add("not an axiom")
+
+
+class TestClassifyCache:
+    def test_classify_returns_cached_object(self):
+        reasoner = Reasoner(TBox([Subsumption(A, B)]))
+        recorder = Recorder()
+        with use_recorder(recorder):
+            first = reasoner.classify()
+            second = reasoner.classify()
+        assert first is second
+        assert recorder.counters["reasoner.classify_cache_misses"] == 1
+        assert recorder.counters["reasoner.classify_cache_hits"] == 1
+
+    def test_cache_keyed_by_configuration(self):
+        reasoner = Reasoner(TBox([Subsumption(A, B)]))
+        enhanced = reasoner.classify(algorithm="enhanced")
+        brute = reasoner.classify(algorithm="brute")
+        assert enhanced is not brute
+        assert enhanced.poset == brute.poset
+        assert reasoner.classify(algorithm="brute") is brute
+
+    def test_tbox_mutation_invalidates_hierarchy(self):
+        tbox = TBox([Subsumption(A, B)])
+        reasoner = Reasoner(tbox)
+        stale = reasoner.classify()
+        assert "C" not in stale.group_of
+        tbox.add(Subsumption(B, C))
+        fresh = reasoner.classify()
+        assert fresh is not stale
+        assert fresh.is_subsumed_by("A", "C")

@@ -1,0 +1,128 @@
+"""Tests for hierarchy-propagated materialization.
+
+The hierarchy-aware path (classify once, candidate-driven instance
+checks, upward closure over ancestors) must be a pure optimisation: the
+resulting store is identical to the exhaustive (individual × concept)
+oracle, only cheaper.  The counters ``materialize.instance_checks`` and
+``materialize.pruned_checks`` make "cheaper" checkable.
+"""
+
+from repro.corpora.generators import random_tbox
+from repro.corpora.vehicles import vehicle_tbox
+from repro.dl import Reasoner, classify
+from repro.obs import Recorder, use_recorder
+from repro.store import TripleStore, materialize
+
+
+def vehicle_store() -> TripleStore:
+    store = TripleStore()
+    store.update(
+        [
+            ("herbie", "type", "car"),
+            ("bigfoot", "type", "pickup"),
+            ("kitt", "type", "motorvehicle"),
+            ("herbie", "uses", "premium_gasoline"),
+        ]
+    )
+    return store
+
+
+def random_store(tbox, n_individuals: int = 8) -> TripleStore:
+    names = sorted(tbox.atomic_names())
+    store = TripleStore()
+    for i in range(n_individuals):
+        store.add(f"x{i}", "type", names[i % len(names)])
+    return store
+
+
+def _materialize_counting(store, tbox, **kwargs):
+    recorder = Recorder()
+    with use_recorder(recorder):
+        result = materialize(store, tbox, **kwargs)
+    return result, recorder.counters
+
+
+class TestHierarchyMatchesExhaustive:
+    def test_vehicles_identical_stores(self):
+        store = vehicle_store()
+        fast = materialize(store, vehicle_tbox())
+        slow = materialize(store, vehicle_tbox(), use_hierarchy=False)
+        assert set(fast) == set(slow)
+
+    def test_random_tboxes_identical_stores(self):
+        for seed in (1, 5, 9):
+            tbox = random_tbox(seed, n_defined=6, n_primitive=4, n_roles=2)
+            store = random_store(tbox)
+            fast = materialize(store, tbox)
+            slow = materialize(store, tbox, use_hierarchy=False)
+            assert set(fast) == set(slow), f"seed {seed}"
+
+    def test_provenance_preserved(self):
+        result = materialize(vehicle_store(), vehicle_tbox())
+        inferred = {
+            tuple(t) for t in result if result.provenance(*t) == "inferred"
+        }
+        assert ("herbie", "type", "motorvehicle") in inferred
+        assert ("herbie", "type", "car") not in inferred
+
+
+class TestPruning:
+    def test_hierarchy_spends_fewer_instance_checks(self):
+        store = vehicle_store()
+        _, fast = _materialize_counting(store, vehicle_tbox())
+        _, slow = _materialize_counting(
+            store, vehicle_tbox(), use_hierarchy=False
+        )
+        assert fast["materialize.instance_checks"] < slow[
+            "materialize.instance_checks"
+        ]
+        assert fast["materialize.pruned_checks"] > 0
+        assert "materialize.pruned_checks" not in slow
+
+    def test_told_types_cost_no_checks(self):
+        # an individual told to be a leaf concept gets its whole ancestor
+        # chain for free; only sibling subtrees still need probing
+        tbox = vehicle_tbox()
+        store = TripleStore()
+        store.add("herbie", "type", "car")
+        _, counters = _materialize_counting(store, tbox)
+        hierarchy = classify(tbox)
+        free = {"car"} | {
+            a for a in hierarchy.ancestors("car") if a not in ("⊤", "⊥")
+        }
+        live = len(tbox.atomic_names())
+        assert counters["materialize.instance_checks"] <= live - len(free)
+
+    def test_facts_added_counted(self):
+        _, counters = _materialize_counting(vehicle_store(), vehicle_tbox())
+        assert counters["materialize.facts_added"] > 0
+        assert counters["materialize.runs"] == 1
+
+
+class TestHierarchyReuse:
+    def test_prebuilt_hierarchy_skips_classification(self):
+        tbox = vehicle_tbox()
+        reasoner = Reasoner(tbox)
+        hierarchy = reasoner.classify()
+        _, counters = _materialize_counting(
+            vehicle_store(), tbox, reasoner=reasoner, hierarchy=hierarchy
+        )
+        assert "hierarchy.classifications" not in counters
+        assert "reasoner.classify_cache_misses" not in counters
+
+    def test_shared_reasoner_classifies_once(self):
+        tbox = vehicle_tbox()
+        reasoner = Reasoner(tbox)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            materialize(vehicle_store(), tbox, reasoner=reasoner)
+            materialize(vehicle_store(), tbox, reasoner=reasoner)
+        assert recorder.counters["reasoner.classify_cache_misses"] == 1
+        assert recorder.counters["reasoner.classify_cache_hits"] == 1
+
+    def test_explicit_hierarchy_param_used(self):
+        tbox = vehicle_tbox()
+        hierarchy = classify(tbox)
+        result = materialize(vehicle_store(), tbox, hierarchy=hierarchy)
+        baseline = materialize(vehicle_store(), tbox)
+        assert set(result) == set(baseline)
