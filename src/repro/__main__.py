@@ -3,17 +3,24 @@
 Usage::
 
     python -m repro critique ONTONOMY.tbox [--contrast OTHER.tbox] [--regress TERM] [--stats]
-    python -m repro classify ONTONOMY.tbox [--stats]
+    python -m repro classify ONTONOMY.tbox [--budget-nodes N] [--budget-ms MS] [--escalate] [--stats]
     python -m repro check ONTONOMY.tbox
     python -m repro bench [--out DIR] [--only B1 ...]
 
 ``critique`` runs the full three-part analysis and prints the report;
 ``classify`` prints the inferred hierarchy; ``check`` reports coherence
-and unsatisfiable names; ``bench`` runs the instrumented B1–B5 substrate
+and unsatisfiable names; ``bench`` runs the instrumented B1–B6 substrate
 benches and writes one ``BENCH_<id>.json`` snapshot each.  ``--stats``
 prints the observability counter snapshot (see :mod:`repro.obs`) after
 the command's normal output.  TBox files use the text syntax of
 :mod:`repro.dl.parser` (one axiom per line, ``#`` comments).
+
+``classify`` accepts resource governance flags (see :mod:`repro.robust`):
+``--budget-nodes`` / ``--budget-ms`` bound every subsumption test, and
+``--escalate`` geometrically retries an incomplete classification.  A
+hierarchy that still has unresolved edges is printed anyway and exits
+with the distinct code 3 (:data:`EXIT_PARTIAL`) so scripts can tell a
+partial answer from both success (0) and failure (1).
 """
 
 from __future__ import annotations
@@ -26,6 +33,10 @@ from pathlib import Path
 from .core import critique
 from .dl import Reasoner, classify, parse_tbox
 from .obs import Recorder, use_recorder
+from .robust import Budget, DEFAULT_MAX_ROUNDS
+
+#: exit code for a run that finished but could not resolve everything
+EXIT_PARTIAL = 3
 
 
 def _load(path: str):
@@ -69,12 +80,38 @@ def _cmd_critique(args: argparse.Namespace) -> int:
 
 def _cmd_classify(args: argparse.Namespace) -> int:
     tbox = _load(args.tbox)
+    budget = None
+    if args.budget_nodes is not None or args.budget_ms is not None:
+        budget = Budget(max_nodes=args.budget_nodes, max_ms=args.budget_ms)
     context, recorder = _recording(args)
     with context:
-        hierarchy = classify(tbox, algorithm=args.algorithm)
+        if budget is None:
+            hierarchy = classify(tbox, algorithm=args.algorithm)
+        else:
+            # one reasoner across escalation rounds: definite answers are
+            # cached, so each retry only re-pays the unknown queries
+            reasoner = Reasoner(tbox)
+            hierarchy = classify(
+                tbox, algorithm=args.algorithm, reasoner=reasoner, budget=budget
+            )
+            rounds = 0
+            while args.escalate and hierarchy.incomplete and rounds < DEFAULT_MAX_ROUNDS:
+                rounds += 1
+                budget = budget.escalated()
+                hierarchy = classify(
+                    tbox, algorithm=args.algorithm, reasoner=reasoner, budget=budget
+                )
     print(hierarchy.pretty())
+    if hierarchy.incomplete:
+        print(
+            f"PARTIAL: {len(hierarchy.incomplete)} unresolved subsumption "
+            "edge(s) exhausted the budget:",
+            file=sys.stderr,
+        )
+        for specific, general in sorted(hierarchy.incomplete):
+            print(f"  {specific} ⊑ {general} ?", file=sys.stderr)
     _print_stats(recorder)
-    return 0
+    return EXIT_PARTIAL if hierarchy.incomplete else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -145,6 +182,25 @@ def build_parser() -> argparse.ArgumentParser:
         "(default) or the brute-force subsumption matrix",
     )
     p_classify.add_argument(
+        "--budget-nodes",
+        type=int,
+        metavar="N",
+        help="cap completion-graph nodes per subsumption test; unresolved "
+        f"edges are reported and the exit code becomes {EXIT_PARTIAL}",
+    )
+    p_classify.add_argument(
+        "--budget-ms",
+        type=float,
+        metavar="MS",
+        help="wall-clock deadline (milliseconds) shared by the whole run",
+    )
+    p_classify.add_argument(
+        "--escalate",
+        action="store_true",
+        help="retry an incomplete classification with geometrically "
+        f"escalated budgets (up to {DEFAULT_MAX_ROUNDS} rounds)",
+    )
+    p_classify.add_argument(
         "--stats",
         action="store_true",
         help="print the obs counter snapshot after the hierarchy",
@@ -156,7 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.set_defaults(func=_cmd_check)
 
     p_bench = sub.add_parser(
-        "bench", help="run the B1-B5 benches and write BENCH_*.json snapshots"
+        "bench", help="run the B1-B6 benches and write BENCH_*.json snapshots"
     )
     p_bench.add_argument(
         "--out", default=".", help="directory for BENCH_*.json files (default: .)"
@@ -165,7 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         action="append",
         metavar="ID",
-        choices=["B1", "B2", "B3", "B4", "B5"],
+        choices=["B1", "B2", "B3", "B4", "B5", "B6"],
         help="run only this bench (repeatable)",
     )
     p_bench.set_defaults(func=_cmd_bench)

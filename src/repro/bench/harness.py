@@ -1,4 +1,4 @@
-"""Instrumented B1–B5 substrate benches with a JSON snapshot per bench.
+"""Instrumented B1–B6 substrate benches with a JSON snapshot per bench.
 
 Each bench runs a fixed, seeded workload under a fresh
 :class:`repro.obs.Recorder` and produces one record::
@@ -14,7 +14,7 @@ Each bench runs a fixed, seeded workload under a fresh
       "histograms": {...}
     }
 
-``run_suite`` writes ``BENCH_B1.json`` … ``BENCH_B5.json`` — the perf
+``run_suite`` writes ``BENCH_B1.json`` … ``BENCH_B6.json`` — the perf
 trajectory later PRs are compared against.  Counters are deterministic
 for the seeded inputs (two runs differ only in ``wall_time_s`` and timer
 values); the test suite asserts exactly that, so any nondeterminism
@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Optional
 
 from ..obs import Recorder, use_recorder
+from ..robust import faults as _faults
 
 SCHEMA_VERSION = 1
 
@@ -271,6 +272,52 @@ def _b5_rewriting() -> dict[str, Any]:
     return {"addition_n": n, "match_targets": 39}
 
 
+def _b6_escalation() -> dict[str, Any]:
+    """Governed reasoning: budget exhaustion, escalation overhead (robust.*)."""
+    from ..corpora.generators import random_tbox
+    from ..dl import Atomic, Reasoner, classify
+    from ..dl.syntax import at_least
+    from ..obs import trace
+    from ..robust import Budget, DEFAULT_MAX_ROUNDS, retry_with_escalation
+
+    initial_nodes = 10
+    tbox = random_tbox(0, n_defined=22, n_primitive=8, n_roles=3)
+    with trace("bench.b6.ungoverned_classify"):
+        baseline = classify(tbox)
+
+    # governed classification from a deliberately starved budget, whole-run
+    # escalation until the hierarchy is definite: the overhead vs. the
+    # ungoverned baseline is the cost of degrading gracefully
+    reasoner = Reasoner(tbox)
+    budget = Budget(max_nodes=initial_nodes)
+    rounds = 0
+    with trace("bench.b6.escalating_classify"):
+        hierarchy = classify(tbox, reasoner=reasoner, budget=budget)
+        assert hierarchy.incomplete  # the starved budget must actually starve
+        while hierarchy.incomplete and rounds < DEFAULT_MAX_ROUNDS:
+            rounds += 1
+            budget = budget.escalated()
+            hierarchy = classify(tbox, reasoner=reasoner, budget=budget)
+    assert not hierarchy.incomplete
+    assert hierarchy.groups() == baseline.groups()
+
+    # per-query escalation: ≥12 successors cannot fit a 10-node budget
+    probe = Reasoner(tbox)
+    outcome = retry_with_escalation(
+        lambda b: probe.is_satisfiable_governed(
+            at_least(12, "r0", Atomic("P0")), b
+        ),
+        Budget(max_nodes=initial_nodes),
+    )
+    assert outcome.verdict.is_definite and outcome.rounds >= 1
+    return {
+        "tbox": {"seed": 0, "n_defined": 22, "n_primitive": 8, "n_roles": 3},
+        "initial_max_nodes": initial_nodes,
+        "classify_escalation_rounds": rounds,
+        "probe_escalation_rounds": outcome.rounds,
+    }
+
+
 BENCHES: dict[str, BenchSpec] = {
     "B1": BenchSpec(
         "B1", "tableau reasoning + TBox classification (chain, tree, random)", _b1_tableau
@@ -283,6 +330,9 @@ BENCHES: dict[str, BenchSpec] = {
     ),
     "B4": BenchSpec("B4", "CYK/Earley recognition and the DFA crossover", _b4_grammar),
     "B5": BenchSpec("B5", "order-sorted rewriting to normal form", _b5_rewriting),
+    "B6": BenchSpec(
+        "B6", "budget-governed reasoning and escalation overhead", _b6_escalation
+    ),
 }
 
 
@@ -300,7 +350,9 @@ def run_bench(bench_id: str) -> dict[str, Any]:
         )
     recorder = Recorder()
     t0 = time.perf_counter()
-    with use_recorder(recorder):
+    # benches measure real work, not injected faults, and their counters
+    # must stay deterministic even under REPRO_FAULTS
+    with use_recorder(recorder), _faults.suspended():
         params = spec.workload()
     wall = time.perf_counter() - t0
     snapshot = recorder.snapshot()

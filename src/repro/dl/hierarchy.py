@@ -28,8 +28,9 @@ from __future__ import annotations
 
 from ..obs import recorder as _obs
 from ..order import Poset
+from ..robust import Budget
 from .reasoner import Reasoner
-from .syntax import Atomic, Concept, TOP
+from .syntax import Atomic, Concept, TOP, _Top
 from .tbox import TBox
 
 TOP_NAME = "⊤"
@@ -47,6 +48,14 @@ class ConceptHierarchy:
     subsumers), ``pruned_tests`` (answers derived from the partial order
     already built, enhanced algorithm only), ``tableau_tests``
     (subsumption questions that actually went to the reasoner).
+
+    With a :class:`repro.robust.Budget`, every subsumption and
+    satisfiability question runs governed under a per-query
+    :meth:`~repro.robust.Budget.child` ledger.  An UNKNOWN answer is
+    treated conservatively (no subsumption edge is asserted, the name is
+    not pushed to ⊥) and the unresolved ``(specific, general)`` name pair
+    is recorded in :attr:`incomplete` — classification always finishes
+    with a best-effort partial hierarchy instead of raising.
     """
 
     def __init__(
@@ -56,6 +65,7 @@ class ConceptHierarchy:
         reasoner: Reasoner | None = None,
         use_told_subsumers: bool = True,
         algorithm: str = "enhanced",
+        budget: Budget | None = None,
     ) -> None:
         if algorithm not in _ALGORITHMS:
             raise ValueError(
@@ -68,6 +78,10 @@ class ConceptHierarchy:
         self.told_hits = 0
         self.pruned_tests = 0
         self.tableau_tests = 0
+        self._budget = budget
+        #: (specific, general) name pairs whose subsumption question
+        #: exhausted its budget; empty means the hierarchy is definite
+        self.incomplete: set[tuple[str, str]] = set()
         self._satisfiable: dict[str, bool] = {}
         names = sorted(tbox.atomic_names())
         _obs.incr("hierarchy.classifications")
@@ -115,7 +129,30 @@ class ConceptHierarchy:
     def _tableau_subsumes(self, general: Concept, specific: Concept) -> bool:
         self.tableau_tests += 1
         _obs.incr("hierarchy.tableau_subsumptions")
-        return self.reasoner.subsumes(general, specific)
+        if self._budget is None:
+            return self.reasoner.subsumes(general, specific)
+        verdict = self.reasoner.subsumes_governed(
+            general, specific, self._budget.child()
+        )
+        if verdict.is_unknown:
+            _obs.incr("hierarchy.unknown_edges")
+            self.incomplete.add((_name_of(specific), _name_of(general)))
+            return False  # conservative: assert no edge we cannot prove
+        return verdict.as_bool()
+
+    def _check_satisfiable(self, name: str) -> bool:
+        _obs.incr("hierarchy.sat_checks")
+        if self._budget is None:
+            return self.reasoner.is_satisfiable(Atomic(name))
+        verdict = self.reasoner.is_satisfiable_governed(
+            Atomic(name), self._budget.child()
+        )
+        if verdict.is_unknown:
+            _obs.incr("hierarchy.unknown_edges")
+            # "is name ⊑ ⊥?" is what exhausted: record it, keep the name live
+            self.incomplete.add((name, BOTTOM_NAME))
+            return True
+        return verdict.as_bool()
 
     def _told_hit(self) -> None:
         self.told_hits += 1
@@ -130,8 +167,7 @@ class ConceptHierarchy:
     ) -> tuple[dict[str, list[str]], list[tuple[str, str]], list[str]]:
         """The original full pairwise subsumption matrix."""
         for name in names:
-            _obs.incr("hierarchy.sat_checks")
-            self._satisfiable[name] = self.reasoner.is_satisfiable(Atomic(name))
+            self._satisfiable[name] = self._check_satisfiable(name)
 
         live = [n for n in names if self._satisfiable[n]]
         subsumes: dict[tuple[str, str], bool] = {}
@@ -283,8 +319,7 @@ class ConceptHierarchy:
             # satisfiability after the top search: a failed subsumption
             # test has already witnessed satisfiability, so this is
             # usually a (cross-seeded) cache hit
-            _obs.incr("hierarchy.sat_checks")
-            if not self.reasoner.is_satisfiable(concept):
+            if not self._check_satisfiable(name):
                 self._satisfiable[name] = False
                 node_of[name] = BOTTOM_NAME
                 continue
@@ -385,6 +420,11 @@ class ConceptHierarchy:
     # queries
     # ------------------------------------------------------------------ #
 
+    @property
+    def complete(self) -> bool:
+        """True iff no subsumption question exhausted its budget."""
+        return not self.incomplete
+
     def groups(self) -> frozenset[frozenset[str]]:
         """All equivalence classes of satisfiable, non-⊤ names."""
         return frozenset(frozenset(g) for g in self._groups)
@@ -454,6 +494,15 @@ class ConceptHierarchy:
         return "\n".join(lines)
 
 
+def _name_of(concept: Concept) -> str:
+    """The display name of a classification query operand."""
+    if isinstance(concept, Atomic):
+        return concept.name
+    if isinstance(concept, _Top):
+        return TOP_NAME
+    return str(concept)
+
+
 def _insertion_order(
     names: list[str], told_up: dict[str, frozenset[str]]
 ) -> list[str]:
@@ -516,16 +565,20 @@ def classify(
     use_told_subsumers: bool = True,
     algorithm: str = "enhanced",
     reasoner: Reasoner | None = None,
+    budget: Budget | None = None,
 ) -> ConceptHierarchy:
     """Classify ``tbox`` and return its inferred hierarchy.
 
     ``algorithm="brute"`` selects the original pairwise subsumption
     matrix; the default enhanced traversal computes the same hierarchy
-    with far fewer tableau calls.
+    with far fewer tableau calls.  A ``budget`` makes classification
+    governed: it never raises on exhaustion, recording unresolved edges
+    in :attr:`ConceptHierarchy.incomplete` instead.
     """
     return ConceptHierarchy(
         tbox,
         use_told_subsumers=use_told_subsumers,
         algorithm=algorithm,
         reasoner=reasoner,
+        budget=budget,
     )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..obs import recorder as _obs
+from ..robust import Budget, Verdict
 from .abox import ABox, ConceptAssertion
 from .nnf import negate
 from .syntax import And, Atomic, Concept, TOP
@@ -109,6 +110,30 @@ class Reasoner:
         self._check_revision()
         return self._sat_cache.get(concept)
 
+    def is_satisfiable_governed(
+        self, concept: Concept, budget: Optional[Budget] = None
+    ) -> Verdict:
+        """Satisfiability under a budget: PROVED / DISPROVED / UNKNOWN.
+
+        Definite verdicts agree with :meth:`is_satisfiable` bit for bit
+        (a completed tableau run is the same run either way) and are
+        cached in the shared sat cache; UNKNOWN verdicts are *never*
+        cached, so a later attempt with a bigger budget starts clean.
+        """
+        self._check_revision()
+        cached = self._sat_cache.get(concept)
+        if cached is not None:
+            _obs.incr("reasoner.sat_cache_hits")
+            return Verdict.from_bool(cached)
+        _obs.incr("reasoner.sat_cache_misses")
+        budget = budget if budget is not None else Budget.unlimited()
+        verdict = self._tableau.solve_governed(concept, budget)
+        if verdict.is_definite:
+            self._sat_cache[concept] = verdict.as_bool()
+        else:
+            _obs.incr("robust.unknown_verdicts")
+        return verdict
+
     def subsumes(self, general: Concept, specific: Concept) -> bool:
         """True iff ``specific ⊑ general`` w.r.t. the TBox."""
         self._check_revision()
@@ -127,6 +152,35 @@ class Reasoner:
         else:
             _obs.incr("reasoner.subs_cache_hits")
         return self._subs_cache[key]
+
+    def subsumes_governed(
+        self, general: Concept, specific: Concept, budget: Optional[Budget] = None
+    ) -> Verdict:
+        """``specific ⊑ general`` under a budget (PROVED = subsumption holds).
+
+        Same reduction as :meth:`subsumes`; shares its caches, caches
+        only definite verdicts, and cross-seeds the sat cache from a
+        disproved subsumption exactly like the boolean service.
+        """
+        self._check_revision()
+        key = (general, specific)
+        cached = self._subs_cache.get(key)
+        if cached is not None:
+            _obs.incr("reasoner.subs_cache_hits")
+            return Verdict.from_bool(cached)
+        _obs.incr("reasoner.subs_cache_misses")
+        budget = budget if budget is not None else Budget.unlimited()
+        test = And.of([specific, negate(general)])
+        test_verdict = self._tableau.solve_governed(test, budget)
+        if test_verdict.is_unknown:
+            _obs.incr("robust.unknown_verdicts")
+            return test_verdict
+        test_satisfiable = test_verdict.as_bool()
+        self._subs_cache[key] = not test_satisfiable
+        if test_satisfiable and specific not in self._sat_cache:
+            self._sat_cache[specific] = True
+            _obs.incr("reasoner.sat_cross_seeds")
+        return test_verdict.negated()
 
     def equivalent(self, c: Concept, d: Concept) -> bool:
         """True iff ``c ≡ d`` w.r.t. the TBox."""
@@ -149,7 +203,11 @@ class Reasoner:
         ]
 
     def classify(
-        self, *, algorithm: str = "enhanced", use_told_subsumers: bool = True
+        self,
+        *,
+        algorithm: str = "enhanced",
+        use_told_subsumers: bool = True,
+        budget: Optional[Budget] = None,
     ) -> "ConceptHierarchy":
         """The classified concept hierarchy of the TBox, cached.
 
@@ -159,6 +217,12 @@ class Reasoner:
         caches.  Consumers that repeatedly need hierarchy answers
         (e.g. :func:`repro.store.materialize`) should go through this
         service rather than reclassifying.
+
+        With a ``budget``, classification degrades gracefully: unknown
+        edges land in :attr:`ConceptHierarchy.incomplete` instead of
+        raising.  Only *complete* hierarchies enter the cache (a cached
+        complete hierarchy is returned even to budgeted calls — it is a
+        strictly better answer than a partial one).
         """
         from .hierarchy import ConceptHierarchy
 
@@ -172,8 +236,10 @@ class Reasoner:
                 reasoner=self,
                 algorithm=algorithm,
                 use_told_subsumers=use_told_subsumers,
+                budget=budget,
             )
-            self._hierarchy_cache[key] = hierarchy
+            if not hierarchy.incomplete:
+                self._hierarchy_cache[key] = hierarchy
         else:
             _obs.incr("reasoner.classify_cache_hits")
         return hierarchy
@@ -197,6 +263,31 @@ class Reasoner:
             raise ReasonerError(f"unknown individual {individual!r}")
         probe = abox.extended([ConceptAssertion(individual, negate(concept))])
         return not self.is_consistent(probe)
+
+    def is_consistent_governed(
+        self, abox: ABox, budget: Optional[Budget] = None
+    ) -> Verdict:
+        """ABox consistency under a budget (PROVED = consistent)."""
+        self._check_revision()
+        budget = budget if budget is not None else Budget.unlimited()
+        verdict = self._tableau.consistent_governed(abox, budget)
+        if verdict.is_unknown:
+            _obs.incr("robust.unknown_verdicts")
+        return verdict
+
+    def is_instance_governed(
+        self,
+        abox: ABox,
+        individual: str,
+        concept: Concept,
+        budget: Optional[Budget] = None,
+    ) -> Verdict:
+        """Instance checking under a budget (PROVED = entailed)."""
+        if individual not in abox.individuals():
+            raise ReasonerError(f"unknown individual {individual!r}")
+        probe = abox.extended([ConceptAssertion(individual, negate(concept))])
+        # probe consistent ⇒ membership NOT entailed, hence the negation
+        return self.is_consistent_governed(probe, budget).negated()
 
     def retrieve(self, abox: ABox, concept: Concept) -> list[str]:
         """All named individuals the KB entails to be instances of ``concept``."""

@@ -25,6 +25,7 @@ import itertools
 from typing import Iterable, Optional
 
 from ..obs import recorder as _obs
+from ..robust import Budget, BudgetExhausted, Verdict
 from .abox import ABox, ConceptAssertion, RoleAssertion
 from .nnf import negate, to_nnf
 from .syntax import (
@@ -172,6 +173,10 @@ class Tableau:
     def is_consistent(self, abox: ABox) -> bool:
         """True iff ``abox`` is consistent w.r.t. the TBox."""
         _obs.incr("tableau.solve_calls")
+        return self._solve(self._abox_state(abox)) is not None
+
+    @staticmethod
+    def _abox_state(abox: ABox) -> _State:
         state = _State()
         node_of: dict[str, int] = {}
         for name in sorted(abox.individuals()):
@@ -184,15 +189,53 @@ class Tableau:
                 state.labels[node_of[assertion.individual]].add(to_nnf(assertion.concept))
             elif isinstance(assertion, RoleAssertion):
                 state.add_edge(node_of[assertion.subject], assertion.role.name, node_of[assertion.object])
-        return self._solve(state) is not None
+        return state
+
+    # ------------------------------------------------------------------ #
+    # governed entry points: verdicts instead of exhaustion errors
+    # ------------------------------------------------------------------ #
+
+    def solve_governed(self, concept: Concept, budget: Budget) -> Verdict:
+        """Satisfiability of ``concept`` under ``budget``.
+
+        PROVED = satisfiable, DISPROVED = unsatisfiable, UNKNOWN = the
+        budget (or the engine's own ``max_nodes``) ran out first.  Never
+        raises on exhaustion — that is the whole point.
+        """
+        _obs.incr("tableau.solve_calls")
+        state = _State()
+        root = state.new_node(None, named=True)
+        state.labels[root].add(to_nnf(concept))
+        return self._verdict_of(state, budget)
+
+    def consistent_governed(self, abox: ABox, budget: Budget) -> Verdict:
+        """ABox consistency under ``budget`` (PROVED = consistent)."""
+        _obs.incr("tableau.solve_calls")
+        return self._verdict_of(self._abox_state(abox), budget)
+
+    def _verdict_of(self, state: _State, budget: Budget) -> Verdict:
+        try:
+            with _obs.trace("tableau.solve"):
+                solved = self._solve(state, budget)
+        except BudgetExhausted as exc:
+            _obs.incr("robust.exhaustions")
+            return Verdict.unknown(exc.reason)
+        return Verdict.from_bool(solved is not None)
 
     # ------------------------------------------------------------------ #
     # the algorithm
     # ------------------------------------------------------------------ #
 
-    def _solve(self, state: _State) -> Optional[_State]:
+    def _solve(self, state: _State, budget: Optional[Budget] = None) -> Optional[_State]:
         while True:
-            if state.counter > self.max_nodes:
+            if budget is not None:
+                budget.check_deadline()
+                budget.note_nodes(state.counter)
+                if state.counter > self.max_nodes:
+                    raise BudgetExhausted(
+                        f"nodes: {state.counter} > engine max_nodes={self.max_nodes}"
+                    )
+            elif state.counter > self.max_nodes:
                 raise ReasonerError(
                     f"completion graph exceeded {self.max_nodes} nodes; "
                     "possible non-terminating input for subset blocking"
@@ -209,10 +252,12 @@ class Tableau:
                 node, disjunction = branch
                 _obs.incr("tableau.disjunction_branches")
                 for disjunct in disjunction.operands:
+                    if budget is not None:
+                        budget.charge_branch()
                     attempt = state.copy()
                     attempt.applied.add((node, disjunction))
                     attempt.labels[node].add(disjunct)
-                    solved = self._solve(attempt)
+                    solved = self._solve(attempt, budget)
                     if solved is not None:
                         return solved
                 return None
@@ -222,9 +267,11 @@ class Tableau:
                 succ, filler = choose
                 _obs.incr("tableau.choose_applications")
                 for variant in (filler, negate(filler)):
+                    if budget is not None:
+                        budget.charge_branch()
                     attempt = state.copy()
                     attempt.labels[succ].add(variant)
-                    solved = self._solve(attempt)
+                    solved = self._solve(attempt, budget)
                     if solved is not None:
                         return solved
                 return None
@@ -243,13 +290,15 @@ class Tableau:
                     return None  # ≤-clash: too many provably distinct successors
                 for u, v in mergeable:
                     _obs.incr("tableau.merges")
+                    if budget is not None:
+                        budget.charge_branch()
                     attempt = state.copy()
                     # merge the generated node into the other
                     if u in attempt.named:
                         attempt.merge(v, u)
                     else:
                         attempt.merge(u, v)
-                    solved = self._solve(attempt)
+                    solved = self._solve(attempt, budget)
                     if solved is not None:
                         return solved
                 return None

@@ -1,0 +1,45 @@
+"""Resource governance and graceful degradation.
+
+The tableau procedure is worst-case exponential; a production service
+cannot let one pathological query take the whole run down.  This package
+supplies the governance layer the reasoning services thread through:
+
+* :class:`Budget` — node / branch / wall-clock limits with deadline
+  checks, per-query :meth:`~Budget.child` ledgers, and geometric
+  :meth:`~Budget.escalated` retries;
+* :class:`Verdict` — three-valued ``PROVED`` / ``DISPROVED`` /
+  ``UNKNOWN(reason)`` answers, so exhaustion is an expected outcome
+  instead of an exception;
+* :func:`retry_with_escalation` — re-run an UNKNOWN query under
+  geometrically escalated budgets up to a cap;
+* :mod:`repro.robust.faults` — deterministic, seeded fault injection
+  (forced exhaustion, deadline expiry, torn writes) behind a
+  zero-cost-when-disabled null plan, armable via ``REPRO_FAULTS``.
+
+Counters: ``robust.exhaustions`` (budget trips), ``robust.escalations``
+(retry rounds), ``robust.unknown_verdicts`` (UNKNOWNs returned to
+callers), ``faults.fired.<kind>``.
+"""
+
+from . import faults
+from .budget import Budget, BudgetExhausted
+from .escalate import (
+    DEFAULT_FACTOR,
+    DEFAULT_MAX_ROUNDS,
+    Escalation,
+    retry_with_escalation,
+)
+from .verdict import DISPROVED, PROVED, Verdict
+
+__all__ = [
+    "Budget",
+    "BudgetExhausted",
+    "Verdict",
+    "PROVED",
+    "DISPROVED",
+    "Escalation",
+    "retry_with_escalation",
+    "DEFAULT_FACTOR",
+    "DEFAULT_MAX_ROUNDS",
+    "faults",
+]

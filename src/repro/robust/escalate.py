@@ -1,0 +1,68 @@
+"""Geometric budget escalation for UNKNOWN verdicts.
+
+An anytime reasoner answers cheap questions cheaply and retries the
+expensive ones with more resources, in the spirit of RACER's and Pellet's
+timeout handling: start small, and when a query comes back UNKNOWN,
+re-run it under a geometrically larger budget until it resolves or the
+round cap is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..obs import recorder as _obs
+from .budget import Budget
+from .verdict import Verdict
+
+#: defaults shared by the library, the CLI, and the B6 bench
+DEFAULT_FACTOR = 4
+DEFAULT_MAX_ROUNDS = 4
+
+
+@dataclass(frozen=True)
+class Escalation:
+    """The outcome of :func:`retry_with_escalation`.
+
+    ``rounds`` counts *retries* (0 = the first attempt already resolved);
+    ``budget`` is the budget that produced the final verdict.
+    """
+
+    verdict: Verdict
+    rounds: int
+    budget: Budget
+
+
+def retry_with_escalation(
+    query: Callable[[Budget], Verdict],
+    budget: Budget,
+    *,
+    factor: int = DEFAULT_FACTOR,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> Escalation:
+    """Run ``query`` under ``budget``, escalating while it answers UNKNOWN.
+
+    Each retry multiplies every finite limit by ``factor`` (and restarts
+    the deadline clock); after ``max_rounds`` retries the last verdict is
+    returned as-is, UNKNOWN or not.  Retries are counted in the
+    ``robust.escalations`` obs counter.
+
+    >>> from repro.robust import Budget, Verdict, PROVED
+    >>> calls = []
+    >>> def q(b):
+    ...     calls.append(b.max_nodes)
+    ...     return PROVED if b.max_nodes >= 40 else Verdict.unknown("too small")
+    >>> retry_with_escalation(q, Budget(max_nodes=10)).verdict is PROVED
+    True
+    >>> calls
+    [10, 40]
+    """
+    verdict = query(budget)
+    rounds = 0
+    while verdict.is_unknown and rounds < max_rounds:
+        rounds += 1
+        budget = budget.escalated(factor)
+        _obs.incr("robust.escalations")
+        verdict = query(budget)
+    return Escalation(verdict, rounds, budget)

@@ -1,0 +1,80 @@
+"""Three-valued verdicts for resource-governed reasoning.
+
+A governed query answers ``PROVED``, ``DISPROVED``, or ``UNKNOWN`` — the
+third value carries the *reason* the engine gave up (node budget,
+deadline, injected fault) so that callers can report it, retry with a
+bigger budget (:func:`repro.robust.retry_with_escalation`), or degrade
+gracefully.  Definite verdicts are exactly the answers the ungoverned
+boolean services would have produced: a completed tableau run is a
+completed tableau run, whichever API asked for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+_PROVED = "proved"
+_DISPROVED = "disproved"
+_UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One of ``PROVED`` / ``DISPROVED`` / ``UNKNOWN(reason)``.
+
+    >>> PROVED.as_bool()
+    True
+    >>> Verdict.unknown("nodes: 11 > max_nodes=10").is_definite
+    False
+    """
+
+    value: str
+    reason: Optional[str] = None
+
+    # -- constructors --------------------------------------------------- #
+
+    @classmethod
+    def unknown(cls, reason: str) -> "Verdict":
+        return cls(_UNKNOWN, reason)
+
+    @classmethod
+    def from_bool(cls, answer: bool) -> "Verdict":
+        return PROVED if answer else DISPROVED
+
+    # -- inspection ----------------------------------------------------- #
+
+    @property
+    def is_definite(self) -> bool:
+        return self.value != _UNKNOWN
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.value == _UNKNOWN
+
+    def as_bool(self) -> bool:
+        """The boolean answer; raises ``ValueError`` on UNKNOWN."""
+        if self.value == _PROVED:
+            return True
+        if self.value == _DISPROVED:
+            return False
+        raise ValueError(f"no boolean answer for UNKNOWN verdict ({self.reason})")
+
+    def negated(self) -> "Verdict":
+        """PROVED ↔ DISPROVED; UNKNOWN stays UNKNOWN (same reason)."""
+        if self.value == _PROVED:
+            return DISPROVED
+        if self.value == _DISPROVED:
+            return PROVED
+        return self
+
+    def __str__(self) -> str:
+        if self.is_unknown and self.reason:
+            return f"UNKNOWN ({self.reason})"
+        return self.value.upper()
+
+
+#: the two definite verdicts (``UNKNOWN`` carries a reason, so it has a
+#: factory rather than a constant)
+PROVED = Verdict(_PROVED)
+DISPROVED = Verdict(_DISPROVED)

@@ -1,7 +1,14 @@
 """Database substrate: indexed triple store, pattern queries, DL-backed
 materialization, JSONL persistence."""
 
-from .materialize import MaterializeError, instances_of, materialize, store_to_abox
+from .materialize import (
+    MaterializeError,
+    MaterializeReport,
+    instances_of,
+    materialize,
+    materialize_governed,
+    store_to_abox,
+)
 from .persistence import load_jsonl, save_jsonl
 from .query import Bindings, Pattern, Query, Var, match
 from .triples import StoreError, Triple, TripleStore
@@ -10,5 +17,6 @@ __all__ = [
     "Triple", "TripleStore", "StoreError",
     "Var", "Pattern", "Query", "match", "Bindings",
     "store_to_abox", "materialize", "instances_of", "MaterializeError",
+    "materialize_governed", "MaterializeReport",
     "save_jsonl", "load_jsonl",
 ]

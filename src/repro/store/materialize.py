@@ -25,7 +25,10 @@ every query, with no trace of having been an inference.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from ..obs import recorder as _obs
+from ..robust import Budget, PROVED, Verdict, retry_with_escalation
 from ..dl import (
     ABox,
     Atomic,
@@ -44,6 +47,33 @@ from .triples import TripleStore
 
 class MaterializeError(Exception):
     """Raised when the store cannot be read as an ABox."""
+
+
+@dataclass
+class MaterializeReport:
+    """The outcome of :func:`materialize_governed`.
+
+    ``store`` always holds a usable result: every told fact plus every
+    inferred type that was *proved* within budget.  ``skipped`` maps each
+    individual whose instance checks exhausted their budget to the
+    exhaustion reason; ``hierarchy_incomplete`` carries the classified
+    hierarchy's unresolved edges; ``consistency`` is the verdict of the
+    up-front KB consistency check.
+    """
+
+    store: TripleStore
+    consistency: Verdict
+    skipped: dict[str, str] = field(default_factory=dict)
+    hierarchy_incomplete: frozenset[tuple[str, str]] = frozenset()
+
+    @property
+    def complete(self) -> bool:
+        """True iff nothing was skipped and every check was definite."""
+        return (
+            self.consistency.is_definite
+            and not self.skipped
+            and not self.hierarchy_incomplete
+        )
 
 
 def store_to_abox(
@@ -99,6 +129,7 @@ def materialize(
     if not reasoner.is_consistent(abox):
         raise MaterializeError(
             "the store is inconsistent with the TBox; refusing to materialize"
+            f" ({_describe_inconsistency(reasoner, abox)})"
         )
     _obs.incr("materialize.runs")
     with _obs.trace("materialize.run"):
@@ -111,6 +142,49 @@ def materialize(
         else:
             _materialize_exhaustive(out, abox, tbox, reasoner, type_predicate)
     return out
+
+
+def _describe_inconsistency(
+    reasoner: Reasoner, abox: ABox, *, probe_cap: int = 20
+) -> str:
+    """Name at least one individual implicated in an ABox inconsistency.
+
+    Two bounded probes (at most ``probe_cap`` individuals each): first
+    look for an individual whose own assertions are inconsistent in
+    isolation; failing that, one whose removal restores consistency.
+    Both are heuristics — a minimal conflict can span individuals in ways
+    neither probe isolates — so the fallback names nothing rather than
+    guessing wrong.
+    """
+    individuals = sorted(abox.individuals())[:probe_cap]
+    for individual in individuals:
+        own = [
+            a
+            for a in abox
+            if (isinstance(a, ConceptAssertion) and a.individual == individual)
+            or (isinstance(a, RoleAssertion) and individual in (a.subject, a.object))
+        ]
+        if not reasoner.is_consistent(ABox(own)):
+            shown = ", ".join(str(a) for a in own if isinstance(a, ConceptAssertion))
+            return (
+                f"individual {individual!r} is unsatisfiable on its own"
+                + (f": {shown}" if shown else "")
+            )
+    for individual in individuals:
+        rest = [
+            a
+            for a in abox
+            if not (
+                (isinstance(a, ConceptAssertion) and a.individual == individual)
+                or (isinstance(a, RoleAssertion) and individual in (a.subject, a.object))
+            )
+        ]
+        if reasoner.is_consistent(ABox(rest)):
+            return (
+                f"assertions about individual {individual!r} conflict with "
+                "the rest of the store"
+            )
+    return "no single-individual witness found within the probe cap"
 
 
 def _add_type(
@@ -138,14 +212,32 @@ def _materialize_exhaustive(
                 _add_type(out, individual, name, type_predicate)
 
 
+class _IndividualSkipped(Exception):
+    """Internal: this individual's instance checks exhausted their budget."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
 def _materialize_with_hierarchy(
     out: TripleStore,
     abox: ABox,
     hierarchy: ConceptHierarchy,
     reasoner: Reasoner,
     type_predicate: str,
+    *,
+    budget: Budget | None = None,
+    skipped: dict[str, str] | None = None,
 ) -> None:
-    """Candidate-driven materialization over the classified hierarchy."""
+    """Candidate-driven materialization over the classified hierarchy.
+
+    With a ``budget``, instance checks run governed: an UNKNOWN verdict
+    abandons the *individual* (its remaining candidate walk), records it
+    in ``skipped``, and moves on — everything already proved for it (told
+    types, their free ancestor closure, earlier positive checks) is still
+    written, so the run never loses sound work.
+    """
     # children map of the hierarchy's Hasse diagram, computed once
     kids: dict[str, set[str]] = {}
     for low, high in hierarchy.poset.covers():
@@ -185,7 +277,15 @@ def _materialize_with_hierarchy(
                 return known
             checks += 1
             _obs.incr("materialize.instance_checks")
-            decided[rep] = reasoner.is_instance(abox, individual, Atomic(rep))
+            if budget is None:
+                decided[rep] = reasoner.is_instance(abox, individual, Atomic(rep))
+            else:
+                verdict = reasoner.is_instance_governed(
+                    abox, individual, Atomic(rep), budget.child()
+                )
+                if verdict.is_unknown:
+                    raise _IndividualSkipped(f"{rep}: {verdict.reason}")
+                decided[rep] = verdict.as_bool()
             return decided[rep]
 
         # children-first walk: a negative answer prunes the whole subtree
@@ -199,7 +299,12 @@ def _materialize_with_hierarchy(
                 if is_instance(child):
                     walk(child)
 
-        walk(TOP_NAME)
+        try:
+            walk(TOP_NAME)
+        except _IndividualSkipped as skip:
+            _obs.incr("materialize.skipped_individuals")
+            assert skipped is not None  # only raised when a budget is set
+            skipped[individual] = skip.reason
         _obs.incr("materialize.pruned_checks", len(live_reps) - checks)
 
         entailed = sorted(
@@ -212,6 +317,76 @@ def _materialize_with_hierarchy(
             _add_type(out, individual, name, type_predicate)
         for name in top_names:  # ⊤-equivalent names hold of everyone
             _add_type(out, individual, name, type_predicate)
+
+
+def materialize_governed(
+    store: TripleStore,
+    tbox: TBox,
+    *,
+    budget: Budget,
+    type_predicate: str = "type",
+    reasoner: Reasoner | None = None,
+    hierarchy: ConceptHierarchy | None = None,
+) -> MaterializeReport:
+    """Budget-governed materialization that never loses the whole run.
+
+    The anytime counterpart of :func:`materialize`:
+
+    * the up-front KB consistency check runs governed and, because every
+      later instance check depends on it, is automatically retried with
+      escalated budgets; if it still comes back UNKNOWN, the report says
+      so and the told store is returned untouched;
+    * a *provably* inconsistent store still raises
+      :class:`MaterializeError` (with a named witness) — that is a data
+      defect, not a resource problem;
+    * classification runs under the same budget, its unresolved edges
+      surfacing in ``report.hierarchy_incomplete``;
+    * each individual whose instance checks exhaust their per-query
+      budget is skipped and reported in ``report.skipped`` with the
+      exhaustion reason, keeping every fact proved before the cutoff.
+    """
+    reasoner = reasoner or Reasoner(tbox)
+    abox = store_to_abox(store, tbox, type_predicate=type_predicate)
+    out = store.copy()
+    if not abox.individuals():
+        return MaterializeReport(out, PROVED)
+    consistency = retry_with_escalation(
+        lambda b: reasoner.is_consistent_governed(abox, b), budget.child()
+    ).verdict
+    if consistency.is_unknown:
+        return MaterializeReport(
+            out,
+            consistency,
+            skipped={
+                individual: f"consistency check exhausted: {consistency.reason}"
+                for individual in sorted(abox.individuals())
+            },
+        )
+    if not consistency.as_bool():
+        raise MaterializeError(
+            "the store is inconsistent with the TBox; refusing to materialize"
+            f" ({_describe_inconsistency(reasoner, abox)})"
+        )
+    _obs.incr("materialize.runs")
+    skipped: dict[str, str] = {}
+    with _obs.trace("materialize.run"):
+        if hierarchy is None:
+            hierarchy = reasoner.classify(budget=budget)
+        _materialize_with_hierarchy(
+            out,
+            abox,
+            hierarchy,
+            reasoner,
+            type_predicate,
+            budget=budget,
+            skipped=skipped,
+        )
+    return MaterializeReport(
+        out,
+        consistency,
+        skipped=skipped,
+        hierarchy_incomplete=frozenset(hierarchy.incomplete),
+    )
 
 
 def instances_of(
@@ -232,5 +407,8 @@ def instances_of(
     if not abox.individuals():
         return []
     if not reasoner.is_consistent(abox):
-        raise MaterializeError("the store is inconsistent with the TBox")
+        raise MaterializeError(
+            "the store is inconsistent with the TBox"
+            f" ({_describe_inconsistency(reasoner, abox)})"
+        )
     return reasoner.retrieve(abox, concept)

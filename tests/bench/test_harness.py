@@ -1,7 +1,7 @@
 """Tests for the JSON bench harness: schema, determinism, coverage.
 
 These encode the PR's acceptance criteria: ``python -m repro bench``
-writes valid ``BENCH_B1.json`` … ``BENCH_B5.json`` whose counters are
+writes valid ``BENCH_B1.json`` … ``BENCH_B6.json`` whose counters are
 non-zero for at least the tableau, hierarchy, and store subsystems, and
 two runs over the seeded inputs produce identical counter values.
 """
@@ -35,7 +35,7 @@ def suite_records(tmp_path_factory):
 
 
 class TestSchema:
-    def test_all_five_benches_written(self, suite_records):
+    def test_all_benches_written(self, suite_records):
         assert sorted(suite_records) == ALL_IDS
 
     def test_every_record_validates(self, suite_records):
@@ -98,6 +98,17 @@ class TestCounterCoverage:
         assert counters["materialize.facts_added"] > 0
         # materialization reaches down into the tableau too
         assert counters["tableau.solve_calls"] > 0
+
+    def test_b6_has_robust_counters(self, suite_records):
+        counters = suite_records["B6"]["counters"]
+        assert counters["robust.exhaustions"] > 0
+        assert counters["robust.escalations"] > 0
+        assert counters["robust.unknown_verdicts"] > 0
+        assert counters["hierarchy.unknown_edges"] > 0
+        params = suite_records["B6"]["params"]
+        assert params["initial_max_nodes"] == 10
+        assert params["classify_escalation_rounds"] >= 1
+        assert params["probe_escalation_rounds"] >= 1
 
     def test_every_bench_records_some_work(self, suite_records):
         for bench_id, record in suite_records.items():

@@ -1,0 +1,126 @@
+"""Unit tests for Budget and Verdict mechanics."""
+
+import time
+
+import pytest
+
+from repro.robust import (
+    Budget,
+    BudgetExhausted,
+    DISPROVED,
+    PROVED,
+    Verdict,
+    faults,
+    retry_with_escalation,
+)
+
+
+@pytest.fixture(autouse=True)
+def quiet_faults():
+    """These tests assert exact limit behavior; injected faults would lie."""
+    with faults.suspended():
+        yield
+
+
+class TestVerdict:
+    def test_definite_verdicts(self):
+        assert PROVED.is_definite and PROVED.as_bool() is True
+        assert DISPROVED.is_definite and DISPROVED.as_bool() is False
+        assert Verdict.from_bool(True) == PROVED
+        assert Verdict.from_bool(False) == DISPROVED
+
+    def test_unknown_carries_reason(self):
+        verdict = Verdict.unknown("nodes: 11 > max_nodes=10")
+        assert verdict.is_unknown and not verdict.is_definite
+        assert "max_nodes=10" in verdict.reason
+        assert "max_nodes=10" in str(verdict)
+        with pytest.raises(ValueError):
+            verdict.as_bool()
+
+    def test_negation(self):
+        assert PROVED.negated() == DISPROVED
+        assert DISPROVED.negated() == PROVED
+        unknown = Verdict.unknown("why")
+        assert unknown.negated() is unknown
+
+
+class TestBudget:
+    def test_node_limit(self):
+        budget = Budget(max_nodes=10)
+        budget.note_nodes(10)  # at the limit is fine
+        with pytest.raises(BudgetExhausted) as excinfo:
+            budget.note_nodes(11)
+        assert "max_nodes=10" in excinfo.value.reason
+
+    def test_branch_limit(self):
+        budget = Budget(max_branches=2)
+        budget.charge_branch()
+        budget.charge_branch()
+        with pytest.raises(BudgetExhausted) as excinfo:
+            budget.charge_branch()
+        assert "max_branches=2" in excinfo.value.reason
+
+    def test_deadline(self):
+        budget = Budget(max_ms=0.01)
+        time.sleep(0.002)
+        with pytest.raises(BudgetExhausted) as excinfo:
+            budget.check_deadline()
+        assert "deadline" in excinfo.value.reason
+
+    def test_unlimited_never_trips(self):
+        budget = Budget.unlimited()
+        budget.note_nodes(10**9)
+        budget.charge_branch(10**9)
+        budget.check_deadline()
+
+    def test_child_shares_deadline_but_not_counters(self):
+        budget = Budget(max_nodes=5, max_ms=60_000)
+        budget.note_nodes(5)
+        child = budget.child()
+        assert child.nodes == 0 and child.max_nodes == 5
+        assert child._deadline == budget._deadline
+        child.note_nodes(3)
+        assert budget.nodes == 5  # parent ledger untouched
+
+    def test_escalated_scales_geometrically(self):
+        budget = Budget(max_nodes=10, max_branches=3, max_ms=100.0)
+        bigger = budget.escalated(4)
+        assert bigger.max_nodes == 40
+        assert bigger.max_branches == 12
+        assert bigger.max_ms == 400.0
+        assert bigger.generation == budget.generation + 1
+        assert Budget().escalated(4).max_nodes is None  # ∞ stays ∞
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(max_nodes=-1)
+        with pytest.raises(ValueError):
+            Budget(max_nodes=10).escalated(0)
+
+
+class TestRetryWithEscalation:
+    def test_resolves_when_budget_suffices(self):
+        seen = []
+
+        def query(budget):
+            seen.append(budget.max_nodes)
+            if budget.max_nodes >= 160:
+                return PROVED
+            return Verdict.unknown(f"too small: {budget.max_nodes}")
+
+        outcome = retry_with_escalation(query, Budget(max_nodes=10))
+        assert outcome.verdict == PROVED
+        assert outcome.rounds == 2
+        assert seen == [10, 40, 160]
+
+    def test_gives_up_at_the_cap(self):
+        outcome = retry_with_escalation(
+            lambda b: Verdict.unknown("never"), Budget(max_nodes=1), max_rounds=3
+        )
+        assert outcome.verdict.is_unknown
+        assert outcome.rounds == 3
+        assert outcome.budget.max_nodes == 1 * 4**3
+
+    def test_no_retry_on_definite_first_answer(self):
+        outcome = retry_with_escalation(lambda b: DISPROVED, Budget(max_nodes=1))
+        assert outcome.verdict == DISPROVED and outcome.rounds == 0

@@ -1,0 +1,67 @@
+"""Inconsistency diagnostics: MaterializeError must name a witness."""
+
+import pytest
+
+from repro.dl import Atomic, Not, only
+from repro.dl.tbox import Subsumption, TBox
+from repro.robust import Budget
+from repro.store import (
+    MaterializeError,
+    TripleStore,
+    instances_of,
+    materialize,
+    materialize_governed,
+)
+
+
+def disjointness_tbox() -> TBox:
+    return TBox([Subsumption(Atomic("A"), Not(Atomic("B")))])
+
+
+def self_conflicted_store() -> TripleStore:
+    store = TripleStore()
+    store.update([("ghost", "type", "A"), ("ghost", "type", "B")])
+    return store
+
+
+class TestInconsistencyWitness:
+    def test_self_conflicted_individual_named_with_its_assertions(self):
+        with pytest.raises(MaterializeError) as excinfo:
+            materialize(self_conflicted_store(), disjointness_tbox())
+        message = str(excinfo.value)
+        assert "'ghost'" in message
+        assert "unsatisfiable on its own" in message
+        # the message lists the conflicting concept assertions themselves
+        assert "A" in message and "B" in message
+
+    def test_cross_individual_conflict_named(self):
+        # x : A with A ⊑ ∀r.B forces B onto y, but y : C with C ⊑ ¬B
+        tbox = TBox(
+            [
+                Subsumption(Atomic("A"), only("r", Atomic("B"))),
+                Subsumption(Atomic("C"), Not(Atomic("B"))),
+            ]
+        )
+        store = TripleStore()
+        store.update([("x", "type", "A"), ("x", "r", "y"), ("y", "type", "C")])
+        with pytest.raises(MaterializeError) as excinfo:
+            materialize(store, tbox)
+        message = str(excinfo.value)
+        assert "conflict with" in message
+        assert "'x'" in message or "'y'" in message
+
+    def test_instances_of_carries_the_same_witness(self):
+        with pytest.raises(MaterializeError) as excinfo:
+            instances_of(self_conflicted_store(), disjointness_tbox(), Atomic("A"))
+        assert "'ghost'" in str(excinfo.value)
+
+    def test_governed_materialization_still_raises_on_real_inconsistency(self):
+        # a provably inconsistent store is a data defect, not a resource
+        # problem: the governed path must raise, not report UNKNOWN
+        with pytest.raises(MaterializeError) as excinfo:
+            materialize_governed(
+                self_conflicted_store(),
+                disjointness_tbox(),
+                budget=Budget(max_nodes=2000),
+            )
+        assert "'ghost'" in str(excinfo.value)

@@ -1,0 +1,119 @@
+"""Crash-safe persistence: atomic replace, torn-write recovery, hardened loads."""
+
+import pytest
+
+from repro.obs import Recorder, use_recorder
+from repro.robust.faults import FaultPlan, use_faults
+from repro.store import StoreError, TripleStore, load_jsonl, save_jsonl
+from repro.store import persistence as persistence_module
+
+
+def plain(store: TripleStore) -> set:
+    """Triples as plain tuples, for comparison against literals."""
+    return {tuple(triple) for triple in store}
+
+
+def small_store() -> TripleStore:
+    store = TripleStore()
+    store.update(
+        [
+            ("herbie", "type", "car"),
+            ("herbie", "wheels", 4),
+            ("bigfoot", "type", "pickup"),
+        ]
+    )
+    return store
+
+
+class TestAtomicSave:
+    def test_roundtrip_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        assert save_jsonl(small_store(), path) == 3
+        assert plain(load_jsonl(path)) == plain(small_store())
+        assert [p.name for p in tmp_path.iterdir()] == ["store.jsonl"]
+
+    def test_crash_during_replace_preserves_old_content(self, tmp_path, monkeypatch):
+        path = tmp_path / "store.jsonl"
+        save_jsonl(small_store(), path)
+        before = path.read_text(encoding="utf-8")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at the rename boundary")
+
+        bigger = small_store()
+        bigger.add("herbie", "color", "white")
+        monkeypatch.setattr(persistence_module.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_jsonl(bigger, path)
+        # the destination kept its previous complete payload...
+        assert path.read_text(encoding="utf-8") == before
+        # ...and the temp file was cleaned up on the way out
+        assert [p.name for p in tmp_path.iterdir()] == ["store.jsonl"]
+
+    def test_torn_write_recovered_transparently(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        recorder = Recorder()
+        with use_recorder(recorder), use_faults(FaultPlan.always("torn-write")):
+            save_jsonl(small_store(), path)
+        assert recorder.counters["store.torn_writes_recovered"] == 1
+        assert recorder.counters["faults.fired.torn-write"] == 1
+        assert plain(load_jsonl(path)) == plain(small_store())
+
+    def test_non_scalar_value_rejected_before_touching_disk(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_jsonl(small_store(), path)
+        before = path.read_text(encoding="utf-8")
+        bad = TripleStore()
+        bad.add("x", "payload", ("not", "a", "scalar"))
+        with pytest.raises(StoreError):
+            save_jsonl(bad, path)
+        assert path.read_text(encoding="utf-8") == before
+
+
+class TestHardenedLoad:
+    def _corrupt_file(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    '["herbie", "type", "car"]',
+                    '{"not": "an array"}',
+                    '["too", "short"]',
+                    "this is not json at all",
+                    '["ok", "after", "garbage"]',
+                    '["x", "y", ["nested", "value"]]',
+                ]
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def test_strict_load_names_file_and_line(self, tmp_path):
+        path = self._corrupt_file(tmp_path)
+        with pytest.raises(StoreError) as excinfo:
+            load_jsonl(path)
+        assert f"{path}:2" in str(excinfo.value)
+
+    def test_strict_is_the_default(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text("garbage\n", encoding="utf-8")
+        with pytest.raises(StoreError) as excinfo:
+            load_jsonl(path)
+        assert "invalid JSON" in str(excinfo.value)
+
+    def test_non_strict_skips_and_counts(self, tmp_path):
+        path = self._corrupt_file(tmp_path)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            store = load_jsonl(path, strict=False)
+        assert plain(store) == {
+            ("herbie", "type", "car"),
+            ("ok", "after", "garbage"),
+        }
+        assert recorder.counters["store.corrupt_lines_skipped"] == 4
+
+    def test_blank_lines_are_not_corruption(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text('\n["a", "b", "c"]\n\n', encoding="utf-8")
+        assert plain(load_jsonl(path)) == {("a", "b", "c")}
