@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""CI smoke test: a real ``python -m repro serve`` process stays healthy.
+
+Boots the serving CLI as a subprocess on an ephemeral port with a
+deliberately small node allowance, then drives the mixed traffic the
+acceptance criteria call out:
+
+* named subsumption/satisfiability checks (hierarchy path — must be
+  definite 200s even with ``REPRO_FAULTS`` armed, because the
+  pre-classified hierarchy never consults a budget);
+* a budget-exhausting deep query (must degrade to **206 + UNKNOWN**,
+  never 5xx);
+* a hot TBox swap (``POST /v1/tbox``) with answers checked on both
+  sides of the swap;
+* a burst of concurrent keep-alive requests;
+* health and metrics probes interleaved throughout — ``/v1/health``
+  must report ``ok`` after every step.
+
+Run it twice in CI: once clean, once with ``REPRO_FAULTS=deadline`` so
+injected deadline faults exercise the degradation path in a real
+process.  Exits non-zero (with a message) on any violated expectation.
+"""
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+TBOX_V1 = """
+car [= motorvehicle & some size.small
+pickup [= motorvehicle & some size.big
+motorvehicle [= some uses.gasoline
+"""
+
+TBOX_V2 = "car [= toy\ntoy [= artifact\n"
+
+#: allowance 20 over soft limit 4 = 5 nodes per request: the deep query
+#: below needs 13, so it exhausts deterministically (without faults)
+SERVE_FLAGS = ["--port", "0", "--node-allowance", "20", "--soft-limit", "4"]
+
+DEEP_QUERY = ">= 12 uses.gasoline"
+
+faults_armed = bool(os.environ.get("REPRO_FAULTS"))
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, (json.loads(raw) if raw else {})
+    finally:
+        conn.close()
+
+
+def expect_health(port, version):
+    status, body = request(port, "GET", "/v1/health")
+    if status != 200 or body.get("status") != "ok":
+        fail(f"health not green: {status} {body}")
+    if body.get("tbox_version") != version:
+        fail(f"health reports version {body.get('tbox_version')}, want {version}")
+
+
+def main():
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".tbox", delete=False, encoding="utf-8"
+    ) as handle:
+        handle.write(TBOX_V1)
+        tbox_path = handle.name
+
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--tbox", tbox_path, *SERVE_FLAGS],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", banner)
+        if not match:
+            fail(f"no address in server banner: {banner!r}")
+        port = int(match.group(1))
+        print(f"serve_smoke: server up on port {port} (faults_armed={faults_armed})")
+
+        expect_health(port, version=1)
+
+        # 1. named checks: hierarchy-answered, definite even under faults
+        status, body = request(
+            port,
+            "POST",
+            "/v1/subsumes",
+            {"general": "motorvehicle", "specific": "car"},
+        )
+        if (status, body.get("answer")) != (200, True):
+            fail(f"named subsumption: {status} {body}")
+        status, body = request(port, "POST", "/v1/satisfiable", {"concept": "car"})
+        if (status, body.get("answer")) != (200, True):
+            fail(f"named satisfiability: {status} {body}")
+
+        # 2. tableau-path check: definite normally; an armed fault may
+        #    legitimately degrade it to 206, never to 5xx
+        status, body = request(
+            port, "POST", "/v1/satisfiable", {"concept": "car & ~car"}
+        )
+        allowed = {200, 206} if faults_armed else {200}
+        if status not in allowed:
+            fail(f"tableau satisfiability: {status} {body}")
+
+        # 3. the budget-exhausting query: 5-node slice vs a 13-node proof
+        status, body = request(
+            port, "POST", "/v1/satisfiable", {"concept": DEEP_QUERY}
+        )
+        if status != 206 or body.get("answer") is not None:
+            fail(f"deep query should exhaust to 206/UNKNOWN: {status} {body}")
+        if not body.get("reason"):
+            fail(f"206 body carries no reason: {body}")
+        expect_health(port, version=1)
+
+        # 4. concurrent keep-alive burst of named checks: all definite
+        statuses = []
+        lock = threading.Lock()
+
+        def burst():
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                for _ in range(10):
+                    conn.request(
+                        "POST",
+                        "/v1/subsumes",
+                        body=json.dumps(
+                            {"general": "motorvehicle", "specific": "pickup"}
+                        ),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = conn.getresponse()
+                    response.read()
+                    with lock:
+                        statuses.append(response.status)
+            finally:
+                conn.close()
+
+        threads = [threading.Thread(target=burst) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if statuses.count(200) != 40:
+            fail(f"concurrent burst: {statuses}")
+
+        # 5. hot TBox swap, then answers from the new snapshot
+        status, body = request(port, "POST", "/v1/tbox", {"tbox": TBOX_V2})
+        if status != 200 or body.get("tbox_version") != 2:
+            fail(f"hot swap: {status} {body}")
+        status, body = request(
+            port, "POST", "/v1/subsumes", {"general": "toy", "specific": "car"}
+        )
+        if (status, body.get("answer"), body.get("tbox_version")) != (200, True, 2):
+            fail(f"post-swap subsumption: {status} {body}")
+        expect_health(port, version=2)
+
+        # 6. metrics reflect everything above
+        status, body = request(port, "GET", "/v1/metrics")
+        counters = body.get("metrics", {}).get("counters", {})
+        if status != 200 or counters.get("serve.tbox_swaps") != 1:
+            fail(f"metrics: {status} {counters}")
+        fast_path = counters.get("serve.batched_hits", 0) + counters.get(
+            "serve.dedup_hits", 0
+        )
+        if fast_path < 40:  # the 40-request burst never reaches the tableau
+            fail(f"hierarchy fast path unused: {counters}")
+        if counters.get("serve.internal_errors", 0) != 0:
+            fail(f"server logged internal errors: {counters}")
+
+        print("serve_smoke: OK")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=15)
+        os.unlink(tbox_path)
+
+
+if __name__ == "__main__":
+    start = time.perf_counter()
+    main()
+    print(f"serve_smoke: done in {time.perf_counter() - start:.2f}s")

@@ -6,21 +6,25 @@ Usage::
     python -m repro classify ONTONOMY.tbox [--budget-nodes N] [--budget-ms MS] [--escalate] [--stats]
     python -m repro check ONTONOMY.tbox
     python -m repro bench [--out DIR] [--only B1 ...]
+    python -m repro serve [--tbox FILE] [--port N] [--batch-window-ms MS] ...
 
 ``critique`` runs the full three-part analysis and prints the report;
 ``classify`` prints the inferred hierarchy; ``check`` reports coherence
-and unsatisfiable names; ``bench`` runs the instrumented B1–B6 substrate
-benches and writes one ``BENCH_<id>.json`` snapshot each.  ``--stats``
-prints the observability counter snapshot (see :mod:`repro.obs`) after
-the command's normal output.  TBox files use the text syntax of
-:mod:`repro.dl.parser` (one axiom per line, ``#`` comments).
+and unsatisfiable names; ``bench`` runs the instrumented B1–B7 substrate
+benches and writes one ``BENCH_<id>.json`` snapshot each; ``serve``
+starts the long-lived batched reasoning service (:mod:`repro.serve`).
+``--stats`` prints the observability counter snapshot (see
+:mod:`repro.obs`) after the command's normal output.  TBox files use the
+text syntax of :mod:`repro.dl.parser` (one axiom per line, ``#``
+comments).
 
 ``classify`` accepts resource governance flags (see :mod:`repro.robust`):
 ``--budget-nodes`` / ``--budget-ms`` bound every subsumption test, and
 ``--escalate`` geometrically retries an incomplete classification.  A
 hierarchy that still has unresolved edges is printed anyway and exits
 with the distinct code 3 (:data:`EXIT_PARTIAL`) so scripts can tell a
-partial answer from both success (0) and failure (1).
+partial answer from both success (0) and failure (1); the full contract
+is in :data:`EXIT_CODES` and the ``--help`` epilog.
 """
 
 from __future__ import annotations
@@ -32,11 +36,36 @@ from pathlib import Path
 
 from .core import critique
 from .dl import Reasoner, classify, parse_tbox
-from .obs import Recorder, use_recorder
+from .obs import Recorder, set_recorder, use_recorder
 from .robust import Budget, DEFAULT_MAX_ROUNDS
 
+#: everything ran and every answer is definite
+EXIT_OK = 0
+#: the run finished and found a negative result (defects under
+#: ``--strict``, an incoherent TBox) or died on an operational error
+EXIT_FAILURE = 1
+#: command-line usage error (argparse's own convention)
+EXIT_USAGE = 2
 #: exit code for a run that finished but could not resolve everything
 EXIT_PARTIAL = 3
+
+#: the one authoritative exit-code table: the ``--help`` epilog, the
+#: README, and the contract test all render/check THIS mapping
+EXIT_CODES: dict[int, str] = {
+    EXIT_OK: "success: every answer definite",
+    EXIT_FAILURE: "failure: defects found (--strict), incoherent TBox, or error",
+    EXIT_USAGE: "usage error (bad flags/arguments; raised by argparse)",
+    EXIT_PARTIAL: "partial: a budget or fault left UNKNOWN answers "
+    "(HTTP analogue: 206)",
+}
+
+
+def exit_code_epilog() -> str:
+    """The exit-code contract rendered for ``--help`` and the README."""
+    lines = ["exit codes:"]
+    for code, meaning in sorted(EXIT_CODES.items()):
+        lines.append(f"  {code}  {meaning}")
+    return "\n".join(lines)
 
 
 def _load(path: str):
@@ -75,7 +104,7 @@ def _cmd_critique(args: argparse.Namespace) -> int:
         )
     print(report.render())
     _print_stats(recorder)
-    return 1 if report.defects() and args.strict else 0
+    return EXIT_FAILURE if report.defects() and args.strict else EXIT_OK
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -111,7 +140,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         for specific, general in sorted(hierarchy.incomplete):
             print(f"  {specific} ⊑ {general} ?", file=sys.stderr)
     _print_stats(recorder)
-    return EXIT_PARTIAL if hierarchy.incomplete else 0
+    return EXIT_PARTIAL if hierarchy.incomplete else EXIT_OK
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -126,7 +155,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{bench_id}: wrote {path} "
             f"(wall {record['wall_time_s']:.3f}s, {nonzero} non-zero counters)"
         )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -135,15 +164,56 @@ def _cmd_check(args: argparse.Namespace) -> int:
     bad = reasoner.unsatisfiable_names()
     if bad:
         print(f"INCOHERENT: unsatisfiable names: {', '.join(bad)}")
-        return 1
+        return EXIT_FAILURE
     print(f"coherent: {len(tbox)} axioms, {len(tbox.atomic_names())} names")
-    return 0
+    return EXIT_OK
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .dl import TBox
+    from .serve import ReasoningServer, ServeConfig
+
+    tbox = _load(args.tbox) if args.tbox else TBox()
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        batch_max=args.batch_max,
+        soft_limit=args.soft_limit,
+        hard_limit=args.hard_limit,
+        node_allowance=args.node_allowance,
+        ms_allowance=args.ms_allowance,
+        tbox_store=args.tbox_store,
+    )
+    # a serving process always records: /v1/metrics is part of the API
+    set_recorder(Recorder())
+    server = ReasoningServer(tbox, config)
+
+    async def _run() -> None:
+        host, port = await server.start()
+        print(
+            f"serving {len(tbox)} axiom(s) on http://{host}:{port} "
+            f"(batch window {config.batch_window_ms}ms, "
+            f"soft/hard limits {config.soft_limit}/{config.hard_limit})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("shutting down", file=sys.stderr)
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="summa: critique, classify, or check a DL ontonomy",
+        description="summa: critique, classify, check, or serve a DL ontonomy",
+        epilog=exit_code_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -212,7 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.set_defaults(func=_cmd_check)
 
     p_bench = sub.add_parser(
-        "bench", help="run the B1-B6 benches and write BENCH_*.json snapshots"
+        "bench", help="run the B1-B7 benches and write BENCH_*.json snapshots"
     )
     p_bench.add_argument(
         "--out", default=".", help="directory for BENCH_*.json files (default: .)"
@@ -221,10 +291,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         action="append",
         metavar="ID",
-        choices=["B1", "B2", "B3", "B4", "B5", "B6"],
+        choices=["B1", "B2", "B3", "B4", "B5", "B6", "B7"],
         help="run only this bench (repeatable)",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="start the batched JSON-over-HTTP reasoning service",
+        epilog="degradation: budget-exhausted answers are HTTP 206 "
+        "(UNKNOWN verdict body); admission refusals are 429/503 with "
+        "Retry-After.  See README 'Serving'.",
+    )
+    p_serve.add_argument(
+        "--tbox", metavar="FILE", help="TBox file to serve (default: empty TBox)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="how long to hold a check for coalescing (default: 5)",
+    )
+    p_serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=64,
+        metavar="N",
+        help="flush a batch early at this size (default: 64)",
+    )
+    p_serve.add_argument(
+        "--soft-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="in-flight requests beyond this are refused 429 (default: 64)",
+    )
+    p_serve.add_argument(
+        "--hard-limit",
+        type=int,
+        default=256,
+        metavar="N",
+        help="in-flight requests beyond this are refused 503 (default: 256)",
+    )
+    p_serve.add_argument(
+        "--node-allowance",
+        type=int,
+        default=250_000,
+        metavar="N",
+        help="server-wide completion-graph node allowance split across "
+        "soft-limit slots into per-request budgets (default: 250000)",
+    )
+    p_serve.add_argument(
+        "--ms-allowance",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request wall-clock deadline (default: none)",
+    )
+    p_serve.add_argument(
+        "--tbox-store",
+        metavar="PATH",
+        help="persist hot-swapped TBoxes crash-safely to this file",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -1,4 +1,4 @@
-"""Instrumented B1–B6 substrate benches with a JSON snapshot per bench.
+"""Instrumented B1–B7 substrate benches with a JSON snapshot per bench.
 
 Each bench runs a fixed, seeded workload under a fresh
 :class:`repro.obs.Recorder` and produces one record::
@@ -14,11 +14,12 @@ Each bench runs a fixed, seeded workload under a fresh
       "histograms": {...}
     }
 
-``run_suite`` writes ``BENCH_B1.json`` … ``BENCH_B6.json`` — the perf
+``run_suite`` writes ``BENCH_B1.json`` … ``BENCH_B7.json`` — the perf
 trajectory later PRs are compared against.  Counters are deterministic
 for the seeded inputs (two runs differ only in ``wall_time_s`` and timer
 values); the test suite asserts exactly that, so any nondeterminism
-introduced into a hot path is caught here.
+introduced into a hot path is caught here.  The one exception is B7,
+which measures a live server (see :class:`BenchSpec.deterministic`).
 
 The pytest benches under ``benchmarks/`` still measure *time* with
 pytest-benchmark statistics; this harness complements them with *work*
@@ -54,11 +55,20 @@ RECORD_SCHEMA: dict[str, type] = {
 
 @dataclass(frozen=True)
 class BenchSpec:
-    """One bench: an id, a description, and a workload returning its params."""
+    """One bench: an id, a description, and a workload returning its params.
+
+    ``deterministic`` marks whether two runs over the seeded inputs
+    produce identical counters.  B1–B6 are; B7 drives a live server
+    through real sockets and a timing-based batch window, so its batch
+    sizes and latencies are load-dependent by nature (the determinism
+    test skips it, the *invariants* — batched-hit reduction, all-200
+    statuses — are asserted inside the workload itself).
+    """
 
     bench_id: str
     description: str
     workload: Callable[[], dict[str, Any]]
+    deterministic: bool = True
 
 
 # ---------------------------------------------------------------------- #
@@ -318,6 +328,122 @@ def _b6_escalation() -> dict[str, Any]:
     }
 
 
+def _b7_serve() -> dict[str, Any]:
+    """Batched serving vs one-shot calls: throughput, latency, tableau work.
+
+    A 500-request mixed subsumption/satisfiability workload over one
+    seeded TBox, twice:
+
+    * **one-shot baseline** — a fresh :class:`Reasoner` per request, the
+      CLI invocation model (every call re-pays classification-grade
+      tableau work);
+    * **served** — the same workload through ``repro.serve``'s closed-loop
+      load generator against a live batched server, where named checks
+      are answered from the one pre-classified snapshot hierarchy.
+
+    The acceptance invariant (asserted here, not just recorded): serving
+    answers the workload with **≥ 3×** fewer tableau tests than the
+    one-shot baseline.
+    """
+    import random
+
+    from ..corpora.generators import random_tbox
+    from ..dl import Atomic, Reasoner
+    from ..obs import Recorder, get_recorder, use_recorder
+    from ..serve import ServeConfig, ServerThread, closed_loop
+
+    n_requests, concurrency, window_ms = 500, 8, 5.0
+    tbox = random_tbox(0, n_defined=22, n_primitive=8, n_roles=3)
+    names = sorted(tbox.atomic_names())
+    rng = random.Random(42)
+    checks: list[tuple[str, str, str]] = []
+    for _ in range(n_requests):
+        if rng.random() < 0.8:
+            checks.append(("subsumes", rng.choice(names), rng.choice(names)))
+        else:
+            checks.append(("satisfiable", rng.choice(names), ""))
+
+    # one-shot baseline: fresh reasoner per request, counters kept aside
+    baseline = Recorder()
+    with use_recorder(baseline):
+        for kind, a, b in checks:
+            reasoner = Reasoner(tbox)
+            if kind == "subsumes":
+                reasoner.subsumes(Atomic(a), Atomic(b))
+            else:
+                reasoner.is_satisfiable(Atomic(a))
+    one_shot_tests = baseline.counters.get("tableau.solve_calls", 0)
+
+    # served: boot (snapshot pre-classification, off the serving path)
+    # and the serving window are recorded separately — boot is a one-time
+    # cost amortized over the server's lifetime, not per-workload work
+    boot = Recorder()
+    config = ServeConfig(
+        port=0, batch_window_ms=window_ms, batch_max=64, soft_limit=64
+    )
+    with use_recorder(boot):
+        server = ServerThread(tbox, config)
+    served = Recorder()
+    with use_recorder(served):
+        with server:
+            requests = [
+                (
+                    "POST",
+                    f"/v1/{kind}",
+                    {"general": a, "specific": b}
+                    if kind == "subsumes"
+                    else {"concept": a},
+                )
+                for kind, a, b in checks
+            ]
+            report = closed_loop(server, requests, concurrency=concurrency)
+            _status, metrics = server.request("GET", "/v1/metrics")
+    boot_tests = boot.counters.get("tableau.solve_calls", 0)
+    served_tests = served.counters.get("tableau.solve_calls", 0)
+
+    assert not report.errors, report.errors[:3]
+    assert report.status_counts == {200: n_requests}, report.status_counts
+    assert served.counters.get("serve.batched_hits", 0) > 0
+    # the acceptance criterion: the serving path answers the workload with
+    # ≥ 3x fewer tableau tests than 500 isolated one-shot calls ...
+    assert served_tests * 3 <= one_shot_tests, (served_tests, one_shot_tests)
+    # ... and even charging the server its whole boot-time classification,
+    # the total still beats paying per call
+    assert boot_tests + served_tests < one_shot_tests, (
+        boot_tests, served_tests, one_shot_tests,
+    )
+
+    # fold the serve-side counters into the bench record, plus the
+    # comparison summary (latency/batch distributions land in params —
+    # they are measurements, not work counts)
+    recorder = get_recorder()
+    for name, value in served.counters.items():
+        recorder.incr(name, value)
+    recorder.incr("bench.b7.one_shot_tableau_tests", one_shot_tests)
+    recorder.incr("bench.b7.boot_tableau_tests", boot_tests)
+    recorder.incr("bench.b7.served_tableau_tests", served_tests)
+    batch_size = metrics["metrics"]["histograms"].get("serve.batch_size", {})
+    return {
+        "requests": n_requests,
+        "concurrency": concurrency,
+        "batch_window_ms": window_ms,
+        "mix": {"subsumes": 0.8, "satisfiable": 0.2},
+        "tbox": {"seed": 0, "n_defined": 22, "n_primitive": 8, "n_roles": 3},
+        "workload_seed": 42,
+        "one_shot_tableau_tests": one_shot_tests,
+        "boot_tableau_tests": boot_tests,
+        "served_tableau_tests": served_tests,
+        "tableau_test_reduction": one_shot_tests / max(1, served_tests),
+        "throughput_rps": report.throughput_rps(),
+        "latency_ms": {
+            "p50": report.percentile(0.50),
+            "p99": report.percentile(0.99),
+            "max": max(report.latencies_ms),
+        },
+        "batch_size": batch_size,
+    }
+
+
 BENCHES: dict[str, BenchSpec] = {
     "B1": BenchSpec(
         "B1", "tableau reasoning + TBox classification (chain, tree, random)", _b1_tableau
@@ -332,6 +458,12 @@ BENCHES: dict[str, BenchSpec] = {
     "B5": BenchSpec("B5", "order-sorted rewriting to normal form", _b5_rewriting),
     "B6": BenchSpec(
         "B6", "budget-governed reasoning and escalation overhead", _b6_escalation
+    ),
+    "B7": BenchSpec(
+        "B7",
+        "batched serving throughput/latency vs one-shot reasoning calls",
+        _b7_serve,
+        deterministic=False,
     ),
 }
 

@@ -68,6 +68,30 @@ class Reasoner:
         if self.tbox.revision != self._tbox_revision:
             self.invalidate()
 
+    def release(self) -> None:
+        """Drop every cache without rebuilding the tableau.
+
+        The terminal counterpart of :meth:`invalidate`: a serving
+        snapshot being retired (see :mod:`repro.serve.snapshot`) calls
+        this once its last in-flight request finishes, so the sat /
+        subsumption / hierarchy caches of a superseded TBox version do
+        not stay memory-resident for the life of the process.  The
+        reasoner remains usable afterwards — a later query simply starts
+        from cold caches.
+        """
+        _obs.incr("reasoner.releases")
+        self._sat_cache.clear()
+        self._subs_cache.clear()
+        self._hierarchy_cache.clear()
+
+    def cache_stats(self) -> dict[str, int]:
+        """Entry counts of the memory-resident caches (for tests/metrics)."""
+        return {
+            "sat": len(self._sat_cache),
+            "subs": len(self._subs_cache),
+            "hierarchy": len(self._hierarchy_cache),
+        }
+
     # ------------------------------------------------------------------ #
     # concept-level services
     # ------------------------------------------------------------------ #

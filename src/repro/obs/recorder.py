@@ -35,6 +35,11 @@ __all__ = [
 ]
 
 
+#: histogram sample retention per name: enough for stable p50/p99 on
+#: serving workloads without unbounded growth on long-lived processes
+SAMPLE_CAP = 512
+
+
 class Recorder:
     """Accumulates counters, timers, and histograms.
 
@@ -45,7 +50,7 @@ class Recorder:
     3
     """
 
-    __slots__ = ("counters", "_timers", "_histograms")
+    __slots__ = ("counters", "_timers", "_histograms", "_samples")
 
     #: class-level flag read by the hot-path helpers; NullRecorder flips it
     enabled: bool = True
@@ -56,6 +61,8 @@ class Recorder:
         self._timers: dict[str, list[float]] = {}
         # name -> [count, total, min, max]
         self._histograms: dict[str, list[float]] = {}
+        # name -> ring of the last SAMPLE_CAP observations (for quantiles)
+        self._samples: dict[str, list[float]] = {}
 
     # -- recording ------------------------------------------------------ #
 
@@ -64,10 +71,16 @@ class Recorder:
         self.counters[name] = self.counters.get(name, 0) + n
 
     def observe(self, name: str, value: float) -> None:
-        """Record one observation into the histogram ``name``."""
+        """Record one observation into the histogram ``name``.
+
+        Besides the running count/total/min/max, the last
+        :data:`SAMPLE_CAP` observations are retained in a ring so
+        :meth:`snapshot` can report p50/p99 quantiles.
+        """
         cell = self._histograms.get(name)
         if cell is None:
             self._histograms[name] = [1, value, value, value]
+            self._samples[name] = [value]
         else:
             cell[0] += 1
             cell[1] += value
@@ -75,6 +88,11 @@ class Recorder:
                 cell[2] = value
             if value > cell[3]:
                 cell[3] = value
+            ring = self._samples[name]
+            if len(ring) < SAMPLE_CAP:
+                ring.append(value)
+            else:
+                ring[int(cell[0]) % SAMPLE_CAP] = value
 
     def record_timing(self, name: str, seconds: float) -> None:
         """Record one elapsed span into the timer ``name``."""
@@ -105,6 +123,9 @@ class Recorder:
 
         Timer/histogram entries are summarized as
         ``{count, total, min, max, mean}`` — timers in seconds.
+        Histograms additionally carry ``p50`` and ``p99`` computed over
+        the retained sample ring (exact below :data:`SAMPLE_CAP`
+        observations, a recent-window estimate beyond it).
         """
 
         def summarize(cells: dict[str, list[float]]) -> dict[str, dict[str, float]]:
@@ -119,10 +140,16 @@ class Recorder:
                 for name, (count, total, lo, hi) in sorted(cells.items())
             }
 
+        histograms = summarize(self._histograms)
+        for name, cell in histograms.items():
+            ring = sorted(self._samples.get(name, ()))
+            if ring:
+                cell["p50"] = _quantile(ring, 0.50)
+                cell["p99"] = _quantile(ring, 0.99)
         return {
             "counters": dict(sorted(self.counters.items())),
             "timers": summarize(self._timers),
-            "histograms": summarize(self._histograms),
+            "histograms": histograms,
         }
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
@@ -132,6 +159,7 @@ class Recorder:
         self.counters.clear()
         self._timers.clear()
         self._histograms.clear()
+        self._samples.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -164,6 +192,12 @@ class NullRecorder(Recorder):
     @contextmanager
     def time(self, name: str) -> Iterator[None]:
         yield
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """The ``q``-quantile of a sorted, non-empty sample (nearest-rank)."""
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
 
 
 #: the shared disabled recorder; identity-compared on every hot-path call

@@ -109,6 +109,17 @@ class Budget:
         if self._deadline is not None and time.monotonic() > self._deadline:
             raise BudgetExhausted(f"deadline: exceeded max_ms={self.max_ms}")
 
+    def remaining_ms(self) -> Optional[float]:
+        """Milliseconds until the deadline (``None`` when unbounded).
+
+        Never negative: an expired deadline reads as ``0.0``.  Servers use
+        this to size ``Retry-After`` hints and to decide whether a queued
+        request still has enough runway to be worth starting.
+        """
+        if self._deadline is None:
+            return None
+        return max(0.0, (self._deadline - time.monotonic()) * 1000.0)
+
     # -- composition ---------------------------------------------------- #
 
     def child(self) -> "Budget":

@@ -1,0 +1,46 @@
+"""The serving layer: a batched, budget-governed reasoning service.
+
+Composes the substrate the earlier PRs built — obs counters/timers
+(:mod:`repro.obs`), the cached revision-guarded :class:`repro.dl.Reasoner`,
+and :mod:`repro.robust` budgets with three-valued verdicts — into a
+long-lived asyncio process (``python -m repro serve``) instead of
+one-shot CLI invocations that re-parse and re-classify per call:
+
+* :mod:`repro.serve.server` — routes, lifecycle, degradation contract;
+* :mod:`repro.serve.batcher` — coalesces concurrent checks over one
+  shared snapshot pass (``serve.batched_hits``);
+* :mod:`repro.serve.admission` — 429/503 load shedding and per-request
+  budget slices of a server-wide allowance;
+* :mod:`repro.serve.snapshot` — refcounted, hot-swappable TBox
+  snapshots (in-flight requests finish on the version they started on);
+* :mod:`repro.serve.protocol` — HTTP/1.1 framing and the JSON bodies;
+* :mod:`repro.serve.loadgen` — in-process server thread, client, and
+  closed-loop load generator for tests, CI smoke, and the B7 bench.
+"""
+
+from .admission import AdmissionController, AdmissionError, Ticket
+from .batcher import BatchAnswer, Batcher
+from .loadgen import LoadReport, ServeClient, ServerThread, closed_loop
+from .protocol import BadRequest, HttpRequest, ProtocolError
+from .server import ReasoningServer, ServeConfig
+from .snapshot import Snapshot, SnapshotError, SnapshotManager
+
+__all__ = [
+    "ReasoningServer",
+    "ServeConfig",
+    "Batcher",
+    "BatchAnswer",
+    "AdmissionController",
+    "AdmissionError",
+    "Ticket",
+    "Snapshot",
+    "SnapshotManager",
+    "SnapshotError",
+    "HttpRequest",
+    "ProtocolError",
+    "BadRequest",
+    "ServerThread",
+    "ServeClient",
+    "LoadReport",
+    "closed_loop",
+]

@@ -1,0 +1,145 @@
+"""Admission control: bounded concurrency and budget-sliced requests.
+
+The server must degrade *before* it wedges.  Admission applies two
+limits and one allowance:
+
+* ``soft_limit`` — requests in flight beyond this are refused with
+  **429 Too Many Requests** and a ``Retry-After`` hint sized to the
+  batch window (the client's work is cheap to retry; the server is
+  merely momentarily full);
+* ``hard_limit`` — beyond this (or while draining for shutdown) the
+  refusal escalates to **503 Service Unavailable**: the server is
+  shedding load, not queueing it;
+* a server-wide **node/ms allowance** divided into per-request
+  :class:`repro.robust.Budget` ledgers: ``node_allowance`` completion
+  -graph nodes split across ``soft_limit`` concurrent slots, and an
+  optional per-request wall-clock deadline.  A query that exhausts its
+  slice returns an ``UNKNOWN`` verdict (HTTP 206) instead of stalling
+  the event loop.
+
+Counters: ``serve.admitted``, ``serve.rejected_busy`` (429),
+``serve.rejected_overloaded`` (503); the in-flight high-water mark is
+observed into the ``serve.inflight`` histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from ..obs import recorder as _obs
+from ..robust import Budget
+
+
+class AdmissionError(Exception):
+    """Raised by :meth:`AdmissionController.admit` when a request is refused."""
+
+    def __init__(self, status: int, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class Ticket:
+    """One admitted request: its budget and the controller to return to."""
+
+    budget: Budget
+    _controller: "AdmissionController"
+    _done: bool = False
+
+    def finish(self) -> None:
+        if not self._done:
+            self._done = True
+            self._controller._leave()
+
+
+class AdmissionController:
+    """Caps concurrent reasoning work and slices the resource allowance."""
+
+    def __init__(
+        self,
+        *,
+        soft_limit: int = 64,
+        hard_limit: int = 256,
+        node_allowance: Optional[int] = 250_000,
+        ms_allowance: Optional[float] = None,
+        retry_after_s: float = 0.05,
+    ) -> None:
+        if soft_limit < 1:
+            raise ValueError(f"soft_limit must be >= 1, got {soft_limit}")
+        if hard_limit < soft_limit:
+            raise ValueError(
+                f"hard_limit {hard_limit} < soft_limit {soft_limit}"
+            )
+        self.soft_limit = soft_limit
+        self.hard_limit = hard_limit
+        self.node_allowance = node_allowance
+        self.ms_allowance = ms_allowance
+        self.retry_after_s = retry_after_s
+        self._inflight = 0
+        self._draining = False
+        self._lock = threading.Lock()
+
+    # -- the per-request budget slice ------------------------------------ #
+
+    def request_budget(self) -> Budget:
+        """A fresh ledger holding this request's slice of the allowance."""
+        max_nodes = (
+            None
+            if self.node_allowance is None
+            else max(1, self.node_allowance // self.soft_limit)
+        )
+        return Budget(max_nodes=max_nodes, max_ms=self.ms_allowance)
+
+    # -- admission ------------------------------------------------------- #
+
+    def admit(self) -> Ticket:
+        """Admit one request or raise :class:`AdmissionError` (429/503)."""
+        with self._lock:
+            if self._draining:
+                _obs.incr("serve.rejected_overloaded")
+                raise AdmissionError(
+                    503, "draining for shutdown", self.retry_after_s * 4
+                )
+            if self._inflight >= self.hard_limit:
+                _obs.incr("serve.rejected_overloaded")
+                raise AdmissionError(
+                    503,
+                    f"overloaded: {self._inflight} in flight >= "
+                    f"hard limit {self.hard_limit}",
+                    self.retry_after_s * 4,
+                )
+            if self._inflight >= self.soft_limit:
+                _obs.incr("serve.rejected_busy")
+                raise AdmissionError(
+                    429,
+                    f"busy: {self._inflight} in flight >= "
+                    f"soft limit {self.soft_limit}",
+                    self.retry_after_s,
+                )
+            self._inflight += 1
+            inflight = self._inflight
+        _obs.incr("serve.admitted")
+        _obs.observe("serve.inflight", float(inflight))
+        return Ticket(self.request_budget(), self)
+
+    def _leave(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    # -- lifecycle / inspection ------------------------------------------ #
+
+    def drain(self) -> None:
+        """Refuse all further admissions (503) while shutting down."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining

@@ -1,0 +1,242 @@
+"""Serving harness utilities: in-process server thread, client, load gen.
+
+Three pieces shared by the test suite, the CI smoke script, and the B7
+bench — none of them belong in the server proper:
+
+* :class:`ServerThread` — runs a :class:`repro.serve.ReasoningServer`
+  on its own event loop in a daemon thread, bound to an ephemeral port;
+  a context manager, so tests and benches get a real TCP server with
+  deterministic teardown;
+* :class:`ServeClient` — a minimal keep-alive JSON client over
+  ``http.client`` (stdlib only), one connection per client, safe to use
+  from one thread at a time;
+* :func:`closed_loop` — a closed-loop load generator: ``concurrency``
+  worker threads each drain a shared request list back-to-back (next
+  request issued the moment the previous response lands), collecting
+  per-request latency and status counts.  Closed-loop is the right
+  model for the B7 bench: offered load adapts to service rate, so the
+  measured p50/p99 reflect queueing inside the server (batch window,
+  admission), not client-side backlog.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import asyncio
+
+from ..dl import TBox
+from .server import ReasoningServer, ServeConfig
+
+
+class ServeHarnessError(Exception):
+    """The in-process server failed to start or respond."""
+
+
+class ServerThread:
+    """A live reasoning server on a background thread (context manager).
+
+    >>> from repro.dl import parse_tbox
+    >>> with ServerThread(parse_tbox("car [= motorvehicle")) as server:
+    ...     status, body = server.request("POST", "/v1/subsumes",
+    ...         {"general": "motorvehicle", "specific": "car"})
+    >>> status, body["answer"]
+    (200, True)
+    """
+
+    def __init__(
+        self,
+        tbox: Optional[TBox] = None,
+        config: Optional[ServeConfig] = None,
+        *,
+        startup_timeout_s: float = 30.0,
+    ) -> None:
+        # port 0 = ephemeral: parallel test runs cannot collide
+        self.config = config or ServeConfig(port=0)
+        self.server = ReasoningServer(tbox, self.config)
+        self._startup_timeout_s = startup_timeout_s
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._failure: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            self._failure = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.stop()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(self._startup_timeout_s):
+            raise ServeHarnessError("server did not start in time")
+        if self._failure is not None:
+            raise ServeHarnessError(f"server failed to start: {self._failure!r}")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=self._startup_timeout_s)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- client access --------------------------------------------------- #
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self.server.address is None:
+            raise ServeHarnessError("server not started")
+        return self.server.address
+
+    def client(self, timeout_s: float = 30.0) -> "ServeClient":
+        host, port = self.address
+        return ServeClient(host, port, timeout_s=timeout_s)
+
+    def request(
+        self, method: str, path: str, body: Optional[dict[str, Any]] = None
+    ) -> tuple[int, dict[str, Any]]:
+        """One-shot convenience request on a fresh connection."""
+        with self.client() as client:
+            return client.request(method, path, body)
+
+
+class ServeClient:
+    """A persistent keep-alive JSON client for one server."""
+
+    def __init__(self, host: str, port: int, *, timeout_s: float = 30.0) -> None:
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+
+    def request(
+        self, method: str, path: str, body: Optional[dict[str, Any]] = None
+    ) -> tuple[int, dict[str, Any]]:
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        self._conn.request(method, path, body=payload, headers=headers)
+        response = self._conn.getresponse()
+        raw = response.read()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServeHarnessError(
+                f"non-JSON response ({response.status}): {raw[:200]!r}"
+            ) from exc
+        return response.status, decoded
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# closed-loop load generation
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class LoadReport:
+    """What one closed-loop run measured."""
+
+    latencies_ms: list[float] = field(default_factory=list)
+    status_counts: dict[int, int] = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return len(self.latencies_ms)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank latency percentile in milliseconds (0 when empty)."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+
+def closed_loop(
+    server: ServerThread,
+    requests: Sequence[tuple[str, str, Optional[dict[str, Any]]]],
+    *,
+    concurrency: int = 8,
+) -> LoadReport:
+    """Drive ``requests`` through ``concurrency`` closed-loop workers.
+
+    Each worker owns one keep-alive connection and pulls the next
+    ``(method, path, body)`` tuple the moment its previous response
+    arrives.  Transport-level failures are recorded, not raised — a load
+    test that dies on its first refused connection measures nothing.
+    """
+    report = LoadReport()
+    lock = threading.Lock()
+    queue = list(requests)
+    position = 0
+
+    def worker() -> None:
+        nonlocal position
+        client = server.client()
+        try:
+            while True:
+                with lock:
+                    if position >= len(queue):
+                        return
+                    index = position
+                    position += 1
+                method, path, body = queue[index]
+                t0 = time.perf_counter()
+                try:
+                    status, _payload = client.request(method, path, body)
+                except (OSError, http.client.HTTPException) as exc:
+                    with lock:
+                        report.errors.append(f"{path}: {type(exc).__name__}: {exc}")
+                    continue
+                elapsed_ms = (time.perf_counter() - t0) * 1000.0
+                with lock:
+                    report.latencies_ms.append(elapsed_ms)
+                    report.status_counts[status] = (
+                        report.status_counts.get(status, 0) + 1
+                    )
+        finally:
+            client.close()
+
+    workers = [
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(max(1, concurrency))
+    ]
+    t0 = time.perf_counter()
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    report.wall_time_s = time.perf_counter() - t0
+    return report

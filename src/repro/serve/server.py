@@ -1,0 +1,361 @@
+"""The asyncio reasoning server: routes, lifecycle, and degradation.
+
+``python -m repro serve`` starts a long-lived JSON-over-HTTP process
+exposing the reasoning services over one shared, batched, cached
+snapshot instead of re-parsing and re-classifying the TBox per call the
+way one-shot CLI invocations do.
+
+Routes (all bodies JSON)::
+
+    GET  /v1/health       liveness + snapshot version + queue gauges
+    GET  /v1/metrics      the obs recorder snapshot + serving gauges
+    POST /v1/subsumes     {"general": C, "specific": D}      (batched)
+    POST /v1/satisfiable  {"concept": C}                     (batched)
+    POST /v1/classify     {}                → groups, parents, version
+    POST /v1/instances    {"concept": C, "abox": {...}}      (governed)
+    POST /v1/critique     {"tbox": text?}  → the paper's critique report
+    POST /v1/tbox         {"tbox": text}   → prepare + hot-swap snapshot
+
+Degradation contract: budget-exhausted answers are **206** with an
+``UNKNOWN`` verdict body (the HTTP analogue of CLI exit code 3);
+admission refusals are **429**/**503** with ``Retry-After`` — a
+pathological query burns only its own budget slice, never the event
+loop.  Concept strings use the text syntax of :mod:`repro.dl.parser`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core import critique
+from ..dl import ParseError, TBox, parse_concept, parse_tbox
+from ..obs import recorder as _obs
+from ..robust import Budget
+from .admission import AdmissionController, AdmissionError
+from .batcher import KIND_SATISFIABLE, KIND_SUBSUMES, Batcher
+from .protocol import (
+    BadRequest,
+    HttpRequest,
+    ProtocolError,
+    encode_response,
+    error_body,
+    read_request,
+    require,
+    verdict_body,
+)
+from .snapshot import SnapshotManager
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for one serving process (see ``repro serve --help``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    batch_window_ms: float = 5.0
+    batch_max: int = 64
+    soft_limit: int = 64
+    hard_limit: int = 256
+    node_allowance: Optional[int] = 250_000
+    ms_allowance: Optional[float] = None
+    max_nodes: int = 2000
+    tbox_store: Optional[str] = None
+
+
+class ReasoningServer:
+    """One serving process: snapshot manager + batcher + admission."""
+
+    def __init__(
+        self, tbox: Optional[TBox] = None, config: Optional[ServeConfig] = None
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.snapshots = SnapshotManager(
+            tbox,
+            max_nodes=self.config.max_nodes,
+            store_path=self.config.tbox_store,
+        )
+        self.batcher = Batcher(
+            window_ms=self.config.batch_window_ms, max_batch=self.config.batch_max
+        )
+        self.admission = AdmissionController(
+            soft_limit=self.config.soft_limit,
+            hard_limit=self.config.hard_limit,
+            node_allowance=self.config.node_allowance,
+            ms_allowance=self.config.ms_allowance,
+            retry_after_s=max(0.001, self.config.batch_window_ms / 1000.0),
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._swap_lock = asyncio.Lock()
+        self.address: Optional[tuple[str, int]] = None
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the actual (host, port)."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0].getsockname()
+        self.address = (sock[0], sock[1])
+        return self.address
+
+    async def stop(self) -> None:
+        """Drain admissions, flush the batch queue, close the listener."""
+        self.admission.drain()
+        self.batcher.flush_now()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:  # pragma: no cover - CLI path
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling --------------------------------------------- #
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    status, body = error_body(400, str(exc))
+                    writer.write(encode_response(status, body, keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, body, extra = await self._dispatch(request)
+                _obs.incr("serve.requests")
+                _obs.incr(f"serve.status.{status}")
+                writer.write(
+                    encode_response(
+                        status,
+                        body,
+                        keep_alive=request.keep_alive,
+                        extra_headers=extra,
+                    )
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            # shutdown cancellation or a client gone mid-write: fall through
+            # to the close below so the handler task ends *uncancelled*
+            # (asyncio's stream glue logs tasks that die cancelled)
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    # -- routing --------------------------------------------------------- #
+
+    async def _dispatch(
+        self, request: HttpRequest
+    ) -> tuple[int, dict[str, Any], Optional[dict[str, str]]]:
+        route = (request.method, request.path)
+        try:
+            if route == ("GET", "/v1/health"):
+                return (*self._health(), None)
+            if route == ("GET", "/v1/metrics"):
+                return (*self._metrics(), None)
+            if request.path in _UNBATCHED_POST or request.path in _BATCHED_POST:
+                if request.method != "POST":
+                    return (*error_body(405, f"{request.path} requires POST"), None)
+                return await self._dispatch_post(request)
+            return (*error_body(404, f"no route {request.path}"), None)
+        except BadRequest as exc:
+            return (*error_body(400, str(exc)), None)
+        except ParseError as exc:
+            return (*error_body(400, f"concept syntax: {exc}"), None)
+        except AdmissionError as exc:
+            status, body = error_body(exc.status, str(exc))
+            return status, body, {"Retry-After": f"{exc.retry_after_s:.3f}"}
+        except Exception as exc:  # noqa: BLE001 - the loop must survive anything
+            _obs.incr("serve.internal_errors")
+            return (*error_body(500, f"{type(exc).__name__}: {exc}"), None)
+
+    async def _dispatch_post(
+        self, request: HttpRequest
+    ) -> tuple[int, dict[str, Any], Optional[dict[str, str]]]:
+        payload = request.json()
+        ticket = self.admission.admit()
+        snapshot = self.snapshots.acquire()
+        try:
+            if request.path == "/v1/subsumes":
+                general = parse_concept(str(require(payload, "general")))
+                specific = parse_concept(str(require(payload, "specific")))
+                answer = await self.batcher.submit(
+                    KIND_SUBSUMES, snapshot, (general, specific), ticket.budget
+                )
+                status, body = verdict_body(
+                    answer.verdict,
+                    source=answer.source,
+                    tbox_version=snapshot.version,
+                )
+                return status, body, None
+            if request.path == "/v1/satisfiable":
+                concept = parse_concept(str(require(payload, "concept")))
+                answer = await self.batcher.submit(
+                    KIND_SATISFIABLE, snapshot, (concept,), ticket.budget
+                )
+                status, body = verdict_body(
+                    answer.verdict,
+                    source=answer.source,
+                    tbox_version=snapshot.version,
+                )
+                return status, body, None
+            if request.path == "/v1/classify":
+                return (*self._classify(snapshot), None)
+            if request.path == "/v1/instances":
+                return (*self._instances(snapshot, payload, ticket.budget), None)
+            if request.path == "/v1/critique":
+                return (*await self._critique(snapshot, payload), None)
+            if request.path == "/v1/tbox":
+                return (*await self._swap_tbox(payload), None)
+            raise BadRequest(f"unrouted POST {request.path}")  # pragma: no cover
+        finally:
+            snapshot.release()
+            ticket.finish()
+
+    # -- handlers -------------------------------------------------------- #
+
+    def _health(self) -> tuple[int, dict[str, Any]]:
+        snapshot = self.snapshots.current
+        return 200, {
+            "status": "draining" if self.admission.draining else "ok",
+            "tbox_version": snapshot.version,
+            "axioms": len(snapshot.tbox),
+            "inflight": self.admission.inflight,
+            "pending_batch": self.batcher.pending,
+        }
+
+    def _metrics(self) -> tuple[int, dict[str, Any]]:
+        snapshot = self.snapshots.current
+        return 200, {
+            "metrics": _obs.get_recorder().snapshot(),
+            "serve": {
+                "tbox_version": snapshot.version,
+                "axioms": len(snapshot.tbox),
+                "inflight": self.admission.inflight,
+                "pending_batch": self.batcher.pending,
+                "soft_limit": self.admission.soft_limit,
+                "hard_limit": self.admission.hard_limit,
+                "reasoner_caches": snapshot.reasoner.cache_stats(),
+            },
+        }
+
+    def _classify(self, snapshot) -> tuple[int, dict[str, Any]]:
+        hierarchy = snapshot.hierarchy
+        if hierarchy is None:  # pragma: no cover - retired before release
+            hierarchy = snapshot.reasoner.classify()
+        body = {
+            "tbox_version": snapshot.version,
+            "groups": sorted(sorted(g) for g in hierarchy.groups()),
+            "parents": {
+                group[0]: sorted(hierarchy.parents(group[0]))
+                for group in sorted(sorted(g) for g in hierarchy.groups())
+            },
+            "top_equivalents": sorted(hierarchy.top_equivalents()),
+            "unsatisfiable": sorted(hierarchy.equivalents("⊥") - {"⊥"}),
+        }
+        if hierarchy.incomplete:
+            body["incomplete"] = sorted(map(list, hierarchy.incomplete))
+            return 206, body
+        return 200, body
+
+    def _instances(
+        self, snapshot, payload: dict[str, Any], budget: Budget
+    ) -> tuple[int, dict[str, Any]]:
+        from ..dl.abox import ABox, ConceptAssertion, RoleAssertion
+        from ..dl.syntax import Role
+
+        concept = parse_concept(str(require(payload, "concept")))
+        raw = require(payload, "abox")
+        if not isinstance(raw, dict):
+            raise BadRequest("'abox' must be an object")
+        assertions: list = []
+        for entry in raw.get("concepts", ()):
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise BadRequest(f"abox concept entry {entry!r} is not [ind, concept]")
+            assertions.append(
+                ConceptAssertion(str(entry[0]), parse_concept(str(entry[1])))
+            )
+        for entry in raw.get("roles", ()):
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise BadRequest(f"abox role entry {entry!r} is not [s, role, o]")
+            assertions.append(
+                RoleAssertion(str(entry[0]), str(entry[2]), Role(str(entry[1])))
+            )
+        abox = ABox(assertions)
+        members, non_members, unknown = [], [], {}
+        for individual in sorted(abox.individuals()):
+            verdict = snapshot.reasoner.is_instance_governed(
+                abox, individual, concept, budget.child()
+            )
+            if verdict.is_unknown:
+                unknown[individual] = verdict.reason
+            elif verdict.as_bool():
+                members.append(individual)
+            else:
+                non_members.append(individual)
+        body = {
+            "tbox_version": snapshot.version,
+            "members": members,
+            "non_members": non_members,
+        }
+        if unknown:
+            body["unknown"] = unknown
+            return 206, body
+        return 200, body
+
+    async def _critique(
+        self, snapshot, payload: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        if "tbox" in payload:
+            tbox = parse_tbox(str(payload["tbox"]))
+            label = str(payload.get("label", "posted"))
+        else:
+            tbox = snapshot.tbox
+            label = str(payload.get("label", f"tbox-v{snapshot.version}"))
+        # the critique builds its own reasoner over a private TBox copy, so
+        # it is safe (and worthwhile) to run off the event loop
+        report = await asyncio.to_thread(critique, tbox, label=label)
+        return 200, {
+            "tbox_version": snapshot.version,
+            "label": label,
+            "defects": len(report.defects()),
+            "findings": len(report.findings),
+            "report": report.render(),
+        }
+
+    async def _swap_tbox(self, payload: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        tbox = parse_tbox(str(require(payload, "tbox")))
+        async with self._swap_lock:
+            # classification of the successor runs in a worker thread —
+            # the event loop keeps answering from the current snapshot
+            prepared = await asyncio.to_thread(self.snapshots.prepare, tbox)
+            old = self.snapshots.swap(prepared)
+        return 200, {
+            "tbox_version": prepared.version,
+            "axioms": len(tbox),
+            "retired_version": old.version,
+            "retired_refs": old.refs,
+        }
+
+
+_BATCHED_POST = frozenset({"/v1/subsumes", "/v1/satisfiable"})
+_UNBATCHED_POST = frozenset(
+    {"/v1/classify", "/v1/instances", "/v1/critique", "/v1/tbox"}
+)

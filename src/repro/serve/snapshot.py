@@ -1,0 +1,195 @@
+"""Versioned, refcounted TBox snapshots with atomic hot-swap.
+
+A serving process must be able to load a new TBox without dropping
+traffic.  The scheme here is the classic immutable-snapshot swap:
+
+* a :class:`Snapshot` pairs one (frozen) TBox version with its own
+  cached :class:`repro.dl.Reasoner` and pre-classified hierarchy; it is
+  never mutated after :meth:`Snapshot.prepare`;
+* every request *acquires* the current snapshot on admission and
+  *releases* it when its response is written, so the answer — including
+  every item of a coalesced batch — comes from exactly one TBox version;
+* ``POST /v1/tbox`` builds and pre-classifies the successor **off the
+  serving path**, persists its text crash-safely
+  (:func:`repro.store.atomic_write_text`), then swaps the manager's
+  ``current`` pointer.  In-flight requests finish against the old
+  version; when the last of them releases, the retired snapshot drops
+  its reasoner caches (:meth:`repro.dl.Reasoner.release`) so superseded
+  sat/subsumption entries do not stay memory-resident.
+
+Counters: ``serve.tbox_swaps``, ``serve.snapshots_retired``,
+``serve.snapshots_released``.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Optional
+
+from ..dl import ConceptHierarchy, Reasoner, TBox
+from ..dl.serialize import tbox_to_text
+from ..obs import recorder as _obs
+from ..store import atomic_write_text
+
+
+class SnapshotError(Exception):
+    """Lifecycle misuse: acquiring a dead snapshot, double-release, ..."""
+
+
+class Snapshot:
+    """One immutable TBox version with its reasoner and hierarchy.
+
+    Refcounting is explicit rather than relying on the garbage
+    collector because the point is *promptness*: the test suite asserts
+    that a retired version's caches are empty the moment its last
+    request finishes, not whenever a collection happens to run.
+    """
+
+    def __init__(self, tbox: TBox, version: int, *, max_nodes: int = 2000) -> None:
+        self.tbox = tbox
+        self.version = version
+        self.reasoner = Reasoner(tbox, max_nodes=max_nodes)
+        self.hierarchy: Optional[ConceptHierarchy] = None
+        self._refs = 0
+        self._retired = False
+        self._released = False
+        self._lock = threading.Lock()
+
+    # -- preparation (off the serving path) ----------------------------- #
+
+    def prepare(self) -> "Snapshot":
+        """Pre-classify so serving never pays for the first classification.
+
+        Safe to call from a worker thread: nothing else references this
+        snapshot until the manager swaps it in.
+        """
+        self.hierarchy = self.reasoner.classify()
+        return self
+
+    # -- refcounting ----------------------------------------------------- #
+
+    def acquire(self) -> "Snapshot":
+        with self._lock:
+            if self._released:
+                raise SnapshotError(
+                    f"snapshot v{self.version} already fully released"
+                )
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        with self._lock:
+            if self._refs <= 0:
+                raise SnapshotError(f"snapshot v{self.version} over-released")
+            self._refs -= 1
+            drop = self._retired and self._refs == 0
+            if drop:
+                self._released = True
+        if drop:
+            self._drop_caches()
+
+    def retire(self) -> None:
+        """Mark superseded; caches drop once the refcount reaches zero."""
+        with self._lock:
+            if self._retired:
+                return
+            self._retired = True
+            drop = self._refs == 0
+            if drop:
+                self._released = True
+        _obs.incr("serve.snapshots_retired")
+        if drop:
+            self._drop_caches()
+
+    def _drop_caches(self) -> None:
+        self.reasoner.release()
+        self.hierarchy = None
+        _obs.incr("serve.snapshots_released")
+
+    # -- inspection ------------------------------------------------------ #
+
+    @property
+    def refs(self) -> int:
+        return self._refs
+
+    @property
+    def retired(self) -> bool:
+        return self._retired
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "released" if self._released else (
+            "retired" if self._retired else "active"
+        )
+        return f"Snapshot(v{self.version}, refs={self._refs}, {state})"
+
+
+class SnapshotManager:
+    """Owns the ``current`` snapshot pointer and the swap discipline."""
+
+    def __init__(
+        self,
+        tbox: Optional[TBox] = None,
+        *,
+        max_nodes: int = 2000,
+        store_path: Optional[str | Path] = None,
+    ) -> None:
+        self._max_nodes = max_nodes
+        self._store_path = Path(store_path) if store_path is not None else None
+        self._lock = threading.Lock()
+        self._current = Snapshot(
+            tbox if tbox is not None else TBox(), 1, max_nodes=max_nodes
+        ).prepare()
+
+    @property
+    def current(self) -> Snapshot:
+        return self._current
+
+    @property
+    def version(self) -> int:
+        return self._current.version
+
+    def acquire(self) -> Snapshot:
+        """Acquire the current snapshot for one request.
+
+        The manager lock makes pointer-read + refcount-bump atomic with
+        respect to :meth:`swap`, so a request can never acquire a
+        snapshot that was already retired with zero refs.
+        """
+        with self._lock:
+            return self._current.acquire()
+
+    def prepare(self, tbox: TBox) -> Snapshot:
+        """Build and pre-classify the successor without swapping it in.
+
+        This is the expensive part; the server runs it in a worker
+        thread so the event loop keeps serving from the old version.
+        """
+        return Snapshot(
+            tbox, self._current.version + 1, max_nodes=self._max_nodes
+        ).prepare()
+
+    def swap(self, prepared: Snapshot) -> Snapshot:
+        """Atomically install ``prepared``; retire and return the old one."""
+        if prepared.hierarchy is None:
+            raise SnapshotError("swap target was not prepared")
+        if self._store_path is not None:
+            atomic_write_text(self._store_path, tbox_to_text(prepared.tbox))
+        with self._lock:
+            if prepared.version <= self._current.version:
+                raise SnapshotError(
+                    f"stale swap: v{prepared.version} <= current "
+                    f"v{self._current.version}"
+                )
+            old, self._current = self._current, prepared
+        old.retire()
+        _obs.incr("serve.tbox_swaps")
+        return old
+
+    def load_and_swap(self, tbox: TBox) -> Snapshot:
+        """Convenience: prepare + swap in one (blocking) call."""
+        return self.swap(self.prepare(tbox))

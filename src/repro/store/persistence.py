@@ -53,6 +53,18 @@ def save_jsonl(store: TripleStore, path: Union[str, Path]) -> int:
     return count
 
 
+def atomic_write_text(path: Union[str, Path], payload: str) -> None:
+    """Crash-safely replace ``path``'s content with ``payload``.
+
+    The same verified temp-file + fsync + ``os.replace`` discipline that
+    :func:`save_jsonl` uses, exposed for other durable artifacts — the
+    serving layer persists hot-swapped TBox text through it so a crash
+    mid-swap can never leave a truncated TBox where a good one was.
+    Consults the ``torn-write`` fault point exactly like triple saves.
+    """
+    _replace_atomic(Path(path), payload)
+
+
 def _replace_atomic(path: Path, payload: str) -> None:
     """Write ``payload`` to a sibling temp file and swap it into place."""
     tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")

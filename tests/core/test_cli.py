@@ -97,7 +97,7 @@ class TestBenchCommand:
         assert main(["bench", "--out", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         written = sorted(p.name for p in tmp_path.glob("BENCH_*.json"))
-        assert written == [f"BENCH_B{i}.json" for i in range(1, 7)]
+        assert written == [f"BENCH_B{i}.json" for i in range(1, 8)]
         assert "non-zero counters" in out
 
     def test_bench_only_subset(self, tmp_path, capsys):

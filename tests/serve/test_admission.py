@@ -1,0 +1,111 @@
+"""Admission control: 429/503 refusals, budget slicing, draining."""
+
+import pytest
+
+from repro.obs import Recorder, use_recorder
+from repro.robust import faults
+from repro.serve.admission import AdmissionController, AdmissionError
+
+
+@pytest.fixture(autouse=True)
+def quiet_faults():
+    with faults.suspended():
+        yield
+
+
+class TestAdmission:
+    def test_admit_and_finish_track_inflight(self):
+        controller = AdmissionController(soft_limit=2, hard_limit=4)
+        first = controller.admit()
+        second = controller.admit()
+        assert controller.inflight == 2
+        first.finish()
+        assert controller.inflight == 1
+        second.finish()
+        assert controller.inflight == 0
+
+    def test_soft_limit_refuses_with_429(self):
+        controller = AdmissionController(
+            soft_limit=1, hard_limit=4, retry_after_s=0.02
+        )
+        ticket = controller.admit()
+        with pytest.raises(AdmissionError) as info:
+            controller.admit()
+        assert info.value.status == 429
+        assert info.value.retry_after_s == pytest.approx(0.02)
+        ticket.finish()
+        controller.admit().finish()  # slot freed: admitted again
+
+    def test_hard_limit_refuses_with_503(self):
+        controller = AdmissionController(soft_limit=1, hard_limit=1)
+        controller.admit()
+        with pytest.raises(AdmissionError) as info:
+            controller.admit()
+        assert info.value.status == 503
+
+    def test_draining_refuses_everything_with_503(self):
+        controller = AdmissionController(soft_limit=8, hard_limit=16)
+        controller.drain()
+        with pytest.raises(AdmissionError) as info:
+            controller.admit()
+        assert info.value.status == 503
+        assert "draining" in str(info.value)
+
+    def test_finish_is_idempotent(self):
+        controller = AdmissionController(soft_limit=2, hard_limit=4)
+        ticket = controller.admit()
+        ticket.finish()
+        ticket.finish()
+        assert controller.inflight == 0
+
+    def test_rejections_are_counted(self):
+        recorder = Recorder()
+        controller = AdmissionController(soft_limit=1, hard_limit=1)
+        with use_recorder(recorder):
+            controller.admit()
+            with pytest.raises(AdmissionError):
+                controller.admit()  # hard limit -> overloaded
+        assert recorder.counters["serve.admitted"] == 1
+        assert recorder.counters["serve.rejected_overloaded"] == 1
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(soft_limit=0)
+        with pytest.raises(ValueError):
+            AdmissionController(soft_limit=8, hard_limit=4)
+
+
+class TestBudgetSlicing:
+    def test_allowance_split_across_soft_limit_slots(self):
+        controller = AdmissionController(
+            soft_limit=10, hard_limit=20, node_allowance=1000
+        )
+        budget = controller.request_budget()
+        assert budget.max_nodes == 100
+
+    def test_tiny_allowance_never_rounds_to_zero(self):
+        controller = AdmissionController(
+            soft_limit=64, hard_limit=128, node_allowance=10
+        )
+        assert controller.request_budget().max_nodes == 1
+
+    def test_unbounded_allowance(self):
+        controller = AdmissionController(node_allowance=None, ms_allowance=None)
+        budget = controller.request_budget()
+        assert budget.max_nodes is None
+        assert budget.remaining_ms() is None
+
+    def test_ms_allowance_starts_the_clock(self):
+        controller = AdmissionController(ms_allowance=60_000.0)
+        remaining = controller.admit().budget.remaining_ms()
+        assert remaining is not None and 0 < remaining <= 60_000.0
+
+    def test_each_ticket_gets_a_fresh_ledger(self):
+        controller = AdmissionController(
+            soft_limit=2, hard_limit=4, node_allowance=100
+        )
+        first = controller.admit()
+        second = controller.admit()
+        assert first.budget is not second.budget
+        first.budget.note_nodes(50)
+        assert second.budget.nodes == 0

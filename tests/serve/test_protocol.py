@@ -1,0 +1,137 @@
+"""Wire-level tests: HTTP framing, JSON bodies, status mapping."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.robust import DISPROVED, PROVED, Verdict
+from repro.serve.protocol import (
+    BadRequest,
+    HttpRequest,
+    ProtocolError,
+    encode_response,
+    error_body,
+    read_request,
+    require,
+    verdict_body,
+)
+
+
+def _parse(raw: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_simple_post(self):
+        body = b'{"concept": "car"}'
+        raw = (
+            b"POST /v1/satisfiable HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = _parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/v1/satisfiable"
+        assert request.json() == {"concept": "car"}
+        assert request.keep_alive
+
+    def test_get_without_body(self):
+        request = _parse(b"GET /v1/health HTTP/1.1\r\n\r\n")
+        assert request.method == "GET"
+        assert request.json() == {}
+
+    def test_query_string_stripped(self):
+        request = _parse(b"GET /v1/health?verbose=1 HTTP/1.1\r\n\r\n")
+        assert request.path == "/v1/health"
+
+    def test_connection_close_honored(self):
+        request = _parse(b"GET /v1/health HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_partial_head_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            _parse(b"GET /v1/health HTT")
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            _parse(b"NONSENSE\r\n\r\n")
+
+    def test_bad_content_length(self):
+        with pytest.raises(ProtocolError):
+            _parse(b"POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+
+    def test_truncated_body(self):
+        with pytest.raises(ProtocolError):
+            _parse(b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+
+    def test_malformed_header_line(self):
+        with pytest.raises(ProtocolError):
+            _parse(b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+
+class TestJsonBodies:
+    def test_invalid_json_is_bad_request(self):
+        request = HttpRequest("POST", "/x", body=b"{nope")
+        with pytest.raises(BadRequest):
+            request.json()
+
+    def test_non_object_json_is_bad_request(self):
+        request = HttpRequest("POST", "/x", body=b"[1, 2]")
+        with pytest.raises(BadRequest):
+            request.json()
+
+    def test_require_missing_field(self):
+        with pytest.raises(BadRequest):
+            require({}, "concept")
+        assert require({"concept": "car"}, "concept") == "car"
+
+
+class TestEncodeResponse:
+    def test_roundtrip_framing(self):
+        raw = encode_response(200, {"answer": True})
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert f"Content-Length: {len(payload)}" in lines
+        assert json.loads(payload) == {"answer": True}
+
+    def test_extra_headers_and_close(self):
+        raw = encode_response(
+            429, {"error": "busy"}, keep_alive=False,
+            extra_headers={"Retry-After": "0.050"},
+        )
+        head = raw.partition(b"\r\n\r\n")[0].decode()
+        assert "HTTP/1.1 429 Too Many Requests" in head
+        assert "Retry-After: 0.050" in head
+        assert "Connection: close" in head
+
+
+class TestStatusMapping:
+    def test_definite_verdicts_are_200(self):
+        status, body = verdict_body(PROVED, tbox_version=3)
+        assert (status, body["answer"], body["tbox_version"]) == (200, True, 3)
+        status, body = verdict_body(DISPROVED)
+        assert (status, body["answer"]) == (200, False)
+
+    def test_unknown_verdict_is_206_with_reason(self):
+        status, body = verdict_body(Verdict.unknown("nodes: 13 > max_nodes=5"))
+        assert status == 206
+        assert body["answer"] is None
+        assert body["verdict"] == "unknown"
+        assert "max_nodes=5" in body["reason"]
+
+    def test_error_body_carries_message(self):
+        status, body = error_body(404, "no route /nope")
+        assert status == 404
+        assert "no route" in body["message"]

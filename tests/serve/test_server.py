@@ -1,0 +1,283 @@
+"""End-to-end serving tests over a real TCP socket.
+
+Each test boots a :class:`ServerThread` on an ephemeral port and talks
+real HTTP through ``http.client``.  The degradation and hot-swap tests
+encode this PR's acceptance criteria directly:
+
+* an undersized budget yields **206 + UNKNOWN body** and the server
+  stays healthy afterwards;
+* requests racing a ``POST /v1/tbox`` hot-swap each get an answer
+  consistent with exactly one snapshot version — the one they report.
+"""
+
+import threading
+
+import pytest
+
+from repro.dl import parse_tbox
+from repro.obs import Recorder, use_recorder
+from repro.robust import faults
+from repro.serve import ServeConfig, ServerThread, closed_loop
+
+
+@pytest.fixture(autouse=True)
+def quiet_faults():
+    with faults.suspended():
+        yield
+
+VEHICLES = """
+car [= motorvehicle & some size.small
+pickup [= motorvehicle & some size.big
+motorvehicle [= some uses.gasoline
+"""
+
+
+@pytest.fixture()
+def server():
+    with ServerThread(parse_tbox(VEHICLES)) as live:
+        yield live
+
+
+class TestEndpoints:
+    def test_health(self, server):
+        status, body = server.request("GET", "/v1/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["tbox_version"] == 1
+        assert body["axioms"] == 3
+
+    def test_subsumes_and_satisfiable(self, server):
+        with server.client() as client:
+            status, body = client.request(
+                "POST",
+                "/v1/subsumes",
+                {"general": "motorvehicle", "specific": "car"},
+            )
+            assert (status, body["answer"]) == (200, True)
+            assert body["source"] == "hierarchy"
+            status, body = client.request(
+                "POST", "/v1/satisfiable", {"concept": "car & ~car"}
+            )
+            assert (status, body["answer"]) == (200, False)
+            assert body["source"] == "tableau"
+
+    def test_classify(self, server):
+        status, body = server.request("POST", "/v1/classify", {})
+        assert status == 200
+        groups = {name for group in body["groups"] for name in group}
+        assert {"car", "pickup", "motorvehicle"} <= groups
+        assert "motorvehicle" in body["parents"]["car"]
+        assert body["unsatisfiable"] == []
+
+    def test_instances(self, server):
+        status, body = server.request(
+            "POST",
+            "/v1/instances",
+            {
+                "concept": "motorvehicle",
+                "abox": {
+                    "concepts": [["herbie", "car"], ["rex", "pickup"]],
+                    "roles": [["herbie", "uses", "fuel1"]],
+                },
+            },
+        )
+        assert status == 200
+        assert body["members"] == ["herbie", "rex"]
+        assert "fuel1" in body["non_members"]
+
+    def test_critique(self, server):
+        status, body = server.request(
+            "POST", "/v1/critique", {"tbox": "dog [= cat\ncat [= dog"}
+        )
+        assert status == 200
+        assert body["findings"] > 0
+        assert isinstance(body["report"], str) and body["report"]
+
+    def test_metrics_exposes_serving_counters(self, server):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            server.request(
+                "POST", "/v1/satisfiable", {"concept": "car"}
+            )
+            status, body = server.request("GET", "/v1/metrics")
+        assert status == 200
+        counters = body["metrics"]["counters"]
+        assert counters["serve.requests"] >= 1
+        assert counters["serve.admitted"] >= 1
+        assert body["serve"]["tbox_version"] == 1
+        assert body["serve"]["reasoner_caches"]["hierarchy"] > 0
+
+
+class TestErrorPaths:
+    def test_unknown_route_is_404(self, server):
+        status, body = server.request("GET", "/v1/nope")
+        assert status == 404
+        assert "no route" in body["message"]
+
+    def test_wrong_method_is_405(self, server):
+        status, _ = server.request("GET", "/v1/subsumes")
+        assert status == 405
+
+    def test_missing_field_is_400(self, server):
+        status, body = server.request("POST", "/v1/subsumes", {"general": "car"})
+        assert status == 400
+        assert "specific" in body["message"]
+
+    def test_concept_syntax_error_is_400(self, server):
+        status, body = server.request(
+            "POST", "/v1/satisfiable", {"concept": "some ("}
+        )
+        assert status == 400
+        assert "syntax" in body["message"]
+
+    def test_error_does_not_leak_admission_slot(self, server):
+        for _ in range(3):
+            server.request("POST", "/v1/subsumes", {"general": "car"})
+        status, body = server.request("GET", "/v1/health")
+        assert (status, body["inflight"]) == (200, 0)
+
+
+class TestDegradation:
+    """Acceptance: undersized budgets degrade to 206, never to failure."""
+
+    def test_undersized_budget_returns_206_unknown(self):
+        config = ServeConfig(port=0, node_allowance=5, soft_limit=1, hard_limit=4)
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            status, body = server.request(
+                "POST", "/v1/satisfiable", {"concept": ">= 12 uses.gasoline"}
+            )
+            assert status == 206
+            assert body["answer"] is None
+            assert body["verdict"] == "unknown"
+            assert "max_nodes=5" in body["reason"]
+            # the contract's second half: the server survives the refusal
+            status, body = server.request("GET", "/v1/health")
+            assert (status, body["status"]) == (200, "ok")
+            # named queries still answer definitively from the hierarchy,
+            # which never consults a budget
+            status, body = server.request(
+                "POST", "/v1/satisfiable", {"concept": "car"}
+            )
+            assert (status, body["answer"]) == (200, True)
+
+    def test_unsatisfiable_instances_degrade_per_individual(self):
+        config = ServeConfig(port=0, node_allowance=5, soft_limit=1, hard_limit=4)
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            status, body = server.request(
+                "POST",
+                "/v1/instances",
+                {
+                    "concept": "<= 1 uses.gasoline",
+                    "abox": {
+                        "concepts": [["herbie", ">= 12 uses.gasoline"]],
+                    },
+                },
+            )
+            assert status == 206
+            assert "herbie" in body["unknown"]
+            assert "max_nodes" in body["unknown"]["herbie"]
+
+
+class TestHotSwap:
+    def test_swap_changes_answers_and_version(self, server):
+        with server.client() as client:
+            status, body = client.request(
+                "POST", "/v1/tbox", {"tbox": "car [= toy"}
+            )
+            assert status == 200
+            assert body["tbox_version"] == 2
+            assert body["retired_version"] == 1
+            status, body = client.request(
+                "POST",
+                "/v1/subsumes",
+                {"general": "motorvehicle", "specific": "car"},
+            )
+            assert (status, body["answer"], body["tbox_version"]) == (200, False, 2)
+            status, body = client.request("GET", "/v1/health")
+            assert body["tbox_version"] == 2
+
+    def test_swap_rejects_unparseable_tbox(self, server):
+        status, _ = server.request("POST", "/v1/tbox", {"tbox": "car [= ("})
+        assert status == 400
+        status, body = server.request("GET", "/v1/health")
+        assert body["tbox_version"] == 1  # still serving the old snapshot
+
+    def test_concurrent_requests_see_exactly_one_version(self, server):
+        """Acceptance: answers racing a hot-swap are version-consistent.
+
+        v1 proves car [= motorvehicle; v2 (``car [= toy``) disproves it.
+        Whatever version each racing request lands on, its answer must
+        match that version — no torn reads across the swap.
+        """
+        results = []
+        errors = []
+        start = threading.Event()
+
+        def prober():
+            with server.client() as client:
+                start.wait()
+                for _ in range(20):
+                    try:
+                        status, body = client.request(
+                            "POST",
+                            "/v1/subsumes",
+                            {"general": "motorvehicle", "specific": "car"},
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(repr(exc))
+                        return
+                    results.append((status, body["tbox_version"], body["answer"]))
+
+        def swapper():
+            start.wait()
+            status, _ = server.request("POST", "/v1/tbox", {"tbox": "car [= toy"})
+            results.append(("swap", status))
+
+        threads = [threading.Thread(target=prober) for _ in range(4)]
+        threads.append(threading.Thread(target=swapper))
+        for thread in threads:
+            thread.start()
+        start.set()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        probes = [r for r in results if r[0] != "swap"]
+        assert ("swap", 200) in results
+        assert len(probes) == 80
+        versions = {version for _, version, _ in probes}
+        assert versions <= {1, 2}
+        for status, version, answer in probes:
+            assert status == 200
+            # the answer must agree with the version that produced it
+            assert answer is (version == 1)
+        # the swap retires v1: once drained, its caches are gone and v2 serves
+        status, body = server.request("GET", "/v1/health")
+        assert (status, body["tbox_version"]) == (200, 2)
+
+    def test_snapshots_are_released_after_swap(self, server):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            server.request("POST", "/v1/tbox", {"tbox": "car [= toy"})
+            server.request(
+                "POST",
+                "/v1/subsumes",
+                {"general": "toy", "specific": "car"},
+            )
+        assert recorder.counters["serve.tbox_swaps"] == 1
+        assert recorder.counters["serve.snapshots_retired"] == 1
+        assert recorder.counters["serve.snapshots_released"] == 1
+
+
+class TestClosedLoop:
+    def test_closed_loop_smoke(self, server):
+        requests = [
+            ("POST", "/v1/subsumes", {"general": "motorvehicle", "specific": "car"}),
+            ("POST", "/v1/satisfiable", {"concept": "pickup"}),
+        ] * 10
+        report = closed_loop(server, requests, concurrency=4)
+        assert not report.errors
+        assert report.requests == 20
+        assert report.status_counts == {200: 20}
+        assert report.percentile(0.99) >= report.percentile(0.50) > 0
+        assert report.throughput_rps() > 0

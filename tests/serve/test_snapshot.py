@@ -1,0 +1,170 @@
+"""Snapshot lifecycle: refcounts, hot-swap, and cache reclamation.
+
+The cache-reclamation tests encode this PR's leak-fix acceptance: a
+retired snapshot's sat/subsumption/hierarchy caches must be dropped the
+moment its last in-flight request releases it — not at interpreter
+shutdown, not at the next GC cycle.
+"""
+
+import pytest
+
+from repro.dl import Atomic, Reasoner, parse_tbox
+from repro.obs import Recorder, use_recorder
+from repro.robust import faults
+from repro.serve.snapshot import Snapshot, SnapshotError, SnapshotManager
+
+
+@pytest.fixture(autouse=True)
+def quiet_faults():
+    with faults.suspended():
+        yield
+
+
+def vehicles():
+    return parse_tbox(
+        """
+        car [= motorvehicle & some size.small
+        pickup [= motorvehicle & some size.big
+        motorvehicle [= some uses.gasoline
+        """
+    )
+
+
+class TestReasonerRelease:
+    def test_release_drops_every_cache(self):
+        reasoner = Reasoner(vehicles())
+        reasoner.subsumes(Atomic("motorvehicle"), Atomic("car"))
+        reasoner.is_satisfiable(Atomic("car"))
+        reasoner.classify()
+        stats = reasoner.cache_stats()
+        assert stats["sat"] > 0 and stats["subs"] > 0 and stats["hierarchy"] > 0
+        reasoner.release()
+        assert reasoner.cache_stats() == {"sat": 0, "subs": 0, "hierarchy": 0}
+
+    def test_release_keeps_reasoner_usable(self):
+        reasoner = Reasoner(vehicles())
+        assert reasoner.subsumes(Atomic("motorvehicle"), Atomic("car"))
+        reasoner.release()
+        assert reasoner.subsumes(Atomic("motorvehicle"), Atomic("car"))
+
+    def test_release_is_counted(self):
+        recorder = Recorder()
+        reasoner = Reasoner(vehicles())
+        with use_recorder(recorder):
+            reasoner.release()
+        assert recorder.counters["reasoner.releases"] == 1
+
+
+class TestSnapshotRefcount:
+    def test_acquire_release_cycle(self):
+        snapshot = Snapshot(vehicles(), 1).prepare()
+        snapshot.acquire()
+        snapshot.acquire()
+        assert snapshot.refs == 2
+        snapshot.release()
+        snapshot.release()
+        assert snapshot.refs == 0
+        assert not snapshot.released  # never retired: caches stay hot
+
+    def test_over_release_raises(self):
+        snapshot = Snapshot(vehicles(), 1).prepare()
+        with pytest.raises(SnapshotError):
+            snapshot.release()
+
+    def test_retire_with_no_refs_drops_caches_immediately(self):
+        snapshot = Snapshot(vehicles(), 1).prepare()
+        assert snapshot.reasoner.cache_stats()["hierarchy"] > 0
+        snapshot.retire()
+        assert snapshot.released
+        assert snapshot.hierarchy is None
+        assert snapshot.reasoner.cache_stats() == {
+            "sat": 0, "subs": 0, "hierarchy": 0,
+        }
+
+    def test_retired_snapshot_waits_for_last_inflight_request(self):
+        """The leak-fix acceptance test: caches drop at the LAST release."""
+        snapshot = Snapshot(vehicles(), 1).prepare()
+        snapshot.acquire()
+        snapshot.acquire()
+        # populate per-request caches beyond the pre-classification
+        snapshot.reasoner.subsumes(Atomic("motorvehicle"), Atomic("pickup"))
+        snapshot.retire()
+        assert snapshot.retired and not snapshot.released
+        # still serving: caches must remain available to in-flight work
+        assert snapshot.reasoner.cache_stats()["subs"] > 0
+        snapshot.release()
+        assert not snapshot.released  # one request still holds it
+        assert snapshot.reasoner.cache_stats()["subs"] > 0
+        snapshot.release()
+        assert snapshot.released
+        assert snapshot.reasoner.cache_stats() == {
+            "sat": 0, "subs": 0, "hierarchy": 0,
+        }
+
+    def test_acquire_after_full_release_raises(self):
+        snapshot = Snapshot(vehicles(), 1).prepare()
+        snapshot.retire()
+        with pytest.raises(SnapshotError):
+            snapshot.acquire()
+
+    def test_release_counters(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            snapshot = Snapshot(vehicles(), 1).prepare()
+            snapshot.acquire()
+            snapshot.retire()
+            assert "serve.snapshots_released" not in recorder.counters
+            snapshot.release()
+        assert recorder.counters["serve.snapshots_retired"] == 1
+        assert recorder.counters["serve.snapshots_released"] == 1
+
+
+class TestSnapshotManager:
+    def test_boot_snapshot_is_preclassified(self):
+        manager = SnapshotManager(vehicles())
+        assert manager.version == 1
+        assert manager.current.hierarchy is not None
+        assert manager.current.hierarchy.complete
+
+    def test_swap_retires_old_and_bumps_version(self):
+        manager = SnapshotManager(vehicles())
+        old = manager.current
+        manager.load_and_swap(parse_tbox("dog [= animal"))
+        assert manager.version == 2
+        assert old.retired and old.released
+        assert manager.current.hierarchy is not None
+        assert "dog" in manager.current.tbox.atomic_names()
+
+    def test_swap_waits_for_inflight_acquisitions(self):
+        manager = SnapshotManager(vehicles())
+        held = manager.acquire()
+        manager.load_and_swap(parse_tbox("dog [= animal"))
+        assert held.retired and not held.released
+        # the in-flight request still answers from the old version
+        assert held.hierarchy is not None
+        assert held.hierarchy.is_subsumed_by("car", "motorvehicle")
+        held.release()
+        assert held.released and held.hierarchy is None
+
+    def test_unprepared_swap_rejected(self):
+        manager = SnapshotManager(vehicles())
+        bare = Snapshot(parse_tbox("dog [= animal"), 2)
+        with pytest.raises(SnapshotError):
+            manager.swap(bare)
+
+    def test_stale_swap_rejected(self):
+        manager = SnapshotManager(vehicles())
+        first = manager.prepare(parse_tbox("dog [= animal"))
+        second = manager.prepare(parse_tbox("cat [= animal"))
+        manager.swap(second)
+        with pytest.raises(SnapshotError):
+            manager.swap(first)
+
+    def test_swap_persists_tbox_text_crash_safely(self, tmp_path):
+        store = tmp_path / "active.tbox"
+        manager = SnapshotManager(vehicles(), store_path=store)
+        manager.load_and_swap(parse_tbox("dog [= animal"))
+        text = store.read_text(encoding="utf-8")
+        assert "dog" in text and "animal" in text
+        # the persisted text round-trips through the parser
+        assert "dog" in parse_tbox(text).atomic_names()

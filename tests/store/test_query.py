@@ -1,0 +1,141 @@
+"""Focused coverage for :mod:`repro.store.query`.
+
+Complements ``test_triples_query.py`` (which exercises the store/query
+happy paths) with the edge matrix this PR's checklist calls out: filter
+combinations, empty-result paths, and malformed patterns/orders.
+"""
+
+import pytest
+
+from repro.obs import Recorder, use_recorder
+from repro.store import Pattern, Query, StoreError, TripleStore, Var, match
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+def garage():
+    store = TripleStore()
+    store.add("herbie", "type", "car")
+    store.add("rex", "type", "pickup")
+    store.add("bessie", "type", "pickup")
+    store.add("herbie", "uses", "gasoline")
+    store.add("rex", "uses", "diesel")
+    store.add("bessie", "uses", "diesel")
+    store.add("herbie", "year", 1963)
+    store.add("rex", "year", 1979)
+    return store
+
+
+class TestFilterCombinations:
+    def test_two_filters_conjoin(self):
+        rows = Query(
+            [Pattern(X, "type", Y)],
+            select=[X],
+            filters=[
+                lambda b: b[Y] == "pickup",
+                lambda b: b[X] != "rex",
+            ],
+        ).run(garage())
+        assert rows == [("bessie",)]
+
+    def test_filter_across_joined_variables(self):
+        rows = Query(
+            [Pattern(X, "type", Y), Pattern(X, "uses", Z)],
+            select=[X],
+            filters=[lambda b: (b[Y], b[Z]) == ("pickup", "diesel")],
+        ).run(garage())
+        assert rows == [("bessie",), ("rex",)]
+
+    def test_filter_on_non_string_values(self):
+        rows = Query(
+            [Pattern(X, "year", Y)],
+            select=[X],
+            filters=[lambda b: b[Y] < 1970],
+        ).run(garage())
+        assert rows == [("herbie",)]
+
+    def test_filters_see_complete_bindings_only(self):
+        seen = []
+
+        def spy(bindings):
+            seen.append(set(bindings))
+            return True
+
+        Query(
+            [Pattern(X, "type", Y), Pattern(X, "uses", Z)], filters=[spy]
+        ).run(garage())
+        assert seen and all(keys == {X, Y, Z} for keys in seen)
+
+
+class TestEmptyResults:
+    def test_no_matching_triples(self):
+        assert Query([Pattern(X, "type", "submarine")]).run(garage()) == []
+
+    def test_empty_store(self):
+        assert Query([Pattern(X, Y, Z)]).run(TripleStore()) == []
+
+    def test_filter_rejects_everything(self):
+        rows = Query(
+            [Pattern(X, "type", Y)], filters=[lambda b: False]
+        ).run(garage())
+        assert rows == []
+
+    def test_inconsistent_shared_variable(self):
+        # no x has type "car" AND uses "diesel"
+        rows = Query(
+            [Pattern(X, "type", "car"), Pattern(X, "uses", "diesel")]
+        ).run(garage())
+        assert rows == []
+
+    def test_no_solutions_counter_stays_zero(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            list(match(garage(), [Pattern(X, "type", "submarine")]))
+        assert recorder.counters["store.query.joins"] == 1
+        assert "store.query.solutions" not in recorder.counters
+
+
+class TestMalformedQueries:
+    def test_unknown_join_order_raises(self):
+        with pytest.raises(StoreError) as info:
+            list(match(garage(), [Pattern(X, "type", Y)], order="sideways"))
+        assert "sideways" in str(info.value)
+
+    def test_query_ctor_rejects_unknown_order_at_run(self):
+        query = Query([Pattern(X, "type", Y)], order="sideways")
+        with pytest.raises(StoreError):
+            query.run(garage())
+
+    def test_projection_of_unused_variable_raises(self):
+        with pytest.raises(StoreError) as info:
+            Query([Pattern(X, "type", "car")], select=[X, Z])
+        assert "?z" in str(info.value)
+
+    def test_fully_concrete_pattern_is_a_membership_test(self):
+        rows = list(match(garage(), [Pattern("herbie", "type", "car")]))
+        assert rows == [{}]
+        assert list(match(garage(), [Pattern("herbie", "type", "boat")])) == []
+
+
+class TestJoinOrders:
+    @pytest.mark.parametrize("order", ["selectivity", "most-bound", "static"])
+    def test_all_orders_agree(self, order):
+        rows = Query(
+            [Pattern(X, "type", Y), Pattern(X, "uses", Z)], order=order
+        ).run(garage())
+        assert rows == [
+            ("bessie", "pickup", "diesel"),
+            ("herbie", "car", "gasoline"),
+            ("rex", "pickup", "diesel"),
+        ]
+
+    def test_order_choice_is_recorded(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            Query([Pattern(X, "type", Y)], order="static").run(garage())
+        assert recorder.counters["store.query.order.static"] == 1
+
+    def test_run_deduplicates_projection(self):
+        # two pickups project onto the same ("pickup",) row
+        rows = Query([Pattern(X, "type", Y)], select=[Y]).run(garage())
+        assert rows == [("car",), ("pickup",)]
