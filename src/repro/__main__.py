@@ -3,14 +3,14 @@
 Usage::
 
     python -m repro critique ONTONOMY.tbox [--contrast OTHER.tbox] [--regress TERM] [--stats]
-    python -m repro classify ONTONOMY.tbox [--budget-nodes N] [--budget-ms MS] [--escalate] [--stats]
+    python -m repro classify ONTONOMY.tbox [--budget-nodes N] [--budget-ms MS] [--escalate] [--stats] [--profile] [--incremental-from STORE]
     python -m repro check ONTONOMY.tbox
     python -m repro bench [--out DIR] [--only B1 ...]
     python -m repro serve [--tbox FILE] [--port N] [--batch-window-ms MS] ...
 
 ``critique`` runs the full three-part analysis and prints the report;
 ``classify`` prints the inferred hierarchy; ``check`` reports coherence
-and unsatisfiable names; ``bench`` runs the instrumented B1–B7 substrate
+and unsatisfiable names; ``bench`` runs the instrumented B1–B8 substrate
 benches and writes one ``BENCH_<id>.json`` snapshot each; ``serve``
 starts the long-lived batched reasoning service (:mod:`repro.serve`).
 ``--stats`` prints the observability counter snapshot (see
@@ -74,8 +74,8 @@ def _load(path: str):
 
 
 def _recording(args: argparse.Namespace):
-    """A (context manager, recorder) pair honoring ``--stats``."""
-    if getattr(args, "stats", False):
+    """A (context manager, recorder) pair honoring ``--stats``/``--profile``."""
+    if getattr(args, "stats", False) or getattr(args, "profile", False):
         recorder = Recorder()
         return use_recorder(recorder), recorder
     return nullcontext(), None
@@ -86,6 +86,22 @@ def _print_stats(recorder: Recorder | None) -> None:
         print()
         print("observability snapshot:")
         print(recorder.to_json())
+
+
+def _print_profile(recorder: Recorder | None, top: int = 10) -> None:
+    """The top-``top`` timers by total time, as a flat profile table."""
+    if recorder is None:
+        return
+    timers = recorder.snapshot()["timers"]
+    ranked = sorted(timers.items(), key=lambda kv: kv[1]["total"], reverse=True)
+    print()
+    print(f"profile (top {min(top, len(ranked))} timers by total time):")
+    print(f"  {'timer':<40} {'calls':>8} {'total s':>10} {'mean ms':>10}")
+    for name, cell in ranked[:top]:
+        print(
+            f"  {name:<40} {cell['count']:>8} {cell['total']:>10.4f} "
+            f"{cell['mean'] * 1000:>10.3f}"
+        )
 
 
 def _cmd_critique(args: argparse.Namespace) -> int:
@@ -112,9 +128,39 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     budget = None
     if args.budget_nodes is not None or args.budget_ms is not None:
         budget = Budget(max_nodes=args.budget_nodes, max_ms=args.budget_ms)
+    if args.incremental_from and args.algorithm != "enhanced":
+        print("--incremental-from requires --algorithm enhanced", file=sys.stderr)
+        return EXIT_USAGE
     context, recorder = _recording(args)
     with context:
-        if budget is None:
+        if args.incremental_from:
+            # classify the predecessor store, then pay only the delta
+            old_hierarchy = Reasoner(_load(args.incremental_from)).classify()
+            reasoner = Reasoner(tbox)
+            result = reasoner.reclassify(old_hierarchy, budget=budget)
+            hierarchy = result.hierarchy
+            rounds = 0
+            while (
+                args.escalate
+                and budget is not None
+                and hierarchy.incomplete
+                and rounds < DEFAULT_MAX_ROUNDS
+            ):
+                rounds += 1
+                budget = budget.escalated()
+                result = reasoner.reclassify(old_hierarchy, budget=budget)
+                hierarchy = result.hierarchy
+            summary = (
+                f"reclassified {Path(args.tbox).name} from "
+                f"{Path(args.incremental_from).name}: mode={result.mode}, "
+                f"affected={len(result.affected)}, "
+                f"reused_edges={result.reused_edges}, "
+                f"cache_carryover={result.cache_carryover}"
+            )
+            if result.fallback_reason:
+                summary += f" ({result.fallback_reason})"
+            print(summary, file=sys.stderr)
+        elif budget is None:
             hierarchy = classify(tbox, algorithm=args.algorithm)
         else:
             # one reasoner across escalation rounds: definite answers are
@@ -139,7 +185,10 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         )
         for specific, general in sorted(hierarchy.incomplete):
             print(f"  {specific} ⊑ {general} ?", file=sys.stderr)
-    _print_stats(recorder)
+    if getattr(args, "profile", False):
+        _print_profile(recorder)
+    if getattr(args, "stats", False):
+        _print_stats(recorder)
     return EXIT_PARTIAL if hierarchy.incomplete else EXIT_OK
 
 
@@ -186,6 +235,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         node_allowance=args.node_allowance,
         ms_allowance=args.ms_allowance,
         tbox_store=args.tbox_store,
+        incremental_swap=not args.no_incremental_swap,
+        incremental_threshold=args.incremental_threshold,
     )
     # a serving process always records: /v1/metrics is part of the API
     set_recorder(Recorder())
@@ -271,9 +322,21 @@ def build_parser() -> argparse.ArgumentParser:
         f"escalated budgets (up to {DEFAULT_MAX_ROUNDS} rounds)",
     )
     p_classify.add_argument(
+        "--incremental-from",
+        metavar="STORE",
+        help="predecessor TBox file: classify it, then reclassify TBOX "
+        "incrementally from the delta (see README 'Incremental "
+        "reclassification'); requires the enhanced algorithm",
+    )
+    p_classify.add_argument(
         "--stats",
         action="store_true",
         help="print the obs counter snapshot after the hierarchy",
+    )
+    p_classify.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the top-10 obs timers by total time after the hierarchy",
     )
     p_classify.set_defaults(func=_cmd_classify)
 
@@ -291,7 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         action="append",
         metavar="ID",
-        choices=["B1", "B2", "B3", "B4", "B5", "B6", "B7"],
+        choices=["B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8"],
         help="run only this bench (repeatable)",
     )
     p_bench.set_defaults(func=_cmd_bench)
@@ -355,6 +418,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--tbox-store",
         metavar="PATH",
         help="persist hot-swapped TBoxes crash-safely to this file",
+    )
+    p_serve.add_argument(
+        "--no-incremental-swap",
+        action="store_true",
+        help="always fully re-classify on POST /v1/tbox instead of "
+        "reclassifying incrementally from the serving snapshot",
+    )
+    p_serve.add_argument(
+        "--incremental-threshold",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="fall back to full classification when more than this "
+        "fraction of concepts is affected by a swap (default: 0.5)",
     )
     p_serve.set_defaults(func=_cmd_serve)
     return parser

@@ -1,25 +1,33 @@
-"""Instrumented B1–B7 substrate benches with a JSON snapshot per bench.
+"""Instrumented B1–B8 substrate benches with a JSON snapshot per bench.
 
 Each bench runs a fixed, seeded workload under a fresh
 :class:`repro.obs.Recorder` and produces one record::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "bench": "B1",
       "description": "...",
       "params": {...},            # the workload's knobs, for reproduction
       "wall_time_s": 0.41,
       "counters": {...},          # repro.obs counter snapshot
       "timers": {...},            # {name: {count, total, min, max, mean}}
-      "histograms": {...}
+      "histograms": {...}         # same summary + p50/p99 quantiles
     }
 
-``run_suite`` writes ``BENCH_B1.json`` … ``BENCH_B7.json`` — the perf
+Schema v2: measurement *distributions* (request latencies, batch sizes,
+per-swap costs) live in ``histograms`` — with p50/p99 from the recorder's
+sample rings — instead of being stashed under ``params``; ``params``
+holds only the workload's reproduction knobs and scalar summaries.
+
+``run_suite`` writes ``BENCH_B1.json`` … ``BENCH_B8.json`` — the perf
 trajectory later PRs are compared against.  Counters are deterministic
 for the seeded inputs (two runs differ only in ``wall_time_s`` and timer
 values); the test suite asserts exactly that, so any nondeterminism
 introduced into a hot path is caught here.  The one exception is B7,
 which measures a live server (see :class:`BenchSpec.deterministic`).
+B8's default edit-stream scale is controlled by ``REPRO_B8_SCALE``
+(``tiny`` / ``small`` / ``full``) so CI smoke runs stay cheap while the
+committed record measures the full stream.
 
 The pytest benches under ``benchmarks/`` still measure *time* with
 pytest-benchmark statistics; this harness complements them with *work*
@@ -38,7 +46,7 @@ from typing import Any, Callable, Iterable, Optional
 from ..obs import Recorder, use_recorder
 from ..robust import faults as _faults
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: keys every BENCH_*.json record must carry, with their types
 RECORD_SCHEMA: dict[str, type] = {
@@ -413,16 +421,20 @@ def _b7_serve() -> dict[str, Any]:
         boot_tests, served_tests, one_shot_tests,
     )
 
-    # fold the serve-side counters into the bench record, plus the
-    # comparison summary (latency/batch distributions land in params —
-    # they are measurements, not work counts)
+    # fold the whole serve-side recorder — counters, timers, and the
+    # batch-size histogram with its sample ring — into the bench record
+    # (schema v2: distributions land in "histograms", not "params"),
+    # and route the client-observed latencies in as a histogram too
     recorder = get_recorder()
-    for name, value in served.counters.items():
-        recorder.incr(name, value)
+    recorder.merge(served)
+    for latency in report.latencies_ms:
+        recorder.observe("serve.request_latency_ms", latency)
     recorder.incr("bench.b7.one_shot_tableau_tests", one_shot_tests)
     recorder.incr("bench.b7.boot_tableau_tests", boot_tests)
     recorder.incr("bench.b7.served_tableau_tests", served_tests)
-    batch_size = metrics["metrics"]["histograms"].get("serve.batch_size", {})
+    assert metrics["metrics"]["histograms"].get("serve.batch_size", {}).get(
+        "count", 0
+    ) > 0, "server recorded no batch sizes"
     return {
         "requests": n_requests,
         "concurrency": concurrency,
@@ -435,12 +447,131 @@ def _b7_serve() -> dict[str, Any]:
         "served_tableau_tests": served_tests,
         "tableau_test_reduction": one_shot_tests / max(1, served_tests),
         "throughput_rps": report.throughput_rps(),
-        "latency_ms": {
-            "p50": report.percentile(0.50),
-            "p99": report.percentile(0.99),
-            "max": max(report.latencies_ms),
+    }
+
+
+#: B8 edit-stream scales: (n_defined, n_primitive, edits, full-baseline
+#: sampling stride, acceptance floor on the tableau-test reduction).
+#: ``tiny`` is the CI smoke scale — a ~30-name TBox leaves little room
+#: between a few affected names and the whole vocabulary, so it only has
+#: to beat 2× — ``small`` keeps the test suite fast, ``full`` is what
+#: the committed BENCH_B8.json measures (a ~200-name TBox, 50 edits, ≥5×).
+B8_SCALES: dict[str, tuple[int, int, int, int, int]] = {
+    "tiny": (20, 8, 4, 2, 2),
+    "small": (40, 12, 10, 3, 5),
+    "full": (150, 50, 50, 10, 5),
+}
+
+
+def _b8_incremental() -> dict[str, Any]:
+    """Incremental vs full reclassification over a stream of TBox edits.
+
+    One seeded TBox evolves through a chain of random definitorial edits
+    (:func:`repro.corpora.generators.random_tbox_edit`).  Every edit is
+    absorbed by the delta-driven incremental path
+    (:func:`repro.dl.incremental.reclassify`); every Nth edit the same
+    successor TBox is *also* classified from scratch as the baseline, and
+    the two hierarchies are asserted identical (the correctness oracle).
+
+    The acceptance invariant (asserted here and re-checked from the
+    committed record): the incremental path pays **≥ 5×** fewer tableau
+    tests per swap than full classification.  Per-swap distributions land
+    in the ``histograms`` section (``bench.b8.incremental_swap_ms``,
+    ``bench.b8.tableau_tests_per_swap``, ``bench.b8.full_swap_ms``).
+    """
+    import os
+    import random as _random
+
+    from ..corpora.generators import random_tbox, random_tbox_edit
+    from ..dl import ConceptHierarchy, Reasoner
+    from ..obs import Recorder, get_recorder, use_recorder
+
+    scale = os.environ.get("REPRO_B8_SCALE", "small")
+    if scale not in B8_SCALES:
+        raise ValueError(
+            f"REPRO_B8_SCALE={scale!r}; expected one of {sorted(B8_SCALES)}"
+        )
+    n_defined, n_primitive, n_edits, sample_every, min_reduction = B8_SCALES[scale]
+
+    recorder = get_recorder()
+    tbox = random_tbox(0, n_defined=n_defined, n_primitive=n_primitive, n_roles=3)
+    boot = Recorder()
+    with use_recorder(boot):
+        hierarchy = Reasoner(tbox).classify()
+    recorder.merge(boot)
+    boot_tests = boot.counters.get("tableau.solve_calls", 0)
+
+    rng = _random.Random(1234)
+    incremental_tests = full_tests = 0
+    incremental_modes: dict[str, int] = {}
+    full_samples = 0
+    for edit in range(n_edits):
+        successor = random_tbox_edit(rng, tbox)
+
+        swap = Recorder()
+        t0 = time.perf_counter()
+        with use_recorder(swap):
+            result = Reasoner(successor).reclassify(hierarchy)
+        swap_ms = (time.perf_counter() - t0) * 1000.0
+        recorder.merge(swap)
+        tests = swap.counters.get("tableau.solve_calls", 0)
+        incremental_tests += tests
+        incremental_modes[result.mode] = incremental_modes.get(result.mode, 0) + 1
+        recorder.observe("bench.b8.incremental_swap_ms", swap_ms)
+        recorder.observe("bench.b8.tableau_tests_per_swap", tests)
+
+        if edit % sample_every == 0:
+            baseline = Recorder()
+            t0 = time.perf_counter()
+            with use_recorder(baseline):
+                full_hierarchy = ConceptHierarchy(successor)
+            full_ms = (time.perf_counter() - t0) * 1000.0
+            full_tests += baseline.counters.get("tableau.solve_calls", 0)
+            full_samples += 1
+            recorder.observe("bench.b8.full_swap_ms", full_ms)
+            # the correctness oracle: the incremental hierarchy IS the
+            # full hierarchy, group for group and edge for edge
+            assert result.hierarchy.groups() == full_hierarchy.groups()
+            for group in full_hierarchy.groups():
+                rep = sorted(group)[0]
+                assert result.hierarchy.parents(rep) == full_hierarchy.parents(rep)
+
+        tbox, hierarchy = successor, result.hierarchy
+
+    mean_incremental = incremental_tests / n_edits
+    mean_full = full_tests / max(1, full_samples)
+    recorder.incr("bench.b8.edits", n_edits)
+    recorder.incr("bench.b8.boot_tableau_tests", boot_tests)
+    recorder.incr("bench.b8.incremental_tableau_tests", incremental_tests)
+    recorder.incr("bench.b8.full_tableau_tests", full_tests)
+    recorder.incr("bench.b8.full_baseline_samples", full_samples)
+    # the acceptance criterion: per swap, the incremental path pays >= 5x
+    # fewer tableau tests than classifying the successor from scratch
+    # (relaxed to the scale's floor at the tiny CI-smoke size)
+    assert mean_incremental * min_reduction <= mean_full, (
+        mean_incremental,
+        mean_full,
+        min_reduction,
+    )
+    return {
+        "scale": scale,
+        "tbox": {
+            "seed": 0,
+            "n_defined": n_defined,
+            "n_primitive": n_primitive,
+            "n_roles": 3,
         },
-        "batch_size": batch_size,
+        "edit_seed": 1234,
+        "edits": n_edits,
+        "full_baseline_every": sample_every,
+        "full_baseline_samples": full_samples,
+        "boot_tableau_tests": boot_tests,
+        "incremental_modes": incremental_modes,
+        "mean_tableau_tests_per_swap": {
+            "incremental": mean_incremental,
+            "full": mean_full,
+        },
+        "tableau_test_reduction": mean_full / max(1.0, mean_incremental),
     }
 
 
@@ -465,6 +596,11 @@ BENCHES: dict[str, BenchSpec] = {
         _b7_serve,
         deterministic=False,
     ),
+    "B8": BenchSpec(
+        "B8",
+        "incremental vs full reclassification over a TBox edit stream",
+        _b8_incremental,
+    ),
 }
 
 
@@ -480,10 +616,15 @@ def run_bench(bench_id: str) -> dict[str, Any]:
         raise KeyError(
             f"unknown bench {bench_id!r}; expected one of {sorted(BENCHES)}"
         )
+    from ..dl.nnf import nnf_cache_clear
+
     recorder = Recorder()
     t0 = time.perf_counter()
     # benches measure real work, not injected faults, and their counters
-    # must stay deterministic even under REPRO_FAULTS
+    # must stay deterministic even under REPRO_FAULTS; the process-global
+    # NNF interning cache is reset so nnf.cache_hits is run-order
+    # independent
+    nnf_cache_clear()
     with use_recorder(recorder), _faults.suspended():
         params = spec.workload()
     wall = time.perf_counter() - t0

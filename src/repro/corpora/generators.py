@@ -58,6 +58,69 @@ def random_tbox(
     return TBox(axioms)
 
 
+def random_tbox_edit(rng: random.Random, tbox: TBox) -> TBox:
+    """One random definitorial edit of ``tbox`` (for evolution workloads).
+
+    Redefines an existing defined name (p=0.6), adds a fresh definition
+    (p=0.25), or removes one (p=0.15) — the swap stream bench B8 and the
+    incremental-reclassification property tests replay chains of these.
+    Acyclicity is preserved exactly: an atomic conjunct ``B`` is only
+    allowed in the new definition of ``A`` when ``A`` is not reachable
+    from ``B`` in the current dependency graph.  Deterministic given the
+    caller's ``rng`` state.
+    """
+    axioms = list(tbox.axioms)
+    defined = [
+        ax
+        for ax in axioms
+        if isinstance(ax, Subsumption) and isinstance(ax.lhs, Atomic)
+    ]
+    lhs_names = {ax.lhs.name for ax in defined}
+    primitive = sorted(tbox.atomic_names() - lhs_names)
+    roles = sorted(tbox.role_names()) or ["r0"]
+
+    def new_definition(name: str, parent_pool: list[str]) -> Subsumption:
+        conjuncts = []
+        for _ in range(rng.randint(2, 4)):
+            kind = rng.random()
+            if kind < 0.4 and parent_pool:
+                conjuncts.append(Atomic(rng.choice(parent_pool)))
+            elif kind < 0.8 and primitive:
+                conjuncts.append(some(rng.choice(roles), Atomic(rng.choice(primitive))))
+            elif primitive:
+                conjuncts.append(
+                    at_least(
+                        rng.randint(2, 4),
+                        rng.choice(roles),
+                        Atomic(rng.choice(primitive)),
+                    )
+                )
+        if not conjuncts:
+            conjuncts.append(Atomic(rng.choice(primitive or sorted(lhs_names))))
+        return Subsumption(Atomic(name), And.of(conjuncts))
+
+    kind = rng.random()
+    if kind < 0.6 and defined:  # redefine
+        from ..dl.defgraph import dependents_of
+
+        victim = defined[rng.randrange(len(defined))]
+        name = victim.lhs.name
+        # a parent must not already reach the redefined name (its
+        # ancestors = dependents_of); otherwise the new edge closes a cycle
+        pool = sorted(lhs_names - dependents_of({name}, tbox))
+        replacement = new_definition(name, pool)
+        return TBox([replacement if ax is victim else ax for ax in axioms])
+    if kind < 0.85 or not defined:  # add a fresh defined name
+        index = 0
+        names = tbox.atomic_names()
+        while f"C{index}" in names or f"C{index}" in lhs_names:
+            index += 1
+        # nothing references a fresh name, so any parent pool is acyclic
+        return TBox([*axioms, new_definition(f"C{index}", sorted(lhs_names))])
+    victim = defined[rng.randrange(len(defined))]  # remove
+    return TBox([ax for ax in axioms if ax is not victim])
+
+
 def random_field(seed: int, *, n_points: int = 6) -> SemanticField:
     """A random semantic field with ``n_points`` situations."""
     rng = random.Random(seed)

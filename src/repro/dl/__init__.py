@@ -9,18 +9,26 @@ from .bisimulation import (
     bisimulation_classes,
     is_alc_concept,
 )
-from .diff import TBoxDiff, tbox_diff
+from .diff import AxiomDelta, TBoxDiff, axiom_diff, tbox_diff
 from .defgraph import (
     DefGraphError,
     anonymized_meaning,
     definition_graph,
+    dependents_of,
     graph_roles,
     meaning_isomorphic,
     meanings_identical,
     rename_roles,
     structural_meaning,
 )
-from .hierarchy import BOTTOM_NAME, TOP_NAME, ConceptHierarchy, classify
+from .hierarchy import (
+    BOTTOM_NAME,
+    TOP_NAME,
+    ConceptHierarchy,
+    HierarchySeed,
+    classify,
+)
+from .incremental import ReclassifyResult, reclassify
 from .interpretation import Interpretation
 from .nnf import is_nnf, negate, to_nnf
 from .parser import ParseError, parse_axiom, parse_concept, parse_tbox
@@ -57,8 +65,9 @@ __all__ = [
     "ABox", "ConceptAssertion", "RoleAssertion", "Assertion",
     "Tableau", "Reasoner", "ReasonerError", "Interpretation",
     "are_bisimilar", "bisimulation_classes", "is_alc_concept",
-    "tbox_diff", "TBoxDiff",
+    "tbox_diff", "TBoxDiff", "axiom_diff", "AxiomDelta",
     "ConceptHierarchy", "classify", "TOP_NAME", "BOTTOM_NAME",
+    "HierarchySeed", "reclassify", "ReclassifyResult", "dependents_of",
     "parse_concept", "parse_axiom", "parse_tbox", "ParseError",
     "to_text", "tbox_to_text",
     "definition_graph", "structural_meaning", "anonymized_meaning",

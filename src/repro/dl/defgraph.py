@@ -21,7 +21,7 @@ graphs, hence structurally CAR = DOG.
 from __future__ import annotations
 
 import itertools
-from typing import Hashable, Optional
+from typing import Hashable, Iterable, Optional
 
 from ..graphs import DiGraph, find_isomorphism, reachable_from
 from .syntax import (
@@ -114,6 +114,36 @@ def _add_conjunct_edge(graph: DiGraph, source: str, conjunct: Concept) -> None:
     if isinstance(conjunct, (Not, _Bottom, _Top)):
         raise DefGraphError(f"definition graphs do not support conjunct {conjunct}")
     raise DefGraphError(f"unsupported conjunct {conjunct!r}")
+
+
+def dependents_of(names: Iterable[str], *tboxes: TBox) -> frozenset[str]:
+    """All names whose definitions transitively mention one of ``names``.
+
+    Reverse reachability over the union of the TBoxes' name-dependency
+    graphs (:meth:`repro.dl.tbox.TBox.dependency_graph`): the result
+    contains every name from which some seed is reachable, including the
+    seeds themselves when they occur in any of the TBoxes.  This is the
+    change-impact set incremental reclassification re-inserts — a name
+    outside it cannot see an edited definition through any chain of
+    definitional references.
+    """
+    predecessors: dict[str, set[str]] = {}
+    vocabulary: set[str] = set()
+    for tbox in tboxes:
+        graph = tbox.dependency_graph()
+        for node in graph.nodes():
+            vocabulary.add(node)
+            for pred in graph.predecessors(node):
+                predecessors.setdefault(node, set()).add(pred)
+    seen = {name for name in names if name in vocabulary}
+    stack = list(seen)
+    while stack:
+        node = stack.pop()
+        for pred in predecessors.get(node, ()):
+            if pred not in seen:
+                seen.add(pred)
+                stack.append(pred)
+    return frozenset(seen)
 
 
 def structural_meaning(tbox: TBox, name: str) -> DiGraph:

@@ -1,8 +1,12 @@
-"""Semantic diffing of TBoxes.
+"""Diffing of TBoxes, syntactic and semantic.
 
 When an ontonomy is revised — the paper's repair (9)–(11), or any
-downstream edit — the interesting question is not which axiom lines
-changed but which *entailments* did.  ``tbox_diff`` classifies, for the
+downstream edit — two deltas matter at two different price points.
+``axiom_diff`` is the cheap syntactic one: which axioms were added or
+removed, which names gained or lost a definition, whether any general
+(non-definitorial) axiom moved.  It costs one set comparison and is the
+input that drives :mod:`repro.dl.incremental` reclassification.
+``tbox_diff`` is the expensive semantic one: it classifies, for the
 shared atomic names, every subsumption pair as kept, gained, or lost,
 and reports vocabulary changes separately.
 """
@@ -13,7 +17,78 @@ from dataclasses import dataclass
 
 from .reasoner import Reasoner
 from .syntax import Atomic
-from .tbox import TBox
+from .tbox import Axiom, Equivalence, TBox
+
+
+@dataclass(frozen=True)
+class AxiomDelta:
+    """The syntactic delta between two TBoxes, at axiom granularity.
+
+    ``changed_names`` are the atomic names whose *own definition* moved:
+    the left-hand sides of added/removed definitorial axioms (both sides
+    for an atomic-atomic equivalence).  ``general_changed`` flags any
+    added/removed axiom that is not definitorial — a non-atomic
+    left-hand side, or an equivalence whose reverse half is a general
+    GCI — after which no locality argument holds and incremental
+    reclassification must fall back to a full run.
+    """
+
+    added: frozenset[Axiom]
+    removed: frozenset[Axiom]
+    names_added: frozenset[str]
+    names_removed: frozenset[str]
+    changed_names: frozenset[str]
+    general_changed: bool
+
+    @property
+    def unchanged(self) -> bool:
+        return not self.added and not self.removed
+
+    def summary(self) -> str:
+        parts = []
+        for label, axioms in (("+", self.added), ("-", self.removed)):
+            for axiom in sorted(axioms, key=str):
+                parts.append(f"{label} {axiom}")
+        return "; ".join(parts) if parts else "no syntactic change"
+
+
+def axiom_diff(before: TBox, after: TBox) -> AxiomDelta:
+    """The syntactic axiom-level delta from ``before`` to ``after``.
+
+    A TBox diffed against itself (or any axiom-identical copy) yields an
+    empty delta.  Duplicated axioms are compared as a set: adding a
+    second copy of an existing axiom is no change.
+    """
+    old_axioms = frozenset(before.axioms)
+    new_axioms = frozenset(after.axioms)
+    added = new_axioms - old_axioms
+    removed = old_axioms - new_axioms
+
+    changed: set[str] = set()
+    general_changed = False
+    for axiom in (*added, *removed):
+        if not isinstance(axiom.lhs, Atomic):
+            general_changed = True
+            continue
+        changed.add(axiom.lhs.name)
+        if isinstance(axiom, Equivalence):
+            if isinstance(axiom.rhs, Atomic):
+                # A ≡ B constrains both names symmetrically
+                changed.add(axiom.rhs.name)
+            else:
+                # the reverse half (rhs ⊑ A) is a general GCI
+                general_changed = True
+
+    names_before = before.atomic_names()
+    names_after = after.atomic_names()
+    return AxiomDelta(
+        added=added,
+        removed=removed,
+        names_added=frozenset(names_after - names_before),
+        names_removed=frozenset(names_before - names_after),
+        changed_names=frozenset(changed),
+        general_changed=general_changed,
+    )
 
 
 @dataclass(frozen=True)

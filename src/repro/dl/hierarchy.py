@@ -26,6 +26,8 @@ unsatisfiable names join ⊥'s.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from ..obs import recorder as _obs
 from ..order import Poset
 from ..robust import Budget
@@ -37,6 +39,32 @@ TOP_NAME = "⊤"
 BOTTOM_NAME = "⊥"
 
 _ALGORITHMS = ("enhanced", "brute")
+
+
+@dataclass
+class HierarchySeed:
+    """Pre-positioned structure for incremental (re)classification.
+
+    Produced by :mod:`repro.dl.incremental` from a previously classified
+    hierarchy: the cover DAG, equivalence groups, ⊤-members and
+    unsatisfiable names of the *unaffected* portion, plus the ``insert``
+    list of names to (re)position via enhanced traversal.  Every edge of
+    the seeded DAG is reused verbatim — only inserted names pay tableau
+    tests.  ``parents``/``children`` map group representatives (with
+    :data:`TOP_NAME` and :data:`BOTTOM_NAME` included) to their direct
+    covers, exactly the invariant the insertion algorithm maintains.
+    """
+
+    parents: dict[str, set[str]] = field(
+        default_factory=lambda: {TOP_NAME: set(), BOTTOM_NAME: {TOP_NAME}}
+    )
+    children: dict[str, set[str]] = field(
+        default_factory=lambda: {TOP_NAME: {BOTTOM_NAME}, BOTTOM_NAME: set()}
+    )
+    groups: dict[str, list[str]] = field(default_factory=dict)
+    top_members: list[str] = field(default_factory=list)
+    unsatisfiable: frozenset[str] = frozenset()
+    insert: list[str] = field(default_factory=list)
 
 
 class ConceptHierarchy:
@@ -66,11 +94,17 @@ class ConceptHierarchy:
         use_told_subsumers: bool = True,
         algorithm: str = "enhanced",
         budget: Budget | None = None,
+        seed: HierarchySeed | None = None,
     ) -> None:
         if algorithm not in _ALGORITHMS:
             raise ValueError(
                 f"unknown classification algorithm {algorithm!r}; "
                 f"expected one of {_ALGORITHMS}"
+            )
+        if seed is not None and algorithm != "enhanced":
+            raise ValueError(
+                "incremental (seeded) classification requires the "
+                "enhanced algorithm"
             )
         self.tbox = tbox
         self.reasoner = reasoner or Reasoner(tbox)
@@ -87,10 +121,13 @@ class ConceptHierarchy:
         _obs.incr("hierarchy.classifications")
         told_up = _told_subsumers(tbox) if use_told_subsumers else {}
 
-        if algorithm == "brute":
-            groups, edges, top_members = self._classify_brute(names, told_up)
-        else:
-            groups, edges, top_members = self._classify_enhanced(names, told_up)
+        with _obs.trace(f"hierarchy.classify.{algorithm}"):
+            if algorithm == "brute":
+                groups, edges, top_members = self._classify_brute(names, told_up)
+            else:
+                groups, edges, top_members = self._classify_enhanced(
+                    names, told_up, seed=seed
+                )
 
         # shared finalization: lexicographic-minimum representatives,
         # group_of for every name (⊤-equivalents to ⊤, unsatisfiable to ⊥),
@@ -216,9 +253,18 @@ class ConceptHierarchy:
         return groups, edges, top_members
 
     def _classify_enhanced(
-        self, names: list[str], told_up: dict[str, frozenset[str]]
+        self,
+        names: list[str],
+        told_up: dict[str, frozenset[str]],
+        seed: HierarchySeed | None = None,
     ) -> tuple[dict[str, list[str]], list[tuple[str, str]], list[str]]:
-        """Insertion classification with top/bottom enhanced traversal."""
+        """Insertion classification with top/bottom enhanced traversal.
+
+        With a :class:`HierarchySeed`, the DAG starts from the seed's
+        already-positioned structure and only ``seed.insert`` names are
+        (re)inserted; every seeded edge and group membership is reused
+        without a tableau call.
+        """
         told_down: dict[str, set[str]] = {}
         for name, ups in told_up.items():
             for up in ups:
@@ -226,11 +272,33 @@ class ConceptHierarchy:
                     told_down.setdefault(up, set()).add(name)
 
         # the growing DAG over group nodes, ⊤ at the top, ⊥ at the bottom
-        parents: dict[str, set[str]] = {TOP_NAME: set(), BOTTOM_NAME: {TOP_NAME}}
-        children: dict[str, set[str]] = {TOP_NAME: {BOTTOM_NAME}, BOTTOM_NAME: set()}
-        groups: dict[str, list[str]] = {}
-        node_of: dict[str, str] = {}  # inserted name -> its group's node
-        top_members: list[str] = []
+        if seed is None:
+            parents: dict[str, set[str]] = {TOP_NAME: set(), BOTTOM_NAME: {TOP_NAME}}
+            children: dict[str, set[str]] = {
+                TOP_NAME: {BOTTOM_NAME}, BOTTOM_NAME: set()
+            }
+            groups: dict[str, list[str]] = {}
+            node_of: dict[str, str] = {}  # inserted name -> its group's node
+            top_members: list[str] = []
+            to_insert = names
+        else:
+            parents = {node: set(ps) for node, ps in seed.parents.items()}
+            children = {node: set(cs) for node, cs in seed.children.items()}
+            groups = {rep: list(members) for rep, members in seed.groups.items()}
+            node_of = {}
+            for rep, members in groups.items():
+                for member in members:
+                    node_of[member] = rep
+                    self._satisfiable[member] = True
+            top_members = list(seed.top_members)
+            for member in top_members:
+                node_of[member] = TOP_NAME
+                self._satisfiable[member] = True
+            for name in seed.unsatisfiable:
+                node_of[name] = BOTTOM_NAME
+                self._satisfiable[name] = False
+            insert_set = set(seed.insert)
+            to_insert = [n for n in names if n in insert_set]
 
         def up_closure(seeds: set[str]) -> set[str]:
             out: set[str] = set()
@@ -252,7 +320,7 @@ class ConceptHierarchy:
                     stack.extend(children[node])
             return out
 
-        for name in _insertion_order(names, told_up):
+        for name in _insertion_order(to_insert, told_up):
             concept = Atomic(name)
 
             if self.reasoner.known_satisfiability(concept) is False:

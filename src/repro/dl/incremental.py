@@ -1,0 +1,242 @@
+"""Delta-driven incremental reclassification for evolving TBoxes.
+
+The paper's thesis is that an "ontology" is an evolving, context-bound
+formal artifact; this module makes re-deriving its hierarchy after an
+edit cost what the *edit* costs, not what the whole artifact costs.
+Given an old classified :class:`~repro.dl.hierarchy.ConceptHierarchy`,
+the new TBox, and the syntactic :class:`~repro.dl.diff.AxiomDelta`
+between them:
+
+1. compute the **affected set** — names whose definitions transitively
+   mention an edited name (reverse reachability over the definition
+   graph, :func:`repro.dl.defgraph.dependents_of`), widened by the old
+   hierarchy neighborhood of every moved concept and by any name the old
+   budget left unresolved;
+2. **seed** a new enhanced-traversal classification with the unaffected
+   portion of the old hierarchy (its equivalence groups and cover edges
+   copied verbatim, no tableau calls) and re-insert only the affected
+   names;
+3. **carry over** still-valid sat/subsumption cache entries from the old
+   reasoner, so even the re-inserted names often answer from cache.
+
+Locality is soundness-critical, so the function refuses to be clever
+when it cannot be: if a general (non-definitorial) axiom changed, or an
+unchanged general axiom's vocabulary reaches an edited name, or the
+affected fraction exceeds ``max_affected_fraction`` (structural
+upheaval), it falls back to a plain full classification and says so in
+:attr:`ReclassifyResult.fallback_reason`.
+
+Counters: ``incremental.affected``, ``incremental.reused_edges``,
+``incremental.cache_carryover``, ``incremental.runs``,
+``incremental.full_fallbacks``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..obs import recorder as _obs
+from ..order import Poset
+from ..robust import Budget
+from .defgraph import dependents_of
+from .diff import AxiomDelta, axiom_diff
+from .hierarchy import (
+    BOTTOM_NAME,
+    TOP_NAME,
+    ConceptHierarchy,
+    HierarchySeed,
+)
+from .reasoner import Reasoner
+from .tbox import TBox
+
+#: above this fraction of affected names, re-seeding loses to a clean
+#: full classification (the seed restriction itself is O(k²) poset work)
+DEFAULT_MAX_AFFECTED_FRACTION = 0.5
+
+_SYNTHETIC = frozenset({TOP_NAME, BOTTOM_NAME})
+
+
+@dataclass(frozen=True)
+class ReclassifyResult:
+    """One reclassification: the hierarchy plus how it was obtained.
+
+    ``mode`` is ``"incremental"`` when the seeded path ran and
+    ``"full"`` when it fell back (``fallback_reason`` says why).
+    ``affected`` is the set of names that were (re)inserted;
+    ``reused_edges`` counts cover edges copied verbatim from the old
+    hierarchy; ``cache_carryover`` counts sat/subsumption cache entries
+    adopted from the old reasoner.
+    """
+
+    hierarchy: ConceptHierarchy
+    mode: str
+    affected: frozenset[str]
+    reused_edges: int
+    cache_carryover: int
+    fallback_reason: Optional[str] = None
+
+    @property
+    def incremental(self) -> bool:
+        return self.mode == "incremental"
+
+
+def affected_names(
+    old_tbox: TBox, new_tbox: TBox, delta: AxiomDelta
+) -> tuple[frozenset[str], Optional[str]]:
+    """The change-impact set of ``delta``, or a reason locality fails.
+
+    Returns ``(affected, None)`` when the edit is local: ``affected``
+    holds every name whose definition transitively mentions an edited
+    name, plus the added vocabulary.  Returns ``(all names, reason)``
+    when no locality argument holds — a general axiom changed, or an
+    unchanged general axiom's vocabulary reaches an edited name (a
+    general GCI fires at arbitrary nodes, so once its trigger or
+    consequence concepts shift meaning the blast radius is global).
+    """
+    everything = frozenset(old_tbox.atomic_names() | new_tbox.atomic_names())
+    if delta.general_changed:
+        return everything, "a general (non-definitorial) axiom changed"
+    if delta.unchanged:
+        return frozenset(), None
+    affected = set(
+        dependents_of(delta.changed_names, old_tbox, new_tbox)
+    )
+    affected |= delta.names_added
+    glue: set[str] = set()
+    for tbox in (old_tbox, new_tbox):
+        for gci in tbox.general_gcis():
+            glue |= gci.lhs.atomic_names() | gci.rhs.atomic_names()
+    if glue & affected:
+        return everything, "an edited name is reachable from a general axiom"
+    return frozenset(affected), None
+
+
+def reclassify(
+    old: ConceptHierarchy,
+    new_tbox: TBox,
+    *,
+    delta: Optional[AxiomDelta] = None,
+    reasoner: Optional[Reasoner] = None,
+    budget: Optional[Budget] = None,
+    max_affected_fraction: float = DEFAULT_MAX_AFFECTED_FRACTION,
+) -> ReclassifyResult:
+    """Reclassify ``new_tbox`` reusing the classified hierarchy ``old``.
+
+    ``old`` must be a hierarchy of the predecessor TBox (``old.tbox``);
+    ``delta`` defaults to :func:`repro.dl.diff.axiom_diff` of the two.
+    ``reasoner`` (over ``new_tbox``) receives the still-valid cache
+    entries of ``old.reasoner``; a fresh one is built when omitted.  A
+    ``budget`` governs only the re-inserted names — seeded structure is
+    copied, never re-proved — and unresolved questions land in
+    :attr:`ConceptHierarchy.incomplete` exactly as in a full run.
+    """
+    old_tbox = old.tbox
+    if reasoner is None:
+        reasoner = Reasoner(new_tbox)
+    elif reasoner.tbox is not new_tbox:
+        raise ValueError("reclassify: reasoner is not over the new TBox")
+    if delta is None:
+        delta = axiom_diff(old_tbox, new_tbox)
+
+    _obs.incr("incremental.runs")
+    old_names = frozenset(old_tbox.atomic_names())
+    new_names = frozenset(new_tbox.atomic_names())
+
+    def full(reason: str) -> ReclassifyResult:
+        _obs.incr("incremental.full_fallbacks")
+        hierarchy = ConceptHierarchy(new_tbox, reasoner=reasoner, budget=budget)
+        return ReclassifyResult(
+            hierarchy=hierarchy,
+            mode="full",
+            affected=new_names,
+            reused_edges=0,
+            cache_carryover=0,
+            fallback_reason=reason,
+        )
+
+    with _obs.trace("incremental.reclassify"):
+        core, reason = affected_names(old_tbox, new_tbox, delta)
+        if reason is not None:
+            return full(reason)
+        affected = set(core)
+
+        # questions the old budget left unresolved were answered with the
+        # conservative no-edge default: re-ask them under the new budget
+        for specific, general in old.incomplete:
+            affected |= {specific, general} & old_names
+
+        # the old-hierarchy neighborhood of every moved concept: its
+        # equivalents share its position, its cover neighbors' covers
+        # may be rewired by the move
+        for name in sorted(affected & old_names):
+            affected |= old.equivalents(name) - _SYNTHETIC
+            for neighbor in (old.parents(name) | old.children(name)) - _SYNTHETIC:
+                affected |= old.equivalents(neighbor) - _SYNTHETIC
+
+        universe = old_names | new_names
+        fraction = len(affected) / len(universe) if universe else 0.0
+        if fraction > max_affected_fraction:
+            return full(
+                f"affected fraction {fraction:.2f} exceeds "
+                f"{max_affected_fraction:.2f} (structural upheaval)"
+            )
+
+        # ---- seed: the unaffected portion of the old hierarchy -------- #
+        keep = (old_names & new_names) - affected
+        old_unsat = old.equivalents(BOTTOM_NAME) - {BOTTOM_NAME}
+        seed_unsat = frozenset(keep & old_unsat)
+        seed_top = [n for n in sorted(old.top_equivalents()) if n in keep]
+        seed_groups: dict[str, list[str]] = {}
+        for group in old.groups():
+            members = sorted(n for n in group if n in keep)
+            if members:
+                seed_groups[members[0]] = members
+
+        reps = sorted(seed_groups)
+        pairs: list[tuple[str, str]] = []
+        for a in reps:
+            for b in reps:
+                if a != b and old.is_subsumed_by(a, b):
+                    pairs.append((a, b))
+        reused_edges = 0
+        pairs += [(BOTTOM_NAME, rep) for rep in reps]
+        pairs += [(rep, TOP_NAME) for rep in reps]
+        pairs.append((BOTTOM_NAME, TOP_NAME))
+        restricted = Poset([BOTTOM_NAME, *reps, TOP_NAME], pairs)
+        parents: dict[str, set[str]] = {n: set() for n in (TOP_NAME, BOTTOM_NAME, *reps)}
+        children: dict[str, set[str]] = {n: set() for n in (TOP_NAME, BOTTOM_NAME, *reps)}
+        for low, high in restricted.covers():
+            parents[low].add(high)
+            children[high].add(low)
+            if low not in _SYNTHETIC and high not in _SYNTHETIC:
+                reused_edges += 1
+
+        # ---- cache carryover ------------------------------------------ #
+        invalid = frozenset(affected | delta.names_added | delta.names_removed)
+        carried = reasoner.adopt_caches(old.reasoner, invalid=invalid)
+
+        insert = sorted(affected & new_names)
+        seed = HierarchySeed(
+            parents=parents,
+            children=children,
+            groups=seed_groups,
+            top_members=seed_top,
+            unsatisfiable=seed_unsat,
+            insert=insert,
+        )
+        hierarchy = ConceptHierarchy(
+            new_tbox, reasoner=reasoner, budget=budget, seed=seed
+        )
+
+    _obs.incr("incremental.affected", len(insert))
+    _obs.incr("incremental.reused_edges", reused_edges)
+    _obs.incr("incremental.cache_carryover", carried)
+    return ReclassifyResult(
+        hierarchy=hierarchy,
+        mode="incremental",
+        affected=frozenset(insert),
+        reused_edges=reused_edges,
+        cache_carryover=carried,
+        fallback_reason=None,
+    )

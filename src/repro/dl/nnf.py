@@ -7,6 +7,7 @@ Pushes negation inward to atomic concepts using the standard dualities:
 
 from __future__ import annotations
 
+from ..obs import recorder as _obs
 from .syntax import (
     BOTTOM,
     TOP,
@@ -24,6 +25,25 @@ from .syntax import (
 )
 
 
+# Concepts are immutable and hashable, so NNF is a pure function of the
+# (concept, polarity) pair — memoize it process-wide.  Classification
+# negates the same named concepts thousands of times (every subsumption
+# test builds ``specific ⊓ ¬general``); interning makes each conversion
+# happen once and, as a byproduct, returns the *same* object for equal
+# inputs, which keeps the reasoner's concept-keyed caches compact.
+_CACHE_CAP = 65536
+_nnf_cache: dict[tuple[Concept, bool], Concept] = {}
+
+
+def nnf_cache_clear() -> None:
+    """Drop the process-wide NNF interning cache (tests, memory pressure)."""
+    _nnf_cache.clear()
+
+
+def nnf_cache_size() -> int:
+    return len(_nnf_cache)
+
+
 def to_nnf(concept: Concept) -> Concept:
     """The negation normal form of ``concept``."""
     return _nnf(concept, positive=True)
@@ -35,6 +55,19 @@ def negate(concept: Concept) -> Concept:
 
 
 def _nnf(c: Concept, positive: bool) -> Concept:
+    key = (c, positive)
+    cached = _nnf_cache.get(key)
+    if cached is not None:
+        _obs.incr("nnf.cache_hits")
+        return cached
+    result = _nnf_compute(c, positive)
+    if len(_nnf_cache) >= _CACHE_CAP:
+        _nnf_cache.clear()
+    _nnf_cache[key] = result
+    return result
+
+
+def _nnf_compute(c: Concept, positive: bool) -> Concept:
     if isinstance(c, Atomic):
         return c if positive else Not(c)
     if isinstance(c, _Top):

@@ -268,6 +268,70 @@ class Reasoner:
             _obs.incr("reasoner.classify_cache_hits")
         return hierarchy
 
+    def adopt_caches(self, other: "Reasoner", *, invalid: frozenset[str]) -> int:
+        """Copy still-valid sat/subsumption entries from ``other``.
+
+        An entry is carried over iff no atomic name of its concept(s)
+        touches ``invalid`` — the caller's set of names whose reachable
+        definitions differ between the two reasoners' TBoxes.  Only
+        sound for TBoxes that agree outside ``invalid``: a concept whose
+        names all lie outside the change-impact set unfolds to the same
+        definitional web in both, so the old tableau answer stands.
+        Existing local entries win over adopted ones.  Returns the number
+        of entries carried.
+        """
+        self._check_revision()
+        carried = 0
+        # list() snapshots are atomic under the GIL; `other` may still be
+        # serving requests while its successor adopts from it
+        for concept, value in list(other._sat_cache.items()):
+            if concept in self._sat_cache or concept.atomic_names() & invalid:
+                continue
+            self._sat_cache[concept] = value
+            carried += 1
+        for key, value in list(other._subs_cache.items()):
+            general, specific = key
+            if key in self._subs_cache:
+                continue
+            if (general.atomic_names() | specific.atomic_names()) & invalid:
+                continue
+            self._subs_cache[key] = value
+            carried += 1
+        return carried
+
+    def reclassify(
+        self,
+        old: "ConceptHierarchy",
+        *,
+        delta=None,
+        budget: Optional[Budget] = None,
+        max_affected_fraction: Optional[float] = None,
+    ):
+        """Classify this reasoner's TBox starting from ``old``'s answer.
+
+        Delegates to :func:`repro.dl.incremental.reclassify` with this
+        reasoner receiving the carried-over caches, and seeds the
+        hierarchy cache with the result when it is complete — a follow-up
+        :meth:`classify` call is then a cache hit.  Returns the
+        :class:`repro.dl.incremental.ReclassifyResult`.
+        """
+        from .incremental import DEFAULT_MAX_AFFECTED_FRACTION, reclassify
+
+        self._check_revision()
+        if max_affected_fraction is None:
+            max_affected_fraction = DEFAULT_MAX_AFFECTED_FRACTION
+        result = reclassify(
+            old,
+            self.tbox,
+            delta=delta,
+            reasoner=self,
+            budget=budget,
+            max_affected_fraction=max_affected_fraction,
+        )
+        if not result.hierarchy.incomplete:
+            self._hierarchy_cache.setdefault(("enhanced", True), result.hierarchy)
+        return result
+
     # ------------------------------------------------------------------ #
     # ABox services
     # ------------------------------------------------------------------ #

@@ -116,6 +116,34 @@ class Recorder:
         finally:
             self.record_timing(name, time.perf_counter() - t0)
 
+    def merge(self, other: "Recorder") -> None:
+        """Fold ``other``'s counters, timers, and histograms into this one.
+
+        Used by the bench harness to combine a workload recorder with
+        one that lived in another context (e.g. a serving process's
+        recorder installed via :func:`set_recorder`).  Sample rings are
+        concatenated and re-capped at :data:`SAMPLE_CAP`, so quantiles
+        over the merged recorder stay a recent-window estimate.
+        """
+        for name, n in other.counters.items():
+            self.incr(name, n)
+        for target, source in (
+            (self._timers, other._timers),
+            (self._histograms, other._histograms),
+        ):
+            for name, (count, total, lo, hi) in source.items():
+                cell = target.get(name)
+                if cell is None:
+                    target[name] = [count, total, lo, hi]
+                else:
+                    cell[0] += count
+                    cell[1] += total
+                    cell[2] = min(cell[2], lo)
+                    cell[3] = max(cell[3], hi)
+        for name, ring in other._samples.items():
+            merged = self._samples.get(name, []) + list(ring)
+            self._samples[name] = merged[-SAMPLE_CAP:]
+
     # -- reading -------------------------------------------------------- #
 
     def snapshot(self) -> dict[str, Any]:

@@ -62,6 +62,8 @@ class ServeConfig:
     ms_allowance: Optional[float] = None
     max_nodes: int = 2000
     tbox_store: Optional[str] = None
+    incremental_swap: bool = True
+    incremental_threshold: float = 0.5
 
 
 class ReasoningServer:
@@ -75,6 +77,8 @@ class ReasoningServer:
             tbox,
             max_nodes=self.config.max_nodes,
             store_path=self.config.tbox_store,
+            incremental=self.config.incremental_swap,
+            max_affected_fraction=self.config.incremental_threshold,
         )
         self.batcher = Batcher(
             window_ms=self.config.batch_window_ms, max_batch=self.config.batch_max
@@ -347,12 +351,16 @@ class ReasoningServer:
             # the event loop keeps answering from the current snapshot
             prepared = await asyncio.to_thread(self.snapshots.prepare, tbox)
             old = self.snapshots.swap(prepared)
-        return 200, {
+        body = {
             "tbox_version": prepared.version,
             "axioms": len(tbox),
             "retired_version": old.version,
             "retired_refs": old.refs,
+            "swap_mode": prepared.swap_mode,
         }
+        if prepared.swap_detail is not None:
+            body["swap_detail"] = prepared.swap_detail
+        return 200, body
 
 
 _BATCHED_POST = frozenset({"/v1/subsumes", "/v1/satisfiable"})

@@ -17,7 +17,14 @@ traffic.  The scheme here is the classic immutable-snapshot swap:
   its reasoner caches (:meth:`repro.dl.Reasoner.release`) so superseded
   sat/subsumption entries do not stay memory-resident.
 
-Counters: ``serve.tbox_swaps``, ``serve.snapshots_retired``,
+Since the successor usually differs from its predecessor by a handful of
+axioms, :meth:`SnapshotManager.prepare` defaults to *incremental*
+preparation (:meth:`Snapshot.prepare_from`): the new hierarchy is
+reclassified from the old one via :mod:`repro.dl.incremental`, falling
+back to a full classification on structural upheaval.
+
+Counters: ``serve.tbox_swaps``, ``serve.incremental_swaps``,
+``serve.full_swaps``, ``serve.snapshots_retired``,
 ``serve.snapshots_released``.
 """
 
@@ -51,6 +58,11 @@ class Snapshot:
         self.version = version
         self.reasoner = Reasoner(tbox, max_nodes=max_nodes)
         self.hierarchy: Optional[ConceptHierarchy] = None
+        #: how this snapshot's hierarchy was obtained: "full" or
+        #: "incremental"; when full because an incremental attempt fell
+        #: back, ``swap_detail`` carries the reason
+        self.swap_mode: str = "full"
+        self.swap_detail: Optional[str] = None
         self._refs = 0
         self._retired = False
         self._released = False
@@ -65,6 +77,39 @@ class Snapshot:
         snapshot until the manager swaps it in.
         """
         self.hierarchy = self.reasoner.classify()
+        return self
+
+    def prepare_from(
+        self,
+        predecessor: "Snapshot",
+        *,
+        max_affected_fraction: float = 0.5,
+    ) -> "Snapshot":
+        """Pre-classify by *reclassifying* the predecessor's hierarchy.
+
+        The delta-driven path of :mod:`repro.dl.incremental`: only
+        concepts affected by the edit are re-inserted, unaffected cover
+        edges and still-valid reasoner cache entries are carried over.
+        Reading the predecessor is safe while it serves traffic — its
+        hierarchy is immutable and cache adoption snapshots the dicts.
+        Falls back to :meth:`prepare` when the predecessor has no
+        hierarchy left (already released) or it is budget-incomplete,
+        and records the outcome in :attr:`swap_mode`/:attr:`swap_detail`.
+        """
+        old = predecessor.hierarchy
+        if old is None or old.incomplete:
+            self.swap_detail = (
+                "predecessor hierarchy unavailable"
+                if old is None
+                else "predecessor hierarchy incomplete"
+            )
+            return self.prepare()
+        result = self.reasoner.reclassify(
+            old, max_affected_fraction=max_affected_fraction
+        )
+        self.hierarchy = result.hierarchy
+        self.swap_mode = result.mode
+        self.swap_detail = result.fallback_reason
         return self
 
     # -- refcounting ----------------------------------------------------- #
@@ -137,9 +182,13 @@ class SnapshotManager:
         *,
         max_nodes: int = 2000,
         store_path: Optional[str | Path] = None,
+        incremental: bool = True,
+        max_affected_fraction: float = 0.5,
     ) -> None:
         self._max_nodes = max_nodes
         self._store_path = Path(store_path) if store_path is not None else None
+        self._incremental = incremental
+        self._max_affected_fraction = max_affected_fraction
         self._lock = threading.Lock()
         self._current = Snapshot(
             tbox if tbox is not None else TBox(), 1, max_nodes=max_nodes
@@ -168,10 +217,20 @@ class SnapshotManager:
 
         This is the expensive part; the server runs it in a worker
         thread so the event loop keeps serving from the old version.
+        With ``incremental=True`` (the default) the successor is
+        reclassified from the current snapshot instead of from scratch,
+        falling back to a full classification above the configured
+        affected-fraction threshold.
         """
-        return Snapshot(
-            tbox, self._current.version + 1, max_nodes=self._max_nodes
-        ).prepare()
+        predecessor = self._current
+        successor = Snapshot(
+            tbox, predecessor.version + 1, max_nodes=self._max_nodes
+        )
+        if self._incremental:
+            return successor.prepare_from(
+                predecessor, max_affected_fraction=self._max_affected_fraction
+            )
+        return successor.prepare()
 
     def swap(self, prepared: Snapshot) -> Snapshot:
         """Atomically install ``prepared``; retire and return the old one."""
@@ -188,6 +247,11 @@ class SnapshotManager:
             old, self._current = self._current, prepared
         old.retire()
         _obs.incr("serve.tbox_swaps")
+        _obs.incr(
+            "serve.incremental_swaps"
+            if prepared.swap_mode == "incremental"
+            else "serve.full_swaps"
+        )
         return old
 
     def load_and_swap(self, tbox: TBox) -> Snapshot:

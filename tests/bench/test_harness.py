@@ -1,12 +1,14 @@
 """Tests for the JSON bench harness: schema, determinism, coverage.
 
 These encode the PR's acceptance criteria: ``python -m repro bench``
-writes valid ``BENCH_B1.json`` … ``BENCH_B6.json`` whose counters are
+writes valid ``BENCH_B1.json`` … ``BENCH_B8.json`` whose counters are
 non-zero for at least the tableau, hierarchy, and store subsystems, and
 two runs over the seeded inputs produce identical counter values.
 """
 
 import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -19,6 +21,9 @@ from repro.bench import (
 )
 
 ALL_IDS = sorted(BENCHES)
+
+# keep the B8 edit stream at test scale regardless of the caller's shell
+os.environ.setdefault("REPRO_B8_SCALE", "small")
 
 
 @pytest.fixture(scope="module")
@@ -111,9 +116,44 @@ class TestCounterCoverage:
         assert (
             params["served_tableau_tests"] * 3 <= params["one_shot_tableau_tests"]
         )
-        assert params["latency_ms"]["p99"] >= params["latency_ms"]["p50"] > 0
-        assert params["batch_size"]["count"] > 0
-        assert params["batch_size"]["max"] >= 1
+        # schema v2: latency/batch distributions are histograms with
+        # quantiles from the sample rings, not params entries
+        histograms = suite_records["B7"]["histograms"]
+        latency = histograms["serve.request_latency_ms"]
+        assert latency["count"] == params["requests"]
+        assert latency["p99"] >= latency["p50"] > 0
+        batch = histograms["serve.batch_size"]
+        assert batch["count"] > 0
+        assert batch["max"] >= 1
+
+    def test_b8_has_incremental_counters(self, suite_records):
+        counters = suite_records["B8"]["counters"]
+        assert counters["incremental.runs"] > 0
+        assert counters["incremental.reused_edges"] > 0
+        assert counters["incremental.cache_carryover"] > 0
+        params = suite_records["B8"]["params"]
+        means = params["mean_tableau_tests_per_swap"]
+        # the acceptance criterion: >= 5x fewer tableau tests per swap
+        assert means["incremental"] * 5 <= means["full"]
+        histograms = suite_records["B8"]["histograms"]
+        assert (
+            histograms["bench.b8.tableau_tests_per_swap"]["count"]
+            == params["edits"]
+        )
+        assert (
+            histograms["bench.b8.full_swap_ms"]["count"]
+            == params["full_baseline_samples"]
+        )
+
+    def test_committed_b8_record_shows_reduction(self):
+        """The checked-in BENCH_B8.json carries the >= 5x full-scale claim."""
+        path = Path(__file__).resolve().parents[2] / "BENCH_B8.json"
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["params"]["scale"] == "full"
+        means = record["params"]["mean_tableau_tests_per_swap"]
+        assert means["incremental"] * 5 <= means["full"]
+        assert record["counters"]["incremental.runs"] == record["params"]["edits"]
 
     def test_b6_has_robust_counters(self, suite_records):
         counters = suite_records["B6"]["counters"]

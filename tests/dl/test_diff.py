@@ -1,7 +1,95 @@
-"""Unit tests for semantic TBox diffing."""
+"""Unit tests for syntactic (axiom_diff) and semantic (tbox_diff) TBox diffing."""
 
 from repro.corpora import animal_tbox, repaired_animal_tbox
-from repro.dl import parse_tbox, tbox_diff
+from repro.dl import TBox, axiom_diff, parse_axiom, parse_tbox, tbox_diff
+
+
+class TestAxiomDiff:
+    def test_self_diff_is_empty(self):
+        tbox = parse_tbox("A [= B & some r.C\nD = A & B")
+        delta = axiom_diff(tbox, tbox)
+        assert delta.unchanged
+        assert delta.added == frozenset()
+        assert delta.removed == frozenset()
+        assert delta.changed_names == frozenset()
+        assert delta.names_added == frozenset()
+        assert delta.names_removed == frozenset()
+        assert not delta.general_changed
+        assert delta.summary() == "no syntactic change"
+
+    def test_axiom_identical_copy_is_no_op(self):
+        before = parse_tbox("A [= B\nC [= D")
+        after = TBox(list(before.axioms))
+        assert axiom_diff(before, after).unchanged
+
+    def test_added_concept(self):
+        before = parse_tbox("A [= B")
+        after = parse_tbox("A [= B\nNew [= A")
+        delta = axiom_diff(before, after)
+        assert delta.added == frozenset({parse_axiom("New [= A")})
+        assert delta.removed == frozenset()
+        assert delta.names_added == frozenset({"New"})
+        assert delta.changed_names == frozenset({"New"})
+        assert not delta.general_changed
+
+    def test_removed_concept(self):
+        before = parse_tbox("A [= B\nGone [= A & some r.B")
+        after = parse_tbox("A [= B")
+        delta = axiom_diff(before, after)
+        assert delta.removed == frozenset({parse_axiom("Gone [= A & some r.B")})
+        assert delta.changed_names == frozenset({"Gone"})
+        # the role filler B survives; Gone and the role vocab vanish
+        assert delta.names_removed == frozenset({"Gone"})
+
+    def test_renamed_concept_is_remove_plus_add(self):
+        before = parse_tbox("Old [= B & some r.C")
+        after = parse_tbox("Fresh [= B & some r.C")
+        delta = axiom_diff(before, after)
+        assert delta.changed_names == frozenset({"Old", "Fresh"})
+        assert delta.names_added == frozenset({"Fresh"})
+        assert delta.names_removed == frozenset({"Old"})
+        assert not delta.general_changed
+
+    def test_role_change_marks_the_defined_name(self):
+        before = parse_tbox("A [= some drives.B")
+        after = parse_tbox("A [= some owns.B")
+        delta = axiom_diff(before, after)
+        assert delta.changed_names == frozenset({"A"})
+        assert len(delta.added) == 1 and len(delta.removed) == 1
+        assert not delta.general_changed
+
+    def test_duplicate_axiom_is_no_change(self):
+        before = parse_tbox("A [= B")
+        after = TBox([parse_axiom("A [= B"), parse_axiom("A [= B")])
+        assert axiom_diff(before, after).unchanged
+
+    def test_general_gci_flags_general_changed(self):
+        before = parse_tbox("A [= B")
+        after = parse_tbox("A [= B\nB & C [= D")
+        delta = axiom_diff(before, after)
+        assert delta.general_changed
+
+    def test_complex_equivalence_flags_general_changed(self):
+        before = parse_tbox("A [= B")
+        after = parse_tbox("A [= B\nE = B & some r.C")
+        delta = axiom_diff(before, after)
+        # the forward half is definitorial for E, the reverse half is a GCI
+        assert "E" in delta.changed_names
+        assert delta.general_changed
+
+    def test_atomic_equivalence_marks_both_names(self):
+        before = parse_tbox("A [= C")
+        after = parse_tbox("A [= C\nA = B")
+        delta = axiom_diff(before, after)
+        assert delta.changed_names == frozenset({"A", "B"})
+        assert not delta.general_changed
+
+    def test_summary_lists_signed_axioms(self):
+        before = parse_tbox("A [= B")
+        after = parse_tbox("C [= B")
+        summary = axiom_diff(before, after).summary()
+        assert summary.count("+") == 1
+        assert summary.count("-") == 1
 
 
 class TestTBoxDiff:

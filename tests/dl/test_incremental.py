@@ -1,0 +1,230 @@
+"""Incremental reclassification ≡ full classification.
+
+The tentpole's correctness oracle: for arbitrary edit sequences — the
+seeded corpus edit generator and Hypothesis-drawn axiom add/removes —
+reclassifying from the predecessor hierarchy must produce exactly the
+hierarchy a from-scratch classification produces (same groups, same
+group mapping, same poset, same ⊤-equivalents), whether the delta took
+the seeded incremental path or fell back to a full run.  Budgeted runs
+must land unresolved questions in ``incomplete`` exactly like a full
+run, and a later unbudgeted reclassification must repair a predecessor's
+incompleteness.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpora.generators import random_tbox, random_tbox_edit
+from repro.dl import (
+    And,
+    Atomic,
+    ConceptHierarchy,
+    Not,
+    Reasoner,
+    Subsumption,
+    TBox,
+    parse_axiom,
+    parse_tbox,
+    reclassify,
+    some,
+)
+from repro.dl.incremental import ReclassifyResult
+from repro.obs import Recorder, use_recorder
+from repro.robust import Budget
+
+# a fixed pool of axioms covering told chains, role restrictions,
+# negation (so edits can create/destroy unsatisfiable names), and an
+# atomic equivalence; subsets of this pool are the edit space below
+_POOL = [
+    Subsumption(Atomic("A"), Atomic("B")),
+    Subsumption(Atomic("B"), Atomic("C")),
+    Subsumption(Atomic("C"), And.of([Atomic("D"), some("r", Atomic("E"))])),
+    Subsumption(Atomic("D"), Atomic("E")),
+    Subsumption(Atomic("E"), Not(Atomic("A"))),
+    Subsumption(Atomic("F"), And.of([Atomic("A"), Not(Atomic("B"))])),
+    parse_axiom("G = A & D"),
+    Subsumption(Atomic("H"), some("s", Atomic("B"))),
+]
+
+
+def _assert_equals_full(result: ReclassifyResult, tbox: TBox) -> None:
+    full = ConceptHierarchy(tbox)
+    got = result.hierarchy
+    assert got.groups() == full.groups()
+    assert got.group_of == full.group_of
+    assert got.poset == full.poset
+    assert got.top_equivalents() == full.top_equivalents()
+    assert not got.incomplete
+
+
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_edits=st.integers(min_value=1, max_value=4),
+)
+def test_incremental_equals_full_on_corpus_edit_chains(seed, n_edits):
+    """Chains of corpus edits: every step's answer matches from-scratch."""
+    tbox = random_tbox(seed, n_defined=8, n_primitive=4, n_roles=2)
+    hierarchy = Reasoner(tbox).classify()
+    rng = random.Random(seed)
+    for _ in range(n_edits):
+        tbox = random_tbox_edit(rng, tbox)
+        result = reclassify(hierarchy, tbox)
+        _assert_equals_full(result, tbox)
+        hierarchy = result.hierarchy
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(
+    before=st.sets(st.sampled_from(range(len(_POOL))), min_size=1),
+    after=st.sets(st.sampled_from(range(len(_POOL))), min_size=1),
+)
+def test_incremental_equals_full_on_axiom_subsets(before, after):
+    """Arbitrary add/remove deltas over the pool, incl. unsat churn."""
+    old_tbox = TBox([_POOL[i] for i in sorted(before)])
+    new_tbox = TBox([_POOL[i] for i in sorted(after)])
+    old = Reasoner(old_tbox).classify()
+    result = reclassify(old, new_tbox)
+    _assert_equals_full(result, new_tbox)
+
+
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_budget_incomplete_predecessor_is_repaired(seed):
+    """Unresolved pairs of a starved predecessor are re-asked and settled."""
+    tbox = random_tbox(seed, n_defined=8, n_primitive=4, n_roles=2)
+    starved = ConceptHierarchy(tbox, budget=Budget(max_nodes=1))
+    if not starved.incomplete:
+        return  # this seed never exhausted the budget; nothing to repair
+    edited = random_tbox_edit(random.Random(seed), tbox)
+    result = reclassify(starved, edited)
+    _assert_equals_full(result, edited)
+
+
+class TestNoOpDelta:
+    def test_mode_incremental_and_nothing_affected(self):
+        tbox = random_tbox(2, n_defined=6, n_primitive=3, n_roles=2)
+        old = Reasoner(tbox).classify()
+        result = reclassify(old, TBox(list(tbox.axioms)))
+        assert result.incremental
+        assert result.affected == frozenset()
+        assert result.fallback_reason is None
+
+    def test_no_tableau_work(self):
+        tbox = random_tbox(2, n_defined=6, n_primitive=3, n_roles=2)
+        old = Reasoner(tbox).classify()
+        recorder = Recorder()
+        with use_recorder(recorder):
+            result = reclassify(old, TBox(list(tbox.axioms)))
+        assert recorder.counters.get("tableau.solve_calls", 0) == 0
+        _assert_equals_full(result, tbox)
+
+
+class TestReuse:
+    def test_edges_and_caches_are_carried(self):
+        tbox = random_tbox(4, n_defined=10, n_primitive=4, n_roles=2)
+        old = Reasoner(tbox).classify()
+        edited = random_tbox_edit(random.Random(4), tbox)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            result = reclassify(old, edited)
+        assert result.incremental
+        assert result.reused_edges > 0
+        assert result.cache_carryover > 0
+        assert recorder.counters["incremental.reused_edges"] == result.reused_edges
+        assert (
+            recorder.counters["incremental.cache_carryover"]
+            == result.cache_carryover
+        )
+        assert recorder.counters["incremental.affected"] == len(result.affected)
+
+    def test_incremental_does_less_tableau_work(self):
+        tbox = random_tbox(4, n_defined=10, n_primitive=4, n_roles=2)
+        old = Reasoner(tbox).classify()
+        edited = random_tbox_edit(random.Random(4), tbox)
+        inc, full = Recorder(), Recorder()
+        with use_recorder(inc):
+            reclassify(old, edited)
+        with use_recorder(full):
+            ConceptHierarchy(edited)
+        assert inc.counters.get("tableau.solve_calls", 0) < full.counters.get(
+            "tableau.solve_calls", 0
+        )
+
+    def test_reasoner_reclassify_seeds_classify_cache(self):
+        tbox = random_tbox(2, n_defined=6, n_primitive=3, n_roles=2)
+        old = Reasoner(tbox).classify()
+        edited = random_tbox_edit(random.Random(2), tbox)
+        reasoner = Reasoner(edited)
+        result = reasoner.reclassify(old)
+        assert reasoner.classify() is result.hierarchy
+
+
+class TestFallbacks:
+    def test_general_gci_change_falls_back(self):
+        old_tbox = parse_tbox("A [= B\nC [= B")
+        new_tbox = parse_tbox("A [= B\nC [= B\nB & C [= D")
+        old = Reasoner(old_tbox).classify()
+        result = reclassify(old, new_tbox)
+        assert result.mode == "full"
+        assert "general" in result.fallback_reason
+        _assert_equals_full(result, new_tbox)
+
+    def test_edit_reaching_general_gci_vocabulary_falls_back(self):
+        # the general axiom itself is unchanged, but the edited name B is
+        # part of its vocabulary: no locality argument holds
+        shared = "B & C [= D\nA [= B\nC [= E"
+        old_tbox = parse_tbox(shared + "\nB [= E")
+        new_tbox = parse_tbox(shared + "\nB [= E & F")
+        old = Reasoner(old_tbox).classify()
+        result = reclassify(old, new_tbox)
+        assert result.mode == "full"
+        _assert_equals_full(result, new_tbox)
+
+    def test_affected_fraction_threshold_falls_back(self):
+        tbox = random_tbox(6, n_defined=8, n_primitive=4, n_roles=2)
+        old = Reasoner(tbox).classify()
+        edited = random_tbox_edit(random.Random(6), tbox)
+        result = reclassify(old, edited, max_affected_fraction=0.0)
+        assert result.mode == "full"
+        assert "fraction" in result.fallback_reason
+        _assert_equals_full(result, edited)
+
+    def test_fallback_is_counted(self):
+        tbox = random_tbox(6, n_defined=8, n_primitive=4, n_roles=2)
+        old = Reasoner(tbox).classify()
+        edited = random_tbox_edit(random.Random(6), tbox)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            reclassify(old, edited, max_affected_fraction=0.0)
+        assert recorder.counters["incremental.full_fallbacks"] == 1
+
+    def test_mismatched_reasoner_is_rejected(self):
+        tbox = random_tbox(2, n_defined=6, n_primitive=3, n_roles=2)
+        old = Reasoner(tbox).classify()
+        with pytest.raises(ValueError):
+            reclassify(old, TBox(list(tbox.axioms)), reasoner=Reasoner(tbox))
+
+
+class TestVocabularyChurn:
+    def test_removed_name_leaves_the_hierarchy(self):
+        old_tbox = parse_tbox("A [= B\nC [= D")
+        new_tbox = parse_tbox("A [= B")
+        old = Reasoner(old_tbox).classify()
+        result = reclassify(old, new_tbox)
+        _assert_equals_full(result, new_tbox)
+        assert "C" not in result.hierarchy.group_of
+        assert "D" not in result.hierarchy.group_of
+
+    def test_added_name_is_inserted(self):
+        old_tbox = parse_tbox("A [= B")
+        new_tbox = parse_tbox("A [= B\nNew [= A")
+        old = Reasoner(old_tbox).classify()
+        result = reclassify(old, new_tbox)
+        assert result.incremental
+        assert "New" in result.affected
+        _assert_equals_full(result, new_tbox)
+        assert result.hierarchy.parents("New") == frozenset({"A"})

@@ -129,3 +129,55 @@ class TestNNF:
         assert not is_nnf(Not(A & B))
         assert is_nnf(some("r", Not(A)))
         assert not is_nnf(only("r", Not(some("s", A))))
+
+
+class TestNNFMemoization:
+    """The process-global interning cache behind to_nnf."""
+
+    def _fresh(self):
+        from repro.dl.nnf import nnf_cache_clear
+
+        nnf_cache_clear()
+
+    def test_second_conversion_hits_cache(self):
+        from repro.dl.nnf import nnf_cache_size
+        from repro.obs import Recorder, use_recorder
+
+        self._fresh()
+        c = Not(And.of([A, some("r", Or.of([B, C]))]))
+        first = to_nnf(c)
+        size_after_first = nnf_cache_size()
+        assert size_after_first > 0
+        recorder = Recorder()
+        with use_recorder(recorder):
+            second = to_nnf(c)
+        assert second == first
+        assert recorder.counters["nnf.cache_hits"] >= 1
+        assert nnf_cache_size() == size_after_first
+
+    def test_repeated_classification_converts_each_definition_once(self):
+        """Reclassifying the same TBox does zero fresh NNF conversions."""
+        from repro.corpora.generators import random_tbox
+        from repro.dl import Reasoner
+        from repro.dl.nnf import nnf_cache_size
+        from repro.obs import Recorder, use_recorder
+
+        self._fresh()
+        tbox = random_tbox(3, n_defined=8, n_primitive=4, n_roles=2)
+        Reasoner(tbox).classify()
+        size_after_first = nnf_cache_size()
+        assert size_after_first > 0
+        recorder = Recorder()
+        with use_recorder(recorder):
+            Reasoner(tbox).classify()  # fresh reasoner, same definitions
+        # every conversion the second run needed was already interned
+        assert nnf_cache_size() == size_after_first
+        assert recorder.counters["nnf.cache_hits"] > 0
+
+    def test_cache_clear_resets(self):
+        from repro.dl.nnf import nnf_cache_clear, nnf_cache_size
+
+        to_nnf(Not(A & B))
+        assert nnf_cache_size() > 0
+        nnf_cache_clear()
+        assert nnf_cache_size() == 0

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 
 from repro.corpora.generators import random_tbox
 from repro.dl import Atomic, Reasoner
+from repro.dl.nnf import nnf_cache_clear
 from repro.obs import Recorder, use_recorder
 
 
@@ -51,6 +52,9 @@ def test_recording_twice_gives_identical_counters(seed):
 
     snapshots = []
     for _ in range(2):
+        # the NNF interning cache is process-global; reset it so both
+        # passes start from the same (cold) memo state
+        nnf_cache_clear()
         recorder = Recorder()
         with use_recorder(recorder):
             service_answers(Reasoner(tbox), names)

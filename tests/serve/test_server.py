@@ -196,6 +196,24 @@ class TestHotSwap:
             status, body = client.request("GET", "/v1/health")
             assert body["tbox_version"] == 2
 
+    def test_swap_reports_mode(self, server):
+        with server.client() as client:
+            # small additive edit: the delta-driven path handles it
+            status, body = client.request(
+                "POST", "/v1/tbox", {"tbox": VEHICLES + "van [= motorvehicle"}
+            )
+            assert status == 200
+            assert body["swap_mode"] == "incremental"
+            assert "swap_detail" not in body
+            # replacing the whole vocabulary blows the affected-fraction
+            # threshold: the server reports the fallback and its reason
+            status, body = client.request(
+                "POST", "/v1/tbox", {"tbox": "dog [= animal"}
+            )
+            assert status == 200
+            assert body["swap_mode"] == "full"
+            assert body["swap_detail"]
+
     def test_swap_rejects_unparseable_tbox(self, server):
         status, _ = server.request("POST", "/v1/tbox", {"tbox": "car [= ("})
         assert status == 400

@@ -168,3 +168,66 @@ class TestSnapshotManager:
         assert "dog" in text and "animal" in text
         # the persisted text round-trips through the parser
         assert "dog" in parse_tbox(text).atomic_names()
+
+
+class TestIncrementalSwap:
+    def _edited(self):
+        return parse_tbox(
+            """
+            car [= motorvehicle & some size.small
+            pickup [= motorvehicle & some size.big
+            van [= motorvehicle & some size.big
+            motorvehicle [= some uses.gasoline
+            """
+        )
+
+    def test_small_edit_swaps_incrementally(self):
+        recorder = Recorder()
+        manager = SnapshotManager(vehicles())
+        with use_recorder(recorder):
+            manager.load_and_swap(self._edited())
+        current = manager.current
+        assert current.swap_mode == "incremental"
+        assert current.swap_detail is None
+        assert recorder.counters["serve.incremental_swaps"] == 1
+        assert "serve.full_swaps" not in recorder.counters
+        assert current.hierarchy.parents("van") == frozenset({"motorvehicle"})
+
+    def test_incremental_swap_answers_match_full(self):
+        manager = SnapshotManager(vehicles())
+        manager.load_and_swap(self._edited())
+        full = Reasoner(self._edited()).classify()
+        got = manager.current.hierarchy
+        assert got.groups() == full.groups()
+        assert got.group_of == full.group_of
+        assert got.poset == full.poset
+
+    def test_disabled_manager_always_swaps_full(self):
+        recorder = Recorder()
+        manager = SnapshotManager(vehicles(), incremental=False)
+        with use_recorder(recorder):
+            manager.load_and_swap(self._edited())
+        assert manager.current.swap_mode == "full"
+        assert recorder.counters["serve.full_swaps"] == 1
+        assert "serve.incremental_swaps" not in recorder.counters
+
+    def test_threshold_forces_fallback(self):
+        manager = SnapshotManager(vehicles(), max_affected_fraction=0.0)
+        manager.load_and_swap(self._edited())
+        current = manager.current
+        assert current.swap_mode == "full"
+        assert "fraction" in current.swap_detail
+
+    def test_unrelated_tbox_falls_back_to_full(self):
+        # every old name is removed and every new name added: the
+        # affected fraction is 1.0, far past the default threshold
+        recorder = Recorder()
+        manager = SnapshotManager(vehicles())
+        with use_recorder(recorder):
+            manager.load_and_swap(parse_tbox("dog [= animal"))
+        assert manager.current.swap_mode == "full"
+        assert recorder.counters["serve.full_swaps"] == 1
+
+    def test_boot_snapshot_is_a_full_swap(self):
+        manager = SnapshotManager(vehicles())
+        assert manager.current.swap_mode == "full"
