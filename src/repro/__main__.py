@@ -237,6 +237,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tbox_store=args.tbox_store,
         incremental_swap=not args.no_incremental_swap,
         incremental_threshold=args.incremental_threshold,
+        edit_log=args.edit_log,
+        min_swap_interval_ms=args.min_swap_interval_ms,
+        rebase_limit=args.rebase_limit,
     )
     # a serving process always records: /v1/metrics is part of the API
     set_recorder(Recorder())
@@ -244,8 +247,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def _run() -> None:
         host, port = await server.start()
+        recovery = None if server.editlog is None else server.editlog.last_recovery
+        if recovery is not None and not recovery.fresh:
+            print(
+                f"recovered edit log: v{recovery.version} "
+                f"(base v{recovery.base_version} + {recovery.replayed} "
+                f"replayed edit(s), {recovery.torn} torn record(s) dropped)",
+                flush=True,
+            )
+        served = server.snapshots.current.tbox
         print(
-            f"serving {len(tbox)} axiom(s) on http://{host}:{port} "
+            f"serving {len(served)} axiom(s) on http://{host}:{port} "
             f"(batch window {config.batch_window_ms}ms, "
             f"soft/hard limits {config.soft_limit}/{config.hard_limit})",
             flush=True,
@@ -345,7 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.set_defaults(func=_cmd_check)
 
     p_bench = sub.add_parser(
-        "bench", help="run the B1-B7 benches and write BENCH_*.json snapshots"
+        "bench", help="run the B1-B9 benches and write BENCH_*.json snapshots"
     )
     p_bench.add_argument(
         "--out", default=".", help="directory for BENCH_*.json files (default: .)"
@@ -354,7 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         action="append",
         metavar="ID",
-        choices=["B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8"],
+        choices=["B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9"],
         help="run only this bench (repeatable)",
     )
     p_bench.set_defaults(func=_cmd_bench)
@@ -364,7 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="start the batched JSON-over-HTTP reasoning service",
         epilog="degradation: budget-exhausted answers are HTTP 206 "
         "(UNKNOWN verdict body); admission refusals are 429/503 with "
-        "Retry-After.  See README 'Serving'.",
+        "Retry-After.  Edits degrade in frequency, not latency: a "
+        "throttled POST /v1/tbox is logged, acked 200, and reported "
+        "swap_status deferred (queued) or coalesced (superseded the "
+        "queued edit).  See README 'Serving' and 'Live traffic'.",
     )
     p_serve.add_argument(
         "--tbox", metavar="FILE", help="TBox file to serve (default: empty TBox)"
@@ -432,6 +447,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="F",
         help="fall back to full classification when more than this "
         "fraction of concepts is affected by a swap (default: 0.5)",
+    )
+    p_serve.add_argument(
+        "--edit-log",
+        metavar="DIR",
+        help="durable append-only edit log directory: every acknowledged "
+        "POST /v1/tbox is logged before the 200, and a restart replays "
+        "base snapshot + log (recovered state wins over --tbox)",
+    )
+    p_serve.add_argument(
+        "--min-swap-interval-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="swap-frequency throttle: publish snapshots at most this "
+        "often, deferring/coalescing faster edit streams (default: 0)",
+    )
+    p_serve.add_argument(
+        "--rebase-limit",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="compact the edit log into a new base snapshot after this "
+        "many records (default: 1024)",
     )
     p_serve.set_defaults(func=_cmd_serve)
     return parser

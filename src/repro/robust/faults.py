@@ -16,9 +16,13 @@ Fault kinds and the points that consult them:
 ``deadline``
     :meth:`Budget.check_deadline` — a firing simulates wall-clock expiry.
 ``torn-write``
-    :func:`repro.store.persistence.save_jsonl` — a firing truncates the
-    temp-file payload mid-write, exercising the verify-and-rewrite
-    recovery path.
+    :func:`repro.store.persistence.save_jsonl` /
+    :func:`~repro.store.persistence.atomic_write_text` — a firing
+    truncates the temp-file payload mid-write, exercising the
+    verify-and-rewrite recovery path — and
+    :func:`~repro.store.persistence.append_verified_bytes` — a firing
+    truncates an edit-log record mid-append, exercising the
+    truncate-and-rewrite recovery that keeps acknowledged edits durable.
 
 Injection targets *first attempts only*: escalated budgets
 (``Budget.generation > 0``) and persistence rewrite attempts bypass the

@@ -11,16 +11,28 @@ one-shot CLI invocations that re-parse and re-classify per call:
   shared snapshot pass (``serve.batched_hits``);
 * :mod:`repro.serve.admission` — 429/503 load shedding and per-request
   budget slices of a server-wide allowance;
-* :mod:`repro.serve.snapshot` — refcounted, hot-swappable TBox
-  snapshots (in-flight requests finish on the version they started on);
+* :mod:`repro.serve.snapshot` — the MVCC snapshot chain: refcounted,
+  hot-swappable TBox versions (in-flight requests finish on the version
+  they started on; retired versions drop caches at their last release);
+* :mod:`repro.serve.editlog` — the durable append-only edit log with
+  replay-on-start crash recovery (acknowledged edits survive SIGKILL);
 * :mod:`repro.serve.protocol` — HTTP/1.1 framing and the JSON bodies;
-* :mod:`repro.serve.loadgen` — in-process server thread, client, and
-  closed-loop load generator for tests, CI smoke, and the B7 bench.
+* :mod:`repro.serve.loadgen` — in-process server thread, client,
+  closed-loop load generator, and edit-stream driver for tests, CI
+  smoke, and the B7/B9 benches.
 """
 
 from .admission import AdmissionController, AdmissionError, Ticket
 from .batcher import BatchAnswer, Batcher
-from .loadgen import LoadReport, ServeClient, ServerThread, closed_loop
+from .editlog import EditLog, EditLogError, EditRecord, Recovery
+from .loadgen import (
+    EditReport,
+    LoadReport,
+    ServeClient,
+    ServerThread,
+    closed_loop,
+    edit_stream,
+)
 from .protocol import BadRequest, HttpRequest, ProtocolError
 from .server import ReasoningServer, ServeConfig
 from .snapshot import Snapshot, SnapshotError, SnapshotManager
@@ -36,11 +48,17 @@ __all__ = [
     "Snapshot",
     "SnapshotManager",
     "SnapshotError",
+    "EditLog",
+    "EditLogError",
+    "EditRecord",
+    "Recovery",
     "HttpRequest",
     "ProtocolError",
     "BadRequest",
     "ServerThread",
     "ServeClient",
     "LoadReport",
+    "EditReport",
     "closed_loop",
+    "edit_stream",
 ]

@@ -16,7 +16,12 @@ bench — none of them belong in the server proper:
   per-request latency and status counts.  Closed-loop is the right
   model for the B7 bench: offered load adapts to service rate, so the
   measured p50/p99 reflect queueing inside the server (batch window,
-  admission), not client-side backlog.
+  admission), not client-side backlog;
+* :func:`edit_stream` — the B9 companion: drives a chain of TBox texts
+  through ``POST /v1/tbox`` on one connection, recording per-edit ack
+  latency and the ``swap_status`` distribution
+  (applied/deferred/coalesced), so a mixed bench can measure the edit
+  side of the closed loop while :func:`closed_loop` measures queries.
 """
 
 from __future__ import annotations
@@ -239,4 +244,75 @@ def closed_loop(
     for thread in workers:
         thread.join()
     report.wall_time_s = time.perf_counter() - t0
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# edit-stream generation (the B9 mixed bench's write side)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class EditReport:
+    """What one :func:`edit_stream` run measured."""
+
+    ack_latencies_ms: list[float] = field(default_factory=list)
+    swap_statuses: dict[str, int] = field(default_factory=dict)
+    acked_versions: list[int] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def edits(self) -> int:
+        return len(self.ack_latencies_ms)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank ack-latency percentile in ms (0 when empty)."""
+        if not self.ack_latencies_ms:
+            return 0.0
+        ordered = sorted(self.ack_latencies_ms)
+        rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+
+def edit_stream(
+    server: ServerThread,
+    tbox_texts: Sequence[str],
+    *,
+    interval_s: float = 0.0,
+) -> EditReport:
+    """POST each text to ``/v1/tbox`` in order, ``interval_s`` apart.
+
+    One keep-alive connection, edits issued sequentially — a curation
+    stream is a single writer.  Records the ack latency, the reported
+    ``swap_status`` (``applied`` for servers predating the field), and
+    the acknowledged (logged) version of every 200.  Transport errors
+    are recorded, not raised, mirroring :func:`closed_loop`.
+    """
+    report = EditReport()
+    client = server.client()
+    t_start = time.perf_counter()
+    try:
+        for text in tbox_texts:
+            t0 = time.perf_counter()
+            try:
+                status, body = client.request("POST", "/v1/tbox", {"tbox": text})
+            except (OSError, http.client.HTTPException) as exc:
+                report.errors.append(f"/v1/tbox: {type(exc).__name__}: {exc}")
+                continue
+            elapsed_ms = (time.perf_counter() - t0) * 1000.0
+            if status == 200:
+                report.ack_latencies_ms.append(elapsed_ms)
+                swap_status = body.get("swap_status", "applied")
+                report.swap_statuses[swap_status] = (
+                    report.swap_statuses.get(swap_status, 0) + 1
+                )
+                report.acked_versions.append(int(body["tbox_version"]))
+            else:
+                report.errors.append(f"/v1/tbox: HTTP {status}")
+            if interval_s > 0:
+                time.sleep(interval_s)
+    finally:
+        client.close()
+    report.wall_time_s = time.perf_counter() - t_start
     return report

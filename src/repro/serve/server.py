@@ -21,11 +21,27 @@ Degradation contract: budget-exhausted answers are **206** with an
 admission refusals are **429**/**503** with ``Retry-After`` — a
 pathological query burns only its own budget slice, never the event
 loop.  Concept strings use the text syntax of :mod:`repro.dl.parser`.
+
+Edit publication is governed separately from query admission: under a
+``--min-swap-interval-ms`` throttle (or while a publication is already
+in flight) a ``POST /v1/tbox`` is still **durably logged and
+acknowledged with 200**, but its body reports ``swap_status:
+"deferred"`` — or ``"coalesced"`` when it supersedes an edit already
+queued (last-writer-wins; edits are full TBox texts) — and a background
+publisher task swaps the newest queued edit in once the throttle
+allows.  Swap *frequency* degrades before query latency does.  With
+``--edit-log DIR`` every acknowledged edit is persisted via
+:mod:`repro.serve.editlog` before the 200 goes out, and a restart
+replays the log, so the boot snapshot is the last acknowledged state —
+crash included.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import sys
+import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -35,6 +51,7 @@ from ..obs import recorder as _obs
 from ..robust import Budget
 from .admission import AdmissionController, AdmissionError
 from .batcher import KIND_SATISFIABLE, KIND_SUBSUMES, Batcher
+from .editlog import DEFAULT_REBASE_LIMIT, EditLog
 from .protocol import (
     BadRequest,
     HttpRequest,
@@ -64,6 +81,30 @@ class ServeConfig:
     tbox_store: Optional[str] = None
     incremental_swap: bool = True
     incremental_threshold: float = 0.5
+    edit_log: Optional[str] = None
+    min_swap_interval_ms: float = 0.0
+    rebase_limit: int = DEFAULT_REBASE_LIMIT
+
+
+@contextlib.contextmanager
+def _responsive_gil():
+    """Shrink the GIL switch interval while a snapshot prepares.
+
+    Successor classification runs in a worker thread, but on a machine
+    where that thread competes with the event loop for the same core,
+    the default 5ms switch interval becomes the floor on query latency
+    during every swap — each scheduling quantum the preparer holds
+    stalls every in-flight response.  1ms quanta cost the preparation a
+    few percent and cut the p99 a request pays while racing a swap by
+    roughly the same 5x factor (measured by the B9 mixed bench).  Only
+    one preparation runs at a time, so save/restore does not nest.
+    """
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(min(previous, 0.001))
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
 
 
 class ReasoningServer:
@@ -73,12 +114,26 @@ class ReasoningServer:
         self, tbox: Optional[TBox] = None, config: Optional[ServeConfig] = None
     ) -> None:
         self.config = config or ServeConfig()
+        self.editlog: Optional[EditLog] = None
+        initial_version = 1
+        if self.config.edit_log is not None:
+            # recovery-on-start: a directory with prior state wins over
+            # the --tbox argument — the boot snapshot must be the last
+            # *acknowledged* state, crash or no crash
+            self.editlog = EditLog.open(
+                self.config.edit_log,
+                initial=tbox,
+                rebase_limit=self.config.rebase_limit,
+            )
+            tbox = self.editlog.tbox
+            initial_version = self.editlog.version
         self.snapshots = SnapshotManager(
             tbox,
             max_nodes=self.config.max_nodes,
             store_path=self.config.tbox_store,
             incremental=self.config.incremental_swap,
             max_affected_fraction=self.config.incremental_threshold,
+            initial_version=initial_version,
         )
         self.batcher = Batcher(
             window_ms=self.config.batch_window_ms, max_batch=self.config.batch_max
@@ -91,8 +146,17 @@ class ReasoningServer:
             retry_after_s=max(0.001, self.config.batch_window_ms / 1000.0),
         )
         self._server: Optional[asyncio.base_events.Server] = None
-        self._swap_lock = asyncio.Lock()
         self.address: Optional[tuple[str, int]] = None
+        # -- edit-publication state (all guarded by _swap_lock; the lock
+        # is never held across a classification) --------------------- #
+        self._swap_lock = asyncio.Lock()
+        self._min_interval_s = self.config.min_swap_interval_ms / 1000.0
+        self._last_swap = time.monotonic()  # throttle counts from boot
+        self._logged_version = self.snapshots.version
+        self._pending: Optional[tuple[int, TBox]] = None
+        self._publishing = False
+        self._publisher_task: Optional[asyncio.Task] = None
+        self._append_times: dict[int, float] = {}
 
     # -- lifecycle ------------------------------------------------------- #
 
@@ -106,9 +170,20 @@ class ReasoningServer:
         return self.address
 
     async def stop(self) -> None:
-        """Drain admissions, flush the batch queue, close the listener."""
+        """Drain admissions, flush the batch queue, close the listener.
+
+        A queued-but-unpublished edit is dropped from memory — it is
+        already durable in the edit log, so a restart recovers it.
+        """
         self.admission.drain()
         self.batcher.flush_now()
+        if self._publisher_task is not None:
+            self._publisher_task.cancel()
+            try:
+                await self._publisher_task
+            except asyncio.CancelledError:
+                pass
+            self._publisher_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -240,6 +315,8 @@ class ReasoningServer:
         return 200, {
             "status": "draining" if self.admission.draining else "ok",
             "tbox_version": snapshot.version,
+            "logged_version": self._logged_version,
+            "pending_swap": self._pending is not None or self._publishing,
             "axioms": len(snapshot.tbox),
             "inflight": self.admission.inflight,
             "pending_batch": self.batcher.pending,
@@ -247,10 +324,13 @@ class ReasoningServer:
 
     def _metrics(self) -> tuple[int, dict[str, Any]]:
         snapshot = self.snapshots.current
-        return 200, {
+        body = {
             "metrics": _obs.get_recorder().snapshot(),
             "serve": {
                 "tbox_version": snapshot.version,
+                "logged_version": self._logged_version,
+                "pending_swap": self._pending is not None or self._publishing,
+                "snapshot_chain": self.snapshots.live(),
                 "axioms": len(snapshot.tbox),
                 "inflight": self.admission.inflight,
                 "pending_batch": self.batcher.pending,
@@ -259,6 +339,9 @@ class ReasoningServer:
                 "reasoner_caches": snapshot.reasoner.cache_stats(),
             },
         }
+        if self.editlog is not None:
+            body["serve"]["editlog"] = self.editlog.stats()
+        return 200, body
 
     def _classify(self, snapshot) -> tuple[int, dict[str, Any]]:
         hierarchy = snapshot.hierarchy
@@ -345,13 +428,62 @@ class ReasoningServer:
         }
 
     async def _swap_tbox(self, payload: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        """Log-then-publish: ack durability first, swap when allowed.
+
+        The edit is appended to the edit log (when configured) *before*
+        the 200 goes out — an acknowledged edit survives any crash.
+        Publication is synchronous only when no publication is in
+        flight, nothing is queued, and the swap-frequency throttle
+        allows; otherwise the edit is queued for the background
+        publisher and the response says ``deferred`` (first in the
+        queue) or ``coalesced`` (it superseded the queued edit).
+        """
         tbox = parse_tbox(str(require(payload, "tbox")))
         async with self._swap_lock:
+            if self.editlog is not None:
+                # fsync in a worker thread: the loop keeps serving
+                record = await asyncio.to_thread(self.editlog.append, tbox)
+                version = record.version
+            else:
+                version = self._logged_version + 1
+            self._logged_version = version
+            self._append_times[version] = time.monotonic()
+            publish_now = (
+                not self._publishing
+                and self._pending is None
+                and self._throttle_wait() <= 0
+            )
+            if publish_now:
+                self._publishing = True
+            else:
+                coalesced = self._pending is not None
+                self._pending = (version, tbox)
+        if not publish_now:
+            status = "coalesced" if coalesced else "deferred"
+            _obs.incr(f"serve.{status}_edits")
+            self._kick_publisher()
+            return 200, {
+                "swap_status": status,
+                "tbox_version": version,
+                "published_version": self.snapshots.version,
+                "axioms": len(tbox),
+            }
+        try:
             # classification of the successor runs in a worker thread —
             # the event loop keeps answering from the current snapshot
-            prepared = await asyncio.to_thread(self.snapshots.prepare, tbox)
+            with _responsive_gil():
+                prepared = await asyncio.to_thread(
+                    self.snapshots.prepare, tbox, version=version
+                )
             old = self.snapshots.swap(prepared)
+        finally:
+            async with self._swap_lock:
+                self._publishing = False
+                self._last_swap = time.monotonic()
+        self._observe_visibility(prepared.version)
+        self._kick_publisher()  # an edit may have queued during prepare
         body = {
+            "swap_status": "applied",
             "tbox_version": prepared.version,
             "axioms": len(tbox),
             "retired_version": old.version,
@@ -361,6 +493,61 @@ class ReasoningServer:
         if prepared.swap_detail is not None:
             body["swap_detail"] = prepared.swap_detail
         return 200, body
+
+    # -- deferred publication -------------------------------------------- #
+
+    def _throttle_wait(self) -> float:
+        """Seconds until the swap-frequency throttle allows a publish."""
+        return self._min_interval_s - (time.monotonic() - self._last_swap)
+
+    def _observe_visibility(self, published: int) -> None:
+        """Credit swap visibility to every edit the publish made live.
+
+        A coalesced edit's own version never publishes, but its content
+        is superseded by the version that does — the edit stream is
+        visible once the newer version serves, so it is timed against
+        that publish.
+        """
+        now = time.monotonic()
+        for version in [v for v in self._append_times if v <= published]:
+            elapsed_ms = (now - self._append_times.pop(version)) * 1000.0
+            _obs.observe("serve.swap_visibility_ms", elapsed_ms)
+
+    def _kick_publisher(self) -> None:
+        if self._pending is None:
+            return
+        if self._publisher_task is None or self._publisher_task.done():
+            self._publisher_task = asyncio.create_task(self._publish_pending())
+
+    async def _publish_pending(self) -> None:
+        """Background task: drain the queued edit once the throttle allows."""
+        while True:
+            async with self._swap_lock:
+                if self._pending is None or self._publishing:
+                    return
+                wait = self._throttle_wait()
+                if wait <= 0:
+                    version, tbox = self._pending
+                    self._pending = None
+                    self._publishing = True
+                else:
+                    version = None
+            if version is None:
+                await asyncio.sleep(wait)
+                continue
+            try:
+                with _responsive_gil():
+                    prepared = await asyncio.to_thread(
+                        self.snapshots.prepare, tbox, version=version
+                    )
+                self.snapshots.swap(prepared)
+                self._observe_visibility(version)
+            except Exception:  # noqa: BLE001 - the publisher must survive
+                _obs.incr("serve.publish_errors")
+            finally:
+                async with self._swap_lock:
+                    self._publishing = False
+                    self._last_swap = time.monotonic()
 
 
 _BATCHED_POST = frozenset({"/v1/subsumes", "/v1/satisfiable"})

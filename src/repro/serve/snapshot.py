@@ -23,6 +23,15 @@ preparation (:meth:`Snapshot.prepare_from`): the new hierarchy is
 reclassified from the old one via :mod:`repro.dl.incremental`, falling
 back to a full classification on structural upheaval.
 
+The manager is an **MVCC chain**: at any instant several versions can be
+live at once — the current snapshot plus retired predecessors still
+pinned by in-flight requests.  :meth:`SnapshotManager.live` enumerates
+them for observability, and versions need not be consecutive: when the
+serving layer coalesces queued edits, :meth:`SnapshotManager.prepare`
+accepts the (edit-log-assigned) version of the newest coalesced edit, so
+the published chain can legitimately skip numbers that were logged but
+never served.
+
 Counters: ``serve.tbox_swaps``, ``serve.incremental_swaps``,
 ``serve.full_swaps``, ``serve.snapshots_retired``,
 ``serve.snapshots_released``.
@@ -184,6 +193,7 @@ class SnapshotManager:
         store_path: Optional[str | Path] = None,
         incremental: bool = True,
         max_affected_fraction: float = 0.5,
+        initial_version: int = 1,
     ) -> None:
         self._max_nodes = max_nodes
         self._store_path = Path(store_path) if store_path is not None else None
@@ -191,8 +201,13 @@ class SnapshotManager:
         self._max_affected_fraction = max_affected_fraction
         self._lock = threading.Lock()
         self._current = Snapshot(
-            tbox if tbox is not None else TBox(), 1, max_nodes=max_nodes
+            tbox if tbox is not None else TBox(),
+            initial_version,
+            max_nodes=max_nodes,
         ).prepare()
+        #: every snapshot whose caches may still be resident: the current
+        #: one plus retired predecessors pinned by in-flight requests
+        self._chain: list[Snapshot] = [self._current]
 
     @property
     def current(self) -> Snapshot:
@@ -212,7 +227,7 @@ class SnapshotManager:
         with self._lock:
             return self._current.acquire()
 
-    def prepare(self, tbox: TBox) -> Snapshot:
+    def prepare(self, tbox: TBox, *, version: Optional[int] = None) -> Snapshot:
         """Build and pre-classify the successor without swapping it in.
 
         This is the expensive part; the server runs it in a worker
@@ -221,11 +236,19 @@ class SnapshotManager:
         reclassified from the current snapshot instead of from scratch,
         falling back to a full classification above the configured
         affected-fraction threshold.
+
+        ``version`` defaults to the successor of the current version;
+        pass an explicit (larger) one to publish a coalesced edit under
+        its edit-log-assigned version.
         """
         predecessor = self._current
-        successor = Snapshot(
-            tbox, predecessor.version + 1, max_nodes=self._max_nodes
-        )
+        if version is None:
+            version = predecessor.version + 1
+        elif version <= predecessor.version:
+            raise SnapshotError(
+                f"cannot prepare v{version} on top of v{predecessor.version}"
+            )
+        successor = Snapshot(tbox, version, max_nodes=self._max_nodes)
         if self._incremental:
             return successor.prepare_from(
                 predecessor, max_affected_fraction=self._max_affected_fraction
@@ -245,7 +268,10 @@ class SnapshotManager:
                     f"v{self._current.version}"
                 )
             old, self._current = self._current, prepared
+            self._chain.append(prepared)
         old.retire()
+        with self._lock:
+            self._chain = [s for s in self._chain if not s.released]
         _obs.incr("serve.tbox_swaps")
         _obs.incr(
             "serve.incremental_swaps"
@@ -253,6 +279,19 @@ class SnapshotManager:
             else "serve.full_swaps"
         )
         return old
+
+    def live(self) -> list[dict]:
+        """The MVCC chain: every version whose caches may be resident.
+
+        Pruned of fully released snapshots on each call; the current
+        version is always the last entry.
+        """
+        with self._lock:
+            self._chain = [s for s in self._chain if not s.released]
+            return [
+                {"version": s.version, "refs": s.refs, "retired": s.retired}
+                for s in self._chain
+            ]
 
     def load_and_swap(self, tbox: TBox) -> Snapshot:
         """Convenience: prepare + swap in one (blocking) call."""

@@ -9,7 +9,12 @@ from .materialize import (
     materialize_governed,
     store_to_abox,
 )
-from .persistence import atomic_write_text, load_jsonl, save_jsonl
+from .persistence import (
+    append_verified_bytes,
+    atomic_write_text,
+    load_jsonl,
+    save_jsonl,
+)
 from .query import Bindings, Pattern, Query, Var, match
 from .triples import StoreError, Triple, TripleStore
 
@@ -18,5 +23,5 @@ __all__ = [
     "Var", "Pattern", "Query", "match", "Bindings",
     "store_to_abox", "materialize", "instances_of", "MaterializeError",
     "materialize_governed", "MaterializeReport",
-    "save_jsonl", "load_jsonl", "atomic_write_text",
+    "save_jsonl", "load_jsonl", "atomic_write_text", "append_verified_bytes",
 ]

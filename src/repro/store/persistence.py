@@ -99,6 +99,50 @@ def _write_verified(tmp: Path, payload: str) -> None:
             raise StoreError(f"{tmp}: torn write could not be recovered")
 
 
+def append_verified_bytes(path: Union[str, Path], data: bytes) -> bool:
+    """Durably append ``data`` to ``path``; returns True if a torn first
+    attempt had to be recovered.
+
+    The append analogue of :func:`atomic_write_text` for logs that grow
+    one record at a time (the serving layer's edit log): write, flush,
+    fsync, then read the tail back and compare.  The first attempt
+    consults the ``torn-write`` fault point of :mod:`repro.robust.faults`
+    — a firing truncates the appended payload mid-write — and the
+    rewrite truncates back to the pre-append offset and retries with
+    injection bypassed, so a caller that returns from this function has
+    its record durably and completely on disk.  Recovered attempts are
+    counted in ``store.torn_appends_recovered``.
+    """
+    path = Path(path)
+    with path.open("ab") as handle:
+        offset = handle.tell()
+        if _faults.should_fire("torn-write"):
+            handle.write(data[: len(data) // 2])
+        else:
+            handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    recovered = False
+    if _read_tail(path, offset) != data:
+        _obs.incr("store.torn_appends_recovered")
+        recovered = True
+        with path.open("r+b") as handle:
+            handle.truncate(offset)
+            handle.seek(offset)
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if _read_tail(path, offset) != data:  # pragma: no cover
+            raise StoreError(f"{path}: torn append could not be recovered")
+    return recovered
+
+
+def _read_tail(path: Path, offset: int) -> bytes:
+    with path.open("rb") as handle:
+        handle.seek(offset)
+        return handle.read()
+
+
 def load_jsonl(
     path: Union[str, Path], *, use_indexes: bool = True, strict: bool = True
 ) -> TripleStore:

@@ -1,7 +1,7 @@
 """Tests for the JSON bench harness: schema, determinism, coverage.
 
 These encode the PR's acceptance criteria: ``python -m repro bench``
-writes valid ``BENCH_B1.json`` … ``BENCH_B8.json`` whose counters are
+writes valid ``BENCH_B1.json`` … ``BENCH_B9.json`` whose counters are
 non-zero for at least the tableau, hierarchy, and store subsystems, and
 two runs over the seeded inputs produce identical counter values.
 """
@@ -22,8 +22,9 @@ from repro.bench import (
 
 ALL_IDS = sorted(BENCHES)
 
-# keep the B8 edit stream at test scale regardless of the caller's shell
+# keep the B8/B9 workloads at test scale regardless of the caller's shell
 os.environ.setdefault("REPRO_B8_SCALE", "small")
+os.environ.setdefault("REPRO_B9_SCALE", "tiny")
 
 
 @pytest.fixture(scope="module")
@@ -144,6 +145,52 @@ class TestCounterCoverage:
             histograms["bench.b8.full_swap_ms"]["count"]
             == params["full_baseline_samples"]
         )
+
+    def test_b9_has_mixed_traffic_counters(self, suite_records):
+        record = suite_records["B9"]
+        counters = record["counters"]
+        params = record["params"]
+        assert counters["bench.b9.queries"] == params["queries"]
+        assert counters["bench.b9.edits"] == params["edits"]
+        assert counters["editlog.appends"] == params["edits"]
+        assert counters["serve.tbox_swaps"] >= 1
+        # the mixed run's query latencies and per-edit ack latencies are
+        # histograms with quantiles, schema-v2 style
+        histograms = record["histograms"]
+        assert (
+            histograms["bench.b9.mixed_query_latency_ms"]["count"]
+            == params["queries"]
+        )
+        assert histograms["bench.b9.edit_ack_ms"]["count"] == params["edits"]
+        assert (
+            histograms["serve.swap_visibility_ms"]["count"] == params["edits"]
+        )
+        # the acceptance shape, re-checked from the record: the mixed p99
+        # stays within the scale's factor of the pure-query p99, and the
+        # crash scenario lost nothing that was acknowledged
+        assert params["mixed_p99_ms"] <= params["p99_factor_limit"] * max(
+            params["baseline_p99_ms"], 1.0
+        )
+        assert params["kill_and_recover"]["lost_acknowledged_edits"] == 0
+        assert params["kill_and_recover"]["recovered_version"] >= 2
+
+    def test_committed_b9_record_shows_mixed_claims(self):
+        """The checked-in BENCH_B9.json carries the full-scale claims:
+        query p99 under a continuous edit stream within 2x the pure-query
+        p99, and kill-and-recover losing zero acknowledged edits."""
+        path = Path(__file__).resolve().parents[2] / "BENCH_B9.json"
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["schema_version"] == SCHEMA_VERSION
+        params = record["params"]
+        assert params["scale"] == "full"
+        assert params["p99_factor_limit"] == 2.0
+        assert params["mixed_p99_ms"] <= 2.0 * max(params["baseline_p99_ms"], 1.0)
+        assert params["kill_and_recover"]["lost_acknowledged_edits"] == 0
+        # the throttle actually degraded swap frequency at full scale:
+        # not every edit in the stream got its own synchronous swap
+        statuses = params["swap_statuses"]
+        assert statuses.get("deferred", 0) + statuses.get("coalesced", 0) > 0
+        assert record["counters"]["editlog.appends"] == params["edits"]
 
     def test_committed_b8_record_shows_reduction(self):
         """The checked-in BENCH_B8.json carries the >= 5x full-scale claim."""

@@ -95,10 +95,11 @@ class TestStatsFlag:
 class TestBenchCommand:
     def test_bench_writes_all_files(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_B8_SCALE", "tiny")
+        monkeypatch.setenv("REPRO_B9_SCALE", "tiny")
         assert main(["bench", "--out", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         written = sorted(p.name for p in tmp_path.glob("BENCH_*.json"))
-        assert written == [f"BENCH_B{i}.json" for i in range(1, 9)]
+        assert written == [f"BENCH_B{i}.json" for i in range(1, 10)]
         assert "non-zero counters" in out
 
     def test_bench_only_subset(self, tmp_path, capsys):

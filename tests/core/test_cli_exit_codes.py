@@ -92,6 +92,22 @@ class TestHelpEpilog:
         assert "partial: a budget or fault left UNKNOWN answers" in out
         assert "HTTP analogue: 206" in out
 
+    def test_serve_help_documents_the_http_degradation_contract(self, capsys):
+        """The serve epilog is the HTTP half of the exit-code contract:
+        206/429/503 for queries, deferred/coalesced for throttled edits."""
+        with pytest.raises(SystemExit) as info:
+            main(["serve", "--help"])
+        assert info.value.code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "HTTP 206" in out
+        assert "429/503" in out
+        assert "swap_status deferred (queued) or coalesced" in out
+        assert "Live traffic" in out
+        # the knobs the epilog's edit contract depends on are real flags
+        assert "--edit-log" in out
+        assert "--min-swap-interval-ms" in out
+        assert "--rebase-limit" in out
+
     def test_readme_table_matches_exit_codes(self):
         import pathlib
 

@@ -1,0 +1,262 @@
+"""Durable edit log: append/replay round-trips, crash cuts, torn writes.
+
+The crash-recovery acceptance tests for the MVCC serving PR:
+
+* **the crash-prefix property** (Hypothesis): cutting the log file at an
+  *arbitrary byte offset* — any crash point — and recovering yields
+  exactly the TBox (and hierarchy) an uninterrupted run had after the
+  records that survived the cut; a cut landing mid-record costs only
+  that half-written record, never a replay of it;
+* **the torn-write fault matrix**: with ``torn-write`` armed to fire on
+  every append, acknowledged appends are still durable (recovered
+  before return, counted), and a manually torn tail is truncated at
+  recovery and counted in ``editlog.torn_records``.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpora.generators import random_tbox, random_tbox_edit
+from repro.dl import Reasoner, parse_tbox
+from repro.obs import Recorder, use_recorder
+from repro.robust import faults
+from repro.serve.editlog import EditLog, EditLogError
+
+
+@pytest.fixture(autouse=True)
+def quiet_faults():
+    with faults.suspended():
+        yield
+
+
+def vehicles_text():
+    return "car [= motorvehicle\npickup [= motorvehicle\n"
+
+
+def _hierarchy_key(tbox):
+    hierarchy = Reasoner(tbox).classify()
+    return hierarchy.groups(), hierarchy.poset
+
+
+class TestFreshAndReplay:
+    def test_fresh_open_writes_base_at_initial_version(self, tmp_path):
+        log = EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+        assert log.version == 1
+        assert log.last_recovery.fresh
+        assert (tmp_path / "base.json").exists()
+        assert (tmp_path / "edits.log").read_bytes() == b""
+
+    def test_append_assigns_consecutive_versions(self, tmp_path):
+        log = EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+        first = log.append(parse_tbox(vehicles_text() + "van [= motorvehicle"))
+        second = log.append(parse_tbox("dog [= animal"))
+        assert (first.version, second.version) == (2, 3)
+        assert log.version == 3
+
+    def test_reopen_replays_to_latest_state(self, tmp_path):
+        log = EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+        log.append(parse_tbox(vehicles_text() + "van [= motorvehicle"))
+        log.append(parse_tbox("dog [= animal"))
+        recovered = EditLog.open(tmp_path)
+        assert recovered.version == 3
+        assert recovered.last_recovery.replayed == 2
+        assert recovered.last_recovery.torn == 0
+        assert _hierarchy_key(recovered.tbox) == _hierarchy_key(log.tbox)
+
+    def test_recovered_state_wins_over_initial(self, tmp_path):
+        log = EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+        log.append(parse_tbox("dog [= animal"))
+        recovered = EditLog.open(tmp_path, initial=parse_tbox("cat [= pet"))
+        assert "dog" in recovered.tbox.atomic_names()
+        assert "cat" not in recovered.tbox.atomic_names()
+
+    def test_recovery_is_counted(self, tmp_path):
+        log = EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+        log.append(parse_tbox("dog [= animal"))
+        recorder = Recorder()
+        with use_recorder(recorder):
+            EditLog.open(tmp_path)
+        assert recorder.counters["editlog.recoveries"] == 1
+        assert recorder.counters["editlog.replayed_records"] == 1
+
+    def test_log_without_base_is_rejected(self, tmp_path):
+        (tmp_path / "edits.log").write_bytes(b"deadbeef {}\n")
+        with pytest.raises(EditLogError, match="without a base"):
+            EditLog.open(tmp_path)
+
+    def test_corrupt_base_is_rejected(self, tmp_path):
+        EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+        (tmp_path / "base.json").write_text("not json", encoding="utf-8")
+        with pytest.raises(EditLogError, match="corrupt base"):
+            EditLog.open(tmp_path)
+
+
+class TestRebase:
+    def test_rebase_truncates_log_and_preserves_state(self, tmp_path):
+        log = EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+        log.append(parse_tbox("dog [= animal"))
+        log.rebase()
+        assert (tmp_path / "edits.log").stat().st_size == 0
+        recovered = EditLog.open(tmp_path)
+        assert recovered.version == 2
+        assert recovered.last_recovery.base_version == 2
+        assert recovered.last_recovery.replayed == 0
+        assert "dog" in recovered.tbox.atomic_names()
+
+    def test_auto_rebase_at_limit(self, tmp_path):
+        recorder = Recorder()
+        log = EditLog.open(
+            tmp_path, initial=parse_tbox(vehicles_text()), rebase_limit=2
+        )
+        with use_recorder(recorder):
+            log.append(parse_tbox("a [= b"))
+            assert log.records_since_base == 1
+            log.append(parse_tbox("a [= b\nb [= c"))
+        assert log.records_since_base == 0
+        assert recorder.counters["editlog.rebases"] == 1
+        assert EditLog.open(tmp_path).version == 3
+
+    def test_stale_records_after_crashed_rebase_are_skipped(self, tmp_path):
+        """A crash between the base replace and the log truncate leaves
+        records at versions <= the new base; replay must skip them."""
+        log = EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+        log.append(parse_tbox("a [= b"))
+        log.append(parse_tbox("a [= b\nb [= c"))
+        stale = (tmp_path / "edits.log").read_bytes()
+        log.rebase()
+        # simulate the crash window: the pre-rebase records reappear
+        (tmp_path / "edits.log").write_bytes(stale)
+        recovered = EditLog.open(tmp_path)
+        assert recovered.version == 3
+        assert recovered.last_recovery.replayed == 0
+        assert recovered.last_recovery.torn == 0
+        assert _hierarchy_key(recovered.tbox) == _hierarchy_key(log.tbox)
+
+
+class TestCrashPrefixProperty:
+    """Killing after any log prefix recovers the uninterrupted state."""
+
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        cut_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_recovery_at_any_cut_equals_uninterrupted_prefix(
+        self, tmp_path_factory, seed, cut_fraction
+    ):
+        with faults.suspended():
+            tmp_path = tmp_path_factory.mktemp("editlog")
+            tbox = random_tbox(seed, n_defined=6, n_primitive=4, n_roles=2)
+            log = EditLog.open(tmp_path, initial=tbox)
+            rng = random.Random(seed)
+            # states[v] = the TBox an uninterrupted run had at version v+1
+            states = [log.tbox]
+            offsets = [0]  # log size after each append
+            for _ in range(5):
+                tbox = random_tbox_edit(rng, tbox)
+                log.append(tbox)
+                states.append(log.tbox)
+                offsets.append((tmp_path / "edits.log").stat().st_size)
+
+            # the crash: cut the log at an arbitrary byte offset
+            raw = (tmp_path / "edits.log").read_bytes()
+            cut = round(cut_fraction * len(raw))
+            (tmp_path / "edits.log").write_bytes(raw[:cut])
+
+            recovered = EditLog.open(tmp_path)
+            # the survived prefix is however many records lie fully
+            # before the cut; a mid-record cut is a torn tail
+            survived = max(i for i, end in enumerate(offsets) if end <= cut)
+            assert recovered.version == survived + 1
+            assert recovered.last_recovery.replayed == survived
+            assert recovered.last_recovery.torn == (0 if cut in offsets else 1)
+            expected = states[survived]
+            assert _hierarchy_key(recovered.tbox) == _hierarchy_key(expected)
+            # and the recovered log keeps working: appends resume cleanly
+            resumed = recovered.append(random_tbox_edit(rng, recovered.tbox))
+            assert resumed.version == recovered.version
+
+
+class TestTornWriteFaultMatrix:
+    def test_armed_torn_write_appends_are_recovered_and_durable(self, tmp_path):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with faults.use_faults(faults.FaultPlan.always("torn-write")):
+                log = EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+                log.append(parse_tbox("dog [= animal"))
+                log.append(parse_tbox("dog [= animal\ncat [= animal"))
+        # every first attempt tore; every return was nevertheless durable
+        assert recorder.counters["editlog.torn_writes_recovered"] == 2
+        assert recorder.counters["store.torn_appends_recovered"] == 2
+        recovered = EditLog.open(tmp_path)
+        assert recovered.version == 3
+        assert recovered.last_recovery.torn == 0
+        assert {"dog", "cat"} <= recovered.tbox.atomic_names()
+
+    def test_torn_tail_is_truncated_counted_and_never_replayed(self, tmp_path):
+        log = EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+        log.append(parse_tbox(vehicles_text() + "van [= motorvehicle"))
+        intact = (tmp_path / "edits.log").read_bytes()
+        log.append(parse_tbox("zebra [= animal"))
+        torn_tail = (tmp_path / "edits.log").read_bytes()
+        # the crash tears the second record in half
+        cut = intact + torn_tail[len(intact) : len(intact) + 10]
+        (tmp_path / "edits.log").write_bytes(cut)
+
+        recorder = Recorder()
+        with use_recorder(recorder):
+            recovered = EditLog.open(tmp_path)
+        assert recorder.counters["editlog.torn_records"] == 1
+        assert recovered.last_recovery.torn == 1
+        assert recovered.version == 2
+        # the half-written delta was never replayed ...
+        assert "zebra" not in recovered.tbox.atomic_names()
+        assert "van" in recovered.tbox.atomic_names()
+        # ... and the file itself was truncated back to the valid prefix
+        assert (tmp_path / "edits.log").read_bytes() == intact
+
+    def test_corrupt_middle_record_stops_replay_at_the_damage(self, tmp_path):
+        log = EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+        log.append(parse_tbox("a [= b"))
+        log.append(parse_tbox("a [= b\nb [= c"))
+        both = (tmp_path / "edits.log").read_bytes()
+        # flip a payload byte in the *first* record: its CRC now fails,
+        # so nothing after it can be trusted either
+        damaged = bytearray(both)
+        damaged[12] ^= 0xFF
+        (tmp_path / "edits.log").write_bytes(bytes(damaged))
+        recorder = Recorder()
+        with use_recorder(recorder):
+            recovered = EditLog.open(tmp_path)
+        assert recovered.version == 1
+        assert recovered.last_recovery.replayed == 0
+        assert recorder.counters["editlog.torn_records"] == 2
+        assert (tmp_path / "edits.log").read_bytes() == b""
+
+
+class TestAppendVerifiedBytes:
+    """The persistence primitive the log is built on."""
+
+    def test_clean_append_returns_false(self, tmp_path):
+        from repro.store import append_verified_bytes
+
+        path = tmp_path / "log"
+        assert append_verified_bytes(path, b"one\n") is False
+        assert append_verified_bytes(path, b"two\n") is False
+        assert path.read_bytes() == b"one\ntwo\n"
+
+    def test_torn_append_is_recovered_in_place(self, tmp_path):
+        from repro.store import append_verified_bytes
+
+        path = tmp_path / "log"
+        append_verified_bytes(path, b"intact-record\n")
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with faults.use_faults(faults.FaultPlan.always("torn-write")):
+                recovered = append_verified_bytes(path, b"second-record\n")
+        assert recovered is True
+        assert recorder.counters["store.torn_appends_recovered"] == 1
+        assert path.read_bytes() == b"intact-record\nsecond-record\n"

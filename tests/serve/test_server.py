@@ -11,6 +11,7 @@ encode this PR's acceptance criteria directly:
 """
 
 import threading
+import time
 
 import pytest
 
@@ -285,6 +286,176 @@ class TestHotSwap:
         assert recorder.counters["serve.tbox_swaps"] == 1
         assert recorder.counters["serve.snapshots_retired"] == 1
         assert recorder.counters["serve.snapshots_released"] == 1
+
+
+class TestEditPublicationContract:
+    """Swap-frequency degradation: explicit statuses, query semantics kept.
+
+    The edit-side analogue of the 206/429/503 degradation contract: a
+    throttled POST /v1/tbox is still acknowledged 200 — durably, when an
+    edit log is configured — but says so explicitly (``deferred`` /
+    ``coalesced``), and every query route keeps serving the published
+    version with unchanged semantics while edits queue.
+    """
+
+    def test_throttled_edits_report_deferred_then_coalesced(self):
+        config = ServeConfig(port=0, min_swap_interval_ms=600_000)
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            status, body = server.request(
+                "POST", "/v1/tbox", {"tbox": VEHICLES + "van [= motorvehicle"}
+            )
+            assert status == 200
+            assert body["swap_status"] == "deferred"
+            assert body["tbox_version"] == 2  # acknowledged (logged) version
+            assert body["published_version"] == 1  # still serving v1
+            status, body = server.request(
+                "POST", "/v1/tbox", {"tbox": VEHICLES + "bus [= motorvehicle"}
+            )
+            assert status == 200
+            assert body["swap_status"] == "coalesced"  # replaced the queued edit
+            assert body["tbox_version"] == 3
+            assert body["published_version"] == 1
+            # queries keep answering 200 from the published version
+            status, body = server.request(
+                "POST",
+                "/v1/subsumes",
+                {"general": "motorvehicle", "specific": "car"},
+            )
+            assert (status, body["answer"], body["tbox_version"]) == (200, True, 1)
+            status, body = server.request("GET", "/v1/health")
+            assert body["tbox_version"] == 1
+            assert body["logged_version"] == 3
+            assert body["pending_swap"] is True
+
+    def test_unthrottled_edit_reports_applied(self, server):
+        status, body = server.request("POST", "/v1/tbox", {"tbox": "car [= toy"})
+        assert status == 200
+        assert body["swap_status"] == "applied"
+        assert body["tbox_version"] == 2 and body["retired_version"] == 1
+
+    def test_deferral_is_published_once_the_throttle_allows(self):
+        config = ServeConfig(port=0, min_swap_interval_ms=150.0)
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            status, body = server.request(
+                "POST", "/v1/tbox", {"tbox": VEHICLES + "van [= motorvehicle"}
+            )
+            assert (status, body["swap_status"]) == (200, "deferred")
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                _status, health = server.request("GET", "/v1/health")
+                if health["tbox_version"] == 2:
+                    break
+                time.sleep(0.02)
+            assert health["tbox_version"] == 2 and not health["pending_swap"]
+            status, body = server.request(
+                "POST", "/v1/subsumes", {"general": "motorvehicle", "specific": "van"}
+            )
+            assert (status, body["answer"], body["tbox_version"]) == (200, True, 2)
+
+    def test_budget_degradation_unchanged_while_edits_queue(self):
+        """206/UNKNOWN and 200-definite semantics survive a pending swap."""
+        config = ServeConfig(
+            port=0,
+            node_allowance=5,
+            soft_limit=1,
+            hard_limit=4,
+            min_swap_interval_ms=600_000,
+        )
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            status, body = server.request(
+                "POST", "/v1/tbox", {"tbox": VEHICLES + "van [= motorvehicle"}
+            )
+            assert (status, body["swap_status"]) == (200, "deferred")
+            status, body = server.request(
+                "POST", "/v1/satisfiable", {"concept": ">= 12 uses.gasoline"}
+            )
+            assert status == 206
+            assert body["verdict"] == "unknown"
+            status, body = server.request(
+                "POST", "/v1/satisfiable", {"concept": "car"}
+            )
+            assert (status, body["answer"]) == (200, True)
+
+    def test_deferred_and_coalesced_edits_are_counted(self):
+        recorder = Recorder()
+        config = ServeConfig(port=0, min_swap_interval_ms=600_000)
+        with use_recorder(recorder):
+            with ServerThread(parse_tbox(VEHICLES), config) as server:
+                server.request("POST", "/v1/tbox", {"tbox": "a [= b"})
+                server.request("POST", "/v1/tbox", {"tbox": "a [= c"})
+                server.request("POST", "/v1/tbox", {"tbox": "a [= d"})
+        assert recorder.counters["serve.deferred_edits"] == 1
+        assert recorder.counters["serve.coalesced_edits"] == 2
+
+
+class TestEditLogRecovery:
+    """Crash recovery through the whole server, not just the log."""
+
+    def test_restart_serves_last_acknowledged_edit(self, tmp_path):
+        from repro.dl import Reasoner
+
+        log_dir = tmp_path / "editlog"
+        # the huge throttle means the acknowledged edits are never
+        # published before "the crash" (ServerThread teardown drops the
+        # pending edit from memory; the log is its only trace)
+        config = ServeConfig(
+            port=0, edit_log=str(log_dir), min_swap_interval_ms=600_000
+        )
+        final = VEHICLES + "van [= motorvehicle\nbus [= motorvehicle\n"
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            status, body = server.request(
+                "POST", "/v1/tbox", {"tbox": VEHICLES + "van [= motorvehicle"}
+            )
+            assert (status, body["swap_status"]) == (200, "deferred")
+            status, body = server.request("POST", "/v1/tbox", {"tbox": final})
+            assert (status, body["swap_status"]) == (200, "coalesced")
+            assert body["tbox_version"] == 3
+            _status, health = server.request("GET", "/v1/health")
+            assert health["tbox_version"] == 1  # nothing published pre-crash
+
+        restarted = ServeConfig(port=0, edit_log=str(log_dir))
+        with ServerThread(parse_tbox(VEHICLES), restarted) as server:
+            _status, health = server.request("GET", "/v1/health")
+            assert health["tbox_version"] == 3  # the last *acknowledged* edit
+            assert health["logged_version"] == 3
+            status, body = server.request("POST", "/v1/classify", {})
+            expected = Reasoner(parse_tbox(final)).classify()
+            assert body["groups"] == sorted(sorted(g) for g in expected.groups())
+            _status, metrics = server.request("GET", "/v1/metrics")
+            stats = metrics["serve"]["editlog"]
+            assert stats["version"] == 3
+            assert stats["recovered"] == {
+                "fresh": False, "base_version": 1, "replayed": 2, "torn": 0,
+            }
+
+    def test_acks_stay_durable_under_armed_torn_writes(self, tmp_path):
+        """REPRO_FAULTS=torn-write on the edit log: every acknowledged
+        edit survives, recovery replays it, nothing is half-applied."""
+        from repro.dl import Reasoner
+
+        log_dir = tmp_path / "editlog"
+        config = ServeConfig(
+            port=0, edit_log=str(log_dir), min_swap_interval_ms=600_000
+        )
+        recorder = Recorder()
+        final = VEHICLES + "van [= motorvehicle\n"
+        with use_recorder(recorder):
+            with faults.use_faults(faults.FaultPlan.always("torn-write")):
+                with ServerThread(parse_tbox(VEHICLES), config) as server:
+                    status, body = server.request(
+                        "POST", "/v1/tbox", {"tbox": final}
+                    )
+                    assert (status, body["swap_status"]) == (200, "deferred")
+        # the injected tear hit the append and was recovered pre-ack
+        assert recorder.counters["editlog.torn_writes_recovered"] == 1
+        with ServerThread(parse_tbox(VEHICLES), ServeConfig(
+            port=0, edit_log=str(log_dir)
+        )) as server:
+            _status, health = server.request("GET", "/v1/health")
+            assert health["tbox_version"] == 2
+            status, body = server.request("POST", "/v1/classify", {})
+            expected = Reasoner(parse_tbox(final)).classify()
+            assert body["groups"] == sorted(sorted(g) for g in expected.groups())
 
 
 class TestClosedLoop:

@@ -1,10 +1,17 @@
-"""Snapshot lifecycle: refcounts, hot-swap, and cache reclamation.
+"""Snapshot lifecycle: refcounts, hot-swap, MVCC chain, cache reclamation.
 
-The cache-reclamation tests encode this PR's leak-fix acceptance: a
-retired snapshot's sat/subsumption/hierarchy caches must be dropped the
-moment its last in-flight request releases it — not at interpreter
-shutdown, not at the next GC cycle.
+The cache-reclamation tests encode the leak-fix acceptance: a retired
+snapshot's sat/subsumption/hierarchy caches must be dropped the moment
+its last in-flight request releases it — not at interpreter shutdown,
+not at the next GC cycle.  The MVCC stress tests encode the serving
+PR's isolation acceptance: a reader pinned to snapshot N can never
+observe a partially reclassified snapshot N+1, no matter how the swap
+races it, and a chain of swaps releases each retired version exactly
+when its last in-flight request finishes.
 """
+
+import threading
+import time
 
 import pytest
 
@@ -231,3 +238,137 @@ class TestIncrementalSwap:
     def test_boot_snapshot_is_a_full_swap(self):
         manager = SnapshotManager(vehicles())
         assert manager.current.swap_mode == "full"
+
+
+def edit_chain():
+    """Five TBox versions, each adding one vehicle kind to the last."""
+    base = (
+        "car [= motorvehicle & some size.small\n"
+        "pickup [= motorvehicle & some size.big\n"
+        "motorvehicle [= some uses.gasoline\n"
+    )
+    texts = [base]
+    for name in ("van", "bus", "truck", "tractor"):
+        texts.append(texts[-1] + f"{name} [= motorvehicle\n")
+    return [parse_tbox(text) for text in texts]
+
+
+class TestMvccChain:
+    def test_prepare_accepts_skipped_versions(self):
+        """Coalesced publication: the chain may jump v1 -> v4."""
+        manager = SnapshotManager(vehicles())
+        prepared = manager.prepare(parse_tbox("dog [= animal"), version=4)
+        manager.swap(prepared)
+        assert manager.version == 4
+
+    def test_prepare_rejects_non_advancing_version(self):
+        manager = SnapshotManager(vehicles())
+        with pytest.raises(SnapshotError):
+            manager.prepare(parse_tbox("dog [= animal"), version=1)
+
+    def test_initial_version_carries_through(self):
+        """A recovered server boots at the edit log's version."""
+        manager = SnapshotManager(vehicles(), initial_version=7)
+        assert manager.version == 7
+        manager.load_and_swap(parse_tbox("dog [= animal"))
+        assert manager.version == 8
+
+    def test_live_lists_current_and_pinned_versions_only(self):
+        chain = edit_chain()
+        manager = SnapshotManager(chain[0])
+        held = manager.acquire()  # pin v1 across two swaps
+        manager.load_and_swap(chain[1])
+        middle = manager.current
+        manager.load_and_swap(chain[2])
+        # v2 was retired with no holders: dropped from the chain at once
+        assert middle.released
+        assert [entry["version"] for entry in manager.live()] == [1, 3]
+        held.release()
+        assert [entry["version"] for entry in manager.live()] == [3]
+
+    def test_chained_swaps_release_each_version_at_last_inflight(self):
+        """The retirement ordering acceptance: a pinned predecessor keeps
+        its caches through any number of successor swaps, and loses them
+        at exactly its own last release."""
+        chain = edit_chain()
+        expected_v1 = Reasoner(chain[0]).classify().groups()
+        manager = SnapshotManager(chain[0])
+        held = manager.acquire()
+        for successor in chain[1:]:
+            manager.load_and_swap(successor)
+        assert held.retired and not held.released
+        # the pinned reader still answers from its own version, complete
+        assert held.hierarchy is not None and held.hierarchy.complete
+        assert held.hierarchy.groups() == expected_v1
+        assert held.reasoner.cache_stats()["hierarchy"] > 0
+        held.release()
+        assert held.released and held.hierarchy is None
+        assert held.reasoner.cache_stats() == {
+            "sat": 0, "subs": 0, "hierarchy": 0,
+        }
+
+
+class TestMvccStress:
+    """Readers racing a swapper loop over a live snapshot chain."""
+
+    def test_readers_never_observe_partial_reclassification(self):
+        chain = edit_chain()
+        expected = {
+            version: Reasoner(tbox).classify().groups()
+            for version, tbox in enumerate(chain, start=1)
+        }
+        manager = SnapshotManager(chain[0])
+        stop = threading.Event()
+        violations: list[tuple[int, str]] = []
+        observed_versions: set[int] = set()
+        lock = threading.Lock()
+
+        def reader() -> None:
+            while not stop.is_set():
+                snapshot = manager.acquire()
+                try:
+                    hierarchy = snapshot.hierarchy
+                    if hierarchy is None:
+                        with lock:
+                            violations.append(
+                                (snapshot.version, "hierarchy gone while held")
+                            )
+                        return
+                    if not hierarchy.complete:
+                        with lock:
+                            violations.append(
+                                (snapshot.version, "incomplete hierarchy served")
+                            )
+                        return
+                    groups = hierarchy.groups()
+                    if groups != expected[snapshot.version]:
+                        with lock:
+                            violations.append(
+                                (snapshot.version, "groups of another version")
+                            )
+                        return
+                    with lock:
+                        observed_versions.add(snapshot.version)
+                finally:
+                    snapshot.release()
+
+        readers = [threading.Thread(target=reader) for _ in range(6)]
+        for thread in readers:
+            thread.start()
+        try:
+            for successor in chain[1:]:
+                # prepare+swap while readers hammer acquire/release; the
+                # pause keeps every version on the serving path long
+                # enough for readers to actually land on it
+                manager.load_and_swap(successor)
+                time.sleep(0.02)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=30)
+        assert not violations, violations[:5]
+        # the stress actually spanned the chain, first and last included
+        assert {1, len(chain)} <= observed_versions
+        # once the dust settles nothing holds the final snapshot
+        assert manager.current.refs == 0
+        assert manager.current.hierarchy is not None
