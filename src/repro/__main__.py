@@ -10,7 +10,7 @@ Usage::
 
 ``critique`` runs the full three-part analysis and prints the report;
 ``classify`` prints the inferred hierarchy; ``check`` reports coherence
-and unsatisfiable names; ``bench`` runs the instrumented B1–B8 substrate
+and unsatisfiable names; ``bench`` runs the instrumented B1–B10 substrate
 benches and writes one ``BENCH_<id>.json`` snapshot each; ``serve``
 starts the long-lived batched reasoning service (:mod:`repro.serve`).
 ``--stats`` prints the observability counter snapshot (see
@@ -89,10 +89,11 @@ def _print_stats(recorder: Recorder | None) -> None:
 
 
 def _print_profile(recorder: Recorder | None, top: int = 10) -> None:
-    """The top-``top`` timers by total time, as a flat profile table."""
+    """Top-``top`` timers by total time and counters by value, as tables."""
     if recorder is None:
         return
-    timers = recorder.snapshot()["timers"]
+    snapshot = recorder.snapshot()
+    timers = snapshot["timers"]
     ranked = sorted(timers.items(), key=lambda kv: kv[1]["total"], reverse=True)
     print()
     print(f"profile (top {min(top, len(ranked))} timers by total time):")
@@ -102,6 +103,13 @@ def _print_profile(recorder: Recorder | None, top: int = 10) -> None:
             f"  {name:<40} {cell['count']:>8} {cell['total']:>10.4f} "
             f"{cell['mean'] * 1000:>10.3f}"
         )
+    counters = snapshot["counters"]
+    top_counters = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+    print()
+    print(f"profile (top {min(top, len(top_counters))} counters by value):")
+    print(f"  {'counter':<40} {'value':>12}")
+    for name, value in top_counters[:top]:
+        print(f"  {name:<40} {value:>12}")
 
 
 def _cmd_critique(args: argparse.Namespace) -> int:
@@ -128,8 +136,8 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     budget = None
     if args.budget_nodes is not None or args.budget_ms is not None:
         budget = Budget(max_nodes=args.budget_nodes, max_ms=args.budget_ms)
-    if args.incremental_from and args.algorithm != "enhanced":
-        print("--incremental-from requires --algorithm enhanced", file=sys.stderr)
+    if args.incremental_from and args.algorithm not in ("auto", "enhanced"):
+        print("--incremental-from requires --algorithm auto/enhanced", file=sys.stderr)
         return EXIT_USAGE
     context, recorder = _recording(args)
     with context:
@@ -309,10 +317,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_classify.add_argument("tbox")
     p_classify.add_argument(
         "--algorithm",
-        choices=["enhanced", "brute"],
-        default="enhanced",
-        help="classification algorithm: enhanced-traversal insertion "
-        "(default) or the brute-force subsumption matrix",
+        choices=["auto", "enhanced", "brute", "saturation"],
+        default="auto",
+        help="classification algorithm: auto (default; consequence-based "
+        "saturation when the TBox is Horn/EL, enhanced traversal "
+        "otherwise), enhanced-traversal insertion, the brute-force "
+        "subsumption matrix, or saturation with per-query tableau "
+        "fallback for non-Horn residue",
     )
     p_classify.add_argument(
         "--budget-nodes",
@@ -357,7 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.set_defaults(func=_cmd_check)
 
     p_bench = sub.add_parser(
-        "bench", help="run the B1-B9 benches and write BENCH_*.json snapshots"
+        "bench", help="run the B1-B10 benches and write BENCH_*.json snapshots"
     )
     p_bench.add_argument(
         "--out", default=".", help="directory for BENCH_*.json files (default: .)"
@@ -366,7 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         action="append",
         metavar="ID",
-        choices=["B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9"],
+        choices=["B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10"],
         help="run only this bench (repeatable)",
     )
     p_bench.set_defaults(func=_cmd_bench)

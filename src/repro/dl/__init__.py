@@ -29,6 +29,7 @@ from .hierarchy import (
     classify,
 )
 from .incremental import ReclassifyResult, reclassify
+from .intern import BOTTOM_ID, TOP_ID, BitSet, ConceptTable, InternTable
 from .interpretation import Interpretation
 from .nnf import is_nnf, negate, to_nnf
 from .parser import ParseError, parse_axiom, parse_concept, parse_tbox
@@ -53,6 +54,7 @@ from .syntax import (
     only,
     some,
 )
+from .saturation import Saturation
 from .tableau import ReasonerError, Tableau
 from .tbox import Axiom, Equivalence, Subsumption, TBox
 
@@ -64,6 +66,8 @@ __all__ = [
     "TBox", "Subsumption", "Equivalence", "Axiom",
     "ABox", "ConceptAssertion", "RoleAssertion", "Assertion",
     "Tableau", "Reasoner", "ReasonerError", "Interpretation",
+    "BitSet", "InternTable", "ConceptTable", "TOP_ID", "BOTTOM_ID",
+    "Saturation",
     "are_bisimilar", "bisimulation_classes", "is_alc_concept",
     "tbox_diff", "TBoxDiff", "axiom_diff", "AxiomDelta",
     "ConceptHierarchy", "classify", "TOP_NAME", "BOTTOM_NAME",

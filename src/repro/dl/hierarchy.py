@@ -3,20 +3,35 @@
 Computes the subsumption partial order over the named concepts of a TBox
 (plus ⊤ and ⊥) and exposes it as a :class:`repro.order.Poset`.
 
-Two algorithms are available:
+Four algorithms are available:
 
-``algorithm="enhanced"`` (the default) is insertion-based
-*enhanced-traversal* classification in the tradition of Baader,
-Hollunder, Nebel & Profitlich: concepts are inserted one at a time, a
-*top search* from ⊤ finds the most specific subsumers and a *bottom
-search* from ⊥ finds the most general subsumees.  Told subsumers seed
-both searches, and transitivity of the partial order propagates both
-positive and negative answers, so most candidate pairs never reach the
-tableau — every avoided test shows up in the ``hierarchy.pruned_tests``
-counter (told-seeded answers keep their own ``hierarchy.told_hits``).
+``algorithm="auto"`` (the default) resolves to ``"saturation"`` when the
+TBox normalizes entirely into the Horn/EL fragment and the run is not
+budget-governed or seeded, and to ``"enhanced"`` otherwise.
+
+``algorithm="saturation"`` classifies from the consequence-based
+completion of :mod:`repro.dl.saturation`.  With an empty non-Horn
+residue the whole hierarchy is read directly off the saturated subsumer
+bitsets — zero tableau tests.  With residue present, it runs the
+enhanced traversal with the saturation as a *subsumption oracle*:
+queries the oracle can answer definitively never open a tableau, the
+rest fall back per query (counted as ``saturation.tableau_fallbacks``).
+
+``algorithm="enhanced"`` is insertion-based *enhanced-traversal*
+classification in the tradition of Baader, Hollunder, Nebel &
+Profitlich: concepts are inserted one at a time, a *top search* from ⊤
+finds the most specific subsumers and a *bottom search* from ⊥ finds the
+most general subsumees.  Told subsumers seed both searches, and
+transitivity of the partial order propagates both positive and negative
+answers, so most candidate pairs never reach the tableau — every avoided
+test shows up in the ``hierarchy.pruned_tests`` counter (told-seeded
+answers keep their own ``hierarchy.told_hits``).  The traversal state is
+interned: DAG nodes carry dense int ids, parents/children/closures are
+int bitmasks (:mod:`repro.dl.intern`), so the transitivity and
+negative-propagation bookkeeping is bitwise.
 
 ``algorithm="brute"`` is the original O(n²) pairwise subsumption matrix,
-kept as a correctness oracle; a Hypothesis property test asserts the two
+kept as a correctness oracle; Hypothesis property tests assert all
 algorithms produce identical hierarchies over random TBoxes.
 
 Equivalent names are grouped before the poset is built, so antisymmetry
@@ -27,18 +42,23 @@ unsatisfiable names join ⊥'s.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from ..obs import recorder as _obs
 from ..order import Poset
 from ..robust import Budget
+from .intern import BOTTOM_ID, TOP_ID, BitSet, InternTable
 from .reasoner import Reasoner
-from .syntax import Atomic, Concept, TOP, _Top
+from .syntax import And, Atomic, Concept, TOP, _Top
 from .tbox import TBox
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .saturation import Saturation
 
 TOP_NAME = "⊤"
 BOTTOM_NAME = "⊥"
 
-_ALGORITHMS = ("enhanced", "brute")
+_ALGORITHMS = ("auto", "enhanced", "brute", "saturation")
 
 
 @dataclass
@@ -75,7 +95,11 @@ class ConceptHierarchy:
     Satisfied counters: ``told_hits`` (answers seeded from told
     subsumers), ``pruned_tests`` (answers derived from the partial order
     already built, enhanced algorithm only), ``tableau_tests``
-    (subsumption questions that actually went to the reasoner).
+    (subsumption questions that actually went to the reasoner),
+    ``oracle_hits`` (questions the saturation oracle settled).
+
+    ``algorithm`` records the *resolved* algorithm: a construction with
+    ``"auto"`` ends up reading ``"saturation"`` or ``"enhanced"`` here.
 
     With a :class:`repro.robust.Budget`, every subsumption and
     satisfiability question runs governed under a per-query
@@ -101,22 +125,45 @@ class ConceptHierarchy:
                 f"unknown classification algorithm {algorithm!r}; "
                 f"expected one of {_ALGORITHMS}"
             )
-        if seed is not None and algorithm != "enhanced":
+        if seed is not None and algorithm not in ("enhanced", "auto"):
             raise ValueError(
                 "incremental (seeded) classification requires the "
                 "enhanced algorithm"
             )
         self.tbox = tbox
         self.reasoner = reasoner or Reasoner(tbox)
-        self.algorithm = algorithm
         self.told_hits = 0
         self.pruned_tests = 0
         self.tableau_tests = 0
+        self.oracle_hits = 0
         self._budget = budget
         #: (specific, general) name pairs whose subsumption question
         #: exhausted its budget; empty means the hierarchy is definite
         self.incomplete: set[tuple[str, str]] = set()
         self._satisfiable: dict[str, bool] = {}
+        self._oracle: Optional["Saturation"] = None
+
+        # "auto" resolves against the TBox shape: saturation classifies
+        # a pure-EL TBox outright, but a budgeted run must stay on the
+        # governed tableau path (so exhaustion can be reported per pair)
+        # and a seeded run is by construction an enhanced insertion.
+        if algorithm == "auto":
+            if (
+                seed is None
+                and budget is None
+                and self.reasoner.saturation().complete
+            ):
+                algorithm = "saturation"
+            else:
+                algorithm = "enhanced"
+        self.algorithm = algorithm
+
+        # the saturation oracle serves explicit saturation runs (hybrid
+        # when residue remains) and seeded incremental runs; the pure
+        # "enhanced" and "brute" baselines stay tableau-driven
+        if algorithm == "saturation" or seed is not None:
+            self._oracle = self.reasoner.saturation()
+
         names = sorted(tbox.atomic_names())
         _obs.incr("hierarchy.classifications")
         told_up = _told_subsumers(tbox) if use_told_subsumers else {}
@@ -124,6 +171,13 @@ class ConceptHierarchy:
         with _obs.trace(f"hierarchy.classify.{algorithm}"):
             if algorithm == "brute":
                 groups, edges, top_members = self._classify_brute(names, told_up)
+            elif (
+                algorithm == "saturation"
+                and self._oracle.complete
+                and seed is None
+                and budget is None
+            ):
+                groups, edges, top_members = self._classify_saturation(names)
             else:
                 groups, edges, top_members = self._classify_enhanced(
                     names, told_up, seed=seed
@@ -160,10 +214,24 @@ class ConceptHierarchy:
         self.poset = Poset(elements, pairs)
 
     # ------------------------------------------------------------------ #
-    # classification algorithms
+    # subsumption / satisfiability questions (oracle, then tableau)
     # ------------------------------------------------------------------ #
 
+    def _oracle_answer(self, general: Concept, specific: Concept) -> Optional[bool]:
+        general_name = _oracle_name(general)
+        specific_name = _oracle_name(specific)
+        if general_name is None or specific_name is None:
+            return None
+        return self._oracle.subsumes_names(specific_name, general_name)
+
     def _tableau_subsumes(self, general: Concept, specific: Concept) -> bool:
+        if self._oracle is not None:
+            answer = self._oracle_answer(general, specific)
+            if answer is not None:
+                self.oracle_hits += 1
+                _obs.incr("hierarchy.oracle_hits")
+                return answer
+            _obs.incr("saturation.tableau_fallbacks")
         self.tableau_tests += 1
         _obs.incr("hierarchy.tableau_subsumptions")
         if self._budget is None:
@@ -178,6 +246,13 @@ class ConceptHierarchy:
         return verdict.as_bool()
 
     def _check_satisfiable(self, name: str) -> bool:
+        if self._oracle is not None:
+            answer = self._oracle.satisfiable(name)
+            if answer is not None:
+                self.oracle_hits += 1
+                _obs.incr("hierarchy.oracle_hits")
+                return answer
+            _obs.incr("saturation.tableau_fallbacks")
         _obs.incr("hierarchy.sat_checks")
         if self._budget is None:
             return self.reasoner.is_satisfiable(Atomic(name))
@@ -198,6 +273,58 @@ class ConceptHierarchy:
     def _pruned(self) -> None:
         self.pruned_tests += 1
         _obs.incr("hierarchy.pruned_tests")
+
+    # ------------------------------------------------------------------ #
+    # classification algorithms
+    # ------------------------------------------------------------------ #
+
+    def _classify_saturation(
+        self, names: list[str]
+    ) -> tuple[dict[str, list[str]], list[tuple[str, str]], list[str]]:
+        """Read the hierarchy directly off the saturated subsumer bitsets.
+
+        Only reachable when the non-Horn residue is empty, where the
+        saturation is sound *and complete*: ``a ⊑ b`` iff b's bit is in
+        S(a).  Equivalence classes are groups with identical named
+        subsumer masks, unsatisfiable names carry the ⊥ bit, and
+        ⊤-equivalents appear in S(⊤).  No tableau test is ever run.
+        """
+        sat = self._oracle
+        atoms = sat.atoms
+        named = sat.named_mask()
+        bottom_bit = 1 << BOTTOM_ID
+        s_top = sat.subsumers_of(TOP_NAME)
+
+        top_members: list[str] = []
+        groups_by_mask: dict[int, list[str]] = {}
+        for name in names:  # sorted: group members accumulate sorted
+            subsumers = sat.subsumers_of(name) & named
+            if subsumers & bottom_bit:
+                self._satisfiable[name] = False
+                continue
+            self._satisfiable[name] = True
+            atom = atoms.get(name)
+            if atom is not None and s_top >> atom & 1:
+                top_members.append(name)
+                continue
+            groups_by_mask.setdefault(subsumers, []).append(name)
+
+        groups = {members[0]: members for members in groups_by_mask.values()}
+        rep_of: dict[int, str] = {}
+        for rep, members in groups.items():
+            for member in members:
+                atom = atoms.get(member)
+                if atom is not None:
+                    rep_of[atom] = rep
+        edges: list[tuple[str, str]] = []
+        skip = (1 << TOP_ID) | bottom_bit
+        for mask, members in groups_by_mask.items():
+            rep = members[0]
+            for atom in BitSet.bits(mask & ~skip):
+                other = rep_of.get(atom)
+                if other is not None and other != rep:
+                    edges.append((rep, other))
+        return groups, edges, top_members
 
     def _classify_brute(
         self, names: list[str], told_up: dict[str, frozenset[str]]
@@ -260,6 +387,11 @@ class ConceptHierarchy:
     ) -> tuple[dict[str, list[str]], list[tuple[str, str]], list[str]]:
         """Insertion classification with top/bottom enhanced traversal.
 
+        DAG nodes are interned to dense ids (⊤ = 0, ⊥ = 1, then group
+        representatives in creation order); ``parents``/``children`` and
+        every closure/memo structure are int bitmasks, so transitivity
+        and negative propagation are single bitwise operations.
+
         With a :class:`HierarchySeed`, the DAG starts from the seed's
         already-positioned structure and only ``seed.insert`` names are
         (re)inserted; every seeded edge and group membership is reused
@@ -271,53 +403,63 @@ class ConceptHierarchy:
                 if up != name:
                     told_down.setdefault(up, set()).add(name)
 
-        # the growing DAG over group nodes, ⊤ at the top, ⊥ at the bottom
+        # the growing DAG over interned group nodes, ⊤ at the top (id 0),
+        # ⊥ at the bottom (id 1)
+        nodes = InternTable()
+        top_id = nodes.intern(TOP_NAME)
+        bot_id = nodes.intern(BOTTOM_NAME)
+        parents: dict[int, int] = {top_id: 0, bot_id: 1 << top_id}
+        children: dict[int, int] = {top_id: 1 << bot_id, bot_id: 0}
+        groups: dict[int, list[str]] = {}
+        node_of: dict[str, int] = {}  # inserted name -> its group's node id
+        top_members: list[str] = []
         if seed is None:
-            parents: dict[str, set[str]] = {TOP_NAME: set(), BOTTOM_NAME: {TOP_NAME}}
-            children: dict[str, set[str]] = {
-                TOP_NAME: {BOTTOM_NAME}, BOTTOM_NAME: set()
-            }
-            groups: dict[str, list[str]] = {}
-            node_of: dict[str, str] = {}  # inserted name -> its group's node
-            top_members: list[str] = []
             to_insert = names
         else:
-            parents = {node: set(ps) for node, ps in seed.parents.items()}
-            children = {node: set(cs) for node, cs in seed.children.items()}
-            groups = {rep: list(members) for rep, members in seed.groups.items()}
-            node_of = {}
-            for rep, members in groups.items():
+            for node in sorted(seed.parents):
+                nodes.intern(node)  # deterministic id assignment
+            for node, ps in seed.parents.items():
+                parents[nodes.intern(node)] = BitSet.of(
+                    nodes.intern(p) for p in ps
+                )
+            for node, cs in seed.children.items():
+                children[nodes.intern(node)] = BitSet.of(
+                    nodes.intern(c) for c in cs
+                )
+            for rep, members in seed.groups.items():
+                rep_id = nodes.intern(rep)
+                groups[rep_id] = list(members)
                 for member in members:
-                    node_of[member] = rep
+                    node_of[member] = rep_id
                     self._satisfiable[member] = True
             top_members = list(seed.top_members)
             for member in top_members:
-                node_of[member] = TOP_NAME
+                node_of[member] = top_id
                 self._satisfiable[member] = True
             for name in seed.unsatisfiable:
-                node_of[name] = BOTTOM_NAME
+                node_of[name] = bot_id
                 self._satisfiable[name] = False
             insert_set = set(seed.insert)
             to_insert = [n for n in names if n in insert_set]
 
-        def up_closure(seeds: set[str]) -> set[str]:
-            out: set[str] = set()
-            stack = list(seeds)
-            while stack:
-                node = stack.pop()
-                if node not in out:
-                    out.add(node)
-                    stack.extend(parents[node])
+        def up_closure(mask: int) -> int:
+            out = 0
+            frontier = mask
+            while frontier:
+                low = frontier & -frontier
+                frontier ^= low
+                out |= low
+                frontier |= parents[low.bit_length() - 1] & ~out
             return out
 
-        def down_closure(seeds: set[str]) -> set[str]:
-            out: set[str] = set()
-            stack = list(seeds)
-            while stack:
-                node = stack.pop()
-                if node not in out:
-                    out.add(node)
-                    stack.extend(children[node])
+        def down_closure(mask: int) -> int:
+            out = 0
+            frontier = mask
+            while frontier:
+                low = frontier & -frontier
+                frontier ^= low
+                out |= low
+                frontier |= children[low.bit_length() - 1] & ~out
             return out
 
         for name in _insertion_order(to_insert, told_up):
@@ -325,164 +467,184 @@ class ConceptHierarchy:
 
             if self.reasoner.known_satisfiability(concept) is False:
                 self._satisfiable[name] = False
-                node_of[name] = BOTTOM_NAME
+                node_of[name] = bot_id
                 continue
-            told_nodes = {
-                node_of[t]
-                for t in told_up.get(name, ())
-                if t != name and t in node_of
-            }
-            if BOTTOM_NAME in told_nodes:
+            told_mask = 0
+            for t in told_up.get(name, ()):
+                if t != name and t in node_of:
+                    told_mask |= 1 << node_of[t]
+            if told_mask >> bot_id & 1:
                 # a told subsumer is unsatisfiable, so this name is too
                 self._satisfiable[name] = False
                 self._pruned()
-                node_of[name] = BOTTOM_NAME
+                node_of[name] = bot_id
                 continue
             # positive information: told subsumers and, by transitivity,
             # everything the DAG already places above them
-            known_pos = up_closure(told_nodes)
+            known_pos = up_closure(told_mask)
 
             # --- top search: most specific subsumers ----------------- #
-            subsumer_memo: dict[str, bool] = {TOP_NAME: True}
+            subsumer_memo: dict[int, bool] = {top_id: True}
 
-            def subsumer(node: str) -> bool:
+            def subsumer(node: int) -> bool:
                 """Does ``node`` subsume the concept being inserted?"""
                 cached = subsumer_memo.get(node)
                 if cached is not None:
                     return cached
-                if node in known_pos:
+                if known_pos >> node & 1:
                     subsumer_memo[node] = True
                     self._told_hit()
                     return True
                 # a subsumer's ancestors all subsume too: one negative
                 # parent settles this node without a tableau call
-                for parent in sorted(parents[node]):
-                    if not subsumer(parent):
+                mask = parents[node]
+                while mask:
+                    low = mask & -mask
+                    mask ^= low
+                    if not subsumer(low.bit_length() - 1):
                         subsumer_memo[node] = False
                         self._pruned()
                         return False
-                result = self._tableau_subsumes(Atomic(node), concept)
+                result = self._tableau_subsumes(Atomic(nodes[node]), concept)
                 subsumer_memo[node] = result
                 return result
 
-            most_specific: set[str] = set()
-            visited: set[str] = set()
+            most_specific = 0
+            visited = 0
 
-            def descend(node: str) -> None:
-                visited.add(node)
-                positive = [
-                    child
-                    for child in sorted(children[node])
-                    if child != BOTTOM_NAME and subsumer(child)
-                ]
+            def descend(node: int) -> None:
+                nonlocal most_specific, visited
+                visited |= 1 << node
+                positive = []
+                mask = children[node] & ~(1 << bot_id)
+                while mask:
+                    low = mask & -mask
+                    mask ^= low
+                    child = low.bit_length() - 1
+                    if subsumer(child):
+                        positive.append(child)
                 if not positive:
-                    most_specific.add(node)
+                    most_specific |= 1 << node
                     return
                 for child in positive:
-                    if child not in visited:
+                    if not visited >> child & 1:
                         descend(child)
 
-            descend(TOP_NAME)
+            descend(top_id)
 
             # satisfiability after the top search: a failed subsumption
             # test has already witnessed satisfiability, so this is
             # usually a (cross-seeded) cache hit
             if not self._check_satisfiable(name):
                 self._satisfiable[name] = False
-                node_of[name] = BOTTOM_NAME
+                node_of[name] = bot_id
                 continue
             self._satisfiable[name] = True
 
             # --- bottom search: most general subsumees --------------- #
-            known_sub = down_closure(
-                {
-                    node_of[d]
-                    for d in told_down.get(name, ())
-                    if d in node_of and node_of[d] != BOTTOM_NAME
-                }
-            )
-            # subsumees live below every subsumer of the new concept
-            allowed = (
-                None
-                if most_specific == {TOP_NAME}
-                else set.intersection(
-                    *(down_closure({p}) for p in sorted(most_specific))
-                )
-            )
-            subsumee_memo: dict[str, bool] = {BOTTOM_NAME: True}
+            told_sub_mask = 0
+            for d in told_down.get(name, ()):
+                if d in node_of and node_of[d] != bot_id:
+                    told_sub_mask |= 1 << node_of[d]
+            known_sub = down_closure(told_sub_mask)
+            # subsumees live below every subsumer of the new concept;
+            # -1 is the all-ones mask: no restriction
+            allowed = -1
+            if most_specific != 1 << top_id:
+                mask = most_specific
+                while mask:
+                    low = mask & -mask
+                    mask ^= low
+                    allowed &= down_closure(low)
+            subsumee_memo: dict[int, bool] = {bot_id: True}
 
-            def subsumee(node: str) -> bool:
+            def subsumee(node: int) -> bool:
                 """Is ``node`` subsumed by the concept being inserted?"""
                 cached = subsumee_memo.get(node)
                 if cached is not None:
                     return cached
-                if allowed is not None and node not in allowed:
+                if not allowed >> node & 1:
                     subsumee_memo[node] = False
                     self._pruned()
                     return False
-                if node in known_sub:
+                if known_sub >> node & 1:
                     subsumee_memo[node] = True
                     self._told_hit()
                     return True
                 # a subsumee's descendants are all subsumed too: one
                 # negative child settles this node without a tableau call
-                for child in sorted(children[node]):
-                    if not subsumee(child):
+                mask = children[node]
+                while mask:
+                    low = mask & -mask
+                    mask ^= low
+                    if not subsumee(low.bit_length() - 1):
                         subsumee_memo[node] = False
                         self._pruned()
                         return False
-                node_concept = TOP if node == TOP_NAME else Atomic(node)
+                node_concept = TOP if node == top_id else Atomic(nodes[node])
                 result = self._tableau_subsumes(concept, node_concept)
                 subsumee_memo[node] = result
                 return result
 
-            most_general: set[str] = set()
-            bottom_visited: set[str] = set()
+            most_general = 0
+            bottom_visited = 0
 
-            def ascend(node: str) -> None:
-                bottom_visited.add(node)
-                positive = [
-                    parent for parent in sorted(parents[node]) if subsumee(parent)
-                ]
+            def ascend(node: int) -> None:
+                nonlocal most_general, bottom_visited
+                bottom_visited |= 1 << node
+                positive = []
+                mask = parents[node]
+                while mask:
+                    low = mask & -mask
+                    mask ^= low
+                    parent = low.bit_length() - 1
+                    if subsumee(parent):
+                        positive.append(parent)
                 if not positive:
-                    most_general.add(node)
+                    most_general |= 1 << node
                     return
                 for parent in positive:
-                    if parent not in bottom_visited:
+                    if not bottom_visited >> parent & 1:
                         ascend(parent)
 
-            ascend(BOTTOM_NAME)
+            ascend(bot_id)
 
             # --- insert ---------------------------------------------- #
             equivalent = most_specific & most_general
             if equivalent:
-                node = sorted(equivalent)[0]
-                if node == TOP_NAME:
+                node = (equivalent & -equivalent).bit_length() - 1
+                if node == top_id:
                     top_members.append(name)
                 else:
                     groups[node].append(name)
                 node_of[name] = node
                 continue
-            for parent in most_specific:
-                for child in most_general:
-                    children[parent].discard(child)
-                    parents[child].discard(parent)
-            parents[name] = set(most_specific)
-            children[name] = set(most_general)
-            for parent in most_specific:
-                children[parent].add(name)
-            for child in most_general:
-                parents[child].add(name)
-            groups[name] = [name]
-            node_of[name] = name
+            new_id = nodes.intern(name)
+            for parent in BitSet.bits(most_specific):
+                children[parent] = (children[parent] & ~most_general) | (
+                    1 << new_id
+                )
+            for child in BitSet.bits(most_general):
+                parents[child] = (parents[child] & ~most_specific) | (
+                    1 << new_id
+                )
+            parents[new_id] = most_specific
+            children[new_id] = most_general
+            groups[new_id] = [name]
+            node_of[name] = new_id
 
-        edges = [
-            (node, parent)
-            for node in parents
-            if node != TOP_NAME
-            for parent in parents[node]
-        ]
-        return groups, edges, top_members
+        edges = []
+        for node, mask in parents.items():
+            if node == top_id:
+                continue
+            node_name = nodes[node]
+            for parent in BitSet.bits(mask):
+                edges.append((node_name, nodes[parent]))
+        return (
+            {nodes[node]: members for node, members in groups.items()},
+            edges,
+            top_members,
+        )
 
     # ------------------------------------------------------------------ #
     # queries
@@ -571,6 +733,15 @@ def _name_of(concept: Concept) -> str:
     return str(concept)
 
 
+def _oracle_name(concept: Concept) -> Optional[str]:
+    """The saturation-table name of a query operand, if it has one."""
+    if isinstance(concept, Atomic):
+        return concept.name
+    if isinstance(concept, _Top):
+        return TOP_NAME
+    return None
+
+
 def _insertion_order(
     names: list[str], told_up: dict[str, frozenset[str]]
 ) -> list[str]:
@@ -602,46 +773,60 @@ def _told_subsumers(tbox: TBox) -> dict[str, frozenset[str]]:
     For every axiom ``A ⊑ C`` (or ``A ≡ C``) with atomic ``A``, each
     atomic top-level conjunct ``B`` of ``C`` is a *told* subsumer of
     ``A``.  Returns name → all told subsumers (including itself).
-    """
-    from .syntax import And
 
-    direct: dict[str, set[str]] = {n: set() for n in tbox.atomic_names()}
+    The closure runs over bitmasks: names get dense ids, direct told
+    edges become per-name masks, and the fixpoint is pure mask ORing.
+    """
+    names = sorted(tbox.atomic_names())
+    index = {name: i for i, name in enumerate(names)}
+    direct = [0] * len(names)
     for gci in tbox.gcis():
         if not isinstance(gci.lhs, Atomic):
             continue
         conjuncts = gci.rhs.operands if isinstance(gci.rhs, And) else (gci.rhs,)
+        i = index[gci.lhs.name]
         for conjunct in conjuncts:
             if isinstance(conjunct, Atomic):
-                direct[gci.lhs.name].add(conjunct.name)
-    closure: dict[str, frozenset[str]] = {}
-    for name in direct:
-        seen = {name}
-        frontier = [name]
-        while frontier:
-            current = frontier.pop()
-            for parent in direct.get(current, ()):
-                if parent not in seen:
-                    seen.add(parent)
-                    frontier.append(parent)
-        closure[name] = frozenset(seen)
-    return closure
+                direct[i] |= 1 << index[conjunct.name]
+    masks = [direct[i] | (1 << i) for i in range(len(names))]
+    changed = True
+    while changed:
+        changed = False
+        for i, mask in enumerate(masks):
+            acc = mask
+            scan = direct[i]
+            while scan:
+                low = scan & -scan
+                scan ^= low
+                acc |= masks[low.bit_length() - 1]
+            if acc != mask:
+                masks[i] = acc
+                changed = True
+    return {
+        name: frozenset(names[b] for b in BitSet.bits(masks[index[name]]))
+        for name in names
+    }
 
 
 def classify(
     tbox: TBox,
     *,
     use_told_subsumers: bool = True,
-    algorithm: str = "enhanced",
+    algorithm: str = "auto",
     reasoner: Reasoner | None = None,
     budget: Budget | None = None,
 ) -> ConceptHierarchy:
     """Classify ``tbox`` and return its inferred hierarchy.
 
-    ``algorithm="brute"`` selects the original pairwise subsumption
-    matrix; the default enhanced traversal computes the same hierarchy
-    with far fewer tableau calls.  A ``budget`` makes classification
-    governed: it never raises on exhaustion, recording unresolved edges
-    in :attr:`ConceptHierarchy.incomplete` instead.
+    The default ``algorithm="auto"`` reads the whole hierarchy off the
+    Horn/EL saturation when the TBox normalizes completely (no tableau
+    tests at all) and falls back to enhanced traversal otherwise;
+    ``"saturation"`` forces the consequence-based path (hybrid with
+    per-query tableau fallback when a non-Horn residue remains);
+    ``"brute"`` selects the original pairwise subsumption matrix.  A
+    ``budget`` makes classification governed: it never raises on
+    exhaustion, recording unresolved edges in
+    :attr:`ConceptHierarchy.incomplete` instead.
     """
     return ConceptHierarchy(
         tbox,

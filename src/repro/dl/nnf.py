@@ -62,7 +62,11 @@ def _nnf(c: Concept, positive: bool) -> Concept:
         return cached
     result = _nnf_compute(c, positive)
     if len(_nnf_cache) >= _CACHE_CAP:
-        _nnf_cache.clear()
+        # FIFO eviction: dicts iterate in insertion order, so dropping the
+        # first key retires the oldest entry.  A wholesale clear() here
+        # used to throw away 65k warm entries to admit one.
+        _nnf_cache.pop(next(iter(_nnf_cache)))
+        _obs.incr("nnf.cache_evictions")
     _nnf_cache[key] = result
     return result
 

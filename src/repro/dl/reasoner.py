@@ -20,6 +20,7 @@ from .tbox import TBox
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .hierarchy import ConceptHierarchy
+    from .saturation import Saturation
 
 
 class Reasoner:
@@ -39,9 +40,13 @@ class Reasoner:
         self.tbox = tbox if tbox is not None else TBox()
         self._max_nodes = max_nodes
         self._tableau = Tableau(self.tbox, max_nodes=max_nodes)
-        self._sat_cache: dict[Concept, bool] = {}
-        self._subs_cache: dict[tuple[Concept, Concept], bool] = {}
+        # caches are keyed by the tableau's interned concept ids: int keys
+        # hash/compare in nanoseconds where frozen dataclass trees don't,
+        # and the id space resets with the tableau on invalidation
+        self._sat_cache: dict[int, bool] = {}
+        self._subs_cache: dict[tuple[int, int], bool] = {}
         self._hierarchy_cache: dict[tuple[str, bool], "ConceptHierarchy"] = {}
+        self._saturation: Optional["Saturation"] = None
         self._tbox_revision = self.tbox.revision
 
     # ------------------------------------------------------------------ #
@@ -61,6 +66,7 @@ class Reasoner:
         self._sat_cache.clear()
         self._subs_cache.clear()
         self._hierarchy_cache.clear()
+        self._saturation = None
         self._tableau = Tableau(self.tbox, max_nodes=self._max_nodes)
         self._tbox_revision = self.tbox.revision
 
@@ -83,6 +89,7 @@ class Reasoner:
         self._sat_cache.clear()
         self._subs_cache.clear()
         self._hierarchy_cache.clear()
+        self._saturation = None
 
     def cache_stats(self) -> dict[str, int]:
         """Entry counts of the memory-resident caches (for tests/metrics)."""
@@ -99,12 +106,13 @@ class Reasoner:
     def is_satisfiable(self, concept: Concept) -> bool:
         """True iff ``concept`` has a model consistent with the TBox."""
         self._check_revision()
-        if concept not in self._sat_cache:
+        key = self._tableau.cid(concept)
+        if key not in self._sat_cache:
             _obs.incr("reasoner.sat_cache_misses")
-            self._sat_cache[concept] = self._tableau.is_satisfiable(concept)
+            self._sat_cache[key] = self._tableau.is_satisfiable(concept)
         else:
             _obs.incr("reasoner.sat_cache_hits")
-        return self._sat_cache[concept]
+        return self._sat_cache[key]
 
     def extract_model(self, concept: Concept):
         """A finite witness interpretation for ``concept``, or ``None``.
@@ -132,7 +140,10 @@ class Reasoner:
         in the cache but should not pay for one otherwise.
         """
         self._check_revision()
-        return self._sat_cache.get(concept)
+        key = self._tableau.concepts.get(concept)  # peek: no table growth
+        if key is None:
+            return None
+        return self._sat_cache.get(key)
 
     def is_satisfiable_governed(
         self, concept: Concept, budget: Optional[Budget] = None
@@ -145,7 +156,8 @@ class Reasoner:
         cached, so a later attempt with a bigger budget starts clean.
         """
         self._check_revision()
-        cached = self._sat_cache.get(concept)
+        key = self._tableau.cid(concept)
+        cached = self._sat_cache.get(key)
         if cached is not None:
             _obs.incr("reasoner.sat_cache_hits")
             return Verdict.from_bool(cached)
@@ -153,7 +165,7 @@ class Reasoner:
         budget = budget if budget is not None else Budget.unlimited()
         verdict = self._tableau.solve_governed(concept, budget)
         if verdict.is_definite:
-            self._sat_cache[concept] = verdict.as_bool()
+            self._sat_cache[key] = verdict.as_bool()
         else:
             _obs.incr("robust.unknown_verdicts")
         return verdict
@@ -161,17 +173,17 @@ class Reasoner:
     def subsumes(self, general: Concept, specific: Concept) -> bool:
         """True iff ``specific ⊑ general`` w.r.t. the TBox."""
         self._check_revision()
-        key = (general, specific)
+        key = (self._tableau.cid(general), self._tableau.cid(specific))
         if key not in self._subs_cache:
             _obs.incr("reasoner.subs_cache_misses")
             test = And.of([specific, negate(general)])
             test_satisfiable = self._tableau.is_satisfiable(test)
             self._subs_cache[key] = not test_satisfiable
-            if test_satisfiable and specific not in self._sat_cache:
+            if test_satisfiable and key[1] not in self._sat_cache:
                 # the model of ``specific ⊓ ¬general`` witnesses that
                 # ``specific`` itself is satisfiable: cross-seed the sat
                 # cache so a later is_satisfiable(specific) is a hit
-                self._sat_cache[specific] = True
+                self._sat_cache[key[1]] = True
                 _obs.incr("reasoner.sat_cross_seeds")
         else:
             _obs.incr("reasoner.subs_cache_hits")
@@ -187,7 +199,7 @@ class Reasoner:
         disproved subsumption exactly like the boolean service.
         """
         self._check_revision()
-        key = (general, specific)
+        key = (self._tableau.cid(general), self._tableau.cid(specific))
         cached = self._subs_cache.get(key)
         if cached is not None:
             _obs.incr("reasoner.subs_cache_hits")
@@ -201,8 +213,8 @@ class Reasoner:
             return test_verdict
         test_satisfiable = test_verdict.as_bool()
         self._subs_cache[key] = not test_satisfiable
-        if test_satisfiable and specific not in self._sat_cache:
-            self._sat_cache[specific] = True
+        if test_satisfiable and key[1] not in self._sat_cache:
+            self._sat_cache[key[1]] = True
             _obs.incr("reasoner.sat_cross_seeds")
         return test_verdict.negated()
 
@@ -226,14 +238,34 @@ class Reasoner:
             if not self.is_satisfiable(Atomic(name))
         ]
 
+    def saturation(self) -> "Saturation":
+        """The Horn/EL saturation of the TBox, built once per revision.
+
+        Classification uses it as a subsumption oracle (and as the whole
+        algorithm when :attr:`Saturation.complete`); incremental
+        reclassification reuses the same instance across its seeded run.
+        """
+        from .saturation import Saturation
+
+        self._check_revision()
+        if self._saturation is None:
+            self._saturation = Saturation(self.tbox)
+        return self._saturation
+
     def classify(
         self,
         *,
-        algorithm: str = "enhanced",
+        algorithm: str = "auto",
         use_told_subsumers: bool = True,
         budget: Optional[Budget] = None,
     ) -> "ConceptHierarchy":
         """The classified concept hierarchy of the TBox, cached.
+
+        The default ``algorithm="auto"`` resolves to consequence-based
+        saturation when the TBox is fully Horn/EL and the call is not
+        budget-governed, and to enhanced traversal otherwise — the
+        resolution happens here so explicit and auto callers share cache
+        entries.
 
         The hierarchy is computed once per (algorithm, told-seeding)
         configuration and reused until the TBox revision moves, at which
@@ -251,8 +283,21 @@ class Reasoner:
         from .hierarchy import ConceptHierarchy
 
         self._check_revision()
+        requested_auto = algorithm == "auto"
+        if requested_auto:
+            algorithm = (
+                "saturation"
+                if budget is None and self.saturation().complete
+                else "enhanced"
+            )
         key = (algorithm, use_told_subsumers)
         hierarchy = self._hierarchy_cache.get(key)
+        if hierarchy is None and requested_auto and budget is not None:
+            # a budgeted auto call resolves to "enhanced", but a cached
+            # complete saturation hierarchy is a strictly better answer
+            hierarchy = self._hierarchy_cache.get(
+                ("saturation", use_told_subsumers)
+            )
         if hierarchy is None:
             _obs.incr("reasoner.classify_cache_misses")
             hierarchy = ConceptHierarchy(
@@ -282,18 +327,27 @@ class Reasoner:
         """
         self._check_revision()
         carried = 0
-        # list() snapshots are atomic under the GIL; `other` may still be
-        # serving requests while its successor adopts from it
-        for concept, value in list(other._sat_cache.items()):
-            if concept in self._sat_cache or concept.atomic_names() & invalid:
+        # ids are per-tableau: translate through the other reasoner's
+        # concept table and re-intern locally.  list() snapshots are
+        # atomic under the GIL; `other` may still be serving requests
+        # while its successor adopts from it.
+        other_concepts = other._tableau.concepts
+        for old_id, value in list(other._sat_cache.items()):
+            concept = other_concepts[old_id]
+            if concept.atomic_names() & invalid:
                 continue
-            self._sat_cache[concept] = value
+            key = self._tableau.cid(concept)
+            if key in self._sat_cache:
+                continue
+            self._sat_cache[key] = value
             carried += 1
-        for key, value in list(other._subs_cache.items()):
-            general, specific = key
-            if key in self._subs_cache:
-                continue
+        for (general_id, specific_id), value in list(other._subs_cache.items()):
+            general = other_concepts[general_id]
+            specific = other_concepts[specific_id]
             if (general.atomic_names() | specific.atomic_names()) & invalid:
+                continue
+            key = (self._tableau.cid(general), self._tableau.cid(specific))
+            if key in self._subs_cache:
                 continue
             self._subs_cache[key] = value
             carried += 1
@@ -330,6 +384,12 @@ class Reasoner:
         )
         if not result.hierarchy.incomplete:
             self._hierarchy_cache.setdefault(("enhanced", True), result.hierarchy)
+            if self.saturation().complete:
+                # an unbudgeted classify() resolves "auto" to saturation
+                # on this TBox: seed that key too so it hits the cache
+                self._hierarchy_cache.setdefault(
+                    ("saturation", True), result.hierarchy
+                )
         return result
 
     # ------------------------------------------------------------------ #

@@ -22,11 +22,36 @@ class DLSyntaxError(Exception):
     """Raised on malformed concepts."""
 
 
+#: instance caches for atomic names — the tableau, saturation, and parser
+#: construct the same handful of names millions of times, and identity
+#: short-circuits the dict/set probes those hot paths live in.  Bounded so
+#: an adversarial vocabulary stream cannot grow them without limit; past
+#: the cap construction silently stops interning (still correct, equality
+#: stays value-based).
+_INTERN_CAP = 65536
+_ROLE_CACHE: dict[str, "Role"] = {}
+_ATOMIC_CACHE: dict[str, "Atomic"] = {}
+
+
 @dataclass(frozen=True)
 class Role:
-    """An atomic role (binary relation) name."""
+    """An atomic role (binary relation) name.
+
+    Construction is interned: ``Role("has") is Role("has")`` (up to the
+    cache cap), so repeated construction allocates nothing new.
+    """
 
     name: str
+
+    def __new__(cls, name: str = "") -> "Role":
+        if cls is Role:
+            cached = _ROLE_CACHE.get(name)
+            if cached is not None:
+                return cached
+        self = super().__new__(cls)
+        if cls is Role and name and len(_ROLE_CACHE) < _INTERN_CAP:
+            _ROLE_CACHE[name] = self
+        return self
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -63,9 +88,23 @@ class Concept:
 
 @dataclass(frozen=True)
 class Atomic(Concept):
-    """An atomic (named) concept."""
+    """An atomic (named) concept.
+
+    Construction is interned like :class:`Role`: ``Atomic("car") is
+    Atomic("car")`` up to the cache cap.
+    """
 
     name: str
+
+    def __new__(cls, name: str = "") -> "Atomic":
+        if cls is Atomic:
+            cached = _ATOMIC_CACHE.get(name)
+            if cached is not None:
+                return cached
+        self = super().__new__(cls)
+        if cls is Atomic and name and len(_ATOMIC_CACHE) < _INTERN_CAP:
+            _ATOMIC_CACHE[name] = self
+        return self
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -17,6 +17,18 @@ A completion-graph tableau with:
 Branching (⊔ and merge choices) is explored by copying the completion
 graph — simple, deterministic, and fast enough for ontonomy-sized inputs,
 which is the regime this library targets.
+
+The engine is **interned**: every concept and role is assigned a dense
+int id on first contact (:mod:`repro.dl.intern`), node labels and the
+one-shot ``applied`` markers hold ids, and a label is a single Python
+``int`` bitmask.  Rule dispatch walks the set bits of the label against
+a per-id decomposition record (:class:`_Info`), conjunction expansion
+and GCI propagation are single ``|`` operations against precomputed
+masks, blocking is a subset check ``label & ancestor == label``, and
+copying a branch copies flat int-valued dicts instead of sets of hashed
+dataclasses.  Determinism is preserved: ids are assigned in a
+deterministic order, and rules fire in ascending id order where the old
+engine sorted concepts by string.
 """
 
 from __future__ import annotations
@@ -27,10 +39,9 @@ from typing import Iterable, Optional
 from ..obs import recorder as _obs
 from ..robust import Budget, BudgetExhausted, Verdict
 from .abox import ABox, ConceptAssertion, RoleAssertion
+from .intern import BOTTOM_ID, TOP_ID, ConceptTable, InternTable
 from .nnf import negate, to_nnf
 from .syntax import (
-    BOTTOM,
-    TOP,
     And,
     AtLeast,
     AtMost,
@@ -50,42 +61,82 @@ class ReasonerError(Exception):
     """Raised on unsupported constructs or resource exhaustion."""
 
 
+# decomposition kinds (see _Info)
+_ATOM, _TOP, _BOT, _NOT, _AND, _OR, _EXISTS, _FORALL, _ATLEAST, _ATMOST = range(10)
+
+_BOTTOM_BIT = 1 << BOTTOM_ID
+
+
+class _Info:
+    """The interned decomposition of one concept id.
+
+    ``kind`` selects the rule; the remaining fields are what that rule
+    needs, already interned: ``mask`` is the operand bitmask of ⊓/⊔,
+    ``ids`` the ⊔ branch order, ``a`` the single operand/filler id,
+    ``role`` the role id, ``n`` the number bound, and ``neg`` caches the
+    id of the negated filler (choose-rule), computed on first use.
+    ``skey`` is the concept's rendered string, precomputed once so
+    nondeterministic-rule selection can keep the engine's historical
+    sorted-by-string order without re-stringifying per round (id order
+    is *not* a drop-in replacement: it front-loads branching on global
+    GCI disjuncts and blows up the search on ∃-rich inputs).
+    """
+
+    __slots__ = ("kind", "mask", "ids", "a", "role", "n", "neg", "skey")
+
+    def __init__(self, kind: int) -> None:
+        self.kind = kind
+        self.mask = 0
+        self.ids: tuple[int, ...] = ()
+        self.a = -1
+        self.role = -1
+        self.n = 0
+        self.neg = -1
+        self.skey = ""
+
+
 class _State:
-    """A completion graph: labels, role edges, distinctness, provenance."""
+    """A completion graph: labels, role edges, distinctness, provenance.
 
-    __slots__ = ("labels", "edges", "parent", "named", "distinct", "counter", "applied")
+    ``labels`` maps node → label bitmask over the owning tableau's
+    concept table; ``edges`` is keyed by interned role ids; ``applied``
+    holds ``(node, concept_id)`` one-shot markers.
+    """
 
-    def __init__(self) -> None:
-        self.labels: dict[int, set[Concept]] = {}
-        self.edges: dict[int, dict[str, set[int]]] = {}
+    __slots__ = ("owner", "labels", "edges", "parent", "named", "distinct", "counter", "applied")
+
+    def __init__(self, owner: "Tableau") -> None:
+        self.owner = owner
+        self.labels: dict[int, int] = {}
+        self.edges: dict[int, dict[int, set[int]]] = {}
         self.parent: dict[int, Optional[int]] = {}
         self.named: set[int] = set()
         self.distinct: set[frozenset[int]] = set()
         self.counter: int = 0
-        # (node, concept) pairs for one-shot generating rules
-        self.applied: set[tuple[int, Concept]] = set()
+        # (node, concept id) pairs for one-shot generating rules
+        self.applied: set[tuple[int, int]] = set()
 
     def new_node(self, parent: Optional[int], named: bool = False) -> int:
         _obs.incr("tableau.expansions")
         node = self.counter
         self.counter += 1
-        self.labels[node] = set()
+        self.labels[node] = 0
         self.edges[node] = {}
         self.parent[node] = parent
         if named:
             self.named.add(node)
         return node
 
-    def add_edge(self, u: int, role: str, v: int) -> None:
+    def add_edge(self, u: int, role: int, v: int) -> None:
         self.edges[u].setdefault(role, set()).add(v)
 
-    def successors(self, node: int, role: str) -> set[int]:
+    def successors(self, node: int, role: int) -> set[int]:
         return self.edges[node].get(role, set())
 
     def copy(self) -> "_State":
         _obs.incr("tableau.branch_copies")
-        s = _State()
-        s.labels = {n: set(l) for n, l in self.labels.items()}
+        s = _State(self.owner)
+        s.labels = dict(self.labels)  # int-valued: a flat copy suffices
         s.edges = {n: {r: set(vs) for r, vs in by_role.items()} for n, by_role in self.edges.items()}
         s.parent = dict(self.parent)
         s.named = set(self.named)
@@ -105,7 +156,7 @@ class _State:
         if node in self.named:
             return False
         label = self.labels[node]
-        return any(label <= self.labels[a] for a in self.ancestors(node))
+        return any(label & self.labels[a] == label for a in self.ancestors(node))
 
     def merge(self, source: int, target: int) -> None:
         """Merge ``source`` into ``target`` (labels, edges, incoming links)."""
@@ -140,14 +191,95 @@ class Tableau:
     def __init__(self, tbox: TBox | None = None, *, max_nodes: int = 2000) -> None:
         self.tbox = tbox if tbox is not None else TBox()
         self.max_nodes = max_nodes
-        # absorption split
-        self._lazy: dict[str, list[Concept]] = {}
-        self._global: list[Concept] = []
+        #: concept ↔ dense id (⊤ = 0, ⊥ = 1); shared with the reasoner's
+        #: id-keyed caches for the life of this tableau
+        self.concepts = ConceptTable()
+        self.roles = InternTable()
+        self._info: list[_Info] = []
+        self._build_info(TOP_ID)
+        self._build_info(BOTTOM_ID)
+        # absorption split, interned: per-atomic-id unfolding masks and a
+        # single global-GCI mask ORed into every label
+        self._lazy_mask: dict[int, int] = {}
+        self._global_mask = 0
         for gci in self.tbox.gcis():
             if isinstance(gci.lhs, Atomic):
-                self._lazy.setdefault(gci.lhs.name, []).append(to_nnf(gci.rhs))
+                lhs_id = self.cid(gci.lhs)
+                rhs_bit = 1 << self.cid(to_nnf(gci.rhs))
+                self._lazy_mask[lhs_id] = self._lazy_mask.get(lhs_id, 0) | rhs_bit
             else:
-                self._global.append(to_nnf(Or.of([negate(gci.lhs), to_nnf(gci.rhs)])))
+                constraint = to_nnf(Or.of([negate(gci.lhs), to_nnf(gci.rhs)]))
+                self._global_mask |= 1 << self.cid(constraint)
+
+    # ------------------------------------------------------------------ #
+    # interning
+    # ------------------------------------------------------------------ #
+
+    def cid(self, concept: Concept) -> int:
+        """The dense id of ``concept``, interning it (and its parts) on miss."""
+        i = self.concepts.get(concept)
+        if i is not None:
+            return i
+        i = self.concepts.intern(concept)
+        self._build_info(i)
+        return i
+
+    def _build_info(self, i: int) -> None:
+        concept = self.concepts[i]
+        if isinstance(concept, Atomic):
+            info = _Info(_ATOM)
+        elif isinstance(concept, _Top):
+            info = _Info(_TOP)
+        elif isinstance(concept, _Bottom):
+            info = _Info(_BOT)
+        elif isinstance(concept, Not):
+            info = _Info(_NOT)
+            self._info.append(info)  # reserve slot before recursing
+            info.a = self.cid(concept.operand)
+            return
+        elif isinstance(concept, And):
+            info = _Info(_AND)
+            self._info.append(info)
+            info.mask = 0
+            for op in concept.operands:
+                info.mask |= 1 << self.cid(op)
+            return
+        elif isinstance(concept, Or):
+            info = _Info(_OR)
+            info.skey = str(concept)
+            self._info.append(info)
+            info.ids = tuple(self.cid(op) for op in concept.operands)
+            info.mask = 0
+            for op_id in info.ids:
+                info.mask |= 1 << op_id
+            return
+        elif isinstance(concept, (Exists, Forall, AtLeast, AtMost)):
+            info = _Info(
+                {
+                    Exists: _EXISTS,
+                    Forall: _FORALL,
+                    AtLeast: _ATLEAST,
+                    AtMost: _ATMOST,
+                }[type(concept)]
+            )
+            info.skey = str(concept)
+            self._info.append(info)
+            info.role = self.roles.intern(concept.role.name)
+            info.a = self.cid(concept.filler)
+            info.n = getattr(concept, "n", 0)
+            return
+        else:  # pragma: no cover - defensive
+            raise ReasonerError(f"unknown concept node {concept!r}")
+        self._info.append(info)
+
+    def _neg_filler(self, info: _Info) -> int:
+        """The id of the negated filler of a ≤-restriction (choose-rule)."""
+        if info.neg < 0:
+            info.neg = self.cid(negate(self.concepts[info.a]))
+        return info.neg
+
+    def _new_state(self) -> _State:
+        return _State(self)
 
     # ------------------------------------------------------------------ #
     # public entry points
@@ -164,9 +296,9 @@ class Tableau:
         checkable :class:`repro.dl.interpretation.Interpretation`.
         """
         _obs.incr("tableau.solve_calls")
-        state = _State()
+        state = self._new_state()
         root = state.new_node(None, named=True)
-        state.labels[root].add(to_nnf(concept))
+        state.labels[root] |= 1 << self.cid(to_nnf(concept))
         with _obs.trace("tableau.solve"):
             return self._solve(state)
 
@@ -175,9 +307,8 @@ class Tableau:
         _obs.incr("tableau.solve_calls")
         return self._solve(self._abox_state(abox)) is not None
 
-    @staticmethod
-    def _abox_state(abox: ABox) -> _State:
-        state = _State()
+    def _abox_state(self, abox: ABox) -> _State:
+        state = self._new_state()
         node_of: dict[str, int] = {}
         for name in sorted(abox.individuals()):
             node_of[name] = state.new_node(None, named=True)
@@ -186,9 +317,15 @@ class Tableau:
             state.distinct.add(frozenset({a, b}))
         for assertion in abox:
             if isinstance(assertion, ConceptAssertion):
-                state.labels[node_of[assertion.individual]].add(to_nnf(assertion.concept))
+                state.labels[node_of[assertion.individual]] |= 1 << self.cid(
+                    to_nnf(assertion.concept)
+                )
             elif isinstance(assertion, RoleAssertion):
-                state.add_edge(node_of[assertion.subject], assertion.role.name, node_of[assertion.object])
+                state.add_edge(
+                    node_of[assertion.subject],
+                    self.roles.intern(assertion.role.name),
+                    node_of[assertion.object],
+                )
         return state
 
     # ------------------------------------------------------------------ #
@@ -203,9 +340,9 @@ class Tableau:
         raises on exhaustion — that is the whole point.
         """
         _obs.incr("tableau.solve_calls")
-        state = _State()
+        state = self._new_state()
         root = state.new_node(None, named=True)
-        state.labels[root].add(to_nnf(concept))
+        state.labels[root] |= 1 << self.cid(to_nnf(concept))
         return self._verdict_of(state, budget)
 
     def consistent_governed(self, abox: ABox, budget: Budget) -> Verdict:
@@ -249,14 +386,14 @@ class Tableau:
 
             branch = self._find_disjunction(state)
             if branch is not None:
-                node, disjunction = branch
+                node, or_id = branch
                 _obs.incr("tableau.disjunction_branches")
-                for disjunct in disjunction.operands:
+                for disjunct in self._info[or_id].ids:
                     if budget is not None:
                         budget.charge_branch()
                     attempt = state.copy()
-                    attempt.applied.add((node, disjunction))
-                    attempt.labels[node].add(disjunct)
+                    attempt.applied.add((node, or_id))
+                    attempt.labels[node] |= 1 << disjunct
                     solved = self._solve(attempt, budget)
                     if solved is not None:
                         return solved
@@ -264,13 +401,13 @@ class Tableau:
 
             choose = self._find_choose(state)
             if choose is not None:
-                succ, filler = choose
+                succ, filler_id, neg_id = choose
                 _obs.incr("tableau.choose_applications")
-                for variant in (filler, negate(filler)):
+                for variant in (filler_id, neg_id):
                     if budget is not None:
                         budget.charge_branch()
                     attempt = state.copy()
-                    attempt.labels[succ].add(variant)
+                    attempt.labels[succ] |= 1 << variant
                     solved = self._solve(attempt, budget)
                     if solved is not None:
                         return solved
@@ -278,8 +415,8 @@ class Tableau:
 
             merge = self._find_atmost_violation(state)
             if merge is not None:
-                node, concept = merge
-                succ = sorted(self._atmost_candidates(state, node, concept))
+                node, atmost_id = merge
+                succ = sorted(self._atmost_candidates(state, node, atmost_id))
                 mergeable = [
                     (u, v)
                     for u, v in itertools.combinations(succ, 2)
@@ -314,56 +451,61 @@ class Tableau:
 
     def _deterministic_round(self, state: _State) -> bool:
         changed = False
+        info = self._info
         for node in list(state.labels):
             label = state.labels[node]
-            additions: set[Concept] = set()
-            # global GCIs
-            for constraint in self._global:
-                if constraint not in label:
-                    additions.add(constraint)
-            # lazy unfolding of absorbed axioms
-            for concept in list(label):
-                if isinstance(concept, Atomic):
-                    for rhs in self._lazy.get(concept.name, ()):
-                        if rhs not in label:
-                            additions.add(rhs)
-                elif isinstance(concept, And):
-                    for op in concept.operands:
-                        if op not in label:
-                            additions.add(op)
-                elif isinstance(concept, Forall):
-                    for succ in state.successors(node, concept.role.name):
-                        if concept.filler not in state.labels[succ]:
-                            state.labels[succ].add(concept.filler)
+            # global GCIs: one mask OR covers every propagated constraint
+            additions = self._global_mask & ~label
+            mask = label
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                i = info[low.bit_length() - 1]
+                kind = i.kind
+                if kind == _ATOM:
+                    # lazy unfolding of absorbed axioms
+                    unfold = self._lazy_mask.get(low.bit_length() - 1)
+                    if unfold is not None:
+                        additions |= unfold & ~label
+                elif kind == _AND:
+                    additions |= i.mask & ~label
+                elif kind == _FORALL:
+                    filler_bit = 1 << i.a
+                    for succ in state.successors(node, i.role):
+                        if not state.labels[succ] & filler_bit:
+                            state.labels[succ] |= filler_bit
                             changed = True
             if additions:
-                label |= additions
+                state.labels[node] = label | additions
                 changed = True
         return changed
 
     # -- clash detection ------------------------------------------------ #
 
     def _has_clash(self, state: _State) -> bool:
+        info = self._info
         for node, label in state.labels.items():
-            for concept in label:
-                if isinstance(concept, _Bottom):
-                    return True
-                if isinstance(concept, Not) and concept.operand in label:
-                    return True
-                if isinstance(concept, AtMost):
-                    candidates = self._atmost_candidates(state, node, concept)
-                    if len(candidates) > concept.n and self._all_distinct(
-                        state, candidates, concept.n
+            if label & _BOTTOM_BIT:
+                return True
+            mask = label
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                i = info[low.bit_length() - 1]
+                if i.kind == _NOT:
+                    if label >> i.a & 1:
+                        return True
+                elif i.kind == _ATMOST:
+                    candidates = self._atmost_candidates(
+                        state, node, low.bit_length() - 1
+                    )
+                    if len(candidates) > i.n and self._all_distinct(
+                        state, candidates, i.n
                     ):
                         return True
-                if isinstance(concept, AtLeast) and concept.n >= 1:
-                    # direct conflict ≥n r.⊤ vs ≤m r.⊤ with m < n is found
-                    # after generation; nothing to do here
-                    pass
         return False
 
-    @staticmethod
-    def _atmost_candidates(state: _State, node: int, concept: AtMost) -> set[int]:
+    def _atmost_candidates(self, state: _State, node: int, atmost_id: int) -> set[int]:
         """The r-successors that count against ``≤n r.C``.
 
         With ``C = ⊤`` every r-successor counts; otherwise only those
@@ -371,10 +513,12 @@ class Tableau:
         saturation every successor carries ``C`` or ``¬C``, so this count
         is exact on complete graphs.
         """
-        succ = state.successors(node, concept.role.name)
-        if isinstance(concept.filler, _Top):
+        info = self._info[atmost_id]
+        succ = state.successors(node, info.role)
+        if info.a == TOP_ID:
             return set(succ)
-        return {s for s in succ if concept.filler in state.labels[s]}
+        filler_bit = 1 << info.a
+        return {s for s in succ if state.labels[s] & filler_bit}
 
     @staticmethod
     def _all_distinct(state: _State, nodes: set[int], bound: int) -> bool:
@@ -389,78 +533,120 @@ class Tableau:
 
     # -- nondeterministic rule selection -------------------------------- #
 
-    def _find_disjunction(self, state: _State) -> Optional[tuple[int, Or]]:
+    def _find_disjunction(self, state: _State) -> Optional[tuple[int, int]]:
+        # candidates are ordered by rendered string, not interned id: id
+        # order front-loads branching on global-GCI disjuncts and blows
+        # the search up exponentially on ∃-rich inputs (see _Info.skey)
+        info = self._info
         for node in sorted(state.labels):
-            for concept in sorted(state.labels[node], key=str):
-                if isinstance(concept, Or) and (node, concept) not in state.applied:
-                    if not any(op in state.labels[node] for op in concept.operands):
-                        return (node, concept)
+            label = state.labels[node]
+            best = -1
+            best_key = ""
+            mask = label
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                cid = low.bit_length() - 1
+                i = info[cid]
+                if i.kind == _OR and (node, cid) not in state.applied:
+                    if not label & i.mask:
+                        if best < 0 or i.skey < best_key:
+                            best = cid
+                            best_key = i.skey
+            if best >= 0:
+                return (node, best)
         return None
 
-    def _find_choose(self, state: _State) -> Optional[tuple[int, Concept]]:
+    def _find_choose(self, state: _State) -> Optional[tuple[int, int, int]]:
         """The choose-rule: under ``≤n r.C`` every r-successor must decide
         between ``C`` and ``¬C`` before counting is meaningful."""
+        info = self._info
         for node in sorted(state.labels):
-            for concept in sorted(state.labels[node], key=str):
-                if isinstance(concept, AtMost) and not isinstance(concept.filler, _Top):
-                    negated = negate(concept.filler)
-                    for succ in sorted(state.successors(node, concept.role.name)):
-                        label = state.labels[succ]
-                        if concept.filler not in label and negated not in label:
-                            return (succ, concept.filler)
+            mask = state.labels[node]
+            atmosts = []
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                i = info[low.bit_length() - 1]
+                if i.kind == _ATMOST and i.a != TOP_ID:
+                    atmosts.append(i)
+            atmosts.sort(key=lambda i: i.skey)
+            for i in atmosts:
+                neg_id = self._neg_filler(i)
+                undecided = ~((1 << i.a) | (1 << neg_id))
+                for succ in sorted(state.successors(node, i.role)):
+                    if state.labels[succ] | undecided == undecided:
+                        return (succ, i.a, neg_id)
         return None
 
-    def _find_atmost_violation(self, state: _State) -> Optional[tuple[int, AtMost]]:
+    def _find_atmost_violation(self, state: _State) -> Optional[tuple[int, int]]:
+        info = self._info
         for node in sorted(state.labels):
-            for concept in sorted(state.labels[node], key=str):
-                if isinstance(concept, AtMost):
-                    candidates = self._atmost_candidates(state, node, concept)
-                    if len(candidates) > concept.n and not self._all_distinct(
-                        state, candidates, concept.n
-                    ):
-                        return (node, concept)
+            mask = state.labels[node]
+            atmosts = []
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                cid = low.bit_length() - 1
+                i = info[cid]
+                if i.kind == _ATMOST:
+                    atmosts.append((i.skey, cid, i))
+            atmosts.sort()
+            for _, cid, i in atmosts:
+                candidates = self._atmost_candidates(state, node, cid)
+                if len(candidates) > i.n and not self._all_distinct(
+                    state, candidates, i.n
+                ):
+                    return (node, cid)
         return None
 
     # -- generating rules ------------------------------------------------ #
 
     def _generating_round(self, state: _State) -> bool:
         generated = False
+        info = self._info
         for node in sorted(state.labels):
             if node not in state.labels:
                 continue
             if state.is_blocked(node):
                 _obs.incr("tableau.blocking_hits")
                 continue
-            for concept in sorted(state.labels[node], key=str):
-                if isinstance(concept, Exists):
-                    if (node, concept) in state.applied:
+            mask = state.labels[node]
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                cid = low.bit_length() - 1
+                i = info[cid]
+                if i.kind == _EXISTS:
+                    if (node, cid) in state.applied:
                         continue
+                    filler_bit = 1 << i.a
                     if any(
-                        concept.filler in state.labels[s]
-                        for s in state.successors(node, concept.role.name)
+                        state.labels[s] & filler_bit
+                        for s in state.successors(node, i.role)
                     ):
-                        state.applied.add((node, concept))
+                        state.applied.add((node, cid))
                         continue
                     child = state.new_node(node)
-                    state.labels[child].add(concept.filler)
-                    state.add_edge(node, concept.role.name, child)
-                    state.applied.add((node, concept))
+                    state.labels[child] = filler_bit
+                    state.add_edge(node, i.role, child)
+                    state.applied.add((node, cid))
                     generated = True
-                elif isinstance(concept, AtLeast) and concept.n >= 1:
-                    if (node, concept) in state.applied:
+                elif i.kind == _ATLEAST and i.n >= 1:
+                    if (node, cid) in state.applied:
                         continue
+                    filler_bit = 1 << i.a
                     children = []
-                    for _ in range(concept.n):
+                    for _ in range(i.n):
                         child = state.new_node(node)
-                        state.labels[child].add(concept.filler)
-                        state.add_edge(node, concept.role.name, child)
+                        state.labels[child] = filler_bit
+                        state.add_edge(node, i.role, child)
                         children.append(child)
                     for u, v in itertools.combinations(children, 2):
                         state.distinct.add(frozenset({u, v}))
-                    state.applied.add((node, concept))
+                    state.applied.add((node, cid))
                     generated = True
         return generated
-
 
 
 def extract_interpretation(state: _State) -> "Interpretation":
@@ -477,6 +663,9 @@ def extract_interpretation(state: _State) -> "Interpretation":
     """
     from .interpretation import Interpretation
 
+    concept_table = state.owner.concepts
+    role_table = state.owner.roles
+
     def resolve(node: int) -> int:
         """Follow blockers until a non-blocked node is reached."""
         seen = set()
@@ -485,7 +674,7 @@ def extract_interpretation(state: _State) -> "Interpretation":
             seen.add(current)
             label = state.labels[current]
             for ancestor in state.ancestors(current):
-                if label <= state.labels[ancestor]:
+                if label & state.labels[ancestor] == label:
                     current = ancestor
                     break
             else:  # pragma: no cover - blocked implies a superset ancestor
@@ -495,13 +684,18 @@ def extract_interpretation(state: _State) -> "Interpretation":
     domain = list(state.labels)
     concepts: dict[str, set[int]] = {}
     for node in domain:
-        for concept in state.labels[node]:
+        mask = state.labels[node]
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            concept = concept_table[low.bit_length() - 1]
             if isinstance(concept, Atomic):
                 concepts.setdefault(concept.name, set()).add(node)
     roles: dict[str, set[tuple[int, int]]] = {}
     for node in domain:
         source = resolve(node) if state.is_blocked(node) else node
-        for role, targets in state.edges[source].items():
+        for role_id, targets in state.edges[source].items():
+            role = role_table[role_id]
             for target in targets:
                 roles.setdefault(role, set()).add((node, target))
     return Interpretation(domain, concepts, roles)

@@ -318,6 +318,7 @@ class ReasoningServer:
             "logged_version": self._logged_version,
             "pending_swap": self._pending is not None or self._publishing,
             "axioms": len(snapshot.tbox),
+            "classify_algorithm": snapshot.classify_algorithm,
             "inflight": self.admission.inflight,
             "pending_batch": self.batcher.pending,
         }

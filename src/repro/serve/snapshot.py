@@ -164,6 +164,14 @@ class Snapshot:
     # -- inspection ------------------------------------------------------ #
 
     @property
+    def classify_algorithm(self) -> Optional[str]:
+        """The resolved classification algorithm behind this version's
+        hierarchy ("saturation" on a fully Horn/EL TBox, "enhanced"
+        otherwise — including seeded incremental swaps); None once
+        released."""
+        return None if self.hierarchy is None else self.hierarchy.algorithm
+
+    @property
     def refs(self) -> int:
         return self._refs
 
@@ -289,7 +297,12 @@ class SnapshotManager:
         with self._lock:
             self._chain = [s for s in self._chain if not s.released]
             return [
-                {"version": s.version, "refs": s.refs, "retired": s.retired}
+                {
+                    "version": s.version,
+                    "refs": s.refs,
+                    "retired": s.retired,
+                    "algorithm": s.classify_algorithm,
+                }
                 for s in self._chain
             ]
 

@@ -126,7 +126,9 @@ class TestNoOpDelta:
 class TestReuse:
     def test_edges_and_caches_are_carried(self):
         tbox = random_tbox(4, n_defined=10, n_primitive=4, n_roles=2)
-        old = Reasoner(tbox).classify()
+        # enhanced predecessor: a saturation-classified old reasoner has
+        # no tableau caches for the successor to carry
+        old = Reasoner(tbox).classify(algorithm="enhanced")
         edited = random_tbox_edit(random.Random(4), tbox)
         recorder = Recorder()
         with use_recorder(recorder):

@@ -1,0 +1,119 @@
+"""Interned-id plumbing: bitset helpers, intern tables, syntax caches."""
+
+import pytest
+
+from repro.dl import (
+    BOTTOM,
+    BOTTOM_ID,
+    TOP,
+    TOP_ID,
+    Atomic,
+    BitSet,
+    ConceptTable,
+    InternTable,
+    Role,
+    some,
+)
+from repro.obs import Recorder, use_recorder
+
+
+class TestBitSet:
+    def test_of_and_bits_round_trip(self):
+        mask = BitSet.of([0, 3, 7])
+        assert mask == 0b10001001
+        assert list(BitSet.bits(mask)) == [0, 3, 7]
+
+    def test_of_empty(self):
+        assert BitSet.of([]) == 0
+        assert list(BitSet.bits(0)) == []
+
+    def test_has(self):
+        mask = BitSet.of([2, 5])
+        assert BitSet.has(mask, 2)
+        assert BitSet.has(mask, 5)
+        assert not BitSet.has(mask, 3)
+        assert not BitSet.has(mask, 64)  # beyond the top set bit
+
+    def test_count(self):
+        assert BitSet.count(0) == 0
+        assert BitSet.count(BitSet.of(range(10))) == 10
+
+    def test_set_algebra_is_int_algebra(self):
+        a, b = BitSet.of([1, 2, 3]), BitSet.of([3, 4])
+        assert list(BitSet.bits(a | b)) == [1, 2, 3, 4]
+        assert list(BitSet.bits(a & b)) == [3]
+        assert (BitSet.of([1, 2]) & a) == BitSet.of([1, 2])  # subset test
+
+
+class TestInternTable:
+    def test_ids_dense_and_first_seen_ordered(self):
+        table = InternTable()
+        assert table.intern("x") == 0
+        assert table.intern("y") == 1
+        assert table.intern("x") == 0  # stable on re-intern
+        assert len(table) == 2
+        assert table.items() == ["x", "y"]
+        assert table[1] == "y"
+
+    def test_get_never_grows(self):
+        table = InternTable()
+        table.intern("x")
+        assert table.get("ghost") is None
+        assert len(table) == 1
+        assert "x" in table and "ghost" not in table
+
+    def test_mask_interns_and_combines(self):
+        table = InternTable()
+        mask = table.mask(["a", "b", "a"])
+        assert mask == BitSet.of([0, 1])
+
+    def test_table_size_counter_ticks_once_per_distinct_item(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            table = InternTable()
+            table.intern("a")
+            table.intern("b")
+            table.intern("a")
+        assert recorder.counters["intern.table_size"] == 2
+
+    def test_determinism_under_same_call_sequence(self):
+        def build():
+            t = InternTable()
+            for name in ["c", "a", "b", "a"]:
+                t.intern(name)
+            return [t.get(n) for n in ["a", "b", "c"]]
+
+        assert build() == build()
+
+
+class TestConceptTable:
+    def test_top_and_bottom_pinned(self):
+        table = ConceptTable()
+        assert table.get(TOP) == TOP_ID == 0
+        assert table.get(BOTTOM) == BOTTOM_ID == 1
+        assert table.intern(Atomic("A")) == 2
+
+    def test_structural_equality_keys(self):
+        table = ConceptTable()
+        cid = table.intern(some("r", Atomic("A")))
+        assert table.intern(some("r", Atomic("A"))) == cid
+
+
+class TestSyntaxInterning:
+    def test_atomic_identity(self):
+        assert Atomic("car") is Atomic("car")
+        assert Atomic("car") is not Atomic("cat")
+
+    def test_role_identity(self):
+        assert Role("has") is Role("has")
+
+    def test_empty_name_still_rejected(self):
+        with pytest.raises(Exception):
+            Atomic("")
+        with pytest.raises(Exception):
+            Role("")
+
+    def test_interned_instances_stay_value_equal(self):
+        # identity is an optimization, not a semantic change
+        assert Atomic("x") == Atomic("x")
+        assert hash(Atomic("x")) == hash(Atomic("x"))

@@ -82,7 +82,9 @@ class TestExplicitInvalidate:
         assert not reasoner.subsumes(B, A)
         tbox.add(Subsumption(A, B))
         reasoner.invalidate()
-        assert "A" in reasoner._tableau._lazy
+        tableau = reasoner._tableau
+        aid = tableau.concepts.get(A)
+        assert aid is not None and aid in tableau._lazy_mask
 
 
 class TestTBoxRevision:

@@ -181,3 +181,30 @@ class TestNNFMemoization:
         assert nnf_cache_size() > 0
         nnf_cache_clear()
         assert nnf_cache_size() == 0
+
+    def test_full_cache_evicts_fifo_not_wholesale(self, monkeypatch):
+        from repro.dl import nnf as nnf_mod
+        from repro.obs import Recorder, use_recorder
+
+        self._fresh()
+        monkeypatch.setattr(nnf_mod, "_CACHE_CAP", 4)
+        atoms = [Atomic(f"Evict{i}") for i in range(6)]
+        recorder = Recorder()
+        with use_recorder(recorder):
+            for atom in atoms:
+                to_nnf(atom)
+        # two overflows evicted the two *oldest* entries, nothing more
+        assert nnf_mod.nnf_cache_size() == 4
+        assert recorder.counters["nnf.cache_evictions"] == 2
+        recorder = Recorder()
+        with use_recorder(recorder):
+            for atom in atoms[2:]:
+                to_nnf(atom)  # the four youngest are still warm
+        assert recorder.counters["nnf.cache_hits"] == 4
+        assert "nnf.cache_evictions" not in recorder.counters
+        recorder = Recorder()
+        with use_recorder(recorder):
+            to_nnf(atoms[0])  # the oldest was the one retired
+        assert "nnf.cache_hits" not in recorder.counters
+        assert recorder.counters["nnf.cache_evictions"] == 1
+        self._fresh()

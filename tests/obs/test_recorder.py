@@ -145,10 +145,17 @@ class TestInstrumentationCoverage:
 
         rec = Recorder()
         with use_recorder(rec):
+            # the auto default classifies this EL corpus by saturation
             classify(vehicle_tbox())
         assert rec.counters["hierarchy.classifications"] == 1
-        assert rec.counters["hierarchy.told_hits"] > 0
-        assert rec.counters["hierarchy.tableau_subsumptions"] > 0
+        assert rec.counters["saturation.rules_fired"] > 0
+        assert "tableau.solve_calls" not in rec.counters
+        rec2 = Recorder()
+        with use_recorder(rec2):
+            # the enhanced traversal still drives the tableau counters
+            classify(vehicle_tbox(), algorithm="enhanced")
+        assert rec2.counters["hierarchy.told_hits"] > 0
+        assert rec2.counters["hierarchy.tableau_subsumptions"] > 0
 
     def test_store_counters_index_vs_scan(self):
         from repro.store import TripleStore

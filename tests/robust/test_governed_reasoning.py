@@ -90,9 +90,9 @@ class TestGovernedSatisfiability:
     def test_unknown_is_not_cached_definite_is(self):
         reasoner = Reasoner()
         assert reasoner.is_satisfiable_governed(WIDE, Budget(max_nodes=10)).is_unknown
-        assert WIDE not in reasoner._sat_cache  # a retry starts clean
+        assert reasoner.known_satisfiability(WIDE) is None  # a retry starts clean
         assert reasoner.is_satisfiable_governed(WIDE, Budget(max_nodes=500)) == PROVED
-        assert reasoner._sat_cache[WIDE] is True
+        assert reasoner.known_satisfiability(WIDE) is True
         # and the cached answer now short-circuits even a starved call
         assert reasoner.is_satisfiable_governed(WIDE, Budget(max_nodes=1)) == PROVED
 
@@ -127,13 +127,13 @@ class TestGovernedSubsumption:
         reasoner = Reasoner()
         verdict = reasoner.subsumes_governed(B, WIDE, Budget(max_nodes=10))
         assert verdict.is_unknown
-        assert (B, WIDE) not in reasoner._subs_cache
+        assert not reasoner._subs_cache
 
     def test_disproved_subsumption_cross_seeds_sat_cache(self):
         reasoner = Reasoner()
         verdict = reasoner.subsumes_governed(B, A, Budget(max_nodes=500))
         assert verdict.is_definite and verdict.as_bool() is False
-        assert reasoner._sat_cache[A] is True  # witness model reused
+        assert reasoner.known_satisfiability(A) is True  # witness model reused
 
 
 class TestGovernedABox:
