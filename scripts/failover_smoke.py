@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""CI smoke test: warm-standby failover with zero lost acknowledged edits.
+
+Boots a primary ``python -m repro serve`` with ``--edit-log``, then a
+follower on ``--follow`` pointed at it, and streams TBox edits at the
+primary.  Once the follower reports having applied every acknowledged
+record, the primary is SIGKILLed mid-flight — the acknowledged edits
+exist nowhere reachable but the two edit logs.  The smoke then:
+
+* promotes the follower via ``POST /v1/promote`` and checks the
+  promotion response names the exact last acknowledged version
+  (``lost acked edits == 0``);
+* queries ``/v1/classify`` on the new primary and compares it against
+  the hierarchy of the last acknowledged TBox, computed independently
+  in this process;
+* writes one post-promotion edit and requires it to land at
+  ``acked + 1``;
+* resurrects the dead ex-primary on its original port and requires it
+  to come back *fenced*: writes refused with 503 and a ``primary``
+  pointer at the promoted follower.
+
+Run it twice in CI: once clean, once with ``REPRO_FAULTS=torn-write``
+(appends tear on both logs and must be recovered before any ack) —
+failover must lose nothing either way.  Exits non-zero with a message
+on any violated expectation.
+"""
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.dl import Reasoner, parse_tbox  # noqa: E402
+
+BOOT_TBOX = """
+car [= motorvehicle & some size.small
+pickup [= motorvehicle & some size.big
+motorvehicle [= some uses.gasoline
+"""
+
+#: each edit is a full TBox text; later edits coalesce earlier ones
+EDITS = [
+    BOOT_TBOX + "van [= motorvehicle\n",
+    BOOT_TBOX + "van [= motorvehicle\nbus [= motorvehicle\n",
+    BOOT_TBOX + "van [= motorvehicle\nbus [= motorvehicle\ntruck [= motorvehicle\n",
+]
+
+POST_PROMOTION_EDIT = EDITS[-1] + "tractor [= motorvehicle\n"
+
+faults_armed = bool(os.environ.get("REPRO_FAULTS"))
+
+
+def fail(message):
+    print(f"failover_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, (json.loads(raw) if raw else {})
+    finally:
+        conn.close()
+
+
+def spawn(args):
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+    port = None
+    banner_lines = []
+    for _ in range(20):
+        line = proc.stdout.readline()
+        if not line:
+            break
+        banner_lines.append(line.rstrip("\n"))
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+            break
+    if port is None:
+        fail(f"no address in server banner: {banner_lines!r}")
+    return proc, port, banner_lines
+
+
+def terminate(proc):
+    if proc.poll() is not None:
+        return
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=15)
+
+
+def wait_until(predicate, what, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            if predicate():
+                return
+        except OSError:
+            pass
+        time.sleep(0.05)
+    fail(f"timed out waiting for {what}")
+
+
+def main():
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".tbox", delete=False, encoding="utf-8"
+    ) as handle:
+        handle.write(BOOT_TBOX)
+        tbox_path = handle.name
+    primary_log = tempfile.mkdtemp(prefix="failover_smoke_primary_")
+    follower_log = tempfile.mkdtemp(prefix="failover_smoke_follower_")
+
+    # ---- phase 1: primary + follower, stream edits, wait for catch-up
+    primary, primary_port, _ = spawn(
+        ["--tbox", tbox_path, "--edit-log", primary_log]
+    )
+    follower = None
+    try:
+        follower, follower_port, _ = spawn(
+            [
+                "--edit-log",
+                follower_log,
+                "--follow",
+                f"http://127.0.0.1:{primary_port}",
+                "--probe-interval-ms",
+                "40",
+            ]
+        )
+        print(
+            f"failover_smoke: primary on {primary_port}, follower on "
+            f"{follower_port} (faults_armed={faults_armed})"
+        )
+        acked = 1
+        for index, text in enumerate(EDITS):
+            status, body = request(primary_port, "POST", "/v1/tbox", {"tbox": text})
+            if status != 200:
+                fail(f"edit {index}: {status} {body}")
+            acked = body["tbox_version"]
+        if acked != 1 + len(EDITS):
+            fail(f"acknowledged version {acked}, want {1 + len(EDITS)}")
+
+        def caught_up():
+            status, health = request(follower_port, "GET", "/v1/health")
+            repl = health.get("replication") or {}
+            return (
+                status == 200
+                and repl.get("last_applied_version") == acked
+                and health.get("tbox_version") == acked
+            )
+
+        wait_until(caught_up, f"follower to apply v{acked}")
+
+        # the follower is read-only: writes bounce with the primary URL
+        status, refused = request(
+            follower_port, "POST", "/v1/tbox", {"tbox": EDITS[-1]}
+        )
+        if status != 503 or f":{primary_port}" not in (refused.get("primary") or ""):
+            fail(f"follower accepted a write: {status} {refused}")
+        print(f"failover_smoke: follower caught up through v{acked}, killing primary")
+    except BaseException:
+        if follower is not None:
+            terminate(follower)
+        raise
+    finally:
+        # the crash: SIGKILL, no flush, no shutdown hook
+        primary.kill()
+        primary.wait(timeout=15)
+
+    # ---- phase 2: promote the follower; nothing acknowledged may vanish
+    try:
+        status, promoted = request(follower_port, "POST", "/v1/promote")
+        if status != 200 or promoted.get("promoted") is not True:
+            fail(f"promotion failed: {status} {promoted}")
+        if promoted.get("logged_version") != acked:
+            fail(
+                f"lost acknowledged edits: promoted at "
+                f"v{promoted.get('logged_version')}, acked v{acked}"
+            )
+
+        status, body = request(follower_port, "POST", "/v1/classify", {})
+        expected = Reasoner(parse_tbox(EDITS[-1])).classify()
+        want = sorted(sorted(group) for group in expected.groups())
+        if status != 200 or body.get("groups") != want:
+            fail(f"promoted hierarchy differs: {status} {body.get('groups')}")
+
+        status, body = request(
+            follower_port, "POST", "/v1/tbox", {"tbox": POST_PROMOTION_EDIT}
+        )
+        if status != 200 or body.get("tbox_version") != acked + 1:
+            fail(f"post-promotion write: {status} {body}")
+        print(f"failover_smoke: promoted at v{acked}, first write landed v{acked + 1}")
+
+        # ---- phase 3: the resurrected ex-primary must come back fenced
+        zombie, zombie_port, _ = spawn(
+            [
+                "--tbox",
+                tbox_path,
+                "--edit-log",
+                primary_log,
+                "--port",
+                str(primary_port),
+            ]
+        )
+        try:
+            def fenced():
+                status, health = request(zombie_port, "GET", "/v1/health")
+                repl = health.get("replication") or {}
+                return status == 200 and repl.get("fenced") is True
+
+            wait_until(fenced, "ex-primary to observe its fence")
+            status, refused = request(
+                zombie_port, "POST", "/v1/tbox", {"tbox": POST_PROMOTION_EDIT}
+            )
+            if status != 503 or f":{follower_port}" not in (
+                refused.get("primary") or ""
+            ):
+                fail(f"fenced ex-primary accepted a write: {status} {refused}")
+            print(
+                f"failover_smoke: OK (0 lost acked edits, ex-primary fenced, "
+                f"writes redirected to {refused.get('primary')})"
+            )
+        finally:
+            terminate(zombie)
+    finally:
+        terminate(follower)
+        os.unlink(tbox_path)
+
+
+if __name__ == "__main__":
+    start = time.perf_counter()
+    main()
+    print(f"failover_smoke: done in {time.perf_counter() - start:.2f}s")

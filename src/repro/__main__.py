@@ -232,6 +232,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .dl import TBox
     from .serve import ReasoningServer, ServeConfig
 
+    if args.follow and not args.edit_log:
+        print("serve: --follow requires --edit-log DIR", file=sys.stderr)
+        return EXIT_USAGE
     tbox = _load(args.tbox) if args.tbox else TBox()
     config = ServeConfig(
         host=args.host,
@@ -248,6 +251,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         edit_log=args.edit_log,
         min_swap_interval_ms=args.min_swap_interval_ms,
         rebase_limit=args.rebase_limit,
+        rebase_max_bytes=args.rebase_max_bytes,
+        rebase_max_age_s=args.rebase_max_age_s,
+        follow=args.follow,
+        auto_promote_after=args.auto_promote_after,
+        probe_interval_ms=args.probe_interval_ms,
     )
     # a serving process always records: /v1/metrics is part of the API
     set_recorder(Recorder())
@@ -270,6 +278,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"soft/hard limits {config.soft_limit}/{config.hard_limit})",
             flush=True,
         )
+        if config.follow:
+            print(
+                f"following {config.follow} (read-only until promoted)",
+                flush=True,
+            )
         await server.serve_forever()
 
     try:
@@ -377,7 +390,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         action="append",
         metavar="ID",
-        choices=["B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10"],
+        choices=[
+            "B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11",
+        ],
         help="run only this bench (repeatable)",
     )
     p_bench.set_defaults(func=_cmd_bench)
@@ -390,7 +405,13 @@ def build_parser() -> argparse.ArgumentParser:
         "Retry-After.  Edits degrade in frequency, not latency: a "
         "throttled POST /v1/tbox is logged, acked 200, and reported "
         "swap_status deferred (queued) or coalesced (superseded the "
-        "queued edit).  See README 'Serving' and 'Live traffic'.",
+        "queued edit).  Live traffic survives failover: --follow starts "
+        "a warm standby that applies the primary's edit log, serves "
+        "reads with an X-Replication-Lag-Records header, refuses writes "
+        "503 + primary location, and promotes (POST /v1/promote, or "
+        "automatically) under a persisted fencing epoch so a resurrected "
+        "ex-primary refuses writes.  See README 'Serving', 'Live "
+        "traffic', and 'Replication & failover'.",
     )
     p_serve.add_argument(
         "--tbox", metavar="FILE", help="TBox file to serve (default: empty TBox)"
@@ -481,6 +502,45 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="compact the edit log into a new base snapshot after this "
         "many records (default: 1024)",
+    )
+    p_serve.add_argument(
+        "--rebase-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="also compact once the log file grows past this many bytes "
+        "(default: no size trigger)",
+    )
+    p_serve.add_argument(
+        "--rebase-max-age-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="also compact when the base snapshot is older than this "
+        "many seconds at the next append (default: no age trigger)",
+    )
+    p_serve.add_argument(
+        "--follow",
+        metavar="URL",
+        help="start as a warm standby replicating this primary "
+        "(http://host:port); requires --edit-log, serves read-only "
+        "until promoted",
+    )
+    p_serve.add_argument(
+        "--auto-promote-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="follower only: self-promote after this many consecutive "
+        "failed pulls from the primary (default: manual promotion only)",
+    )
+    p_serve.add_argument(
+        "--probe-interval-ms",
+        type=float,
+        default=500.0,
+        metavar="MS",
+        help="follower only: poll the primary this often once caught up "
+        "(default: 500)",
     )
     p_serve.set_defaults(func=_cmd_serve)
     return parser

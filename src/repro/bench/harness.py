@@ -1,4 +1,4 @@
-"""Instrumented B1–B10 substrate benches with a JSON snapshot per bench.
+"""Instrumented B1–B11 substrate benches with a JSON snapshot per bench.
 
 Each bench runs a fixed, seeded workload under a fresh
 :class:`repro.obs.Recorder` and produces one record::
@@ -19,12 +19,12 @@ per-swap costs) live in ``histograms`` — with p50/p99 from the recorder's
 sample rings — instead of being stashed under ``params``; ``params``
 holds only the workload's reproduction knobs and scalar summaries.
 
-``run_suite`` writes ``BENCH_B1.json`` … ``BENCH_B10.json`` — the perf
+``run_suite`` writes ``BENCH_B1.json`` … ``BENCH_B11.json`` — the perf
 trajectory later PRs are compared against.  Counters are deterministic
 for the seeded inputs (two runs differ only in ``wall_time_s`` and timer
 values); the test suite asserts exactly that, so any nondeterminism
-introduced into a hot path is caught here.  The exceptions are B7 and
-B9, which measure live servers (see :class:`BenchSpec.deterministic`).
+introduced into a hot path is caught here.  The exceptions are B7, B9,
+and B11, which measure live servers (see :class:`BenchSpec.deterministic`).
 B8's default edit-stream scale is controlled by ``REPRO_B8_SCALE``
 (``tiny`` / ``small`` / ``full``) so CI smoke runs stay cheap while the
 committed record measures the full stream; B9 — the B7/B8 fusion into
@@ -997,6 +997,300 @@ def _b10_saturation() -> dict[str, Any]:
     }
 
 
+#: B11 failover scales: (n_defined, n_primitive, edits, edit interval s,
+#: reader concurrency, assert the gap beats a cold classification).
+#: ``tiny`` is the CI smoke scale; ``full`` is the committed record,
+#: whose TBox is big enough that a cold classification rebuild costs
+#: visibly more than the warm promotion gap — the acceptance criterion.
+B11_SCALES: dict[str, tuple[int, int, int, float, int, bool]] = {
+    "tiny": (20, 8, 4, 0.02, 3, False),
+    "full": (300, 80, 10, 0.05, 6, True),
+}
+
+
+def _b11_failover() -> dict[str, Any]:
+    """Warm-standby failover under steady traffic: kill the primary,
+    promote the follower, measure the gap, lose nothing.
+
+    One primary and one follower, both real ``python -m repro serve``
+    child processes (:class:`repro.serve.ServeProcess` — only a real
+    process can be SIGKILLed meaningfully):
+
+    1. **steady mixed traffic** — a paced edit stream acks against the
+       primary while closed-loop readers hammer the follower; the
+       follower replicates each sealed record through the incremental
+       publication path (reads stay on warm snapshots throughout);
+    2. **kill -9 mid-traffic** — once the follower reports zero lag,
+       the primary dies with no flush and no goodbye, readers still
+       running; ``POST /v1/promote`` flips the follower under a fresh
+       fencing epoch and the bench measures the **promotion gap**: the
+       wall time from the promote request to the first served query
+       (and to the first acked write).  Asserts the promote response's
+       ``logged_version`` equals the last version the dead primary
+       acked — zero lost acknowledged edits — and, at full scale, that
+       the gap undercuts a cold full classification of the same TBox
+       (the rebuild a standby-less restart would pay);
+    3. **fenced resurrection** — the ex-primary restarts on its old
+       port and must come back already read-only: the new primary's
+       fence retry lands, a write attempt gets 503 + the new primary's
+       location, and the reader thread reports zero dropped reads
+       across the whole failover.
+
+    Scale via ``REPRO_B11_SCALE`` (``tiny``/``full``), like B9/B10.
+    """
+    import os
+    import random as _random
+    import tempfile
+    import threading
+
+    from ..corpora.generators import random_tbox, random_tbox_edit
+    from ..dl import Reasoner, parse_tbox
+    from ..dl.serialize import tbox_to_text
+    from ..obs import get_recorder
+    from ..serve import ServeProcess
+
+    scale = os.environ.get("REPRO_B11_SCALE", "tiny")
+    if scale not in B11_SCALES:
+        raise ValueError(
+            f"REPRO_B11_SCALE={scale!r}; expected one of {sorted(B11_SCALES)}"
+        )
+    (
+        n_defined,
+        n_primitive,
+        n_edits,
+        edit_interval_s,
+        concurrency,
+        assert_gap,
+    ) = B11_SCALES[scale]
+
+    tbox = random_tbox(0, n_defined=n_defined, n_primitive=n_primitive, n_roles=3)
+    names = sorted(tbox.atomic_names())
+    query_rng = _random.Random(99)
+
+    edit_rng = _random.Random(4321)
+    chain_tbox, edit_texts = tbox, []
+    for _ in range(n_edits + 1):  # the last one is the post-promotion write
+        chain_tbox = random_tbox_edit(edit_rng, chain_tbox)
+        edit_texts.append(tbox_to_text(chain_tbox))
+    edit_texts, post_promotion_text = edit_texts[:-1], edit_texts[-1]
+    final_text = edit_texts[-1]
+
+    # the cost a standby-less restart would pay: parse + classify the
+    # final acked TBox from scratch (fresh Reasoner, no warm caches)
+    t0 = time.perf_counter()
+    Reasoner(parse_tbox(final_text)).classify()
+    cold_classify_s = time.perf_counter() - t0
+
+    # children keep durability/replication faults; exhaustion/deadline
+    # would make their answers legitimately nondeterministic
+    env = dict(os.environ, PYTHONPATH="src")
+    armed = {
+        kind.strip()
+        for kind in env.get("REPRO_FAULTS", "").split(",")
+        if kind.strip()
+    }
+    env["REPRO_FAULTS"] = ",".join(
+        sorted(armed & {"torn-write", "repl-drop", "repl-dup", "repl-truncate"})
+    )
+
+    recorder = get_recorder()
+    read_report = {"served": 0, "errors": [], "statuses": {}}
+    readers_stop = threading.Event()
+
+    def reader(follower: ServeProcess) -> None:
+        """Closed-loop reads against the follower until told to stop."""
+        with follower.client() as client:
+            while not readers_stop.is_set():
+                general = query_rng.choice(names)
+                specific = query_rng.choice(names)
+                try:
+                    status, _body = client.request(
+                        "POST",
+                        "/v1/subsumes",
+                        {"general": general, "specific": specific},
+                    )
+                except OSError as exc:  # pragma: no cover - read dropped
+                    read_report["errors"].append(f"{type(exc).__name__}: {exc}")
+                    return
+                with readers_lock:
+                    read_report["served"] += 1
+                    read_report["statuses"][status] = (
+                        read_report["statuses"].get(status, 0) + 1
+                    )
+
+    readers_lock = threading.Lock()
+
+    def wait_for(probe, timeout_s=60.0, what="condition"):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            try:
+                if probe():
+                    return
+            except OSError:
+                pass
+            time.sleep(0.02)
+        raise AssertionError(f"B11: timed out waiting for {what}")
+
+    with tempfile.TemporaryDirectory() as work_dir:
+        boot_path = os.path.join(work_dir, "boot.tbox")
+        with open(boot_path, "w", encoding="utf-8") as handle:
+            handle.write(tbox_to_text(tbox))
+        primary_log = os.path.join(work_dir, "primary-log")
+        follower_log = os.path.join(work_dir, "follower-log")
+
+        primary = ServeProcess(
+            ["--tbox", boot_path, "--edit-log", primary_log], env=env
+        ).start()
+        follower = ServeProcess(
+            [
+                "--edit-log",
+                follower_log,
+                "--follow",
+                primary.url,
+                "--probe-interval-ms",
+                "40",
+            ],
+            env=env,
+        ).start()
+        try:
+            wait_for(
+                lambda: follower.request("GET", "/v1/health")[1]["tbox_version"]
+                >= 1,
+                what="follower base install",
+            )
+            threads = [
+                threading.Thread(target=reader, args=(follower,), daemon=True)
+                for _ in range(concurrency)
+            ]
+            for thread in threads:
+                thread.start()
+
+            # -- phase 1: steady mixed traffic --------------------------- #
+            acked = 1
+            with primary.client() as editor:
+                for text in edit_texts:
+                    status, body = editor.request(
+                        "POST", "/v1/tbox", {"tbox": text}
+                    )
+                    assert status == 200, (status, body)
+                    acked = body["tbox_version"]
+                    time.sleep(edit_interval_s)
+            assert acked == 1 + n_edits, acked
+            wait_for(
+                lambda: follower.request("GET", "/v1/health")[1]["replication"][
+                    "last_applied_version"
+                ]
+                == acked,
+                what="follower catch-up",
+            )
+
+            # -- phase 2: kill -9, promote, measure the gap -------------- #
+            primary.kill()
+            t_promote = time.perf_counter()
+            status, promoted = follower.request("POST", "/v1/promote", {})
+            assert (status, promoted["promoted"]) == (200, True), promoted
+            # zero lost acknowledged edits across the failover
+            assert promoted["logged_version"] == acked, (promoted, acked)
+            status, _body = follower.request(
+                "POST",
+                "/v1/subsumes",
+                {"general": names[0], "specific": names[-1]},
+            )
+            gap_query_s = time.perf_counter() - t_promote
+            assert status == 200
+            status, swap = follower.request(
+                "POST", "/v1/tbox", {"tbox": post_promotion_text}
+            )
+            gap_write_s = time.perf_counter() - t_promote
+            assert status == 200, (status, swap)
+            assert swap["tbox_version"] == acked + 1, swap
+
+            readers_stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not read_report["errors"], read_report["errors"][:3]
+            assert set(read_report["statuses"]) == {200}, read_report["statuses"]
+            assert read_report["served"] > 0
+
+            # the promoted server serves the post-promotion TBox exactly
+            status, classify_body = follower.request("POST", "/v1/classify", {})
+            expected = Reasoner(parse_tbox(post_promotion_text)).classify()
+            assert classify_body["groups"] == sorted(
+                sorted(g) for g in expected.groups()
+            ), "promoted follower diverges from the acked edit chain"
+
+            # -- phase 3: the resurrected ex-primary is fenced ----------- #
+            resurrected = ServeProcess(
+                [
+                    "--tbox",
+                    boot_path,
+                    "--edit-log",
+                    primary_log,
+                    "--port",
+                    str(primary.port),
+                ],
+                env=env,
+            ).start()
+            try:
+                wait_for(
+                    lambda: resurrected.request("GET", "/v1/health")[1][
+                        "replication"
+                    ]["fenced"],
+                    what="fence to land on the ex-primary",
+                )
+                status, refused = resurrected.request(
+                    "POST", "/v1/tbox", {"tbox": "dog [= animal"}
+                )
+                assert status == 503, (status, refused)
+                assert refused["primary"] == follower.url, refused
+                _status, ex_health = resurrected.request("GET", "/v1/health")
+            finally:
+                resurrected.terminate()
+        finally:
+            readers_stop.set()
+            primary.kill()
+            follower.terminate()
+
+    recorder.observe("bench.b11.promotion_gap_ms", gap_query_s * 1000.0)
+    recorder.observe("bench.b11.write_gap_ms", gap_write_s * 1000.0)
+    recorder.incr("bench.b11.edits_acked", n_edits)
+    recorder.incr("bench.b11.reads_served", read_report["served"])
+    if assert_gap:
+        assert gap_query_s < cold_classify_s, (
+            f"promotion gap {gap_query_s * 1000:.1f}ms did not beat a cold "
+            f"classification ({cold_classify_s * 1000:.1f}ms)"
+        )
+
+    return {
+        "scale": scale,
+        "tbox": {
+            "seed": 0,
+            "n_defined": n_defined,
+            "n_primitive": n_primitive,
+            "n_roles": 3,
+        },
+        "workload_seed": 99,
+        "edit_seed": 4321,
+        "edits": n_edits,
+        "edit_interval_s": edit_interval_s,
+        "reader_concurrency": concurrency,
+        "reads_served": read_report["served"],
+        "dropped_reads": 0,
+        "acked_version_at_kill": acked,
+        "lost_acknowledged_edits": 0,
+        "promotion_gap_ms": gap_query_s * 1000.0,
+        "write_gap_ms": gap_write_s * 1000.0,
+        "cold_classification_ms": cold_classify_s * 1000.0,
+        "gap_vs_cold_ratio": gap_query_s / max(cold_classify_s, 1e-9),
+        "gap_beats_cold_required": assert_gap,
+        "ex_primary": {
+            "fenced": bool(ex_health["replication"]["fenced"]),
+            "epoch": ex_health["replication"]["epoch"],
+            "writes_refused_to": follower.url,
+        },
+    }
+
+
 BENCHES: dict[str, BenchSpec] = {
     "B1": BenchSpec(
         "B1", "tableau reasoning + TBox classification (chain, tree, random)", _b1_tableau
@@ -1033,6 +1327,12 @@ BENCHES: dict[str, BenchSpec] = {
         "B10",
         "consequence-based saturation vs enhanced tableau classification",
         _b10_saturation,
+    ),
+    "B11": BenchSpec(
+        "B11",
+        "warm-standby failover: kill the primary under load, promote, lose nothing",
+        _b11_failover,
+        deterministic=False,
     ),
 }
 

@@ -145,7 +145,13 @@ def reclassify(
 
     def full(reason: str) -> ReclassifyResult:
         _obs.incr("incremental.full_fallbacks")
-        hierarchy = ConceptHierarchy(new_tbox, reasoner=reasoner, budget=budget)
+        # route through the reasoner's classify() service rather than
+        # building a ConceptHierarchy by hand: "auto" then resolves to
+        # the consequence-based saturation fast path on Horn/EL TBoxes
+        # (a base resync of a large TBox is milliseconds, not a full
+        # n^2 tableau traversal) and a complete result lands in the
+        # hierarchy cache for follow-up calls
+        hierarchy = reasoner.classify(budget=budget)
         return ReclassifyResult(
             hierarchy=hierarchy,
             mode="full",

@@ -65,6 +65,7 @@ class Poset:
         for e in self._elements:
             for x in self._up[e]:
                 self._down[x].add(e)
+        self._covers: Optional[list[tuple[Hashable, Hashable]]] = None
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -111,14 +112,20 @@ class Poset:
     # ------------------------------------------------------------------ #
 
     def covers(self) -> list[tuple[Hashable, Hashable]]:
-        """The covering pairs ``(a, b)``: a < b with nothing strictly between."""
-        out = []
-        for a in self._elements:
-            strictly_above = self._up[a] - {a}
-            for b in strictly_above:
-                if not any(self.lt(a, m) and self.lt(m, b) for m in strictly_above - {b}):
-                    out.append((a, b))
-        return out
+        """The covering pairs ``(a, b)``: a < b with nothing strictly between.
+
+        The poset is immutable, so the transitive reduction is computed
+        once and cached; callers receive a copy they may mutate freely.
+        """
+        if self._covers is None:
+            out = []
+            for a in self._elements:
+                strictly_above = self._up[a] - {a}
+                for b in strictly_above:
+                    if not any(self.lt(a, m) and self.lt(m, b) for m in strictly_above - {b}):
+                        out.append((a, b))
+            self._covers = out
+        return list(self._covers)
 
     def hasse_diagram(self) -> DiGraph:
         """The Hasse diagram as a :class:`DiGraph` (edges point upward)."""

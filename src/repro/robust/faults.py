@@ -23,6 +23,17 @@ Fault kinds and the points that consult them:
     :func:`~repro.store.persistence.append_verified_bytes` — a firing
     truncates an edit-log record mid-append, exercising the
     truncate-and-rewrite recovery that keeps acknowledged edits durable.
+``repl-drop``
+    :meth:`repro.serve.replication.FollowerChannel.poll_once` — a firing
+    discards a fetched record batch before it is applied, as if the
+    response were lost in flight; the follower re-requests it next poll.
+``repl-dup``
+    The same point — a firing applies a fetched batch *twice*,
+    exercising the stale-record skip that makes delivery idempotent.
+``repl-truncate``
+    The same point — a firing cuts a fetched batch to a prefix,
+    simulating a connection dropped mid-stream; the remainder arrives
+    on a later poll.
 
 Injection targets *first attempts only*: escalated budgets
 (``Budget.generation > 0``) and persistence rewrite attempts bypass the
@@ -57,7 +68,10 @@ __all__ = [
 ]
 
 #: every fault kind a point may consult
-KINDS = frozenset({"exhaustion", "deadline", "torn-write"})
+KINDS = frozenset(
+    {"exhaustion", "deadline", "torn-write", "repl-drop", "repl-dup",
+     "repl-truncate"}
+)
 
 
 class FaultPlan:

@@ -16,10 +16,14 @@ one-shot CLI invocations that re-parse and re-classify per call:
   they started on; retired versions drop caches at their last release);
 * :mod:`repro.serve.editlog` — the durable append-only edit log with
   replay-on-start crash recovery (acknowledged edits survive SIGKILL);
+* :mod:`repro.serve.replication` — warm-standby log shipping: a
+  follower pulls sealed records, applies them through the incremental
+  publication path, and can be promoted under a persisted fencing
+  epoch (split-brain-safe failover);
 * :mod:`repro.serve.protocol` — HTTP/1.1 framing and the JSON bodies;
-* :mod:`repro.serve.loadgen` — in-process server thread, client,
-  closed-loop load generator, and edit-stream driver for tests, CI
-  smoke, and the B7/B9 benches.
+* :mod:`repro.serve.loadgen` — in-process server thread, subprocess
+  server, client, closed-loop load generator, and edit-stream driver
+  for tests, CI smoke, and the B7/B9/B11 benches.
 """
 
 from .admission import AdmissionController, AdmissionError, Ticket
@@ -29,11 +33,19 @@ from .loadgen import (
     EditReport,
     LoadReport,
     ServeClient,
+    ServeProcess,
     ServerThread,
     closed_loop,
     edit_stream,
 )
 from .protocol import BadRequest, HttpRequest, ProtocolError
+from .replication import (
+    EpochStore,
+    FollowerChannel,
+    ReplicationError,
+    apply_shipped,
+    deliver_batches,
+)
 from .server import ReasoningServer, ServeConfig
 from .snapshot import Snapshot, SnapshotError, SnapshotManager
 
@@ -57,8 +69,14 @@ __all__ = [
     "BadRequest",
     "ServerThread",
     "ServeClient",
+    "ServeProcess",
     "LoadReport",
     "EditReport",
     "closed_loop",
     "edit_stream",
+    "EpochStore",
+    "FollowerChannel",
+    "ReplicationError",
+    "apply_shipped",
+    "deliver_batches",
 ]

@@ -17,9 +17,17 @@ limits and one allowance:
   slice returns an ``UNKNOWN`` verdict (HTTP 206) instead of stalling
   the event loop.
 
+Replication adds a **write-refusal policy** orthogonal to load: a
+follower (or a fenced ex-primary) keeps admitting reads but refuses
+``write=True`` admissions with 503 and the current primary's location
+(:meth:`AdmissionController.refuse_writes`); promotion lifts the
+refusal (:meth:`~AdmissionController.allow_writes`).
+
 Counters: ``serve.admitted``, ``serve.rejected_busy`` (429),
-``serve.rejected_overloaded`` (503); the in-flight high-water mark is
-observed into the ``serve.inflight`` histogram.
+``serve.rejected_overloaded`` (503), ``repl.fenced_writes`` /
+``serve.rejected_writes`` (refused writes on a fenced / follower
+server); the in-flight high-water mark is observed into the
+``serve.inflight`` histogram.
 """
 
 from __future__ import annotations
@@ -35,10 +43,20 @@ from ..robust import Budget
 class AdmissionError(Exception):
     """Raised by :meth:`AdmissionController.admit` when a request is refused."""
 
-    def __init__(self, status: int, message: str, retry_after_s: float) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after_s: float,
+        *,
+        location: Optional[str] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.retry_after_s = retry_after_s
+        #: where the refused work should go instead (the primary's URL
+        #: when a follower or fenced server refuses a write)
+        self.location = location
 
 
 @dataclass
@@ -80,6 +98,8 @@ class AdmissionController:
         self.retry_after_s = retry_after_s
         self._inflight = 0
         self._draining = False
+        #: (reason, primary location) while writes are refused, else None
+        self._writes_refused: Optional[tuple[str, Optional[str]]] = None
         self._lock = threading.Lock()
 
     # -- the per-request budget slice ------------------------------------ #
@@ -95,9 +115,28 @@ class AdmissionController:
 
     # -- admission ------------------------------------------------------- #
 
-    def admit(self) -> Ticket:
-        """Admit one request or raise :class:`AdmissionError` (429/503)."""
+    def admit(self, *, write: bool = False) -> Ticket:
+        """Admit one request or raise :class:`AdmissionError` (429/503).
+
+        ``write=True`` marks a state-mutating request, which the
+        write-refusal policy (follower mode, fencing) may turn away even
+        while reads keep flowing.
+        """
         with self._lock:
+            if write and self._writes_refused is not None:
+                reason, location = self._writes_refused
+                _obs.incr(
+                    "repl.fenced_writes"
+                    if reason == "fenced"
+                    else "serve.rejected_writes"
+                )
+                where = f"; writes go to {location}" if location else ""
+                raise AdmissionError(
+                    503,
+                    f"read-only: this server is {reason}{where}",
+                    self.retry_after_s * 4,
+                    location=location,
+                )
             if self._draining:
                 _obs.incr("serve.rejected_overloaded")
                 raise AdmissionError(
@@ -135,6 +174,24 @@ class AdmissionController:
         """Refuse all further admissions (503) while shutting down."""
         with self._lock:
             self._draining = True
+
+    def refuse_writes(self, reason: str, location: Optional[str] = None) -> None:
+        """Refuse ``write=True`` admissions with 503 + ``location``.
+
+        ``reason`` is ``"a follower"`` / ``"fenced"`` — it is spliced
+        into the refusal message and picks the rejection counter.
+        """
+        with self._lock:
+            self._writes_refused = (reason, location)
+
+    def allow_writes(self) -> None:
+        """Lift the write refusal (promotion to primary)."""
+        with self._lock:
+            self._writes_refused = None
+
+    @property
+    def writes_refused(self) -> bool:
+        return self._writes_refused is not None
 
     @property
     def inflight(self) -> int:

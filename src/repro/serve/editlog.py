@@ -30,15 +30,35 @@ half-written delta is therefore never replayed, and the recovered TBox
 equals the state an uninterrupted run would have reached over the same
 record prefix (property-tested in ``tests/serve/test_editlog.py``).
 
-**Compaction**: once the log accumulates ``rebase_limit`` records, the
-current state is rebased — written as the new base snapshot, after
-which the log is truncated.  The crash ordering is safe: a crash
-between the base replace and the log truncate leaves stale records
-(version ≤ base version) that replay simply skips.
+**Compaction**: the current state is rebased — written as the new base
+snapshot, after which the log is truncated — when any configured
+trigger fires: ``rebase_limit`` records since the base (the original
+count policy), ``rebase_max_bytes`` of log file growth, or
+``rebase_max_age_s`` since the base was last written.  Which trigger
+fired is counted per reason (``editlog.rebase_reason.records`` /
+``.bytes`` / ``.age`` / ``.manual``).  The crash ordering is safe: a
+crash between the base replace and the log truncate leaves stale
+records (version ≤ base version) that replay simply skips — including
+across *two* back-to-back crashed rebases, where the log holds stale
+records from several generations.
+
+**Replication**: the log doubles as the primary→follower shipping
+substrate (:mod:`repro.serve.replication`).  A primary reads sealed
+records back out with :meth:`EditLog.read_records` and ships its base
+via :meth:`EditLog.base_snapshot`; a follower applies shipped records
+verbatim — primary-assigned versions and all — with
+:meth:`EditLog.append_record` (durable before the apply is visible,
+stale duplicates skipped) and resynchronizes from a shipped base with
+:meth:`EditLog.install_base`.  :meth:`EditRecord.to_delta` rehydrates
+the stored delta as a :class:`repro.dl.diff.AxiomDelta`, so publication
+can hand it straight to incremental reclassification instead of
+re-diffing full TBox texts.
 
 Counters: ``editlog.appends``, ``editlog.replayed_records``,
 ``editlog.torn_records``, ``editlog.torn_writes_recovered``,
-``editlog.recoveries``, ``editlog.rebases``.
+``editlog.recoveries``, ``editlog.rebases``,
+``editlog.rebase_reason.*``, ``editlog.shipped_records``,
+``editlog.applied_records``, ``editlog.stale_records_skipped``.
 """
 
 from __future__ import annotations
@@ -46,15 +66,17 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
 from ..dl import ParseError, TBox, parse_axiom, parse_tbox
-from ..dl.diff import axiom_diff
+from ..dl.diff import AxiomDelta, axiom_diff
 from ..dl.serialize import to_text
-from ..dl.tbox import Subsumption
+from ..dl.syntax import Atomic
+from ..dl.tbox import Equivalence, Subsumption
 from ..obs import recorder as _obs
 from ..store import append_verified_bytes, atomic_write_text
 
@@ -89,6 +111,69 @@ class EditRecord:
         )
         crc = zlib.crc32(payload.encode("utf-8"))
         return f"{crc:08x} {payload}\n".encode("utf-8")
+
+    def to_json(self) -> dict:
+        """The wire shape replication ships (mirrors the framed payload)."""
+        return {
+            "version": self.version,
+            "added": list(self.added),
+            "removed": list(self.removed),
+        }
+
+    @classmethod
+    def from_json(cls, row: object) -> Optional["EditRecord"]:
+        """Decode one shipped record; ``None`` when malformed."""
+        if (
+            not isinstance(row, dict)
+            or not isinstance(row.get("version"), int)
+            or not isinstance(row.get("added"), list)
+            or not isinstance(row.get("removed"), list)
+            or not all(isinstance(a, str) for a in row["added"])
+            or not all(isinstance(r, str) for r in row["removed"])
+        ):
+            return None
+        return cls(
+            version=row["version"],
+            added=tuple(row["added"]),
+            removed=tuple(row["removed"]),
+        )
+
+    def to_delta(self, old_tbox: TBox, new_tbox: TBox) -> AxiomDelta:
+        """The stored delta as an :class:`~repro.dl.diff.AxiomDelta`.
+
+        Equivalent to ``axiom_diff(old_tbox, new_tbox)`` but built from
+        the record's own added/removed axiom texts, so publication pays
+        for the *edit's* axioms instead of re-diffing both full TBoxes.
+        ``old_tbox``/``new_tbox`` must be the record's predecessor and
+        successor states (they supply only the vocabulary delta).
+        """
+        added = frozenset(parse_axiom(text) for text in self.added)
+        removed = frozenset(parse_axiom(text) for text in self.removed)
+        changed: set[str] = set()
+        general_changed = False
+        # same classification as repro.dl.diff.axiom_diff: definitorial
+        # edits name their lhs (both sides for atomic equivalences);
+        # anything else is a general change that defeats locality
+        for axiom in (*added, *removed):
+            if not isinstance(axiom.lhs, Atomic):
+                general_changed = True
+                continue
+            changed.add(axiom.lhs.name)
+            if isinstance(axiom, Equivalence):
+                if isinstance(axiom.rhs, Atomic):
+                    changed.add(axiom.rhs.name)
+                else:
+                    general_changed = True
+        names_before = old_tbox.atomic_names()
+        names_after = new_tbox.atomic_names()
+        return AxiomDelta(
+            added=added,
+            removed=removed,
+            names_added=frozenset(names_after - names_before),
+            names_removed=frozenset(names_before - names_after),
+            changed_names=frozenset(changed),
+            general_changed=general_changed,
+        )
 
 
 @dataclass(frozen=True)
@@ -172,15 +257,21 @@ class EditLog:
         directory: Union[str, Path],
         *,
         rebase_limit: int = DEFAULT_REBASE_LIMIT,
+        rebase_max_bytes: Optional[int] = None,
+        rebase_max_age_s: Optional[float] = None,
     ) -> None:
         self.directory = Path(directory)
         self.base_path = self.directory / _BASE_NAME
         self.log_path = self.directory / _LOG_NAME
         self.rebase_limit = rebase_limit
+        self.rebase_max_bytes = rebase_max_bytes
+        self.rebase_max_age_s = rebase_max_age_s
         self.tbox: TBox = TBox()
         self.version: int = 0
         self.last_recovery: Optional[Recovery] = None
         self._records_since_base = 0
+        self._log_bytes = 0
+        self._base_written_at = time.monotonic()
         self._lock = threading.Lock()
 
     # -- opening / recovery --------------------------------------------- #
@@ -193,6 +284,8 @@ class EditLog:
         initial: Optional[TBox] = None,
         initial_version: int = 1,
         rebase_limit: int = DEFAULT_REBASE_LIMIT,
+        rebase_max_bytes: Optional[int] = None,
+        rebase_max_age_s: Optional[float] = None,
     ) -> "EditLog":
         """Open ``directory``, initializing or recovering as needed.
 
@@ -203,7 +296,12 @@ class EditLog:
         which :attr:`tbox`/:attr:`version` hold the latest durable
         state, which wins over ``initial``.
         """
-        log = cls(directory, rebase_limit=rebase_limit)
+        log = cls(
+            directory,
+            rebase_limit=rebase_limit,
+            rebase_max_bytes=rebase_max_bytes,
+            rebase_max_age_s=rebase_max_age_s,
+        )
         log.directory.mkdir(parents=True, exist_ok=True)
         if not log.base_path.exists():
             if log.log_path.exists() and log.log_path.stat().st_size > 0:
@@ -235,6 +333,7 @@ class EditLog:
                 sort_keys=True,
             ),
         )
+        self._base_written_at = time.monotonic()
 
     def _recover(self) -> None:
         try:
@@ -284,6 +383,7 @@ class EditLog:
         self.tbox = tbox
         self.version = version
         self._records_since_base = replayed
+        self._log_bytes = valid_end
         self.last_recovery = Recovery(
             version=version,
             base_version=base_version,
@@ -312,24 +412,69 @@ class EditLog:
                 added=tuple(sorted(_axiom_text(ax) for ax in delta.added)),
                 removed=tuple(sorted(_axiom_text(ax) for ax in delta.removed)),
             )
-            if append_verified_bytes(self.log_path, record.encode()):
-                _obs.incr("editlog.torn_writes_recovered")
-            self.tbox = _apply(self.tbox, record)
-            self.version = record.version
-            self._records_since_base += 1
-            _obs.incr("editlog.appends")
-            if self.rebase_limit and self._records_since_base >= self.rebase_limit:
-                self._rebase()
+            self._append_locked(record)
         return record
+
+    def append_record(self, record: EditRecord) -> bool:
+        """Durably apply one *sealed* record (replication's append path).
+
+        The record keeps its primary-assigned version: a stale record
+        (version ≤ the current one) is skipped and returns ``False`` —
+        duplicated delivery is harmless — while a gap in the chain
+        raises :class:`EditLogError`, because applying a delta to the
+        wrong predecessor would silently corrupt the state.  Returns
+        ``True`` after the record is durable and applied.
+        """
+        with self._lock:
+            if record.version <= self.version:
+                _obs.incr("editlog.stale_records_skipped")
+                return False
+            if record.version != self.version + 1:
+                raise EditLogError(
+                    f"record v{record.version} does not extend v{self.version}: "
+                    "the stream has a gap; resynchronize from the base"
+                )
+            self._append_locked(record)
+            _obs.incr("editlog.applied_records")
+        return True
+
+    def _append_locked(self, record: EditRecord) -> None:
+        if append_verified_bytes(self.log_path, record.encode()):
+            _obs.incr("editlog.torn_writes_recovered")
+        self.tbox = _apply(self.tbox, record)
+        self.version = record.version
+        self._records_since_base += 1
+        self._log_bytes += len(record.encode())
+        _obs.incr("editlog.appends")
+        reason = self._rebase_due()
+        if reason is not None:
+            self._rebase(reason)
+
+    def _rebase_due(self) -> Optional[str]:
+        """The first compaction trigger that currently fires, or None."""
+        if self.rebase_limit and self._records_since_base >= self.rebase_limit:
+            return "records"
+        if (
+            self.rebase_max_bytes is not None
+            and self._log_bytes >= self.rebase_max_bytes
+        ):
+            return "bytes"
+        if (
+            self.rebase_max_age_s is not None
+            and self._records_since_base > 0
+            and time.monotonic() - self._base_written_at >= self.rebase_max_age_s
+        ):
+            return "age"
+        return None
 
     # -- compaction ------------------------------------------------------ #
 
     def rebase(self) -> None:
         """Persist the current state as the base and truncate the log."""
         with self._lock:
-            self._rebase()
+            self._rebase("manual")
 
-    def _rebase(self) -> None:
+    def _rebase(self, reason: str = "manual") -> None:
         self._write_base()
         # a crash before this truncate leaves records with version <= the
         # new base version, which replay skips as stale
@@ -337,7 +482,79 @@ class EditLog:
             handle.flush()
             os.fsync(handle.fileno())
         self._records_since_base = 0
+        self._log_bytes = 0
         _obs.incr("editlog.rebases")
+        _obs.incr(f"editlog.rebase_reason.{reason}")
+
+    # -- replication ----------------------------------------------------- #
+
+    def read_records(
+        self, after: int, limit: int = 256
+    ) -> tuple[bool, list[EditRecord]]:
+        """Sealed records extending version ``after``, oldest first.
+
+        Returns ``(need_base, records)``.  ``need_base`` is True when the
+        log alone cannot bridge from ``after`` to the current state —
+        the wanted records were compacted into the base, or ``after``
+        predates this log's history — in which case the caller must ship
+        :meth:`base_snapshot` instead (the live tip, after which the
+        follower is fully caught up).  Only complete, CRC-valid lines
+        that chain contiguously from ``after`` are shipped; an in-flight
+        torn tail is simply not visible yet.
+        """
+        with self._lock:
+            if after >= self.version:
+                return False, []
+            raw = self.log_path.read_bytes() if self.log_path.exists() else b""
+        wanted: list[EditRecord] = []
+        next_version = after + 1
+        position = 0
+        while position < len(raw) and len(wanted) < limit:
+            newline = raw.find(b"\n", position)
+            if newline == -1:
+                break
+            record = _decode_record(raw[position:newline])
+            if record is None:
+                break
+            position = newline + 1
+            if record.version < next_version:
+                continue  # behind the follower, or a stale generation
+            if record.version > next_version:
+                break  # the bridge record was compacted away
+            wanted.append(record)
+            next_version += 1
+        if not wanted:
+            return True, []
+        _obs.incr("editlog.shipped_records", len(wanted))
+        return False, wanted
+
+    def base_snapshot(self) -> dict:
+        """The current base as ``{"version": N, "tbox": text}`` for shipping.
+
+        Ships the *live* state, not the on-disk base file: the follower
+        installing this snapshot lands on the shipper's exact version,
+        so subsequent records chain without replaying the log remotely.
+        """
+        from ..dl.serialize import tbox_to_text
+
+        with self._lock:
+            return {"version": self.version, "tbox": tbox_to_text(self.tbox)}
+
+    def install_base(self, version: int, tbox_text: str) -> TBox:
+        """Resynchronize from a shipped base snapshot (follower side).
+
+        Replaces the local base and truncates the log, so the directory
+        recovers to exactly the shipped state.  Returns the parsed TBox.
+        """
+        try:
+            tbox = parse_tbox(tbox_text)
+        except ParseError as exc:
+            raise EditLogError(f"shipped base v{version}: bad tbox: {exc}") from exc
+        with self._lock:
+            self.tbox = tbox
+            self.version = version
+            self._rebase("base-install")
+        return tbox
 
     # -- inspection ------------------------------------------------------ #
 
@@ -351,7 +568,10 @@ class EditLog:
         return {
             "version": self.version,
             "records_since_base": self._records_since_base,
+            "log_bytes": self._log_bytes,
             "rebase_limit": self.rebase_limit,
+            "rebase_max_bytes": self.rebase_max_bytes,
+            "rebase_max_age_s": self.rebase_max_age_s,
             "recovered": None
             if recovery is None
             else {

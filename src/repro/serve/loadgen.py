@@ -21,13 +21,23 @@ bench — none of them belong in the server proper:
   through ``POST /v1/tbox`` on one connection, recording per-edit ack
   latency and the ``swap_status`` distribution
   (applied/deferred/coalesced), so a mixed bench can measure the edit
-  side of the closed loop while :func:`closed_loop` measures queries.
+  side of the closed loop while :func:`closed_loop` measures queries;
+* :class:`ServeProcess` — a **real** ``python -m repro serve`` child
+  process (not a thread): the only honest way to exercise ``kill -9``
+  crash/failover scenarios, used by the B9/B11 kill phases and the
+  recover/failover smoke scripts.  Supports primary and ``--follow``
+  follower invocations alike.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import os
+import re
+import signal
+import subprocess
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
@@ -157,6 +167,101 @@ class ServeClient:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+
+class ServeProcess:
+    """A ``python -m repro serve`` child on an ephemeral port.
+
+    Startup blocks until the child prints its ``http://host:port``
+    banner (the recovery and follower banners precede it).  Unlike
+    :class:`ServerThread` this is a separate interpreter with its own
+    event loop, so ``kill -9`` genuinely destroys in-memory state —
+    which is the entire point for crash-recovery and failover tests.
+
+    >>> with ServeProcess(["--edit-log", log_dir]) as primary:        # doctest: +SKIP
+    ...     follower = ServeProcess(
+    ...         ["--edit-log", f_dir, "--follow", primary.url]
+    ...     ).start()
+    """
+
+    def __init__(
+        self,
+        args: Sequence[str],
+        *,
+        env: Optional[dict[str, str]] = None,
+        startup_timeout_s: float = 60.0,
+        banner_lines: int = 20,
+    ) -> None:
+        self.args = list(args)
+        self.env = dict(os.environ if env is None else env)
+        self.env.setdefault("PYTHONPATH", "src")
+        self._startup_timeout_s = startup_timeout_s
+        self._banner_lines = banner_lines
+        self.process: Optional[subprocess.Popen] = None
+        self.port: Optional[int] = None
+
+    def start(self) -> "ServeProcess":
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", *self.args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=self.env,
+        )
+        for _ in range(self._banner_lines):
+            line = self.process.stdout.readline()
+            if not line:
+                break
+            # anchored on the serving banner: a follower also echoes the
+            # primary's URL in its "following ..." line
+            match = re.search(r"serving .* on http://[\d.]+:(\d+)", line)
+            if match:
+                self.port = int(match.group(1))
+                break
+        if self.port is None:
+            self.kill()
+            raise ServeHarnessError("serve child printed no address banner")
+        return self
+
+    @property
+    def url(self) -> str:
+        if self.port is None:
+            raise ServeHarnessError("server not started")
+        return f"http://127.0.0.1:{self.port}"
+
+    def client(self, timeout_s: float = 30.0) -> ServeClient:
+        if self.port is None:
+            raise ServeHarnessError("server not started")
+        return ServeClient("127.0.0.1", self.port, timeout_s=timeout_s)
+
+    def request(
+        self, method: str, path: str, body: Optional[dict[str, Any]] = None
+    ) -> tuple[int, dict[str, Any]]:
+        """One-shot convenience request on a fresh connection."""
+        with self.client() as client:
+            return client.request(method, path, body)
+
+    def kill(self) -> None:
+        """``SIGKILL``: no flush, no graceful anything — the crash case."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.send_signal(signal.SIGKILL)
+            self.process.wait(timeout=30)
+
+    def terminate(self, timeout_s: float = 30.0) -> None:
+        if self.process is None or self.process.poll() is not None:
+            return
+        self.process.send_signal(signal.SIGTERM)
+        try:
+            self.process.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+            self.process.kill()
+            self.process.wait(timeout=timeout_s)
+
+    def __enter__(self) -> "ServeProcess":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.terminate()
 
 
 # ---------------------------------------------------------------------- #

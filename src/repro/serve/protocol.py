@@ -17,9 +17,12 @@ status    meaning
 400       malformed request (bad JSON, bad concept syntax, missing field)
 404       unknown route
 405       method not allowed on this route
+409       fencing conflict: a ``/v1/fence`` carried a stale (≤ current)
+          epoch — the sender lost a promotion race
 429       admission refused: at capacity, retry after ``Retry-After``
 500       internal error (the body names the exception type)
-503       overloaded or draining; retry after ``Retry-After``
+503       overloaded, draining, or refusing writes (follower / fenced
+          ex-primary; the body's ``primary`` names where writes go)
 ========  ==============================================================
 """
 
@@ -42,6 +45,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",

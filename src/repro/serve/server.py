@@ -15,6 +15,9 @@ Routes (all bodies JSON)::
     POST /v1/instances    {"concept": C, "abox": {...}}      (governed)
     POST /v1/critique     {"tbox": text?}  → the paper's critique report
     POST /v1/tbox         {"tbox": text}   → prepare + hot-swap snapshot
+    POST /v1/repl/pull    {"after": N}     → sealed records / base (replication)
+    POST /v1/promote      {}               → follower becomes primary
+    POST /v1/fence        {"epoch": E}     → refuse writes under a newer primary
 
 Degradation contract: budget-exhausted answers are **206** with an
 ``UNKNOWN`` verdict body (the HTTP analogue of CLI exit code 3);
@@ -34,6 +37,16 @@ allows.  Swap *frequency* degrades before query latency does.  With
 :mod:`repro.serve.editlog` before the 200 goes out, and a restart
 replays the log, so the boot snapshot is the last acknowledged state —
 crash included.
+
+With ``--follow PRIMARY_URL`` the process boots as a **warm standby**
+(:mod:`repro.serve.replication`): it pulls sealed edit records from the
+primary, applies them through the same durable log and publishes them
+through the incremental snapshot path, serves read-only traffic tagged
+with an ``X-Replication-Lag-Records`` header, refuses writes with 503 +
+the primary's location, and is promoted — ``POST /v1/promote``, or
+automatically after ``--auto-promote-after`` failed pulls — under a
+persisted fencing epoch that the old primary, once fenced (or once its
+restart reads the fence back from ``epoch.json``), can never out-write.
 """
 
 from __future__ import annotations
@@ -51,7 +64,7 @@ from ..obs import recorder as _obs
 from ..robust import Budget
 from .admission import AdmissionController, AdmissionError
 from .batcher import KIND_SATISFIABLE, KIND_SUBSUMES, Batcher
-from .editlog import DEFAULT_REBASE_LIMIT, EditLog
+from .editlog import DEFAULT_REBASE_LIMIT, EditLog, EditRecord
 from .protocol import (
     BadRequest,
     HttpRequest,
@@ -62,6 +75,7 @@ from .protocol import (
     require,
     verdict_body,
 )
+from .replication import EpochStore, FollowerChannel, post_json
 from .snapshot import SnapshotManager
 
 
@@ -84,6 +98,11 @@ class ServeConfig:
     edit_log: Optional[str] = None
     min_swap_interval_ms: float = 0.0
     rebase_limit: int = DEFAULT_REBASE_LIMIT
+    rebase_max_bytes: Optional[int] = None
+    rebase_max_age_s: Optional[float] = None
+    follow: Optional[str] = None
+    auto_promote_after: Optional[int] = None
+    probe_interval_ms: float = 500.0
 
 
 @contextlib.contextmanager
@@ -114,16 +133,26 @@ class ReasoningServer:
         self, tbox: Optional[TBox] = None, config: Optional[ServeConfig] = None
     ) -> None:
         self.config = config or ServeConfig()
+        if self.config.follow is not None and self.config.edit_log is None:
+            raise ValueError(
+                "--follow requires --edit-log: the follower's applied "
+                "records and its fencing epoch must both be durable"
+            )
         self.editlog: Optional[EditLog] = None
         initial_version = 1
         if self.config.edit_log is not None:
             # recovery-on-start: a directory with prior state wins over
             # the --tbox argument — the boot snapshot must be the last
-            # *acknowledged* state, crash or no crash
+            # *acknowledged* state, crash or no crash.  A fresh follower
+            # starts at version 0 so its first pull (after=0) fetches
+            # the primary's base snapshot.
             self.editlog = EditLog.open(
                 self.config.edit_log,
                 initial=tbox,
+                initial_version=0 if self.config.follow is not None else 1,
                 rebase_limit=self.config.rebase_limit,
+                rebase_max_bytes=self.config.rebase_max_bytes,
+                rebase_max_age_s=self.config.rebase_max_age_s,
             )
             tbox = self.editlog.tbox
             initial_version = self.editlog.version
@@ -147,6 +176,28 @@ class ReasoningServer:
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self.address: Optional[tuple[str, int]] = None
+        # -- replication state -------------------------------------------- #
+        self.epochs = EpochStore(self.config.edit_log)
+        self._channel: Optional[FollowerChannel] = None
+        self._channel_task: Optional[asyncio.Task] = None
+        self._fence_task: Optional[asyncio.Task] = None
+        if self.config.follow is not None:
+            self.epochs.set_role("follower", primary_url=self.config.follow)
+            self.admission.refuse_writes("a follower", self.config.follow)
+            self._channel = FollowerChannel(
+                self.config.follow,
+                self.editlog,
+                self.epochs,
+                on_records=self._on_replicated_records,
+                on_base=self._on_replicated_base,
+                on_auto_promote=self._auto_promote,
+                probe_interval_s=self.config.probe_interval_ms / 1000.0,
+                auto_promote_after=self.config.auto_promote_after,
+            )
+        elif self.epochs.fenced:
+            # a resurrected ex-primary: the persisted fence outlives the
+            # crash, so it comes back up refusing writes
+            self.admission.refuse_writes("fenced", self.epochs.primary_url)
         # -- edit-publication state (all guarded by _swap_lock; the lock
         # is never held across a classification) --------------------- #
         self._swap_lock = asyncio.Lock()
@@ -167,6 +218,8 @@ class ReasoningServer:
         )
         sock = self._server.sockets[0].getsockname()
         self.address = (sock[0], sock[1])
+        if self._channel is not None:
+            self._channel_task = asyncio.create_task(self._channel.run())
         return self.address
 
     async def stop(self) -> None:
@@ -177,6 +230,17 @@ class ReasoningServer:
         """
         self.admission.drain()
         self.batcher.flush_now()
+        for attr in ("_channel_task", "_fence_task"):
+            task = getattr(self, attr)
+            if task is not None and not task.done():
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            setattr(self, attr, None)
+        if self._channel is not None:
+            self._channel.stop()
         if self._publisher_task is not None:
             self._publisher_task.cancel()
             try:
@@ -213,6 +277,12 @@ class ReasoningServer:
                 if request is None:
                     break
                 status, body, extra = await self._dispatch(request)
+                channel = self._channel
+                if channel is not None and not channel.stopped:
+                    lag = channel.lag_records()
+                    if lag is not None:
+                        extra = dict(extra or {})
+                        extra["X-Replication-Lag-Records"] = str(lag)
                 _obs.incr("serve.requests")
                 _obs.incr(f"serve.status.{status}")
                 writer.write(
@@ -249,6 +319,18 @@ class ReasoningServer:
                 return (*self._health(), None)
             if route == ("GET", "/v1/metrics"):
                 return (*self._metrics(), None)
+            if request.path in _CONTROL_POST:
+                # replication control plane: bypasses admission so a
+                # drained, overloaded, or write-refusing server can
+                # still ship records, be fenced, and be promoted
+                if request.method != "POST":
+                    return (*error_body(405, f"{request.path} requires POST"), None)
+                payload = request.json()
+                if request.path == "/v1/repl/pull":
+                    return (*await self._repl_pull(payload), None)
+                if request.path == "/v1/promote":
+                    return (*await self._promote(payload), None)
+                return (*self._fence(payload), None)
             if request.path in _UNBATCHED_POST or request.path in _BATCHED_POST:
                 if request.method != "POST":
                     return (*error_body(405, f"{request.path} requires POST"), None)
@@ -259,7 +341,10 @@ class ReasoningServer:
         except ParseError as exc:
             return (*error_body(400, f"concept syntax: {exc}"), None)
         except AdmissionError as exc:
-            status, body = error_body(exc.status, str(exc))
+            extra = (
+                {} if exc.location is None else {"primary": exc.location}
+            )
+            status, body = error_body(exc.status, str(exc), **extra)
             return status, body, {"Retry-After": f"{exc.retry_after_s:.3f}"}
         except Exception as exc:  # noqa: BLE001 - the loop must survive anything
             _obs.incr("serve.internal_errors")
@@ -269,7 +354,7 @@ class ReasoningServer:
         self, request: HttpRequest
     ) -> tuple[int, dict[str, Any], Optional[dict[str, str]]]:
         payload = request.json()
-        ticket = self.admission.admit()
+        ticket = self.admission.admit(write=request.path == "/v1/tbox")
         snapshot = self.snapshots.acquire()
         try:
             if request.path == "/v1/subsumes":
@@ -314,6 +399,8 @@ class ReasoningServer:
         snapshot = self.snapshots.current
         return 200, {
             "status": "draining" if self.admission.draining else "ok",
+            "role": self.epochs.role,
+            "replication": self._replication_block(),
             "tbox_version": snapshot.version,
             "logged_version": self._logged_version,
             "pending_swap": self._pending is not None or self._publishing,
@@ -342,7 +429,202 @@ class ReasoningServer:
         }
         if self.editlog is not None:
             body["serve"]["editlog"] = self.editlog.stats()
+        body["serve"]["replication"] = self._replication_block()
         return 200, body
+
+    # -- replication ------------------------------------------------------ #
+
+    @property
+    def role(self) -> str:
+        return self.epochs.role
+
+    def _own_url(self) -> Optional[str]:
+        if self.address is None:
+            return None
+        return f"http://{self.address[0]}:{self.address[1]}"
+
+    def _replication_block(self) -> dict[str, Any]:
+        block = self.epochs.as_dict()
+        block["last_applied_version"] = (
+            self.editlog.version if self.editlog is not None
+            else self.snapshots.version
+        )
+        channel = self._channel
+        if channel is not None and not channel.stopped:
+            block["lag_records"] = channel.lag_records()
+            block["probe_failures"] = channel.consecutive_failures
+        return block
+
+    async def _repl_pull(self, payload: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        """Ship sealed records (or the base) to a polling follower."""
+        if self.editlog is None:
+            return error_body(
+                503, "replication requires --edit-log on this server"
+            )
+        after = payload.get("after", 0)
+        if not isinstance(after, int) or after < 0:
+            raise BadRequest(f"'after' must be a non-negative integer, got {after!r}")
+        need_base, records = await asyncio.to_thread(
+            self.editlog.read_records, after
+        )
+        if records:
+            _obs.incr("repl.shipped", len(records))
+        body: dict[str, Any] = {
+            "role": self.epochs.role,
+            "epoch": self.epochs.epoch,
+            "fenced": self.epochs.fenced,
+            "version": self.editlog.version,
+            "records": [record.to_json() for record in records],
+        }
+        if need_base:
+            body["base"] = await asyncio.to_thread(self.editlog.base_snapshot)
+        return 200, body
+
+    def _fence(self, payload: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        """Accept (or refuse, 409) a fence from a higher-epoch primary."""
+        epoch = payload.get("epoch")
+        if not isinstance(epoch, int):
+            raise BadRequest(f"'epoch' must be an integer, got {epoch!r}")
+        primary = payload.get("primary")
+        primary = str(primary) if primary is not None else None
+        if not self.epochs.fence(epoch, primary):
+            return error_body(
+                409,
+                f"stale fence: epoch {epoch} <= current {self.epochs.epoch}",
+                epoch=self.epochs.epoch,
+            )
+        # persisted before this point: even a crash right here leaves a
+        # server that restarts read-only
+        self.admission.refuse_writes("fenced", primary)
+        _obs.incr("repl.fences_accepted")
+        return 200, {
+            "fenced": True,
+            "epoch": self.epochs.epoch,
+            "role": self.epochs.role,
+        }
+
+    async def _promote(self, payload: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        """Promote this follower to primary (idempotent on a primary)."""
+        if self.epochs.fenced:
+            # a fenced server's log may be behind the primary that fenced
+            # it; promoting it would fork the lineage
+            return error_body(
+                409,
+                f"fenced by epoch {self.epochs.fenced_by}; a fenced server "
+                "cannot self-promote",
+                epoch=self.epochs.epoch,
+            )
+        if self.epochs.role == "primary":
+            return 200, {
+                "promoted": False,
+                "role": "primary",
+                "epoch": self.epochs.epoch,
+                "tbox_version": self.snapshots.version,
+            }
+        epoch = await self._become_primary()
+        return 200, {
+            "promoted": True,
+            "role": "primary",
+            "epoch": epoch,
+            "tbox_version": self.snapshots.version,
+            "logged_version": self._logged_version,
+        }
+
+    async def _auto_promote(self) -> None:
+        """The channel's probe-failure path: promote without an operator."""
+        _obs.incr("repl.auto_promotions")
+        await self._become_primary()
+
+    async def _become_primary(self) -> int:
+        """Stop following, bump + persist the fencing epoch, take writes.
+
+        The epoch is durable *before* the first write can be admitted,
+        and the old primary is fenced best-effort (retried in the
+        background until it acks or the process exits): a resurrected
+        ex-primary either receives the fence or stays unreachable —
+        either way it never acks a write this server does not subsume.
+        """
+        channel, self._channel = self._channel, None
+        old_primary = self.epochs.primary_url
+        if channel is not None:
+            channel.stop()
+        task = self._channel_task
+        self._channel_task = None
+        if task is not None and task is not asyncio.current_task():
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        epoch = self.epochs.promote()
+        self.admission.allow_writes()
+        if self.editlog is not None:
+            self._logged_version = self.editlog.version
+        _obs.incr("repl.promotions")
+        if old_primary is not None:
+            self._fence_task = asyncio.create_task(
+                self._fence_old_primary(old_primary, epoch)
+            )
+        return epoch
+
+    async def _fence_old_primary(self, url: str, epoch: int) -> None:
+        """Retry the fence until the ex-primary acks it (or we exit)."""
+        interval = max(0.05, self.config.probe_interval_ms / 1000.0)
+        while True:
+            _obs.incr("repl.fence_attempts")
+            try:
+                status, _ = await post_json(
+                    url,
+                    "/v1/fence",
+                    {"epoch": epoch, "primary": self._own_url()},
+                    timeout_s=2.0,
+                )
+                # 200 = fenced now; 409 = it already holds a higher
+                # epoch (it was promoted past us) — either is final
+                if status in (200, 409):
+                    return
+            except Exception:  # noqa: BLE001 - keep retrying
+                pass
+            await asyncio.sleep(interval)
+
+    async def _on_replicated_records(self, records: list[EditRecord]) -> None:
+        """Publish a just-applied batch so the snapshot chain stays warm.
+
+        One publish per poll batch: in steady state a batch is a single
+        record whose stored delta drives the incremental reclassify; a
+        multi-record catch-up batch publishes once at the batch tip
+        (the combined delta is recomputed — still incremental).
+        """
+        if not records or self.editlog is None:
+            return
+        version = records[-1].version
+        tbox = self.editlog.tbox
+        self._logged_version = max(self._logged_version, version)
+        record = records[-1] if len(records) == 1 else None
+        try:
+            with _responsive_gil():
+                prepared = await asyncio.to_thread(
+                    self.snapshots.prepare, tbox, version=version, record=record
+                )
+            self.snapshots.swap(prepared)
+            self._observe_visibility(version)
+        except Exception:  # noqa: BLE001 - the channel must survive
+            _obs.incr("serve.publish_errors")
+
+    async def _on_replicated_base(self, version: int) -> None:
+        """Publish a freshly installed base snapshot (full prepare)."""
+        if self.editlog is None or version <= self.snapshots.version:
+            return
+        tbox = self.editlog.tbox
+        self._logged_version = max(self._logged_version, version)
+        try:
+            with _responsive_gil():
+                prepared = await asyncio.to_thread(
+                    self.snapshots.prepare, tbox, version=version
+                )
+            self.snapshots.swap(prepared)
+        except Exception:  # noqa: BLE001 - the channel must survive
+            _obs.incr("serve.publish_errors")
 
     def _classify(self, snapshot) -> tuple[int, dict[str, Any]]:
         hierarchy = snapshot.hierarchy
@@ -440,6 +722,7 @@ class ReasoningServer:
         queue) or ``coalesced`` (it superseded the queued edit).
         """
         tbox = parse_tbox(str(require(payload, "tbox")))
+        record: Optional[EditRecord] = None
         async with self._swap_lock:
             if self.editlog is not None:
                 # fsync in a worker thread: the loop keeps serving
@@ -458,7 +741,7 @@ class ReasoningServer:
                 self._publishing = True
             else:
                 coalesced = self._pending is not None
-                self._pending = (version, tbox)
+                self._pending = (version, tbox, record)
         if not publish_now:
             status = "coalesced" if coalesced else "deferred"
             _obs.incr(f"serve.{status}_edits")
@@ -471,10 +754,12 @@ class ReasoningServer:
             }
         try:
             # classification of the successor runs in a worker thread —
-            # the event loop keeps answering from the current snapshot
+            # the event loop keeps answering from the current snapshot;
+            # the logged record hands its stored delta to the
+            # incremental path (no full-TBox re-diff) when contiguous
             with _responsive_gil():
                 prepared = await asyncio.to_thread(
-                    self.snapshots.prepare, tbox, version=version
+                    self.snapshots.prepare, tbox, version=version, record=record
                 )
             old = self.snapshots.swap(prepared)
         finally:
@@ -490,6 +775,7 @@ class ReasoningServer:
             "retired_version": old.version,
             "retired_refs": old.refs,
             "swap_mode": prepared.swap_mode,
+            "delta_from_log": prepared.delta_from_log,
         }
         if prepared.swap_detail is not None:
             body["swap_detail"] = prepared.swap_detail
@@ -528,7 +814,7 @@ class ReasoningServer:
                     return
                 wait = self._throttle_wait()
                 if wait <= 0:
-                    version, tbox = self._pending
+                    version, tbox, record = self._pending
                     self._pending = None
                     self._publishing = True
                 else:
@@ -539,7 +825,7 @@ class ReasoningServer:
             try:
                 with _responsive_gil():
                     prepared = await asyncio.to_thread(
-                        self.snapshots.prepare, tbox, version=version
+                        self.snapshots.prepare, tbox, version=version, record=record
                     )
                 self.snapshots.swap(prepared)
                 self._observe_visibility(version)
@@ -555,3 +841,5 @@ _BATCHED_POST = frozenset({"/v1/subsumes", "/v1/satisfiable"})
 _UNBATCHED_POST = frozenset(
     {"/v1/classify", "/v1/instances", "/v1/critique", "/v1/tbox"}
 )
+#: replication control plane: admitted outside the load/write policy
+_CONTROL_POST = frozenset({"/v1/repl/pull", "/v1/promote", "/v1/fence"})

@@ -21,7 +21,15 @@ Since the successor usually differs from its predecessor by a handful of
 axioms, :meth:`SnapshotManager.prepare` defaults to *incremental*
 preparation (:meth:`Snapshot.prepare_from`): the new hierarchy is
 reclassified from the old one via :mod:`repro.dl.incremental`, falling
-back to a full classification on structural upheaval.
+back to a full classification on structural upheaval.  When the edit
+arrived through the edit log (or the replication channel), the stored
+:class:`~repro.serve.editlog.EditRecord` already carries the delta —
+``prepare(..., record=...)`` rehydrates it and hands it straight to the
+reclassification instead of re-diffing two full TBoxes, *provided* the
+record extends the predecessor directly (coalescing can skip versions,
+in which case the record's single-edit delta would be unsound and the
+diff is recomputed).  Stored-delta publishes are counted in
+``serve.delta_swaps``.
 
 The manager is an **MVCC chain**: at any instant several versions can be
 live at once — the current snapshot plus retired predecessors still
@@ -41,12 +49,16 @@ from __future__ import annotations
 
 import threading
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..dl import ConceptHierarchy, Reasoner, TBox
 from ..dl.serialize import tbox_to_text
 from ..obs import recorder as _obs
 from ..store import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..dl.diff import AxiomDelta
+    from .editlog import EditRecord
 
 
 class SnapshotError(Exception):
@@ -72,6 +84,9 @@ class Snapshot:
         #: back, ``swap_detail`` carries the reason
         self.swap_mode: str = "full"
         self.swap_detail: Optional[str] = None
+        #: True when the hierarchy was reclassified from a stored
+        #: edit-record delta rather than a recomputed full-TBox diff
+        self.delta_from_log: bool = False
         self._refs = 0
         self._retired = False
         self._released = False
@@ -93,6 +108,7 @@ class Snapshot:
         predecessor: "Snapshot",
         *,
         max_affected_fraction: float = 0.5,
+        delta: Optional["AxiomDelta"] = None,
     ) -> "Snapshot":
         """Pre-classify by *reclassifying* the predecessor's hierarchy.
 
@@ -101,9 +117,13 @@ class Snapshot:
         edges and still-valid reasoner cache entries are carried over.
         Reading the predecessor is safe while it serves traffic — its
         hierarchy is immutable and cache adoption snapshots the dicts.
-        Falls back to :meth:`prepare` when the predecessor has no
-        hierarchy left (already released) or it is budget-incomplete,
-        and records the outcome in :attr:`swap_mode`/:attr:`swap_detail`.
+        ``delta`` (when the caller already holds the edit's delta, e.g.
+        from a stored :class:`~repro.serve.editlog.EditRecord`) skips
+        the full-TBox re-diff; it MUST describe exactly the
+        predecessor→successor edit.  Falls back to :meth:`prepare` when
+        the predecessor has no hierarchy left (already released) or it
+        is budget-incomplete, and records the outcome in
+        :attr:`swap_mode`/:attr:`swap_detail`.
         """
         old = predecessor.hierarchy
         if old is None or old.incomplete:
@@ -114,11 +134,14 @@ class Snapshot:
             )
             return self.prepare()
         result = self.reasoner.reclassify(
-            old, max_affected_fraction=max_affected_fraction
+            old, delta=delta, max_affected_fraction=max_affected_fraction
         )
         self.hierarchy = result.hierarchy
         self.swap_mode = result.mode
         self.swap_detail = result.fallback_reason
+        if delta is not None:
+            self.delta_from_log = True
+            _obs.incr("serve.delta_swaps")
         return self
 
     # -- refcounting ----------------------------------------------------- #
@@ -235,7 +258,13 @@ class SnapshotManager:
         with self._lock:
             return self._current.acquire()
 
-    def prepare(self, tbox: TBox, *, version: Optional[int] = None) -> Snapshot:
+    def prepare(
+        self,
+        tbox: TBox,
+        *,
+        version: Optional[int] = None,
+        record: Optional["EditRecord"] = None,
+    ) -> Snapshot:
         """Build and pre-classify the successor without swapping it in.
 
         This is the expensive part; the server runs it in a worker
@@ -247,7 +276,14 @@ class SnapshotManager:
 
         ``version`` defaults to the successor of the current version;
         pass an explicit (larger) one to publish a coalesced edit under
-        its edit-log-assigned version.
+        its edit-log-assigned version.  ``record`` is the edit-log
+        record that produced ``tbox``: when it extends the predecessor
+        *directly* (``record.version == predecessor.version + 1``) its
+        stored delta is rehydrated and drives the reclassification —
+        no full-TBox re-diff.  A record that skipped versions
+        (coalescing, base resync, records from before delta-carrying
+        publication) is ignored and the diff is computed, which is
+        always sound.
         """
         predecessor = self._current
         if version is None:
@@ -258,8 +294,17 @@ class SnapshotManager:
             )
         successor = Snapshot(tbox, version, max_nodes=self._max_nodes)
         if self._incremental:
+            delta = None
+            if (
+                record is not None
+                and record.version == predecessor.version + 1
+                and record.version == version
+            ):
+                delta = record.to_delta(predecessor.tbox, tbox)
             return successor.prepare_from(
-                predecessor, max_affected_fraction=self._max_affected_fraction
+                predecessor,
+                max_affected_fraction=self._max_affected_fraction,
+                delta=delta,
             )
         return successor.prepare()
 

@@ -82,6 +82,22 @@ class TestFreshAndReplay:
         assert recorder.counters["editlog.recoveries"] == 1
         assert recorder.counters["editlog.replayed_records"] == 1
 
+    def test_base_with_zero_length_log_recovers_cleanly(self, tmp_path):
+        """A crash right after a rebase leaves base.json + an empty log:
+        recovery must land exactly on the base, replaying nothing."""
+        log = EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+        log.append(parse_tbox("dog [= animal"))
+        log.rebase()
+        assert (tmp_path / "edits.log").stat().st_size == 0
+        recovered = EditLog.open(tmp_path)
+        assert recovered.version == 2
+        assert recovered.last_recovery.fresh is False
+        assert recovered.last_recovery.base_version == 2
+        assert (recovered.last_recovery.replayed, recovered.last_recovery.torn) == (0, 0)
+        assert _hierarchy_key(recovered.tbox) == _hierarchy_key(log.tbox)
+        # and the recovered log accepts appends at the next version
+        assert recovered.append(parse_tbox("cat [= animal")).version == 3
+
     def test_log_without_base_is_rejected(self, tmp_path):
         (tmp_path / "edits.log").write_bytes(b"deadbeef {}\n")
         with pytest.raises(EditLogError, match="without a base"):
@@ -134,6 +150,106 @@ class TestRebase:
         assert recovered.last_recovery.replayed == 0
         assert recovered.last_recovery.torn == 0
         assert _hierarchy_key(recovered.tbox) == _hierarchy_key(log.tbox)
+
+    def test_two_consecutive_crashed_rebases_skip_both_generations(self, tmp_path):
+        """Two back-to-back rebases that each crash before their truncate
+        leave stale records from *two* generations; replay skips both."""
+        log = EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+        log.append(parse_tbox("a [= b"))
+        log.append(parse_tbox("a [= b\nb [= c"))
+        generation_one = (tmp_path / "edits.log").read_bytes()
+        log.rebase()  # base now at v3
+        log.append(parse_tbox("a [= b\nb [= c\nc [= d"))
+        generation_two = (tmp_path / "edits.log").read_bytes()
+        log.rebase()  # base now at v4
+        # both crash windows at once: stale records from both generations
+        # reappear ahead of the (empty) current log
+        (tmp_path / "edits.log").write_bytes(generation_one + generation_two)
+        recovered = EditLog.open(tmp_path)
+        assert recovered.version == 4
+        assert recovered.last_recovery.base_version == 4
+        assert recovered.last_recovery.replayed == 0
+        assert recovered.last_recovery.torn == 0
+        assert _hierarchy_key(recovered.tbox) == _hierarchy_key(log.tbox)
+        # appends resume on the recovered chain, past every stale version
+        assert recovered.append(parse_tbox("z [= y")).version == 5
+
+
+class TestRebaseTriggers:
+    """Each compaction trigger fires alone and is counted per reason."""
+
+    def test_records_trigger_is_counted(self, tmp_path):
+        recorder = Recorder()
+        log = EditLog.open(
+            tmp_path, initial=parse_tbox(vehicles_text()), rebase_limit=2
+        )
+        with use_recorder(recorder):
+            log.append(parse_tbox("a [= b"))
+            log.append(parse_tbox("a [= b\nb [= c"))
+        assert recorder.counters["editlog.rebase_reason.records"] == 1
+        assert recorder.counters["editlog.rebases"] == 1
+        assert log.records_since_base == 0
+
+    def test_bytes_trigger_is_counted(self, tmp_path):
+        recorder = Recorder()
+        log = EditLog.open(
+            tmp_path,
+            initial=parse_tbox(vehicles_text()),
+            rebase_limit=1024,
+            rebase_max_bytes=1,  # any record crosses the threshold
+        )
+        with use_recorder(recorder):
+            log.append(parse_tbox("a [= b"))
+        assert recorder.counters["editlog.rebase_reason.bytes"] == 1
+        assert "editlog.rebase_reason.records" not in recorder.counters
+        assert (tmp_path / "edits.log").stat().st_size == 0
+        assert EditLog.open(tmp_path).last_recovery.base_version == 2
+
+    def test_age_trigger_is_counted(self, tmp_path):
+        recorder = Recorder()
+        log = EditLog.open(
+            tmp_path,
+            initial=parse_tbox(vehicles_text()),
+            rebase_limit=1024,
+            rebase_max_age_s=0.0,  # the base is always "too old"
+        )
+        with use_recorder(recorder):
+            log.append(parse_tbox("a [= b"))
+        assert recorder.counters["editlog.rebase_reason.age"] == 1
+        assert log.records_since_base == 0
+
+    def test_age_trigger_needs_at_least_one_record(self, tmp_path):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            log = EditLog.open(
+                tmp_path,
+                initial=parse_tbox(vehicles_text()),
+                rebase_max_age_s=0.0,
+            )
+        # an idle log never rebases on age alone — nothing to compact
+        assert "editlog.rebases" not in recorder.counters
+        assert log.version == 1
+
+    def test_manual_rebase_is_counted(self, tmp_path):
+        recorder = Recorder()
+        log = EditLog.open(tmp_path, initial=parse_tbox(vehicles_text()))
+        log.append(parse_tbox("a [= b"))
+        with use_recorder(recorder):
+            log.rebase()
+        assert recorder.counters["editlog.rebase_reason.manual"] == 1
+
+    def test_stats_expose_the_trigger_configuration(self, tmp_path):
+        log = EditLog.open(
+            tmp_path,
+            initial=parse_tbox(vehicles_text()),
+            rebase_max_bytes=4096,
+            rebase_max_age_s=60.0,
+        )
+        log.append(parse_tbox("a [= b"))
+        stats = log.stats()
+        assert stats["rebase_max_bytes"] == 4096
+        assert stats["rebase_max_age_s"] == 60.0
+        assert stats["log_bytes"] > 0
 
 
 class TestCrashPrefixProperty:
