@@ -6,13 +6,16 @@ Usage::
     python -m repro classify ONTONOMY.tbox [--budget-nodes N] [--budget-ms MS] [--escalate] [--stats] [--profile] [--incremental-from STORE]
     python -m repro check ONTONOMY.tbox
     python -m repro bench [--out DIR] [--only B1 ...]
-    python -m repro serve [--tbox FILE] [--port N] [--batch-window-ms MS] ...
+    python -m repro serve [--tbox FILE] [--port N] [--abox-backend sqlite --abox-db PATH] ...
+    python -m repro abox ONTONOMY.tbox --abox-db PATH [--load STORE.jsonl] [--materialize] [--instances CONCEPT] [--types IND] [--stats]
 
 ``critique`` runs the full three-part analysis and prints the report;
 ``classify`` prints the inferred hierarchy; ``check`` reports coherence
-and unsatisfiable names; ``bench`` runs the instrumented B1–B10 substrate
+and unsatisfiable names; ``bench`` runs the instrumented B1–B12 substrate
 benches and writes one ``BENCH_<id>.json`` snapshot each; ``serve``
-starts the long-lived batched reasoning service (:mod:`repro.serve`).
+starts the long-lived batched reasoning service (:mod:`repro.serve`);
+``abox`` loads, materializes, and queries a DB-backed instance store
+(:mod:`repro.instdb`) without a server.
 ``--stats`` prints the observability counter snapshot (see
 :mod:`repro.obs`) after the command's normal output.  TBox files use the
 text syntax of :mod:`repro.dl.parser` (one axiom per line, ``#``
@@ -30,6 +33,7 @@ is in :data:`EXIT_CODES` and the ``--help`` epilog.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from contextlib import nullcontext
 from pathlib import Path
@@ -226,6 +230,53 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_abox(args: argparse.Namespace) -> int:
+    from .dl import parse_concept
+    from .instdb import materialize as instdb_materialize, open_backend
+    from .store import load_jsonl, store_to_backend
+
+    tbox = _load(args.tbox)
+    context, recorder = _recording(args)
+    with context:
+        backend = open_backend(args.abox_backend, args.abox_db)
+        try:
+            if args.load:
+                store = load_jsonl(args.load)
+                loaded = store_to_backend(store, backend, tbox)
+                print(f"loaded {loaded} told assertion(s) from {args.load}")
+            if args.materialize:
+                hierarchy = Reasoner(tbox).classify()
+                result = instdb_materialize(backend, hierarchy)
+                print(
+                    f"materialized {result.derived_rows} derived row(s) "
+                    f"from {len(result.sources)} told concept(s) "
+                    f"(removed {result.removed_rows} stale)"
+                )
+            if args.instances:
+                concept = parse_concept(args.instances)
+                members = Reasoner(tbox).retrieve_indexed(
+                    backend, concept, limit=args.limit
+                )
+                for name in members:
+                    print(name)
+                print(
+                    f"# {len(members)} instance(s) of {args.instances}",
+                    file=sys.stderr,
+                )
+            if args.types:
+                for name in sorted(backend.types(args.types)):
+                    print(name)
+            if args.stats:
+                print()
+                print("backend stats:")
+                for key, value in sorted(backend.stats().items()):
+                    print(f"  {key}: {value}")
+        finally:
+            backend.close()
+    _print_stats(recorder)
+    return EXIT_OK
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -256,6 +307,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         follow=args.follow,
         auto_promote_after=args.auto_promote_after,
         probe_interval_ms=args.probe_interval_ms,
+        abox_backend=args.abox_backend,
+        abox_db=args.abox_db,
     )
     # a serving process always records: /v1/metrics is part of the API
     set_recorder(Recorder())
@@ -381,7 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.set_defaults(func=_cmd_check)
 
     p_bench = sub.add_parser(
-        "bench", help="run the B1-B10 benches and write BENCH_*.json snapshots"
+        "bench", help="run the B1-B12 benches and write BENCH_*.json snapshots"
     )
     p_bench.add_argument(
         "--out", default=".", help="directory for BENCH_*.json files (default: .)"
@@ -391,7 +444,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="ID",
         choices=[
-            "B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11",
+            "B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10",
+            "B11", "B12",
         ],
         help="run only this bench (repeatable)",
     )
@@ -542,7 +596,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="follower only: poll the primary this often once caught up "
         "(default: 500)",
     )
+    p_serve.add_argument(
+        "--abox-backend",
+        choices=["memory", "sqlite"],
+        default=os.environ.get("REPRO_ABOX_BACKEND", "memory"),
+        help="instance-store backend behind /v1/instances (default: "
+        "memory, or $REPRO_ABOX_BACKEND)",
+    )
+    p_serve.add_argument(
+        "--abox-db",
+        metavar="PATH",
+        help="sqlite database file for --abox-backend sqlite (default: "
+        "a private in-memory database)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_abox = sub.add_parser(
+        "abox",
+        help="load/materialize/query a DB-backed instance store offline",
+        epilog="The store persists between invocations when --abox-db "
+        "points at a file: load once, materialize once, then serve it "
+        "with `repro serve --abox-backend sqlite --abox-db PATH` or "
+        "query it here.  See README 'Instance store'.",
+    )
+    p_abox.add_argument("tbox", help="TBox file governing materialization")
+    p_abox.add_argument(
+        "--abox-backend",
+        choices=["memory", "sqlite"],
+        default="sqlite",
+        help="backend kind (default: sqlite)",
+    )
+    p_abox.add_argument(
+        "--abox-db",
+        metavar="PATH",
+        help="sqlite database file (default: in-memory, gone at exit)",
+    )
+    p_abox.add_argument(
+        "--load",
+        metavar="STORE.jsonl",
+        help="load told assertions from a JSONL triple store "
+        "(type triples + role triples, filtered against the TBox)",
+    )
+    p_abox.add_argument(
+        "--materialize",
+        action="store_true",
+        help="classify the TBox and write derived types into the store",
+    )
+    p_abox.add_argument(
+        "--instances",
+        metavar="CONCEPT",
+        help="print the instances of CONCEPT (indexed for atomic names)",
+    )
+    p_abox.add_argument(
+        "--types",
+        metavar="IND",
+        help="print the told + derived types of individual IND",
+    )
+    p_abox.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap --instances output (default: all)",
+    )
+    p_abox.add_argument(
+        "--stats",
+        action="store_true",
+        help="print backend stats and the obs counter snapshot",
+    )
+    p_abox.set_defaults(func=_cmd_abox)
     return parser
 
 

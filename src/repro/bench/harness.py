@@ -1,4 +1,4 @@
-"""Instrumented B1–B11 substrate benches with a JSON snapshot per bench.
+"""Instrumented B1–B12 substrate benches with a JSON snapshot per bench.
 
 Each bench runs a fixed, seeded workload under a fresh
 :class:`repro.obs.Recorder` and produces one record::
@@ -30,7 +30,9 @@ B8's default edit-stream scale is controlled by ``REPRO_B8_SCALE``
 committed record measures the full stream; B9 — the B7/B8 fusion into
 mixed edit+query traffic with a durable edit log and a kill-and-recover
 scenario — follows the same pattern via ``REPRO_B9_SCALE``, as does
-B10 — saturation vs enhanced classification — via ``REPRO_B10_SCALE``.
+B10 — saturation vs enhanced classification — via ``REPRO_B10_SCALE``,
+and B12 — the DB-backed instance store at 10⁵–10⁶ individuals — via
+``REPRO_B12_SCALE``.
 
 The pytest benches under ``benchmarks/`` still measure *time* with
 pytest-benchmark statistics; this harness complements them with *work*
@@ -1291,6 +1293,235 @@ def _b11_failover() -> dict[str, Any]:
     }
 
 
+#: B12 instance-store scales: (common_n, big_n, point lookups, instance
+#: queries, flatness factor).  ``common_n`` individuals load into BOTH
+#: backends — the in-memory reference and sqlite — and every read is
+#: cross-checked between them; ``big_n`` runs sqlite alone, which at
+#: ``full`` is the 10⁶-individual scale where holding the materialized
+#: store as Python objects stops being an option (the bench records the
+#: tracemalloc-extrapolated estimate next to the actual on-disk bytes).
+#: The flatness factor (full scale only) is the acceptance criterion:
+#: the mean indexed ``instances()`` latency over 10× more rows must stay
+#: within that factor — an index seek, not a scan.
+B12_SCALES: dict[str, tuple[int, int, int, int, int]] = {
+    "tiny": (400, 2_000, 100, 20, 0),
+    "small": (5_000, 50_000, 400, 40, 0),
+    "full": (100_000, 1_000_000, 1_000, 50, 5),
+}
+
+
+def _b12_instance_store() -> dict[str, Any]:
+    """DB-backed instance store vs in-memory at 10⁵–10⁶ individuals.
+
+    One B1-shape TBox (:func:`repro.corpora.generators.random_tbox`,
+    seed 0) governs a seeded individual stream
+    (:func:`repro.corpora.generators.random_individuals`).  Three
+    phases:
+
+    1. **common scale, both backends** — load, hierarchy-propagated
+       materialization (:func:`repro.instdb.materialize`), point
+       ``types()`` lookups, and ``instances()`` retrievals run against
+       the in-memory backend and a file-backed sqlite store; every
+       answer is asserted identical (the reference-backend oracle);
+    2. **big scale, sqlite only** — the same workload 10× larger (10⁶
+       individuals at full scale), with the load streamed through
+       batched ``executemany`` inserts and the whole materialization in
+       one transaction.  ``EXPLAIN QUERY PLAN`` is asserted to show an
+       index seek for ``instances()`` — no full scan — at every scale;
+    3. **the crossover accounting** — tracemalloc measures the
+       in-memory backend's peak bytes at common scale; the record holds
+       its big-scale extrapolation next to sqlite's actual file bytes,
+       and (full scale) asserts the mean indexed ``instances()``
+       latency stayed within the flatness factor across the 10× growth.
+
+    Scale via ``REPRO_B12_SCALE`` (``tiny``/``small``/``full``).
+    """
+    import os
+    import random as _random
+    import tempfile
+    import tracemalloc
+
+    from ..corpora.generators import random_individuals, random_tbox
+    from ..dl import Reasoner
+    from ..instdb import MemoryBackend, SqliteBackend
+    from ..instdb import materialize as instdb_materialize
+    from ..obs import get_recorder
+
+    scale = os.environ.get("REPRO_B12_SCALE", "small")
+    if scale not in B12_SCALES:
+        raise ValueError(
+            f"REPRO_B12_SCALE={scale!r}; expected one of {sorted(B12_SCALES)}"
+        )
+    common_n, big_n, n_lookups, n_queries, flat_factor = B12_SCALES[scale]
+
+    tbox = random_tbox(0, n_defined=22, n_primitive=8, n_roles=3)
+    hierarchy = Reasoner(tbox).classify()
+    concepts = sorted(tbox.atomic_names())
+    roles = sorted(tbox.role_names())
+    recorder = get_recorder()
+
+    def load(backend, count: int) -> float:
+        """Stream ``count`` individuals in; returns the wall seconds."""
+        t0 = time.perf_counter()
+        stream = random_individuals(7, count, concepts=concepts, roles=roles)
+        with backend.transaction():
+            if isinstance(backend, SqliteBackend):
+                types: list[tuple[str, str]] = []
+                role_rows: list[tuple[str, str, str]] = []
+                for name, told, edges in stream:
+                    types.append((name, told))
+                    role_rows.extend((name, r, t) for r, t in edges)
+                    if len(types) >= 20_000:
+                        backend.bulk_assert(types, role_rows)
+                        types, role_rows = [], []
+                backend.bulk_assert(types, role_rows)
+            else:
+                for name, told, edges in stream:
+                    backend.assert_type(name, told)
+                    for r, t in edges:
+                        backend.assert_role(name, r, t)
+        return time.perf_counter() - t0
+
+    def measure_reads(backend, count: int, label: str) -> dict[str, float]:
+        """Point lookups + limited retrievals, per-call latencies observed."""
+        rng = _random.Random(13)
+        lookup_ms = []
+        for _ in range(n_lookups):
+            name = f"i{rng.randrange(count)}"
+            t0 = time.perf_counter()
+            backend.types(name)
+            lookup_ms.append((time.perf_counter() - t0) * 1000.0)
+            recorder.observe(f"bench.b12.{label}_point_lookup_ms", lookup_ms[-1])
+        instance_ms = []
+        for _ in range(n_queries):
+            concept = concepts[rng.randrange(len(concepts))]
+            t0 = time.perf_counter()
+            backend.instances(concept, limit=100)
+            instance_ms.append((time.perf_counter() - t0) * 1000.0)
+            recorder.observe(f"bench.b12.{label}_instances_ms", instance_ms[-1])
+        return {
+            "point_lookup_mean_ms": sum(lookup_ms) / len(lookup_ms),
+            "instances_mean_ms": sum(instance_ms) / len(instance_ms),
+        }
+
+    with tempfile.TemporaryDirectory() as work_dir:
+        # -- phase 1: common scale, both backends, cross-checked -------- #
+        tracemalloc.start()
+        memory = MemoryBackend()
+        memory_load_s = load(memory, common_n)
+        memory_mat_s = time.perf_counter()
+        memory_result = instdb_materialize(memory, hierarchy)
+        memory_mat_s = time.perf_counter() - memory_mat_s
+        _current, memory_peak_bytes = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        common = SqliteBackend(os.path.join(work_dir, "common.db"))
+        common_load_s = load(common, common_n)
+        common_mat_s = time.perf_counter()
+        common_result = instdb_materialize(common, hierarchy)
+        common_mat_s = time.perf_counter() - common_mat_s
+
+        # the reference-backend oracle: identical counts, types, members
+        assert memory.counts() == common.counts(), (
+            memory.counts(), common.counts(),
+        )
+        assert memory_result.derived_rows == common_result.derived_rows
+        check_rng = _random.Random(29)
+        for _ in range(25):
+            name = f"i{check_rng.randrange(common_n)}"
+            assert memory.types(name) == common.types(name), name
+            assert memory.types(name, derived=False) == common.types(
+                name, derived=False
+            ), name
+        for concept in concepts[::3]:
+            assert memory.instances(concept) == common.instances(concept), concept
+
+        memory_reads = measure_reads(memory, common_n, "memory")
+        common_reads = measure_reads(common, common_n, "sqlite_common")
+
+        # indexed pushdown, deterministically: an index seek, not a scan
+        plan = common.instances_plan(concepts[0])
+        assert "ix_assertions_by_concept" in plan, plan
+        assert "SCAN concept_assertions" not in plan, plan
+        common_bytes = common.db_bytes()
+        common.close()
+
+        # -- phase 2: big scale, sqlite alone --------------------------- #
+        big = SqliteBackend(os.path.join(work_dir, "big.db"))
+        big_load_s = load(big, big_n)
+        big_mat_s = time.perf_counter()
+        big_result = instdb_materialize(big, hierarchy)
+        big_mat_s = time.perf_counter() - big_mat_s
+        big_reads = measure_reads(big, big_n, "sqlite_big")
+        plan = big.instances_plan(concepts[0])
+        assert "SCAN concept_assertions" not in plan, plan
+        assert big.individual_count() == big_n
+        big_bytes = big.db_bytes()
+        big.close()
+
+    recorder.observe("bench.b12.memory_load_s", memory_load_s)
+    recorder.observe("bench.b12.sqlite_common_load_s", common_load_s)
+    recorder.observe("bench.b12.sqlite_big_load_s", big_load_s)
+    recorder.observe("bench.b12.memory_materialize_s", memory_mat_s)
+    recorder.observe("bench.b12.sqlite_common_materialize_s", common_mat_s)
+    recorder.observe("bench.b12.sqlite_big_materialize_s", big_mat_s)
+    recorder.incr("bench.b12.common_individuals", common_n)
+    recorder.incr("bench.b12.big_individuals", big_n)
+    recorder.incr("bench.b12.common_derived_rows", common_result.derived_rows)
+    recorder.incr("bench.b12.big_derived_rows", big_result.derived_rows)
+
+    # the acceptance criterion (full scale): 10x the rows, (near-)flat
+    # indexed retrieval — the whole point of pushing instances() down
+    flatness = big_reads["instances_mean_ms"] / max(
+        common_reads["instances_mean_ms"], 1e-9
+    )
+    if flat_factor:
+        assert flatness <= flat_factor, (
+            f"instances() latency grew {flatness:.1f}x from {common_n} to "
+            f"{big_n} individuals (limit {flat_factor}x): not indexed?"
+        )
+
+    # the in-memory estimate at big scale vs what sqlite actually used
+    memory_big_estimate = int(memory_peak_bytes * (big_n / common_n))
+    return {
+        "scale": scale,
+        "tbox": {"seed": 0, "n_defined": 22, "n_primitive": 8, "n_roles": 3},
+        "individual_seed": 7,
+        "lookup_seed": 13,
+        "common_individuals": common_n,
+        "big_individuals": big_n,
+        "point_lookups": n_lookups,
+        "instance_queries": n_queries,
+        "derived_rows": {
+            "common": common_result.derived_rows,
+            "big": big_result.derived_rows,
+        },
+        "load_s": {
+            "memory": memory_load_s,
+            "sqlite_common": common_load_s,
+            "sqlite_big": big_load_s,
+        },
+        "materialize_s": {
+            "memory": memory_mat_s,
+            "sqlite_common": common_mat_s,
+            "sqlite_big": big_mat_s,
+        },
+        "reads": {
+            "memory": memory_reads,
+            "sqlite_common": common_reads,
+            "sqlite_big": big_reads,
+        },
+        "instances_latency_ratio_big_vs_common": flatness,
+        "flatness_factor_limit": flat_factor,
+        "bytes": {
+            "memory_peak_at_common": memory_peak_bytes,
+            "memory_estimated_at_big": memory_big_estimate,
+            "sqlite_common_file": common_bytes,
+            "sqlite_big_file": big_bytes,
+        },
+    }
+
+
 BENCHES: dict[str, BenchSpec] = {
     "B1": BenchSpec(
         "B1", "tableau reasoning + TBox classification (chain, tree, random)", _b1_tableau
@@ -1332,6 +1563,15 @@ BENCHES: dict[str, BenchSpec] = {
         "B11",
         "warm-standby failover: kill the primary under load, promote, lose nothing",
         _b11_failover,
+        deterministic=False,
+    ),
+    "B12": BenchSpec(
+        "B12",
+        "DB-backed instance store vs in-memory at 1e5-1e6 individuals",
+        _b12_instance_store,
+        # counters ARE deterministic (row/derivation counts over seeded
+        # data — asserted in the harness tests); params carry wall-clock
+        # load/materialize timings, which are not
         deterministic=False,
     ),
 }

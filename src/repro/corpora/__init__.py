@@ -17,6 +17,7 @@ from .generators import (
     branching_tbox,
     chain_tbox,
     random_field,
+    random_individuals,
     random_lexicalization,
     random_tbox,
     random_triples,
@@ -63,5 +64,5 @@ __all__ = [
     "trespass_interpreter", "all_scenarios",
     "campus_space", "campus_properties", "campus_rigidity",
     "random_tbox", "random_field", "random_lexicalization",
-    "random_triples", "chain_tbox", "branching_tbox",
+    "random_triples", "random_individuals", "chain_tbox", "branching_tbox",
 ]

@@ -207,3 +207,35 @@ def branching_tbox(depth: int, *, branching: int = 2) -> TBox:
                 next_frontier.append(child)
         frontier = next_frontier
     return TBox(axioms)
+
+
+def random_individuals(
+    seed: int,
+    count: int,
+    *,
+    concepts: Sequence[str],
+    roles: Sequence[str] = (),
+    role_density: float = 0.4,
+):
+    """A deterministic stream of ``(individual, told concept, role edges)``.
+
+    The shape of an instance-store load at scale: every individual gets
+    exactly one told concept drawn from ``concepts`` and, with
+    probability ``role_density``, one role edge back to an earlier
+    individual — mostly typed nodes over a sparse relational skeleton.
+    A generator, not a list: 10⁶ individuals must never need 10⁶ tuples
+    resident at once (the B12 bench streams this straight into batched
+    backend loads).
+    """
+    if not concepts:
+        raise ValueError("random_individuals needs a non-empty concept pool")
+    rng = random.Random(seed)
+    for i in range(count):
+        name = f"i{i}"
+        told = concepts[rng.randrange(len(concepts))]
+        edges: list[tuple[str, str]] = []
+        if roles and i and rng.random() < role_density:
+            edges.append(
+                (roles[rng.randrange(len(roles))], f"i{rng.randrange(i)}")
+            )
+        yield name, told, edges

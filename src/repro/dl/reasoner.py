@@ -444,3 +444,25 @@ class Reasoner:
             for individual in sorted(abox.individuals())
             if self.is_instance(abox, individual, concept)
         ]
+
+    def retrieve_indexed(
+        self, backend, concept: Concept, *, limit: Optional[int] = None
+    ) -> list[str]:
+        """Retrieval pushed down to a materialized instance backend.
+
+        ``backend`` is a :class:`repro.instdb.InstanceBackend` that has
+        been materialized against this reasoner's TBox: an atomic query
+        answers straight from its by-concept index (no tableau, no scan
+        over individuals — the backend pages with ``limit``).  A complex
+        concept falls back to tableau :meth:`retrieve` over the told
+        export, which is only viable at small scale — counted separately
+        so the fallback shows up in metrics before it shows up in p99.
+        """
+        from .syntax import Atomic
+
+        if isinstance(concept, Atomic):
+            _obs.incr("reasoner.indexed_retrievals")
+            return backend.instances(concept.name, limit=limit)
+        _obs.incr("reasoner.retrieval_fallbacks")
+        members = self.retrieve(backend.to_abox(), concept)
+        return members if limit is None else members[:limit]

@@ -1,0 +1,37 @@
+"""Pluggable DB-backed instance store (``repro.instdb``).
+
+Individuals, concept assertions, and role assertions behind a backend
+ABC with indexed ``instances()`` / ``types()`` / role-neighbor reads,
+hierarchy-propagated materialization with ``materialized_from``
+provenance, and delta-bounded refresh after a TBox swap.  See
+:mod:`repro.instdb.backend` for the contract, README "Instance store"
+for the operator view.
+"""
+
+from .backend import (
+    DERIVED,
+    NO_SOURCE,
+    TOLD,
+    InstanceBackend,
+    InstDBError,
+    open_backend,
+)
+from .materialize import (
+    TOP_SOURCE,
+    MaterializeResult,
+    closure_map,
+    closure_of,
+    materialize,
+    refresh,
+)
+from .memory import MemoryBackend
+from .sqlite import SqliteBackend
+from .view import BackendTripleView
+
+__all__ = [
+    "InstanceBackend", "InstDBError", "open_backend",
+    "MemoryBackend", "SqliteBackend", "BackendTripleView",
+    "MaterializeResult", "materialize", "refresh",
+    "closure_map", "closure_of",
+    "TOLD", "DERIVED", "NO_SOURCE", "TOP_SOURCE",
+]

@@ -1,0 +1,222 @@
+"""The instance-store backend contract.
+
+The ABox machinery of :mod:`repro.dl` keeps every assertion in Python
+lists — fine for the tableau's working sets, hopeless for the
+"millions of users" the serving layer targets.  :class:`InstanceBackend`
+is the seam between the two worlds: individuals, concept assertions,
+and role assertions live behind a narrow indexed-query interface, and
+the reasoner only ever sees the (small) told slice it actually needs.
+
+Two implementations ship:
+
+* :class:`repro.instdb.MemoryBackend` — the existing in-memory ABox
+  structures behind the same interface; the reference semantics every
+  other backend is property-tested against;
+* :class:`repro.instdb.SqliteBackend` — indexed SQL tables in WAL mode,
+  keyed by the same dense interned ids (:mod:`repro.dl.intern`) the
+  reasoning core uses, with a schema portable to postgres.
+
+Design decisions the interface bakes in:
+
+* **Interned ids are the keys.**  Every backend owns three
+  :class:`~repro.dl.intern.InternTable`\\ s (individuals, concepts,
+  roles); names cross the boundary, ids never leak out.  The id tables
+  double as the SQL name dictionaries, so a persistent backend reloads
+  them in id order on open and the dense first-seen numbering survives
+  restarts.
+* **Told and derived rows coexist.**  A concept-assertion row carries a
+  ``source`` (``"told"`` / ``"derived"``) and, for derived rows, a
+  ``materialized_from`` provenance: the *told* concept whose upward
+  closure produced the row.  A derived type supported by two told types
+  keeps two rows — so invalidating one source (after a TBox swap moved
+  it) never deletes evidence contributed by another.
+* **Queries are pushed down.**  ``instances()`` / ``types()`` /
+  role-neighbor queries answer from indexes (dict or B-tree), never a
+  scan over the assertion list; ``limit`` pages large answers.
+
+Counters: ``instdb.individuals``, ``instdb.told_assertions``,
+``instdb.role_assertions``, ``instdb.derived_rows``,
+``instdb.invalidated_rows``, ``instdb.queries.instances``,
+``instdb.queries.types``, ``instdb.queries.roles``,
+``instdb.tx_commits``, ``instdb.tx_rollbacks``.
+"""
+
+from __future__ import annotations
+
+import abc
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+from ..dl import ABox, Atomic, ConceptAssertion, Role, RoleAssertion
+
+#: ``source`` values of a concept-assertion row
+TOLD = "told"
+DERIVED = "derived"
+
+#: ``materialized_from`` of a told row (no derivation to invalidate)
+NO_SOURCE = -1
+
+
+class InstDBError(Exception):
+    """Backend misuse or an unusable database."""
+
+
+class InstanceBackend(abc.ABC):
+    """One instance store: individuals + concept/role assertions.
+
+    All methods speak *names*; the backend interns them to dense ids
+    internally.  Writes outside :meth:`transaction` are autocommitted
+    per call; the materializer wraps its whole delta in one transaction
+    so a crash can never leave a partial derivation visible.
+    """
+
+    #: short backend identifier for health blocks ("memory", "sqlite")
+    kind: str = "abstract"
+
+    # -- writes ---------------------------------------------------------- #
+
+    @abc.abstractmethod
+    def add_individual(self, name: str) -> int:
+        """Ensure ``name`` exists; returns its interned id."""
+
+    @abc.abstractmethod
+    def assert_type(self, individual: str, concept: str) -> None:
+        """Add a told concept assertion ``individual : concept``."""
+
+    @abc.abstractmethod
+    def assert_role(self, subject: str, role: str, object: str) -> None:
+        """Add a role assertion ``(subject, object) : role``."""
+
+    @abc.abstractmethod
+    def insert_derived(self, source: str, derived: Iterable[str]) -> int:
+        """Add derived rows ``(i, D, derived, source)`` for every
+        individual told to be a ``source`` and every ``D`` in
+        ``derived``; returns the number of rows added.  Set-based: the
+        backends answer this from the by-concept index, not a scan."""
+
+    @abc.abstractmethod
+    def delete_derived(self, sources: Optional[Iterable[str]] = None) -> int:
+        """Drop derived rows whose ``materialized_from`` is in
+        ``sources`` (all derived rows when ``None``); returns the row
+        count removed.  The told rows are never touched."""
+
+    # -- transactions ---------------------------------------------------- #
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """All-or-nothing scope for a batch of writes.
+
+        The sqlite backend maps this onto a real ``BEGIN``/``COMMIT``;
+        the in-memory reference backend has no durability to protect
+        and treats it as a grouping no-op (its crash-safety story *is*
+        the process lifetime).
+        """
+        yield
+
+    # -- indexed reads --------------------------------------------------- #
+
+    @abc.abstractmethod
+    def individuals(
+        self, *, limit: Optional[int] = None, offset: int = 0
+    ) -> list[str]:
+        """Individual names in interned-id (= first-seen) order."""
+
+    @abc.abstractmethod
+    def individual_count(self) -> int: ...
+
+    @abc.abstractmethod
+    def types(self, individual: str, *, derived: bool = True) -> frozenset[str]:
+        """Concept names asserted (and, by default, derived) for one
+        individual — a point lookup on the by-individual index."""
+
+    @abc.abstractmethod
+    def instances(
+        self, concept: str, *, limit: Optional[int] = None
+    ) -> list[str]:
+        """Individuals with a (told or derived) ``concept`` assertion,
+        in interned-id order — a range read on the by-concept index."""
+
+    @abc.abstractmethod
+    def successors(self, subject: str, role: str) -> list[str]:
+        """Objects ``o`` with ``(subject, o) : role``."""
+
+    @abc.abstractmethod
+    def predecessors(self, object: str, role: str) -> list[str]:
+        """Subjects ``s`` with ``(s, object) : role``."""
+
+    @abc.abstractmethod
+    def role_assertions(
+        self, role: Optional[str] = None
+    ) -> Iterator[tuple[str, str, str]]:
+        """``(subject, role, object)`` rows, optionally one role only."""
+
+    @abc.abstractmethod
+    def told_concepts(self) -> list[str]:
+        """Distinct concept names with at least one told assertion."""
+
+    @abc.abstractmethod
+    def derived_sources(self) -> list[str]:
+        """Distinct ``materialized_from`` concepts of the derived rows."""
+
+    @abc.abstractmethod
+    def counts(self) -> dict[str, int]:
+        """Row counts: individuals, told, derived, roles."""
+
+    # -- interop --------------------------------------------------------- #
+
+    def load_abox(self, abox: ABox) -> None:
+        """Bulk-load a :class:`~repro.dl.ABox` (told facts only).
+
+        Non-atomic concept assertions are refused: an instance *store*
+        holds data, not complex terminology."""
+        with self.transaction():
+            for assertion in abox:
+                if isinstance(assertion, ConceptAssertion):
+                    if not isinstance(assertion.concept, Atomic):
+                        raise InstDBError(
+                            f"only atomic told types can be stored, got "
+                            f"{assertion.concept}"
+                        )
+                    self.assert_type(assertion.individual, assertion.concept.name)
+                elif isinstance(assertion, RoleAssertion):
+                    self.assert_role(
+                        assertion.subject, assertion.role.name, assertion.object
+                    )
+
+    def to_abox(self) -> ABox:
+        """Export the told slice as an in-memory ABox for the reasoner."""
+        assertions: list = []
+        for individual in self.individuals():
+            for name in sorted(self.types(individual, derived=False)):
+                assertions.append(ConceptAssertion(individual, Atomic(name)))
+        for subject, role, object in self.role_assertions():
+            assertions.append(RoleAssertion(subject, object, Role(role)))
+        return ABox(assertions)
+
+    def stats(self) -> dict:
+        """JSON-ready block for ``/v1/health`` and ``/v1/metrics``."""
+        block: dict = {"backend": self.kind}
+        block.update(self.counts())
+        return block
+
+    def close(self) -> None:  # pragma: no cover - overridden where needed
+        """Release any underlying resources (idempotent)."""
+
+
+def open_backend(
+    kind: str, path: Optional[Union[str, Path]] = None
+) -> InstanceBackend:
+    """Factory behind every ``--abox-backend`` flag.
+
+    ``memory`` ignores ``path``; ``sqlite`` stores at ``path`` (a fresh
+    private in-memory database when omitted — useful for tests and for
+    serving without a pre-built store)."""
+    from .memory import MemoryBackend
+    from .sqlite import SqliteBackend
+
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "sqlite":
+        return SqliteBackend(path)
+    raise InstDBError(f"unknown instance backend {kind!r}; expected memory|sqlite")

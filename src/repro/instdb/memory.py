@@ -1,0 +1,204 @@
+"""The in-memory reference backend: the ABox structures, indexed.
+
+Semantically this is the list-backed :class:`repro.dl.ABox` the library
+always had, re-shaped into the same indexes the SQL backend keeps —
+by-individual, by-concept, and both role directions — so the
+equivalence property tests can compare the two implementations row for
+row.  Derived rows keep a per-``materialized_from`` support count:
+invalidating one source decrements support and only drops the (ind,
+concept) pair when no other source still justifies it, exactly like
+deleting the SQL rows does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from ..dl.intern import InternTable
+from ..obs import recorder as _obs
+from .backend import InstanceBackend
+
+
+class MemoryBackend(InstanceBackend):
+    """Dict-and-set indexes over interned ids; no durability."""
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        self._individuals = InternTable()
+        self._concepts = InternTable()
+        self._roles = InternTable()
+        # told concept assertions, both directions
+        self._told_by_ind: dict[int, set[int]] = {}
+        self._told_by_concept: dict[int, set[int]] = {}
+        # derived rows: per-source row sets plus support-counted indexes
+        self._derived_rows: dict[int, set[tuple[int, int]]] = {}
+        self._support: dict[tuple[int, int], int] = {}
+        self._derived_by_ind: dict[int, set[int]] = {}
+        self._derived_by_concept: dict[int, set[int]] = {}
+        # role assertions: (subject, role) -> objects and (object, role) -> subjects
+        self._succ: dict[tuple[int, int], set[int]] = {}
+        self._pred: dict[tuple[int, int], set[int]] = {}
+        self._role_rows: set[tuple[int, int, int]] = set()
+
+    # -- writes ---------------------------------------------------------- #
+
+    def add_individual(self, name: str) -> int:
+        known = self._individuals.get(name)
+        if known is not None:
+            return known
+        _obs.incr("instdb.individuals")
+        return self._individuals.intern(name)
+
+    def assert_type(self, individual: str, concept: str) -> None:
+        ind = self.add_individual(individual)
+        cid = self._concepts.intern(concept)
+        told = self._told_by_ind.setdefault(ind, set())
+        if cid in told:
+            return
+        told.add(cid)
+        self._told_by_concept.setdefault(cid, set()).add(ind)
+        _obs.incr("instdb.told_assertions")
+
+    def assert_role(self, subject: str, role: str, object: str) -> None:
+        s = self.add_individual(subject)
+        o = self.add_individual(object)
+        r = self._roles.intern(role)
+        if (s, r, o) in self._role_rows:
+            return
+        self._role_rows.add((s, r, o))
+        self._succ.setdefault((s, r), set()).add(o)
+        self._pred.setdefault((o, r), set()).add(s)
+        _obs.incr("instdb.role_assertions")
+
+    def insert_derived(self, source: str, derived: Iterable[str]) -> int:
+        src = self._concepts.intern(source)
+        members = self._told_by_concept.get(src, ())
+        if not members:
+            return 0
+        rows = self._derived_rows.setdefault(src, set())
+        added = 0
+        for name in derived:
+            cid = self._concepts.intern(name)
+            for ind in members:
+                row = (ind, cid)
+                if row in rows:
+                    continue
+                rows.add(row)
+                added += 1
+                count = self._support.get(row, 0)
+                self._support[row] = count + 1
+                if count == 0:
+                    self._derived_by_ind.setdefault(ind, set()).add(cid)
+                    self._derived_by_concept.setdefault(cid, set()).add(ind)
+        if added:
+            _obs.incr("instdb.derived_rows", added)
+        return added
+
+    def delete_derived(self, sources: Optional[Iterable[str]] = None) -> int:
+        if sources is None:
+            src_ids = list(self._derived_rows)
+        else:
+            src_ids = [
+                sid
+                for name in sources
+                if (sid := self._concepts.get(name)) is not None
+            ]
+        removed = 0
+        for sid in src_ids:
+            for row in self._derived_rows.pop(sid, ()):
+                removed += 1
+                remaining = self._support[row] - 1
+                if remaining:
+                    self._support[row] = remaining
+                    continue
+                del self._support[row]
+                ind, cid = row
+                self._derived_by_ind[ind].discard(cid)
+                self._derived_by_concept[cid].discard(ind)
+        if removed:
+            _obs.incr("instdb.invalidated_rows", removed)
+        return removed
+
+    # -- indexed reads --------------------------------------------------- #
+
+    def individuals(
+        self, *, limit: Optional[int] = None, offset: int = 0
+    ) -> list[str]:
+        names = self._individuals.items()
+        stop = None if limit is None else offset + limit
+        return names[offset:stop]
+
+    def individual_count(self) -> int:
+        return len(self._individuals)
+
+    def types(self, individual: str, *, derived: bool = True) -> frozenset[str]:
+        _obs.incr("instdb.queries.types")
+        ind = self._individuals.get(individual)
+        if ind is None:
+            return frozenset()
+        ids = set(self._told_by_ind.get(ind, ()))
+        if derived:
+            ids |= self._derived_by_ind.get(ind, set())
+        return frozenset(self._concepts[cid] for cid in ids)
+
+    def instances(self, concept: str, *, limit: Optional[int] = None) -> list[str]:
+        _obs.incr("instdb.queries.instances")
+        cid = self._concepts.get(concept)
+        if cid is None:
+            return []
+        ids = set(self._told_by_concept.get(cid, ()))
+        ids |= self._derived_by_concept.get(cid, set())
+        ordered = sorted(ids)
+        if limit is not None:
+            ordered = ordered[:limit]
+        return [self._individuals[i] for i in ordered]
+
+    def successors(self, subject: str, role: str) -> list[str]:
+        _obs.incr("instdb.queries.roles")
+        s = self._individuals.get(subject)
+        r = self._roles.get(role)
+        if s is None or r is None:
+            return []
+        return [self._individuals[o] for o in sorted(self._succ.get((s, r), ()))]
+
+    def predecessors(self, object: str, role: str) -> list[str]:
+        _obs.incr("instdb.queries.roles")
+        o = self._individuals.get(object)
+        r = self._roles.get(role)
+        if o is None or r is None:
+            return []
+        return [self._individuals[s] for s in sorted(self._pred.get((o, r), ()))]
+
+    def role_assertions(
+        self, role: Optional[str] = None
+    ) -> Iterator[tuple[str, str, str]]:
+        rid = None if role is None else self._roles.get(role)
+        if role is not None and rid is None:
+            return
+        for s, r, o in sorted(self._role_rows):
+            if rid is not None and r != rid:
+                continue
+            yield self._individuals[s], self._roles[r], self._individuals[o]
+
+    def told_concepts(self) -> list[str]:
+        return [
+            self._concepts[cid]
+            for cid in sorted(self._told_by_concept)
+            if self._told_by_concept[cid]
+        ]
+
+    def derived_sources(self) -> list[str]:
+        return [
+            self._concepts[sid]
+            for sid in sorted(self._derived_rows)
+            if self._derived_rows[sid]
+        ]
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "individuals": len(self._individuals),
+            "told": sum(len(v) for v in self._told_by_ind.values()),
+            "derived": sum(len(v) for v in self._derived_rows.values()),
+            "roles": len(self._role_rows),
+        }

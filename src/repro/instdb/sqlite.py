@@ -1,0 +1,453 @@
+"""The SQL instance backend: stdlib ``sqlite3`` in WAL mode.
+
+The schema is three name dictionaries (``individuals`` / ``concepts`` /
+``roles`` — id ↔ name, where the ids are the same dense first-seen
+interned ids :mod:`repro.dl.intern` assigns, reloaded in id order on
+open) plus two assertion tables::
+
+    concept_assertions(individual_id, concept_id, source, materialized_from)
+        PRIMARY KEY (individual_id, concept_id, source, materialized_from)
+        INDEX       (concept_id, individual_id)
+        INDEX       (materialized_from) WHERE source = 'derived'
+    role_assertions(subject_id, role_id, object_id)
+        PRIMARY KEY (subject_id, role_id, object_id)
+        INDEX       (role_id, object_id, subject_id)
+
+Everything is INTEGER/TEXT with composite B-tree indexes — the schema
+is deliberately postgres-shaped (a drop-in swap needs only the
+connection layer and ``INSERT OR IGNORE`` → ``ON CONFLICT DO
+NOTHING``).  The point-lookup and range-read paths the interface
+promises map one-to-one:
+
+* ``types(i)`` — primary-key prefix seek on ``individual_id``;
+* ``instances(C)`` — range read on ``(concept_id, individual_id)``,
+  already in output order, so ``LIMIT`` stops after ``limit`` index
+  entries no matter how many millions of rows the table holds;
+* role neighbors — primary-key prefix / ``(role_id, object_id)`` seeks.
+
+:meth:`SqliteBackend.instances_plan` exposes ``EXPLAIN QUERY PLAN`` so
+the B12 bench can *assert* the no-full-scan claim instead of inferring
+it from timings.
+
+Durability: file-backed stores run ``journal_mode=WAL`` with
+``synchronous=NORMAL``; a transaction is atomic across ``kill -9`` — a
+materialization killed mid-delta leaves zero derived rows behind
+(property-tested in ``tests/instdb/test_crash_safety.py``).  Writes
+outside an explicit :meth:`~InstanceBackend.transaction` autocommit per
+call.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+from contextlib import contextmanager
+
+from ..dl.intern import InternTable
+from ..obs import recorder as _obs
+from .backend import DERIVED, NO_SOURCE, TOLD, InstanceBackend, InstDBError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS individuals (
+    id   INTEGER PRIMARY KEY,
+    name TEXT NOT NULL UNIQUE
+);
+CREATE TABLE IF NOT EXISTS concepts (
+    id   INTEGER PRIMARY KEY,
+    name TEXT NOT NULL UNIQUE
+);
+CREATE TABLE IF NOT EXISTS roles (
+    id   INTEGER PRIMARY KEY,
+    name TEXT NOT NULL UNIQUE
+);
+CREATE TABLE IF NOT EXISTS concept_assertions (
+    individual_id     INTEGER NOT NULL,
+    concept_id        INTEGER NOT NULL,
+    source            TEXT    NOT NULL,
+    materialized_from INTEGER NOT NULL,
+    PRIMARY KEY (individual_id, concept_id, source, materialized_from)
+);
+CREATE INDEX IF NOT EXISTS ix_assertions_by_concept
+    ON concept_assertions (concept_id, individual_id);
+CREATE INDEX IF NOT EXISTS ix_derived_by_source
+    ON concept_assertions (materialized_from) WHERE source = 'derived';
+CREATE TABLE IF NOT EXISTS role_assertions (
+    subject_id INTEGER NOT NULL,
+    role_id    INTEGER NOT NULL,
+    object_id  INTEGER NOT NULL,
+    PRIMARY KEY (subject_id, role_id, object_id)
+);
+CREATE INDEX IF NOT EXISTS ix_roles_by_object
+    ON role_assertions (role_id, object_id, subject_id);
+"""
+
+
+class SqliteBackend(InstanceBackend):
+    """Indexed SQL tables keyed by the reasoner's interned ids."""
+
+    kind = "sqlite"
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = None if path is None else Path(path)
+        target = ":memory:" if self.path is None else str(self.path)
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        # isolation_level=None -> true autocommit; transactions are
+        # explicit BEGIN/COMMIT so their extent is ours, not the driver's.
+        # check_same_thread=False because the serve layer refreshes the
+        # store from a worker thread while reads stay on the event loop;
+        # callers serialize access (the server holds a lock around every
+        # backend call, and sqlite3 itself is compiled serialized).
+        self._conn = sqlite3.connect(
+            target, isolation_level=None, check_same_thread=False
+        )
+        if self.path is not None:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA foreign_keys=ON")
+        self._depth = 0
+        for statement in _SCHEMA.strip().split(";\n"):
+            if statement.strip():
+                self._conn.execute(statement)
+        self._individuals = InternTable()
+        self._concepts = InternTable()
+        self._roles = InternTable()
+        self._reload_dictionaries()
+
+    def _reload_dictionaries(self) -> None:
+        """Rebuild the intern tables from the name dictionaries, id order."""
+        for table, intern in (
+            ("individuals", self._individuals),
+            ("concepts", self._concepts),
+            ("roles", self._roles),
+        ):
+            for row_id, name in self._conn.execute(
+                f"SELECT id, name FROM {table} ORDER BY id"
+            ):
+                if intern.intern(name) != row_id:
+                    raise InstDBError(
+                        f"{table} ids are not dense first-seen ids "
+                        f"(name {name!r} at id {row_id})"
+                    )
+
+    # -- transactions ----------------------------------------------------- #
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        if self._depth:
+            # nested scopes join the outer transaction (SQL has no
+            # cheap nesting; the materializer never needs partial undo)
+            self._depth += 1
+            try:
+                yield
+            finally:
+                self._depth -= 1
+            return
+        self._conn.execute("BEGIN IMMEDIATE")
+        self._depth = 1
+        try:
+            yield
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            _obs.incr("instdb.tx_rollbacks")
+            raise
+        else:
+            self._conn.execute("COMMIT")
+            _obs.incr("instdb.tx_commits")
+        finally:
+            self._depth = 0
+
+    @contextmanager
+    def _atomic(self) -> Iterator[None]:
+        """One write call: its own transaction unless already inside one."""
+        if self._depth:
+            yield
+            return
+        with self.transaction():
+            yield
+
+    # -- interning -------------------------------------------------------- #
+
+    def _intern(self, table: str, intern: InternTable, name: str) -> int:
+        known = intern.get(name)
+        if known is not None:
+            return known
+        new = intern.intern(name)
+        self._conn.execute(
+            f"INSERT INTO {table} (id, name) VALUES (?, ?)", (new, name)
+        )
+        return new
+
+    # -- writes ----------------------------------------------------------- #
+
+    def add_individual(self, name: str) -> int:
+        with self._atomic():
+            known = self._individuals.get(name)
+            if known is not None:
+                return known
+            _obs.incr("instdb.individuals")
+            return self._intern("individuals", self._individuals, name)
+
+    def assert_type(self, individual: str, concept: str) -> None:
+        with self._atomic():
+            ind = self.add_individual(individual)
+            cid = self._intern("concepts", self._concepts, concept)
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO concept_assertions VALUES (?, ?, ?, ?)",
+                (ind, cid, TOLD, NO_SOURCE),
+            )
+            if cursor.rowcount:
+                _obs.incr("instdb.told_assertions")
+
+    def assert_role(self, subject: str, role: str, object: str) -> None:
+        with self._atomic():
+            s = self.add_individual(subject)
+            o = self.add_individual(object)
+            r = self._intern("roles", self._roles, role)
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO role_assertions VALUES (?, ?, ?)",
+                (s, r, o),
+            )
+            if cursor.rowcount:
+                _obs.incr("instdb.role_assertions")
+
+    def bulk_assert(
+        self,
+        types: Iterable[tuple[str, str]] = (),
+        roles: Iterable[tuple[str, str, str]] = (),
+    ) -> None:
+        """The executemany load path the B12 scale depends on."""
+        with self._atomic():
+            type_rows = [
+                (
+                    self.add_individual(individual),
+                    self._intern("concepts", self._concepts, concept),
+                    TOLD,
+                    NO_SOURCE,
+                )
+                for individual, concept in types
+            ]
+            role_rows = [
+                (
+                    self.add_individual(subject),
+                    self._intern("roles", self._roles, role),
+                    self.add_individual(object),
+                )
+                for subject, role, object in roles
+            ]
+            if type_rows:
+                before = self._conn.total_changes
+                self._conn.executemany(
+                    "INSERT OR IGNORE INTO concept_assertions VALUES (?, ?, ?, ?)",
+                    type_rows,
+                )
+                _obs.incr(
+                    "instdb.told_assertions", self._conn.total_changes - before
+                )
+            if role_rows:
+                before = self._conn.total_changes
+                self._conn.executemany(
+                    "INSERT OR IGNORE INTO role_assertions VALUES (?, ?, ?)",
+                    role_rows,
+                )
+                _obs.incr(
+                    "instdb.role_assertions", self._conn.total_changes - before
+                )
+
+    def insert_derived(self, source: str, derived: Iterable[str]) -> int:
+        added = 0
+        with self._atomic():
+            src = self._concepts.get(source)
+            if src is None:
+                return 0
+            for name in derived:
+                cid = self._intern("concepts", self._concepts, name)
+                # set-based: one indexed INSERT..SELECT per derived
+                # concept, never a per-individual Python loop
+                cursor = self._conn.execute(
+                    "INSERT OR IGNORE INTO concept_assertions "
+                    "SELECT individual_id, ?, ?, ? FROM concept_assertions "
+                    "WHERE concept_id = ? AND source = ?",
+                    (cid, DERIVED, src, src, TOLD),
+                )
+                added += cursor.rowcount
+        if added:
+            _obs.incr("instdb.derived_rows", added)
+        return added
+
+    def delete_derived(self, sources: Optional[Iterable[str]] = None) -> int:
+        with self._atomic():
+            if sources is None:
+                cursor = self._conn.execute(
+                    "DELETE FROM concept_assertions WHERE source = ?", (DERIVED,)
+                )
+            else:
+                src_ids = [
+                    sid
+                    for name in sources
+                    if (sid := self._concepts.get(name)) is not None
+                ]
+                if not src_ids:
+                    return 0
+                marks = ",".join("?" * len(src_ids))
+                cursor = self._conn.execute(
+                    "DELETE FROM concept_assertions WHERE source = ? "
+                    f"AND materialized_from IN ({marks})",
+                    (DERIVED, *src_ids),
+                )
+            removed = cursor.rowcount
+        if removed:
+            _obs.incr("instdb.invalidated_rows", removed)
+        return removed
+
+    # -- indexed reads ----------------------------------------------------- #
+
+    def individuals(
+        self, *, limit: Optional[int] = None, offset: int = 0
+    ) -> list[str]:
+        rows = self._conn.execute(
+            "SELECT name FROM individuals ORDER BY id LIMIT ? OFFSET ?",
+            (-1 if limit is None else limit, offset),
+        )
+        return [name for (name,) in rows]
+
+    def individual_count(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM individuals").fetchone()
+        return count
+
+    def types(self, individual: str, *, derived: bool = True) -> frozenset[str]:
+        _obs.incr("instdb.queries.types")
+        ind = self._individuals.get(individual)
+        if ind is None:
+            return frozenset()
+        if derived:
+            rows = self._conn.execute(
+                "SELECT DISTINCT concept_id FROM concept_assertions "
+                "WHERE individual_id = ?",
+                (ind,),
+            )
+        else:
+            rows = self._conn.execute(
+                "SELECT DISTINCT concept_id FROM concept_assertions "
+                "WHERE individual_id = ? AND source = ?",
+                (ind, TOLD),
+            )
+        return frozenset(self._concepts[cid] for (cid,) in rows)
+
+    def instances(self, concept: str, *, limit: Optional[int] = None) -> list[str]:
+        _obs.incr("instdb.queries.instances")
+        cid = self._concepts.get(concept)
+        if cid is None:
+            return []
+        rows = self._conn.execute(
+            "SELECT DISTINCT individual_id FROM concept_assertions "
+            "WHERE concept_id = ? ORDER BY individual_id LIMIT ?",
+            (cid, -1 if limit is None else limit),
+        )
+        return [self._individuals[ind] for (ind,) in rows]
+
+    def instances_plan(self, concept: str) -> str:
+        """The ``EXPLAIN QUERY PLAN`` text behind :meth:`instances`."""
+        cid = self._concepts.get(concept)
+        rows = self._conn.execute(
+            "EXPLAIN QUERY PLAN "
+            "SELECT DISTINCT individual_id FROM concept_assertions "
+            "WHERE concept_id = ? ORDER BY individual_id LIMIT ?",
+            (cid if cid is not None else 0, 10),
+        )
+        return "; ".join(str(row[-1]) for row in rows)
+
+    def successors(self, subject: str, role: str) -> list[str]:
+        _obs.incr("instdb.queries.roles")
+        s = self._individuals.get(subject)
+        r = self._roles.get(role)
+        if s is None or r is None:
+            return []
+        rows = self._conn.execute(
+            "SELECT object_id FROM role_assertions "
+            "WHERE subject_id = ? AND role_id = ? ORDER BY object_id",
+            (s, r),
+        )
+        return [self._individuals[o] for (o,) in rows]
+
+    def predecessors(self, object: str, role: str) -> list[str]:
+        _obs.incr("instdb.queries.roles")
+        o = self._individuals.get(object)
+        r = self._roles.get(role)
+        if o is None or r is None:
+            return []
+        rows = self._conn.execute(
+            "SELECT subject_id FROM role_assertions "
+            "WHERE role_id = ? AND object_id = ? ORDER BY subject_id",
+            (r, o),
+        )
+        return [self._individuals[s] for (s,) in rows]
+
+    def role_assertions(
+        self, role: Optional[str] = None
+    ) -> Iterator[tuple[str, str, str]]:
+        if role is None:
+            rows = self._conn.execute(
+                "SELECT subject_id, role_id, object_id FROM role_assertions "
+                "ORDER BY subject_id, role_id, object_id"
+            )
+        else:
+            rid = self._roles.get(role)
+            if rid is None:
+                return
+            rows = self._conn.execute(
+                "SELECT subject_id, role_id, object_id FROM role_assertions "
+                "WHERE role_id = ? ORDER BY subject_id, object_id",
+                (rid,),
+            )
+        for s, r, o in rows:
+            yield self._individuals[s], self._roles[r], self._individuals[o]
+
+    def told_concepts(self) -> list[str]:
+        rows = self._conn.execute(
+            "SELECT DISTINCT concept_id FROM concept_assertions WHERE source = ? "
+            "ORDER BY concept_id",
+            (TOLD,),
+        )
+        return [self._concepts[cid] for (cid,) in rows]
+
+    def derived_sources(self) -> list[str]:
+        rows = self._conn.execute(
+            "SELECT DISTINCT materialized_from FROM concept_assertions "
+            "WHERE source = ? ORDER BY materialized_from",
+            (DERIVED,),
+        )
+        return [self._concepts[sid] for (sid,) in rows]
+
+    def counts(self) -> dict[str, int]:
+        def one(sql: str, *args) -> int:
+            (count,) = self._conn.execute(sql, args).fetchone()
+            return count
+
+        return {
+            "individuals": one("SELECT COUNT(*) FROM individuals"),
+            "told": one(
+                "SELECT COUNT(*) FROM concept_assertions WHERE source = ?", TOLD
+            ),
+            "derived": one(
+                "SELECT COUNT(*) FROM concept_assertions WHERE source = ?", DERIVED
+            ),
+            "roles": one("SELECT COUNT(*) FROM role_assertions"),
+        }
+
+    def db_bytes(self) -> int:
+        """On-disk footprint (main db + WAL); 0 for a memory-resident db."""
+        if self.path is None:
+            return 0
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            candidate = Path(str(self.path) + suffix)
+            if candidate.exists():
+                total += os.path.getsize(candidate)
+        return total
+
+    def close(self) -> None:
+        self._conn.close()

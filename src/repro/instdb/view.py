@@ -1,0 +1,116 @@
+"""A triple-pattern view over an instance backend.
+
+:func:`repro.store.query.match` only ever calls two methods on its
+store — ``triples(s, p, o)`` and ``estimate(s, p, o)`` — so a backend
+can serve basic graph patterns by presenting its indexed reads behind
+that same duck type.  Concept assertions surface as ``(individual,
+type, concept)`` triples (told *and* derived: the whole point of
+materializing into the backend is that queries see the inferred types);
+role assertions surface as ``(subject, role, object)``.
+
+Every pattern with a bound position routes to an indexed backend read;
+only the all-wildcard pattern enumerates (and a join almost never asks
+for it — the selectivity planner orders it last).  ``estimate`` keeps
+the planner honest with index-backed cardinalities.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Optional
+
+from ..obs import recorder as _obs
+from ..store.triples import Triple
+from .backend import InstanceBackend
+
+
+class BackendTripleView:
+    """Read-only TripleStore duck type over an :class:`InstanceBackend`."""
+
+    def __init__(
+        self, backend: InstanceBackend, *, type_predicate: str = "type"
+    ) -> None:
+        self.backend = backend
+        self.type_predicate = type_predicate
+
+    def triples(
+        self,
+        subject: Optional[Hashable] = None,
+        predicate: Optional[Hashable] = None,
+        object: Optional[Hashable] = None,
+    ) -> Iterator[Triple]:
+        _obs.incr("instdb.view_lookups")
+        type_p = self.type_predicate
+        if predicate == type_p or predicate is None:
+            yield from self._type_triples(subject, object)
+        if predicate == type_p:
+            return
+        yield from self._role_triples(subject, predicate, object)
+
+    def _type_triples(
+        self, subject: Optional[Hashable], object: Optional[Hashable]
+    ) -> Iterator[Triple]:
+        type_p = self.type_predicate
+        if subject is not None:
+            names = self.backend.types(str(subject))
+            if object is not None:
+                if str(object) in names:
+                    yield Triple(subject, type_p, object)
+                return
+            for name in sorted(names):
+                yield Triple(subject, type_p, name)
+            return
+        if object is not None:
+            for individual in self.backend.instances(str(object)):
+                yield Triple(individual, type_p, object)
+            return
+        for individual in self.backend.individuals():
+            for name in sorted(self.backend.types(individual)):
+                yield Triple(individual, type_p, name)
+
+    def _role_triples(
+        self,
+        subject: Optional[Hashable],
+        predicate: Optional[Hashable],
+        object: Optional[Hashable],
+    ) -> Iterator[Triple]:
+        if predicate is not None:
+            if subject is not None:
+                for o in self.backend.successors(str(subject), str(predicate)):
+                    if object is None or o == object:
+                        yield Triple(subject, predicate, o)
+                return
+            if object is not None:
+                for s in self.backend.predecessors(str(object), str(predicate)):
+                    yield Triple(s, predicate, object)
+                return
+            for s, r, o in self.backend.role_assertions(str(predicate)):
+                yield Triple(s, r, o)
+            return
+        for s, r, o in self.backend.role_assertions():
+            if subject is not None and s != subject:
+                continue
+            if object is not None and o != object:
+                continue
+            yield Triple(s, r, o)
+
+    def estimate(
+        self,
+        subject: Optional[Hashable] = None,
+        predicate: Optional[Hashable] = None,
+        object: Optional[Hashable] = None,
+    ) -> int:
+        """Cheap cardinality bound for the selectivity planner."""
+        counts = self.backend.counts()
+        if predicate == self.type_predicate:
+            if subject is not None:
+                return len(self.backend.types(str(subject)))
+            if object is not None:
+                return len(self.backend.instances(str(object)))
+            return counts["told"] + counts["derived"]
+        if predicate is not None:
+            if subject is not None:
+                return len(self.backend.successors(str(subject), str(predicate)))
+            if object is not None:
+                return len(self.backend.predecessors(str(object), str(predicate)))
+            return counts["roles"]
+        return counts["told"] + counts["derived"] + counts["roles"]

@@ -130,11 +130,16 @@ class ServerThread:
         return ServeClient(host, port, timeout_s=timeout_s)
 
     def request(
-        self, method: str, path: str, body: Optional[dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict[str, Any]] = None,
+        *,
+        headers: Optional[dict[str, str]] = None,
     ) -> tuple[int, dict[str, Any]]:
         """One-shot convenience request on a fresh connection."""
         with self.client() as client:
-            return client.request(method, path, body)
+            return client.request(method, path, body, headers=headers)
 
 
 class ServeClient:
@@ -144,11 +149,18 @@ class ServeClient:
         self._conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
 
     def request(
-        self, method: str, path: str, body: Optional[dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict[str, Any]] = None,
+        *,
+        headers: Optional[dict[str, str]] = None,
     ) -> tuple[int, dict[str, Any]]:
         payload = None if body is None else json.dumps(body)
-        headers = {"Content-Type": "application/json"} if payload else {}
-        self._conn.request(method, path, body=payload, headers=headers)
+        sent = {"Content-Type": "application/json"} if payload else {}
+        if headers:
+            sent.update(headers)
+        self._conn.request(method, path, body=payload, headers=sent)
         response = self._conn.getresponse()
         raw = response.read()
         try:
@@ -235,11 +247,16 @@ class ServeProcess:
         return ServeClient("127.0.0.1", self.port, timeout_s=timeout_s)
 
     def request(
-        self, method: str, path: str, body: Optional[dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict[str, Any]] = None,
+        *,
+        headers: Optional[dict[str, str]] = None,
     ) -> tuple[int, dict[str, Any]]:
         """One-shot convenience request on a fresh connection."""
         with self.client() as client:
-            return client.request(method, path, body)
+            return client.request(method, path, body, headers=headers)
 
     def kill(self) -> None:
         """``SIGKILL``: no flush, no graceful anything — the crash case."""

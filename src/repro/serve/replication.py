@@ -43,6 +43,7 @@ refused with **409 Conflict**.
 Counters: ``repl.shipped``, ``repl.applied``, ``repl.lag_records``
 (histogram), ``repl.promotions``, ``repl.fenced_writes``,
 ``repl.batches_dropped/duplicated/truncated``, ``repl.base_installs``,
+``repl.base_publish_failures``, ``repl.base_install_retries``,
 ``repl.poll_errors``, ``repl.fence_attempts``.
 """
 
@@ -50,6 +51,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from pathlib import Path
 from typing import Awaitable, Callable, Optional, Union
 
@@ -365,6 +367,14 @@ class FollowerChannel:
         self.consecutive_failures = 0
         self.polls = 0
         self.stopped = False
+        # -- pending base publication ----------------------------------- #
+        # install_base advances the durable log to the primary's tip, so
+        # a failed on_base publication is never re-requested by a later
+        # pull — it must be retried locally (with backoff) until the
+        # snapshot chain catches up with the log.
+        self._pending_base: Optional[int] = None
+        self._base_backoff_s = 0.0
+        self._base_retry_at = 0.0
 
     def lag_records(self) -> Optional[int]:
         """Records behind the last-seen primary tip; None before contact."""
@@ -372,10 +382,43 @@ class FollowerChannel:
             return None
         return max(0, self.last_primary_version - self.editlog.version)
 
+    @property
+    def base_publish_pending(self) -> bool:
+        """True while an installed base awaits (re)publication."""
+        return self._pending_base is not None
+
+    async def _publish_base(self, version: int) -> None:
+        """Run the base-publication hook; arm a backoff retry on failure."""
+        if self.on_base is None:
+            self._pending_base = None
+            return
+        try:
+            await self.on_base(version)
+        except Exception:  # noqa: BLE001 - keep the base pending instead
+            _obs.incr("repl.base_publish_failures")
+            self._pending_base = version
+            self._base_backoff_s = (
+                min(self._base_backoff_s * 2, 30.0)
+                if self._base_backoff_s
+                else max(0.01, self.probe_interval_s)
+            )
+            self._base_retry_at = time.monotonic() + self._base_backoff_s
+        else:
+            self._pending_base = None
+            self._base_backoff_s = 0.0
+
     async def poll_once(self) -> str:
         """One pull-and-apply round; returns ``ok`` / ``unreachable`` /
         ``error``."""
         self.polls += 1
+        if (
+            self._pending_base is not None
+            and time.monotonic() >= self._base_retry_at
+        ):
+            # publication is purely local work — retry it even while the
+            # primary is unreachable
+            _obs.incr("repl.base_install_retries")
+            await self._publish_base(self._pending_base)
         payload = {"after": self.editlog.version, "epoch": self.epochs.epoch}
         try:
             status, body = await post_json(
@@ -405,8 +448,7 @@ class FollowerChannel:
                     self.editlog.install_base, version, text
                 )
                 _obs.incr("repl.base_installs")
-                if self.on_base is not None:
-                    await self.on_base(version)
+                await self._publish_base(version)
 
         rows = body.get("records")
         if isinstance(rows, list) and rows:

@@ -53,11 +53,14 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
 import sys
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from .. import instdb as _instdb
 from ..core import critique
 from ..dl import ParseError, TBox, parse_concept, parse_tbox
 from ..obs import recorder as _obs
@@ -103,6 +106,13 @@ class ServeConfig:
     follow: Optional[str] = None
     auto_promote_after: Optional[int] = None
     probe_interval_ms: float = 500.0
+    #: instance-store backend behind /v1/instances ("memory" | "sqlite");
+    #: the env default lets CI rerun whole suites on the sqlite backend
+    abox_backend: str = field(
+        default_factory=lambda: os.environ.get("REPRO_ABOX_BACKEND", "memory")
+    )
+    #: sqlite database path; None = a private in-memory database
+    abox_db: Optional[str] = None
 
 
 @contextlib.contextmanager
@@ -208,6 +218,21 @@ class ReasoningServer:
         self._publishing = False
         self._publisher_task: Optional[asyncio.Task] = None
         self._append_times: dict[int, float] = {}
+        # -- instance store (the /v1/instances backend) ---------------- #
+        self.instdb = _instdb.open_backend(
+            self.config.abox_backend, self.config.abox_db
+        )
+        #: serializes backend access between the event loop (reads) and
+        #: the worker thread a post-swap refresh runs in
+        self._instdb_guard = threading.Lock()
+        self._instdb_closures: dict[str, frozenset[str]] = {}
+        self._instdb_version = 0
+        if self.instdb.individual_count():
+            # boot-time materialization fails fast: a server that cannot
+            # derive over its configured instance store must not come up
+            self._instdb_refresh(self.snapshots.current)
+        else:
+            self._instdb_version = self.snapshots.version
 
     # -- lifecycle ------------------------------------------------------- #
 
@@ -252,6 +277,8 @@ class ReasoningServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        with self._instdb_guard:
+            self.instdb.close()
 
     async def serve_forever(self) -> None:  # pragma: no cover - CLI path
         if self._server is None:
@@ -334,6 +361,8 @@ class ReasoningServer:
             if request.path in _UNBATCHED_POST or request.path in _BATCHED_POST:
                 if request.method != "POST":
                     return (*error_body(405, f"{request.path} requires POST"), None)
+                if request.path != "/v1/tbox":
+                    self._check_lag_bound(request)
                 return await self._dispatch_post(request)
             return (*error_body(404, f"no route {request.path}"), None)
         except BadRequest as exc:
@@ -408,6 +437,7 @@ class ReasoningServer:
             "classify_algorithm": snapshot.classify_algorithm,
             "inflight": self.admission.inflight,
             "pending_batch": self.batcher.pending,
+            "instdb": self._instdb_block(),
         }
 
     def _metrics(self) -> tuple[int, dict[str, Any]]:
@@ -430,7 +460,59 @@ class ReasoningServer:
         if self.editlog is not None:
             body["serve"]["editlog"] = self.editlog.stats()
         body["serve"]["replication"] = self._replication_block()
+        body["serve"]["instdb"] = self._instdb_block(full=True)
         return 200, body
+
+    def _instdb_block(self, full: bool = False) -> dict[str, Any]:
+        """Instance-store state for /v1/health (cheap) and /v1/metrics."""
+        with self._instdb_guard:
+            if full:
+                block = self.instdb.stats()
+            else:
+                block = {
+                    "backend": self.instdb.kind,
+                    "individuals": self.instdb.individual_count(),
+                }
+        block["materialized_version"] = self._instdb_version
+        return block
+
+    def _check_lag_bound(self, request: HttpRequest) -> None:
+        """Honor ``X-Max-Replication-Lag-Records``: a client's read floor.
+
+        A follower whose applied log trails the last-seen primary tip by
+        more than the client's bound refuses the read with 503 +
+        ``Retry-After`` (one probe interval) instead of serving an
+        answer staler than the client tolerates.  Before first contact
+        the lag is unknown, which also refuses — "unknown" is not
+        "fresh".  A primary always passes.
+        """
+        raw = request.headers.get("x-max-replication-lag-records")
+        if raw is None:
+            return
+        try:
+            bound = int(raw.strip())
+        except ValueError:
+            raise BadRequest(
+                "X-Max-Replication-Lag-Records must be an integer, "
+                f"got {raw!r}"
+            )
+        if bound < 0:
+            raise BadRequest(
+                f"X-Max-Replication-Lag-Records must be >= 0, got {bound}"
+            )
+        channel = self._channel
+        if channel is None or channel.stopped:
+            return
+        lag = channel.lag_records()
+        if lag is None or lag > bound:
+            _obs.incr("repl.lag_bounded_rejections")
+            raise AdmissionError(
+                503,
+                f"replication lag {'unknown' if lag is None else lag} "
+                f"exceeds client bound {bound} records",
+                max(0.001, self.config.probe_interval_ms / 1000.0),
+                location=self.epochs.primary_url,
+            )
 
     # -- replication ------------------------------------------------------ #
 
@@ -610,9 +692,17 @@ class ReasoningServer:
             self._observe_visibility(version)
         except Exception:  # noqa: BLE001 - the channel must survive
             _obs.incr("serve.publish_errors")
+            return
+        await self._refresh_instdb(prepared)
 
     async def _on_replicated_base(self, version: int) -> None:
-        """Publish a freshly installed base snapshot (full prepare)."""
+        """Publish a freshly installed base snapshot (full prepare).
+
+        Raises on failure: the installed base already advanced the
+        durable log to the primary's tip, so the next pull will never
+        re-request it — the channel must keep the publication pending
+        and retry it with backoff (``repl.base_install_retries``).
+        """
         if self.editlog is None or version <= self.snapshots.version:
             return
         tbox = self.editlog.tbox
@@ -623,8 +713,10 @@ class ReasoningServer:
                     self.snapshots.prepare, tbox, version=version
                 )
             self.snapshots.swap(prepared)
-        except Exception:  # noqa: BLE001 - the channel must survive
+        except Exception:
             _obs.incr("serve.publish_errors")
+            raise
+        await self._refresh_instdb(prepared)
 
     def _classify(self, snapshot) -> tuple[int, dict[str, Any]]:
         hierarchy = snapshot.hierarchy
@@ -652,7 +744,11 @@ class ReasoningServer:
         from ..dl.syntax import Role
 
         concept = parse_concept(str(require(payload, "concept")))
-        raw = require(payload, "abox")
+        if "abox" not in payload:
+            # no inline ABox: answer from the server's instance store —
+            # atomic concepts push down to an indexed read, no scan
+            return self._instances_from_backend(snapshot, payload, concept)
+        raw = payload["abox"]
         if not isinstance(raw, dict):
             raise BadRequest("'abox' must be an object")
         assertions: list = []
@@ -689,6 +785,62 @@ class ReasoningServer:
             body["unknown"] = unknown
             return 206, body
         return 200, body
+
+    def _instances_from_backend(
+        self, snapshot, payload: dict[str, Any], concept
+    ) -> tuple[int, dict[str, Any]]:
+        """Retrieval over the server-resident instance store.
+
+        Unlike the inline-ABox path there is no ``non_members``
+        enumeration — at instance-store scale the complement is the
+        point of the index.  ``materialized_version`` lets a client
+        detect a store still catching up with a just-swapped TBox.
+        """
+        limit = payload.get("limit")
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            raise BadRequest(f"'limit' must be a non-negative integer, got {limit!r}")
+        with self._instdb_guard:
+            members = snapshot.reasoner.retrieve_indexed(
+                self.instdb, concept, limit=limit
+            )
+            materialized = self._instdb_version
+        return 200, {
+            "tbox_version": snapshot.version,
+            "source": "instdb",
+            "backend": self.instdb.kind,
+            "materialized_version": materialized,
+            "members": members,
+        }
+
+    # -- instance-store maintenance --------------------------------------- #
+
+    def _instdb_refresh(self, snapshot) -> None:
+        """(Re)derive the instance store against ``snapshot`` (blocking)."""
+        with self._instdb_guard:
+            hierarchy = snapshot.hierarchy
+            if hierarchy is None:  # pragma: no cover - swapped-out snapshot
+                hierarchy = snapshot.reasoner.classify()
+            if self._instdb_closures:
+                result = _instdb.refresh(
+                    self.instdb,
+                    hierarchy,
+                    self._instdb_closures,
+                    affected=snapshot.reclassify_affected,
+                )
+            else:
+                result = _instdb.materialize(self.instdb, hierarchy)
+            self._instdb_closures = result.closures
+            self._instdb_version = snapshot.version
+
+    async def _refresh_instdb(self, snapshot) -> None:
+        """Post-swap hook: re-derive stored types off the event loop."""
+        if self.instdb.individual_count() == 0 and not self._instdb_closures:
+            self._instdb_version = snapshot.version
+            return
+        try:
+            await asyncio.to_thread(self._instdb_refresh, snapshot)
+        except Exception:  # noqa: BLE001 - publication must survive
+            _obs.incr("instdb.refresh_errors")
 
     async def _critique(
         self, snapshot, payload: dict[str, Any]
@@ -767,6 +919,7 @@ class ReasoningServer:
                 self._publishing = False
                 self._last_swap = time.monotonic()
         self._observe_visibility(prepared.version)
+        await self._refresh_instdb(prepared)
         self._kick_publisher()  # an edit may have queued during prepare
         body = {
             "swap_status": "applied",
@@ -829,6 +982,7 @@ class ReasoningServer:
                     )
                 self.snapshots.swap(prepared)
                 self._observe_visibility(version)
+                await self._refresh_instdb(prepared)
             except Exception:  # noqa: BLE001 - the publisher must survive
                 _obs.incr("serve.publish_errors")
             finally:

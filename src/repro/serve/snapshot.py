@@ -87,6 +87,11 @@ class Snapshot:
         #: True when the hierarchy was reclassified from a stored
         #: edit-record delta rather than a recomputed full-TBox diff
         self.delta_from_log: bool = False
+        #: names the reclassification (re)inserted — a sound
+        #: overapproximation of every concept whose ancestry could have
+        #: changed; None on a from-scratch classification.  The instance
+        #: store's refresh uses it to skip untouched told concepts.
+        self.reclassify_affected: Optional[frozenset[str]] = None
         self._refs = 0
         self._retired = False
         self._released = False
@@ -139,6 +144,9 @@ class Snapshot:
         self.hierarchy = result.hierarchy
         self.swap_mode = result.mode
         self.swap_detail = result.fallback_reason
+        # on fallback ``affected`` covers every name, which degrades the
+        # instdb refresh prefilter to "recompute all" — still sound
+        self.reclassify_affected = result.affected
         if delta is not None:
             self.delta_from_log = True
             _obs.incr("serve.delta_swaps")

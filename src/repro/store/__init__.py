@@ -8,6 +8,7 @@ from .materialize import (
     materialize,
     materialize_governed,
     store_to_abox,
+    store_to_backend,
 )
 from .persistence import (
     append_verified_bytes,
@@ -21,7 +22,8 @@ from .triples import StoreError, Triple, TripleStore
 __all__ = [
     "Triple", "TripleStore", "StoreError",
     "Var", "Pattern", "Query", "match", "Bindings",
-    "store_to_abox", "materialize", "instances_of", "MaterializeError",
+    "store_to_abox", "store_to_backend", "materialize", "instances_of",
+    "MaterializeError",
     "materialize_governed", "MaterializeReport",
     "save_jsonl", "load_jsonl", "atomic_write_text", "append_verified_bytes",
 ]

@@ -104,6 +104,44 @@ def store_to_abox(
     return ABox(assertions)
 
 
+def store_to_backend(
+    store: TripleStore,
+    backend,
+    tbox: TBox,
+    *,
+    type_predicate: str = "type",
+) -> int:
+    """Load a triple store's terminology-relevant slice into an
+    instance backend (:class:`repro.instdb.InstanceBackend`).
+
+    The same reading discipline as :func:`store_to_abox` — ``(s, type,
+    C)`` rows whose object names an atomic concept become told type
+    assertions, predicates the TBox mentions as roles become role
+    assertions, everything else is ignored — but written straight into
+    the backend's indexed tables (one transaction) instead of a Python
+    assertion list, so it scales to stores no ABox should hold.
+    Returns the number of assertions loaded.
+    """
+    concept_names = tbox.atomic_names()
+    role_names = tbox.role_names()
+    count = 0
+    with backend.transaction():
+        for triple in store:
+            s, p, o = triple
+            if p == type_predicate:
+                if not isinstance(o, str):
+                    raise MaterializeError(
+                        f"type object {o!r} is not a concept name"
+                    )
+                if o in concept_names:
+                    backend.assert_type(str(s), o)
+                    count += 1
+            elif isinstance(p, str) and p in role_names:
+                backend.assert_role(str(s), p, str(o))
+                count += 1
+    return count
+
+
 def materialize(
     store: TripleStore,
     tbox: TBox,

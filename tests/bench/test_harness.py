@@ -26,6 +26,7 @@ ALL_IDS = sorted(BENCHES)
 os.environ.setdefault("REPRO_B8_SCALE", "small")
 os.environ.setdefault("REPRO_B9_SCALE", "tiny")
 os.environ.setdefault("REPRO_B10_SCALE", "tiny")
+os.environ.setdefault("REPRO_B12_SCALE", "tiny")
 
 
 @pytest.fixture(scope="module")
@@ -249,6 +250,64 @@ class TestCounterCoverage:
         saturation_ms = histograms["bench.b10.saturation_classify_ms"]["mean"]
         assert saturation_ms * 5 <= enhanced_ms
 
+    def test_b12_has_instdb_counters(self, suite_records):
+        record = suite_records["B12"]
+        counters = record["counters"]
+        params = record["params"]
+        assert counters["instdb.individuals"] > 0
+        assert counters["instdb.told_assertions"] > 0
+        assert counters["instdb.derived_rows"] > 0
+        assert counters["instdb.materialize_runs"] == 3  # memory+common+big
+        assert counters["instdb.queries.instances"] > 0
+        assert counters["instdb.queries.types"] > 0
+        assert (
+            counters["bench.b12.common_individuals"]
+            == params["common_individuals"]
+        )
+        assert counters["bench.b12.big_individuals"] == params["big_individuals"]
+        # memory and sqlite derived identical row counts (cross-checked
+        # in the workload; re-check the recorded shape here)
+        assert params["derived_rows"]["big"] > params["derived_rows"]["common"]
+        histograms = record["histograms"]
+        assert (
+            histograms["bench.b12.sqlite_big_point_lookup_ms"]["count"]
+            == params["point_lookups"]
+        )
+        assert (
+            histograms["bench.b12.sqlite_big_instances_ms"]["count"]
+            == params["instance_queries"]
+        )
+        assert params["bytes"]["sqlite_big_file"] > 0
+
+    def test_b12_counters_are_deterministic(self):
+        """B12 is exempt from the generic determinism test only because
+        its *params* carry wall-clock timings; the counters — row counts
+        over seeded data — must still be identical run to run."""
+        first = run_bench("B12")
+        second = run_bench("B12")
+        assert first["counters"] == second["counters"]
+
+    def test_committed_b12_record_shows_crossover(self):
+        """The checked-in BENCH_B12.json carries the full-scale claims:
+        a million individuals load + materialize in sqlite, point lookups
+        and instances() stay indexed (near-flat from 1e5 to 1e6), and the
+        sqlite file undercuts the in-memory footprint estimate."""
+        path = Path(__file__).resolve().parents[2] / "BENCH_B12.json"
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["schema_version"] == SCHEMA_VERSION
+        params = record["params"]
+        assert params["scale"] == "full"
+        assert params["big_individuals"] == 1_000_000
+        assert (
+            params["instances_latency_ratio_big_vs_common"]
+            <= params["flatness_factor_limit"]
+        )
+        assert record["counters"]["instdb.derived_rows"] > 1_000_000
+        assert (
+            params["bytes"]["sqlite_big_file"]
+            < params["bytes"]["memory_estimated_at_big"]
+        )
+
     def test_b6_has_robust_counters(self, suite_records):
         counters = suite_records["B6"]["counters"]
         assert counters["robust.exhaustions"] > 0
@@ -270,9 +329,9 @@ class TestDeterminism:
     def test_two_runs_identical_counters(self, bench_id):
         if not BENCHES[bench_id].deterministic:
             pytest.skip(
-                f"{bench_id} measures a live server; batch sizes and "
-                "latencies are load-dependent (invariants are asserted "
-                "inside the workload)"
+                f"{bench_id} records load-dependent measurements (live "
+                "server batches/latencies, or wall-clock params); its "
+                "invariants are asserted inside the workload"
             )
         first = run_bench(bench_id)
         second = run_bench(bench_id)

@@ -1,0 +1,418 @@
+"""Unit coverage for the instance-store backends.
+
+Every test in :class:`TestBackendContract` runs against *both*
+implementations via the ``backend`` fixture — the contract lives in the
+interface, not in either class.  Backend-specific behaviour (sqlite
+transactions, reopen persistence, query plans) gets its own classes.
+"""
+
+import pytest
+
+from repro.corpora.vehicles import vehicle_tbox
+from repro.dl import ABox, Atomic, ConceptAssertion, Reasoner, Role, RoleAssertion
+from repro.dl.parser import parse_concept
+from repro.instdb import (
+    InstDBError,
+    MemoryBackend,
+    SqliteBackend,
+    TOP_SOURCE,
+    BackendTripleView,
+    materialize,
+    open_backend,
+    refresh,
+)
+from repro.obs import Recorder, use_recorder
+from repro.store import Pattern, Query, Var, store_to_backend
+from repro.store import TripleStore
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def backend(request):
+    instance = open_backend(request.param)
+    yield instance
+    instance.close()
+
+
+def load_garage(backend) -> None:
+    backend.assert_type("herbie", "car")
+    backend.assert_type("bigfoot", "pickup")
+    backend.assert_type("kitt", "car")
+    backend.assert_role("herbie", "uses", "premium")
+    backend.assert_role("bigfoot", "uses", "diesel")
+    backend.assert_role("kitt", "uses", "premium")
+
+
+class TestBackendContract:
+    def test_individuals_in_first_seen_order(self, backend):
+        load_garage(backend)
+        assert backend.individuals() == [
+            "herbie", "bigfoot", "kitt", "premium", "diesel",
+        ]
+        assert backend.individuals(limit=2, offset=1) == ["bigfoot", "kitt"]
+        assert backend.individual_count() == 5
+
+    def test_types_told_vs_derived(self, backend):
+        load_garage(backend)
+        assert backend.types("herbie") == frozenset({"car"})
+        backend.insert_derived("car", ["motorvehicle", "roadvehicle"])
+        assert backend.types("herbie") == frozenset(
+            {"car", "motorvehicle", "roadvehicle"}
+        )
+        assert backend.types("herbie", derived=False) == frozenset({"car"})
+        assert backend.types("nobody") == frozenset()
+
+    def test_instances_merges_told_and_derived(self, backend):
+        load_garage(backend)
+        backend.insert_derived("car", ["motorvehicle"])
+        backend.insert_derived("pickup", ["motorvehicle"])
+        assert backend.instances("car") == ["herbie", "kitt"]
+        assert backend.instances("motorvehicle") == ["herbie", "bigfoot", "kitt"]
+        assert backend.instances("motorvehicle", limit=2) == ["herbie", "bigfoot"]
+        assert backend.instances("starship") == []
+
+    def test_role_neighbours(self, backend):
+        load_garage(backend)
+        assert backend.successors("herbie", "uses") == ["premium"]
+        assert backend.predecessors("premium", "uses") == ["herbie", "kitt"]
+        assert backend.successors("herbie", "owns") == []
+        assert backend.predecessors("nobody", "uses") == []
+        rows = list(backend.role_assertions("uses"))
+        assert ("bigfoot", "uses", "diesel") in rows
+        assert len(rows) == 3
+        # full enumeration is id-ordered; compare contents, not order
+        assert set(backend.role_assertions()) == set(rows)
+
+    def test_told_concepts_and_counts(self, backend):
+        load_garage(backend)
+        assert backend.told_concepts() == ["car", "pickup"]
+        backend.insert_derived("car", ["motorvehicle"])
+        assert backend.derived_sources() == ["car"]
+        assert backend.counts() == {
+            "individuals": 5, "told": 3, "derived": 2, "roles": 3,
+        }
+        stats = backend.stats()
+        assert stats["backend"] == backend.kind
+        assert stats["individuals"] == 5
+
+    def test_duplicate_writes_are_idempotent(self, backend):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            backend.assert_type("herbie", "car")
+            backend.assert_type("herbie", "car")
+            backend.assert_role("herbie", "uses", "premium")
+            backend.assert_role("herbie", "uses", "premium")
+        assert backend.counts()["told"] == 1
+        assert backend.counts()["roles"] == 1
+        assert recorder.counters["instdb.told_assertions"] == 1
+        assert recorder.counters["instdb.role_assertions"] == 1
+
+    def test_multi_source_row_survives_single_invalidation(self, backend):
+        # herbie is derived a motorvehicle from BOTH car and cabriolet;
+        # dropping one source must keep the row alive
+        backend.assert_type("herbie", "car")
+        backend.assert_type("herbie", "cabriolet")
+        backend.insert_derived("car", ["motorvehicle"])
+        backend.insert_derived("cabriolet", ["motorvehicle"])
+        assert backend.delete_derived(["car"]) == 1
+        assert backend.types("herbie") == frozenset(
+            {"car", "cabriolet", "motorvehicle"}
+        )
+        assert backend.delete_derived(["cabriolet"]) == 1
+        assert backend.types("herbie") == frozenset({"car", "cabriolet"})
+        assert backend.delete_derived(["unknown"]) == 0
+
+    def test_delete_all_derived_keeps_told(self, backend):
+        load_garage(backend)
+        backend.insert_derived("car", ["motorvehicle", "roadvehicle"])
+        removed = backend.delete_derived()
+        assert removed == 4
+        assert backend.counts()["derived"] == 0
+        assert backend.counts()["told"] == 3
+
+    def test_insert_derived_for_unknown_source_is_a_noop(self, backend):
+        load_garage(backend)
+        assert backend.insert_derived("starship", ["vehicle"]) == 0
+
+    def test_abox_round_trip(self, backend):
+        abox = ABox(
+            [
+                ConceptAssertion("herbie", Atomic("car")),
+                ConceptAssertion("bigfoot", Atomic("pickup")),
+                RoleAssertion("herbie", "premium", Role("uses")),
+            ]
+        )
+        backend.load_abox(abox)
+        out = backend.to_abox()
+        assert set(out) == set(abox)
+
+    def test_load_abox_refuses_complex_types(self, backend):
+        abox = ABox(
+            [ConceptAssertion("herbie", parse_concept("car & some uses.gas"))]
+        )
+        with pytest.raises(InstDBError, match="atomic"):
+            backend.load_abox(abox)
+
+
+class TestMaterialize:
+    def hierarchy(self):
+        return Reasoner(vehicle_tbox()).classify()
+
+    def test_upward_closure_lands_in_backend(self, backend):
+        load_garage(backend)
+        result = materialize(backend, self.hierarchy())
+        # car ⊑ motorvehicle ⊓ roadvehicle; pickup likewise
+        assert backend.types("herbie") == frozenset(
+            {"car", "motorvehicle", "roadvehicle"}
+        )
+        assert backend.types("bigfoot") == frozenset(
+            {"pickup", "motorvehicle", "roadvehicle"}
+        )
+        assert result.derived_rows == 6
+        assert sorted(result.sources) == ["car", "pickup"]
+        assert set(result.closures) == {"car", "pickup", TOP_SOURCE}
+
+    def test_rematerialize_is_idempotent(self, backend):
+        load_garage(backend)
+        materialize(backend, self.hierarchy())
+        again = materialize(backend, self.hierarchy())
+        assert again.removed_rows == 6
+        assert again.derived_rows == 6
+        assert backend.counts()["derived"] == 6
+
+    def test_refresh_skips_unchanged_sources(self, backend):
+        load_garage(backend)
+        first = materialize(backend, self.hierarchy())
+        recorder = Recorder()
+        with use_recorder(recorder):
+            second = refresh(backend, self.hierarchy(), first.closures)
+        assert second.sources == []
+        assert sorted(second.skipped_sources) == ["car", "pickup"]
+        assert recorder.counters["instdb.refresh_skipped_sources"] == 2
+        assert recorder.counters["instdb.refresh_sources"] == 0
+
+    def test_refresh_rederives_moved_source_only(self, backend):
+        from repro.dl import parse_tbox
+
+        load_garage(backend)
+        first = materialize(backend, self.hierarchy())
+        moved = Reasoner(
+            parse_tbox(
+                """
+                car [= motorvehicle & roadvehicle
+                pickup [= truck
+                truck [= motorvehicle
+                motorvehicle [= vehicle
+                """
+            )
+        ).classify()
+        result = refresh(backend, moved, first.closures)
+        assert sorted(result.sources) == ["car", "pickup"]
+        assert backend.types("bigfoot") == frozenset(
+            {"pickup", "truck", "motorvehicle", "vehicle"}
+        )
+        # the refreshed state must equal a from-scratch materialization
+        fresh = open_backend(backend.kind)
+        try:
+            load_garage(fresh)
+            materialize(fresh, moved)
+            for name in backend.individuals():
+                assert backend.types(name) == fresh.types(name)
+        finally:
+            fresh.close()
+
+    def test_refresh_with_affected_prefilter_stays_sound(self, backend):
+        from repro.dl import parse_tbox
+
+        backend.assert_type("herbie", "car")
+        backend.assert_type("bigfoot", "pickup")
+        h1 = Reasoner(
+            parse_tbox("car [= motorvehicle\npickup [= motorvehicle")
+        ).classify()
+        first = materialize(backend, h1)
+        h2 = Reasoner(
+            parse_tbox("car [= motorvehicle & small\npickup [= motorvehicle")
+        ).classify()
+        result = refresh(
+            backend, h2, first.closures, affected=frozenset({"car", "small"})
+        )
+        assert result.sources == ["car"]
+        assert result.skipped_sources == ["pickup"]
+        assert backend.types("herbie") == frozenset(
+            {"car", "motorvehicle", "small"}
+        )
+        assert backend.types("bigfoot") == frozenset({"pickup", "motorvehicle"})
+
+    def test_refresh_recomputes_source_touching_removed_name(self, backend):
+        from repro.dl import parse_tbox
+
+        backend.assert_type("herbie", "car")
+        h1 = Reasoner(parse_tbox("car [= motorvehicle")).classify()
+        first = materialize(backend, h1)
+        # motorvehicle vanishes from the vocabulary entirely; an affected
+        # set that omits it must NOT let car's stale closure survive
+        h2 = Reasoner(parse_tbox("car [= vehicle")).classify()
+        result = refresh(backend, h2, first.closures, affected=frozenset({"vehicle"}))
+        assert result.sources == ["car"]
+        assert backend.types("herbie") == frozenset({"car", "vehicle"})
+
+    def test_new_told_data_is_always_a_candidate(self, backend):
+        load_garage(backend)
+        first = materialize(backend, self.hierarchy())
+        backend.assert_type("vixen", "pickup")
+        backend.assert_type("nellie", "motorvehicle")
+        result = refresh(
+            backend, self.hierarchy(), first.closures, affected=frozenset()
+        )
+        # pickup's closure is unchanged (its rows already cover vixen via
+        # insert_derived's set semantics at refresh time) but motorvehicle
+        # is a brand-new source and must be derived
+        assert "motorvehicle" in result.closures
+        materialize(backend, self.hierarchy())
+        assert backend.types("vixen") == frozenset(
+            {"pickup", "motorvehicle", "roadvehicle"}
+        )
+
+
+class TestStoreBridge:
+    def test_store_to_backend_loads_typed_graph(self, backend):
+        store = TripleStore()
+        store.update(
+            [
+                ("herbie", "type", "car"),
+                ("bigfoot", "type", "pickup"),
+                ("herbie", "uses", "premium"),
+            ]
+        )
+        loaded = store_to_backend(store, backend, vehicle_tbox())
+        assert loaded == 3
+        assert backend.types("herbie", derived=False) == frozenset({"car"})
+        assert backend.successors("herbie", "uses") == ["premium"]
+
+    def test_query_over_backend_view(self, backend):
+        load_garage(backend)
+        materialize(backend, Reasoner(vehicle_tbox()).classify())
+        view = BackendTripleView(backend)
+        X = Var("x")
+        rows = Query(
+            [Pattern(X, "type", "motorvehicle"), Pattern(X, "uses", "premium")],
+            select=[X],
+        ).run(view)
+        assert rows == [("herbie",), ("kitt",)]
+
+    def test_view_estimates_track_indexes(self, backend):
+        load_garage(backend)
+        view = BackendTripleView(backend)
+        assert view.estimate("herbie", "type", None) == 1
+        assert view.estimate(None, "type", "car") == 2
+        assert view.estimate(None, "uses", None) == 3
+        assert view.estimate(None, None, None) == 6
+
+
+class TestOpenBackend:
+    def test_unknown_kind_is_refused(self):
+        with pytest.raises(InstDBError, match="unknown instance backend"):
+            open_backend("redis")
+
+    def test_kinds(self):
+        memory = open_backend("memory")
+        sqlite = open_backend("sqlite")
+        try:
+            assert isinstance(memory, MemoryBackend)
+            assert isinstance(sqlite, SqliteBackend)
+        finally:
+            memory.close()
+            sqlite.close()
+
+
+class TestSqliteSpecifics:
+    def test_transaction_rolls_back_on_error(self):
+        backend = SqliteBackend()
+        try:
+            backend.assert_type("herbie", "car")
+            recorder = Recorder()
+            with use_recorder(recorder):
+                with pytest.raises(RuntimeError):
+                    with backend.transaction():
+                        backend.insert_derived("car", ["motorvehicle"])
+                        raise RuntimeError("abort mid-delta")
+            assert recorder.counters["instdb.tx_rollbacks"] == 1
+            assert backend.counts()["derived"] == 0
+            assert backend.types("herbie") == frozenset({"car"})
+        finally:
+            backend.close()
+
+    def test_nested_transactions_join_the_outer_scope(self):
+        backend = SqliteBackend()
+        try:
+            with backend.transaction():
+                with backend.transaction():
+                    backend.assert_type("herbie", "car")
+                # inner exit must not COMMIT the outer transaction
+                backend.assert_type("bigfoot", "pickup")
+            assert backend.counts()["told"] == 2
+        finally:
+            backend.close()
+
+    def test_reopen_preserves_rows_and_interned_ids(self, tmp_path):
+        path = tmp_path / "store.db"
+        first = SqliteBackend(path)
+        load_garage(first)
+        materialize(first, Reasoner(vehicle_tbox()).classify())
+        expected = {n: first.types(n) for n in first.individuals()}
+        first.close()
+
+        second = SqliteBackend(path)
+        try:
+            assert second.individuals() == [
+                "herbie", "bigfoot", "kitt", "premium", "diesel",
+            ]
+            for name, types in expected.items():
+                assert second.types(name) == types
+            # the reloaded dictionaries keep interning consistently
+            second.assert_type("new_individual", "car")
+            assert second.instances("car") == ["herbie", "kitt", "new_individual"]
+            assert second.db_bytes() > 0
+        finally:
+            second.close()
+
+    def test_instances_answers_from_the_covering_index(self):
+        backend = SqliteBackend()
+        try:
+            load_garage(backend)
+            plan = backend.instances_plan("car")
+            assert "ix_assertions_by_concept" in plan
+            assert "SCAN concept_assertions" not in plan
+        finally:
+            backend.close()
+
+    def test_memory_resident_db_reports_zero_bytes(self):
+        backend = SqliteBackend()
+        try:
+            assert backend.db_bytes() == 0
+        finally:
+            backend.close()
+
+
+class TestReasonerIntegration:
+    def test_indexed_retrieval_matches_instances(self, backend):
+        load_garage(backend)
+        reasoner = Reasoner(vehicle_tbox())
+        materialize(backend, reasoner.classify())
+        recorder = Recorder()
+        with use_recorder(recorder):
+            members = reasoner.retrieve_indexed(backend, Atomic("motorvehicle"))
+        assert members == ["herbie", "bigfoot", "kitt"]
+        assert recorder.counters["reasoner.indexed_retrievals"] == 1
+        assert "reasoner.retrieval_fallbacks" not in recorder.counters
+
+    def test_complex_concept_falls_back_to_tableau(self, backend):
+        load_garage(backend)
+        reasoner = Reasoner(vehicle_tbox())
+        materialize(backend, reasoner.classify())
+        recorder = Recorder()
+        with use_recorder(recorder):
+            members = reasoner.retrieve_indexed(
+                backend, parse_concept("car | pickup")
+            )
+        assert set(members) == {"herbie", "bigfoot", "kitt"}
+        assert recorder.counters["reasoner.retrieval_fallbacks"] == 1

@@ -1,0 +1,85 @@
+"""Crash safety: a materialization killed mid-delta leaves no torso.
+
+The whole derived delta runs inside one sqlite transaction, so a
+``kill -9`` between the first ``insert_derived`` and the commit must
+leave the reopened store with its told rows intact and **zero** derived
+rows — not a partial derivation the serving layer would happily answer
+from.  A genuine child process is the only honest way to test that: an
+in-process exception exercises ROLLBACK, not the journal.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+
+from repro.instdb import SqliteBackend
+
+#: the child loads told rows, commits them, then dies inside the
+#: derived-delta transaction after the first insert has been executed
+CHILD = """
+import os, sys
+from repro.instdb import SqliteBackend
+
+backend = SqliteBackend(sys.argv[1])
+with backend.transaction():
+    for i in range(50):
+        backend.assert_type(f"i{i}", "car")
+        backend.assert_type(f"i{i}", "pickup")
+
+with backend.transaction():
+    backend.insert_derived("car", ["motorvehicle", "roadvehicle"])
+    print("MID_TRANSACTION", flush=True)
+    import time
+    time.sleep(60)  # parent kills us here; the commit never happens
+"""
+
+
+def test_kill9_mid_materialize_leaves_no_derived_rows(tmp_path):
+    db = tmp_path / "crash.db"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.abspath("src"), env.get("PYTHONPATH", "")])
+    )
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD, str(db)],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = child.stdout.readline().strip()
+        assert line == "MID_TRANSACTION", f"child failed before the delta: {line!r}"
+        os.kill(child.pid, signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:  # pragma: no cover - cleanup on failure
+            child.kill()
+            child.wait()
+
+    reopened = SqliteBackend(db)
+    try:
+        counts = reopened.counts()
+        assert counts["told"] == 100, "committed told rows must survive"
+        assert counts["derived"] == 0, "uncommitted delta must vanish entirely"
+        assert reopened.types("i0") == frozenset({"car", "pickup"})
+        assert reopened.instances("motorvehicle") == []
+    finally:
+        reopened.close()
+
+
+def test_reopen_after_clean_close_sees_derived_rows(tmp_path):
+    """Control for the test above: a *committed* delta does survive."""
+    db = tmp_path / "clean.db"
+    first = SqliteBackend(db)
+    first.assert_type("herbie", "car")
+    with first.transaction():
+        first.insert_derived("car", ["motorvehicle"])
+    first.close()
+    second = SqliteBackend(db)
+    try:
+        assert second.counts() == {
+            "individuals": 1, "told": 1, "derived": 1, "roles": 0,
+        }
+    finally:
+        second.close()

@@ -1,0 +1,174 @@
+"""Serving from the DB-backed instance store.
+
+``POST /v1/instances`` without an inline ``abox`` answers from the
+server-resident :mod:`repro.instdb` backend: an indexed read over
+materialized rows, versioned by ``materialized_version`` so clients can
+see a store still catching up with a just-swapped TBox.  These tests
+boot real servers over preloaded sqlite files and check the full loop:
+boot-time materialization, retrieval, hot-swap re-derivation, and the
+health/metrics surfaces.
+"""
+
+import time
+
+import pytest
+
+from repro.dl import parse_tbox
+from repro.instdb import SqliteBackend
+from repro.robust import faults
+from repro.serve import ServeConfig, ServerThread
+
+
+@pytest.fixture(autouse=True)
+def quiet_faults():
+    with faults.suspended():
+        yield
+
+
+VEHICLES = """
+car [= motorvehicle & some size.small
+pickup [= motorvehicle & some size.big
+motorvehicle [= some uses.gasoline
+"""
+
+SWAPPED = """
+car [= machine
+pickup [= machine
+machine [= artifact
+"""
+
+
+def preload(path):
+    backend = SqliteBackend(path)
+    backend.assert_type("herbie", "car")
+    backend.assert_type("bigfoot", "pickup")
+    backend.assert_role("herbie", "towed_by", "bigfoot")
+    backend.close()
+
+
+def sqlite_config(tmp_path):
+    path = tmp_path / "abox.db"
+    preload(path)
+    return ServeConfig(port=0, abox_backend="sqlite", abox_db=str(path))
+
+
+def _wait_until(predicate, timeout_s=15.0, interval_s=0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+class TestInstancesFromBackend:
+    def test_boot_materializes_and_serves_indexed_reads(self, tmp_path):
+        config = sqlite_config(tmp_path)
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            status, body = server.request(
+                "POST", "/v1/instances", {"concept": "motorvehicle"}
+            )
+            assert status == 200
+            assert body["source"] == "instdb"
+            assert body["backend"] == "sqlite"
+            assert body["members"] == ["herbie", "bigfoot"]
+            assert body["materialized_version"] == body["tbox_version"] == 1
+            assert "non_members" not in body
+
+    def test_limit_pages_and_is_validated(self, tmp_path):
+        config = sqlite_config(tmp_path)
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            status, body = server.request(
+                "POST", "/v1/instances", {"concept": "motorvehicle", "limit": 1}
+            )
+            assert (status, body["members"]) == (200, ["herbie"])
+            status, body = server.request(
+                "POST", "/v1/instances", {"concept": "car", "limit": -2}
+            )
+            assert status == 400
+            assert "limit" in body["message"]
+
+    def test_complex_concept_falls_back_to_tableau(self, tmp_path):
+        config = sqlite_config(tmp_path)
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            status, body = server.request(
+                "POST", "/v1/instances", {"concept": "car | pickup"}
+            )
+            assert status == 200
+            assert set(body["members"]) == {"herbie", "bigfoot"}
+
+    def test_inline_abox_path_is_unchanged(self, tmp_path):
+        config = sqlite_config(tmp_path)
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            status, body = server.request(
+                "POST",
+                "/v1/instances",
+                {
+                    "concept": "motorvehicle",
+                    "abox": {"concepts": [["kitt", "car"], ["dino", "pickup"]]},
+                },
+            )
+            assert status == 200
+            assert body["members"] == ["dino", "kitt"]
+            assert body["non_members"] == []
+            assert "source" not in body
+
+    def test_swap_rederives_the_store(self, tmp_path):
+        config = sqlite_config(tmp_path)
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            status, _ = server.request("POST", "/v1/tbox", {"tbox": SWAPPED})
+            assert status == 200
+            status, body = server.request(
+                "POST", "/v1/instances", {"concept": "machine"}
+            )
+            assert status == 200
+            assert body["members"] == ["herbie", "bigfoot"]
+            assert body["materialized_version"] == 2
+            # the old vocabulary is gone from the derived rows
+            status, body = server.request(
+                "POST", "/v1/instances", {"concept": "motorvehicle"}
+            )
+            assert body["members"] == []
+
+    def test_health_and_metrics_expose_the_backend(self, tmp_path):
+        config = sqlite_config(tmp_path)
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            _, health = server.request("GET", "/v1/health")
+            block = health["instdb"]
+            assert block["backend"] == "sqlite"
+            assert block["individuals"] == 2
+            assert block["materialized_version"] == 1
+            _, metrics = server.request("GET", "/v1/metrics")
+            full = metrics["serve"]["instdb"]
+            assert full["backend"] == "sqlite"
+            assert full["told"] == 2
+            assert full["derived"] > 0
+            assert full["roles"] == 1
+
+    def test_memory_backend_serves_empty_store(self):
+        # explicit backend: the ServeConfig default tracks the
+        # REPRO_ABOX_BACKEND env var CI sets for the sqlite pass
+        config = ServeConfig(port=0, abox_backend="memory")
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            status, body = server.request(
+                "POST", "/v1/instances", {"concept": "car"}
+            )
+            assert status == 200
+            assert body["backend"] == "memory"
+            assert body["members"] == []
+
+    def test_persisted_store_survives_server_restart(self, tmp_path):
+        config = sqlite_config(tmp_path)
+        with ServerThread(parse_tbox(VEHICLES), config) as server:
+            _, first = server.request(
+                "POST", "/v1/instances", {"concept": "motorvehicle"}
+            )
+        # a new server over the same file re-materializes at boot
+        reopened = ServeConfig(
+            port=0, abox_backend="sqlite", abox_db=config.abox_db
+        )
+        with ServerThread(parse_tbox(VEHICLES), reopened) as server:
+            _, second = server.request(
+                "POST", "/v1/instances", {"concept": "motorvehicle"}
+            )
+        assert first["members"] == second["members"]

@@ -581,3 +581,215 @@ class TestFollowerChannelUnit:
         editlog = EditLog.open(tmp_path, initial_version=0)
         with pytest.raises(ReplicationError):
             FollowerChannel("nonsense", editlog, EpochStore(tmp_path))
+
+
+# --------------------------------------------------------------------------- #
+# base-install publication retry
+# --------------------------------------------------------------------------- #
+
+
+class TestBasePublicationRetry:
+    """install_base advances the durable log, so a failed ``on_base``
+    publication is never re-requested by a later pull — the channel must
+    retry it locally until the snapshot chain catches up."""
+
+    def _channel(self, tmp_path, on_base, **overrides):
+        editlog = EditLog.open(tmp_path, initial_version=0)
+        return FollowerChannel(
+            "http://127.0.0.1:1",  # nothing listens: every pull fails
+            editlog,
+            EpochStore(tmp_path),
+            on_base=on_base,
+            probe_interval_s=overrides.pop("probe_interval_s", 0.01),
+            timeout_s=0.2,
+            **overrides,
+        )
+
+    def test_failed_publication_is_retried_until_it_lands(self, tmp_path):
+        import asyncio
+
+        calls = []
+
+        async def flaky(version):
+            calls.append(version)
+            if len(calls) < 3:
+                raise RuntimeError("snapshot publication failed")
+
+        recorder = Recorder()
+
+        async def scenario():
+            channel = self._channel(tmp_path, flaky)
+            await channel._publish_base(4)
+            assert channel.base_publish_pending
+            rounds = 0
+            while channel.base_publish_pending:
+                rounds += 1
+                assert rounds < 100, "retry never landed"
+                await asyncio.sleep(0.015)
+                # the retry fires even though the primary is unreachable:
+                # publication is purely local work
+                assert await channel.poll_once() == "unreachable"
+            return channel
+
+        with use_recorder(recorder):
+            channel = asyncio.run(scenario())
+        assert calls == [4, 4, 4]
+        assert not channel.base_publish_pending
+        assert recorder.counters["repl.base_publish_failures"] == 2
+        assert recorder.counters["repl.base_install_retries"] == 2
+
+    def test_no_retry_before_the_backoff_elapses(self, tmp_path):
+        import asyncio
+
+        calls = []
+
+        async def always_down(version):
+            calls.append(version)
+            raise RuntimeError("still down")
+
+        async def scenario():
+            # a long probe interval seeds a long backoff: an immediate
+            # poll must NOT burn a retry attempt
+            channel = self._channel(tmp_path, always_down, probe_interval_s=30.0)
+            await channel._publish_base(7)
+            assert len(calls) == 1
+            await channel.poll_once()
+            assert len(calls) == 1  # backoff still pending
+            assert channel.base_publish_pending
+
+        asyncio.run(scenario())
+
+    def test_successful_publication_arms_nothing(self, tmp_path):
+        import asyncio
+
+        calls = []
+
+        async def healthy(version):
+            calls.append(version)
+
+        recorder = Recorder()
+        with use_recorder(recorder):
+
+            async def scenario():
+                channel = self._channel(tmp_path, healthy)
+                await channel._publish_base(2)
+                assert not channel.base_publish_pending
+                await channel.poll_once()
+
+            asyncio.run(scenario())
+        assert calls == [2]
+        assert "repl.base_install_retries" not in recorder.counters
+
+
+# --------------------------------------------------------------------------- #
+# lag-bounded reads
+# --------------------------------------------------------------------------- #
+
+
+class TestLagBoundedReads:
+    """``X-Max-Replication-Lag-Records`` is a client's read floor: a
+    follower lagging past it refuses the read with 503 + Retry-After
+    instead of serving a staler answer than the client tolerates."""
+
+    HEADER = "X-Max-Replication-Lag-Records"
+
+    def test_primary_ignores_the_bound(self, tmp_path):
+        with ServerThread(VEHICLES, _primary_config(tmp_path)) as primary:
+            status, body = primary.request(
+                "POST",
+                "/v1/subsumes",
+                {"general": "motorvehicle", "specific": "car"},
+                headers={self.HEADER: "0"},
+            )
+            assert (status, body["answer"]) == (200, True)
+
+    def test_malformed_bound_is_400(self, tmp_path):
+        with ServerThread(VEHICLES, _primary_config(tmp_path)) as primary:
+            for bad in ("zero", "-1"):
+                status, body = primary.request(
+                    "POST",
+                    "/v1/subsumes",
+                    {"general": "motorvehicle", "specific": "car"},
+                    headers={self.HEADER: bad},
+                )
+                assert status == 400, bad
+                assert "X-Max-Replication-Lag-Records" in body["message"]
+
+    def test_follower_within_bound_serves_the_read(self, tmp_path):
+        with ServerThread(VEHICLES, _primary_config(tmp_path)) as primary:
+            with ServerThread(
+                None, _follower_config(tmp_path, _url(primary))
+            ) as follower:
+                assert _wait_until(
+                    lambda: follower.server._channel is not None
+                    and follower.server._channel.lag_records() == 0
+                )
+                status, body = follower.request(
+                    "POST",
+                    "/v1/subsumes",
+                    {"general": "motorvehicle", "specific": "car"},
+                    headers={self.HEADER: "0"},
+                )
+                assert (status, body["answer"]) == (200, True)
+
+    def test_lagging_follower_refuses_with_retry_after(self, tmp_path):
+        import http.client
+
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with ServerThread(VEHICLES, _primary_config(tmp_path)) as primary:
+                with ServerThread(
+                    None, _follower_config(tmp_path, _url(primary))
+                ) as follower:
+                    channel = follower.server._channel
+                    assert _wait_until(
+                        lambda: channel.lag_records() is not None
+                    )
+                    # pretend the last pull saw a primary far ahead; the
+                    # next poll would reset this, but the request races in
+                    # first thanks to the raw connection below
+                    channel.last_primary_version = (
+                        follower.server.editlog.version + 10
+                    )
+                    host, port = follower.address
+                    conn = http.client.HTTPConnection(host, port, timeout=10)
+                    try:
+                        conn.request(
+                            "POST",
+                            "/v1/subsumes",
+                            body='{"general": "motorvehicle", "specific": "car"}',
+                            headers={
+                                "Content-Type": "application/json",
+                                self.HEADER: "5",
+                            },
+                        )
+                        response = conn.getresponse()
+                        body = response.read()
+                        assert response.status == 503
+                        assert response.getheader("Retry-After") is not None
+                        assert b"exceeds client bound 5" in body
+                        assert _url(primary).encode() in body
+                    finally:
+                        conn.close()
+        assert recorder.counters["repl.lag_bounded_rejections"] >= 1
+
+    def test_unknown_lag_refuses_the_bound(self, tmp_path):
+        with ServerThread(VEHICLES, _primary_config(tmp_path)) as primary:
+            with ServerThread(
+                None, _follower_config(tmp_path, _url(primary))
+            ) as follower:
+                channel = follower.server._channel
+                # before first contact the lag is unknown — not "fresh"
+                channel.last_primary_version = None
+                status, body = follower.request(
+                    "POST",
+                    "/v1/subsumes",
+                    {"general": "motorvehicle", "specific": "car"},
+                    headers={self.HEADER: "100"},
+                )
+                if status == 503:
+                    assert "unknown" in body["message"]
+                else:
+                    # the poll loop may re-establish contact first; the
+                    # read is then legitimately within bound
+                    assert status == 200
