@@ -277,6 +277,13 @@ def _cmd_abox(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_serve_worker(args: argparse.Namespace) -> int:
+    """Internal: one spawn-mode worker (launched by the front process)."""
+    from .serve.workers import run_spawn_worker
+
+    return run_spawn_worker(args.spec)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -309,10 +316,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         probe_interval_ms=args.probe_interval_ms,
         abox_backend=args.abox_backend,
         abox_db=args.abox_db,
+        workers=args.workers,
+        worker_start_method=args.worker_start_method,
+        worker_dir=args.worker_dir,
     )
     # a serving process always records: /v1/metrics is part of the API
     set_recorder(Recorder())
-    server = ReasoningServer(tbox, config)
+    if config.workers >= 1:
+        from .serve.workers import FrontServer
+
+        server = FrontServer(tbox, config)
+    else:
+        server = ReasoningServer(tbox, config)
 
     async def _run() -> None:
         host, port = await server.start()
@@ -334,6 +349,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if config.follow:
             print(
                 f"following {config.follow} (read-only until promoted)",
+                flush=True,
+            )
+        if config.workers >= 1:
+            block = server.supervisor.health_block()
+            print(
+                f"workers: {block['up']}/{block['count']} up "
+                f"({block['start_method']} start) in "
+                f"{server.supervisor.worker_dir}",
                 flush=True,
             )
         await server.serve_forever()
@@ -445,7 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ID",
         choices=[
             "B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10",
-            "B11", "B12",
+            "B11", "B12", "B13",
         ],
         help="run only this bench (repeatable)",
     )
@@ -609,7 +632,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="sqlite database file for --abox-backend sqlite (default: "
         "a private in-memory database)",
     )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="multi-worker mode: a routing front process plus N worker "
+        "processes each holding the pre-classified snapshot (default: "
+        "0 = classic single-process server); see README 'Scaling out'",
+    )
+    p_serve.add_argument(
+        "--worker-start-method",
+        choices=["auto", "fork", "spawn"],
+        default="auto",
+        help="how workers are created: fork shares the classified "
+        "snapshot copy-on-write, spawn reloads the TBox per worker "
+        "(default: auto = fork where available)",
+    )
+    p_serve.add_argument(
+        "--worker-dir",
+        metavar="DIR",
+        help="directory for worker control sockets (default: a tempdir)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    # internal: the spawn-mode worker entry point (launched by the
+    # front process, not by operators)
+    p_worker = sub.add_parser("serve-worker")
+    p_worker.add_argument("--spec", required=True, metavar="FILE")
+    p_worker.set_defaults(func=_cmd_serve_worker)
 
     p_abox = sub.add_parser(
         "abox",

@@ -101,9 +101,14 @@ class SqliteBackend(InstanceBackend):
         # store from a worker thread while reads stay on the event loop;
         # callers serialize access (the server holds a lock around every
         # backend call, and sqlite3 itself is compiled serialized).
-        self._conn = sqlite3.connect(
+        self._raw_conn = sqlite3.connect(
             target, isolation_level=None, check_same_thread=False
         )
+        # an sqlite connection must never cross a fork: the child would
+        # share the parent's file descriptors and WAL/shm mappings, and
+        # either side's writes can silently corrupt the database.  Pin
+        # the opening pid and refuse loudly from any other process.
+        self._pid = os.getpid()
         if self.path is not None:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
@@ -116,6 +121,17 @@ class SqliteBackend(InstanceBackend):
         self._concepts = InternTable()
         self._roles = InternTable()
         self._reload_dictionaries()
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        """The live connection — every db touch funnels through here."""
+        if os.getpid() != self._pid:
+            raise InstDBError(
+                f"sqlite backend opened in pid {self._pid} used from pid "
+                f"{os.getpid()}: sqlite connections must not be inherited "
+                "across fork — reopen the backend in the child process"
+            )
+        return self._raw_conn
 
     def _reload_dictionaries(self) -> None:
         """Rebuild the intern tables from the name dictionaries, id order."""
@@ -450,4 +466,8 @@ class SqliteBackend(InstanceBackend):
         return total
 
     def close(self) -> None:
-        self._conn.close()
+        if os.getpid() != self._pid:
+            # a forked child tearing down inherited objects must not
+            # close (and checkpoint) the parent's live connection
+            return
+        self._raw_conn.close()

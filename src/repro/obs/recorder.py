@@ -144,9 +144,42 @@ class Recorder:
             merged = self._samples.get(name, []) + list(ring)
             self._samples[name] = merged[-SAMPLE_CAP:]
 
+    def merge_snapshot(self, snap: dict[str, Any]) -> None:
+        """Fold a wire-shipped :meth:`snapshot` dict into this recorder.
+
+        The multi-worker front process aggregates ``/v1/metrics`` by
+        fetching each worker's recorder snapshot over the control
+        channel and merging here — the worker's live ``Recorder`` object
+        never crosses the process boundary.  Quantiles need raw
+        observations, so workers ship ``snapshot(samples=True)``;
+        without a ``samples`` section only count/total/min/max merge and
+        p50/p99 reflect whichever sides did carry samples.
+        """
+        for name, n in (snap.get("counters") or {}).items():
+            self.incr(name, int(n))
+        for target, key in ((self._timers, "timers"), (self._histograms, "histograms")):
+            for name, summary in (snap.get(key) or {}).items():
+                count = int(summary.get("count", 0))
+                if count <= 0:
+                    continue
+                total = float(summary.get("total", 0.0))
+                lo = float(summary.get("min", 0.0))
+                hi = float(summary.get("max", 0.0))
+                cell = target.get(name)
+                if cell is None:
+                    target[name] = [count, total, lo, hi]
+                else:
+                    cell[0] += count
+                    cell[1] += total
+                    cell[2] = min(cell[2], lo)
+                    cell[3] = max(cell[3], hi)
+        for name, ring in (snap.get("samples") or {}).items():
+            merged = self._samples.get(name, []) + [float(v) for v in ring]
+            self._samples[name] = merged[-SAMPLE_CAP:]
+
     # -- reading -------------------------------------------------------- #
 
-    def snapshot(self) -> dict[str, Any]:
+    def snapshot(self, *, samples: bool = False) -> dict[str, Any]:
         """A JSON-ready copy of everything recorded so far.
 
         Timer/histogram entries are summarized as
@@ -154,6 +187,10 @@ class Recorder:
         Histograms additionally carry ``p50`` and ``p99`` computed over
         the retained sample ring (exact below :data:`SAMPLE_CAP`
         observations, a recent-window estimate beyond it).
+
+        With ``samples=True`` the raw rings are included under a
+        ``samples`` key so :meth:`merge_snapshot` on the receiving side
+        can compute cross-process quantiles.
         """
 
         def summarize(cells: dict[str, list[float]]) -> dict[str, dict[str, float]]:
@@ -174,11 +211,16 @@ class Recorder:
             if ring:
                 cell["p50"] = _quantile(ring, 0.50)
                 cell["p99"] = _quantile(ring, 0.99)
-        return {
+        snap: dict[str, Any] = {
             "counters": dict(sorted(self.counters.items())),
             "timers": summarize(self._timers),
             "histograms": histograms,
         }
+        if samples:
+            snap["samples"] = {
+                name: list(ring) for name, ring in sorted(self._samples.items())
+            }
+        return snap
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -20,13 +20,24 @@ one-shot CLI invocations that re-parse and re-classify per call:
   follower pulls sealed records, applies them through the incremental
   publication path, and can be promoted under a persisted fencing
   epoch (split-brain-safe failover);
+* :mod:`repro.serve.workers` — the multi-worker mode: a routing
+  front process plus N fork-shared (or spawn-loaded) worker processes
+  with delta-shipped hot swaps (``--workers N``);
+* :mod:`repro.serve.control` — the front↔worker control channel
+  (HTTP/1.1 over per-worker Unix sockets);
 * :mod:`repro.serve.protocol` — HTTP/1.1 framing and the JSON bodies;
 * :mod:`repro.serve.loadgen` — in-process server thread, subprocess
   server, client, closed-loop load generator, and edit-stream driver
   for tests, CI smoke, and the B7/B9/B11 benches.
 """
 
-from .admission import AdmissionController, AdmissionError, Ticket
+from .admission import (
+    AdmissionController,
+    AdmissionError,
+    Ticket,
+    WorkerShare,
+    slice_allowance,
+)
 from .batcher import BatchAnswer, Batcher
 from .editlog import EditLog, EditLogError, EditRecord, Recovery
 from .loadgen import (
@@ -46,8 +57,16 @@ from .replication import (
     apply_shipped,
     deliver_batches,
 )
+from .control import WorkerClient, WorkerProtocolError
 from .server import ReasoningServer, ServeConfig
 from .snapshot import Snapshot, SnapshotError, SnapshotManager
+from .workers import (
+    FrontServer,
+    WorkerServer,
+    WorkerStartError,
+    WorkerSupervisor,
+    run_spawn_worker,
+)
 
 __all__ = [
     "ReasoningServer",
@@ -79,4 +98,13 @@ __all__ = [
     "ReplicationError",
     "apply_shipped",
     "deliver_batches",
+    "FrontServer",
+    "WorkerServer",
+    "WorkerSupervisor",
+    "WorkerStartError",
+    "WorkerShare",
+    "slice_allowance",
+    "WorkerClient",
+    "WorkerProtocolError",
+    "run_spawn_worker",
 ]

@@ -40,6 +40,72 @@ from ..obs import recorder as _obs
 from ..robust import Budget
 
 
+@dataclass(frozen=True)
+class WorkerShare:
+    """One worker's slice of the server-wide admission allowance."""
+
+    soft_limit: int
+    hard_limit: int
+    node_allowance: Optional[int]
+
+
+def slice_allowance(
+    *,
+    soft_limit: int,
+    hard_limit: int,
+    node_allowance: Optional[int],
+    workers: int,
+) -> list[WorkerShare]:
+    """Split the server-wide admission allowance across ``workers``.
+
+    The invariants the multi-worker mode depends on (property-tested in
+    ``tests/serve/test_workers.py``):
+
+    * per-worker soft limits sum to exactly
+      ``max(soft_limit, workers)`` — the global concurrency cap, except
+      that every worker gets at least one slot;
+    * per-worker node allowances sum to **≤** the server-wide
+      ``node_allowance``;
+    * whenever ``workers <= soft_limit``, each worker's *per-request*
+      budget slice (``share.node_allowance // share.soft_limit``) equals
+      the single-process slice (``node_allowance // soft_limit``), so a
+      query's resource envelope — and thus its PROVED/UNKNOWN verdict —
+      is identical at N=1 and N>1.
+
+    The 429/503 thresholds themselves are *not* sliced: the front
+    process admits against the unchanged server-wide limits before
+    routing, so clients see identical threshold behavior at any N; the
+    per-worker shares are a backstop against one worker absorbing the
+    whole allowance if routing ever skews.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if soft_limit < 1:
+        raise ValueError(f"soft_limit must be >= 1, got {soft_limit}")
+    if hard_limit < soft_limit:
+        raise ValueError(f"hard_limit {hard_limit} < soft_limit {soft_limit}")
+    softs = [max(1, n) for n in _split_even(soft_limit, workers)]
+    hards = [max(1, n) for n in _split_even(hard_limit, workers)]
+    total_soft = sum(softs)
+    per_slot = (
+        None if node_allowance is None else node_allowance // max(1, total_soft)
+    )
+    return [
+        WorkerShare(
+            soft_limit=soft,
+            hard_limit=max(soft, hard),
+            node_allowance=None if per_slot is None else per_slot * soft,
+        )
+        for soft, hard in zip(softs, hards)
+    ]
+
+
+def _split_even(total: int, parts: int) -> list[int]:
+    """``total`` split into ``parts`` integers differing by at most 1."""
+    base, remainder = divmod(total, parts)
+    return [base + 1] * remainder + [base] * (parts - remainder)
+
+
 class AdmissionError(Exception):
     """Raised by :meth:`AdmissionController.admit` when a request is refused."""
 

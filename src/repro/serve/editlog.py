@@ -138,6 +138,25 @@ class EditRecord:
             removed=tuple(row["removed"]),
         )
 
+    @classmethod
+    def from_diff(cls, version: int, delta: AxiomDelta) -> "EditRecord":
+        """A record carrying ``delta`` as sorted axiom texts.
+
+        Used by the multi-worker front process to synthesize a shippable
+        record for publications that did not come from a log append
+        (``/v1/tbox`` without ``--edit-log``, coalesced publishes, base
+        installs) — the workers apply it exactly like a logged record.
+        """
+        return cls(
+            version=version,
+            added=tuple(sorted(_axiom_text(axiom) for axiom in delta.added)),
+            removed=tuple(sorted(_axiom_text(axiom) for axiom in delta.removed)),
+        )
+
+    def apply(self, tbox: TBox) -> TBox:
+        """The successor TBox: this record's delta applied to ``tbox``."""
+        return _apply(tbox, self)
+
     def to_delta(self, old_tbox: TBox, new_tbox: TBox) -> AxiomDelta:
         """The stored delta as an :class:`~repro.dl.diff.AxiomDelta`.
 

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import time
 from pathlib import Path
 from typing import Awaitable, Callable, Optional, Union
@@ -351,6 +352,7 @@ class FollowerChannel:
         auto_promote_after: Optional[int] = None,
         pull_limit: int = 64,
         timeout_s: float = 2.0,
+        jitter_seed: Optional[int] = None,
     ) -> None:
         parse_url(primary_url)  # fail fast on an unusable URL
         self.primary_url = primary_url
@@ -375,6 +377,11 @@ class FollowerChannel:
         self._pending_base: Optional[int] = None
         self._base_backoff_s = 0.0
         self._base_retry_at = 0.0
+        # per-channel jitter source: after a primary restart every
+        # follower fails its base publication at the same instant, and
+        # without jitter their exponential backoffs stay phase-locked —
+        # N followers re-hammer the primary in lockstep forever.
+        self._jitter = random.Random(jitter_seed)
 
     def lag_records(self) -> Optional[int]:
         """Records behind the last-seen primary tip; None before contact."""
@@ -402,7 +409,10 @@ class FollowerChannel:
                 if self._base_backoff_s
                 else max(0.01, self.probe_interval_s)
             )
-            self._base_retry_at = time.monotonic() + self._base_backoff_s
+            # jitter the armed delay by x0.5..x1.5 so followers that all
+            # failed together do not retry together (stampede herd)
+            delay = self._base_backoff_s * (0.5 + self._jitter.random())
+            self._base_retry_at = time.monotonic() + delay
         else:
             self._pending_base = None
             self._base_backoff_s = 0.0

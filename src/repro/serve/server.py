@@ -113,6 +113,18 @@ class ServeConfig:
     )
     #: sqlite database path; None = a private in-memory database
     abox_db: Optional[str] = None
+    # -- multi-worker serving (repro.serve.workers) ------------------- #
+    #: 0 = classic single-process server; N >= 1 = a routing front
+    #: process plus N worker processes each holding the snapshot
+    workers: int = 0
+    #: "auto" | "fork" | "spawn" — how worker processes are created
+    worker_start_method: str = "auto"
+    #: directory for worker control sockets (None = a tempdir)
+    worker_dir: Optional[str] = None
+    #: whether *this* process materializes the instance store after a
+    #: swap; the multi-worker mode elects one refresh owner per shared
+    #: sqlite file so N workers don't re-derive the same rows N times
+    instdb_refresh: bool = True
 
 
 @contextlib.contextmanager
@@ -140,7 +152,11 @@ class ReasoningServer:
     """One serving process: snapshot manager + batcher + admission."""
 
     def __init__(
-        self, tbox: Optional[TBox] = None, config: Optional[ServeConfig] = None
+        self,
+        tbox: Optional[TBox] = None,
+        config: Optional[ServeConfig] = None,
+        *,
+        snapshot_manager: Optional[SnapshotManager] = None,
     ) -> None:
         self.config = config or ServeConfig()
         if self.config.follow is not None and self.config.edit_log is None:
@@ -166,14 +182,20 @@ class ReasoningServer:
             )
             tbox = self.editlog.tbox
             initial_version = self.editlog.version
-        self.snapshots = SnapshotManager(
-            tbox,
-            max_nodes=self.config.max_nodes,
-            store_path=self.config.tbox_store,
-            incremental=self.config.incremental_swap,
-            max_affected_fraction=self.config.incremental_threshold,
-            initial_version=initial_version,
-        )
+        if snapshot_manager is not None:
+            # the multi-worker fork path: a worker process adopts the
+            # front's already-classified manager copy-on-write instead
+            # of re-classifying at boot
+            self.snapshots = snapshot_manager
+        else:
+            self.snapshots = SnapshotManager(
+                tbox,
+                max_nodes=self.config.max_nodes,
+                store_path=self.config.tbox_store,
+                incremental=self.config.incremental_swap,
+                max_affected_fraction=self.config.incremental_threshold,
+                initial_version=initial_version,
+            )
         self.batcher = Batcher(
             window_ms=self.config.batch_window_ms, max_batch=self.config.batch_max
         )
@@ -214,7 +236,7 @@ class ReasoningServer:
         self._min_interval_s = self.config.min_swap_interval_ms / 1000.0
         self._last_swap = time.monotonic()  # throttle counts from boot
         self._logged_version = self.snapshots.version
-        self._pending: Optional[tuple[int, TBox]] = None
+        self._pending: Optional[tuple[int, TBox, Optional[EditRecord]]] = None
         self._publishing = False
         self._publisher_task: Optional[asyncio.Task] = None
         self._append_times: dict[int, float] = {}
@@ -227,7 +249,7 @@ class ReasoningServer:
         self._instdb_guard = threading.Lock()
         self._instdb_closures: dict[str, frozenset[str]] = {}
         self._instdb_version = 0
-        if self.instdb.individual_count():
+        if self.config.instdb_refresh and self.instdb.individual_count():
             # boot-time materialization fails fast: a server that cannot
             # derive over its configured instance store must not come up
             self._instdb_refresh(self.snapshots.current)
@@ -688,11 +710,12 @@ class ReasoningServer:
                 prepared = await asyncio.to_thread(
                     self.snapshots.prepare, tbox, version=version, record=record
                 )
-            self.snapshots.swap(prepared)
+            old = self.snapshots.swap(prepared)
             self._observe_visibility(version)
         except Exception:  # noqa: BLE001 - the channel must survive
             _obs.incr("serve.publish_errors")
             return
+        await self._after_publish(old, prepared, record)
         await self._refresh_instdb(prepared)
 
     async def _on_replicated_base(self, version: int) -> None:
@@ -712,10 +735,11 @@ class ReasoningServer:
                 prepared = await asyncio.to_thread(
                     self.snapshots.prepare, tbox, version=version
                 )
-            self.snapshots.swap(prepared)
+            old = self.snapshots.swap(prepared)
         except Exception:
             _obs.incr("serve.publish_errors")
             raise
+        await self._after_publish(old, prepared, None)
         await self._refresh_instdb(prepared)
 
     def _classify(self, snapshot) -> tuple[int, dict[str, Any]]:
@@ -834,13 +858,27 @@ class ReasoningServer:
 
     async def _refresh_instdb(self, snapshot) -> None:
         """Post-swap hook: re-derive stored types off the event loop."""
-        if self.instdb.individual_count() == 0 and not self._instdb_closures:
+        if not self.config.instdb_refresh or (
+            self.instdb.individual_count() == 0 and not self._instdb_closures
+        ):
             self._instdb_version = snapshot.version
             return
         try:
             await asyncio.to_thread(self._instdb_refresh, snapshot)
         except Exception:  # noqa: BLE001 - publication must survive
             _obs.incr("instdb.refresh_errors")
+
+    async def _after_publish(self, old, prepared, record) -> None:
+        """Hook invoked after every snapshot publication.
+
+        ``old``/``prepared`` are the retired and installed snapshots;
+        ``record`` is the edit-log record that produced the publication
+        when there was exactly one (None for coalesced publishes, base
+        installs, and logless swaps).  The base class does nothing; the
+        multi-worker front (:class:`repro.serve.workers.FrontServer`)
+        overrides this to ship the delta to every worker.  Must not
+        raise — a failed shipment must not fail an already-durable ack.
+        """
 
     async def _critique(
         self, snapshot, payload: dict[str, Any]
@@ -914,6 +952,9 @@ class ReasoningServer:
                     self.snapshots.prepare, tbox, version=version, record=record
                 )
             old = self.snapshots.swap(prepared)
+            # multi-worker front: ship the record while _publishing still
+            # holds, so broadcasts reach the workers in version order
+            await self._after_publish(old, prepared, record)
         finally:
             async with self._swap_lock:
                 self._publishing = False
@@ -980,8 +1021,9 @@ class ReasoningServer:
                     prepared = await asyncio.to_thread(
                         self.snapshots.prepare, tbox, version=version, record=record
                     )
-                self.snapshots.swap(prepared)
+                old = self.snapshots.swap(prepared)
                 self._observe_visibility(version)
+                await self._after_publish(old, prepared, record)
                 await self._refresh_instdb(prepared)
             except Exception:  # noqa: BLE001 - the publisher must survive
                 _obs.incr("serve.publish_errors")

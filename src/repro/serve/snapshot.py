@@ -316,6 +316,67 @@ class SnapshotManager:
             )
         return successor.prepare()
 
+    def fork_clone(self) -> "SnapshotManager":
+        """A fresh manager serving this manager's current snapshot.
+
+        Built for the just-forked worker of :mod:`repro.serve.workers`:
+        the clone's boot snapshot *shares* the parent's prepared
+        hierarchy, reasoner (with its warm caches), and interned tables
+        — the whole point of forking after classification, the pages
+        stay copy-on-write — but none of the lifecycle state.  The
+        clone starts with a clean refcount and a one-element chain, so
+        pins held by the parent's in-flight requests at fork time don't
+        leak into the child, and ``store_path`` is dropped so N workers
+        never race the front for the persisted TBox file.
+        """
+        current = self._current
+        boot = Snapshot(current.tbox, current.version, max_nodes=self._max_nodes)
+        # adopt the prepared state instead of re-classifying: Reasoner
+        # and ConceptHierarchy are immutable-after-prepare, so sharing
+        # them across the fork boundary is exactly the CoW contract
+        boot.reasoner = current.reasoner
+        boot.hierarchy = current.hierarchy
+        boot.swap_mode = current.swap_mode
+        boot.swap_detail = current.swap_detail
+        clone = SnapshotManager.__new__(SnapshotManager)
+        clone._max_nodes = self._max_nodes
+        clone._store_path = None
+        clone._incremental = self._incremental
+        clone._max_affected_fraction = self._max_affected_fraction
+        clone._lock = threading.Lock()
+        clone._current = boot
+        clone._chain = [boot]
+        return clone
+
+    def prepare_delta(self, record: "EditRecord") -> Snapshot:
+        """Prepare the successor from a shipped edit record alone.
+
+        The multi-worker path: the front process reclassifies once and
+        ships each worker the sealed record whose delta is — by the
+        front's construction — exactly current → ``record.version``, so
+        the worker applies the axiom texts and reclassifies from its
+        current snapshot without ever re-diffing full TBoxes.  Unlike
+        :meth:`prepare`, the record's version may skip numbers (the
+        front coalesces); the caller guarantees the record's base is the
+        worker's current version (enforced by the control protocol's
+        ``base_version`` check).
+        """
+        predecessor = self._current
+        if record.version <= predecessor.version:
+            raise SnapshotError(
+                f"stale record: v{record.version} <= current "
+                f"v{predecessor.version}"
+            )
+        tbox = record.apply(predecessor.tbox)
+        successor = Snapshot(tbox, record.version, max_nodes=self._max_nodes)
+        if self._incremental:
+            return successor.prepare_from(
+                predecessor,
+                max_affected_fraction=self._max_affected_fraction,
+                delta=record.to_delta(predecessor.tbox, tbox),
+            )
+        return successor.prepare()
+
     def swap(self, prepared: Snapshot) -> Snapshot:
         """Atomically install ``prepared``; retire and return the old one."""
         if prepared.hierarchy is None:

@@ -114,10 +114,11 @@ class TestBenchCommand:
         monkeypatch.setenv("REPRO_B10_SCALE", "tiny")
         monkeypatch.setenv("REPRO_B11_SCALE", "tiny")
         monkeypatch.setenv("REPRO_B12_SCALE", "tiny")
+        monkeypatch.setenv("REPRO_B13_SCALE", "tiny")
         assert main(["bench", "--out", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         written = sorted(p.name for p in tmp_path.glob("BENCH_*.json"))
-        assert written == sorted(f"BENCH_B{i}.json" for i in range(1, 13))
+        assert written == sorted(f"BENCH_B{i}.json" for i in range(1, 14))
         assert "non-zero counters" in out
 
     def test_bench_only_subset(self, tmp_path, capsys):

@@ -1,0 +1,65 @@
+"""The sqlite backend's fork guard.
+
+An sqlite connection inherited across ``fork`` shares file descriptors
+and WAL/shm mappings with the parent; either side's writes can silently
+corrupt the database.  The backend pins its opening pid and every db
+touch funnels through a checked chokepoint, so a forked child gets a
+loud :class:`InstDBError` instead of quiet corruption — and its
+teardown never closes (and checkpoints) the parent's live connection.
+"""
+
+import os
+
+import pytest
+
+from repro.instdb import InstDBError
+from repro.instdb.sqlite import SqliteBackend
+
+
+class TestForkGuard:
+    def test_foreign_pid_is_refused_with_a_clear_error(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "abox.db")
+        backend.assert_type("herbie", "car")
+        backend._pid = backend._pid + 1  # simulate use after fork
+        with pytest.raises(InstDBError, match="fork"):
+            backend.types("herbie")
+        with pytest.raises(InstDBError, match="reopen"):
+            backend.assert_type("kitt", "car")
+        with pytest.raises(InstDBError):
+            with backend.transaction():
+                pass
+
+    def test_foreign_pid_close_is_a_noop(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "abox.db")
+        backend.assert_type("herbie", "car")
+        backend._pid = backend._pid + 1
+        backend.close()  # must NOT close the "parent's" connection
+        backend._pid = os.getpid()
+        assert backend.types("herbie") == frozenset({"car"})
+        backend.close()
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="fork-only test")
+    def test_real_fork_child_gets_the_guard(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "abox.db")
+        backend.assert_type("herbie", "car")
+        pid = os.fork()
+        if pid == 0:
+            # forked child: the inherited backend must refuse queries
+            try:
+                ok = False
+                try:
+                    backend.types("herbie")
+                except InstDBError:
+                    ok = True
+                backend.close()  # no-op, parent's connection untouched
+            finally:
+                os._exit(0 if ok else 1)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        # the parent's connection is still healthy after the child exits
+        assert backend.types("herbie") == frozenset({"car"})
+        # and a fresh backend in this process sees the same file intact
+        reopened = SqliteBackend(tmp_path / "abox.db")
+        assert reopened.types("herbie") == frozenset({"car"})
+        reopened.close()
+        backend.close()

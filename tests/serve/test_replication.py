@@ -659,6 +659,46 @@ class TestBasePublicationRetry:
 
         asyncio.run(scenario())
 
+    def test_retry_delay_is_jittered_against_stampedes(self, tmp_path):
+        """N followers that all failed at the same instant must not all
+        retry at the same instant: the armed delay is the exponential
+        backoff scaled by a per-channel x0.5..x1.5 jitter factor."""
+        import asyncio
+
+        async def always_down(version):
+            raise RuntimeError("still down")
+
+        async def scenario(seed):
+            sub_dir = tmp_path / f"seed-{seed}"
+            sub_dir.mkdir(exist_ok=True)
+            editlog = EditLog.open(sub_dir, initial_version=0)
+            channel = FollowerChannel(
+                "http://127.0.0.1:1",
+                editlog,
+                EpochStore(sub_dir),
+                on_base=always_down,
+                probe_interval_s=1.0,
+                timeout_s=0.2,
+                jitter_seed=seed,
+            )
+            armed_at = time.monotonic()
+            await channel._publish_base(3)
+            # backoff seeds at probe_interval_s=1.0; the armed delay
+            # must land inside the jitter window around it
+            delay = channel._base_retry_at - armed_at
+            assert channel._base_backoff_s == 1.0
+            assert 0.5 <= delay <= 1.51
+            # deterministic per-channel phase: the seed fixes the factor
+            expected = 1.0 * (0.5 + random.Random(seed).random())
+            assert abs(delay - expected) < 0.05
+            return delay
+
+        delays = {
+            round(asyncio.run(scenario(seed)), 3) for seed in range(6)
+        }
+        # six deterministic seeds, six distinct phases — lockstep broken
+        assert len(delays) == 6
+
     def test_successful_publication_arms_nothing(self, tmp_path):
         import asyncio
 
